@@ -1,0 +1,186 @@
+//! A cached control-flow-graph view of a function.
+
+use treegion_ir::{BlockId, Function};
+
+/// Predecessor/successor lists plus traversal orders for a [`Function`].
+///
+/// The view is a snapshot: if the function is mutated (e.g. by tail
+/// duplication), build a new `Cfg`.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    entry: BlockId,
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    postorder: Vec<BlockId>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG view of `f`.
+    pub fn new(f: &Function) -> Self {
+        let n = f.num_blocks();
+        let mut succs = Vec::with_capacity(n);
+        for (_, block) in f.blocks() {
+            succs.push(block.successors());
+        }
+        let mut preds = vec![Vec::new(); n];
+        for (i, ss) in succs.iter().enumerate() {
+            for s in ss {
+                preds[s.index()].push(BlockId::from_index(i));
+            }
+        }
+        let entry = f.entry();
+        // Iterative DFS computing postorder over reachable blocks.
+        let mut postorder = Vec::with_capacity(n);
+        let mut reachable = vec![false; n];
+        let mut visited = vec![false; n];
+        // Stack of (block, next successor index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.index()] = true;
+        reachable[entry.index()] = true;
+        while let Some((b, i)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *i < ss.len() {
+                let next = ss[*i];
+                *i += 1;
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    reachable[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                postorder.push(*b);
+                stack.pop();
+            }
+        }
+        Cfg {
+            entry,
+            succs,
+            preds,
+            postorder,
+            reachable,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Successors of `b`, in terminator order.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b` (one entry per incoming edge).
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Number of incoming edges (the paper's *merge count*; a block with
+    /// more than one is a merge point).
+    pub fn merge_count(&self, b: BlockId) -> usize {
+        self.preds[b.index()].len()
+    }
+
+    /// `true` if `b` has two or more incoming edges.
+    pub fn is_merge_point(&self, b: BlockId) -> bool {
+        self.merge_count(b) > 1
+    }
+
+    /// `true` if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.index()]
+    }
+
+    /// Reachable blocks in postorder.
+    pub fn postorder(&self) -> &[BlockId] {
+        &self.postorder
+    }
+
+    /// Reachable blocks in reverse postorder (a topological order for
+    /// acyclic CFGs).
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut v = self.postorder.clone();
+        v.reverse();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion_ir::{FunctionBuilder, Op};
+
+    fn diamond() -> treegion_ir::Function {
+        let mut b = FunctionBuilder::new("d");
+        let (bb0, bb1, bb2, bb3) = (b.block(), b.block(), b.block(), b.block());
+        let c = b.gpr();
+        b.push(bb0, Op::movi(c, 1));
+        b.branch(bb0, c, (bb1, 1.0), (bb2, 1.0));
+        b.jump(bb1, bb3, 1.0);
+        b.jump(bb2, bb3, 1.0);
+        b.ret(bb3, None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_preds_succs_merge() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let ids: Vec<BlockId> = f.block_ids().collect();
+        assert_eq!(cfg.succs(ids[0]), &[ids[1], ids[2]]);
+        assert_eq!(cfg.preds(ids[3]).len(), 2);
+        assert!(cfg.is_merge_point(ids[3]));
+        assert!(!cfg.is_merge_point(ids[1]));
+        assert_eq!(cfg.merge_count(ids[0]), 0);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_topology() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], f.entry());
+        assert_eq!(rpo.len(), 4);
+        // bb3 must come after bb1 and bb2.
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        let ids: Vec<BlockId> = f.block_ids().collect();
+        assert!(pos(ids[3]) > pos(ids[1]));
+        assert!(pos(ids[3]) > pos(ids[2]));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut b = FunctionBuilder::new("u");
+        let (bb0, bb1) = (b.block(), b.block());
+        b.ret(bb0, None);
+        b.ret(bb1, None); // unreachable
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let ids: Vec<BlockId> = f.block_ids().collect();
+        assert!(cfg.is_reachable(ids[0]));
+        assert!(!cfg.is_reachable(ids[1]));
+        assert_eq!(cfg.postorder().len(), 1);
+    }
+
+    #[test]
+    fn cyclic_cfg_terminates() {
+        let mut b = FunctionBuilder::new("loop");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let c = b.gpr();
+        b.push(bb0, Op::movi(c, 1));
+        b.jump(bb0, bb1, 10.0);
+        b.branch(bb1, c, (bb1, 90.0), (bb2, 10.0));
+        b.ret(bb2, None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.postorder().len(), 3);
+        assert_eq!(cfg.preds(f.block_ids().nth(1).unwrap()).len(), 2);
+    }
+}

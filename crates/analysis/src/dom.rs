@@ -1,0 +1,196 @@
+//! Dominator tree (Cooper–Harvey–Kennedy algorithm).
+//!
+//! Used by the scheduler's dominator-parallelism detection and by tests
+//! that check the treegion invariant "any block in a treegion dominates
+//! all blocks below it" (Section 4 of the paper).
+
+use crate::Cfg;
+use treegion_ir::BlockId;
+
+/// The dominator tree of a function's reachable blocks.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block; `idom[entry] == entry`;
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse-postorder number per block (`usize::MAX` if unreachable).
+    rpo_number: Vec<usize>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree from a CFG view.
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.num_blocks();
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_number = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_number[b.index()] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        let entry = cfg.entry();
+        idom[entry.index()] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_number, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree {
+            idom,
+            rpo_number,
+            entry,
+        }
+    }
+
+    /// The immediate dominator of `b`, or `None` if `b` is the entry or
+    /// unreachable.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// `true` if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() || self.idom[a.index()].is_none() {
+            return false; // unreachable blocks dominate nothing
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.idom[cur.index()] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// Reverse-postorder number of `b` (useful as a topological key).
+    pub fn rpo_number(&self, b: BlockId) -> usize {
+        self.rpo_number[b.index()]
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_number: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_number[a.index()] > rpo_number[b.index()] {
+            a = idom[a.index()].expect("processed block has idom");
+        }
+        while rpo_number[b.index()] > rpo_number[a.index()] {
+            b = idom[b.index()].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion_ir::{Function, FunctionBuilder, Op};
+
+    fn ids(f: &Function) -> Vec<BlockId> {
+        f.block_ids().collect()
+    }
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d");
+        let (bb0, bb1, bb2, bb3) = (b.block(), b.block(), b.block(), b.block());
+        let c = b.gpr();
+        b.push(bb0, Op::movi(c, 1));
+        b.branch(bb0, c, (bb1, 1.0), (bb2, 1.0));
+        b.jump(bb1, bb3, 1.0);
+        b.jump(bb2, bb3, 1.0);
+        b.ret(bb3, None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = diamond();
+        let dt = DomTree::new(&Cfg::new(&f));
+        let b = ids(&f);
+        assert_eq!(dt.idom(b[0]), None);
+        assert_eq!(dt.idom(b[1]), Some(b[0]));
+        assert_eq!(dt.idom(b[2]), Some(b[0]));
+        assert_eq!(dt.idom(b[3]), Some(b[0])); // merge dominated by fork
+        assert!(dt.dominates(b[0], b[3]));
+        assert!(!dt.dominates(b[1], b[3]));
+        assert!(dt.dominates(b[3], b[3]));
+    }
+
+    #[test]
+    fn chain_dominance_is_transitive() {
+        let mut bld = FunctionBuilder::new("chain");
+        let (bb0, bb1, bb2) = (bld.block(), bld.block(), bld.block());
+        bld.jump(bb0, bb1, 1.0);
+        bld.jump(bb1, bb2, 1.0);
+        bld.ret(bb2, None);
+        let f = bld.finish();
+        let dt = DomTree::new(&Cfg::new(&f));
+        let b = ids(&f);
+        assert!(dt.dominates(b[0], b[2]));
+        assert!(dt.dominates(b[1], b[2]));
+        assert_eq!(dt.idom(b[2]), Some(b[1]));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut bld = FunctionBuilder::new("loop");
+        let (bb0, bb1, bb2, bb3) = (bld.block(), bld.block(), bld.block(), bld.block());
+        let c = bld.gpr();
+        bld.push(bb0, Op::movi(c, 1));
+        bld.jump(bb0, bb1, 10.0);
+        bld.branch(bb1, c, (bb2, 90.0), (bb3, 10.0));
+        bld.jump(bb2, bb1, 90.0);
+        bld.ret(bb3, None);
+        let f = bld.finish();
+        let dt = DomTree::new(&Cfg::new(&f));
+        let b = ids(&f);
+        assert!(dt.dominates(b[1], b[2]));
+        assert!(dt.dominates(b[1], b[3]));
+        assert!(!dt.dominates(b[2], b[1]));
+    }
+
+    #[test]
+    fn unreachable_blocks_dominate_nothing() {
+        let mut bld = FunctionBuilder::new("u");
+        let (bb0, bb1) = (bld.block(), bld.block());
+        bld.ret(bb0, None);
+        bld.ret(bb1, None);
+        let f = bld.finish();
+        let dt = DomTree::new(&Cfg::new(&f));
+        let b = ids(&f);
+        assert!(!dt.dominates(b[1], b[0]));
+        assert!(!dt.dominates(b[1], b[1]));
+    }
+}

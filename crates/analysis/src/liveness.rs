@@ -1,0 +1,184 @@
+//! Per-block register liveness (backward dataflow).
+//!
+//! The scheduler needs live-out sets to decide which values must be
+//! restored (via renaming copies) at region exits, and which speculated
+//! definitions would violate live-outs on other paths — the situations
+//! Section 3 of the paper resolves with compile-time register renaming.
+
+use crate::Cfg;
+use std::collections::HashSet;
+use treegion_ir::{BlockId, Function, Reg, Terminator};
+
+/// Live-in / live-out register sets for every block of a function.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<HashSet<Reg>>,
+    live_out: Vec<HashSet<Reg>>,
+}
+
+impl Liveness {
+    /// Computes liveness to fixpoint.
+    pub fn new(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.num_blocks();
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen_ = vec![HashSet::new(); n];
+        let mut kill = vec![HashSet::new(); n];
+        for (id, block) in f.blocks() {
+            let g = &mut gen_[id.index()];
+            let k = &mut kill[id.index()];
+            for op in &block.ops {
+                for u in &op.uses {
+                    if !k.contains(u) {
+                        g.insert(*u);
+                    }
+                }
+                for d in &op.defs {
+                    k.insert(*d);
+                }
+            }
+            for u in terminator_uses(&block.term) {
+                if !k.contains(&u) {
+                    g.insert(u);
+                }
+            }
+        }
+        let mut live_in = vec![HashSet::new(); n];
+        let mut live_out = vec![HashSet::new(); n];
+        // Iterate in postorder (approximately reverse of flow) to converge
+        // quickly; repeat until no set changes.
+        let order = cfg.postorder().to_vec();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let bi = b.index();
+                let mut out = HashSet::new();
+                for &s in cfg.succs(b) {
+                    for r in &live_in[s.index()] {
+                        out.insert(*r);
+                    }
+                }
+                let mut inn: HashSet<Reg> = gen_[bi].clone();
+                for r in &out {
+                    if !kill[bi].contains(r) {
+                        inn.insert(*r);
+                    }
+                }
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+                if inn != live_in[bi] {
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &HashSet<Reg> {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live on exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &HashSet<Reg> {
+        &self.live_out[b.index()]
+    }
+}
+
+/// Registers read by a terminator.
+pub fn terminator_uses(t: &Terminator) -> Vec<Reg> {
+    match t {
+        Terminator::Jump(_) => vec![],
+        Terminator::Branch { cond, .. } => vec![*cond],
+        Terminator::Switch { on, .. } => vec![*on],
+        Terminator::Ret { value } => value.iter().copied().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion_ir::{Cond, FunctionBuilder, Op, Reg};
+
+    #[test]
+    fn value_used_across_blocks_is_live() {
+        // bb0: x = 1; jump bb1. bb1: ret x.
+        let mut b = FunctionBuilder::new("t");
+        let (bb0, bb1) = (b.block(), b.block());
+        let x = b.gpr();
+        b.push(bb0, Op::movi(x, 1));
+        b.jump(bb0, bb1, 1.0);
+        b.ret(bb1, Some(x));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::new(&f, &cfg);
+        assert!(lv.live_out(bb0).contains(&x));
+        assert!(lv.live_in(bb1).contains(&x));
+        assert!(!lv.live_in(bb0).contains(&x));
+    }
+
+    #[test]
+    fn redefined_value_kills_liveness() {
+        // bb0: x = 1; jump bb1. bb1: x = 2; ret x.
+        let mut b = FunctionBuilder::new("t");
+        let (bb0, bb1) = (b.block(), b.block());
+        let x = b.gpr();
+        b.push(bb0, Op::movi(x, 1));
+        b.jump(bb0, bb1, 1.0);
+        b.push(bb1, Op::movi(x, 2));
+        b.ret(bb1, Some(x));
+        let f = b.finish();
+        let lv = Liveness::new(&f, &Cfg::new(&f));
+        assert!(!lv.live_out(bb0).contains(&x));
+        assert!(!lv.live_in(bb1).contains(&x));
+    }
+
+    #[test]
+    fn branch_condition_is_upward_exposed() {
+        let mut b = FunctionBuilder::new("t");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let c = b.gpr();
+        // c defined nowhere in bb0 — live-in of bb0.
+        b.branch(bb0, c, (bb1, 1.0), (bb2, 1.0));
+        b.ret(bb1, None);
+        b.ret(bb2, None);
+        let f = b.finish();
+        let lv = Liveness::new(&f, &Cfg::new(&f));
+        assert!(lv.live_in(bb0).contains(&c));
+    }
+
+    #[test]
+    fn loop_carried_value_stays_live_around_backedge() {
+        // bb0: i=0 -> bb1; bb1: i=i+1; c=i<10; branch c bb1 / bb2; bb2: ret i
+        let mut b = FunctionBuilder::new("t");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let (i, one, ten, c) = (b.gpr(), b.gpr(), b.gpr(), b.gpr());
+        b.push_all(bb0, [Op::movi(i, 0), Op::movi(one, 1), Op::movi(ten, 10)]);
+        b.jump(bb0, bb1, 1.0);
+        b.push_all(bb1, [Op::add(i, i, one), Op::cmp(Cond::Lt, c, i, ten)]);
+        b.branch(bb1, c, (bb1, 9.0), (bb2, 1.0));
+        b.ret(bb2, Some(i));
+        let f = b.finish();
+        let lv = Liveness::new(&f, &Cfg::new(&f));
+        assert!(lv.live_out(bb1).contains(&i));
+        assert!(lv.live_in(bb1).contains(&i)); // used before (re)defined? add reads i
+        assert!(lv.live_in(bb1).contains(&one));
+    }
+
+    #[test]
+    fn partial_use_before_def_in_same_block() {
+        // bb0: y = x + x; x = 1; ret y  — x is upward exposed.
+        let mut b = FunctionBuilder::new("t");
+        let bb0 = b.block();
+        let (x, y) = (Reg::gpr(0), Reg::gpr(1));
+        b.push_all(bb0, [Op::add(y, x, x), Op::movi(x, 1)]);
+        b.ret(bb0, Some(y));
+        let f = b.finish();
+        let lv = Liveness::new(&f, &Cfg::new(&f));
+        assert!(lv.live_in(bb0).contains(&x));
+        assert!(!lv.live_in(bb0).contains(&y));
+    }
+}

@@ -1,0 +1,188 @@
+//! Back-edge and natural-loop detection.
+//!
+//! Treegions are acyclic by construction, but the *functions* they are
+//! formed over contain loops; formation must treat loop headers as merge
+//! points (they have at least two incoming edges: entry and back edge).
+//! The workload generators also use this analysis to validate that the
+//! CFGs they emit have the intended loop structure.
+
+use crate::{Cfg, DomTree};
+use std::collections::HashSet;
+use treegion_ir::BlockId;
+
+/// A back edge `tail -> header` where `header` dominates `tail`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BackEdge {
+    /// Source of the back edge.
+    pub tail: BlockId,
+    /// The loop header.
+    pub header: BlockId,
+}
+
+/// A natural loop: a header plus its body (header included).
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// The loop header.
+    pub header: BlockId,
+    /// All blocks in the loop, header included.
+    pub body: Vec<BlockId>,
+}
+
+/// Loop structure of a function.
+#[derive(Clone, Debug)]
+pub struct Loops {
+    back_edges: Vec<BackEdge>,
+    loops: Vec<NaturalLoop>,
+}
+
+impl Loops {
+    /// Detects back edges and natural loops.
+    pub fn new(cfg: &Cfg, dom: &DomTree) -> Self {
+        let mut back_edges = Vec::new();
+        for &b in cfg.postorder() {
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    back_edges.push(BackEdge { tail: b, header: s });
+                }
+            }
+        }
+        back_edges.sort_by_key(|e| (e.header.index(), e.tail.index()));
+        // Natural loop per back edge (merged per header).
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for edge in &back_edges {
+            let body = natural_loop_body(cfg, *edge);
+            if let Some(existing) = loops.iter_mut().find(|l| l.header == edge.header) {
+                let have: HashSet<BlockId> = existing.body.iter().copied().collect();
+                for b in body {
+                    if !have.contains(&b) {
+                        existing.body.push(b);
+                    }
+                }
+                existing.body.sort_by_key(|b| b.index());
+            } else {
+                loops.push(NaturalLoop {
+                    header: edge.header,
+                    body,
+                });
+            }
+        }
+        Loops { back_edges, loops }
+    }
+
+    /// The detected back edges, sorted by (header, tail).
+    pub fn back_edges(&self) -> &[BackEdge] {
+        &self.back_edges
+    }
+
+    /// The natural loops, one per distinct header.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// `true` if the CFG is acyclic (no back edges). Irreducible cycles
+    /// would not be caught here, but the workload generators only emit
+    /// reducible CFGs.
+    pub fn is_acyclic(&self) -> bool {
+        self.back_edges.is_empty()
+    }
+}
+
+fn natural_loop_body(cfg: &Cfg, edge: BackEdge) -> Vec<BlockId> {
+    let mut body = vec![edge.header];
+    let mut seen: HashSet<BlockId> = body.iter().copied().collect();
+    let mut stack = vec![edge.tail];
+    while let Some(b) = stack.pop() {
+        if seen.insert(b) {
+            body.push(b);
+            for &p in cfg.preds(b) {
+                stack.push(p);
+            }
+        }
+    }
+    body.sort_by_key(|b| b.index());
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion_ir::{FunctionBuilder, Op};
+
+    #[test]
+    fn straight_line_is_acyclic() {
+        let mut b = FunctionBuilder::new("t");
+        let (bb0, bb1) = (b.block(), b.block());
+        b.jump(bb0, bb1, 1.0);
+        b.ret(bb1, None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let loops = Loops::new(&cfg, &DomTree::new(&cfg));
+        assert!(loops.is_acyclic());
+        assert!(loops.loops().is_empty());
+    }
+
+    #[test]
+    fn simple_loop_found_with_correct_body() {
+        // bb0 -> bb1; bb1 -> {bb2, bb3}; bb2 -> bb1 (back edge); bb3 ret.
+        let mut b = FunctionBuilder::new("t");
+        let (bb0, bb1, bb2, bb3) = (b.block(), b.block(), b.block(), b.block());
+        let c = b.gpr();
+        b.push(bb0, Op::movi(c, 1));
+        b.jump(bb0, bb1, 10.0);
+        b.branch(bb1, c, (bb2, 90.0), (bb3, 10.0));
+        b.jump(bb2, bb1, 90.0);
+        b.ret(bb3, None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let loops = Loops::new(&cfg, &DomTree::new(&cfg));
+        assert_eq!(loops.back_edges().len(), 1);
+        assert_eq!(
+            loops.back_edges()[0],
+            BackEdge {
+                tail: bb2,
+                header: bb1
+            }
+        );
+        assert_eq!(loops.loops().len(), 1);
+        assert_eq!(loops.loops()[0].body, vec![bb1, bb2]);
+    }
+
+    #[test]
+    fn nested_loops_have_two_headers() {
+        // outer: bb1..bb4 ; inner: bb2..bb3
+        let mut b = FunctionBuilder::new("t");
+        let ids: Vec<_> = (0..6).map(|_| b.block()).collect();
+        let c = b.gpr();
+        b.push(ids[0], Op::movi(c, 1));
+        b.jump(ids[0], ids[1], 1.0);
+        b.jump(ids[1], ids[2], 10.0);
+        b.branch(ids[2], c, (ids[3], 90.0), (ids[4], 10.0));
+        b.jump(ids[3], ids[2], 90.0); // inner back edge
+        b.branch(ids[4], c, (ids[1], 9.0), (ids[5], 1.0)); // outer back edge
+        b.ret(ids[5], None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let loops = Loops::new(&cfg, &DomTree::new(&cfg));
+        assert_eq!(loops.back_edges().len(), 2);
+        assert_eq!(loops.loops().len(), 2);
+        let outer = loops.loops().iter().find(|l| l.header == ids[1]).unwrap();
+        assert!(outer.body.contains(&ids[4]));
+        assert!(outer.body.contains(&ids[2]));
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut b = FunctionBuilder::new("t");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let c = b.gpr();
+        b.push(bb0, Op::movi(c, 1));
+        b.jump(bb0, bb1, 1.0);
+        b.branch(bb1, c, (bb1, 5.0), (bb2, 1.0));
+        b.ret(bb2, None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let loops = Loops::new(&cfg, &DomTree::new(&cfg));
+        assert_eq!(loops.back_edges().len(), 1);
+        assert_eq!(loops.loops()[0].body, vec![bb1]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Ablation benches for the design choices DESIGN.md calls out. Each
+//! bench reports the *estimated execution time* of the compress benchmark
+//! under one configuration as its throughput payload, so `cargo bench`
+//! output doubles as an ablation table (compare the printed times).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use treegion::{form_treegions, form_treegions_td, Heuristic, TailDupLimits};
+use treegion_bench::{bench_module, time_formed};
+use treegion_machine::MachineModel;
+
+fn bench_ablations(c: &mut Criterion) {
+    let module = bench_module();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    // --- Dominator parallelism on/off (Section 4). ---
+    for dompar in [false, true] {
+        g.bench_function(
+            format!("dompar_{}", if dompar { "on" } else { "off" }),
+            |b| {
+                let m4 = MachineModel::model_4u();
+                b.iter(|| {
+                    let mut total = 0.0;
+                    for f in module.functions() {
+                        let td = form_treegions_td(f, &TailDupLimits::expansion_2_0());
+                        total += time_formed(
+                            &td.function,
+                            &td.regions,
+                            Some(&td.origin),
+                            &m4,
+                            Heuristic::GlobalWeight,
+                            dompar,
+                        );
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+
+    // --- PlayDoh same-cycle memory dependences vs serialized (+1). ---
+    for same_cycle in [true, false] {
+        let machine = MachineModel::builder("4U*", 4)
+            .mem_dep_same_cycle(same_cycle)
+            .build();
+        g.bench_function(format!("mem_dep_same_cycle_{same_cycle}"), |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for f in module.functions() {
+                    let regions = form_treegions(f);
+                    total +=
+                        time_formed(f, &regions, None, &machine, Heuristic::GlobalWeight, false);
+                }
+                black_box(total)
+            })
+        });
+    }
+
+    // --- Branch limit: "several branches in one cycle (providing the
+    //     architecture allows it)". ---
+    for limit in [None, Some(2), Some(1)] {
+        let machine = MachineModel::builder("4U*", 4).branch_limit(limit).build();
+        g.bench_function(
+            format!(
+                "branch_limit_{}",
+                limit
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "none".into())
+            ),
+            |b| {
+                b.iter(|| {
+                    let mut total = 0.0;
+                    for f in module.functions() {
+                        let regions = form_treegions(f);
+                        total += time_formed(
+                            f,
+                            &regions,
+                            None,
+                            &machine,
+                            Heuristic::GlobalWeight,
+                            false,
+                        );
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+    // --- Memory ports: universal units vs 1/2 memory ports at 4-wide. ---
+    for ports in [None, Some(2), Some(1)] {
+        let machine = MachineModel::builder("4U*", 4).mem_ports(ports).build();
+        g.bench_function(
+            format!(
+                "mem_ports_{}",
+                ports
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "universal".into())
+            ),
+            |b| {
+                b.iter(|| {
+                    let mut total = 0.0;
+                    for f in module.functions() {
+                        let regions = form_treegions(f);
+                        total += time_formed(
+                            f,
+                            &regions,
+                            None,
+                            &machine,
+                            Heuristic::GlobalWeight,
+                            false,
+                        );
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+
+    // --- Tie break: source order vs round-robin ("democratic"). ---
+    for tb in [
+        treegion::TieBreak::SourceOrder,
+        treegion::TieBreak::RoundRobin,
+    ] {
+        g.bench_function(format!("tie_break_{tb:?}"), |b| {
+            let m4 = MachineModel::model_4u();
+            b.iter(|| {
+                let mut total = 0.0;
+                for f in module.functions() {
+                    let regions = form_treegions(f);
+                    total += time_formed_tb(f, &regions, &m4, tb);
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// `time_formed` with an explicit tie break and dependence height (the
+/// heuristic the paper calls "democratic" on wide shallow treegions).
+fn time_formed_tb(
+    f: &treegion_ir::Function,
+    regions: &treegion::RegionSet,
+    machine: &MachineModel,
+    tie_break: treegion::TieBreak,
+) -> f64 {
+    use treegion_analysis::{Cfg, Liveness};
+    let cfg = Cfg::new(f);
+    let live = Liveness::new(f, &cfg);
+    regions
+        .regions()
+        .iter()
+        .map(|r| {
+            let lowered = treegion::lower_region(f, r, &live, None);
+            treegion::schedule_region(
+                &lowered,
+                machine,
+                &treegion::ScheduleOptions {
+                    heuristic: Heuristic::DependenceHeight,
+                    dominator_parallelism: false,
+                    tie_break,
+                },
+            )
+            .estimated_time(&lowered)
+        })
+        .sum()
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

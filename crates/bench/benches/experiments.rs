@@ -1,0 +1,51 @@
+//! One bench per paper table/figure: each measures the pipeline that
+//! regenerates that artifact (the printable versions live in the
+//! `treegion-eval` binaries — `cargo run -p treegion-eval --bin table1`
+//! etc.). Run on a reduced suite so a full `cargo bench` stays snappy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use treegion_eval::{fig13, fig6, fig8, region_stats, table3, table4, RegionConfig, Suite};
+use treegion_machine::MachineModel;
+
+fn bench_experiments(c: &mut Criterion) {
+    // compress only: the smallest benchmark exercises every code path.
+    let suite = Suite::load_small(1);
+    let m4 = MachineModel::model_4u();
+
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table1_treegion_stats", |b| {
+        b.iter(|| {
+            for m in &suite.modules {
+                black_box(region_stats(m, &RegionConfig::Treegion));
+            }
+        })
+    });
+    g.bench_function("table2_slr_stats", |b| {
+        b.iter(|| {
+            for m in &suite.modules {
+                black_box(region_stats(m, &RegionConfig::Slr));
+            }
+        })
+    });
+    g.bench_function("table3_code_expansion", |b| {
+        b.iter(|| black_box(table3(&suite)))
+    });
+    g.bench_function("table4_region_stats_td", |b| {
+        b.iter(|| black_box(table4(&suite)))
+    });
+    g.bench_function("fig6_dep_height_speedups", |b| {
+        b.iter(|| black_box(fig6(&suite, &m4)))
+    });
+    g.bench_function("fig8_four_heuristics", |b| {
+        b.iter(|| black_box(fig8(&suite, &m4)))
+    });
+    g.bench_function("fig13_tail_dup_vs_superblock", |b| {
+        b.iter(|| black_box(fig13(&suite, &m4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

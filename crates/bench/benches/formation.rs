@@ -1,0 +1,64 @@
+//! Region-formation throughput: the paper's Figure 2 (`treeform`),
+//! Figure 11 (`treeform-td`), SLR formation, and superblock formation over
+//! the compress-like benchmark.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use treegion::{
+    form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
+    TailDupLimits,
+};
+use treegion_bench::bench_module;
+
+fn bench_formation(c: &mut Criterion) {
+    let module = bench_module();
+    let mut g = c.benchmark_group("formation");
+    g.bench_function("basic_blocks", |b| {
+        b.iter(|| {
+            for f in module.functions() {
+                black_box(form_basic_blocks(black_box(f)));
+            }
+        })
+    });
+    g.bench_function("treegions", |b| {
+        b.iter(|| {
+            for f in module.functions() {
+                black_box(form_treegions(black_box(f)));
+            }
+        })
+    });
+    g.bench_function("slrs", |b| {
+        b.iter(|| {
+            for f in module.functions() {
+                black_box(form_slrs(black_box(f)));
+            }
+        })
+    });
+    g.bench_function("superblocks", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |m| {
+                for f in m.functions() {
+                    black_box(form_superblocks(black_box(f)));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    for limits in [
+        TailDupLimits::expansion_2_0(),
+        TailDupLimits::expansion_3_0(),
+    ] {
+        g.bench_function(format!("treegions_td_{:.1}", limits.code_expansion), |b| {
+            b.iter(|| {
+                for f in module.functions() {
+                    black_box(form_treegions_td(black_box(f), &limits));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_formation);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Scheduling throughput: lowering, DDG construction, and list scheduling
+//! under each of the paper's four heuristics, on the 4U and 8U machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use treegion::{form_treegions, lower_region, schedule_with_ddg, Ddg, Heuristic, ScheduleOptions};
+use treegion_analysis::{Cfg, Liveness};
+use treegion_bench::bench_module;
+use treegion_machine::MachineModel;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let module = bench_module();
+    let f = module
+        .functions()
+        .iter()
+        .max_by_key(|f| f.num_blocks())
+        .unwrap();
+    let regions = form_treegions(f);
+    let cfg = Cfg::new(f);
+    let live = Liveness::new(f, &cfg);
+    let m4 = MachineModel::model_4u();
+
+    let mut g = c.benchmark_group("scheduling");
+    g.bench_function("lowering", |b| {
+        b.iter(|| {
+            for r in regions.regions() {
+                black_box(lower_region(black_box(f), r, &live, None));
+            }
+        })
+    });
+
+    let lowered: Vec<_> = regions
+        .regions()
+        .iter()
+        .map(|r| lower_region(f, r, &live, None))
+        .collect();
+    g.bench_function("ddg_build", |b| {
+        b.iter(|| {
+            for lr in &lowered {
+                black_box(Ddg::build(black_box(lr), &m4));
+            }
+        })
+    });
+
+    let ddgs: Vec<_> = lowered.iter().map(|lr| Ddg::build(lr, &m4)).collect();
+    for h in Heuristic::ALL {
+        g.bench_function(format!("list_schedule_{h}"), |b| {
+            b.iter(|| {
+                for (lr, ddg) in lowered.iter().zip(&ddgs) {
+                    black_box(schedule_with_ddg(
+                        lr,
+                        ddg,
+                        &m4,
+                        &ScheduleOptions {
+                            heuristic: h,
+                            dominator_parallelism: false,
+                            ..Default::default()
+                        },
+                    ));
+                }
+            })
+        });
+    }
+    for machine in [MachineModel::model_1u(), MachineModel::model_8u()] {
+        g.bench_function(format!("list_schedule_gw_{}", machine.name()), |b| {
+            let ddgs: Vec<_> = lowered.iter().map(|lr| Ddg::build(lr, &machine)).collect();
+            b.iter(|| {
+                for (lr, ddg) in lowered.iter().zip(&ddgs) {
+                    black_box(schedule_with_ddg(
+                        lr,
+                        ddg,
+                        &machine,
+                        &ScheduleOptions {
+                            heuristic: Heuristic::GlobalWeight,
+                            dominator_parallelism: false,
+                            ..Default::default()
+                        },
+                    ));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! # treegion-bench
+//!
+//! Criterion benchmarks for the treegion reproduction. The benches live in
+//! `benches/`:
+//!
+//! * `formation` — region formation throughput (treegion, SLR, superblock,
+//!   tail-duplicated treegion) over a generated benchmark.
+//! * `scheduling` — lowering + DDG + list scheduling per heuristic and
+//!   machine model.
+//! * `experiments` — the per-table/figure experiment pipelines (the same
+//!   computations the `treegion-eval` binaries print).
+//! * `ablations` — the design-choice ablations called out in DESIGN.md:
+//!   dominator parallelism on/off, PlayDoh same-cycle memory dependences,
+//!   and per-cycle branch limits.
+//!
+//! This library crate exports small helpers shared by those benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use treegion::{lower_region, schedule_region, Heuristic, RegionSet, ScheduleOptions};
+use treegion_analysis::{Cfg, Liveness};
+use treegion_ir::{Function, Module};
+use treegion_machine::MachineModel;
+
+/// Total estimated time of a formed function under one configuration —
+/// the core computation every experiment repeats.
+pub fn time_formed(
+    f: &Function,
+    regions: &RegionSet,
+    origin: Option<&[treegion_ir::BlockId]>,
+    machine: &MachineModel,
+    heuristic: Heuristic,
+    dompar: bool,
+) -> f64 {
+    let cfg = Cfg::new(f);
+    let live = Liveness::new(f, &cfg);
+    regions
+        .regions()
+        .iter()
+        .map(|r| {
+            let lowered = lower_region(f, r, &live, origin);
+            schedule_region(
+                &lowered,
+                machine,
+                &ScheduleOptions {
+                    heuristic,
+                    dominator_parallelism: dompar,
+                    ..Default::default()
+                },
+            )
+            .estimated_time(&lowered)
+        })
+        .sum()
+}
+
+/// A small deterministic module for benchmarking (compress-like).
+pub fn bench_module() -> Module {
+    treegion_workloads::generate(&treegion_workloads::spec_suite()[0])
+}

@@ -1,0 +1,220 @@
+//! Hand-rolled argument parsing for `tgc` (keeping the workspace free of
+//! heavyweight CLI dependencies).
+
+use std::fmt;
+use treegion::{Heuristic, TailDupLimits};
+use treegion_machine::MachineModel;
+
+/// Which region formation the user asked for.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KindArg {
+    /// `--kind bb`
+    BasicBlock,
+    /// `--kind slr`
+    Slr,
+    /// `--kind sb`
+    Superblock,
+    /// `--kind tree`
+    Treegion,
+    /// `--kind tree-td[:LIMIT]`
+    TreegionTd(TailDupLimits),
+}
+
+impl KindArg {
+    /// Parses a `--kind` value.
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        match s {
+            "bb" => Ok(KindArg::BasicBlock),
+            "slr" => Ok(KindArg::Slr),
+            "sb" => Ok(KindArg::Superblock),
+            "tree" => Ok(KindArg::Treegion),
+            other => {
+                if let Some(rest) = other.strip_prefix("tree-td") {
+                    let mut limits = TailDupLimits::expansion_2_0();
+                    if let Some(v) = rest.strip_prefix(':') {
+                        limits.code_expansion = v
+                            .parse()
+                            .map_err(|_| ArgError(format!("bad expansion limit `{v}`")))?;
+                    }
+                    Ok(KindArg::TreegionTd(limits))
+                } else {
+                    Err(ArgError(format!(
+                        "unknown region kind `{other}` (bb|slr|sb|tree|tree-td[:LIMIT])"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Parses a `--machine` value: `1u`, `4u`, `8u`, or a bare issue width.
+pub fn parse_machine(s: &str) -> Result<MachineModel, ArgError> {
+    match s.to_ascii_lowercase().as_str() {
+        "1u" => Ok(MachineModel::model_1u()),
+        "4u" => Ok(MachineModel::model_4u()),
+        "8u" => Ok(MachineModel::model_8u()),
+        other => {
+            let width: usize = other
+                .parse()
+                .map_err(|_| ArgError(format!("unknown machine `{s}` (1u|4u|8u|WIDTH)")))?;
+            if width == 0 {
+                return Err(ArgError("issue width must be positive".into()));
+            }
+            Ok(MachineModel::builder(format!("{width}U"), width).build())
+        }
+    }
+}
+
+/// Parses a `--heuristic` value.
+pub fn parse_heuristic(s: &str) -> Result<Heuristic, ArgError> {
+    Heuristic::ALL
+        .into_iter()
+        .find(|h| h.name() == s)
+        .ok_or_else(|| {
+            ArgError(format!(
+                "unknown heuristic `{s}` (dep-height|exit-count|global-weight|weighted-count)"
+            ))
+        })
+}
+
+/// A parsed `tgc` invocation.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Subcommand name.
+    pub command: String,
+    /// Positional argument (input file or benchmark/shape name).
+    pub input: Option<String>,
+    /// `--kind`, default treegion.
+    pub kind: KindArg,
+    /// `--machine`, default 4U.
+    pub machine: MachineModel,
+    /// `--heuristic`, default global weight.
+    pub heuristic: Heuristic,
+    /// `--dompar`.
+    pub dompar: bool,
+    /// `--fuel N` for `run`.
+    pub fuel: u64,
+}
+
+/// An argument error with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses the argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
+    let mut it = args.iter().peekable();
+    let command = it
+        .next()
+        .ok_or_else(|| ArgError("missing command (print|regions|schedule|run|gen|shape)".into()))?
+        .clone();
+    let mut opts = Options {
+        command,
+        input: None,
+        kind: KindArg::Treegion,
+        machine: MachineModel::model_4u(),
+        heuristic: Heuristic::GlobalWeight,
+        dompar: false,
+        fuel: 1_000_000,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--kind" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--kind needs a value".into()))?;
+                opts.kind = KindArg::parse(v)?;
+            }
+            "--machine" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--machine needs a value".into()))?;
+                opts.machine = parse_machine(v)?;
+            }
+            "--heuristic" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--heuristic needs a value".into()))?;
+                opts.heuristic = parse_heuristic(v)?;
+            }
+            "--dompar" => opts.dompar = true,
+            "--fuel" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--fuel needs a value".into()))?;
+                opts.fuel = v.parse().map_err(|_| ArgError(format!("bad fuel `{v}`")))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(ArgError(format!("unknown flag `{other}`")));
+            }
+            positional => {
+                if opts.input.is_some() {
+                    return Err(ArgError(format!("unexpected argument `{positional}`")));
+                }
+                opts.input = Some(positional.to_string());
+            }
+        }
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let o = parse_args(&v(&[
+            "schedule",
+            "foo.tir",
+            "--kind",
+            "tree-td:3.0",
+            "--machine",
+            "8u",
+            "--heuristic",
+            "dep-height",
+            "--dompar",
+        ]))
+        .unwrap();
+        assert_eq!(o.command, "schedule");
+        assert_eq!(o.input.as_deref(), Some("foo.tir"));
+        assert!(matches!(o.kind, KindArg::TreegionTd(l) if l.code_expansion == 3.0));
+        assert_eq!(o.machine.issue_width(), 8);
+        assert_eq!(o.heuristic, Heuristic::DependenceHeight);
+        assert!(o.dompar);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = parse_args(&v(&["print", "x.tir"])).unwrap();
+        assert_eq!(o.kind, KindArg::Treegion);
+        assert_eq!(o.machine.issue_width(), 4);
+        assert_eq!(o.heuristic, Heuristic::GlobalWeight);
+        assert!(!o.dompar);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_kinds() {
+        assert!(parse_args(&v(&["print", "--bogus"])).is_err());
+        assert!(parse_args(&v(&["print", "--kind", "hyperblock"])).is_err());
+        assert!(parse_args(&v(&["print", "--machine", "0"])).is_err());
+        assert!(parse_args(&v(&[])).is_err());
+    }
+
+    #[test]
+    fn custom_width_machines_parse() {
+        assert_eq!(parse_machine("16").unwrap().issue_width(), 16);
+        assert_eq!(parse_machine("1u").unwrap().issue_width(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! `tgc` — the treegion compiler driver.
+//!
+//! ```text
+//! tgc print    FILE.tir                       parse, verify, pretty-print
+//! tgc regions  FILE.tir [--kind K]            show the region partition
+//! tgc schedule FILE.tir [--kind K] [--machine M] [--heuristic H] [--dompar]
+//! tgc run      FILE.tir [--kind K] [--machine M] [--heuristic H] [--fuel N]
+//! tgc gen      BENCH                          emit a synthetic benchmark
+//! tgc shape    NAME                           emit a paper figure shape
+//! ```
+//!
+//! Kinds: `bb`, `slr`, `sb`, `tree` (default), `tree-td[:LIMIT]`.
+//! Machines: `1u`, `4u` (default), `8u`, or a bare issue width.
+//! Heuristics: `dep-height`, `exit-count`, `global-weight` (default),
+//! `weighted-count`. Benchmarks: the SPECint95 suite names. Shapes:
+//! `fig1`, `biased`, `wide`, `linearized`.
+
+mod args;
+
+use args::{parse_args, KindArg, Options};
+use std::process::ExitCode;
+use treegion::{
+    form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
+    lower_region, render_schedule, schedule_region, RegionSet, ScheduleOptions,
+};
+use treegion_analysis::{Cfg, Liveness};
+use treegion_ir::{
+    parse_module, print_function, print_module, verify_function, BlockId, Function, Module,
+};
+use treegion_sim::{interpret, State, VliwProgram};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help" {
+        eprint!("{}", USAGE);
+        return ExitCode::SUCCESS;
+    }
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tgc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+tgc — treegion compiler driver
+
+USAGE:
+  tgc print    FILE.tir
+  tgc regions  FILE.tir [--kind bb|slr|sb|tree|tree-td[:LIMIT]]
+  tgc schedule FILE.tir [--kind K] [--machine 1u|4u|8u|WIDTH]
+               [--heuristic dep-height|exit-count|global-weight|weighted-count]
+               [--dompar]
+  tgc run      FILE.tir [--kind K] [--machine M] [--heuristic H] [--fuel N]
+  tgc gen      compress|gcc|go|ijpeg|li|m88ksim|perl|vortex
+  tgc shape    fig1|biased|wide|linearized
+";
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let opts = parse_args(argv).map_err(|e| e.to_string())?;
+    match opts.command.as_str() {
+        "print" => cmd_print(&opts),
+        "regions" => cmd_regions(&opts),
+        "schedule" => cmd_schedule(&opts),
+        "run" => cmd_run(&opts),
+        "gen" => cmd_gen(&opts),
+        "shape" => cmd_shape(&opts),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn load_module(opts: &Options) -> Result<Module, String> {
+    let path = opts
+        .input
+        .as_deref()
+        .ok_or_else(|| "missing input file".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let module = parse_module(&text).map_err(|e| format!("{path}: {e}"))?;
+    for f in module.functions() {
+        verify_function(f).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(module)
+}
+
+/// Applies the requested formation; returns the (possibly transformed)
+/// function, its regions, and the origin map.
+fn form(f: &Function, kind: &KindArg) -> (Function, RegionSet, Vec<BlockId>) {
+    let identity: Vec<BlockId> = f.block_ids().collect();
+    match kind {
+        KindArg::BasicBlock => (f.clone(), form_basic_blocks(f), identity),
+        KindArg::Slr => (f.clone(), form_slrs(f), identity),
+        KindArg::Treegion => (f.clone(), form_treegions(f), identity),
+        KindArg::Superblock => {
+            let r = form_superblocks(f);
+            (r.function, r.regions, r.origin)
+        }
+        KindArg::TreegionTd(limits) => {
+            let r = form_treegions_td(f, limits);
+            (r.function, r.regions, r.origin)
+        }
+    }
+}
+
+fn cmd_print(opts: &Options) -> Result<(), String> {
+    let module = load_module(opts)?;
+    print!("{}", print_module(&module));
+    Ok(())
+}
+
+fn cmd_regions(opts: &Options) -> Result<(), String> {
+    let module = load_module(opts)?;
+    for f in module.functions() {
+        let (func, regions, origin) = form(f, &opts.kind);
+        println!("func @{} — {} regions:", func.name(), regions.len());
+        for (k, r) in regions.regions().iter().enumerate() {
+            let labels: Vec<String> = r
+                .blocks()
+                .iter()
+                .map(|b| {
+                    if origin[b.index()] == *b {
+                        b.to_string()
+                    } else {
+                        format!("{b}*")
+                    }
+                })
+                .collect();
+            println!(
+                "  #{k} @ {}: [{}] — {} paths, weight {}",
+                r.root(),
+                labels.join(" "),
+                r.path_count(),
+                r.weight(&func)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_schedule(opts: &Options) -> Result<(), String> {
+    let module = load_module(opts)?;
+    let sched_opts = ScheduleOptions {
+        heuristic: opts.heuristic,
+        dominator_parallelism: opts.dompar,
+        ..Default::default()
+    };
+    let mut total = 0.0;
+    for f in module.functions() {
+        let (func, regions, origin) = form(f, &opts.kind);
+        let cfg = Cfg::new(&func);
+        let live = Liveness::new(&func, &cfg);
+        println!("func @{}:", func.name());
+        for r in regions.regions() {
+            let lowered = lower_region(&func, r, &live, Some(&origin));
+            let s = schedule_region(&lowered, &opts.machine, &sched_opts);
+            let t = s.estimated_time(&lowered);
+            total += t;
+            println!(
+                "-- region @ {} ({} blocks, {} ops, est. time {t}):",
+                r.root(),
+                r.num_blocks(),
+                lowered.num_ops()
+            );
+            println!("{}", render_schedule(&lowered, &s, &opts.machine));
+        }
+    }
+    println!("total estimated time: {total}");
+    Ok(())
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let module = load_module(opts)?;
+    let sched_opts = ScheduleOptions {
+        heuristic: opts.heuristic,
+        dominator_parallelism: opts.dompar,
+        ..Default::default()
+    };
+    for f in module.functions() {
+        let reference =
+            interpret(f, State::new(), opts.fuel).map_err(|e| format!("{}: {e}", f.name()))?;
+        let (func, regions, origin) = form(f, &opts.kind);
+        let prog = VliwProgram::compile(&func, &regions, &opts.machine, &sched_opts, Some(&origin));
+        let got = prog
+            .execute(State::new(), opts.fuel)
+            .map_err(|e| format!("{}: {e}", func.name()))?;
+        let check = if got.ret == reference.ret && got.state.mem == reference.state.mem {
+            "OK"
+        } else {
+            return Err(format!(
+                "{}: schedule diverged from sequential semantics",
+                func.name()
+            ));
+        };
+        println!(
+            "func @{}: ret {:?}, {} cycles on {}, {} region crossings, est. {} [{check}]",
+            func.name(),
+            got.ret,
+            got.cycles,
+            opts.machine,
+            got.region_trace.len(),
+            prog.estimated_time(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gen(opts: &Options) -> Result<(), String> {
+    let name = opts
+        .input
+        .as_deref()
+        .ok_or_else(|| "gen needs a benchmark name".to_string())?;
+    let spec = treegion_workloads::spec_suite()
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let module = treegion_workloads::generate(&spec);
+    print!("{}", print_module(&module));
+    Ok(())
+}
+
+fn cmd_shape(opts: &Options) -> Result<(), String> {
+    use treegion_workloads::shapes;
+    let name = opts
+        .input
+        .as_deref()
+        .ok_or_else(|| "shape needs a name".to_string())?;
+    let f = match name {
+        "fig1" => shapes::figure1().0,
+        "biased" => shapes::biased_treegion().0,
+        "wide" => shapes::wide_shallow(8).0,
+        "linearized" => shapes::linearized(6).0,
+        other => return Err(format!("unknown shape `{other}`")),
+    };
+    print!("{}", print_function(&f));
+    Ok(())
+}

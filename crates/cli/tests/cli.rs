@@ -1,0 +1,92 @@
+//! End-to-end tests of the `tgc` binary: emit a shape, round-trip it
+//! through every subcommand, and check failure modes exit non-zero.
+
+use std::process::Command;
+
+fn tgc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tgc"))
+        .args(args)
+        .output()
+        .expect("tgc runs")
+}
+
+fn tempfile(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("tgc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn shape_then_full_pipeline() {
+    let out = tgc(&["shape", "fig1"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("func @fig1"));
+    let path = tempfile("fig1.tir", &text);
+    let p = path.to_str().unwrap();
+
+    let out = tgc(&["print", p]);
+    assert!(out.status.success());
+
+    let out = tgc(&["regions", p, "--kind", "tree"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("3 regions"), "{text}");
+
+    let out = tgc(&["schedule", p, "--machine", "8u", "--heuristic", "dep-height"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("total estimated time"), "{text}");
+
+    let out = tgc(&["run", p, "--kind", "tree-td:3.0", "--dompar"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("[OK]"), "{text}");
+}
+
+#[test]
+fn run_validates_all_region_kinds() {
+    let out = tgc(&["shape", "linearized"]);
+    let path = tempfile("lin.tir", &String::from_utf8(out.stdout).unwrap());
+    let p = path.to_str().unwrap();
+    for kind in ["bb", "slr", "sb", "tree", "tree-td"] {
+        let out = tgc(&["run", p, "--kind", kind]);
+        assert!(out.status.success(), "kind {kind} failed");
+    }
+}
+
+#[test]
+fn gen_emits_parseable_benchmarks() {
+    let out = tgc(&["gen", "compress"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let path = tempfile("compress.tir", &text);
+    let out = tgc(&["regions", path.to_str().unwrap()]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn errors_exit_nonzero_with_messages() {
+    let out = tgc(&["bogus-command"]);
+    assert!(!out.status.success());
+
+    let out = tgc(&["print", "/nonexistent/file.tir"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("cannot read"));
+
+    let out = tgc(&["gen", "nacht"]);
+    assert!(!out.status.success());
+
+    let bad = tempfile("bad.tir", "func @f {\n  bb0 (weight 1):\n    r0 = bogus\n    ret\n}\n");
+    let out = tgc(&["print", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = tgc(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("USAGE"));
+}

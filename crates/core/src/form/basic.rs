@@ -1,0 +1,39 @@
+//! Basic-block regions: the trivial partition used as the paper's
+//! scheduling baseline (speedups are reported over basic-block scheduling
+//! on the single-issue machine).
+
+use crate::{Region, RegionKind, RegionSet};
+use treegion_ir::Function;
+
+/// Forms one region per basic block.
+pub fn form_basic_blocks(f: &Function) -> RegionSet {
+    let mut set = RegionSet::new(RegionKind::BasicBlock);
+    for b in f.block_ids() {
+        set.add(Region::new(RegionKind::BasicBlock, b));
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion_ir::{FunctionBuilder, Op};
+
+    #[test]
+    fn every_block_is_its_own_region() {
+        let mut b = FunctionBuilder::new("t");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let c = b.gpr();
+        b.push(bb0, Op::movi(c, 1));
+        b.branch(bb0, c, (bb1, 1.0), (bb2, 1.0));
+        b.ret(bb1, None);
+        b.ret(bb2, None);
+        let f = b.finish();
+        let set = form_basic_blocks(&f);
+        assert_eq!(set.len(), 3);
+        assert!(set.is_partition_of(&f));
+        for r in set.regions() {
+            assert_eq!(r.num_blocks(), 1);
+        }
+    }
+}

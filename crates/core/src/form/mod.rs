@@ -1,0 +1,19 @@
+//! Region formation algorithms.
+//!
+//! * [`form_basic_blocks`] — one region per block (scheduling baseline).
+//! * [`form_treegions`] — the paper's Figure 2 algorithm.
+//! * [`form_slrs`] — simple linear regions (Section 3).
+//! * [`form_superblocks`] — profile-driven traces + tail duplication.
+//! * [`form_treegions_td`] — treegions with tail duplication (Figure 11).
+
+mod basic;
+mod slr;
+mod superblock;
+mod tail_dup;
+mod treegion;
+
+pub use basic::form_basic_blocks;
+pub use slr::form_slrs;
+pub use superblock::{form_superblocks, SuperblockResult};
+pub use tail_dup::{form_treegions_td, TailDupLimits, TailDupResult};
+pub use treegion::form_treegions;

@@ -1,0 +1,142 @@
+//! Simple linear region (SLR) formation.
+//!
+//! Per Section 3 of the paper, SLRs are "formed in the same manner as
+//! superblocks, but tail duplication is not permitted. In fact, their
+//! formation is implemented as a special case of treegion formation,
+//! where for a given node placed into an SLR, the successor node with the
+//! highest profile weight is selected next for possible inclusion rather
+//! than all successors." The result is a single-entry multiple-exit region
+//! formed without tail duplication.
+
+use crate::{Region, RegionKind, RegionSet};
+use std::collections::VecDeque;
+use treegion_analysis::Cfg;
+use treegion_ir::{BlockId, Function};
+
+/// Forms simple linear regions over `f`.
+///
+/// Exactly the treegion formation of Figure 2, except that from each
+/// absorbed node only the highest-profile-weight successor edge is
+/// considered for inclusion; all other successors become saplings.
+/// Merge points still delimit regions, which keeps every SLR single-entry.
+pub fn form_slrs(f: &Function) -> RegionSet {
+    let cfg = Cfg::new(f);
+    let mut set = RegionSet::new(RegionKind::Slr);
+    let mut unprocessed: VecDeque<BlockId> = VecDeque::new();
+    unprocessed.push_back(f.entry());
+
+    while let Some(node) = unprocessed.pop_front() {
+        if set.region_of(node).is_some() {
+            continue;
+        }
+        let mut region = Region::new(RegionKind::Slr, node);
+        let mut cur = node;
+        loop {
+            // Highest-weight successor edge; ties broken by successor order.
+            let edges = f.block(cur).term.edges();
+            let Some((succ_index, best)) = edges
+                .iter()
+                .enumerate()
+                .max_by(|(ia, a), (ib, b)| {
+                    a.count
+                        .partial_cmp(&b.count)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(ib.cmp(ia)) // earlier successor wins ties
+                })
+                .map(|(i, e)| (i, *e))
+            else {
+                break; // ret
+            };
+            let cand = best.target;
+            if region.contains(cand) || set.region_of(cand).is_some() || cfg.is_merge_point(cand) {
+                break;
+            }
+            region.absorb(cand, cur, succ_index);
+            cur = cand;
+        }
+        // Saplings: every exit-edge target not yet regioned.
+        for exit in region.exit_edges(f) {
+            if exit.succ_index == usize::MAX {
+                continue;
+            }
+            let target = f.block(exit.from).term.edges()[exit.succ_index].target;
+            if set.region_of(target).is_none() && !region.contains(target) {
+                unprocessed.push_back(target);
+            }
+        }
+        set.add(region);
+    }
+
+    for b in f.block_ids() {
+        if set.region_of(b).is_none() {
+            unprocessed.push_back(b);
+            while let Some(node) = unprocessed.pop_front() {
+                if set.region_of(node).is_none() {
+                    set.add(Region::new(RegionKind::Slr, node));
+                }
+            }
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::figure1_cfg;
+    use treegion_ir::{FunctionBuilder, Op};
+
+    #[test]
+    fn slrs_follow_the_heaviest_path() {
+        let (f, ids) = figure1_cfg();
+        let set = form_slrs(&f);
+        assert!(set.is_partition_of(&f));
+        // From bb1 (ids[0]): heaviest successor bb2 (60 vs 40); from bb2:
+        // bb3 (35 vs 25). bb5 is a merge point, so the SLR is bb1-bb2-bb3.
+        let top = set.region(set.region_of(ids[0]).unwrap());
+        assert_eq!(top.blocks(), &[ids[0], ids[1], ids[2]]);
+        assert!(top.is_linear());
+        // bb4 and bb8 become their own regions (single-block SLRs).
+        assert_eq!(set.region(set.region_of(ids[3]).unwrap()).num_blocks(), 1);
+        assert_eq!(set.region(set.region_of(ids[7]).unwrap()).num_blocks(), 1);
+    }
+
+    #[test]
+    fn all_slrs_are_linear_and_trees() {
+        let (f, _) = figure1_cfg();
+        let set = form_slrs(&f);
+        for r in set.regions() {
+            assert!(r.is_linear());
+            assert!(r.is_tree());
+            assert_eq!(r.path_count(), 1);
+        }
+    }
+
+    #[test]
+    fn slr_stops_at_merge_points() {
+        let (f, ids) = figure1_cfg();
+        let set = form_slrs(&f);
+        // bb5 (merge) roots its own SLR; it extends to bb6 (tie broken to
+        // first successor).
+        let r5 = set.region(set.region_of(ids[4]).unwrap());
+        assert_eq!(r5.root(), ids[4]);
+        assert_eq!(r5.blocks(), &[ids[4], ids[5]]);
+    }
+
+    #[test]
+    fn slr_never_absorbs_around_a_loop() {
+        let mut b = FunctionBuilder::new("loop");
+        let ids: Vec<_> = (0..3).map(|_| b.block()).collect();
+        let c = b.gpr();
+        b.push(ids[0], Op::movi(c, 1));
+        b.jump(ids[0], ids[1], 1.0);
+        b.branch(ids[1], c, (ids[1], 99.0), (ids[2], 1.0));
+        b.ret(ids[2], None);
+        let f = b.finish();
+        let set = form_slrs(&f);
+        assert!(set.is_partition_of(&f));
+        // bb1's heaviest successor is itself, but it's a merge point.
+        let r1 = set.region(set.region_of(ids[1]).unwrap());
+        assert_eq!(r1.num_blocks(), 1);
+    }
+}

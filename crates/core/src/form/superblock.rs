@@ -1,0 +1,510 @@
+//! Superblock formation: profile-driven trace selection followed by tail
+//! duplication, after Hwu et al. ("The Superblock", 1993).
+//!
+//! The paper compares treegions against superblocks formed inside the same
+//! LEGO compiler, noting that "every attempt was made to produce
+//! superblocks ... as described in the literature". This module does the
+//! same:
+//!
+//! 1. **Trace selection** — seeds in descending profile weight, grown
+//!    forward and backward using the classic *mutual-best* rule: extend
+//!    across an edge only if it is both the source's most likely out-edge
+//!    and the target's most heavily weighted in-edge.
+//! 2. **Tail duplication** — any trace block (other than the head) with a
+//!    side entrance has its tail duplicated; side edges are retargeted to
+//!    the duplicate chain, which becomes a superblock of its own. Profile
+//!    weight is split so flow conservation is preserved exactly.
+//!
+//! A per-function code-expansion budget bounds duplication (the paper
+//! measures superblock expansion ≈1.2×); if the budget runs out, the trace
+//! is *split* at the side-entered block instead, which preserves the
+//! single-entry invariant without further growth.
+
+use crate::{Region, RegionKind, RegionSet};
+use std::collections::HashMap;
+use treegion_ir::{Block, BlockId, Function};
+
+/// Result of superblock formation: the (possibly tail-duplicated)
+/// function, the superblock partition, and the per-block origin map.
+#[derive(Clone, Debug)]
+pub struct SuperblockResult {
+    /// The transformed function (duplicates appended; ids of original
+    /// blocks unchanged).
+    pub function: Function,
+    /// The superblock partition of `function`.
+    pub regions: RegionSet,
+    /// `origin[b]` is the original block that block `b` is a copy of
+    /// (identity for original blocks).
+    pub origin: Vec<BlockId>,
+}
+
+/// Default per-function code expansion budget for superblock tail
+/// duplication, as a multiple of the original op count.
+pub const SB_EXPANSION_BUDGET: f64 = 1.35;
+
+/// Forms superblocks over a copy of `f` (the input is not modified).
+pub fn form_superblocks(f: &Function) -> SuperblockResult {
+    form_superblocks_with_budget(f, SB_EXPANSION_BUDGET)
+}
+
+/// [`form_superblocks`] with an explicit expansion budget (total ops after
+/// duplication may not exceed `budget` × original ops).
+pub fn form_superblocks_with_budget(f: &Function, budget: f64) -> SuperblockResult {
+    let mut func = f.clone();
+    let original_ops = func.num_ops().max(1);
+    let mut origin: Vec<BlockId> = func.block_ids().collect();
+
+    // Loop headers may only start traces (classic trace-selection rule).
+    // This also guarantees that a trace never contains an internal block
+    // targeted by a back edge, which would break the weight-splitting
+    // arithmetic in `duplicate_tail`.
+    let loop_headers = find_loop_headers(&func);
+
+    // ---- Trace selection ----
+    let mut traces = select_traces(&func, &loop_headers);
+
+    // ---- Tail duplication to fixpoint (budget-bounded) ----
+    let mut in_trace: HashMap<BlockId, (usize, usize)> = HashMap::new(); // block -> (trace, pos)
+    for (ti, t) in traces.iter().enumerate() {
+        for (pi, &b) in t.iter().enumerate() {
+            in_trace.insert(b, (ti, pi));
+        }
+    }
+
+    while let Some((ti, pi)) = find_violation(&func, &traces, &in_trace) {
+        let cur_ops = func.num_ops();
+        let tail_ops: usize = traces[ti][pi..]
+            .iter()
+            .map(|&b| func.block(b).ops.len())
+            .sum();
+        if (cur_ops + tail_ops) as f64 > budget * original_ops as f64 {
+            // Budget exhausted: split the trace before position `pi`.
+            let tail: Vec<BlockId> = traces[ti].split_off(pi);
+            for (npos, &b) in tail.iter().enumerate() {
+                in_trace.insert(b, (traces.len(), npos));
+            }
+            traces.push(tail);
+            continue;
+        }
+        duplicate_tail(&mut func, &mut traces, &mut in_trace, &mut origin, ti, pi);
+    }
+
+    // ---- Build the region set ----
+    let mut set = RegionSet::new(RegionKind::Superblock);
+    for t in &traces {
+        let mut r = Region::new(RegionKind::Superblock, t[0]);
+        for w in 1..t.len() {
+            let (parent, child) = (t[w - 1], t[w]);
+            let si = trace_succ_index(&func, parent, child).expect("trace edge must exist");
+            r.absorb(child, parent, si);
+        }
+        set.add(r);
+    }
+    debug_assert!(set.is_partition_of(&func));
+    SuperblockResult {
+        function: func,
+        regions: set,
+        origin,
+    }
+}
+
+/// Blocks that are the target of a back edge (`header` of some natural
+/// loop), as a dense boolean vector.
+fn find_loop_headers(f: &Function) -> Vec<bool> {
+    use treegion_analysis::{Cfg, DomTree, Loops};
+    let cfg = Cfg::new(f);
+    let dom = DomTree::new(&cfg);
+    let loops = Loops::new(&cfg, &dom);
+    let mut headers = vec![false; f.num_blocks()];
+    for be in loops.back_edges() {
+        headers[be.header.index()] = true;
+    }
+    headers
+}
+
+/// Selects mutually-best traces covering every block.
+fn select_traces(f: &Function, loop_headers: &[bool]) -> Vec<Vec<BlockId>> {
+    let n = f.num_blocks();
+    let mut visited = vec![false; n];
+    // Seeds in descending weight, ties by id for determinism.
+    let mut seeds: Vec<BlockId> = f.block_ids().collect();
+    seeds.sort_by(|a, b| {
+        let (wa, wb) = (f.block(*a).weight, f.block(*b).weight);
+        wb.partial_cmp(&wa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index().cmp(&b.index()))
+    });
+
+    let preds = f.predecessors();
+    let entry = f.entry();
+    let mut traces = Vec::new();
+    for seed in seeds {
+        if visited[seed.index()] {
+            continue;
+        }
+        visited[seed.index()] = true;
+        let mut trace = vec![seed];
+        // Grow forward.
+        let mut cur = seed;
+        while let Some(next) = best_successor(f, cur) {
+            if visited[next.index()]
+                || next == entry
+                || loop_headers[next.index()]
+                || trace.contains(&next)
+                || !is_best_predecessor(f, &preds, cur, next)
+            {
+                break;
+            }
+            visited[next.index()] = true;
+            trace.push(next);
+            cur = next;
+        }
+        // Grow backward from the seed.
+        let mut head = seed;
+        while let Some(prev) = best_predecessor(f, &preds, head) {
+            if visited[prev.index()]
+                || head == entry
+                || loop_headers[head.index()]
+                || trace.contains(&prev)
+                || best_successor(f, prev) != Some(head)
+            {
+                break;
+            }
+            visited[prev.index()] = true;
+            trace.insert(0, prev);
+            head = prev;
+        }
+        traces.push(trace);
+    }
+    traces
+}
+
+/// The most likely successor of `b` (highest edge count, > 0).
+fn best_successor(f: &Function, b: BlockId) -> Option<BlockId> {
+    f.block(b)
+        .term
+        .edges()
+        .into_iter()
+        .filter(|e| e.count > 0.0)
+        .max_by(|a, b| {
+            a.count
+                .partial_cmp(&b.count)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|e| e.target)
+}
+
+/// The most heavily weighted predecessor of `b` (by total edge count).
+fn best_predecessor(f: &Function, preds: &[Vec<BlockId>], b: BlockId) -> Option<BlockId> {
+    let mut totals: HashMap<BlockId, f64> = HashMap::new();
+    for &p in &preds[b.index()] {
+        let w: f64 = f
+            .block(p)
+            .term
+            .edges()
+            .iter()
+            .filter(|e| e.target == b)
+            .map(|e| e.count)
+            .sum();
+        *totals.entry(p).or_insert(0.0) += w;
+    }
+    totals
+        .into_iter()
+        .filter(|(_, w)| *w > 0.0)
+        .max_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.0.index().cmp(&a.0.index()))
+        })
+        .map(|(p, _)| p)
+}
+
+fn is_best_predecessor(f: &Function, preds: &[Vec<BlockId>], p: BlockId, b: BlockId) -> bool {
+    best_predecessor(f, preds, b) == Some(p)
+}
+
+/// The successor index of the trace edge `parent -> child` (the heaviest
+/// such edge if several exist).
+fn trace_succ_index(f: &Function, parent: BlockId, child: BlockId) -> Option<usize> {
+    f.block(parent)
+        .term
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.target == child)
+        .max_by(|a, b| {
+            a.1.count
+                .partial_cmp(&b.1.count)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+}
+
+/// Finds a trace position `pi > 0` whose block has an incoming edge other
+/// than its trace edge.
+fn find_violation(
+    f: &Function,
+    traces: &[Vec<BlockId>],
+    in_trace: &HashMap<BlockId, (usize, usize)>,
+) -> Option<(usize, usize)> {
+    // Count side entrances per (trace, pos).
+    let mut first: Option<(usize, usize)> = None;
+    for (id, block) in f.blocks() {
+        for (si, e) in block.term.edges().iter().enumerate() {
+            let Some(&(ti, pi)) = in_trace.get(&e.target) else {
+                continue;
+            };
+            if pi == 0 {
+                continue; // heads may have any preds
+            }
+            let is_trace_edge =
+                traces[ti][pi - 1] == id && trace_succ_index(f, id, e.target) == Some(si);
+            if !is_trace_edge && (first.is_none() || (ti, pi) < first.unwrap()) {
+                first = Some((ti, pi));
+            }
+        }
+    }
+    first
+}
+
+/// Duplicates the tail `traces[ti][pi..]`, retargets all side entrances of
+/// `traces[ti][pi]` to the duplicate head, splits profile weight, and
+/// registers the duplicate chain as a new trace.
+fn duplicate_tail(
+    f: &mut Function,
+    traces: &mut Vec<Vec<BlockId>>,
+    in_trace: &mut HashMap<BlockId, (usize, usize)>,
+    origin: &mut Vec<BlockId>,
+    ti: usize,
+    pi: usize,
+) {
+    let tail: Vec<BlockId> = traces[ti][pi..].to_vec();
+    let head = tail[0];
+    // Side-entrance weight into the tail head.
+    let trace_parent = traces[ti][pi - 1];
+    let trace_si = trace_succ_index(f, trace_parent, head);
+    let mut side_weight = 0.0;
+    for (id, block) in f.blocks() {
+        for (si, e) in block.term.edges().iter().enumerate() {
+            if e.target == head && !(id == trace_parent && Some(si) == trace_si) {
+                side_weight += e.count;
+            }
+        }
+    }
+    // Clone the tail blocks; remember the mapping old -> new.
+    let mut map: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut flow_into_dup = side_weight;
+    for (k, &ob) in tail.iter().enumerate() {
+        let w = f.block(ob).weight;
+        let fr = if w > 0.0 {
+            (flow_into_dup / w).min(1.0)
+        } else {
+            0.0
+        };
+        // Flow into the next dup block = this block's trace edge count × fr.
+        if k + 1 < tail.len() {
+            let si = trace_succ_index(f, ob, tail[k + 1]).expect("trace edge");
+            flow_into_dup = f.block(ob).term.edges()[si].count * fr;
+        }
+        let mut copy: Block = f.block(ob).clone();
+        copy.weight = w * fr;
+        copy.term.scale_counts(fr);
+        let nb = f.add_block(copy);
+        origin.push(origin[ob.index()]);
+        map.insert(ob, nb);
+        // Reduce the original's weight and edge counts.
+        let ob_block = f.block_mut(ob);
+        ob_block.weight = w * (1.0 - fr);
+        ob_block.term.scale_counts(1.0 - fr);
+    }
+    // Retarget duplicate trace edges to stay inside the duplicate chain.
+    for k in 0..tail.len() - 1 {
+        let (ob, nxt) = (tail[k], tail[k + 1]);
+        let si = trace_succ_index(f, ob, nxt).expect("trace edge");
+        let nb = map[&ob];
+        let nb_nxt = map[&nxt];
+        retarget_edge(f, nb, si, nb_nxt);
+    }
+    // Retarget all side entrances of `head` to the duplicate head. (Chain
+    // internal edges were already rewritten above, so any remaining edge
+    // into `head` other than the trace edge is a genuine side entrance —
+    // including copied side edges inside the duplicate chain.)
+    let dup_head = map[&tail[0]];
+    let all_ids: Vec<BlockId> = f.block_ids().collect();
+    for id in all_ids {
+        let term = &f.block(id).term;
+        let edges = term.edges();
+        for (si, e) in edges.iter().enumerate() {
+            if e.target != head {
+                continue;
+            }
+            let is_trace_edge = id == trace_parent && Some(si) == trace_si;
+            // The duplicate of the trace parent does not exist (pi>0 and
+            // parent not in tail), so no special case needed there.
+            if !is_trace_edge {
+                retarget_edge(f, id, si, dup_head);
+            }
+        }
+    }
+    // Register the duplicate chain as its own trace.
+    let new_trace: Vec<BlockId> = tail.iter().map(|b| map[b]).collect();
+    for (npos, &b) in new_trace.iter().enumerate() {
+        in_trace.insert(b, (traces.len(), npos));
+    }
+    traces.push(new_trace);
+}
+
+/// Points successor `si` of `from` at `new_target`.
+fn retarget_edge(f: &mut Function, from: BlockId, si: usize, new_target: BlockId) {
+    use treegion_ir::Terminator;
+    let term = &mut f.block_mut(from).term;
+    match term {
+        Terminator::Jump(e) => {
+            debug_assert_eq!(si, 0);
+            e.target = new_target;
+        }
+        Terminator::Branch { then_, else_, .. } => match si {
+            0 => then_.target = new_target,
+            1 => else_.target = new_target,
+            _ => unreachable!("branch has two successors"),
+        },
+        Terminator::Switch { cases, default, .. } => {
+            if si < cases.len() {
+                cases[si].edge.target = new_target;
+            } else {
+                default.target = new_target;
+            }
+        }
+        Terminator::Ret { .. } => unreachable!("ret has no successors"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::figure1_cfg;
+    use treegion_ir::{verify_profile, FunctionBuilder, Op};
+
+    #[test]
+    fn figure1_forms_single_entry_superblocks() {
+        let (f, ids) = figure1_cfg();
+        let res = form_superblocks(&f);
+        assert!(res.regions.is_partition_of(&res.function));
+        verify_profile(&res.function).unwrap();
+        // The hot trace follows bb1 -> bb2 -> bb3 -> bb5 ... with merges
+        // duplicated; the head superblock starts at the entry.
+        let top = res.regions.region(res.regions.region_of(ids[0]).unwrap());
+        assert_eq!(top.root(), ids[0]);
+        assert!(top.num_blocks() >= 2);
+        // Single-entry invariant: every non-root member's only incoming
+        // edges come from its trace parent.
+        assert_single_entry(&res);
+    }
+
+    fn assert_single_entry(res: &SuperblockResult) {
+        let preds = res.function.predecessors();
+        for r in res.regions.regions() {
+            for &b in &r.blocks()[1..] {
+                let (parent, _) = r.parent_edge(b).unwrap();
+                for &p in &preds[b.index()] {
+                    assert_eq!(p, parent, "side entrance into superblock member {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_duplication_preserves_flow_conservation() {
+        let (f, _) = figure1_cfg();
+        let res = form_superblocks(&f);
+        verify_profile(&res.function).unwrap();
+        // Total exit weight (into bb9's return) is preserved: sum of
+        // weights of ret blocks == 100.
+        let total_ret: f64 = res
+            .function
+            .blocks()
+            .filter(|(_, b)| b.term.is_ret())
+            .map(|(_, b)| b.weight)
+            .sum();
+        assert!((total_ret - 100.0).abs() < 1e-6, "got {total_ret}");
+    }
+
+    #[test]
+    fn origin_map_tracks_duplicates() {
+        let (f, _) = figure1_cfg();
+        let n_before = f.num_blocks();
+        let res = form_superblocks(&f);
+        assert!(res.function.num_blocks() > n_before, "expected duplication");
+        for (i, &o) in res.origin.iter().enumerate() {
+            if i < n_before {
+                assert_eq!(o.index(), i);
+            } else {
+                assert!(o.index() < n_before);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_bounds_op_expansion() {
+        // Give every block some ops so duplication has a real cost, then
+        // form with a budget of 1.0: no op may be duplicated, so traces
+        // are split instead and the op count stays unchanged.
+        let (f, _) = figure1_cfg();
+        let mut f = f;
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let r = treegion_ir::Reg::gpr(90 + b.index() as u32);
+            f.block_mut(b).ops.push(Op::movi(r, 7));
+        }
+        let orig_ops = f.num_ops();
+        let res = form_superblocks_with_budget(&f, 1.0);
+        assert_eq!(res.function.num_ops(), orig_ops);
+        assert!(res.regions.is_partition_of(&res.function));
+        assert_single_entry(&res);
+    }
+
+    #[test]
+    fn straight_line_is_one_superblock() {
+        let mut b = FunctionBuilder::new("line");
+        let ids: Vec<_> = (0..3).map(|_| b.block()).collect();
+        b.jump(ids[0], ids[1], 7.0);
+        b.jump(ids[1], ids[2], 7.0);
+        b.ret(ids[2], None);
+        let f = b.finish();
+        let res = form_superblocks(&f);
+        assert_eq!(res.regions.len(), 1);
+        assert_eq!(res.regions.regions()[0].num_blocks(), 3);
+    }
+
+    #[test]
+    fn loops_do_not_break_formation() {
+        let mut b = FunctionBuilder::new("loop");
+        let ids: Vec<_> = (0..4).map(|_| b.block()).collect();
+        let c = b.gpr();
+        b.push(ids[0], Op::movi(c, 1));
+        b.jump(ids[0], ids[1], 10.0);
+        b.branch(ids[1], c, (ids[2], 90.0), (ids[3], 10.0));
+        b.jump(ids[2], ids[1], 90.0);
+        b.ret(ids[3], None);
+        let f = b.finish();
+        let res = form_superblocks(&f);
+        assert!(res.regions.is_partition_of(&res.function));
+        verify_profile(&res.function).unwrap();
+        assert_single_entry(&res);
+    }
+
+    #[test]
+    fn cold_blocks_become_singletons() {
+        let mut b = FunctionBuilder::new("cold");
+        let ids: Vec<_> = (0..3).map(|_| b.block()).collect();
+        let c = b.gpr();
+        b.push(ids[0], Op::movi(c, 1));
+        b.branch(ids[0], c, (ids[1], 100.0), (ids[2], 0.0));
+        b.ret(ids[1], None);
+        b.ret(ids[2], None);
+        let f = b.finish();
+        let res = form_superblocks(&f);
+        // Cold bb2 is its own singleton superblock.
+        let cold = res.regions.region(res.regions.region_of(ids[2]).unwrap());
+        assert_eq!(cold.num_blocks(), 1);
+    }
+}

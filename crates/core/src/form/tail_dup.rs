@@ -1,0 +1,420 @@
+//! Treegion formation with tail duplication — the paper's Figure 11
+//! (`treeform-td`).
+//!
+//! After a treegion is grown normally, qualifying saplings (merge points
+//! hanging off the leaves) are tail duplicated: the sapling is cloned, the
+//! in-tree edge is retargeted to the clone, and the clone — now having a
+//! single incoming edge — is absorbed. Profile weight is split between the
+//! clone and the original so flow conservation is preserved exactly.
+//!
+//! Three heuristics bound the process (Section 4):
+//! * **code expansion limit** — a treegion's op count may not exceed
+//!   `code_expansion` × the op count of its distinct original blocks;
+//! * **path count limit** — at most `path_limit` root→leaf paths;
+//! * **merge count limit** — saplings with more than `merge_limit`
+//!   incoming edges are not duplicated *unless* they have no successors
+//!   (e.g. function exits, which are cheap to duplicate).
+
+use crate::form::treegion::absorb_into_tree;
+use crate::{Region, RegionKind, RegionSet};
+use std::collections::VecDeque;
+use treegion_analysis::Cfg;
+use treegion_ir::{Block, BlockId, Function};
+
+/// Limits applied during tail duplication (Section 4 defaults: merge
+/// count 4, path count 20; the paper evaluates code expansion limits of
+/// 2.0 and 3.0).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TailDupLimits {
+    /// Maximum ratio of treegion ops to the ops of its distinct original
+    /// blocks.
+    pub code_expansion: f64,
+    /// Maximum number of distinct execution paths per treegion.
+    pub path_limit: usize,
+    /// Maximum incoming-edge count of a sapling eligible for duplication
+    /// (ignored for saplings with no successors).
+    pub merge_limit: usize,
+}
+
+impl TailDupLimits {
+    /// The paper's configuration with code expansion limit 2.0.
+    pub fn expansion_2_0() -> Self {
+        TailDupLimits {
+            code_expansion: 2.0,
+            path_limit: 20,
+            merge_limit: 4,
+        }
+    }
+
+    /// The paper's configuration with code expansion limit 3.0.
+    pub fn expansion_3_0() -> Self {
+        TailDupLimits {
+            code_expansion: 3.0,
+            ..TailDupLimits::expansion_2_0()
+        }
+    }
+}
+
+impl Default for TailDupLimits {
+    fn default() -> Self {
+        TailDupLimits::expansion_2_0()
+    }
+}
+
+/// Result of `treeform-td`: the tail-duplicated function, its treegion
+/// partition, and the per-block origin map.
+#[derive(Clone, Debug)]
+pub struct TailDupResult {
+    /// The transformed function (duplicates appended).
+    pub function: Function,
+    /// The treegion partition of `function`.
+    pub regions: RegionSet,
+    /// `origin[b]` is the original block `b` was copied from (identity for
+    /// originals).
+    pub origin: Vec<BlockId>,
+}
+
+/// Forms treegions with tail duplication over a copy of `f` (Figure 11).
+pub fn form_treegions_td(f: &Function, limits: &TailDupLimits) -> TailDupResult {
+    let mut func = f.clone();
+    let mut origin: Vec<BlockId> = func.block_ids().collect();
+    let mut set = RegionSet::new(RegionKind::Treegion);
+    let mut unprocessed: VecDeque<BlockId> = VecDeque::new();
+    unprocessed.push_back(func.entry());
+
+    while let Some(node) = unprocessed.pop_front() {
+        if set.region_of(node).is_some() {
+            continue;
+        }
+        let region = grow_region_td(&mut func, &mut origin, &set, node, limits);
+        // Enqueue remaining saplings.
+        let cfg = Cfg::new(&func);
+        for exit in region.exit_edges(&func) {
+            if exit.succ_index == usize::MAX {
+                continue;
+            }
+            let target = func.block(exit.from).term.edges()[exit.succ_index].target;
+            if set.region_of(target).is_none() && !region.contains(target) {
+                unprocessed.push_back(target);
+            }
+        }
+        let _ = cfg;
+        set.add(region);
+    }
+
+    // Sweep leftovers (unreachable blocks).
+    for b in func.block_ids().collect::<Vec<_>>() {
+        if set.region_of(b).is_none() {
+            let region = grow_region_td(&mut func, &mut origin, &set, b, limits);
+            set.add(region);
+        }
+    }
+    debug_assert!(set.is_partition_of(&func));
+    TailDupResult {
+        function: func,
+        regions: set,
+        origin,
+    }
+}
+
+/// Grows one treegion from `root`, applying tail duplication until no
+/// sapling qualifies.
+fn grow_region_td(
+    func: &mut Function,
+    origin: &mut Vec<BlockId>,
+    set: &RegionSet,
+    root: BlockId,
+    limits: &TailDupLimits,
+) -> Region {
+    let mut region = Region::new(RegionKind::Treegion, root);
+    {
+        let cfg = Cfg::new(func);
+        absorb_into_tree(&mut region, root, &cfg, set);
+    }
+
+    loop {
+        if region.path_count() >= limits.path_limit {
+            break;
+        }
+        let cfg = Cfg::new(func);
+        // Candidate saplings: exit-edge targets not in any region.
+        let mut chosen: Option<(BlockId, BlockId, usize)> = None; // (sapling, leaf, si)
+        for exit in region.exit_edges(func) {
+            if exit.succ_index == usize::MAX {
+                continue;
+            }
+            let target = func.block(exit.from).term.edges()[exit.succ_index].target;
+            if region.contains(target) || set.region_of(target).is_some() {
+                continue;
+            }
+            let merge_count = cfg.merge_count(target);
+            let will_copy = merge_count > 1;
+            if exceeds_expansion(
+                func,
+                origin,
+                &region,
+                target,
+                will_copy,
+                limits.code_expansion,
+            ) {
+                continue;
+            }
+            let has_succs = func.block(target).term.num_successors() > 0;
+            if merge_count > limits.merge_limit && has_succs {
+                continue;
+            }
+            chosen = Some((target, exit.from, exit.succ_index));
+            break;
+        }
+        let Some((sapling, leaf, si)) = chosen else {
+            break;
+        };
+
+        let merge_count = Cfg::new(func).merge_count(sapling);
+        if merge_count > 1 {
+            // Tail duplicate: clone the sapling for this in-tree edge.
+            let dup = split_off_copy(func, origin, sapling, leaf, si);
+            region.absorb(dup, leaf, si);
+            let cfg = Cfg::new(func);
+            absorb_into_tree(&mut region, dup, &cfg, set);
+        } else {
+            // Single remaining incoming edge: absorb directly.
+            region.absorb(sapling, leaf, si);
+            let cfg = Cfg::new(func);
+            absorb_into_tree(&mut region, sapling, &cfg, set);
+        }
+    }
+    region
+}
+
+/// Would absorbing (a copy of) `sapling` push the region past the code
+/// expansion limit? The region's total ops (copies included) may not
+/// exceed `limit` × the ops of its *original* (non-copy) blocks. Charging
+/// every copy against its absorbing region's original content bounds the
+/// whole-program expansion by `limit` as well, matching the moderate
+/// actual expansions the paper reports in Table 3.
+fn exceeds_expansion(
+    func: &Function,
+    origin: &[BlockId],
+    region: &Region,
+    sapling: BlockId,
+    will_copy: bool,
+    limit: f64,
+) -> bool {
+    let sapling_ops = func.block(sapling).ops.len();
+    let region_ops = region.num_source_ops(func) + sapling_ops;
+    let mut orig_ops: usize = region
+        .blocks()
+        .iter()
+        .filter(|b| origin[b.index()] == **b)
+        .map(|b| func.block(*b).ops.len())
+        .sum();
+    if !will_copy && origin[sapling.index()] == sapling {
+        orig_ops += sapling_ops;
+    }
+    region_ops as f64 > limit * orig_ops.max(1) as f64
+}
+
+/// Clones `block`, giving the clone the share of profile weight carried by
+/// the in-tree edge `(leaf, si)`, retargets that edge to the clone, and
+/// returns the clone's id.
+fn split_off_copy(
+    func: &mut Function,
+    origin: &mut Vec<BlockId>,
+    block: BlockId,
+    leaf: BlockId,
+    si: usize,
+) -> BlockId {
+    let edge_count = func.block(leaf).term.edges()[si].count;
+    let weight = func.block(block).weight;
+    let frac = if weight > 0.0 {
+        (edge_count / weight).min(1.0)
+    } else {
+        0.0
+    };
+    let mut copy: Block = func.block(block).clone();
+    copy.weight = weight * frac;
+    copy.term.scale_counts(frac);
+    let dup = func.add_block(copy);
+    origin.push(origin[block.index()]);
+    {
+        let orig = func.block_mut(block);
+        orig.weight = weight * (1.0 - frac);
+        orig.term.scale_counts(1.0 - frac);
+    }
+    // Retarget the in-tree edge (and only it) to the clone.
+    let term = &mut func.block_mut(leaf).term;
+    let mut idx = 0usize;
+    term.retarget(move |t| {
+        let res = if idx == si { dup } else { t };
+        idx += 1;
+        res
+    });
+    dup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::figure1_cfg;
+    use treegion_ir::{verify_profile, FunctionBuilder, Op};
+
+    #[test]
+    fn figure12_shape_whole_cfg_can_become_one_treegion() {
+        // With a generous expansion limit, the Figure 1 CFG collapses into
+        // a single treegion where every original path is a unique tree
+        // path (the paper: "resulting in one large treegion").
+        let (f, ids) = figure1_cfg();
+        let limits = TailDupLimits {
+            code_expansion: 10.0,
+            path_limit: 20,
+            merge_limit: 4,
+        };
+        let res = form_treegions_td(&f, &limits);
+        assert!(res.regions.is_partition_of(&res.function));
+        verify_profile(&res.function).unwrap();
+        let top = res.regions.region(res.regions.region_of(ids[0]).unwrap());
+        // Paths: bb1-2-3-5-6-9, -7-9, bb1-2-4-5-6-9, -7-9, bb1-8-9 => 5.
+        assert_eq!(top.path_count(), 5);
+        assert!(top.is_tree());
+    }
+
+    #[test]
+    fn duplication_preserves_flow_conservation() {
+        let (f, _) = figure1_cfg();
+        for limits in [
+            TailDupLimits::expansion_2_0(),
+            TailDupLimits::expansion_3_0(),
+        ] {
+            let res = form_treegions_td(&f, &limits);
+            verify_profile(&res.function).unwrap();
+        }
+    }
+
+    #[test]
+    fn expansion_limit_bounds_region_growth() {
+        let (f, _) = figure1_cfg();
+        let res = form_treegions_td(&f, &TailDupLimits::expansion_2_0());
+        for r in res.regions.regions() {
+            let region_ops = r.num_source_ops(&res.function);
+            let origins: std::collections::HashSet<_> =
+                r.blocks().iter().map(|b| res.origin[b.index()]).collect();
+            let orig_ops: usize = origins
+                .iter()
+                .map(|b| res.function.block(*b).ops.len())
+                .sum();
+            assert!(
+                region_ops as f64 <= 2.0 * orig_ops.max(1) as f64 + f64::EPSILON,
+                "region ops {region_ops} exceed limit over {orig_ops}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_limit_is_respected() {
+        let (f, _) = figure1_cfg();
+        let limits = TailDupLimits {
+            code_expansion: 100.0,
+            path_limit: 3,
+            merge_limit: 10,
+        };
+        let res = form_treegions_td(&f, &limits);
+        for r in res.regions.regions() {
+            assert!(r.path_count() <= 3, "path count {}", r.path_count());
+        }
+    }
+
+    #[test]
+    fn merge_limit_blocks_wide_merges_with_successors() {
+        // Four blocks all jumping to one merge that then continues.
+        let mut b = FunctionBuilder::new("wide");
+        let ids: Vec<_> = (0..7).map(|_| b.block()).collect();
+        let on = b.gpr();
+        b.push(ids[0], Op::movi(on, 0));
+        b.switch(
+            ids[0],
+            on,
+            vec![(0, ids[1], 10.0), (1, ids[2], 10.0), (2, ids[3], 10.0)],
+            (ids[4], 10.0),
+        );
+        for k in 1..=4 {
+            b.jump(ids[k], ids[5], 10.0);
+        }
+        b.jump(ids[5], ids[6], 40.0);
+        b.ret(ids[6], None);
+        let f = b.finish();
+        let limits = TailDupLimits {
+            code_expansion: 100.0,
+            path_limit: 20,
+            merge_limit: 3, // ids[5] has merge count 4 > 3 and a successor
+        };
+        let res = form_treegions_td(&f, &limits);
+        // ids[5] must not have been duplicated: block count unchanged…
+        // except ids[6]? ids[6] has merge count 1 once ids[5] kept whole.
+        assert_eq!(res.function.num_blocks(), f.num_blocks());
+        let r5 = res.regions.region(res.regions.region_of(ids[5]).unwrap());
+        assert_eq!(r5.root(), ids[5]);
+    }
+
+    #[test]
+    fn exit_blocks_are_duplicated_despite_merge_limit() {
+        // Same shape but the merge is a return block (no successors):
+        // eligible for duplication regardless of merge count.
+        let mut b = FunctionBuilder::new("exits");
+        let ids: Vec<_> = (0..6).map(|_| b.block()).collect();
+        let on = b.gpr();
+        b.push(ids[0], Op::movi(on, 0));
+        b.switch(
+            ids[0],
+            on,
+            vec![(0, ids[1], 10.0), (1, ids[2], 10.0), (2, ids[3], 10.0)],
+            (ids[4], 10.0),
+        );
+        for k in 1..=4 {
+            b.jump(ids[k], ids[5], 10.0);
+        }
+        b.ret(ids[5], None);
+        let f = b.finish();
+        let limits = TailDupLimits {
+            code_expansion: 100.0,
+            path_limit: 20,
+            merge_limit: 2,
+        };
+        let res = form_treegions_td(&f, &limits);
+        assert!(res.function.num_blocks() > f.num_blocks());
+        verify_profile(&res.function).unwrap();
+        // Everything collapses into one treegion.
+        assert_eq!(res.regions.len(), 1);
+    }
+
+    #[test]
+    fn all_regions_are_trees_and_origins_valid() {
+        let (f, _) = figure1_cfg();
+        let res = form_treegions_td(&f, &TailDupLimits::expansion_3_0());
+        for r in res.regions.regions() {
+            assert!(r.is_tree());
+        }
+        for &o in &res.origin {
+            assert!(o.index() < f.num_blocks());
+        }
+    }
+
+    #[test]
+    fn loops_are_safe_under_tail_duplication() {
+        let mut b = FunctionBuilder::new("loop");
+        let ids: Vec<_> = (0..4).map(|_| b.block()).collect();
+        let c = b.gpr();
+        b.push(ids[0], Op::movi(c, 1));
+        b.jump(ids[0], ids[1], 10.0);
+        b.branch(ids[1], c, (ids[2], 90.0), (ids[3], 10.0));
+        b.jump(ids[2], ids[1], 90.0);
+        b.ret(ids[3], None);
+        let f = b.finish();
+        let res = form_treegions_td(&f, &TailDupLimits::expansion_3_0());
+        assert!(res.regions.is_partition_of(&res.function));
+        verify_profile(&res.function).unwrap();
+        for r in res.regions.regions() {
+            assert!(r.is_tree());
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Treegion formation — the paper's Figure 2 algorithm.
+//!
+//! Treegions are grown across the CFG starting from the entry. From a
+//! given root, blocks are absorbed depth-first as long as they are not
+//! merge points; merge points left hanging off the leaves (*saplings*)
+//! root new treegions. Formation depends only on CFG topology — no
+//! profile information is used.
+
+use crate::{Region, RegionKind, RegionSet};
+use std::collections::VecDeque;
+use treegion_analysis::Cfg;
+use treegion_ir::{BlockId, Function};
+
+/// Forms treegions over `f` (Figure 2: `treeform` / `absorb-into-tree`).
+///
+/// Every block ends up in exactly one treegion. Loop headers and other
+/// merge points (blocks with more than one incoming edge) always root
+/// their own treegion, so every treegion is an acyclic tree.
+pub fn form_treegions(f: &Function) -> RegionSet {
+    let cfg = Cfg::new(f);
+    let mut set = RegionSet::new(RegionKind::Treegion);
+    let mut unprocessed: VecDeque<BlockId> = VecDeque::new();
+    unprocessed.push_back(f.entry());
+
+    while let Some(node) = unprocessed.pop_front() {
+        if set.region_of(node).is_some() {
+            continue;
+        }
+        let mut region = Region::new(RegionKind::Treegion, node);
+        let saplings = absorb_into_tree(&mut region, node, &cfg, &set);
+        for s in saplings {
+            if set.region_of(s).is_none() {
+                unprocessed.push_back(s);
+            }
+        }
+        set.add(region);
+    }
+
+    // Sweep unreachable blocks (never produced by our workloads, but the
+    // partition invariant must hold regardless).
+    for b in f.block_ids() {
+        if set.region_of(b).is_none() {
+            let mut region = Region::new(RegionKind::Treegion, b);
+            let saplings = absorb_into_tree(&mut region, b, &cfg, &set);
+            let _ = saplings;
+            set.add(region);
+        }
+    }
+    set
+}
+
+/// Figure 2's `absorb-into-tree`: starting from `node` (already the root
+/// of `region`), absorb successors depth-first, skipping merge points and
+/// blocks already in a region. Returns the saplings encountered.
+///
+/// The candidate queue is a stack pushed at the front (the paper adds
+/// successors "to (front of) candidate queue"), giving a depth-first
+/// absorption order.
+pub(crate) fn absorb_into_tree(
+    region: &mut Region,
+    node: BlockId,
+    cfg: &Cfg,
+    set: &RegionSet,
+) -> Vec<BlockId> {
+    let mut saplings = Vec::new();
+    // Each candidate carries the parent edge it was reached through.
+    let mut candidates: VecDeque<(BlockId, BlockId, usize)> = VecDeque::new();
+    push_successors(&mut candidates, node, cfg);
+
+    while let Some((cand, parent, succ_index)) = candidates.pop_front() {
+        if region.contains(cand) {
+            // Already absorbed via another edge: the remaining edge stays
+            // an exit edge (absorbing it again would create a DAG/cycle).
+            continue;
+        }
+        if set.region_of(cand).is_some() {
+            saplings.push(cand);
+            continue;
+        }
+        if cfg.is_merge_point(cand) {
+            // Merge points delimit treegions; they become saplings.
+            if !saplings.contains(&cand) {
+                saplings.push(cand);
+            }
+            continue;
+        }
+        region.absorb(cand, parent, succ_index);
+        push_successors(&mut candidates, cand, cfg);
+    }
+    saplings
+}
+
+fn push_successors(candidates: &mut VecDeque<(BlockId, BlockId, usize)>, from: BlockId, cfg: &Cfg) {
+    // Push to the *front* in reverse so the first successor is processed
+    // first (depth-first, successor order preserved).
+    for (i, &s) in cfg.succs(from).iter().enumerate().rev() {
+        candidates.push_front((s, from, i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::figure1_cfg;
+    use treegion_ir::{FunctionBuilder, Op};
+
+    #[test]
+    fn figure1_forms_three_treegions() {
+        let (f, ids) = figure1_cfg();
+        let set = form_treegions(&f);
+        assert!(set.is_partition_of(&f));
+        // Expected: {bb1,bb2,bb3,bb4,bb8}, {bb5,bb6,bb7}, {bb9} —
+        // bb5 and bb9 are merge points.
+        assert_eq!(set.len(), 3);
+        let top = set.region(set.region_of(ids[0]).unwrap());
+        let mut blocks = top.blocks().to_vec();
+        blocks.sort_by_key(|b| b.index());
+        assert_eq!(blocks, vec![ids[0], ids[1], ids[2], ids[3], ids[7]]);
+        let mid = set.region(set.region_of(ids[4]).unwrap());
+        assert_eq!(mid.num_blocks(), 3);
+        let last = set.region(set.region_of(ids[8]).unwrap());
+        assert_eq!(last.num_blocks(), 1);
+    }
+
+    #[test]
+    fn treegions_are_trees() {
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        for r in set.regions() {
+            assert!(r.is_tree());
+        }
+    }
+
+    #[test]
+    fn loop_header_roots_its_own_treegion() {
+        // bb0 -> bb1; bb1 -> {bb2, bb3}; bb2 -> bb1 (back edge).
+        let mut b = FunctionBuilder::new("loop");
+        let ids: Vec<_> = (0..4).map(|_| b.block()).collect();
+        let c = b.gpr();
+        b.push(ids[0], Op::movi(c, 1));
+        b.jump(ids[0], ids[1], 10.0);
+        b.branch(ids[1], c, (ids[2], 90.0), (ids[3], 10.0));
+        b.jump(ids[2], ids[1], 90.0);
+        b.ret(ids[3], None);
+        let f = b.finish();
+        let set = form_treegions(&f);
+        assert!(set.is_partition_of(&f));
+        // bb1 is a merge point (entry edge + back edge): roots a region
+        // containing bb2 and bb3 as children.
+        let header_region = set.region(set.region_of(ids[1]).unwrap());
+        assert_eq!(header_region.root(), ids[1]);
+        assert_eq!(header_region.num_blocks(), 3);
+        assert!(header_region.is_tree());
+        // bb0 is alone.
+        assert_eq!(set.region(set.region_of(ids[0]).unwrap()).num_blocks(), 1);
+    }
+
+    #[test]
+    fn straight_line_function_is_one_treegion() {
+        let mut b = FunctionBuilder::new("line");
+        let ids: Vec<_> = (0..4).map(|_| b.block()).collect();
+        for w in 0..3 {
+            b.jump(ids[w], ids[w + 1], 5.0);
+        }
+        b.ret(ids[3], None);
+        let f = b.finish();
+        let set = form_treegions(&f);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.regions()[0].num_blocks(), 4);
+        assert!(set.regions()[0].is_linear());
+    }
+
+    #[test]
+    fn switch_fans_out_into_one_treegion() {
+        let mut b = FunctionBuilder::new("sw");
+        let ids: Vec<_> = (0..5).map(|_| b.block()).collect();
+        let on = b.gpr();
+        b.push(ids[0], Op::movi(on, 2));
+        b.switch(
+            ids[0],
+            on,
+            vec![(0, ids[1], 10.0), (1, ids[2], 20.0), (2, ids[3], 30.0)],
+            (ids[4], 5.0),
+        );
+        for &i in &ids[1..] {
+            b.ret(i, None);
+        }
+        let f = b.finish();
+        let set = form_treegions(&f);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.regions()[0].num_blocks(), 5);
+        assert_eq!(set.regions()[0].path_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_switch_targets_make_merge_points() {
+        // Two switch cases to the same block: target has 2 incoming edges,
+        // so it is a merge point and roots its own treegion.
+        let mut b = FunctionBuilder::new("dup");
+        let ids: Vec<_> = (0..3).map(|_| b.block()).collect();
+        let on = b.gpr();
+        b.push(ids[0], Op::movi(on, 0));
+        b.switch(
+            ids[0],
+            on,
+            vec![(0, ids[1], 5.0), (1, ids[1], 5.0)],
+            (ids[2], 2.0),
+        );
+        b.ret(ids[1], None);
+        b.ret(ids[2], None);
+        let f = b.finish();
+        let set = form_treegions(&f);
+        assert!(set.is_partition_of(&f));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.region(set.region_of(ids[1]).unwrap()).root(), ids[1]);
+    }
+}

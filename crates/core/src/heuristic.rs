@@ -1,0 +1,202 @@
+//! The paper's four treegion scheduling heuristics (Section 3).
+//!
+//! Each heuristic is a static priority assigned to every op before list
+//! scheduling; the list scheduler picks ready ops in descending priority.
+//! All heuristics break remaining ties by dependence height and then by
+//! source order, as the paper specifies.
+
+use crate::ddg::Ddg;
+use crate::lower::LoweredRegion;
+use treegion_machine::MachineModel;
+
+/// Which priority function drives the list scheduler.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Heuristic {
+    /// Critical-path scheduling: priority = dependence height. Maximum
+    /// speculation; the paper's baseline heuristic (Figure 6).
+    DependenceHeight,
+    /// Priority = number of exits that follow the op in control flow
+    /// (adapted from speculative hedge's *helped count*); ties by height.
+    /// The paper shows this misfires on wide, shallow treegions (Figure 9).
+    ExitCount,
+    /// Priority = profile weight of the op's home block (equals the total
+    /// weight of all exits the op helps, since a treegion is a tree);
+    /// ties by height. The paper's best performer.
+    GlobalWeight,
+    /// Priority = (weight, exit count, height). The combination heuristic;
+    /// degrades on linearized equal-weight treegions (Figure 10).
+    WeightedCount,
+}
+
+impl Heuristic {
+    /// All four heuristics in the order the paper presents them.
+    pub const ALL: [Heuristic; 4] = [
+        Heuristic::DependenceHeight,
+        Heuristic::ExitCount,
+        Heuristic::GlobalWeight,
+        Heuristic::WeightedCount,
+    ];
+
+    /// Short name used in reports ("dep-height", "exit-count", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Heuristic::DependenceHeight => "dep-height",
+            Heuristic::ExitCount => "exit-count",
+            Heuristic::GlobalWeight => "global-weight",
+            Heuristic::WeightedCount => "weighted-count",
+        }
+    }
+
+    /// Computes the priority key of every op. Keys compare
+    /// lexicographically, larger = scheduled first.
+    pub fn priorities(self, lr: &LoweredRegion, ddg: &Ddg, m: &MachineModel) -> Vec<Priority> {
+        let heights = ddg.heights(lr, m);
+        lr.lops
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let node = &lr.nodes[l.home];
+                let h = heights[i] as f64;
+                let key = match self {
+                    Heuristic::DependenceHeight => [h, 0.0, 0.0],
+                    Heuristic::ExitCount => [node.exits_below as f64, h, 0.0],
+                    Heuristic::GlobalWeight => [node.weight, h, 0.0],
+                    Heuristic::WeightedCount => [node.weight, node.exits_below as f64, h],
+                };
+                Priority { key }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Heuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A lexicographic priority key (larger is more urgent).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Priority {
+    key: [f64; 3],
+}
+
+impl Priority {
+    /// The raw key components.
+    pub fn key(&self) -> [f64; 3] {
+        self.key
+    }
+}
+
+impl Eq for Priority {}
+
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Priority {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for (a, b) in self.key.iter().zip(other.key.iter()) {
+            match a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_region;
+    use crate::{form_treegions, Ddg};
+    use treegion_analysis::{Cfg, Liveness};
+    use treegion_ir::{FunctionBuilder, Op};
+
+    fn fanout() -> (LoweredRegion, Ddg, MachineModel) {
+        // Root with two children of different weight; root ops help both
+        // exits, child ops help one.
+        let mut b = FunctionBuilder::new("f");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let (x, c, y, z) = (b.gpr(), b.gpr(), b.gpr(), b.gpr());
+        b.push_all(bb0, [Op::movi(x, 1), Op::movi(c, 0)]);
+        b.branch(bb0, c, (bb1, 90.0), (bb2, 10.0));
+        b.push(bb1, Op::add(y, x, x));
+        b.ret(bb1, Some(y));
+        b.push(bb2, Op::add(z, x, x));
+        b.ret(bb2, Some(z));
+        let f = b.finish();
+        let set = form_treegions(&f);
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        let r = set.region(set.region_of(f.entry()).unwrap()).clone();
+        let m = MachineModel::model_4u();
+        let lr = lower_region(&f, &r, &live, None);
+        let ddg = Ddg::build(&lr, &m);
+        (lr, ddg, m)
+    }
+
+    fn find_add(lr: &LoweredRegion, node: usize) -> usize {
+        lr.lops
+            .iter()
+            .position(|l| l.op.opcode == treegion_ir::Opcode::Add && l.home == node)
+            .unwrap()
+    }
+
+    #[test]
+    fn global_weight_prefers_hot_path_ops() {
+        let (lr, ddg, m) = fanout();
+        let p = Heuristic::GlobalWeight.priorities(&lr, &ddg, &m);
+        let hot = find_add(&lr, 1);
+        let cold = find_add(&lr, 2);
+        assert!(p[hot] > p[cold]);
+    }
+
+    #[test]
+    fn exit_count_prefers_root_ops() {
+        let (lr, ddg, m) = fanout();
+        let p = Heuristic::ExitCount.priorities(&lr, &ddg, &m);
+        let root_movi = 0usize; // first lop is in the root
+        let hot = find_add(&lr, 1);
+        assert_eq!(lr.lops[root_movi].home, 0);
+        assert!(p[root_movi] > p[hot]);
+    }
+
+    #[test]
+    fn dependence_height_ignores_weight() {
+        let (lr, ddg, m) = fanout();
+        let p = Heuristic::DependenceHeight.priorities(&lr, &ddg, &m);
+        let hot = find_add(&lr, 1);
+        let cold = find_add(&lr, 2);
+        // Symmetric adds on both paths: identical height, identical priority.
+        assert_eq!(p[hot], p[cold]);
+    }
+
+    #[test]
+    fn weighted_count_orders_weight_then_exits() {
+        let a = Priority {
+            key: [5.0, 1.0, 9.0],
+        };
+        let b = Priority {
+            key: [5.0, 2.0, 0.0],
+        };
+        let c = Priority {
+            key: [6.0, 0.0, 0.0],
+        };
+        assert!(b > a);
+        assert!(c > b);
+        let mut v = vec![a, b, c];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Heuristic::GlobalWeight.name(), "global-weight");
+        assert_eq!(Heuristic::ALL.len(), 4);
+        assert_eq!(Heuristic::ExitCount.to_string(), "exit-count");
+    }
+}

@@ -1,0 +1,405 @@
+//! Scheduling regions and region sets.
+//!
+//! A [`Region`] is a set of basic blocks with a distinguished root and a
+//! recorded *parent edge* for every non-root member — the CFG edge through
+//! which the block was absorbed during formation. For treegions the
+//! members form a tree (Section 2 of the paper); for SLRs and superblocks
+//! a path; basic-block regions are singletons.
+
+use std::collections::HashMap;
+use treegion_ir::{BlockId, Function};
+
+/// The flavour of region a [`RegionSet`] was formed as.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// One region per basic block (the paper's scheduling baseline).
+    BasicBlock,
+    /// Simple linear region: single-entry multiple-exit path, formed like a
+    /// treegion but following only the heaviest successor (Section 3).
+    Slr,
+    /// Superblock: profile-selected trace made single-entry by tail
+    /// duplication (Hwu et al.; the paper's main comparison point).
+    Superblock,
+    /// Treegion: decision-tree subgraph of the CFG (the paper's
+    /// contribution), optionally enlarged by tail duplication (Section 4).
+    Treegion,
+}
+
+impl std::fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RegionKind::BasicBlock => "bb",
+            RegionKind::Slr => "slr",
+            RegionKind::Superblock => "sb",
+            RegionKind::Treegion => "tree",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifies a region within a [`RegionSet`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub usize);
+
+/// An edge out of a region: `(from block, successor index)` in terminator
+/// successor order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ExitEdge {
+    /// Region member the edge leaves from.
+    pub from: BlockId,
+    /// Index into the terminator's successor list (`usize::MAX` for the
+    /// implicit exit of a `ret` terminator).
+    pub succ_index: usize,
+}
+
+/// A single region.
+#[derive(Clone, Debug)]
+pub struct Region {
+    kind: RegionKind,
+    /// Member blocks in absorption (preorder) order; `blocks[0]` is the root.
+    blocks: Vec<BlockId>,
+    /// Parent edge for each member (aligned with `blocks`); `None` for the
+    /// root.
+    parent_edge: Vec<Option<(BlockId, usize)>>,
+}
+
+impl Region {
+    /// Creates a region from its root.
+    pub fn new(kind: RegionKind, root: BlockId) -> Self {
+        Region {
+            kind,
+            blocks: vec![root],
+            parent_edge: vec![None],
+        }
+    }
+
+    /// The region kind.
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// The root (entry) block.
+    pub fn root(&self) -> BlockId {
+        self.blocks[0]
+    }
+
+    /// Member blocks in absorption order (root first).
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Number of member blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if `b` is a member.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+
+    /// The parent edge through which `b` was absorbed (`None` for the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not a member.
+    pub fn parent_edge(&self, b: BlockId) -> Option<(BlockId, usize)> {
+        let i = self
+            .blocks
+            .iter()
+            .position(|&x| x == b)
+            .expect("block not in region");
+        self.parent_edge[i]
+    }
+
+    /// Absorbs `block` into the region via `(parent, succ_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not already a member or `block` already is.
+    pub fn absorb(&mut self, block: BlockId, parent: BlockId, succ_index: usize) {
+        assert!(self.contains(parent), "parent {parent} not in region");
+        assert!(!self.contains(block), "block {block} already in region");
+        self.blocks.push(block);
+        self.parent_edge.push(Some((parent, succ_index)));
+    }
+
+    /// `true` if `(from, succ_index)` is a parent (internal) edge.
+    pub fn is_internal_edge(&self, from: BlockId, succ_index: usize) -> bool {
+        self.parent_edge.contains(&Some((from, succ_index)))
+    }
+
+    /// The children of `b` within the region, in absorption order.
+    pub fn children(&self, b: BlockId) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .zip(&self.parent_edge)
+            .filter(|(_, pe)| matches!(pe, Some((p, _)) if *p == b))
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// Leaf members (no in-region children). The number of leaves equals
+    /// the paper's *path count* for tree-shaped regions.
+    pub fn leaves(&self) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .copied()
+            .filter(|&b| self.children(b).is_empty())
+            .collect()
+    }
+
+    /// Number of distinct root→leaf paths (the paper's path count limit
+    /// applies to this).
+    pub fn path_count(&self) -> usize {
+        self.leaves().len()
+    }
+
+    /// All exit edges: member out-edges that are not parent edges, plus one
+    /// [`ExitEdge`] with `succ_index == usize::MAX` for each `ret`
+    /// terminator.
+    pub fn exit_edges(&self, f: &Function) -> Vec<ExitEdge> {
+        let mut exits = Vec::new();
+        for &b in &self.blocks {
+            let term = &f.block(b).term;
+            if term.is_ret() {
+                exits.push(ExitEdge {
+                    from: b,
+                    succ_index: usize::MAX,
+                });
+                continue;
+            }
+            for (i, _) in term.edges().iter().enumerate() {
+                if !self.is_internal_edge(b, i) {
+                    exits.push(ExitEdge {
+                        from: b,
+                        succ_index: i,
+                    });
+                }
+            }
+        }
+        exits
+    }
+
+    /// Sum of source-level op counts of member blocks.
+    pub fn num_source_ops(&self, f: &Function) -> usize {
+        self.blocks.iter().map(|&b| f.block(b).ops.len()).sum()
+    }
+
+    /// The region's profile weight: the root block's execution count.
+    pub fn weight(&self, f: &Function) -> f64 {
+        f.block(self.root()).weight
+    }
+
+    /// Depth of `b` in the region tree (root = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not a member.
+    pub fn depth(&self, b: BlockId) -> usize {
+        let mut depth = 0;
+        let mut cur = b;
+        while let Some((p, _)) = self.parent_edge(cur) {
+            cur = p;
+            depth += 1;
+        }
+        depth
+    }
+
+    /// `true` if the members form a tree under the recorded parent edges:
+    /// every non-root has a parent that appears earlier in absorption
+    /// order (which rules out cycles) and the root has none.
+    pub fn is_tree(&self) -> bool {
+        for (i, pe) in self.parent_edge.iter().enumerate() {
+            match pe {
+                None => {
+                    if i != 0 {
+                        return false;
+                    }
+                }
+                Some((p, _)) => {
+                    let Some(pi) = self.blocks.iter().position(|b| b == p) else {
+                        return false;
+                    };
+                    if pi >= i {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` if the region is linear (every block has at most one child).
+    pub fn is_linear(&self) -> bool {
+        self.blocks.iter().all(|&b| self.children(b).len() <= 1)
+    }
+}
+
+/// A partition of a function's blocks into regions.
+#[derive(Clone, Debug)]
+pub struct RegionSet {
+    kind: RegionKind,
+    regions: Vec<Region>,
+    block_region: HashMap<BlockId, RegionId>,
+}
+
+impl RegionSet {
+    /// Creates an empty region set of the given kind.
+    pub fn new(kind: RegionKind) -> Self {
+        RegionSet {
+            kind,
+            regions: Vec::new(),
+            block_region: HashMap::new(),
+        }
+    }
+
+    /// The region kind.
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// Adds a finished region. All member blocks must be unassigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member block already belongs to another region.
+    pub fn add(&mut self, region: Region) -> RegionId {
+        let id = RegionId(self.regions.len());
+        for &b in region.blocks() {
+            let prev = self.block_region.insert(b, id);
+            assert!(prev.is_none(), "block {b} already in a region");
+        }
+        self.regions.push(region);
+        id
+    }
+
+    /// The regions, in formation order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// `true` if no regions have been formed.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The region containing `b`, if assigned.
+    pub fn region_of(&self, b: BlockId) -> Option<RegionId> {
+        self.block_region.get(&b).copied()
+    }
+
+    /// Shared access to a region.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.0]
+    }
+
+    /// Checks the partition invariant: every block of `f` is in exactly
+    /// one region.
+    pub fn is_partition_of(&self, f: &Function) -> bool {
+        f.block_ids().all(|b| self.block_region.contains_key(&b))
+            && self.block_region.len() == f.num_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion_ir::{FunctionBuilder, Op};
+
+    fn tree_cfg() -> (Function, Vec<BlockId>) {
+        // bb0 -> bb1, bb2 ; bb1 -> bb3, bb4 ; others ret
+        let mut b = FunctionBuilder::new("t");
+        let ids: Vec<_> = (0..5).map(|_| b.block()).collect();
+        let c = b.gpr();
+        b.push(ids[0], Op::movi(c, 1));
+        b.branch(ids[0], c, (ids[1], 6.0), (ids[2], 4.0));
+        b.branch(ids[1], c, (ids[3], 5.0), (ids[4], 1.0));
+        b.ret(ids[2], None);
+        b.ret(ids[3], None);
+        b.ret(ids[4], None);
+        (b.finish(), ids)
+    }
+
+    #[test]
+    fn absorption_builds_a_tree() {
+        let (_, ids) = tree_cfg();
+        let mut r = Region::new(RegionKind::Treegion, ids[0]);
+        r.absorb(ids[1], ids[0], 0);
+        r.absorb(ids[2], ids[0], 1);
+        r.absorb(ids[3], ids[1], 0);
+        assert!(r.is_tree());
+        assert!(!r.is_linear());
+        assert_eq!(r.children(ids[0]), vec![ids[1], ids[2]]);
+        assert_eq!(r.depth(ids[3]), 2);
+        assert_eq!(r.path_count(), 2);
+        assert_eq!(r.leaves(), vec![ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn exit_edges_exclude_internal_edges() {
+        let (f, ids) = tree_cfg();
+        let mut r = Region::new(RegionKind::Treegion, ids[0]);
+        r.absorb(ids[1], ids[0], 0);
+        let exits = r.exit_edges(&f);
+        // bb0 else edge, bb1 both edges.
+        assert_eq!(exits.len(), 3);
+        assert!(exits.contains(&ExitEdge {
+            from: ids[0],
+            succ_index: 1
+        }));
+        assert!(exits.contains(&ExitEdge {
+            from: ids[1],
+            succ_index: 0
+        }));
+    }
+
+    #[test]
+    fn ret_blocks_produce_implicit_exits() {
+        let (f, ids) = tree_cfg();
+        let mut r = Region::new(RegionKind::Treegion, ids[0]);
+        r.absorb(ids[2], ids[0], 1);
+        let exits = r.exit_edges(&f);
+        assert!(exits.contains(&ExitEdge {
+            from: ids[2],
+            succ_index: usize::MAX
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in a region")]
+    fn region_set_rejects_double_assignment() {
+        let (_, ids) = tree_cfg();
+        let mut set = RegionSet::new(RegionKind::Treegion);
+        set.add(Region::new(RegionKind::Treegion, ids[0]));
+        set.add(Region::new(RegionKind::Treegion, ids[0]));
+    }
+
+    #[test]
+    fn partition_check() {
+        let (f, ids) = tree_cfg();
+        let mut set = RegionSet::new(RegionKind::BasicBlock);
+        for &b in &ids {
+            set.add(Region::new(RegionKind::BasicBlock, b));
+        }
+        assert!(set.is_partition_of(&f));
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.region_of(ids[3]), Some(RegionId(3)));
+    }
+
+    #[test]
+    fn linear_region_reports_linear() {
+        let (_, ids) = tree_cfg();
+        let mut r = Region::new(RegionKind::Slr, ids[0]);
+        r.absorb(ids[1], ids[0], 0);
+        r.absorb(ids[3], ids[1], 0);
+        assert!(r.is_linear());
+        assert!(r.is_tree());
+        assert_eq!(r.path_count(), 1);
+    }
+}

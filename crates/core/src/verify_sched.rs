@@ -1,0 +1,307 @@
+//! Independent schedule verification.
+//!
+//! [`verify_schedule`] re-checks a finished [`Schedule`] against its
+//! [`LoweredRegion`], [`Ddg`], and [`MachineModel`] without trusting any
+//! scheduler bookkeeping: completeness, resource bounds, dependence
+//! latencies, exit-cycle consistency, and the legality of every dominator
+//! parallelism elimination. The VLIW simulator validates schedules
+//! *dynamically* on one executed path; this verifier validates them
+//! *statically* on all paths.
+
+use crate::ddg::Ddg;
+use crate::lower::{LOpKind, LoweredRegion};
+use crate::sched::Schedule;
+use std::error::Error;
+use std::fmt;
+use treegion_machine::MachineModel;
+
+/// A schedule verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleError(String);
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule verification failed: {}", self.0)
+    }
+}
+
+impl Error for ScheduleError {}
+
+fn fail(msg: String) -> Result<(), ScheduleError> {
+    Err(ScheduleError(msg))
+}
+
+/// Verifies `sched` against its region, dependence graph, and machine.
+///
+/// # Errors
+///
+/// Returns the first violated property:
+/// * every op is either issued exactly once or recorded as eliminated;
+/// * no cycle exceeds the issue width (or the branch limit);
+/// * every dependence edge satisfies its latency;
+/// * every exit's recorded cycle matches its branch op's issue cycle;
+/// * every elimination pairs twin ops (same origin/opcode/immediate) and
+///   the survivor is scheduled no later than the eliminated op's recorded
+///   cycle.
+pub fn verify_schedule(
+    lr: &LoweredRegion,
+    ddg: &Ddg,
+    m: &MachineModel,
+    sched: &Schedule,
+) -> Result<(), ScheduleError> {
+    let n = lr.lops.len();
+
+    // Completeness: issued ⊎ eliminated = all ops, no duplicates.
+    let mut seen = vec![false; n];
+    for (c, row) in sched.cycles.iter().enumerate() {
+        for &i in row {
+            if i >= n {
+                return fail(format!("cycle {c} references op {i} out of range"));
+            }
+            if seen[i] {
+                return fail(format!("op {i} issued twice"));
+            }
+            seen[i] = true;
+            if sched.cycle_of[i] != Some(c as u32) {
+                return fail(format!(
+                    "op {i} in cycle {c} but cycle_of says {:?}",
+                    sched.cycle_of[i]
+                ));
+            }
+        }
+    }
+    for (e, t) in &sched.eliminated {
+        if seen[*e] {
+            return fail(format!("op {e} both issued and eliminated"));
+        }
+        seen[*e] = true;
+        if !sched.cycles.iter().flatten().any(|i| i == t) {
+            return fail(format!("twin {t} of eliminated op {e} was never issued"));
+        }
+    }
+    if let Some(missing) = seen.iter().position(|s| !s) {
+        return fail(format!("op {missing} neither issued nor eliminated"));
+    }
+
+    // Resources.
+    for (c, row) in sched.cycles.iter().enumerate() {
+        if row.len() > m.issue_width() {
+            return fail(format!(
+                "cycle {c} issues {} ops on a {}-wide machine",
+                row.len(),
+                m.issue_width()
+            ));
+        }
+        if let Some(limit) = m.branch_limit() {
+            let branches = row
+                .iter()
+                .filter(|&&i| lr.lops[i].op.opcode.is_branch())
+                .count();
+            if branches > limit {
+                return fail(format!(
+                    "cycle {c} issues {branches} branches (limit {limit})"
+                ));
+            }
+        }
+        if let Some(limit) = m.mem_port_limit() {
+            let mems = row
+                .iter()
+                .filter(|&&i| {
+                    let opc = lr.lops[i].op.opcode;
+                    opc.is_memory() || opc == treegion_ir::Opcode::Call
+                })
+                .count();
+            if mems > limit {
+                return fail(format!(
+                    "cycle {c} issues {mems} memory ops (ports {limit})"
+                ));
+            }
+        }
+    }
+
+    // Dependences. An op eliminated by dominator parallelism inherits its
+    // twin's issue cycle: edges *out of* it are checked against that cycle
+    // (consumers read the twin's value, produced then), but edges *into*
+    // it are vacuous — the op never executes, and its twin's own inputs
+    // (verified identical at elimination time) carry their own edges.
+    let eliminated: std::collections::HashSet<usize> =
+        sched.eliminated.iter().map(|(e, _)| *e).collect();
+    for e in ddg.edges() {
+        if eliminated.contains(&e.to) {
+            continue;
+        }
+        let (Some(cf), Some(ct)) = (sched.cycle_of[e.from], sched.cycle_of[e.to]) else {
+            return fail(format!("edge {:?} touches an unscheduled op", e));
+        };
+        if ct < cf + e.latency {
+            return fail(format!(
+                "dependence {} -> {} (latency {}) violated: cycles {cf} -> {ct}",
+                e.from, e.to, e.latency
+            ));
+        }
+    }
+
+    // Exit cycles.
+    for (k, exit) in lr.exits.iter().enumerate() {
+        match sched.cycle_of[exit.branch_lop] {
+            Some(c) if c == sched.exit_cycles[k] => {}
+            other => {
+                return fail(format!(
+                    "exit {k}: recorded cycle {} but branch op at {other:?}",
+                    sched.exit_cycles[k]
+                ))
+            }
+        }
+        if !matches!(lr.lops[exit.branch_lop].kind, LOpKind::ExitBranch(e) if e == k) {
+            return fail(format!("exit {k}: branch_lop is not its exit branch"));
+        }
+    }
+
+    // Elimination legality.
+    for (e, t) in &sched.eliminated {
+        let (le, lt) = (&lr.lops[*e], &lr.lops[*t]);
+        if le.origin != lt.origin || le.op.opcode != lt.op.opcode || le.op.imm != lt.op.imm {
+            return fail(format!("elimination ({e},{t}) pairs non-twin ops"));
+        }
+        if !le.op.opcode.is_speculable() {
+            return fail(format!("elimination ({e},{t}) removes a non-speculable op"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        form_treegions, form_treegions_td, lower_region, schedule_region, Heuristic,
+        ScheduleOptions, TailDupLimits,
+    };
+    use treegion_analysis::{Cfg, Liveness};
+    use treegion_ir::{Cond, Function, FunctionBuilder, Op};
+
+    fn branchy() -> Function {
+        let mut b = FunctionBuilder::new("v");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let (a, x, y, c) = (b.gpr(), b.gpr(), b.gpr(), b.gpr());
+        b.push_all(
+            bb0,
+            [
+                Op::load(x, a, 0),
+                Op::load(y, a, 8),
+                Op::cmp(Cond::Lt, c, x, y),
+            ],
+        );
+        b.branch(bb0, c, (bb1, 70.0), (bb2, 30.0));
+        b.push(bb1, Op::store(a, x, 16));
+        b.ret(bb1, None);
+        b.ret(bb2, Some(y));
+        b.finish()
+    }
+
+    #[test]
+    fn valid_schedules_verify_for_all_heuristics_and_machines() {
+        let f = branchy();
+        let set = form_treegions(&f);
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        for m in [
+            MachineModel::model_1u(),
+            MachineModel::model_4u(),
+            MachineModel::model_8u(),
+        ] {
+            for h in Heuristic::ALL {
+                for r in set.regions() {
+                    let lr = lower_region(&f, r, &live, None);
+                    let ddg = Ddg::build(&lr, &m);
+                    let s = crate::schedule_with_ddg(
+                        &lr,
+                        &ddg,
+                        &m,
+                        &ScheduleOptions {
+                            heuristic: h,
+                            dominator_parallelism: false,
+                            ..Default::default()
+                        },
+                    );
+                    verify_schedule(&lr, &ddg, &m, &s).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_duplicated_schedules_with_dompar_verify() {
+        let (f, _) = {
+            // reuse the figure 1 CFG from the crate test utilities
+            crate::testutil::figure1_cfg()
+        };
+        let td = form_treegions_td(&f, &TailDupLimits::expansion_3_0());
+        let cfg = Cfg::new(&td.function);
+        let live = Liveness::new(&td.function, &cfg);
+        let m = MachineModel::model_4u();
+        for r in td.regions.regions() {
+            let lr = lower_region(&td.function, r, &live, Some(&td.origin));
+            let ddg = Ddg::build(&lr, &m);
+            let s = crate::schedule_with_ddg(
+                &lr,
+                &ddg,
+                &m,
+                &ScheduleOptions {
+                    heuristic: Heuristic::GlobalWeight,
+                    dominator_parallelism: true,
+                    ..Default::default()
+                },
+            );
+            verify_schedule(&lr, &ddg, &m, &s).unwrap();
+        }
+    }
+
+    #[test]
+    fn tampered_schedules_are_rejected() {
+        let f = branchy();
+        let set = form_treegions(&f);
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        let m = MachineModel::model_4u();
+        let r = set.region(set.region_of(f.entry()).unwrap());
+        let lr = lower_region(&f, r, &live, None);
+        let ddg = Ddg::build(&lr, &m);
+        let good = schedule_region(&lr, &m, &ScheduleOptions::default());
+        verify_schedule(&lr, &ddg, &m, &good).unwrap();
+
+        // Drop an op from its cycle: completeness violation.
+        let mut s = good.clone();
+        s.cycles[0].pop();
+        assert!(verify_schedule(&lr, &ddg, &m, &s).is_err());
+
+        // Move a consumer before its producer: latency violation.
+        let mut s = good.clone();
+        if let Some(e) = ddg.edges().iter().find(|e| e.latency > 0) {
+            // Force the consumer's recorded cycle to 0.
+            let to = e.to;
+            let from_cycle = s.cycle_of[e.from].unwrap();
+            if from_cycle > 0 || e.latency > 0 {
+                // remove from old row, insert into row 0
+                for row in s.cycles.iter_mut() {
+                    row.retain(|&i| i != to);
+                }
+                s.cycles[0].insert(0, to);
+                s.cycle_of[to] = Some(0);
+                assert!(verify_schedule(&lr, &ddg, &m, &s).is_err());
+            }
+        }
+
+        // Overfill a cycle: resource violation.
+        let mut s = good.clone();
+        let all: Vec<usize> = (0..lr.lops.len()).collect();
+        s.cycles[0] = all.clone();
+        s.cycles.truncate(1);
+        for (i, c) in s.cycle_of.iter_mut().enumerate() {
+            let _ = i;
+            *c = Some(0);
+        }
+        let _ = all;
+        assert!(verify_schedule(&lr, &ddg, &m, &s).is_err());
+    }
+}

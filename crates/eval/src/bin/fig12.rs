@@ -1,0 +1,62 @@
+//! Regenerates the paper's Figure 12: the topmost Figure 1 treegion after
+//! tail duplication of bb5, and the whole-CFG collapse under a generous
+//! expansion limit.
+
+use treegion::{form_treegions, form_treegions_td, TailDupLimits};
+use treegion_workloads::shapes;
+
+fn main() {
+    let (f, ids) = shapes::figure1();
+    let plain = form_treegions(&f);
+    println!("=== before tail duplication ===");
+    for r in plain.regions() {
+        println!(
+            "treegion @ {}: blocks {:?}, {} paths",
+            r.root(),
+            r.blocks(),
+            r.path_count()
+        );
+    }
+
+    for limits in [
+        TailDupLimits::expansion_2_0(),
+        TailDupLimits::expansion_3_0(),
+        TailDupLimits {
+            code_expansion: 10.0,
+            path_limit: 20,
+            merge_limit: 4,
+        },
+    ] {
+        let res = form_treegions_td(&f, &limits);
+        println!(
+            "\n=== tail duplication, expansion limit {:.1} ===",
+            limits.code_expansion
+        );
+        for r in res.regions.regions() {
+            let labels: Vec<String> = r
+                .blocks()
+                .iter()
+                .map(|b| {
+                    let o = res.origin[b.index()];
+                    if o == *b {
+                        format!("{b}")
+                    } else {
+                        format!("{b}(copy of {o})")
+                    }
+                })
+                .collect();
+            println!(
+                "treegion @ {}: [{}], {} paths",
+                r.root(),
+                labels.join(", "),
+                r.path_count()
+            );
+        }
+    }
+    println!(
+        "\n(paper: bb5 — our {} — is tail duplicated so both bb3 and bb4 keep\n\
+         private copies; with no effective limit the whole CFG becomes one\n\
+         treegion with one tree path per original execution path)",
+        ids[4]
+    );
+}

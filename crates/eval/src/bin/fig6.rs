@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig6 (4U and 8U machine models).
+use treegion_eval::{fig6, Suite};
+use treegion_machine::MachineModel;
+
+fn main() {
+    let suite = Suite::load();
+    print!("{}", fig6(&suite, &MachineModel::model_4u()).render());
+    println!();
+    print!("{}", fig6(&suite, &MachineModel::model_8u()).render());
+}

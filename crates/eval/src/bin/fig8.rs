@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig8 (4U and 8U machine models).
+use treegion_eval::{fig8, Suite};
+use treegion_machine::MachineModel;
+
+fn main() {
+    let suite = Suite::load();
+    print!("{}", fig8(&suite, &MachineModel::model_4u()).render());
+    println!();
+    print!("{}", fig8(&suite, &MachineModel::model_8u()).render());
+}

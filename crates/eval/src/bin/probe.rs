@@ -1,0 +1,50 @@
+//! Diagnostic probe: per-scheme schedule anatomy for one benchmark.
+use treegion::Heuristic;
+use treegion_eval::{form_function, schedule_function, RegionConfig};
+use treegion_machine::MachineModel;
+use treegion_workloads::{generate, spec_suite};
+
+fn main() {
+    let idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let spec = &spec_suite()[idx];
+    let m = generate(spec);
+    let mach = MachineModel::model_4u();
+    for cfg in [
+        RegionConfig::BasicBlock,
+        RegionConfig::Slr,
+        RegionConfig::Treegion,
+    ] {
+        let mut time = 0.0;
+        let mut cycles_total = 0usize;
+        let mut ops_total = 0usize;
+        let mut regions = 0usize;
+        let mut slots_used = 0usize;
+        let mut weighted_height = 0.0;
+        let mut weight_total = 0.0;
+        for f in m.functions() {
+            let formed = form_function(f, &cfg);
+            for s in schedule_function(&formed, &mach, Heuristic::DependenceHeight, false) {
+                time += s.schedule.estimated_time(&s.lowered);
+                cycles_total += s.schedule.length();
+                ops_total += s.lowered.num_ops();
+                slots_used += s.schedule.issued_ops();
+                regions += 1;
+                let w: f64 = s.lowered.exits.iter().map(|e| e.count).sum();
+                weight_total += w;
+                weighted_height += s.schedule.length() as f64 * w;
+            }
+        }
+        println!(
+            "{:<6} time={:>10.0} regions={:>5} ops/region={:>5.1} cyc/region={:>4.1} ipc={:.2} wavg_len={:.2} h/x={:.2}",
+            cfg.label(), time, regions,
+            ops_total as f64 / regions as f64,
+            cycles_total as f64 / regions as f64,
+            slots_used as f64 / cycles_total as f64,
+            weighted_height / weight_total,
+            time / weight_total,
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Diagnostic: dominator-parallelism elimination rates under fig13 config.
+use treegion::{Heuristic, TailDupLimits};
+use treegion_eval::{form_function, schedule_function, RegionConfig};
+use treegion_machine::MachineModel;
+use treegion_workloads::{generate, spec_suite};
+
+fn main() {
+    let spec = &spec_suite()[5]; // m88ksim
+    let m = generate(spec);
+    let mach = MachineModel::model_4u();
+    for (label, cfg, dompar) in [
+        ("sb", RegionConfig::Superblock, false),
+        (
+            "td2-nodompar",
+            RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()),
+            false,
+        ),
+        (
+            "td2-dompar",
+            RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()),
+            true,
+        ),
+        (
+            "td3-dompar",
+            RegionConfig::TreegionTd(TailDupLimits::expansion_3_0()),
+            true,
+        ),
+    ] {
+        let mut time = 0.0;
+        let mut ops = 0usize;
+        let mut eliminated = 0usize;
+        let mut regions = 0usize;
+        for f in m.functions() {
+            let formed = form_function(f, &cfg);
+            for s in schedule_function(&formed, &mach, Heuristic::GlobalWeight, dompar) {
+                time += s.schedule.estimated_time(&s.lowered);
+                ops += s.lowered.num_ops();
+                eliminated += s.schedule.eliminated.len();
+                regions += 1;
+            }
+        }
+        println!(
+            "{label:<14} time={time:>10.0} regions={regions:>4} ops={ops:>6} eliminated={eliminated:>5} ({:.1}%)",
+            100.0 * eliminated as f64 / ops as f64
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Prints the paper's analysis shapes (Figures 7, 9, 10) and how each
+//! heuristic schedules them — the mechanisms behind the Figure 8 results.
+
+use treegion::{form_treegions, lower_region, schedule_region, Heuristic, ScheduleOptions};
+use treegion_analysis::{Cfg, Liveness};
+use treegion_ir::{print_function, Function};
+use treegion_machine::MachineModel;
+use treegion_workloads::shapes;
+
+fn times(f: &Function, machine: &MachineModel) -> Vec<(Heuristic, f64)> {
+    let set = form_treegions(f);
+    let cfg = Cfg::new(f);
+    let live = Liveness::new(f, &cfg);
+    Heuristic::ALL
+        .into_iter()
+        .map(|h| {
+            let t = set
+                .regions()
+                .iter()
+                .map(|r| {
+                    let lowered = lower_region(f, r, &live, None);
+                    schedule_region(
+                        &lowered,
+                        machine,
+                        &ScheduleOptions {
+                            heuristic: h,
+                            dominator_parallelism: false,
+                            ..Default::default()
+                        },
+                    )
+                    .estimated_time(&lowered)
+                })
+                .sum();
+            (h, t)
+        })
+        .collect()
+}
+
+fn show(title: &str, f: &Function, machine: &MachineModel) {
+    println!("==== {title} ====\n");
+    println!("{}", print_function(f));
+    for (h, t) in times(f, machine) {
+        println!("  {h:<15} estimated time {t:>8.0}");
+    }
+    println!();
+}
+
+fn main() {
+    let machine = MachineModel::model_4u();
+    let (biased, _) = shapes::biased_treegion();
+    show("Figure 7: biased treegion (ijpeg)", &biased, &machine);
+    let (wide, _) = shapes::wide_shallow(8);
+    show(
+        "Figure 9: wide shallow treegion (gcc/perl)",
+        &wide,
+        &machine,
+    );
+    let (lin, _) = shapes::linearized(6);
+    show("Figure 10: linearized treegion (vortex)", &lin, &machine);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table1 (see DESIGN.md experiment index).
+use treegion_eval::{table1, Suite};
+
+fn main() {
+    let suite = Suite::load();
+    print!("{}", table1(&suite).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table2 (see DESIGN.md experiment index).
+use treegion_eval::{table2, Suite};
+
+fn main() {
+    let suite = Suite::load();
+    print!("{}", table2(&suite).render());
+}

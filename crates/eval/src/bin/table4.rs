@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table4 (see DESIGN.md experiment index).
+use treegion_eval::{table4, Suite};
+
+fn main() {
+    let suite = Suite::load();
+    print!("{}", table4(&suite).render());
+}

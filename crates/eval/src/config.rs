@@ -1,0 +1,82 @@
+//! Experiment configuration: which region type, heuristic, and machine.
+
+use treegion::{Heuristic, TailDupLimits};
+
+/// Which region formation to evaluate.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum RegionConfig {
+    /// One region per basic block.
+    BasicBlock,
+    /// Simple linear regions (Section 3).
+    Slr,
+    /// Superblocks (traces + tail duplication).
+    Superblock,
+    /// Treegions without tail duplication (Figure 2).
+    Treegion,
+    /// Treegions with tail duplication under the given limits (Figure 11).
+    TreegionTd(TailDupLimits),
+}
+
+impl RegionConfig {
+    /// Short label for report tables.
+    pub fn label(&self) -> String {
+        match self {
+            RegionConfig::BasicBlock => "bb".into(),
+            RegionConfig::Slr => "slr".into(),
+            RegionConfig::Superblock => "sb".into(),
+            RegionConfig::Treegion => "tree".into(),
+            RegionConfig::TreegionTd(l) => format!("tree({:.1})", l.code_expansion),
+        }
+    }
+}
+
+/// A full evaluation configuration.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Region formation.
+    pub region: RegionConfig,
+    /// Scheduling heuristic.
+    pub heuristic: Heuristic,
+    /// Dominator parallelism on/off (only meaningful with tail
+    /// duplication, where twins exist).
+    pub dominator_parallelism: bool,
+}
+
+impl EvalConfig {
+    /// Convenience constructor.
+    pub fn new(region: RegionConfig, heuristic: Heuristic) -> Self {
+        EvalConfig {
+            region,
+            heuristic,
+            dominator_parallelism: matches!(region, RegionConfig::TreegionTd(_)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_include_expansion_limit() {
+        assert_eq!(RegionConfig::BasicBlock.label(), "bb");
+        assert_eq!(
+            RegionConfig::TreegionTd(TailDupLimits::expansion_3_0()).label(),
+            "tree(3.0)"
+        );
+    }
+
+    #[test]
+    fn dompar_defaults_on_for_tail_dup_only() {
+        assert!(
+            EvalConfig::new(
+                RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()),
+                Heuristic::GlobalWeight
+            )
+            .dominator_parallelism
+        );
+        assert!(
+            !EvalConfig::new(RegionConfig::Treegion, Heuristic::GlobalWeight).dominator_parallelism
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (see DESIGN.md's experiment index).
+
+use crate::pipeline::{baseline_time, program_time};
+use crate::report::{f2, f3, Table};
+use crate::stats::region_stats;
+use crate::{EvalConfig, RegionConfig};
+use treegion::{Heuristic, TailDupLimits};
+use treegion_ir::Module;
+use treegion_machine::MachineModel;
+use treegion_workloads::generate_suite;
+
+/// The generated benchmark suite plus cached 1U basic-block baselines.
+#[derive(Clone, Debug)]
+pub struct Suite {
+    /// One module per SPECint95-style benchmark.
+    pub modules: Vec<Module>,
+    /// Cached baseline time (1U, basic blocks) per module.
+    pub baselines: Vec<f64>,
+}
+
+impl Suite {
+    /// Generates the eight benchmarks and their baselines.
+    pub fn load() -> Self {
+        let modules = generate_suite();
+        let baselines = modules.iter().map(baseline_time).collect();
+        Suite { modules, baselines }
+    }
+
+    /// A reduced suite (first `n` benchmarks) for quick tests.
+    pub fn load_small(n: usize) -> Self {
+        let modules: Vec<Module> = generate_suite().into_iter().take(n).collect();
+        let baselines = modules.iter().map(baseline_time).collect();
+        Suite { modules, baselines }
+    }
+
+    fn speedup(&self, idx: usize, config: &EvalConfig, machine: &MachineModel) -> f64 {
+        self.baselines[idx] / program_time(&self.modules[idx], config, machine)
+    }
+}
+
+/// Table 1: treegion statistics (avg/max blocks, avg ops per treegion).
+pub fn table1(suite: &Suite) -> Table {
+    stats_table(
+        suite,
+        "Table 1: Treegion statistics",
+        &RegionConfig::Treegion,
+    )
+}
+
+/// Table 2: SLR statistics.
+pub fn table2(suite: &Suite) -> Table {
+    stats_table(suite, "Table 2: SLR statistics", &RegionConfig::Slr)
+}
+
+fn stats_table(suite: &Suite, title: &str, config: &RegionConfig) -> Table {
+    let mut t = Table::new(title, vec!["program", "avg #bb", "max #bb", "avg #ops"]);
+    for m in &suite.modules {
+        let s = region_stats(m, config);
+        t.row(vec![
+            m.name().into(),
+            f2(s.avg_blocks),
+            s.max_blocks.to_string(),
+            f2(s.avg_ops),
+        ]);
+    }
+    t
+}
+
+/// Table 3: code expansion for superblocks and treegions with tail
+/// duplication limits 2.0 and 3.0.
+pub fn table3(suite: &Suite) -> Table {
+    let mut t = Table::new(
+        "Table 3: Code expansion",
+        vec!["program", "sb", "tree(2.0)", "tree(3.0)"],
+    );
+    let configs = [
+        RegionConfig::Superblock,
+        RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()),
+        RegionConfig::TreegionTd(TailDupLimits::expansion_3_0()),
+    ];
+    let mut sums = [0.0f64; 3];
+    for m in &suite.modules {
+        let mut cells = vec![m.name().to_string()];
+        for (k, c) in configs.iter().enumerate() {
+            let s = region_stats(m, c);
+            sums[k] += s.code_expansion;
+            cells.push(f2(s.code_expansion));
+        }
+        t.row(cells);
+    }
+    let n = suite.modules.len() as f64;
+    t.row(vec![
+        "average".into(),
+        f2(sums[0] / n),
+        f2(sums[1] / n),
+        f2(sums[2] / n),
+    ]);
+    t
+}
+
+/// Table 4: region count, avg blocks, avg ops for superblocks vs
+/// treegions with tail duplication (limit 2.0).
+pub fn table4(suite: &Suite) -> Table {
+    let mut t = Table::new(
+        "Table 4: Superblock and tail-duplicated treegion statistics",
+        vec![
+            "program",
+            "#regions sb",
+            "#regions tree(2.0)",
+            "avg #bb sb",
+            "avg #bb tree(2.0)",
+            "avg #ops sb",
+            "avg #ops tree(2.0)",
+        ],
+    );
+    for m in &suite.modules {
+        let sb = region_stats(m, &RegionConfig::Superblock);
+        let td = region_stats(m, &RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()));
+        t.row(vec![
+            m.name().into(),
+            sb.num_regions.to_string(),
+            td.num_regions.to_string(),
+            f2(sb.avg_blocks),
+            f2(td.avg_blocks),
+            f2(sb.avg_ops),
+            f2(td.avg_ops),
+        ]);
+    }
+    t
+}
+
+/// Figure 6: speedup of dependence-height scheduling for basic blocks,
+/// SLRs, and treegions, on the given machine.
+pub fn fig6(suite: &Suite, machine: &MachineModel) -> Table {
+    let mut t = Table::new(
+        format!("Figure 6: dependence-height treegion scheduling ({machine})"),
+        vec!["program", "bb", "slr", "tree"],
+    );
+    let configs = [
+        RegionConfig::BasicBlock,
+        RegionConfig::Slr,
+        RegionConfig::Treegion,
+    ];
+    speedup_rows(
+        suite,
+        machine,
+        &mut t,
+        &configs,
+        Heuristic::DependenceHeight,
+    );
+    t
+}
+
+/// Figure 8: all four treegion heuristics on the given machine.
+pub fn fig8(suite: &Suite, machine: &MachineModel) -> Table {
+    let mut t = Table::new(
+        format!("Figure 8: treegion scheduling heuristics ({machine})"),
+        vec![
+            "program",
+            "dep-height",
+            "exit-count",
+            "global-weight",
+            "weighted-count",
+        ],
+    );
+    let mut sums = vec![0.0f64; Heuristic::ALL.len()];
+    for (i, m) in suite.modules.iter().enumerate() {
+        let mut cells = vec![m.name().to_string()];
+        for (k, h) in Heuristic::ALL.into_iter().enumerate() {
+            let s = suite.speedup(i, &EvalConfig::new(RegionConfig::Treegion, h), machine);
+            sums[k] += s;
+            cells.push(f3(s));
+        }
+        t.row(cells);
+    }
+    average_row(&mut t, &sums, suite.modules.len());
+    t
+}
+
+/// Figure 13: global-weight scheduling of tail-duplicated treegions
+/// (dominator parallelism on) versus superblocks, on the given machine.
+pub fn fig13(suite: &Suite, machine: &MachineModel) -> Table {
+    let mut t = Table::new(
+        format!("Figure 13: global-weight tail-duplicated treegions ({machine})"),
+        vec!["program", "sb", "tree(2.0)", "tree(3.0)"],
+    );
+    let configs = [
+        RegionConfig::Superblock,
+        RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()),
+        RegionConfig::TreegionTd(TailDupLimits::expansion_3_0()),
+    ];
+    speedup_rows(suite, machine, &mut t, &configs, Heuristic::GlobalWeight);
+    t
+}
+
+fn speedup_rows(
+    suite: &Suite,
+    machine: &MachineModel,
+    t: &mut Table,
+    configs: &[RegionConfig],
+    heuristic: Heuristic,
+) {
+    let mut sums = vec![0.0f64; configs.len()];
+    for (i, m) in suite.modules.iter().enumerate() {
+        let mut cells = vec![m.name().to_string()];
+        for (k, c) in configs.iter().enumerate() {
+            let s = suite.speedup(i, &EvalConfig::new(*c, heuristic), machine);
+            sums[k] += s;
+            cells.push(f3(s));
+        }
+        t.row(cells);
+    }
+    average_row(t, &sums, suite.modules.len());
+}
+
+fn average_row(t: &mut Table, sums: &[f64], n: usize) {
+    let mut cells = vec!["average".to_string()];
+    for s in sums {
+        cells.push(f3(s / n as f64));
+    }
+    t.row(cells);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_produces_all_tables() {
+        let suite = Suite::load_small(1); // compress only: fast
+        let m4 = MachineModel::model_4u();
+        for table in [
+            table1(&suite),
+            table2(&suite),
+            table3(&suite),
+            table4(&suite),
+            fig6(&suite, &m4),
+            fig8(&suite, &m4),
+            fig13(&suite, &m4),
+        ] {
+            let text = table.render();
+            assert!(text.contains("compress"), "{text}");
+            assert!(!table.rows.is_empty());
+        }
+    }
+
+    #[test]
+    fn fig6_speedups_exceed_one_on_4u() {
+        let suite = Suite::load_small(1);
+        let t = fig6(&suite, &MachineModel::model_4u());
+        // All speedups over the 1U baseline should exceed 1 on a 4-issue
+        // machine, for every region type.
+        for row in &t.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 1.0, "{} {:?}", t.title, row);
+            }
+        }
+    }
+}

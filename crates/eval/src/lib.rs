@@ -1,0 +1,43 @@
+//! # treegion-eval
+//!
+//! Experiment harness for the treegion reproduction: region statistics,
+//! code expansion, the paper's analytic execution-time estimator
+//! (profile count × schedule height), speedups over the 1U basic-block
+//! baseline, and table/figure generators matching the paper's evaluation
+//! (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured numbers).
+//!
+//! Each table/figure also has a binary (`cargo run -p treegion-eval
+//! --bin table1`, `--bin fig6`, ... or `--bin all`).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use treegion_eval::{fig8, Suite};
+//! use treegion_machine::MachineModel;
+//!
+//! let suite = Suite::load();
+//! println!("{}", fig8(&suite, &MachineModel::model_4u()).render());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod dynamic;
+mod harness;
+mod pipeline;
+mod report;
+mod stats;
+mod variation;
+
+pub use config::{EvalConfig, RegionConfig};
+pub use dynamic::{validate_dynamic, DynamicReport};
+pub use harness::{fig13, fig6, fig8, table1, table2, table3, table4, Suite};
+pub use pipeline::{
+    baseline_time, form_function, program_time, schedule_function, speedup, speedup_with_baseline,
+    FormedFunction, ScheduledRegion,
+};
+pub use report::{f2, f3, Table};
+pub use stats::{region_stats, RegionStats};
+pub use variation::{perturb_profile, variation_speedups, variation_table};

@@ -1,0 +1,212 @@
+//! The compile pipeline shared by every experiment: apply region
+//! formation (possibly transforming the function), lower and schedule
+//! every region, and aggregate statistics / estimated times.
+
+use crate::{EvalConfig, RegionConfig};
+use treegion::{
+    form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
+    lower_region, schedule_region, Heuristic, LoweredRegion, RegionSet, Schedule, ScheduleOptions,
+};
+use treegion_analysis::{Cfg, Liveness};
+use treegion_ir::{BlockId, Function, Module};
+use treegion_machine::MachineModel;
+
+/// A function after region formation (tail duplication may have produced
+/// a transformed copy).
+#[derive(Clone, Debug)]
+pub struct FormedFunction {
+    /// The (possibly transformed) function.
+    pub function: Function,
+    /// Its region partition.
+    pub regions: RegionSet,
+    /// Per-block origin map (identity when no duplication happened).
+    pub origin: Vec<BlockId>,
+    /// Op count of the original, untransformed function.
+    pub original_ops: usize,
+}
+
+/// Applies `config`'s region formation to one function.
+pub fn form_function(f: &Function, config: &RegionConfig) -> FormedFunction {
+    let original_ops = f.num_ops();
+    let identity: Vec<BlockId> = f.block_ids().collect();
+    match config {
+        RegionConfig::BasicBlock => FormedFunction {
+            function: f.clone(),
+            regions: form_basic_blocks(f),
+            origin: identity,
+            original_ops,
+        },
+        RegionConfig::Slr => FormedFunction {
+            function: f.clone(),
+            regions: form_slrs(f),
+            origin: identity,
+            original_ops,
+        },
+        RegionConfig::Treegion => FormedFunction {
+            function: f.clone(),
+            regions: form_treegions(f),
+            origin: identity,
+            original_ops,
+        },
+        RegionConfig::Superblock => {
+            let r = form_superblocks(f);
+            FormedFunction {
+                function: r.function,
+                regions: r.regions,
+                origin: r.origin,
+                original_ops,
+            }
+        }
+        RegionConfig::TreegionTd(limits) => {
+            let r = form_treegions_td(f, limits);
+            FormedFunction {
+                function: r.function,
+                regions: r.regions,
+                origin: r.origin,
+                original_ops,
+            }
+        }
+    }
+}
+
+/// A scheduled region with its lowering.
+#[derive(Clone, Debug)]
+pub struct ScheduledRegion {
+    /// Lowered form.
+    pub lowered: LoweredRegion,
+    /// Its schedule.
+    pub schedule: Schedule,
+}
+
+/// Lowers and schedules every region of a formed function.
+pub fn schedule_function(
+    formed: &FormedFunction,
+    machine: &MachineModel,
+    heuristic: Heuristic,
+    dominator_parallelism: bool,
+) -> Vec<ScheduledRegion> {
+    let cfg = Cfg::new(&formed.function);
+    let live = Liveness::new(&formed.function, &cfg);
+    let opts = ScheduleOptions {
+        heuristic,
+        dominator_parallelism,
+        ..Default::default()
+    };
+    formed
+        .regions
+        .regions()
+        .iter()
+        .map(|r| {
+            let lowered = lower_region(&formed.function, r, &live, Some(&formed.origin));
+            let schedule = schedule_region(&lowered, machine, &opts);
+            ScheduledRegion { lowered, schedule }
+        })
+        .collect()
+}
+
+/// Estimated execution time of a whole module under a configuration:
+/// Σ over functions Σ over regions Σ over exits (count × schedule height).
+pub fn program_time(module: &Module, config: &EvalConfig, machine: &MachineModel) -> f64 {
+    module
+        .functions()
+        .iter()
+        .map(|f| {
+            let formed = form_function(f, &config.region);
+            schedule_function(
+                &formed,
+                machine,
+                config.heuristic,
+                config.dominator_parallelism,
+            )
+            .iter()
+            .map(|s| s.schedule.estimated_time(&s.lowered))
+            .sum::<f64>()
+        })
+        .sum()
+}
+
+/// The paper's baseline: basic-block scheduling on the 1-issue machine.
+pub fn baseline_time(module: &Module) -> f64 {
+    program_time(
+        module,
+        &EvalConfig::new(RegionConfig::BasicBlock, Heuristic::DependenceHeight),
+        &MachineModel::model_1u(),
+    )
+}
+
+/// Speedup of `config` on `machine` over the 1U basic-block baseline.
+pub fn speedup(module: &Module, config: &EvalConfig, machine: &MachineModel) -> f64 {
+    baseline_time(module) / program_time(module, config, machine)
+}
+
+/// Speedup with a precomputed baseline (reuse across configs).
+pub fn speedup_with_baseline(
+    module: &Module,
+    baseline: f64,
+    config: &EvalConfig,
+    machine: &MachineModel,
+) -> f64 {
+    baseline / program_time(module, config, machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion::TailDupLimits;
+    use treegion_workloads::{generate, BenchmarkSpec};
+
+    #[test]
+    fn all_region_configs_form_valid_partitions() {
+        let m = generate(&BenchmarkSpec::tiny(9));
+        for cfg in [
+            RegionConfig::BasicBlock,
+            RegionConfig::Slr,
+            RegionConfig::Superblock,
+            RegionConfig::Treegion,
+            RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()),
+        ] {
+            for f in m.functions() {
+                let formed = form_function(f, &cfg);
+                assert!(formed.regions.is_partition_of(&formed.function), "{cfg:?}");
+                treegion_ir::verify_profile(&formed.function).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn wider_issue_never_slows_a_program_down() {
+        let m = generate(&BenchmarkSpec::tiny(11));
+        let cfg = EvalConfig::new(RegionConfig::Treegion, Heuristic::DependenceHeight);
+        let t1 = program_time(&m, &cfg, &MachineModel::model_1u());
+        let t4 = program_time(&m, &cfg, &MachineModel::model_4u());
+        let t8 = program_time(&m, &cfg, &MachineModel::model_8u());
+        assert!(t4 <= t1 && t8 <= t4, "t1={t1} t4={t4} t8={t8}");
+    }
+
+    #[test]
+    fn speedup_of_baseline_config_is_one() {
+        let m = generate(&BenchmarkSpec::tiny(13));
+        let cfg = EvalConfig::new(RegionConfig::BasicBlock, Heuristic::DependenceHeight);
+        let s = speedup(&m, &cfg, &MachineModel::model_1u());
+        assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn treegions_beat_basic_blocks_on_wide_machines() {
+        let m = generate(&BenchmarkSpec::tiny(17));
+        let base = baseline_time(&m);
+        let bb = speedup_with_baseline(
+            &m,
+            base,
+            &EvalConfig::new(RegionConfig::BasicBlock, Heuristic::DependenceHeight),
+            &MachineModel::model_4u(),
+        );
+        let tree = speedup_with_baseline(
+            &m,
+            base,
+            &EvalConfig::new(RegionConfig::Treegion, Heuristic::DependenceHeight),
+            &MachineModel::model_4u(),
+        );
+        assert!(tree >= bb, "tree {tree} < bb {bb}");
+    }
+}

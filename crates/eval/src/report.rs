@@ -1,0 +1,99 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment table (one per paper table/figure).
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Title shown above the table.
+    pub title: String,
+    /// Column headers; the first column is the row label.
+    pub headers: Vec<String>,
+    /// Rows of cells (first cell is the label).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<&str>) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let line = |cells: &[String], out: &mut String| {
+            let rendered: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!(" {:<w$} ", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", rendered.join("|"));
+        };
+        line(&self.headers, &mut out);
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimal places (the paper's usual precision).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimal places (speedups).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", vec!["prog", "value"]);
+        t.row(vec!["compress".into(), f2(1.5)]);
+        t.row(vec!["go".into(), f2(12.25)]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("compress"));
+        assert!(s.lines().count() >= 5);
+        // Columns aligned: both data lines have the pipe at the same index.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        let idx: Vec<usize> = lines.iter().map(|l| l.find('|').unwrap()).collect();
+        assert!(idx.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn rejects_wrong_arity() {
+        let mut t = Table::new("x", vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

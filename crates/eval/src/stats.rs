@@ -1,0 +1,103 @@
+//! Region statistics (Tables 1, 2, 4) and code expansion (Table 3).
+
+use crate::pipeline::{form_function, FormedFunction};
+use crate::RegionConfig;
+use treegion::lower_region;
+use treegion_analysis::{Cfg, Liveness};
+use treegion_ir::Module;
+
+/// Aggregate region statistics for one program under one region type —
+/// the rows of the paper's Tables 1, 2, and 4.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegionStats {
+    /// Total number of regions.
+    pub num_regions: usize,
+    /// Average basic blocks per region.
+    pub avg_blocks: f64,
+    /// Maximum basic blocks in any region.
+    pub max_blocks: usize,
+    /// Average lowered ops per region (source ops plus materialized
+    /// compare/branch ops — the paper's "# instrs" / "# Ops").
+    pub avg_ops: f64,
+    /// Code expansion factor: lowered ops after formation ÷ lowered ops
+    /// under basic-block formation of the original program (Table 3).
+    pub code_expansion: f64,
+}
+
+/// Computes region statistics for `module` under `config`.
+pub fn region_stats(module: &Module, config: &RegionConfig) -> RegionStats {
+    let mut num_regions = 0usize;
+    let mut total_blocks = 0usize;
+    let mut max_blocks = 0usize;
+    let mut total_ops = 0usize;
+    let mut original_source_ops = 0usize;
+    let mut source_ops_after = 0usize;
+
+    for f in module.functions() {
+        let formed: FormedFunction = form_function(f, config);
+        let cfg = Cfg::new(&formed.function);
+        let live = Liveness::new(&formed.function, &cfg);
+        original_source_ops += formed.original_ops;
+        source_ops_after += formed.function.num_ops();
+        for r in formed.regions.regions() {
+            num_regions += 1;
+            total_blocks += r.num_blocks();
+            max_blocks = max_blocks.max(r.num_blocks());
+            let lowered = lower_region(&formed.function, r, &live, Some(&formed.origin));
+            total_ops += lowered.num_ops();
+        }
+    }
+    RegionStats {
+        num_regions,
+        avg_blocks: total_blocks as f64 / num_regions.max(1) as f64,
+        max_blocks,
+        avg_ops: total_ops as f64 / num_regions.max(1) as f64,
+        code_expansion: source_ops_after as f64 / original_source_ops.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion::TailDupLimits;
+    use treegion_workloads::{generate, BenchmarkSpec};
+
+    #[test]
+    fn basic_block_stats_are_unit_sized() {
+        let m = generate(&BenchmarkSpec::tiny(21));
+        let s = region_stats(&m, &RegionConfig::BasicBlock);
+        assert_eq!(s.avg_blocks, 1.0);
+        assert_eq!(s.max_blocks, 1);
+        assert_eq!(s.num_regions, m.num_blocks());
+        assert!((s.code_expansion - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn treegions_are_larger_than_slrs_which_exceed_blocks() {
+        let m = generate(&BenchmarkSpec::tiny(23));
+        let bb = region_stats(&m, &RegionConfig::BasicBlock);
+        let slr = region_stats(&m, &RegionConfig::Slr);
+        let tree = region_stats(&m, &RegionConfig::Treegion);
+        assert!(slr.avg_blocks >= bb.avg_blocks);
+        assert!(tree.avg_blocks >= slr.avg_blocks);
+        assert!(tree.avg_ops > slr.avg_ops);
+    }
+
+    #[test]
+    fn tail_duplication_expands_code() {
+        let m = generate(&BenchmarkSpec::tiny(25));
+        let tree = region_stats(&m, &RegionConfig::Treegion);
+        let td2 = region_stats(
+            &m,
+            &RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()),
+        );
+        let td3 = region_stats(
+            &m,
+            &RegionConfig::TreegionTd(TailDupLimits::expansion_3_0()),
+        );
+        assert!((tree.code_expansion - 1.0).abs() < 1e-12);
+        assert!(td2.code_expansion >= 1.0);
+        assert!(td3.code_expansion >= td2.code_expansion);
+        assert!(td2.avg_blocks >= tree.avg_blocks);
+    }
+}

@@ -1,0 +1,286 @@
+//! Basic blocks, control-flow edges, and terminators.
+
+use crate::{Op, Reg};
+use std::fmt;
+
+/// Identifies a basic block within a [`Function`](crate::Function).
+///
+/// Block ids are dense indices; blocks are never removed, only added (tail
+/// duplication creates new blocks), so ids stay stable for the lifetime of
+/// a function.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block id from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        BlockId(index as u32)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A profile-weighted control-flow edge to `target`.
+///
+/// `count` is the number of times the edge was traversed in the profiling
+/// run (the paper uses training-input profiles from SPECint95; our
+/// workloads synthesize equivalent counts).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Edge {
+    /// Destination block.
+    pub target: BlockId,
+    /// Profile traversal count.
+    pub count: f64,
+}
+
+impl Edge {
+    /// Creates an edge.
+    pub fn new(target: BlockId, count: f64) -> Self {
+        Edge { target, count }
+    }
+}
+
+/// One case of a [`Terminator::Switch`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SwitchCase {
+    /// The matched value.
+    pub value: i64,
+    /// The edge taken when the switch operand equals `value`.
+    pub edge: Edge,
+}
+
+/// How control leaves a basic block.
+///
+/// Control flow is structured at the IR level; region lowering converts
+/// terminators into the PlayDoh-style `CMPP`/`PBR`/branch op sequences seen
+/// in the paper's figures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(Edge),
+    /// Two-way conditional branch: taken if `cond != 0`.
+    Branch {
+        /// GPR holding the condition (0 = false).
+        cond: Reg,
+        /// Edge taken when `cond != 0`.
+        then_: Edge,
+        /// Edge taken when `cond == 0`.
+        else_: Edge,
+    },
+    /// Multiway branch on the value of `on`. The paper's gcc/perl treegions
+    /// are rooted by such branches (Figure 9).
+    Switch {
+        /// GPR that is compared against each case value.
+        on: Reg,
+        /// The cases, in matching order.
+        cases: Vec<SwitchCase>,
+        /// Edge taken when no case matches.
+        default: Edge,
+    },
+    /// Function return with an optional value.
+    Ret {
+        /// Returned GPR, if any.
+        value: Option<Reg>,
+    },
+}
+
+impl Terminator {
+    /// Iterates over the outgoing edges, in successor order
+    /// (then/else for branches; cases then default for switches).
+    pub fn edges(&self) -> Vec<Edge> {
+        match self {
+            Terminator::Jump(e) => vec![*e],
+            Terminator::Branch { then_, else_, .. } => vec![*then_, *else_],
+            Terminator::Switch { cases, default, .. } => {
+                let mut v: Vec<Edge> = cases.iter().map(|c| c.edge).collect();
+                v.push(*default);
+                v
+            }
+            Terminator::Ret { .. } => vec![],
+        }
+    }
+
+    /// Successor block ids, in successor order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        self.edges().into_iter().map(|e| e.target).collect()
+    }
+
+    /// Total outgoing profile count.
+    pub fn out_count(&self) -> f64 {
+        self.edges().iter().map(|e| e.count).sum()
+    }
+
+    /// Number of successors.
+    pub fn num_successors(&self) -> usize {
+        match self {
+            Terminator::Jump(_) => 1,
+            Terminator::Branch { .. } => 2,
+            Terminator::Switch { cases, .. } => cases.len() + 1,
+            Terminator::Ret { .. } => 0,
+        }
+    }
+
+    /// `true` if this is a return.
+    pub fn is_ret(&self) -> bool {
+        matches!(self, Terminator::Ret { .. })
+    }
+
+    /// Rewrites every edge target using `f`, which is called once per edge
+    /// in successor order (used by tail duplication).
+    pub fn retarget(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jump(e) => e.target = f(e.target),
+            Terminator::Branch { then_, else_, .. } => {
+                then_.target = f(then_.target);
+                else_.target = f(else_.target);
+            }
+            Terminator::Switch { cases, default, .. } => {
+                for c in cases.iter_mut() {
+                    c.edge.target = f(c.edge.target);
+                }
+                default.target = f(default.target);
+            }
+            Terminator::Ret { .. } => {}
+        }
+    }
+
+    /// Scales every edge count by `factor` (used when splitting profile
+    /// weight across tail-duplicated copies).
+    pub fn scale_counts(&mut self, factor: f64) {
+        match self {
+            Terminator::Jump(e) => e.count *= factor,
+            Terminator::Branch { then_, else_, .. } => {
+                then_.count *= factor;
+                else_.count *= factor;
+            }
+            Terminator::Switch { cases, default, .. } => {
+                for c in cases.iter_mut() {
+                    c.edge.count *= factor;
+                }
+                default.count *= factor;
+            }
+            Terminator::Ret { .. } => {}
+        }
+    }
+}
+
+/// A basic block: straight-line ops plus a terminator, with a profile
+/// execution count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Straight-line operations (no control flow).
+    pub ops: Vec<Op>,
+    /// How control leaves the block.
+    pub term: Terminator,
+    /// Profile execution count of the block.
+    pub weight: f64,
+}
+
+impl Block {
+    /// Creates a block.
+    pub fn new(ops: Vec<Op>, term: Terminator, weight: f64) -> Self {
+        Block { ops, term, weight }
+    }
+
+    /// Successor block ids.
+    pub fn successors(&self) -> Vec<BlockId> {
+        self.term.successors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    fn bb(i: usize) -> BlockId {
+        BlockId::from_index(i)
+    }
+
+    #[test]
+    fn block_id_roundtrip_and_display() {
+        assert_eq!(bb(7).index(), 7);
+        assert_eq!(bb(7).to_string(), "bb7");
+    }
+
+    #[test]
+    fn branch_edges_in_then_else_order() {
+        let t = Terminator::Branch {
+            cond: Reg::gpr(0),
+            then_: Edge::new(bb(1), 30.0),
+            else_: Edge::new(bb(2), 70.0),
+        };
+        assert_eq!(t.successors(), vec![bb(1), bb(2)]);
+        assert_eq!(t.out_count(), 100.0);
+        assert_eq!(t.num_successors(), 2);
+    }
+
+    #[test]
+    fn switch_edges_cases_then_default() {
+        let t = Terminator::Switch {
+            on: Reg::gpr(1),
+            cases: vec![
+                SwitchCase {
+                    value: 0,
+                    edge: Edge::new(bb(1), 10.0),
+                },
+                SwitchCase {
+                    value: 5,
+                    edge: Edge::new(bb(2), 20.0),
+                },
+            ],
+            default: Edge::new(bb(3), 5.0),
+        };
+        assert_eq!(t.successors(), vec![bb(1), bb(2), bb(3)]);
+        assert_eq!(t.num_successors(), 3);
+        assert_eq!(t.out_count(), 35.0);
+    }
+
+    #[test]
+    fn ret_has_no_successors() {
+        let t = Terminator::Ret { value: None };
+        assert!(t.successors().is_empty());
+        assert!(t.is_ret());
+        assert_eq!(t.out_count(), 0.0);
+    }
+
+    #[test]
+    fn retarget_rewrites_all_edges() {
+        let mut t = Terminator::Branch {
+            cond: Reg::gpr(0),
+            then_: Edge::new(bb(1), 1.0),
+            else_: Edge::new(bb(2), 2.0),
+        };
+        t.retarget(|b| if b == bb(1) { bb(9) } else { b });
+        assert_eq!(t.successors(), vec![bb(9), bb(2)]);
+    }
+
+    #[test]
+    fn scale_counts_scales_everything() {
+        let mut t = Terminator::Switch {
+            on: Reg::gpr(1),
+            cases: vec![SwitchCase {
+                value: 0,
+                edge: Edge::new(bb(1), 10.0),
+            }],
+            default: Edge::new(bb(2), 30.0),
+        };
+        t.scale_counts(0.5);
+        assert_eq!(t.out_count(), 20.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Ergonomic function construction.
+//!
+//! [`FunctionBuilder`] lets examples and tests build CFGs in two passes:
+//! declare blocks first (so forward references work), then fill each block
+//! with ops and a terminator.
+
+use crate::{Block, BlockId, Edge, Function, Op, Reg, RegClass, SwitchCase, Terminator};
+
+/// Builder for a [`Function`].
+///
+/// # Examples
+///
+/// Build a diamond CFG:
+///
+/// ```
+/// use treegion_ir::{Cond, FunctionBuilder, Op, RegClass};
+///
+/// let mut b = FunctionBuilder::new("diamond");
+/// let (bb0, bb1, bb2, bb3) = (b.block(), b.block(), b.block(), b.block());
+/// let c = b.reg(RegClass::Gpr);
+/// b.push(bb0, Op::movi(c, 1));
+/// b.branch(bb0, c, (bb1, 60.0), (bb2, 40.0));
+/// b.jump(bb1, bb3, 60.0);
+/// b.jump(bb2, bb3, 40.0);
+/// b.ret(bb3, None);
+/// let f = b.finish();
+/// assert_eq!(f.num_blocks(), 4);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    blocks: Vec<PendingBlock>,
+    next_reg: [u32; 3],
+}
+
+#[derive(Debug, Default)]
+struct PendingBlock {
+    ops: Vec<Op>,
+    term: Option<Terminator>,
+}
+
+impl FunctionBuilder {
+    /// Creates a builder for a function named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            blocks: Vec::new(),
+            next_reg: [0; 3],
+        }
+    }
+
+    /// Declares a new (empty) block; the first declared block is the entry.
+    pub fn block(&mut self) -> BlockId {
+        self.blocks.push(PendingBlock::default());
+        BlockId::from_index(self.blocks.len() - 1)
+    }
+
+    /// Returns a fresh virtual register of the given class.
+    pub fn reg(&mut self, class: RegClass) -> Reg {
+        let slot = &mut self.next_reg[class.index()];
+        let r = Reg::new(class, *slot);
+        *slot += 1;
+        r
+    }
+
+    /// Shorthand for `self.reg(RegClass::Gpr)`.
+    pub fn gpr(&mut self) -> Reg {
+        self.reg(RegClass::Gpr)
+    }
+
+    /// Appends an op to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not declared by this builder.
+    pub fn push(&mut self, block: BlockId, op: Op) {
+        for r in op.defs.iter().chain(op.uses.iter()) {
+            let slot = &mut self.next_reg[r.class().index()];
+            if r.index() >= *slot {
+                *slot = r.index() + 1;
+            }
+        }
+        self.blocks[block.index()].ops.push(op);
+    }
+
+    /// Appends several ops to `block`.
+    pub fn push_all(&mut self, block: BlockId, ops: impl IntoIterator<Item = Op>) {
+        for op in ops {
+            self.push(block, op);
+        }
+    }
+
+    /// Sets `block`'s terminator to an unconditional jump.
+    pub fn jump(&mut self, block: BlockId, target: BlockId, count: f64) {
+        self.set_term(block, Terminator::Jump(Edge::new(target, count)));
+    }
+
+    /// Sets `block`'s terminator to a two-way branch on `cond`.
+    pub fn branch(
+        &mut self,
+        block: BlockId,
+        cond: Reg,
+        then_: (BlockId, f64),
+        else_: (BlockId, f64),
+    ) {
+        self.set_term(
+            block,
+            Terminator::Branch {
+                cond,
+                then_: Edge::new(then_.0, then_.1),
+                else_: Edge::new(else_.0, else_.1),
+            },
+        );
+    }
+
+    /// Sets `block`'s terminator to a multiway switch on `on`.
+    pub fn switch(
+        &mut self,
+        block: BlockId,
+        on: Reg,
+        cases: Vec<(i64, BlockId, f64)>,
+        default: (BlockId, f64),
+    ) {
+        self.set_term(
+            block,
+            Terminator::Switch {
+                on,
+                cases: cases
+                    .into_iter()
+                    .map(|(value, target, count)| SwitchCase {
+                        value,
+                        edge: Edge::new(target, count),
+                    })
+                    .collect(),
+                default: Edge::new(default.0, default.1),
+            },
+        );
+    }
+
+    /// Sets `block`'s terminator to a return.
+    pub fn ret(&mut self, block: BlockId, value: Option<Reg>) {
+        self.set_term(block, Terminator::Ret { value });
+    }
+
+    /// Sets an arbitrary terminator.
+    pub fn set_term(&mut self, block: BlockId, term: Terminator) {
+        self.blocks[block.index()].term = Some(term);
+    }
+
+    /// Finalizes the function. Block weights are set to the sum of outgoing
+    /// edge counts; for return blocks, to the sum of incoming edge counts
+    /// (1.0 for a return-only entry block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any declared block lacks a terminator.
+    pub fn finish(self) -> Function {
+        let mut f = Function::new(self.name);
+        // First pass: materialize blocks with provisional weights.
+        let terms: Vec<Terminator> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                b.term
+                    .clone()
+                    .unwrap_or_else(|| panic!("block bb{i} has no terminator"))
+            })
+            .collect();
+        // Incoming counts, to weight return blocks.
+        let mut incoming = vec![0.0f64; self.blocks.len()];
+        for t in &terms {
+            for e in t.edges() {
+                incoming[e.target.index()] += e.count;
+            }
+        }
+        for (i, pending) in self.blocks.into_iter().enumerate() {
+            let term = terms[i].clone();
+            let weight = if term.is_ret() {
+                if i == 0 {
+                    1.0
+                } else {
+                    incoming[i]
+                }
+            } else {
+                term.out_count()
+            };
+            f.add_block(Block::new(pending.ops, term, weight));
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cond;
+
+    #[test]
+    fn builder_constructs_diamond_with_weights() {
+        let mut b = FunctionBuilder::new("diamond");
+        let (bb0, bb1, bb2, bb3) = (b.block(), b.block(), b.block(), b.block());
+        let c = b.gpr();
+        b.push(bb0, Op::movi(c, 1));
+        b.branch(bb0, c, (bb1, 60.0), (bb2, 40.0));
+        b.jump(bb1, bb3, 60.0);
+        b.jump(bb2, bb3, 40.0);
+        b.ret(bb3, None);
+        let f = b.finish();
+        assert_eq!(f.block(bb0).weight, 100.0);
+        assert_eq!(f.block(bb1).weight, 60.0);
+        assert_eq!(f.block(bb3).weight, 100.0);
+        assert_eq!(f.block(bb0).successors(), vec![bb1, bb2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no terminator")]
+    fn finish_panics_on_missing_terminator() {
+        let mut b = FunctionBuilder::new("bad");
+        let _ = b.block();
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn fresh_regs_do_not_collide_with_pushed_ops() {
+        let mut b = FunctionBuilder::new("t");
+        let bb0 = b.block();
+        b.push(bb0, Op::movi(Reg::gpr(7), 0));
+        let r = b.gpr();
+        assert_eq!(r, Reg::gpr(8));
+        b.ret(bb0, None);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn switch_builder_orders_cases_then_default() {
+        let mut b = FunctionBuilder::new("sw");
+        let (bb0, bb1, bb2, bb3) = (b.block(), b.block(), b.block(), b.block());
+        let on = b.gpr();
+        b.push(bb0, Op::movi(on, 2));
+        b.switch(bb0, on, vec![(1, bb1, 5.0), (2, bb2, 10.0)], (bb3, 1.0));
+        b.ret(bb1, None);
+        b.ret(bb2, None);
+        b.ret(bb3, None);
+        let f = b.finish();
+        assert_eq!(f.block(bb0).successors(), vec![bb1, bb2, bb3]);
+        assert_eq!(f.block(bb0).weight, 16.0);
+    }
+
+    #[test]
+    fn cmp_feeding_branch_builds() {
+        let mut b = FunctionBuilder::new("cmp");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let (x, y, c) = (b.gpr(), b.gpr(), b.gpr());
+        b.push_all(
+            bb0,
+            [Op::movi(x, 1), Op::movi(y, 2), Op::cmp(Cond::Lt, c, x, y)],
+        );
+        b.branch(bb0, c, (bb1, 1.0), (bb2, 0.0));
+        b.ret(bb1, None);
+        b.ret(bb2, None);
+        let f = b.finish();
+        assert_eq!(f.num_ops(), 3);
+    }
+}

@@ -1,0 +1,275 @@
+//! Functions and modules.
+
+use crate::{Block, BlockId, Reg, RegClass, Terminator};
+
+/// A function: an entry block plus a set of basic blocks forming a CFG.
+///
+/// Blocks are stored densely and never removed; region formation and tail
+/// duplication only ever *add* blocks, so [`BlockId`]s are stable.
+///
+/// # Examples
+///
+/// ```
+/// use treegion_ir::{Block, Function, Terminator};
+/// let mut f = Function::new("f");
+/// let entry = f.add_block(Block::new(vec![], Terminator::Ret { value: None }, 1.0));
+/// assert_eq!(f.entry(), entry);
+/// assert_eq!(f.num_blocks(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Function {
+    name: String,
+    blocks: Vec<Block>,
+    next_reg: [u32; 3],
+}
+
+impl Function {
+    /// Creates an empty function. The first block added becomes the entry.
+    pub fn new(name: impl Into<String>) -> Self {
+        Function {
+            name: name.into(),
+            blocks: Vec::new(),
+            next_reg: [0; 3],
+        }
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks yet.
+    pub fn entry(&self) -> BlockId {
+        assert!(!self.blocks.is_empty(), "function has no blocks");
+        BlockId::from_index(0)
+    }
+
+    /// Appends a block and returns its id.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        // Keep the virtual register counters ahead of any register that
+        // appears in the block, so `new_reg` never collides.
+        for op in &block.ops {
+            for r in op.defs.iter().chain(op.uses.iter()) {
+                self.note_reg(*r);
+            }
+        }
+        for r in terminator_regs(&block.term) {
+            self.note_reg(r);
+        }
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(block);
+        id
+    }
+
+    fn note_reg(&mut self, r: Reg) {
+        let slot = &mut self.next_reg[r.class().index()];
+        if r.index() >= *slot {
+            *slot = r.index() + 1;
+        }
+    }
+
+    /// Returns a fresh virtual register of the given class.
+    pub fn new_reg(&mut self, class: RegClass) -> Reg {
+        let slot = &mut self.next_reg[class.index()];
+        let r = Reg::new(class, *slot);
+        *slot += 1;
+        r
+    }
+
+    /// The number of virtual registers allocated in `class`.
+    pub fn num_regs(&self, class: RegClass) -> u32 {
+        self.next_reg[class.index()]
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterates over `(id, block)` pairs in id order.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::from_index(i), b))
+    }
+
+    /// All block ids in id order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len()).map(BlockId::from_index)
+    }
+
+    /// Total number of source-level ops across all blocks (terminators not
+    /// included).
+    pub fn num_ops(&self) -> usize {
+        self.blocks.iter().map(|b| b.ops.len()).sum()
+    }
+
+    /// Computes the predecessor lists of every block, in id order.
+    ///
+    /// Exposed here (rather than only in the analysis crate) because region
+    /// formation needs merge-point detection and tail duplication edits the
+    /// CFG as it goes.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (id, block) in self.blocks() {
+            for succ in block.successors() {
+                preds[succ.index()].push(id);
+            }
+        }
+        preds
+    }
+}
+
+fn terminator_regs(term: &Terminator) -> Vec<Reg> {
+    match term {
+        Terminator::Jump(_) => vec![],
+        Terminator::Branch { cond, .. } => vec![*cond],
+        Terminator::Switch { on, .. } => vec![*on],
+        Terminator::Ret { value } => value.iter().copied().collect(),
+    }
+}
+
+/// A module: a named collection of functions (one synthetic "program").
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    name: String,
+    functions: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// The module's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a function, returning its index.
+    pub fn add_function(&mut self, f: Function) -> usize {
+        self.functions.push(f);
+        self.functions.len() - 1
+    }
+
+    /// The functions, in insertion order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Mutable access to the functions.
+    pub fn functions_mut(&mut self) -> &mut [Function] {
+        &mut self.functions
+    }
+
+    /// Total block count over all functions.
+    pub fn num_blocks(&self) -> usize {
+        self.functions.iter().map(|f| f.num_blocks()).sum()
+    }
+
+    /// Total source-level op count over all functions.
+    pub fn num_ops(&self) -> usize {
+        self.functions.iter().map(|f| f.num_ops()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Edge, Op, Reg};
+
+    #[test]
+    fn add_block_assigns_dense_ids() {
+        let mut f = Function::new("t");
+        let b0 = f.add_block(Block::new(
+            vec![],
+            Terminator::Jump(Edge::new(BlockId::from_index(1), 1.0)),
+            1.0,
+        ));
+        let b1 = f.add_block(Block::new(vec![], Terminator::Ret { value: None }, 1.0));
+        assert_eq!(b0.index(), 0);
+        assert_eq!(b1.index(), 1);
+        assert_eq!(f.entry(), b0);
+    }
+
+    #[test]
+    fn new_reg_avoids_existing_registers() {
+        let mut f = Function::new("t");
+        f.add_block(Block::new(
+            vec![Op::movi(Reg::gpr(10), 3)],
+            Terminator::Ret {
+                value: Some(Reg::gpr(10)),
+            },
+            1.0,
+        ));
+        let fresh = f.new_reg(RegClass::Gpr);
+        assert_eq!(fresh, Reg::gpr(11));
+        assert_eq!(f.new_reg(RegClass::Pred), Reg::pred(0));
+    }
+
+    #[test]
+    fn predecessors_are_computed_per_edge() {
+        let mut f = Function::new("t");
+        let b2 = BlockId::from_index(2);
+        f.add_block(Block::new(
+            vec![],
+            Terminator::Branch {
+                cond: Reg::gpr(0),
+                then_: Edge::new(b2, 1.0),
+                else_: Edge::new(BlockId::from_index(1), 1.0),
+            },
+            2.0,
+        ));
+        f.add_block(Block::new(
+            vec![],
+            Terminator::Jump(Edge::new(b2, 1.0)),
+            1.0,
+        ));
+        f.add_block(Block::new(vec![], Terminator::Ret { value: None }, 2.0));
+        let preds = f.predecessors();
+        assert_eq!(preds[2].len(), 2);
+        assert_eq!(preds[0].len(), 0);
+    }
+
+    #[test]
+    fn module_counts_aggregate() {
+        let mut m = Module::new("prog");
+        let mut f = Function::new("a");
+        f.add_block(Block::new(
+            vec![Op::nop(), Op::nop()],
+            Terminator::Ret { value: None },
+            1.0,
+        ));
+        m.add_function(f);
+        assert_eq!(m.num_blocks(), 1);
+        assert_eq!(m.num_ops(), 2);
+        assert_eq!(m.name(), "prog");
+    }
+}

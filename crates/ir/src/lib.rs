@@ -1,0 +1,64 @@
+//! # treegion-ir
+//!
+//! Low-level compiler IR substrate for the reproduction of *"Treegion
+//! Scheduling for Wide Issue Processors"* (Havanki, Banerjia, Conte —
+//! HPCA 1998).
+//!
+//! The paper's toolchain consumed SPECint95 programs in the Rebel textual
+//! IR produced by HP's Elcor compiler. This crate plays that role: a small
+//! Cranelift-flavoured IR with
+//!
+//! * three virtual register classes matching the PlayDoh machine model the
+//!   paper targets — GPRs (`r`), predicates (`p`), branch-target
+//!   registers (`b`);
+//! * basic blocks of straight-line [`Op`]s ended by a structured
+//!   [`Terminator`] (jump / two-way branch / multiway switch / return);
+//! * profile counts on every edge and block, with a verifier that checks
+//!   flow conservation;
+//! * a textual format ([`print_module`] / [`parse_module`]) standing in
+//!   for Rebel.
+//!
+//! Region formation, scheduling, and the machine model live in the
+//! `treegion`, `treegion-analysis`, and `treegion-machine` crates.
+//!
+//! ## Example
+//!
+//! ```
+//! use treegion_ir::{Cond, FunctionBuilder, Op, verify_function};
+//!
+//! // if (a < b) { x = 1 } else { x = 2 }; return x
+//! let mut b = FunctionBuilder::new("select");
+//! let (bb0, bb1, bb2, bb3) = (b.block(), b.block(), b.block(), b.block());
+//! let (a, v, c, x) = (b.gpr(), b.gpr(), b.gpr(), b.gpr());
+//! b.push_all(bb0, [Op::movi(a, 10), Op::movi(v, 20), Op::cmp(Cond::Lt, c, a, v)]);
+//! b.branch(bb0, c, (bb1, 70.0), (bb2, 30.0));
+//! b.push(bb1, Op::movi(x, 1));
+//! b.jump(bb1, bb3, 70.0);
+//! b.push(bb2, Op::movi(x, 2));
+//! b.jump(bb2, bb3, 30.0);
+//! b.ret(bb3, Some(x));
+//! let f = b.finish();
+//! verify_function(&f)?;
+//! # Ok::<(), treegion_ir::VerifyError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod block;
+mod builder;
+mod func;
+mod op;
+mod parse;
+mod print;
+mod reg;
+mod verify;
+
+pub use block::{Block, BlockId, Edge, SwitchCase, Terminator};
+pub use builder::FunctionBuilder;
+pub use func::{Function, Module};
+pub use op::{Cond, Op, Opcode};
+pub use parse::{parse_function, parse_module, ParseError};
+pub use print::{print_function, print_module};
+pub use reg::{Reg, RegClass};
+pub use verify::{verify_function, verify_profile, VerifyError, PROFILE_EPSILON};

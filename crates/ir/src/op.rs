@@ -1,0 +1,524 @@
+//! Operations (`Op`s in the paper's Op/MultiOp terminology).
+//!
+//! The IR has two tiers that share this one `Op` type:
+//!
+//! * **Source-level ops** appear inside basic blocks: arithmetic, memory,
+//!   compares, moves, calls. Control flow lives in the block
+//!   [`Terminator`](crate::Terminator), not in ops.
+//! * **Lowered ops** are materialized by region lowering just before
+//!   scheduling: `CMPP` (compare-to-predicate), `PBR` (prepare branch
+//!   target), the `BRCT`/`BRCF`/`BRU` branches, `RET`, and `COPY` (renaming
+//!   fix-up). These mirror the HP PlayDoh operation repertoire used in the
+//!   paper's example schedules (Figures 4 and 5).
+
+use crate::{BlockId, Reg};
+use std::fmt;
+
+/// Comparison condition for `Cmp`-family ops and `CMPP`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// All conditions, in a stable order.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+
+    /// Evaluates the condition over two signed integers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treegion_ir::Cond;
+    /// assert!(Cond::Lt.eval(1, 2));
+    /// assert!(!Cond::Gt.eval(1, 2));
+    /// ```
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    /// The negated condition: `a ~c b == !(a c b)` for all inputs.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+
+    /// The textual-IR mnemonic suffix (`eq`, `ne`, `lt`, `le`, `gt`, `ge`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The operation code of an [`Op`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Opcode {
+    /// No operation.
+    Nop,
+    /// `d = imm` — load immediate.
+    MovI,
+    /// `d = s` — register move.
+    Mov,
+    /// `d = s0 + s1`.
+    Add,
+    /// `d = s0 - s1`.
+    Sub,
+    /// `d = s0 * s1`.
+    Mul,
+    /// `d = s0 / s1` (signed; division by zero yields 0 by definition).
+    Div,
+    /// `d = s0 & s1`.
+    And,
+    /// `d = s0 | s1`.
+    Or,
+    /// `d = s0 ^ s1`.
+    Xor,
+    /// `d = s0 << (s1 & 63)`.
+    Shl,
+    /// `d = ((s0 as u64) >> (s1 & 63)) as i64` — logical shift right.
+    Shr,
+    /// `d = s0 >> (s1 & 63)` — arithmetic shift right.
+    Sar,
+    /// `d = (s0 cond s1) as i64` — compare into a GPR (0 or 1).
+    Cmp(Cond),
+    /// Floating-point add over the `f64` bit patterns of the operands.
+    FAdd,
+    /// Floating-point subtract.
+    FSub,
+    /// Floating-point multiply (3-cycle latency on the paper's machines).
+    FMul,
+    /// Floating-point divide (9-cycle latency on the paper's machines).
+    FDiv,
+    /// `d = mem[s0 + imm]` — load (2-cycle latency).
+    Load,
+    /// `mem[s0 + imm] = s1` — store. Never speculated.
+    Store,
+    /// `d = call(args...)` — opaque call, modeled as a deterministic pure
+    /// function of its arguments so schedules remain simulatable.
+    Call,
+
+    // ---- Lowered (PlayDoh-style) ops, produced by region lowering ----
+    /// `p[, p'] = CMPP(s0 cond s1) [? pin]` — compare to predicate, with
+    /// optional complement destination and optional AND-guard input
+    /// predicate, exactly as in Figure 5 of the paper.
+    Cmpp(Cond),
+    /// `b = PBR(block)` — prepare-to-branch: load a branch-target register.
+    Pbr,
+    /// `BRCT(b, p)` — branch to `b` if predicate `p` is true.
+    Brct,
+    /// `BRCF(b, p)` — branch to `b` if predicate `p` is false.
+    Brcf,
+    /// `BRU(b)` — unconditional branch to `b`.
+    Bru,
+    /// Return from the function (optional value in `uses[0]`).
+    Ret,
+    /// `d = s` — copy inserted by compile-time register renaming at region
+    /// exits. Excluded from speedup computation, per Section 3.
+    Copy,
+}
+
+impl Opcode {
+    /// `true` for ops that read or write memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store)
+    }
+
+    /// `true` for ops that transfer control (lowered branches and `RET`).
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::Brct | Opcode::Brcf | Opcode::Bru | Opcode::Ret
+        )
+    }
+
+    /// `true` for ops that may be speculated above branches.
+    ///
+    /// Stores, branches, and calls are never speculated. Loads are
+    /// speculable under the paper's evaluation model (no caches, no
+    /// faults). Everything else is freely speculable after renaming.
+    pub fn is_speculable(self) -> bool {
+        !matches!(
+            self,
+            Opcode::Store | Opcode::Call | Opcode::Brct | Opcode::Brcf | Opcode::Bru | Opcode::Ret
+        )
+    }
+
+    /// `true` for ops with side effects that must be guarded by their path
+    /// predicate when scheduled into a multi-path region.
+    pub fn has_side_effects(self) -> bool {
+        matches!(self, Opcode::Store | Opcode::Call)
+    }
+
+    /// The textual-IR mnemonic.
+    pub fn mnemonic(self) -> String {
+        match self {
+            Opcode::Nop => "nop".into(),
+            Opcode::MovI => "movi".into(),
+            Opcode::Mov => "mov".into(),
+            Opcode::Add => "add".into(),
+            Opcode::Sub => "sub".into(),
+            Opcode::Mul => "mul".into(),
+            Opcode::Div => "div".into(),
+            Opcode::And => "and".into(),
+            Opcode::Or => "or".into(),
+            Opcode::Xor => "xor".into(),
+            Opcode::Shl => "shl".into(),
+            Opcode::Shr => "shr".into(),
+            Opcode::Sar => "sar".into(),
+            Opcode::Cmp(c) => format!("cmp.{c}"),
+            Opcode::FAdd => "fadd".into(),
+            Opcode::FSub => "fsub".into(),
+            Opcode::FMul => "fmul".into(),
+            Opcode::FDiv => "fdiv".into(),
+            Opcode::Load => "load".into(),
+            Opcode::Store => "store".into(),
+            Opcode::Call => "call".into(),
+            Opcode::Cmpp(c) => format!("cmpp.{c}"),
+            Opcode::Pbr => "pbr".into(),
+            Opcode::Brct => "brct".into(),
+            Opcode::Brcf => "brcf".into(),
+            Opcode::Bru => "bru".into(),
+            Opcode::Ret => "ret".into(),
+            Opcode::Copy => "copy".into(),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+/// A single operation.
+///
+/// `defs` are the registers written, `uses` the registers read. `imm` is an
+/// immediate operand (address offset for memory ops, literal for `MovI`).
+/// `target` is the destination block for `PBR`.
+///
+/// # Examples
+///
+/// ```
+/// use treegion_ir::{Op, Reg};
+/// let op = Op::add(Reg::gpr(3), Reg::gpr(1), Reg::gpr(2));
+/// assert_eq!(op.defs, vec![Reg::gpr(3)]);
+/// assert_eq!(op.uses, vec![Reg::gpr(1), Reg::gpr(2)]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Op {
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Registers written by this op.
+    pub defs: Vec<Reg>,
+    /// Registers read by this op.
+    pub uses: Vec<Reg>,
+    /// Immediate operand (meaning depends on the opcode; 0 when unused).
+    pub imm: i64,
+    /// Branch target block, for `PBR` ops.
+    pub target: Option<BlockId>,
+}
+
+impl Op {
+    /// Creates an op from raw parts.
+    pub fn new(opcode: Opcode, defs: Vec<Reg>, uses: Vec<Reg>, imm: i64) -> Self {
+        Op {
+            opcode,
+            defs,
+            uses,
+            imm,
+            target: None,
+        }
+    }
+
+    /// `nop`.
+    pub fn nop() -> Self {
+        Op::new(Opcode::Nop, vec![], vec![], 0)
+    }
+
+    /// `d = imm`.
+    pub fn movi(d: Reg, imm: i64) -> Self {
+        Op::new(Opcode::MovI, vec![d], vec![], imm)
+    }
+
+    /// `d = s`.
+    pub fn mov(d: Reg, s: Reg) -> Self {
+        Op::new(Opcode::Mov, vec![d], vec![s], 0)
+    }
+
+    /// A two-source ALU op.
+    pub fn alu(opcode: Opcode, d: Reg, a: Reg, b: Reg) -> Self {
+        Op::new(opcode, vec![d], vec![a, b], 0)
+    }
+
+    /// `d = a + b`.
+    pub fn add(d: Reg, a: Reg, b: Reg) -> Self {
+        Op::alu(Opcode::Add, d, a, b)
+    }
+
+    /// `d = a - b`.
+    pub fn sub(d: Reg, a: Reg, b: Reg) -> Self {
+        Op::alu(Opcode::Sub, d, a, b)
+    }
+
+    /// `d = a * b`.
+    pub fn mul(d: Reg, a: Reg, b: Reg) -> Self {
+        Op::alu(Opcode::Mul, d, a, b)
+    }
+
+    /// `d = (a cond b) as i64`.
+    pub fn cmp(cond: Cond, d: Reg, a: Reg, b: Reg) -> Self {
+        Op::alu(Opcode::Cmp(cond), d, a, b)
+    }
+
+    /// `d = mem[addr + offset]`.
+    pub fn load(d: Reg, addr: Reg, offset: i64) -> Self {
+        Op::new(Opcode::Load, vec![d], vec![addr], offset)
+    }
+
+    /// `mem[addr + offset] = value`.
+    pub fn store(addr: Reg, value: Reg, offset: i64) -> Self {
+        Op::new(Opcode::Store, vec![], vec![addr, value], offset)
+    }
+
+    /// `d = call(args...)` — opaque, deterministic call.
+    pub fn call(d: Reg, args: Vec<Reg>) -> Self {
+        Op::new(Opcode::Call, vec![d], args, 0)
+    }
+
+    /// `p = CMPP(a cond b)` with optional complement `pc` and guard `pin`.
+    pub fn cmpp(cond: Cond, p: Reg, pc: Option<Reg>, a: Reg, b: Reg, pin: Option<Reg>) -> Self {
+        let mut defs = vec![p];
+        if let Some(pc) = pc {
+            defs.push(pc);
+        }
+        let mut uses = vec![a, b];
+        if let Some(pin) = pin {
+            uses.push(pin);
+        }
+        Op::new(Opcode::Cmpp(cond), defs, uses, 0)
+    }
+
+    /// `p = CMPP(a cond #imm)` — immediate-operand compare-to-predicate
+    /// (PlayDoh compares accept literals), with optional complement and
+    /// guard. Used by switch lowering so case constants cost no issue slot.
+    pub fn cmpp_imm(
+        cond: Cond,
+        p: Reg,
+        pc: Option<Reg>,
+        a: Reg,
+        imm: i64,
+        pin: Option<Reg>,
+    ) -> Self {
+        let mut defs = vec![p];
+        if let Some(pc) = pc {
+            defs.push(pc);
+        }
+        let mut uses = vec![a];
+        if let Some(pin) = pin {
+            uses.push(pin);
+        }
+        Op::new(Opcode::Cmpp(cond), defs, uses, imm)
+    }
+
+    /// `b = PBR(target)`.
+    pub fn pbr(b: Reg, target: BlockId) -> Self {
+        let mut op = Op::new(Opcode::Pbr, vec![b], vec![], 0);
+        op.target = Some(target);
+        op
+    }
+
+    /// `BRCT(b, p)`.
+    pub fn brct(b: Reg, p: Reg) -> Self {
+        Op::new(Opcode::Brct, vec![], vec![b, p], 0)
+    }
+
+    /// `BRCF(b, p)`.
+    pub fn brcf(b: Reg, p: Reg) -> Self {
+        Op::new(Opcode::Brcf, vec![], vec![b, p], 0)
+    }
+
+    /// `BRU(b)`.
+    pub fn bru(b: Reg) -> Self {
+        Op::new(Opcode::Bru, vec![], vec![b], 0)
+    }
+
+    /// `RET` with optional return value.
+    pub fn ret(value: Option<Reg>) -> Self {
+        Op::new(Opcode::Ret, vec![], value.into_iter().collect(), 0)
+    }
+
+    /// `d = s` renaming fix-up copy.
+    pub fn copy(d: Reg, s: Reg) -> Self {
+        Op::new(Opcode::Copy, vec![d], vec![s], 0)
+    }
+
+    /// The single def, if this op defines exactly one register.
+    pub fn def(&self) -> Option<Reg> {
+        if self.defs.len() == 1 {
+            Some(self.defs[0])
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.defs.is_empty() {
+            for (i, d) in self.defs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{d}")?;
+            }
+            write!(f, " = ")?;
+        }
+        write!(f, "{}", self.opcode)?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                write!(f, " ")
+            } else {
+                write!(f, ", ")
+            }
+        };
+        for u in &self.uses {
+            sep(f)?;
+            write!(f, "{u}")?;
+        }
+        if let Some(t) = self.target {
+            sep(f)?;
+            write!(f, "@{}", t.index())?;
+        }
+        if self.imm != 0 || matches!(self.opcode, Opcode::MovI | Opcode::Load | Opcode::Store) {
+            sep(f)?;
+            write!(f, "#{}", self.imm)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_and_negate_are_consistent() {
+        for c in Cond::ALL {
+            for a in [-2i64, 0, 1, 7] {
+                for b in [-2i64, 0, 1, 7] {
+                    assert_eq!(c.eval(a, b), !c.negate().eval(a, b), "{c} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_is_not_speculable() {
+        assert!(!Opcode::Store.is_speculable());
+        assert!(!Opcode::Call.is_speculable());
+        assert!(Opcode::Load.is_speculable());
+        assert!(Opcode::Add.is_speculable());
+        assert!(!Opcode::Brct.is_speculable());
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Opcode::Brct.is_branch());
+        assert!(Opcode::Bru.is_branch());
+        assert!(Opcode::Ret.is_branch());
+        assert!(!Opcode::Pbr.is_branch());
+        assert!(!Opcode::Cmpp(Cond::Eq).is_branch());
+    }
+
+    #[test]
+    fn display_formats_match_expectations() {
+        assert_eq!(
+            Op::add(Reg::gpr(3), Reg::gpr(1), Reg::gpr(2)).to_string(),
+            "r3 = add r1, r2"
+        );
+        assert_eq!(Op::movi(Reg::gpr(4), 1).to_string(), "r4 = movi #1");
+        assert_eq!(
+            Op::load(Reg::gpr(1), Reg::gpr(0), 8).to_string(),
+            "r1 = load r0, #8"
+        );
+        assert_eq!(
+            Op::cmpp(
+                Cond::Gt,
+                Reg::pred(1),
+                Some(Reg::pred(2)),
+                Reg::gpr(1),
+                Reg::gpr(2),
+                None
+            )
+            .to_string(),
+            "p1, p2 = cmpp.gt r1, r2"
+        );
+    }
+
+    #[test]
+    fn cmpp_with_guard_has_three_uses() {
+        let op = Op::cmpp(
+            Cond::Lt,
+            Reg::pred(3),
+            None,
+            Reg::gpr(3),
+            Reg::gpr(9),
+            Some(Reg::pred(1)),
+        );
+        assert_eq!(op.uses.len(), 3);
+        assert_eq!(op.defs.len(), 1);
+    }
+
+    #[test]
+    fn def_returns_single_def_only() {
+        assert_eq!(Op::movi(Reg::gpr(1), 5).def(), Some(Reg::gpr(1)));
+        assert_eq!(Op::store(Reg::gpr(0), Reg::gpr(1), 0).def(), None);
+        let two = Op::cmpp(
+            Cond::Eq,
+            Reg::pred(1),
+            Some(Reg::pred(2)),
+            Reg::gpr(0),
+            Reg::gpr(0),
+            None,
+        );
+        assert_eq!(two.def(), None);
+    }
+}

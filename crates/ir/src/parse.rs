@@ -1,0 +1,459 @@
+//! Textual IR parsing (the inverse of [`crate::print_function`]).
+
+use crate::{
+    Block, BlockId, Cond, Edge, Function, Module, Op, Opcode, Reg, RegClass, SwitchCase, Terminator,
+};
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure, with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a module from the textual IR format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let text = "module @m\n\nfunc @f {\n  bb0 (weight 1):\n    ret\n}\n";
+/// let m = treegion_ir::parse_module(text)?;
+/// assert_eq!(m.functions().len(), 1);
+/// # Ok::<(), treegion_ir::ParseError>(())
+/// ```
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let mut lines = text.lines().enumerate().peekable();
+    let mut name = String::from("module");
+    // Optional module header.
+    while let Some((_, raw)) = lines.peek() {
+        let line = raw.trim();
+        if line.is_empty() {
+            lines.next();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("module @") {
+            name = rest.trim().to_string();
+            lines.next();
+        }
+        break;
+    }
+    let mut module = Module::new(name);
+    // Functions.
+    loop {
+        // Skip blanks.
+        while matches!(lines.peek(), Some((_, l)) if l.trim().is_empty()) {
+            lines.next();
+        }
+        let Some(&(n, raw)) = lines.peek() else { break };
+        let line = raw.trim();
+        let Some(rest) = line.strip_prefix("func @") else {
+            return Err(err(n, format!("expected `func @name {{`, got `{line}`")));
+        };
+        let Some(fname) = rest.strip_suffix('{').map(str::trim) else {
+            return Err(err(n, "expected `{` at end of func header".into()));
+        };
+        lines.next();
+        let f = parse_function_body(fname, &mut lines)?;
+        module.add_function(f);
+    }
+    Ok(module)
+}
+
+/// Parses a single `func @name { ... }` definition.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    let m = parse_module(text)?;
+    m.functions()
+        .first()
+        .cloned()
+        .ok_or_else(|| err(1, "no function in input".into()))
+}
+
+type Lines<'a> = std::iter::Peekable<std::iter::Enumerate<std::str::Lines<'a>>>;
+
+fn err(line0: usize, message: String) -> ParseError {
+    ParseError {
+        line: line0 + 1,
+        message,
+    }
+}
+
+fn parse_function_body(name: &str, lines: &mut Lines<'_>) -> Result<Function, ParseError> {
+    let mut f = Function::new(name);
+    let mut pending: Option<(usize, f64, Vec<Op>)> = None; // (line, weight, ops)
+    let mut blocks: Vec<(f64, Vec<Op>, Terminator)> = Vec::new();
+
+    for (n, raw) in lines.by_ref() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "}" {
+            if pending.is_some() {
+                return Err(err(n, "block is missing a terminator".into()));
+            }
+            for (weight, ops, term) in blocks {
+                f.add_block(Block::new(ops, term, weight));
+            }
+            if f.num_blocks() == 0 {
+                return Err(err(n, "function has no blocks".into()));
+            }
+            return Ok(f);
+        }
+        if let Some(rest) = line.strip_prefix("bb") {
+            if let Some(colon) = rest.rfind(':') {
+                // Block header: `bbN (weight W):`
+                let header = &rest[..colon];
+                let mut parts = header.splitn(2, '(');
+                let idx: usize = parts
+                    .next()
+                    .unwrap()
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(n, "bad block index".into()))?;
+                if idx != blocks.len() + usize::from(pending.is_some()) {
+                    return Err(err(n, format!("blocks must appear in order; got bb{idx}")));
+                }
+                let weight = match parts.next() {
+                    Some(w) => {
+                        let w = w.trim_end_matches(')').trim();
+                        let w = w.strip_prefix("weight").unwrap_or(w).trim();
+                        w.parse().map_err(|_| err(n, format!("bad weight `{w}`")))?
+                    }
+                    None => 0.0,
+                };
+                if pending.is_some() {
+                    return Err(err(n, "previous block is missing a terminator".into()));
+                }
+                pending = Some((n, weight, Vec::new()));
+                continue;
+            }
+        }
+        let Some((_, weight, ops)) = pending.as_mut() else {
+            return Err(err(n, format!("statement outside a block: `{line}`")));
+        };
+        if let Some(term) = try_parse_terminator(line, n)? {
+            blocks.push((*weight, std::mem::take(ops), term));
+            pending = None;
+        } else {
+            ops.push(parse_op(line, n)?);
+        }
+    }
+    Err(ParseError {
+        line: 0,
+        message: "unexpected end of input inside function".into(),
+    })
+}
+
+fn try_parse_terminator(line: &str, n: usize) -> Result<Option<Terminator>, ParseError> {
+    let word = line.split_whitespace().next().unwrap_or("");
+    match word {
+        "jump" => {
+            let (target, count) = parse_edge(line["jump".len()..].trim(), n)?;
+            Ok(Some(Terminator::Jump(Edge::new(target, count))))
+        }
+        "branch" => {
+            let rest = line["branch".len()..].trim();
+            let parts = split_top_level(rest);
+            if parts.len() != 3 {
+                return Err(err(n, "branch needs: cond, then (c), else (c)".into()));
+            }
+            let cond = parse_reg(parts[0].trim(), n)?;
+            let (tt, tc) = parse_edge(parts[1].trim(), n)?;
+            let (et, ec) = parse_edge(parts[2].trim(), n)?;
+            Ok(Some(Terminator::Branch {
+                cond,
+                then_: Edge::new(tt, tc),
+                else_: Edge::new(et, ec),
+            }))
+        }
+        "switch" => {
+            let rest = line["switch".len()..].trim();
+            let parts = split_top_level(rest);
+            if parts.len() < 2 {
+                return Err(err(n, "switch needs operand and default".into()));
+            }
+            let on = parse_reg(parts[0].trim(), n)?;
+            let mut cases = Vec::new();
+            let mut default = None;
+            for p in &parts[1..] {
+                let p = p.trim();
+                if let Some(d) = p.strip_prefix("default") {
+                    let (t, c) = parse_edge(d.trim(), n)?;
+                    default = Some(Edge::new(t, c));
+                } else {
+                    let inner = p
+                        .strip_prefix('[')
+                        .and_then(|s| s.strip_suffix(']'))
+                        .ok_or_else(|| err(n, format!("bad switch case `{p}`")))?;
+                    let (val, edge) = inner
+                        .split_once("->")
+                        .ok_or_else(|| err(n, format!("bad switch case `{p}`")))?;
+                    let value: i64 = val
+                        .trim()
+                        .parse()
+                        .map_err(|_| err(n, format!("bad case value `{val}`")))?;
+                    let (t, c) = parse_edge(edge.trim(), n)?;
+                    cases.push(SwitchCase {
+                        value,
+                        edge: Edge::new(t, c),
+                    });
+                }
+            }
+            let default = default.ok_or_else(|| err(n, "switch missing default".into()))?;
+            Ok(Some(Terminator::Switch { on, cases, default }))
+        }
+        "ret" => {
+            let rest = line["ret".len()..].trim();
+            let value = if rest.is_empty() {
+                None
+            } else {
+                Some(parse_reg(rest, n)?)
+            };
+            Ok(Some(Terminator::Ret { value }))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Splits on commas that are not inside `[...]` or `(...)`.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, ch) in s.char_indices() {
+        match ch {
+            '[' | '(' => depth += 1,
+            ']' | ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Parses `bbN (count)`.
+fn parse_edge(s: &str, n: usize) -> Result<(BlockId, f64), ParseError> {
+    let (bb, rest) = match s.find('(') {
+        Some(i) => (s[..i].trim(), Some(s[i + 1..].trim_end_matches(')').trim())),
+        None => (s.trim(), None),
+    };
+    let idx: usize = bb
+        .strip_prefix("bb")
+        .and_then(|x| x.parse().ok())
+        .ok_or_else(|| err(n, format!("bad block reference `{bb}`")))?;
+    let count = match rest {
+        Some(c) => c
+            .parse()
+            .map_err(|_| err(n, format!("bad edge count `{c}`")))?,
+        None => 0.0,
+    };
+    Ok((BlockId::from_index(idx), count))
+}
+
+fn parse_reg(s: &str, n: usize) -> Result<Reg, ParseError> {
+    let s = s.trim();
+    let (class, rest) = match s.chars().next() {
+        Some('r') => (RegClass::Gpr, &s[1..]),
+        Some('p') => (RegClass::Pred, &s[1..]),
+        Some('b') => (RegClass::Btr, &s[1..]),
+        _ => return Err(err(n, format!("bad register `{s}`"))),
+    };
+    let index: u32 = rest
+        .parse()
+        .map_err(|_| err(n, format!("bad register `{s}`")))?;
+    Ok(Reg::new(class, index))
+}
+
+fn parse_cond(s: &str, n: usize) -> Result<Cond, ParseError> {
+    Cond::ALL
+        .into_iter()
+        .find(|c| c.mnemonic() == s)
+        .ok_or_else(|| err(n, format!("bad condition `{s}`")))
+}
+
+/// Parses one op line: `[defs =] mnemonic operands`.
+fn parse_op(line: &str, n: usize) -> Result<Op, ParseError> {
+    let (defs_str, rest) = match line.split_once('=') {
+        Some((d, r)) => (Some(d.trim()), r.trim()),
+        None => (None, line.trim()),
+    };
+    let mut defs = Vec::new();
+    if let Some(d) = defs_str {
+        for part in d.split(',') {
+            defs.push(parse_reg(part.trim(), n)?);
+        }
+    }
+    let (mnemonic, operands) = match rest.split_once(char::is_whitespace) {
+        Some((m, o)) => (m.trim(), o.trim()),
+        None => (rest, ""),
+    };
+    let opcode = parse_opcode(mnemonic, n)?;
+    let mut uses = Vec::new();
+    let mut imm = 0i64;
+    let mut target = None;
+    if !operands.is_empty() {
+        for part in split_top_level(operands) {
+            let part = part.trim();
+            if let Some(i) = part.strip_prefix('#') {
+                imm = i
+                    .parse()
+                    .map_err(|_| err(n, format!("bad immediate `{part}`")))?;
+            } else if let Some(t) = part.strip_prefix('@') {
+                let idx: usize = t
+                    .parse()
+                    .map_err(|_| err(n, format!("bad target `{part}`")))?;
+                target = Some(BlockId::from_index(idx));
+            } else {
+                uses.push(parse_reg(part, n)?);
+            }
+        }
+    }
+    let mut op = Op::new(opcode, defs, uses, imm);
+    op.target = target;
+    Ok(op)
+}
+
+fn parse_opcode(m: &str, n: usize) -> Result<Opcode, ParseError> {
+    if let Some(c) = m.strip_prefix("cmp.") {
+        return Ok(Opcode::Cmp(parse_cond(c, n)?));
+    }
+    if let Some(c) = m.strip_prefix("cmpp.") {
+        return Ok(Opcode::Cmpp(parse_cond(c, n)?));
+    }
+    let op = match m {
+        "nop" => Opcode::Nop,
+        "movi" => Opcode::MovI,
+        "mov" => Opcode::Mov,
+        "add" => Opcode::Add,
+        "sub" => Opcode::Sub,
+        "mul" => Opcode::Mul,
+        "div" => Opcode::Div,
+        "and" => Opcode::And,
+        "or" => Opcode::Or,
+        "xor" => Opcode::Xor,
+        "shl" => Opcode::Shl,
+        "shr" => Opcode::Shr,
+        "sar" => Opcode::Sar,
+        "fadd" => Opcode::FAdd,
+        "fsub" => Opcode::FSub,
+        "fmul" => Opcode::FMul,
+        "fdiv" => Opcode::FDiv,
+        "load" => Opcode::Load,
+        "store" => Opcode::Store,
+        "call" => Opcode::Call,
+        "pbr" => Opcode::Pbr,
+        "brct" => Opcode::Brct,
+        "brcf" => Opcode::Brcf,
+        "bru" => Opcode::Bru,
+        "ret" => Opcode::Ret,
+        "copy" => Opcode::Copy,
+        _ => return Err(err(n, format!("unknown mnemonic `{m}`"))),
+    };
+    Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{print_function, print_module, verify_function, FunctionBuilder};
+
+    #[test]
+    fn roundtrips_a_branching_function() {
+        let mut b = FunctionBuilder::new("main");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let (x, y, c) = (b.gpr(), b.gpr(), b.gpr());
+        b.push_all(
+            bb0,
+            [
+                Op::load(x, y, 8),
+                Op::cmp(Cond::Gt, c, x, y),
+                Op::store(y, x, 16),
+            ],
+        );
+        b.branch(bb0, c, (bb1, 35.0), (bb2, 65.0));
+        b.ret(bb1, Some(c));
+        b.jump(bb2, bb1, 65.0);
+        let f = b.finish();
+        let text = print_function(&f);
+        let f2 = parse_function(&text).unwrap();
+        assert_eq!(print_function(&f2), text);
+    }
+
+    #[test]
+    fn roundtrips_switch_and_module() {
+        let mut b = FunctionBuilder::new("sw");
+        let (bb0, bb1, bb2, bb3) = (b.block(), b.block(), b.block(), b.block());
+        let on = b.gpr();
+        b.push(bb0, Op::movi(on, 3));
+        b.switch(bb0, on, vec![(1, bb1, 5.0), (9, bb2, 2.0)], (bb3, 1.0));
+        b.ret(bb1, None);
+        b.ret(bb2, None);
+        b.ret(bb3, None);
+        let mut m = Module::new("prog");
+        m.add_function(b.finish());
+        let text = print_module(&m);
+        let m2 = parse_module(&text).unwrap();
+        assert_eq!(print_module(&m2), text);
+        assert_eq!(m2.name(), "prog");
+    }
+
+    #[test]
+    fn parsed_function_verifies() {
+        let text = "func @f {\n  bb0 (weight 10):\n    r0 = movi #5\n    r1 = add r0, r0\n    jump bb1 (10)\n  bb1 (weight 10):\n    ret r1\n}\n";
+        let f = parse_function(text).unwrap();
+        verify_function(&f).unwrap();
+        assert_eq!(f.num_ops(), 2);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_error() {
+        let text = "func @f {\n  bb0 (weight 1):\n    r0 = bogus r1\n    ret\n}\n";
+        let e = parse_function(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let text = "func @f {\n  bb0 (weight 1):\n    r0 = movi #1\n}\n";
+        assert!(parse_function(text).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_order_blocks() {
+        let text = "func @f {\n  bb1 (weight 1):\n    ret\n}\n";
+        assert!(parse_function(text).is_err());
+    }
+
+    #[test]
+    fn fractional_weights_roundtrip() {
+        let text =
+            "func @f {\n  bb0 (weight 2.5):\n    jump bb1 (2.5)\n  bb1 (weight 2.5):\n    ret\n}\n";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.block(BlockId::from_index(0)).weight, 2.5);
+    }
+}

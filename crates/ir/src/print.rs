@@ -1,0 +1,135 @@
+//! Textual IR printing.
+//!
+//! The textual form is a stand-in for the Rebel textual intermediate
+//! representation the paper's LEGO compiler consumed. It round-trips
+//! through [`crate::parse_module`].
+//!
+//! ```text
+//! func @main {
+//!   bb0 (weight 100):
+//!     r1 = load r0, #0
+//!     r3 = cmp.gt r1, r2
+//!     branch r3, bb1 (35), bb2 (65)
+//!   bb1 (weight 35):
+//!     ret r3
+//!   bb2 (weight 65):
+//!     ret
+//! }
+//! ```
+
+use crate::{Function, Module, Terminator};
+use std::fmt::Write as _;
+
+/// Renders a function in the textual IR format.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "func @{} {{", f.name());
+    for (id, block) in f.blocks() {
+        let _ = writeln!(out, "  {} (weight {}):", id, fmt_count(block.weight));
+        for op in &block.ops {
+            let _ = writeln!(out, "    {op}");
+        }
+        let _ = writeln!(out, "    {}", fmt_terminator(&block.term));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a module (all functions, in order).
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module @{}", m.name());
+    for f in m.functions() {
+        out.push('\n');
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+fn fmt_terminator(t: &Terminator) -> String {
+    match t {
+        Terminator::Jump(e) => format!("jump {} ({})", e.target, fmt_count(e.count)),
+        Terminator::Branch { cond, then_, else_ } => format!(
+            "branch {cond}, {} ({}), {} ({})",
+            then_.target,
+            fmt_count(then_.count),
+            else_.target,
+            fmt_count(else_.count)
+        ),
+        Terminator::Switch { on, cases, default } => {
+            let mut s = format!("switch {on}");
+            for c in cases {
+                let _ = write!(
+                    s,
+                    ", [{} -> {} ({})]",
+                    c.value,
+                    c.edge.target,
+                    fmt_count(c.edge.count)
+                );
+            }
+            let _ = write!(
+                s,
+                ", default {} ({})",
+                default.target,
+                fmt_count(default.count)
+            );
+            s
+        }
+        Terminator::Ret { value: Some(v) } => format!("ret {v}"),
+        Terminator::Ret { value: None } => "ret".to_string(),
+    }
+}
+
+/// Formats a profile count, dropping the fractional part when integral.
+fn fmt_count(c: f64) -> String {
+    if c.fract() == 0.0 && c.abs() < 1e15 {
+        format!("{}", c as i64)
+    } else {
+        format!("{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, FunctionBuilder, Op};
+
+    #[test]
+    fn prints_branching_function() {
+        let mut b = FunctionBuilder::new("main");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let (x, y, c) = (b.gpr(), b.gpr(), b.gpr());
+        b.push_all(bb0, [Op::load(x, y, 0), Op::cmp(Cond::Gt, c, x, y)]);
+        b.branch(bb0, c, (bb1, 35.0), (bb2, 65.0));
+        b.ret(bb1, Some(c));
+        b.ret(bb2, None);
+        let f = b.finish();
+        let text = print_function(&f);
+        assert!(text.contains("func @main {"));
+        assert!(text.contains("bb0 (weight 100):"));
+        assert!(text.contains("branch r2, bb1 (35), bb2 (65)"));
+        assert!(text.contains("ret r2"));
+    }
+
+    #[test]
+    fn fractional_counts_are_preserved() {
+        assert_eq!(fmt_count(2.5), "2.5");
+        assert_eq!(fmt_count(100.0), "100");
+    }
+
+    #[test]
+    fn prints_switch_with_cases_and_default() {
+        let mut b = FunctionBuilder::new("sw");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let on = b.gpr();
+        b.push(bb0, Op::movi(on, 1));
+        b.switch(bb0, on, vec![(4, bb1, 7.0)], (bb2, 3.0));
+        b.ret(bb1, None);
+        b.ret(bb2, None);
+        let text = print_function(&b.finish());
+        assert!(
+            text.contains("switch r0, [4 -> bb1 (7)], default bb2 (3)"),
+            "{text}"
+        );
+    }
+}

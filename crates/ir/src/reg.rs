@@ -1,0 +1,181 @@
+//! Virtual registers and register classes.
+//!
+//! The IR uses the three register classes of the HP PlayDoh-style machines
+//! the paper schedules for: general-purpose integer registers (`r`),
+//! predicate registers (`p`), and branch-target registers (`b`, "BTRs").
+//! Registers are *virtual*: the evaluation model of the paper ignores
+//! register pressure, and compile-time renaming freely mints new names.
+
+use std::fmt;
+
+/// The architectural class a [`Reg`] belongs to.
+///
+/// # Examples
+///
+/// ```
+/// use treegion_ir::{Reg, RegClass};
+/// let r = Reg::gpr(4);
+/// assert_eq!(r.class(), RegClass::Gpr);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// General-purpose integer register (`r` in the paper's figures).
+    Gpr,
+    /// One-bit predicate register (`p`), written by compare-to-predicate ops.
+    Pred,
+    /// Branch-target register (`b`), initialized by the `PBR` operation.
+    Btr,
+}
+
+impl RegClass {
+    /// All register classes, in a stable order.
+    pub const ALL: [RegClass; 3] = [RegClass::Gpr, RegClass::Pred, RegClass::Btr];
+
+    /// The single-character prefix used in the textual IR (`r`, `p`, `b`).
+    pub fn prefix(self) -> char {
+        match self {
+            RegClass::Gpr => 'r',
+            RegClass::Pred => 'p',
+            RegClass::Btr => 'b',
+        }
+    }
+
+    /// Index of the class within [`RegClass::ALL`]; handy for per-class tables.
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Gpr => 0,
+            RegClass::Pred => 1,
+            RegClass::Btr => 2,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RegClass::Gpr => "gpr",
+            RegClass::Pred => "pred",
+            RegClass::Btr => "btr",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A virtual register: a class plus an index within that class.
+///
+/// Displayed in the paper's notation: `r0`, `p3`, `b7`.
+///
+/// # Examples
+///
+/// ```
+/// use treegion_ir::Reg;
+/// assert_eq!(Reg::pred(3).to_string(), "p3");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg {
+    class: RegClass,
+    index: u32,
+}
+
+impl Reg {
+    /// Creates a register of the given class and index.
+    pub fn new(class: RegClass, index: u32) -> Self {
+        Reg { class, index }
+    }
+
+    /// Creates a general-purpose register `r{index}`.
+    pub fn gpr(index: u32) -> Self {
+        Reg::new(RegClass::Gpr, index)
+    }
+
+    /// Creates a predicate register `p{index}`.
+    pub fn pred(index: u32) -> Self {
+        Reg::new(RegClass::Pred, index)
+    }
+
+    /// Creates a branch-target register `b{index}`.
+    pub fn btr(index: u32) -> Self {
+        Reg::new(RegClass::Btr, index)
+    }
+
+    /// The register's class.
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The register's index within its class.
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// `true` if this is a general-purpose integer register.
+    pub fn is_gpr(self) -> bool {
+        self.class == RegClass::Gpr
+    }
+
+    /// `true` if this is a predicate register.
+    pub fn is_pred(self) -> bool {
+        self.class == RegClass::Pred
+    }
+
+    /// `true` if this is a branch-target register.
+    pub fn is_btr(self) -> bool {
+        self.class == RegClass::Btr
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.class.prefix(), self.index)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(Reg::gpr(0).to_string(), "r0");
+        assert_eq!(Reg::pred(12).to_string(), "p12");
+        assert_eq!(Reg::btr(5).to_string(), "b5");
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(Reg::gpr(1).is_gpr());
+        assert!(!Reg::gpr(1).is_pred());
+        assert!(Reg::pred(1).is_pred());
+        assert!(Reg::btr(1).is_btr());
+    }
+
+    #[test]
+    fn ordering_groups_by_class_then_index() {
+        let mut regs = vec![Reg::btr(0), Reg::gpr(2), Reg::gpr(1), Reg::pred(0)];
+        regs.sort();
+        assert_eq!(
+            regs,
+            vec![Reg::gpr(1), Reg::gpr(2), Reg::pred(0), Reg::btr(0)]
+        );
+    }
+
+    #[test]
+    fn class_index_matches_all_order() {
+        for (i, c) in RegClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn class_display_names() {
+        assert_eq!(RegClass::Gpr.to_string(), "gpr");
+        assert_eq!(RegClass::Pred.to_string(), "pred");
+        assert_eq!(RegClass::Btr.to_string(), "btr");
+    }
+}

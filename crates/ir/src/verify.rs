@@ -1,0 +1,367 @@
+//! IR verifier.
+//!
+//! Checks structural invariants that the rest of the pipeline relies on:
+//! block targets are in range, register classes match opcode expectations,
+//! source-level blocks contain no lowered (scheduler-output) opcodes, and
+//! profile counts are flow-conserving.
+
+use crate::{BlockId, Function, Opcode, RegClass, Terminator};
+use std::error::Error;
+use std::fmt;
+
+/// Relative tolerance for profile flow conservation checks.
+pub const PROFILE_EPSILON: f64 = 1e-6;
+
+/// A verification failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyError {
+    /// Function name.
+    pub function: String,
+    /// Offending block, when the failure is block-local.
+    pub block: Option<BlockId>,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify failed in `{}`", self.function)?;
+        if let Some(b) = self.block {
+            write!(f, " at {b}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies a function, returning the first violated invariant.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] describing the first structural problem found:
+/// out-of-range block targets, ops of the wrong register class shape,
+/// lowered opcodes in source blocks, or profile counts that are not
+/// flow-conserving (within [`PROFILE_EPSILON`] relative tolerance).
+///
+/// # Examples
+///
+/// ```
+/// use treegion_ir::{verify_function, Block, Function, Terminator};
+/// let mut f = Function::new("ok");
+/// f.add_block(Block::new(vec![], Terminator::Ret { value: None }, 1.0));
+/// verify_function(&f)?;
+/// # Ok::<(), treegion_ir::VerifyError>(())
+/// ```
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    let err = |block: Option<BlockId>, message: String| VerifyError {
+        function: f.name().to_string(),
+        block,
+        message,
+    };
+
+    if f.num_blocks() == 0 {
+        return Err(err(None, "function has no blocks".into()));
+    }
+
+    for (id, block) in f.blocks() {
+        // Targets in range.
+        for succ in block.successors() {
+            if succ.index() >= f.num_blocks() {
+                return Err(err(Some(id), format!("edge target {succ} out of range")));
+            }
+        }
+        // Ops well-formed, and only source-level opcodes in source IR.
+        for (i, op) in block.ops.iter().enumerate() {
+            if let Some(msg) = check_op_shape(op) {
+                return Err(err(Some(id), format!("op {i} (`{op}`): {msg}")));
+            }
+            if is_lowered_opcode(op.opcode) {
+                return Err(err(
+                    Some(id),
+                    format!("op {i} (`{op}`): lowered opcode in source block"),
+                ));
+            }
+        }
+        // Terminator condition registers must be GPRs.
+        match &block.term {
+            Terminator::Branch { cond, .. } if cond.class() != RegClass::Gpr => {
+                return Err(err(Some(id), "branch condition must be a GPR".into()));
+            }
+            Terminator::Switch { on, .. } if on.class() != RegClass::Gpr => {
+                return Err(err(Some(id), "switch operand must be a GPR".into()));
+            }
+            Terminator::Ret { value: Some(v) } if v.class() != RegClass::Gpr => {
+                return Err(err(Some(id), "return value must be a GPR".into()));
+            }
+            _ => {}
+        }
+        // Negative counts are meaningless.
+        for e in block.term.edges() {
+            if e.count < 0.0 || !e.count.is_finite() {
+                return Err(err(
+                    Some(id),
+                    format!("edge to {} has invalid count {}", e.target, e.count),
+                ));
+            }
+        }
+        if block.weight < 0.0 || !block.weight.is_finite() {
+            return Err(err(Some(id), format!("invalid weight {}", block.weight)));
+        }
+    }
+
+    verify_profile(f)?;
+    Ok(())
+}
+
+/// Verifies only the profile flow-conservation invariants of `f`.
+///
+/// For every non-return block, `weight == Σ outgoing edge counts`; for
+/// every non-entry block, `weight == Σ incoming edge counts`. Both within
+/// [`PROFILE_EPSILON`] relative tolerance.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] naming the first non-conserving block.
+pub fn verify_profile(f: &Function) -> Result<(), VerifyError> {
+    let mut incoming = vec![0.0f64; f.num_blocks()];
+    for (_, block) in f.blocks() {
+        for e in block.term.edges() {
+            incoming[e.target.index()] += e.count;
+        }
+    }
+    for (id, block) in f.blocks() {
+        if !block.term.is_ret() {
+            let out = block.term.out_count();
+            if !approx_eq(block.weight, out) {
+                return Err(VerifyError {
+                    function: f.name().to_string(),
+                    block: Some(id),
+                    message: format!(
+                        "weight {} != outgoing count {} (flow not conserved)",
+                        block.weight, out
+                    ),
+                });
+            }
+        }
+        if id != f.entry() {
+            let inc = incoming[id.index()];
+            if !approx_eq(block.weight, inc) {
+                return Err(VerifyError {
+                    function: f.name().to_string(),
+                    block: Some(id),
+                    message: format!(
+                        "weight {} != incoming count {} (flow not conserved)",
+                        block.weight, inc
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= PROFILE_EPSILON * scale
+}
+
+fn is_lowered_opcode(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Cmpp(_)
+            | Opcode::Pbr
+            | Opcode::Brct
+            | Opcode::Brcf
+            | Opcode::Bru
+            | Opcode::Ret
+            | Opcode::Copy
+    )
+}
+
+/// Checks operand shape (def/use arity and register classes) for an op.
+/// Returns a description of the problem, or `None` when well-formed.
+fn check_op_shape(op: &crate::Op) -> Option<String> {
+    use Opcode::*;
+    let gprs = |regs: &[crate::Reg]| regs.iter().all(|r| r.class() == RegClass::Gpr);
+    let want = |ok: bool, msg: &str| if ok { None } else { Some(msg.to_string()) };
+    match op.opcode {
+        Nop => want(
+            op.defs.is_empty() && op.uses.is_empty(),
+            "nop takes no operands",
+        ),
+        MovI => want(
+            op.defs.len() == 1 && op.uses.is_empty() && gprs(&op.defs),
+            "movi: d(gpr), imm",
+        ),
+        Mov | Copy => want(
+            op.defs.len() == 1 && op.uses.len() == 1 && op.defs[0].class() == op.uses[0].class(),
+            "mov/copy: one def, one use, same class",
+        ),
+        Add | Sub | Mul | Div | And | Or | Xor | Shl | Shr | Sar | FAdd | FSub | FMul | FDiv => {
+            want(
+                op.defs.len() == 1 && op.uses.len() == 2 && gprs(&op.defs) && gprs(&op.uses),
+                "alu: d(gpr) = a(gpr) op b(gpr)",
+            )
+        }
+        Cmp(_) => want(
+            op.defs.len() == 1 && op.uses.len() == 2 && gprs(&op.defs) && gprs(&op.uses),
+            "cmp: d(gpr) = a(gpr) cond b(gpr)",
+        ),
+        Load => want(
+            op.defs.len() == 1 && op.uses.len() == 1 && gprs(&op.defs) && gprs(&op.uses),
+            "load: d(gpr) = [a(gpr)+imm]",
+        ),
+        Store => want(
+            op.defs.is_empty() && op.uses.len() == 2 && gprs(&op.uses),
+            "store: [a(gpr)+imm] = v(gpr)",
+        ),
+        Call => want(
+            op.defs.len() == 1 && gprs(&op.defs) && gprs(&op.uses),
+            "call: d(gpr) = call(gpr args)",
+        ),
+        Cmpp(_) => {
+            // Register form: uses = [a, b, pin?]; immediate form (second
+            // operand in `imm`): uses = [a, pin?].
+            let shape_ok = (1..=2).contains(&op.defs.len())
+                && op.defs.iter().all(|r| r.class() == RegClass::Pred)
+                && !op.uses.is_empty()
+                && op.uses[0].class() == RegClass::Gpr
+                && match op.uses.len() {
+                    1 => true,
+                    2 => op.uses[1].class() != RegClass::Btr,
+                    3 => {
+                        op.uses[1].class() == RegClass::Gpr && op.uses[2].class() == RegClass::Pred
+                    }
+                    _ => false,
+                };
+            want(shape_ok, "cmpp: p[,p'] = (a cond b|#imm) [? pin]")
+        }
+        Pbr => want(
+            op.defs.len() == 1
+                && op.defs[0].class() == RegClass::Btr
+                && op.uses.is_empty()
+                && op.target.is_some(),
+            "pbr: b = @target",
+        ),
+        Brct | Brcf => want(
+            op.defs.is_empty()
+                && op.uses.len() == 2
+                && op.uses[0].class() == RegClass::Btr
+                && op.uses[1].class() == RegClass::Pred,
+            "brct/brcf: (b, p)",
+        ),
+        Bru => want(
+            op.defs.is_empty() && op.uses.len() == 1 && op.uses[0].class() == RegClass::Btr,
+            "bru: (b)",
+        ),
+        Ret => want(
+            op.defs.is_empty() && op.uses.len() <= 1 && gprs(&op.uses),
+            "ret: [value(gpr)]",
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Block, Edge, Op, Reg};
+
+    fn ret_block(weight: f64) -> Block {
+        Block::new(vec![], Terminator::Ret { value: None }, weight)
+    }
+
+    #[test]
+    fn accepts_minimal_function() {
+        let mut f = Function::new("t");
+        f.add_block(ret_block(1.0));
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let mut f = Function::new("t");
+        f.add_block(Block::new(
+            vec![],
+            Terminator::Jump(Edge::new(BlockId::from_index(5), 1.0)),
+            1.0,
+        ));
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_lowered_opcode_in_source_block() {
+        let mut f = Function::new("t");
+        f.add_block(Block::new(
+            vec![Op::bru(Reg::btr(0))],
+            Terminator::Ret { value: None },
+            1.0,
+        ));
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("lowered opcode"), "{e}");
+    }
+
+    #[test]
+    fn rejects_flow_violation_on_weights() {
+        let mut f = Function::new("t");
+        f.add_block(Block::new(
+            vec![],
+            Terminator::Jump(Edge::new(BlockId::from_index(1), 10.0)),
+            99.0, // should be 10.0
+        ));
+        f.add_block(ret_block(10.0));
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("flow not conserved"), "{e}");
+    }
+
+    #[test]
+    fn rejects_incoming_mismatch() {
+        let mut f = Function::new("t");
+        f.add_block(Block::new(
+            vec![],
+            Terminator::Jump(Edge::new(BlockId::from_index(1), 10.0)),
+            10.0,
+        ));
+        f.add_block(ret_block(33.0)); // incoming is 10
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_operand_classes() {
+        let mut f = Function::new("t");
+        f.add_block(Block::new(
+            vec![Op::new(
+                Opcode::Add,
+                vec![Reg::pred(0)],
+                vec![Reg::gpr(0), Reg::gpr(1)],
+                0,
+            )],
+            Terminator::Ret { value: None },
+            1.0,
+        ));
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_edge_count() {
+        let mut f = Function::new("t");
+        f.add_block(Block::new(
+            vec![],
+            Terminator::Jump(Edge::new(BlockId::from_index(1), -1.0)),
+            -1.0,
+        ));
+        f.add_block(ret_block(-1.0));
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_function_and_block() {
+        let e = VerifyError {
+            function: "foo".into(),
+            block: Some(BlockId::from_index(3)),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "verify failed in `foo` at bb3: boom");
+    }
+}

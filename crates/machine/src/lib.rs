@@ -1,0 +1,251 @@
+//! # treegion-machine
+//!
+//! Machine models for the reproduction of *"Treegion Scheduling for Wide
+//! Issue Processors"* (HPCA 1998).
+//!
+//! The paper evaluates on statically-scheduled VLIW machines with
+//! *universal*, fully-pipelined functional units:
+//!
+//! * **1U** — single-issue baseline (the speedup denominator),
+//! * **4U** — four-issue,
+//! * **8U** — eight-issue.
+//!
+//! All operations have unit latency except loads (2 cycles), floating-point
+//! multiply (3 cycles), and floating-point divide (9 cycles). Memory
+//! operations are serialized because no aliasing information is available,
+//! but — the machines being PlayDoh-style — a store and a dependent memory
+//! operation may be scheduled in the same cycle (dependence latency 0).
+//!
+//! ## Example
+//!
+//! ```
+//! use treegion_machine::MachineModel;
+//! use treegion_ir::Opcode;
+//!
+//! let m4 = MachineModel::model_4u();
+//! assert_eq!(m4.issue_width(), 4);
+//! assert_eq!(m4.latency(Opcode::Load), 2);
+//! assert_eq!(m4.latency(Opcode::FDiv), 9);
+//! assert_eq!(m4.latency(Opcode::Add), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use treegion_ir::Opcode;
+
+/// A statically-scheduled VLIW machine description.
+///
+/// Use the named constructors for the paper's models, or
+/// [`MachineModel::builder`] for ablation variants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineModel {
+    name: String,
+    issue_width: usize,
+    load_latency: u32,
+    fmul_latency: u32,
+    fdiv_latency: u32,
+    mem_dep_same_cycle: bool,
+    branch_limit: Option<usize>,
+    mem_port_limit: Option<usize>,
+}
+
+impl MachineModel {
+    /// The single-issue baseline machine (1U). Program performance under
+    /// basic-block scheduling on this machine is the paper's speedup
+    /// denominator.
+    pub fn model_1u() -> Self {
+        MachineModel::builder("1U", 1).build()
+    }
+
+    /// The four-issue machine (4U).
+    pub fn model_4u() -> Self {
+        MachineModel::builder("4U", 4).build()
+    }
+
+    /// The eight-issue machine (8U).
+    pub fn model_8u() -> Self {
+        MachineModel::builder("8U", 8).build()
+    }
+
+    /// Starts building a custom machine named `name` with the given issue
+    /// width, using the paper's latency defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue_width` is zero.
+    pub fn builder(name: impl Into<String>, issue_width: usize) -> MachineModelBuilder {
+        assert!(issue_width > 0, "issue width must be positive");
+        MachineModelBuilder {
+            model: MachineModel {
+                name: name.into(),
+                issue_width,
+                load_latency: 2,
+                fmul_latency: 3,
+                fdiv_latency: 9,
+                mem_dep_same_cycle: true,
+                branch_limit: None,
+                mem_port_limit: None,
+            },
+        }
+    }
+
+    /// The machine's name (`"4U"` etc.).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operations issued per cycle (MultiOp width).
+    pub fn issue_width(&self) -> usize {
+        self.issue_width
+    }
+
+    /// The latency, in cycles, from issue of `op` to availability of its
+    /// results. Unit latency for everything except loads, `fmul`, `fdiv`.
+    pub fn latency(&self, op: Opcode) -> u32 {
+        match op {
+            Opcode::Load => self.load_latency,
+            Opcode::FMul => self.fmul_latency,
+            Opcode::FDiv => self.fdiv_latency,
+            _ => 1,
+        }
+    }
+
+    /// Latency of a memory-serialization dependence (store → dependent
+    /// memory op). 0 on PlayDoh-style machines — they may share a cycle —
+    /// otherwise 1.
+    pub fn mem_dep_latency(&self) -> u32 {
+        if self.mem_dep_same_cycle {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Maximum branches per cycle, or `None` for unlimited (the paper:
+    /// "providing the architecture allows it").
+    pub fn branch_limit(&self) -> Option<usize> {
+        self.branch_limit
+    }
+
+    /// Maximum memory operations (loads/stores/calls) per cycle, or
+    /// `None` for unlimited. The paper's machines have universal units;
+    /// this knob models the memory-ported machines an implementation
+    /// would actually build, for the ablation benches.
+    pub fn mem_port_limit(&self) -> Option<usize> {
+        self.mem_port_limit
+    }
+}
+
+impl fmt::Display for MachineModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}-issue universal)", self.name, self.issue_width)
+    }
+}
+
+/// Builder for custom [`MachineModel`]s (ablation studies).
+#[derive(Clone, Debug)]
+pub struct MachineModelBuilder {
+    model: MachineModel,
+}
+
+impl MachineModelBuilder {
+    /// Sets the load latency (paper default: 2).
+    pub fn load_latency(mut self, cycles: u32) -> Self {
+        self.model.load_latency = cycles;
+        self
+    }
+
+    /// Sets the floating-point multiply latency (paper default: 3).
+    pub fn fmul_latency(mut self, cycles: u32) -> Self {
+        self.model.fmul_latency = cycles;
+        self
+    }
+
+    /// Sets the floating-point divide latency (paper default: 9).
+    pub fn fdiv_latency(mut self, cycles: u32) -> Self {
+        self.model.fdiv_latency = cycles;
+        self
+    }
+
+    /// Sets whether a store and a dependent memory op may share a cycle
+    /// (PlayDoh behaviour; paper default: true).
+    pub fn mem_dep_same_cycle(mut self, yes: bool) -> Self {
+        self.model.mem_dep_same_cycle = yes;
+        self
+    }
+
+    /// Limits branches per cycle (paper default: unlimited).
+    pub fn branch_limit(mut self, limit: Option<usize>) -> Self {
+        self.model.branch_limit = limit;
+        self
+    }
+
+    /// Limits memory operations per cycle (paper default: unlimited).
+    pub fn mem_ports(mut self, limit: Option<usize>) -> Self {
+        self.model.mem_port_limit = limit;
+        self
+    }
+
+    /// Finishes the model.
+    pub fn build(self) -> MachineModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion_ir::Cond;
+
+    #[test]
+    fn paper_models_have_paper_parameters() {
+        for (m, w) in [
+            (MachineModel::model_1u(), 1),
+            (MachineModel::model_4u(), 4),
+            (MachineModel::model_8u(), 8),
+        ] {
+            assert_eq!(m.issue_width(), w);
+            assert_eq!(m.latency(Opcode::Load), 2);
+            assert_eq!(m.latency(Opcode::FMul), 3);
+            assert_eq!(m.latency(Opcode::FDiv), 9);
+            assert_eq!(m.latency(Opcode::Add), 1);
+            assert_eq!(m.latency(Opcode::Store), 1);
+            assert_eq!(m.latency(Opcode::Cmpp(Cond::Gt)), 1);
+            assert_eq!(m.mem_dep_latency(), 0);
+            assert_eq!(m.branch_limit(), None);
+            assert_eq!(m.mem_port_limit(), None);
+        }
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let m = MachineModel::builder("custom", 6)
+            .load_latency(4)
+            .mem_dep_same_cycle(false)
+            .branch_limit(Some(2))
+            .mem_ports(Some(2))
+            .build();
+        assert_eq!(m.issue_width(), 6);
+        assert_eq!(m.latency(Opcode::Load), 4);
+        assert_eq!(m.mem_dep_latency(), 1);
+        assert_eq!(m.branch_limit(), Some(2));
+        assert_eq!(m.mem_port_limit(), Some(2));
+        assert_eq!(m.name(), "custom");
+    }
+
+    #[test]
+    #[should_panic(expected = "issue width")]
+    fn zero_issue_width_panics() {
+        let _ = MachineModel::builder("bad", 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            MachineModel::model_4u().to_string(),
+            "4U (4-issue universal)"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Sequential reference interpreter over the source IR.
+//!
+//! Defines the architectural semantics that any schedule must preserve:
+//! blocks execute their ops in order, terminators pick the successor. The
+//! VLIW executor ([`crate::VliwProgram`]) is differentially tested against
+//! this interpreter.
+
+use crate::state::{exec_op, State};
+use std::error::Error;
+use std::fmt;
+use treegion_ir::{BlockId, Function, Terminator};
+
+/// Why an execution stopped abnormally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The step/fuel limit was reached before the function returned.
+    OutOfFuel,
+    /// Internal invariant violated (message describes it).
+    Invariant(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfFuel => f.write_str("execution exceeded its fuel limit"),
+            SimError::Invariant(m) => write!(f, "simulator invariant violated: {m}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Result of a completed sequential execution.
+#[derive(Clone, Debug)]
+pub struct ExecResult {
+    /// The returned value, if the `ret` carried one.
+    pub ret: Option<i64>,
+    /// Final architectural state.
+    pub state: State,
+    /// Blocks entered, in order (entry first).
+    pub block_trace: Vec<BlockId>,
+    /// Total source ops executed.
+    pub ops_executed: u64,
+}
+
+/// Interprets `f` from its entry with the given initial state.
+///
+/// # Errors
+///
+/// [`SimError::OutOfFuel`] if more than `fuel` blocks are entered — the
+/// guard against non-terminating loops in generated workloads.
+pub fn interpret(f: &Function, initial: State, fuel: u64) -> Result<ExecResult, SimError> {
+    let mut state = initial;
+    let mut block = f.entry();
+    let mut trace = Vec::new();
+    let mut ops_executed = 0u64;
+    for _ in 0..fuel {
+        trace.push(block);
+        let b = f.block(block);
+        for op in &b.ops {
+            exec_op(&mut state, op);
+            ops_executed += 1;
+        }
+        match &b.term {
+            Terminator::Jump(e) => block = e.target,
+            Terminator::Branch { cond, then_, else_ } => {
+                block = if state.read(*cond) != 0 {
+                    then_.target
+                } else {
+                    else_.target
+                };
+            }
+            Terminator::Switch { on, cases, default } => {
+                let v = state.read(*on);
+                block = cases
+                    .iter()
+                    .find(|c| c.value == v)
+                    .map(|c| c.edge.target)
+                    .unwrap_or(default.target);
+            }
+            Terminator::Ret { value } => {
+                let ret = value.map(|r| state.read(r));
+                return Ok(ExecResult {
+                    ret,
+                    state,
+                    block_trace: trace,
+                    ops_executed,
+                });
+            }
+        }
+    }
+    Err(SimError::OutOfFuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion_ir::{Cond, FunctionBuilder, Op};
+
+    #[test]
+    fn straight_line_computes() {
+        let mut b = FunctionBuilder::new("t");
+        let bb0 = b.block();
+        let (x, y, z) = (b.gpr(), b.gpr(), b.gpr());
+        b.push_all(bb0, [Op::movi(x, 4), Op::movi(y, 5), Op::mul(z, x, y)]);
+        b.ret(bb0, Some(z));
+        let f = b.finish();
+        let r = interpret(&f, State::new(), 10).unwrap();
+        assert_eq!(r.ret, Some(20));
+        assert_eq!(r.ops_executed, 3);
+        assert_eq!(r.block_trace.len(), 1);
+    }
+
+    #[test]
+    fn branch_picks_correct_side() {
+        let mut b = FunctionBuilder::new("t");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let (x, y, c, r1, r2) = (b.gpr(), b.gpr(), b.gpr(), b.gpr(), b.gpr());
+        b.push_all(
+            bb0,
+            [Op::movi(x, 7), Op::movi(y, 3), Op::cmp(Cond::Gt, c, x, y)],
+        );
+        b.branch(bb0, c, (bb1, 1.0), (bb2, 1.0));
+        b.push(bb1, Op::movi(r1, 111));
+        b.ret(bb1, Some(r1));
+        b.push(bb2, Op::movi(r2, 222));
+        b.ret(bb2, Some(r2));
+        let f = b.finish();
+        let r = interpret(&f, State::new(), 10).unwrap();
+        assert_eq!(r.ret, Some(111));
+    }
+
+    #[test]
+    fn switch_matches_case_and_default() {
+        let mut b = FunctionBuilder::new("t");
+        let ids: Vec<_> = (0..4).map(|_| b.block()).collect();
+        let (on, a, d) = (b.gpr(), b.gpr(), b.gpr());
+        b.push(ids[0], Op::movi(on, 5));
+        b.switch(
+            ids[0],
+            on,
+            vec![(1, ids[1], 1.0), (5, ids[2], 1.0)],
+            (ids[3], 1.0),
+        );
+        b.ret(ids[1], None);
+        b.push(ids[2], Op::movi(a, 55));
+        b.ret(ids[2], Some(a));
+        b.push(ids[3], Op::movi(d, 99));
+        b.ret(ids[3], Some(d));
+        let f = b.finish();
+        assert_eq!(interpret(&f, State::new(), 10).unwrap().ret, Some(55));
+    }
+
+    #[test]
+    fn loop_terminates_and_counts() {
+        // i = 0; do { i += 1 } while (i < 10); ret i
+        let mut b = FunctionBuilder::new("t");
+        let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+        let (i, one, ten, c) = (b.gpr(), b.gpr(), b.gpr(), b.gpr());
+        b.push_all(bb0, [Op::movi(i, 0), Op::movi(one, 1), Op::movi(ten, 10)]);
+        b.jump(bb0, bb1, 1.0);
+        b.push_all(bb1, [Op::add(i, i, one), Op::cmp(Cond::Lt, c, i, ten)]);
+        b.branch(bb1, c, (bb1, 9.0), (bb2, 1.0));
+        b.ret(bb2, Some(i));
+        let f = b.finish();
+        let r = interpret(&f, State::new(), 100).unwrap();
+        assert_eq!(r.ret, Some(10));
+        assert_eq!(r.block_trace.len(), 12); // bb0 + 10×bb1 + bb2
+    }
+
+    #[test]
+    fn fuel_limit_reports_out_of_fuel() {
+        let mut b = FunctionBuilder::new("t");
+        let bb0 = b.block();
+        b.jump(bb0, bb0, 1.0);
+        let f = b.finish();
+        assert!(matches!(
+            interpret(&f, State::new(), 50),
+            Err(SimError::OutOfFuel)
+        ));
+    }
+
+    #[test]
+    fn memory_effects_survive() {
+        let mut b = FunctionBuilder::new("t");
+        let bb0 = b.block();
+        let (a, v) = (b.gpr(), b.gpr());
+        b.push_all(bb0, [Op::movi(a, 64), Op::movi(v, 9), Op::store(a, v, 0)]);
+        b.ret(bb0, None);
+        let f = b.finish();
+        let r = interpret(&f, State::new(), 10).unwrap();
+        assert_eq!(r.state.load(64), 9);
+    }
+}

@@ -1,0 +1,52 @@
+//! # treegion-sim
+//!
+//! Execution substrate for validating treegion schedules: a sequential
+//! reference interpreter over the source IR ([`interpret`]) and a VLIW
+//! executor that runs scheduled regions under linearized-predicated
+//! semantics ([`VliwProgram`]).
+//!
+//! The paper *estimates* execution time analytically (profile count ×
+//! schedule height) and asserts that renaming and predication preserve
+//! semantics. This crate checks both claims mechanically: the VLIW
+//! executor is differentially tested against the interpreter (same return
+//! value, same final memory), validates operand timing as it runs, and
+//! reports measured cycles that must agree with the analytic estimate for
+//! the executed path.
+//!
+//! ## Example
+//!
+//! ```
+//! use treegion::{form_treegions, ScheduleOptions};
+//! use treegion_ir::{FunctionBuilder, Op};
+//! use treegion_machine::MachineModel;
+//! use treegion_sim::{interpret, State, VliwProgram};
+//!
+//! let mut b = FunctionBuilder::new("f");
+//! let bb0 = b.block();
+//! let (x, y) = (b.gpr(), b.gpr());
+//! b.push_all(bb0, [Op::movi(x, 20), Op::movi(y, 22)]);
+//! b.push(bb0, Op::add(x, x, y));
+//! b.ret(bb0, Some(x));
+//! let f = b.finish();
+//!
+//! let expected = interpret(&f, State::new(), 100)?;
+//! let regions = form_treegions(&f);
+//! let prog = VliwProgram::compile(
+//!     &f, &regions, &MachineModel::model_4u(), &ScheduleOptions::default(), None,
+//! );
+//! let got = prog.execute(State::new(), 100)?;
+//! assert_eq!(got.ret, expected.ret);
+//! assert_eq!(got.ret, Some(42));
+//! # Ok::<(), treegion_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod interp;
+mod state;
+mod vliw;
+
+pub use interp::{interpret, ExecResult, SimError};
+pub use state::{call_result, eval_alu, exec_op, State};
+pub use vliw::{CompiledRegion, VliwProgram, VliwResult};

@@ -1,0 +1,253 @@
+//! Shared machine state and scalar op semantics.
+//!
+//! Both the sequential reference interpreter and the VLIW schedule
+//! executor evaluate ops with these functions, so an equivalence failure
+//! between the two can only come from scheduling/renaming/predication —
+//! exactly what the differential tests are after.
+
+use std::collections::HashMap;
+use treegion_ir::{Op, Opcode, Reg};
+
+/// Architectural state: register file plus a sparse word-addressed memory.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct State {
+    regs: HashMap<Reg, i64>,
+    preds: HashMap<Reg, bool>,
+    /// Sparse memory: absent addresses read as 0.
+    pub mem: HashMap<i64, i64>,
+}
+
+impl State {
+    /// Empty state (all registers and memory read as zero/false).
+    pub fn new() -> Self {
+        State::default()
+    }
+
+    /// Reads a GPR or BTR (0 when never written).
+    pub fn read(&self, r: Reg) -> i64 {
+        *self.regs.get(&r).unwrap_or(&0)
+    }
+
+    /// Writes a GPR or BTR.
+    pub fn write(&mut self, r: Reg, v: i64) {
+        self.regs.insert(r, v);
+    }
+
+    /// Reads a predicate (false when never written).
+    pub fn read_pred(&self, r: Reg) -> bool {
+        *self.preds.get(&r).unwrap_or(&false)
+    }
+
+    /// Writes a predicate.
+    pub fn write_pred(&mut self, r: Reg, v: bool) {
+        self.preds.insert(r, v);
+    }
+
+    /// Reads memory (0 when never written).
+    pub fn load(&self, addr: i64) -> i64 {
+        *self.mem.get(&addr).unwrap_or(&0)
+    }
+
+    /// Writes memory.
+    pub fn store(&mut self, addr: i64, v: i64) {
+        self.mem.insert(addr, v);
+    }
+}
+
+/// Deterministic stand-in for an opaque call: a hash fold of the
+/// arguments, so calls are pure and simulatable.
+pub fn call_result(args: &[i64]) -> i64 {
+    let mut h: i64 = 0x9E37_79B9_7F4A_7C15u64 as i64;
+    for &a in args {
+        h = (h ^ a).wrapping_mul(0x100_0000_01B3);
+        h ^= (h as u64 >> 29) as i64;
+    }
+    h
+}
+
+fn to_f(v: i64) -> f64 {
+    f64::from_bits(v as u64)
+}
+
+fn from_f(v: f64) -> i64 {
+    v.to_bits() as i64
+}
+
+/// Evaluates the pure scalar function of a two-source ALU opcode.
+///
+/// Division by zero yields 0 by definition (documented IR semantics).
+///
+/// # Panics
+///
+/// Panics if `op` is not a two-source ALU opcode.
+pub fn eval_alu(op: Opcode, a: i64, b: i64) -> i64 {
+    match op {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Shl => a.wrapping_shl((b & 63) as u32),
+        Opcode::Shr => ((a as u64).wrapping_shr((b & 63) as u32)) as i64,
+        Opcode::Sar => a.wrapping_shr((b & 63) as u32),
+        Opcode::Cmp(c) => c.eval(a, b) as i64,
+        Opcode::FAdd => from_f(to_f(a) + to_f(b)),
+        Opcode::FSub => from_f(to_f(a) - to_f(b)),
+        Opcode::FMul => from_f(to_f(a) * to_f(b)),
+        Opcode::FDiv => from_f(to_f(a) / to_f(b)),
+        other => panic!("eval_alu called on non-ALU opcode {other}"),
+    }
+}
+
+/// Executes a non-control op against `state` (arithmetic, moves, memory,
+/// calls, and lowered `CMPP`). Branches, `PBR`, and `RET` are control ops
+/// and must be handled by the caller.
+///
+/// # Panics
+///
+/// Panics on control opcodes.
+pub fn exec_op(state: &mut State, op: &Op) {
+    match op.opcode {
+        Opcode::Nop => {}
+        Opcode::MovI => state.write(op.defs[0], op.imm),
+        Opcode::Mov | Opcode::Copy => {
+            let v = state.read(op.uses[0]);
+            state.write(op.defs[0], v);
+        }
+        Opcode::Load => {
+            let addr = state.read(op.uses[0]).wrapping_add(op.imm);
+            let v = state.load(addr);
+            state.write(op.defs[0], v);
+        }
+        Opcode::Store => {
+            let addr = state.read(op.uses[0]).wrapping_add(op.imm);
+            let v = state.read(op.uses[1]);
+            state.store(addr, v);
+        }
+        Opcode::Call => {
+            let args: Vec<i64> = op.uses.iter().map(|u| state.read(*u)).collect();
+            state.write(op.defs[0], call_result(&args));
+        }
+        Opcode::Cmpp(c) => {
+            // Register form: uses = [a, b(gpr), pin?]; immediate form:
+            // uses = [a, pin?] with the literal in `imm`. Distinguished by
+            // the class of the second use.
+            let a = state.read(op.uses[0]);
+            let (b, guard_reg) = match op.uses.get(1) {
+                Some(r) if r.is_gpr() => (state.read(*r), op.uses.get(2)),
+                other => (op.imm, other),
+            };
+            let guard = guard_reg.is_none_or(|g| state.read_pred(*g));
+            let val = c.eval(a, b);
+            state.write_pred(op.defs[0], guard && val);
+            if let Some(compl) = op.defs.get(1) {
+                state.write_pred(*compl, guard && !val);
+            }
+        }
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::Div
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Shl
+        | Opcode::Shr
+        | Opcode::Sar
+        | Opcode::Cmp(_)
+        | Opcode::FAdd
+        | Opcode::FSub
+        | Opcode::FMul
+        | Opcode::FDiv => {
+            let a = state.read(op.uses[0]);
+            let b = state.read(op.uses[1]);
+            state.write(op.defs[0], eval_alu(op.opcode, a, b));
+        }
+        Opcode::Pbr | Opcode::Brct | Opcode::Brcf | Opcode::Bru | Opcode::Ret => {
+            panic!("control op {} must be handled by the executor", op.opcode)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion_ir::Cond;
+
+    #[test]
+    fn unwritten_state_reads_zero() {
+        let s = State::new();
+        assert_eq!(s.read(Reg::gpr(5)), 0);
+        assert!(!s.read_pred(Reg::pred(2)));
+        assert_eq!(s.load(1234), 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(eval_alu(Opcode::Div, 42, 0), 0);
+        assert_eq!(eval_alu(Opcode::Div, 42, 7), 6);
+        assert_eq!(eval_alu(Opcode::Div, i64::MIN, -1), i64::MIN); // wrapping
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(eval_alu(Opcode::Add, i64::MAX, 1), i64::MIN);
+        assert_eq!(eval_alu(Opcode::Shl, 1, 65), 2); // shift masked to 1
+        assert_eq!(eval_alu(Opcode::Shr, -1, 60), 15);
+        assert_eq!(eval_alu(Opcode::Sar, -16, 2), -4);
+        assert_eq!(eval_alu(Opcode::Cmp(Cond::Le), 3, 3), 1);
+    }
+
+    #[test]
+    fn cmpp_with_guard_ands_both_outputs() {
+        let mut s = State::new();
+        let (p, q, g) = (Reg::pred(0), Reg::pred(1), Reg::pred(2));
+        let (a, b) = (Reg::gpr(0), Reg::gpr(1));
+        s.write(a, 5);
+        s.write(b, 3);
+        // Guard false: both outputs false regardless of the comparison.
+        let op = Op::cmpp(Cond::Gt, p, Some(q), a, b, Some(g));
+        exec_op(&mut s, &op);
+        assert!(!s.read_pred(p));
+        assert!(!s.read_pred(q));
+        // Guard true: p = (5>3)=true, q = complement.
+        s.write_pred(g, true);
+        exec_op(&mut s, &op);
+        assert!(s.read_pred(p));
+        assert!(!s.read_pred(q));
+    }
+
+    #[test]
+    fn load_store_roundtrip_with_offsets() {
+        let mut s = State::new();
+        let (a, v, d) = (Reg::gpr(0), Reg::gpr(1), Reg::gpr(2));
+        s.write(a, 100);
+        s.write(v, 77);
+        exec_op(&mut s, &Op::store(a, v, 8));
+        exec_op(&mut s, &Op::load(d, a, 8));
+        assert_eq!(s.read(d), 77);
+        assert_eq!(s.load(108), 77);
+    }
+
+    #[test]
+    fn call_is_deterministic_and_arg_sensitive() {
+        assert_eq!(call_result(&[1, 2]), call_result(&[1, 2]));
+        assert_ne!(call_result(&[1, 2]), call_result(&[2, 1]));
+        assert_ne!(call_result(&[]), call_result(&[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "control op")]
+    fn exec_op_rejects_branches() {
+        let mut s = State::new();
+        exec_op(&mut s, &Op::bru(Reg::btr(0)));
+    }
+}

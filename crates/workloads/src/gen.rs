@@ -1,0 +1,487 @@
+//! Structured, seeded CFG generation.
+//!
+//! The generator emits reducible, terminating functions built from a small
+//! grammar of constructs — chains, if-then, if-then-else (optionally
+//! nested), multiway switches (ordinary and Figure-9 wide/skewed),
+//! Figure-10 linearized chains, and counted loops — with profile counts
+//! propagated exactly (flow conservation holds by construction, checked by
+//! `verify_function`). Conditions are computed from a pool of live
+//! variables so every generated program is also *executable* by the
+//! simulator; loop trip counts use dedicated induction registers so
+//! execution always terminates.
+
+use crate::BenchmarkSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use treegion_ir::{BlockId, Cond, Function, FunctionBuilder, Module, Op, Opcode, Reg};
+
+/// Generates the whole module for a benchmark spec. Deterministic in
+/// `spec.seed`.
+pub fn generate(spec: &BenchmarkSpec) -> Module {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut m = Module::new(spec.name);
+    for fi in 0..spec.functions {
+        let f = gen_function(spec, &mut rng, fi);
+        debug_assert!(treegion_ir::verify_function(&f).is_ok());
+        m.add_function(f);
+    }
+    m
+}
+
+/// Generates every benchmark of [`crate::spec_suite`].
+pub fn generate_suite() -> Vec<Module> {
+    crate::spec_suite().iter().map(generate).collect()
+}
+
+/// Profile count entering each generated function.
+const ENTRY_COUNT: f64 = 1000.0;
+
+struct Gen<'a> {
+    spec: &'a BenchmarkSpec,
+    rng: &'a mut StdRng,
+    b: FunctionBuilder,
+    /// Architectural variable pool: reused as defs to create the
+    /// cross-path conflicts renaming must repair.
+    vars: Vec<Reg>,
+    /// Memory base registers.
+    bases: Vec<Reg>,
+    budget: isize,
+    loop_depth: usize,
+    /// Most recent definition, the tail of the current dependence chain.
+    last_def: Option<Reg>,
+}
+
+fn gen_function(spec: &BenchmarkSpec, rng: &mut StdRng, index: usize) -> Function {
+    let mut b = FunctionBuilder::new(format!("{}_f{index}", spec.name));
+    let entry = b.block();
+    let vars: Vec<Reg> = (0..10).map(|_| b.gpr()).collect();
+    let bases: Vec<Reg> = (0..3).map(|_| b.gpr()).collect();
+    // Initialize the pool deterministically: constants and loads.
+    for (k, &base) in bases.iter().enumerate() {
+        b.push(entry, Op::movi(base, 0x1000 * (k as i64 + 1)));
+    }
+    for (k, &v) in vars.iter().enumerate() {
+        if k % 3 == 0 {
+            b.push(entry, Op::load(v, bases[k % bases.len()], (k as i64) * 8));
+        } else {
+            b.push(entry, Op::movi(v, (k as i64 * 7) % 23 - 5));
+        }
+    }
+    let budget = rng.gen_range(spec.blocks_per_function.0..=spec.blocks_per_function.1) as isize;
+    let mut g = Gen {
+        spec,
+        rng,
+        b,
+        vars,
+        bases,
+        budget,
+        loop_depth: 0,
+        last_def: None,
+    };
+    let end = g.gen_constructs(entry, ENTRY_COUNT);
+    // Final return.
+    g.emit_ops(end, 2);
+    let rv = g.pick_var();
+    g.b.ret(end, Some(rv));
+    g.b.finish()
+}
+
+impl<'a> Gen<'a> {
+    fn pick_var(&mut self) -> Reg {
+        self.vars[self.rng.gen_range(0..self.vars.len())]
+    }
+
+    fn pick_base(&mut self) -> Reg {
+        self.bases[self.rng.gen_range(0..self.bases.len())]
+    }
+
+    /// Picks a source operand: with probability `chain_bias`, the most
+    /// recent definition (building the serial dataflow chains real integer
+    /// code exhibits); otherwise a random pool variable.
+    fn pick_src(&mut self) -> Reg {
+        match self.last_def {
+            Some(r) if self.rng.gen_bool(self.spec.chain_bias) => r,
+            _ => self.pick_var(),
+        }
+    }
+
+    /// Emits roughly `n` ops into `block`, following the spec's op mix and
+    /// chaining dependences per `chain_bias`.
+    fn emit_ops(&mut self, block: BlockId, n: usize) {
+        for _ in 0..n {
+            let roll: f64 = self.rng.gen();
+            let op = if roll < self.spec.mem_frac {
+                let off = self.rng.gen_range(0..32) * 8;
+                if self.rng.gen_bool(0.6) {
+                    // Half the loads chase the dependence chain through
+                    // memory (address = previous result), as linked-list
+                    // and tree traversals in integer code do — this is
+                    // what makes SPECint latency-bound on wide machines.
+                    let base = if self.rng.gen_bool(0.5) {
+                        self.pick_src()
+                    } else {
+                        self.pick_base()
+                    };
+                    let d = self.pick_var();
+                    self.last_def = Some(d);
+                    Op::load(d, base, off)
+                } else {
+                    let base = self.pick_base();
+                    let v = self.pick_src();
+                    Op::store(base, v, off)
+                }
+            } else if roll < self.spec.mem_frac + self.spec.fp_frac {
+                let (a, b) = (self.pick_src(), self.pick_var());
+                let d = self.pick_var();
+                self.last_def = Some(d);
+                let opc = match self.rng.gen_range(0..4) {
+                    0 => Opcode::FAdd,
+                    1 => Opcode::FSub,
+                    2 => Opcode::FMul,
+                    _ => Opcode::FDiv,
+                };
+                Op::alu(opc, d, a, b)
+            } else if roll < self.spec.mem_frac + self.spec.fp_frac + self.spec.call_frac {
+                let (a, b) = (self.pick_src(), self.pick_var());
+                let d = self.pick_var();
+                self.last_def = Some(d);
+                Op::call(d, vec![a, b])
+            } else {
+                let (a, b) = (self.pick_src(), self.pick_var());
+                let d = self.pick_var();
+                self.last_def = Some(d);
+                let opc = match self.rng.gen_range(0..8) {
+                    0..=2 => Opcode::Add,
+                    3 => Opcode::Sub,
+                    4 => Opcode::Mul,
+                    5 => Opcode::And,
+                    6 => Opcode::Or,
+                    _ => Opcode::Xor,
+                };
+                Op::alu(opc, d, a, b)
+            };
+            self.b.push(block, op);
+        }
+    }
+
+    fn sample_ops(&mut self) -> usize {
+        // Geometric-ish around the mean, at least 1.
+        let mean = self.spec.mean_ops_per_block;
+        let lo = (mean * 0.4).max(1.0) as usize;
+        let hi = (mean * 1.8).max(2.0) as usize;
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Emits a fresh comparison into `block` and returns the condition
+    /// reg. The comparison consumes the dependence chain's tail, so branch
+    /// resolution is late — as it is in real code.
+    fn emit_cond(&mut self, block: BlockId) -> Reg {
+        let c = self.b.gpr();
+        let (a, v) = (self.pick_src(), self.pick_var());
+        let cond = match self.rng.gen_range(0..6) {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::Lt,
+            3 => Cond::Le,
+            4 => Cond::Gt,
+            _ => Cond::Ge,
+        };
+        self.b.push(block, Op::cmp(cond, c, a, v));
+        c
+    }
+
+    fn branch_prob(&mut self) -> f64 {
+        if self.rng.gen_bool(self.spec.p_biased_branch) {
+            if self.rng.gen_bool(0.5) {
+                self.spec.bias_hot
+            } else {
+                1.0 - self.spec.bias_hot
+            }
+        } else {
+            self.rng.gen_range(0.2..0.8)
+        }
+    }
+
+    /// Generates constructs until the block budget is spent; returns the
+    /// open continuation block.
+    fn gen_constructs(&mut self, mut cur: BlockId, inflow: f64) -> BlockId {
+        while self.budget > 1 {
+            cur = self.gen_one(cur, inflow, 0);
+        }
+        cur
+    }
+
+    /// Generates a single construct starting in the open block `cur`.
+    fn gen_one(&mut self, cur: BlockId, inflow: f64, depth: usize) -> BlockId {
+        let n_ops = self.sample_ops();
+        self.emit_ops(cur, n_ops);
+        let s = self.spec;
+        let roll: f64 = self.rng.gen();
+        let p1 = s.p_chain;
+        let p2 = p1 + s.p_switch;
+        let p3 = p2 + s.p_loop;
+        let p4 = p3 + s.p_linearized_chain;
+        if roll < p1 || self.budget < 3 {
+            self.chain(cur, inflow)
+        } else if roll < p2 {
+            self.switch(cur, inflow)
+        } else if roll < p3 && self.loop_depth < 2 {
+            self.counted_loop(cur, inflow)
+        } else if roll < p4 && self.budget > (s.linearized_len.1 as isize + 2) {
+            self.linearized_chain(cur, inflow)
+        } else if self.rng.gen_bool(s.p_if_then) {
+            self.if_then(cur, inflow, depth)
+        } else {
+            self.if_then_else(cur, inflow, depth)
+        }
+    }
+
+    fn chain(&mut self, cur: BlockId, inflow: f64) -> BlockId {
+        let next = self.b.block();
+        self.budget -= 1;
+        self.b.jump(cur, next, inflow);
+        next
+    }
+
+    /// Ops for a branch arm taken with probability `p`: cold arms are
+    /// small (error handling, bounds-check slow paths), hot arms carry the
+    /// real work — the asymmetry real integer code exhibits.
+    fn arm_op_count(&mut self, p: f64) -> usize {
+        let n = self.sample_ops();
+        if p < 0.3 {
+            (n / 3).clamp(1, 3)
+        } else {
+            n
+        }
+    }
+
+    fn if_then(&mut self, cur: BlockId, inflow: f64, depth: usize) -> BlockId {
+        let c = self.emit_cond(cur);
+        let t = self.b.block();
+        let j = self.b.block();
+        self.budget -= 2;
+        let p = self.branch_prob();
+        let (wt, wj) = (inflow * p, inflow * (1.0 - p));
+        self.b.branch(cur, c, (t, wt), (j, wj));
+        let t_end = self.maybe_nest(t, wt, depth);
+        let n_ops = self.arm_op_count(p);
+        self.emit_ops(t_end, n_ops);
+        self.b.jump(t_end, j, wt);
+        j
+    }
+
+    fn if_then_else(&mut self, cur: BlockId, inflow: f64, depth: usize) -> BlockId {
+        let c = self.emit_cond(cur);
+        let (t, e, j) = (self.b.block(), self.b.block(), self.b.block());
+        self.budget -= 3;
+        let p = self.branch_prob();
+        let (wt, we) = (inflow * p, inflow * (1.0 - p));
+        self.b.branch(cur, c, (t, wt), (e, we));
+        let t_end = self.maybe_nest(t, wt, depth);
+        let n_ops = self.arm_op_count(p);
+        self.emit_ops(t_end, n_ops);
+        self.b.jump(t_end, j, wt);
+        let e_end = self.maybe_nest(e, we, depth);
+        let n_ops = self.arm_op_count(1.0 - p);
+        self.emit_ops(e_end, n_ops);
+        self.b.jump(e_end, j, we);
+        j
+    }
+
+    /// With probability `p_nest`, grows a further branching construct
+    /// inside a branch arm (deepening the eventual treegion).
+    fn maybe_nest(&mut self, arm: BlockId, inflow: f64, depth: usize) -> BlockId {
+        if depth < 3 && self.budget > 4 && self.rng.gen_bool(self.spec.p_nest) {
+            self.gen_one(arm, inflow, depth + 1)
+        } else {
+            arm
+        }
+    }
+
+    fn switch(&mut self, cur: BlockId, inflow: f64) -> BlockId {
+        let wide = self.rng.gen_bool(self.spec.p_wide_switch);
+        let (lo, hi) = if wide {
+            self.spec.wide_switch_width
+        } else {
+            self.spec.switch_width
+        };
+        let k = self
+            .rng
+            .gen_range(lo..=hi)
+            .min((self.budget.max(4) as usize).saturating_sub(2))
+            .max(2);
+        let on = self.pick_var();
+        let j = self.b.block();
+        self.budget -= 1;
+        // Case weights: wide switches are heavily skewed (Figure 9): a few
+        // hot cases, the rest zero. Ordinary switches get a smoother skew.
+        let mut weights = vec![0.0f64; k];
+        if wide {
+            let hot = 2 + self.rng.gen_range(0..2).min(k - 1);
+            for _ in 0..hot {
+                let idx = self.rng.gen_range(0..k);
+                weights[idx] += inflow * self.rng.gen_range(0.2..0.5);
+            }
+        } else {
+            for w in weights.iter_mut() {
+                *w = self.rng.gen_range(0.0..1.0f64).powi(3);
+            }
+        }
+        let total: f64 = weights.iter().sum::<f64>().max(1e-12);
+        let default_share = if wide { 0.05 } else { 0.1 };
+        for w in weights.iter_mut() {
+            *w = *w / total * inflow * (1.0 - default_share);
+        }
+        let w_default = inflow * default_share;
+
+        let mut cases = Vec::with_capacity(k);
+        for (ci, &w) in weights.iter().enumerate() {
+            let cb = self.b.block();
+            self.budget -= 1;
+            // Wide-switch destinations are small dispatch stubs.
+            let n_ops = if wide { 2 } else { self.sample_ops().min(4) };
+            self.emit_ops(cb, n_ops);
+            // Cold destinations of wide switches get an extra if-then so
+            // their *exit count* exceeds the hot cases' (the Figure 9
+            // pathology for the exit-count heuristic).
+            let end = if wide && w == 0.0 && self.budget > 2 {
+                self.if_then(cb, w, 3)
+            } else {
+                cb
+            };
+            self.b.jump(end, j, w);
+            cases.push((ci as i64, cb, w));
+        }
+        let db = self.b.block();
+        self.budget -= 1;
+        self.emit_ops(db, 2);
+        self.b.jump(db, j, w_default);
+        self.b.switch(cur, on, cases, (db, w_default));
+        j
+    }
+
+    /// A Figure 10 linearized chain: equal-weight blocks with never-taken
+    /// side exits to a shared cold block; the hot exit is at the bottom.
+    fn linearized_chain(&mut self, cur: BlockId, inflow: f64) -> BlockId {
+        let len = self
+            .rng
+            .gen_range(self.spec.linearized_len.0..=self.spec.linearized_len.1);
+        let j = self.b.block();
+        let cold = self.b.block();
+        self.budget -= 2;
+        self.emit_ops(cold, 2);
+        self.b.jump(cold, j, 0.0);
+        let mut blocks = vec![cur];
+        for _ in 0..len {
+            blocks.push(self.b.block());
+            self.budget -= 1;
+        }
+        for w in 0..len {
+            let b = blocks[w];
+            if w > 0 {
+                let n_ops = self.sample_ops();
+                self.emit_ops(b, n_ops);
+            }
+            let c = self.emit_cond(b);
+            // Side exit never taken in the profile.
+            self.b.branch(b, c, (cold, 0.0), (blocks[w + 1], inflow));
+        }
+        let last = blocks[len];
+        let n_ops = self.sample_ops();
+        self.emit_ops(last, n_ops);
+        self.b.jump(last, j, inflow);
+        j
+    }
+
+    /// A counted loop with dedicated induction registers (always
+    /// terminates under simulation).
+    fn counted_loop(&mut self, cur: BlockId, inflow: f64) -> BlockId {
+        let trips = self.rng.gen_range(2..=8) as f64;
+        let header = self.b.block();
+        let exit = self.b.block();
+        self.budget -= 2;
+        let (i, one, n, c) = (self.b.gpr(), self.b.gpr(), self.b.gpr(), self.b.gpr());
+        self.b.push(cur, Op::movi(i, 0));
+        self.b.push(cur, Op::movi(one, 1));
+        self.b.push(cur, Op::movi(n, trips as i64));
+        self.b.jump(cur, header, inflow);
+        // Body: ops inside the header, then optional inner construct.
+        let n_ops = self.sample_ops();
+        self.emit_ops(header, n_ops);
+        self.loop_depth += 1;
+        let body_inflow = inflow * trips;
+        let latch = if self.budget > 4 && self.rng.gen_bool(self.spec.p_nest) {
+            self.gen_one(header, body_inflow, 1)
+        } else {
+            header
+        };
+        self.loop_depth -= 1;
+        self.b.push(latch, Op::add(i, i, one));
+        self.b.push(latch, Op::cmp(Cond::Lt, c, i, n));
+        self.b
+            .branch(latch, c, (header, inflow * (trips - 1.0)), (exit, inflow));
+        exit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion_ir::verify_function;
+
+    #[test]
+    fn tiny_spec_generates_valid_functions() {
+        let m = generate(&BenchmarkSpec::tiny(42));
+        assert_eq!(m.functions().len(), 2);
+        for f in m.functions() {
+            verify_function(f).unwrap();
+            assert!(f.num_blocks() >= 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&BenchmarkSpec::tiny(7));
+        let b = generate(&BenchmarkSpec::tiny(7));
+        assert_eq!(treegion_ir::print_module(&a), treegion_ir::print_module(&b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&BenchmarkSpec::tiny(1));
+        let b = generate(&BenchmarkSpec::tiny(2));
+        assert_ne!(treegion_ir::print_module(&a), treegion_ir::print_module(&b));
+    }
+
+    #[test]
+    fn full_suite_verifies() {
+        for m in generate_suite() {
+            assert!(!m.functions().is_empty(), "{}", m.name());
+            for f in m.functions() {
+                verify_function(f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn generated_functions_terminate_under_interpretation() {
+        // Execution safety is exercised end-to-end in the sim crate's
+        // integration tests; here just check loops are counted: every
+        // branch-to-self/back-edge target is reached via induction regs
+        // that no pool op redefines. Proxy: functions verify and have a
+        // bounded block count.
+        for m in generate_suite().iter().take(2) {
+            for f in m.functions() {
+                assert!(f.num_blocks() < 4000);
+            }
+        }
+    }
+
+    #[test]
+    fn entry_weight_matches_entry_count() {
+        let m = generate(&BenchmarkSpec::tiny(5));
+        for f in m.functions() {
+            assert!((f.block(f.entry()).weight - ENTRY_COUNT).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Benchmark specifications: one parameter set per SPECint95 program.
+//!
+//! The paper evaluates on SPECint95 compiled by IMPACT/Elcor and profiled
+//! with training inputs — inputs we cannot obtain. Each spec below drives
+//! the synthetic CFG generator toward the *region statistics* the paper
+//! publishes for that program (Tables 1, 2, and 4) and toward the control
+//! shapes the paper dissects per program:
+//!
+//! * **ijpeg** — heavily *biased* branches (Figure 7): one side carries
+//!   nearly all the profile weight.
+//! * **gcc / perl** — occasional very wide, shallow multiway branches with
+//!   skewed case weights (Figure 9), which is what breaks the exit-count
+//!   heuristic; also the largest region maxima (384 and 774 blocks).
+//! * **vortex** — long *linearized* chains of equal-weight blocks whose
+//!   rarely-taken side exits precede a hot bottom exit (Figure 10), the
+//!   weighted-count failure mode; also the largest blocks (≈33 ops per
+//!   treegion over 3.3 blocks).
+//!
+//! All generation is deterministic given the spec's seed.
+
+/// Parameters for one synthetic benchmark program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Program name ("gcc", "vortex", ...).
+    pub name: &'static str,
+    /// RNG seed (generation is fully deterministic).
+    pub seed: u64,
+    /// Number of functions to generate.
+    pub functions: usize,
+    /// Approximate basic blocks per function (min, max).
+    pub blocks_per_function: (usize, usize),
+    /// Mean source ops per block (geometric-ish distribution).
+    pub mean_ops_per_block: f64,
+    /// Probability that the next construct is a plain chain block.
+    pub p_chain: f64,
+    /// Probability of an if-then (vs if-then-else) when branching.
+    pub p_if_then: f64,
+    /// Probability that the next construct is a multiway switch.
+    pub p_switch: f64,
+    /// Probability that the next construct is a counted loop.
+    pub p_loop: f64,
+    /// Ordinary switch width (min, max) cases.
+    pub switch_width: (usize, usize),
+    /// Probability that a switch is a *wide shallow* one (Figure 9).
+    pub p_wide_switch: f64,
+    /// Width of wide switches (min, max) cases.
+    pub wide_switch_width: (usize, usize),
+    /// Probability that a two-way branch is heavily biased.
+    pub p_biased_branch: f64,
+    /// Taken-probability of the hot side of a biased branch.
+    pub bias_hot: f64,
+    /// Probability that a construct is a *linearized chain* (Figure 10):
+    /// equal-weight blocks with never-taken side exits and a hot bottom.
+    pub p_linearized_chain: f64,
+    /// Length of linearized chains (min, max) blocks.
+    pub linearized_len: (usize, usize),
+    /// Probability of nesting another branch inside a branch arm.
+    pub p_nest: f64,
+    /// Probability that an op extends the block's dependence chain by
+    /// consuming the most recent definition (serializing the dataflow the
+    /// way real integer code does).
+    pub chain_bias: f64,
+    /// Fraction of generated ops that touch memory.
+    pub mem_frac: f64,
+    /// Fraction of generated ops that are floating point.
+    pub fp_frac: f64,
+    /// Fraction of generated ops that are opaque calls.
+    pub call_frac: f64,
+}
+
+impl BenchmarkSpec {
+    /// A small, fast spec for tests (not part of the suite).
+    pub fn tiny(seed: u64) -> Self {
+        BenchmarkSpec {
+            name: "tiny",
+            seed,
+            functions: 2,
+            blocks_per_function: (8, 16),
+            mean_ops_per_block: 4.0,
+            p_chain: 0.2,
+            p_if_then: 0.3,
+            p_switch: 0.1,
+            p_loop: 0.1,
+            switch_width: (2, 4),
+            p_wide_switch: 0.0,
+            wide_switch_width: (10, 14),
+            p_biased_branch: 0.2,
+            bias_hot: 0.95,
+            p_linearized_chain: 0.0,
+            linearized_len: (4, 6),
+            p_nest: 0.25,
+            chain_bias: 0.8,
+            mem_frac: 0.25,
+            fp_frac: 0.05,
+            call_frac: 0.02,
+        }
+    }
+}
+
+/// The eight SPECint95-style benchmark specs, in the paper's table order.
+pub fn spec_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        // compress: tiny program, small regions (avg 2.43 bb, max 8).
+        BenchmarkSpec {
+            name: "compress",
+            seed: 0xC0_4011,
+            functions: 6,
+            blocks_per_function: (10, 24),
+            mean_ops_per_block: 5.0,
+            p_chain: 0.18,
+            p_if_then: 0.45,
+            p_switch: 0.04,
+            p_loop: 0.16,
+            switch_width: (2, 4),
+            p_wide_switch: 0.0,
+            wide_switch_width: (8, 12),
+            p_biased_branch: 0.35,
+            bias_hot: 0.9,
+            p_linearized_chain: 0.02,
+            linearized_len: (3, 5),
+            p_nest: 0.20,
+            chain_bias: 0.8,
+            mem_frac: 0.30,
+            fp_frac: 0.0,
+            call_frac: 0.02,
+        },
+        // gcc: huge, switch-heavy (avg 2.85 bb, max 384), Figure 9 shapes.
+        BenchmarkSpec {
+            name: "gcc",
+            seed: 0x6CC_1995,
+            functions: 40,
+            blocks_per_function: (30, 90),
+            mean_ops_per_block: 5.5,
+            p_chain: 0.15,
+            p_if_then: 0.40,
+            p_switch: 0.10,
+            p_loop: 0.10,
+            switch_width: (3, 8),
+            p_wide_switch: 0.05,
+            wide_switch_width: (10, 20),
+            p_biased_branch: 0.30,
+            bias_hot: 0.85,
+            p_linearized_chain: 0.03,
+            linearized_len: (4, 7),
+            p_nest: 0.30,
+            chain_bias: 0.8,
+            mem_frac: 0.28,
+            fp_frac: 0.01,
+            call_frac: 0.04,
+        },
+        // go: branchy, moderate regions (avg 2.75 bb, max 89).
+        BenchmarkSpec {
+            name: "go",
+            seed: 0x60_1995,
+            functions: 25,
+            blocks_per_function: (24, 60),
+            mean_ops_per_block: 5.5,
+            p_chain: 0.12,
+            p_if_then: 0.40,
+            p_switch: 0.05,
+            p_loop: 0.10,
+            switch_width: (3, 8),
+            p_wide_switch: 0.02,
+            wide_switch_width: (16, 30),
+            p_biased_branch: 0.25,
+            bias_hot: 0.8,
+            p_linearized_chain: 0.02,
+            linearized_len: (3, 6),
+            p_nest: 0.35,
+            chain_bias: 0.8,
+            mem_frac: 0.22,
+            fp_frac: 0.0,
+            call_frac: 0.03,
+        },
+        // ijpeg: biased branches dominate (Figure 7; avg 2.39 bb, max 69).
+        BenchmarkSpec {
+            name: "ijpeg",
+            seed: 0x1_3975,
+            functions: 15,
+            blocks_per_function: (18, 45),
+            mean_ops_per_block: 6.0,
+            p_chain: 0.18,
+            p_if_then: 0.45,
+            p_switch: 0.03,
+            p_loop: 0.18,
+            switch_width: (2, 5),
+            p_wide_switch: 0.01,
+            wide_switch_width: (12, 24),
+            p_biased_branch: 0.85,
+            bias_hot: 0.995,
+            p_linearized_chain: 0.04,
+            linearized_len: (4, 8),
+            p_nest: 0.22,
+            chain_bias: 0.85,
+            mem_frac: 0.30,
+            fp_frac: 0.06,
+            call_frac: 0.01,
+        },
+        // li: small interpreter, small regions (avg 2.56 bb, max 44).
+        BenchmarkSpec {
+            name: "li",
+            seed: 0x11_1995,
+            functions: 18,
+            blocks_per_function: (12, 30),
+            mean_ops_per_block: 5.0,
+            p_chain: 0.15,
+            p_if_then: 0.42,
+            p_switch: 0.07,
+            p_loop: 0.08,
+            switch_width: (3, 7),
+            p_wide_switch: 0.01,
+            wide_switch_width: (10, 20),
+            p_biased_branch: 0.30,
+            bias_hot: 0.85,
+            p_linearized_chain: 0.02,
+            linearized_len: (3, 5),
+            p_nest: 0.25,
+            chain_bias: 0.8,
+            mem_frac: 0.30,
+            fp_frac: 0.0,
+            call_frac: 0.06,
+        },
+        // m88ksim: larger regions (avg 3.38 bb, max 146), deeper nesting.
+        BenchmarkSpec {
+            name: "m88ksim",
+            seed: 0x88_1995,
+            functions: 20,
+            blocks_per_function: (20, 55),
+            mean_ops_per_block: 6.5,
+            p_chain: 0.22,
+            p_if_then: 0.40,
+            p_switch: 0.06,
+            p_loop: 0.08,
+            switch_width: (3, 8),
+            p_wide_switch: 0.03,
+            wide_switch_width: (16, 40),
+            p_biased_branch: 0.35,
+            bias_hot: 0.9,
+            p_linearized_chain: 0.03,
+            linearized_len: (4, 7),
+            p_nest: 0.42,
+            chain_bias: 0.8,
+            mem_frac: 0.26,
+            fp_frac: 0.0,
+            call_frac: 0.03,
+        },
+        // perl: switch-heavy interpreter (avg 3.14 bb, max 774), Fig. 9.
+        BenchmarkSpec {
+            name: "perl",
+            seed: 0x9E71_1995,
+            functions: 22,
+            blocks_per_function: (28, 80),
+            mean_ops_per_block: 5.5,
+            p_chain: 0.16,
+            p_if_then: 0.40,
+            p_switch: 0.11,
+            p_loop: 0.08,
+            switch_width: (3, 9),
+            p_wide_switch: 0.06,
+            wide_switch_width: (12, 24),
+            p_biased_branch: 0.30,
+            bias_hot: 0.85,
+            p_linearized_chain: 0.03,
+            linearized_len: (4, 7),
+            p_nest: 0.35,
+            chain_bias: 0.8,
+            mem_frac: 0.28,
+            fp_frac: 0.0,
+            call_frac: 0.05,
+        },
+        // vortex: big blocks, linearized chains (avg 3.30 bb, 33.5 ops;
+        // Figure 10 shapes).
+        BenchmarkSpec {
+            name: "vortex",
+            seed: 0x0EC5_1995,
+            functions: 20,
+            blocks_per_function: (20, 50),
+            mean_ops_per_block: 9.0,
+            p_chain: 0.25,
+            p_if_then: 0.45,
+            p_switch: 0.04,
+            p_loop: 0.06,
+            switch_width: (2, 5),
+            p_wide_switch: 0.01,
+            wide_switch_width: (10, 20),
+            p_biased_branch: 0.40,
+            bias_hot: 0.9,
+            p_linearized_chain: 0.14,
+            linearized_len: (4, 9),
+            p_nest: 0.30,
+            chain_bias: 0.85,
+            mem_frac: 0.30,
+            fp_frac: 0.0,
+            call_frac: 0.04,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eight_specint95_programs() {
+        let names: Vec<&str> = spec_suite().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"]
+        );
+    }
+
+    #[test]
+    fn probabilities_are_sane() {
+        for s in spec_suite() {
+            for p in [
+                s.p_chain,
+                s.p_if_then,
+                s.p_switch,
+                s.p_loop,
+                s.p_wide_switch,
+                s.p_biased_branch,
+                s.bias_hot,
+                s.p_linearized_chain,
+                s.p_nest,
+                s.mem_frac,
+                s.fp_frac,
+                s.call_frac,
+            ] {
+                assert!((0.0..=1.0).contains(&p), "{}: {p}", s.name);
+            }
+            assert!(s.blocks_per_function.0 <= s.blocks_per_function.1);
+            assert!(s.switch_width.0 >= 2);
+            assert!(s.functions > 0);
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> = spec_suite().iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), 8);
+    }
+}

@@ -1,0 +1,83 @@
+//! Custom machine models: sweep issue width, branch limits, and load
+//! latency to see how the treegion advantage over SLRs moves — the
+//! machine-model counterpart of the paper's 4U/8U comparison.
+//!
+//! Run with: `cargo run --example custom_machine --release`
+
+use treegion_suite::prelude::*;
+
+fn program_time(
+    module: &Module,
+    machine: &MachineModel,
+    treegions: bool,
+    heuristic: Heuristic,
+) -> f64 {
+    module
+        .functions()
+        .iter()
+        .map(|f| {
+            let regions = if treegions {
+                form_treegions(f)
+            } else {
+                form_slrs(f)
+            };
+            let cfg = Cfg::new(f);
+            let live = Liveness::new(f, &cfg);
+            regions
+                .regions()
+                .iter()
+                .map(|r| {
+                    let lowered = lower_region(f, r, &live, None);
+                    schedule_region(
+                        &lowered,
+                        machine,
+                        &ScheduleOptions {
+                            heuristic,
+                            dominator_parallelism: false,
+                            ..Default::default()
+                        },
+                    )
+                    .estimated_time(&lowered)
+                })
+                .sum::<f64>()
+        })
+        .sum()
+}
+
+fn main() {
+    let module = generate(&BenchmarkSpec::tiny(2024));
+
+    println!("issue-width sweep (global weight; time in cycles, lower is better)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "width", "slr", "treegion", "tree/slr"
+    );
+    for width in [1usize, 2, 4, 6, 8, 12, 16] {
+        let m = MachineModel::builder(format!("{width}U"), width).build();
+        let slr = program_time(&module, &m, false, Heuristic::GlobalWeight);
+        let tree = program_time(&module, &m, true, Heuristic::GlobalWeight);
+        println!("{width:>6} {slr:>12.0} {tree:>12.0} {:>9.3}", tree / slr);
+    }
+
+    println!("\nbranch-limit sweep on a 8-wide machine (treegions issue several");
+    println!("predicated branches per cycle when the architecture allows it):");
+    for limit in [None, Some(3), Some(2), Some(1)] {
+        let m = MachineModel::builder("8U*", 8).branch_limit(limit).build();
+        let tree = program_time(&module, &m, true, Heuristic::GlobalWeight);
+        println!(
+            "  branches/cycle {:>9}: treegion time {tree:.0}",
+            limit
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "unlimited".into())
+        );
+    }
+
+    println!("\nload-latency sweep on 4-wide (longer loads = more slack for");
+    println!("cross-path speculation to fill):");
+    for lat in [1u32, 2, 4, 8] {
+        let m = MachineModel::builder("4U*", 4).load_latency(lat).build();
+        let slr = program_time(&module, &m, false, Heuristic::GlobalWeight);
+        let tree = program_time(&module, &m, true, Heuristic::GlobalWeight);
+        println!("  load latency {lat}: tree/slr = {:.3}", tree / slr);
+    }
+}

@@ -1,0 +1,62 @@
+//! The three treegion shapes the paper dissects — biased (Figure 7), wide
+//! and shallow (Figure 9), linearized (Figure 10) — scheduled under all
+//! four heuristics, showing where each heuristic shines or stumbles.
+//!
+//! Run with: `cargo run --example heuristic_showdown`
+
+use treegion_suite::prelude::*;
+
+fn time_under(f: &Function, h: Heuristic, machine: &MachineModel) -> f64 {
+    let regions = form_treegions(f);
+    let cfg = Cfg::new(f);
+    let live = Liveness::new(f, &cfg);
+    regions
+        .regions()
+        .iter()
+        .map(|r| {
+            let lowered = lower_region(f, r, &live, None);
+            schedule_region(
+                &lowered,
+                machine,
+                &ScheduleOptions {
+                    heuristic: h,
+                    dominator_parallelism: false,
+                    ..Default::default()
+                },
+            )
+            .estimated_time(&lowered)
+        })
+        .sum()
+}
+
+fn main() {
+    let machine = MachineModel::model_4u();
+    let cases: Vec<(&str, Function)> = vec![
+        ("biased (Fig. 7, ijpeg-like)", shapes::biased_treegion().0),
+        (
+            "wide+shallow (Fig. 9, gcc-like)",
+            shapes::wide_shallow(12).0,
+        ),
+        ("linearized (Fig. 10, vortex-like)", shapes::linearized(6).0),
+    ];
+    println!("estimated times on {machine} (lower is better)\n");
+    println!(
+        "{:<36} {:>11} {:>11} {:>14} {:>15}",
+        "shape", "dep-height", "exit-count", "global-weight", "weighted-count"
+    );
+    for (name, f) in &cases {
+        let mut row = format!("{name:<36}");
+        for h in Heuristic::ALL {
+            row.push_str(&format!(" {:>11.0}", time_under(f, h, &machine)));
+        }
+        // weighted-count header is wider
+        println!("{row}");
+    }
+    println!();
+    println!("What to look for (Section 3 of the paper):");
+    println!("* biased — profile runs one path; weight-aware heuristics focus it.");
+    println!("* wide+shallow — exit count favours cold destinations with many");
+    println!("  exits below them and delays the hot case; global weight does not.");
+    println!("* linearized — equal weights make weighted-count degenerate to");
+    println!("  exit count, which retires the never-taken upper exits first.");
+}

@@ -1,0 +1,76 @@
+//! # treegion-suite
+//!
+//! Umbrella crate for the reproduction of *"Treegion Scheduling for Wide
+//! Issue Processors"* (Havanki, Banerjia, Conte — HPCA 1998).
+//!
+//! Re-exports the whole workspace under one roof so the examples and the
+//! integration tests can use a single dependency:
+//!
+//! * [`ir`] — the compiler IR substrate (blocks, ops, profile counts).
+//! * [`machine`] — PlayDoh-style VLIW machine models (1U/4U/8U).
+//! * [`analysis`] — dominators, liveness, loops.
+//! * [`treegion`] — the paper's contribution: region formation (treegion,
+//!   SLR, superblock, tail duplication) and the treegion scheduler with
+//!   its four heuristics.
+//! * [`sim`] — sequential interpreter + VLIW schedule executor.
+//! * [`workloads`] — synthetic SPECint95-style benchmark generators.
+//! * [`eval`] — the experiment harness regenerating every table/figure.
+//!
+//! See README.md for a tour and DESIGN.md for the architecture.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use treegion_suite::prelude::*;
+//!
+//! // Build a small branchy function, form treegions, schedule on the
+//! // 4-issue machine with the paper's best heuristic.
+//! let mut b = FunctionBuilder::new("demo");
+//! let (bb0, bb1, bb2) = (b.block(), b.block(), b.block());
+//! let (x, y, c) = (b.gpr(), b.gpr(), b.gpr());
+//! b.push_all(bb0, [Op::movi(x, 1), Op::movi(y, 2), Op::cmp(Cond::Lt, c, x, y)]);
+//! b.branch(bb0, c, (bb1, 70.0), (bb2, 30.0));
+//! b.ret(bb1, Some(x));
+//! b.ret(bb2, Some(y));
+//! let f = b.finish();
+//!
+//! let regions = form_treegions(&f);
+//! let cfg = Cfg::new(&f);
+//! let live = Liveness::new(&f, &cfg);
+//! let region = regions.region(regions.region_of(f.entry()).unwrap());
+//! let lowered = lower_region(&f, region, &live, None);
+//! let schedule = schedule_region(
+//!     &lowered,
+//!     &MachineModel::model_4u(),
+//!     &ScheduleOptions { heuristic: Heuristic::GlobalWeight, dominator_parallelism: false, ..Default::default() },
+//! );
+//! assert!(schedule.estimated_time(&lowered) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use treegion;
+pub use treegion_analysis as analysis;
+pub use treegion_eval as eval;
+pub use treegion_ir as ir;
+pub use treegion_machine as machine;
+pub use treegion_sim as sim;
+pub use treegion_workloads as workloads;
+
+/// One-stop imports for examples and tests.
+pub mod prelude {
+    pub use treegion::{
+        form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
+        lower_region, render_schedule, schedule_region, Heuristic, LoweredRegion, Region,
+        RegionKind, RegionSet, Schedule, ScheduleOptions, TailDupLimits, TieBreak,
+    };
+    pub use treegion_analysis::{Cfg, DomTree, Liveness, Loops};
+    pub use treegion_ir::{
+        parse_module, print_function, print_module, verify_function, Block, BlockId, Cond, Edge,
+        Function, FunctionBuilder, Module, Op, Opcode, Reg, RegClass, Terminator,
+    };
+    pub use treegion_machine::MachineModel;
+    pub use treegion_sim::{interpret, State, VliwProgram};
+    pub use treegion_workloads::{generate, shapes, spec_suite, BenchmarkSpec};
+}

@@ -1,0 +1,143 @@
+//! Property-based differential testing: for arbitrary generated programs,
+//! every region scheme × heuristic × machine must produce schedules whose
+//! VLIW execution is architecturally equivalent to the sequential
+//! interpreter — same return value, same final memory. Tail duplication
+//! must additionally preserve the semantics of the *transformed* function.
+
+use proptest::prelude::*;
+use treegion_suite::prelude::*;
+
+fn modules(seed: u64) -> Module {
+    let mut spec = BenchmarkSpec::tiny(seed);
+    spec.functions = 1;
+    generate(&spec)
+}
+
+fn check_scheme(
+    f: &Function,
+    regions: &RegionSet,
+    origin: Option<&[BlockId]>,
+    machine: &MachineModel,
+    heuristic: Heuristic,
+    dompar: bool,
+    expected: &treegion_suite::sim::ExecResult,
+) {
+    let prog = VliwProgram::compile(
+        f,
+        regions,
+        machine,
+        &ScheduleOptions {
+            heuristic,
+            dominator_parallelism: dompar,
+            ..Default::default()
+        },
+        origin,
+    );
+    let got = prog
+        .execute(State::new(), 1_000_000)
+        .expect("vliw execution");
+    assert_eq!(got.ret, expected.ret, "return value diverged");
+    assert_eq!(got.state.mem, expected.state.mem, "final memory diverged");
+    // The analytic estimate and the dynamic count must both be positive.
+    assert!(got.cycles > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_schemes_preserve_semantics(seed in 0u64..10_000) {
+        let module = modules(seed);
+        let f = &module.functions()[0];
+        let expected = interpret(f, State::new(), 1_000_000).expect("interp");
+        for machine in [MachineModel::model_1u(), MachineModel::model_4u(), MachineModel::model_8u()] {
+            for heuristic in Heuristic::ALL {
+                let bb = form_basic_blocks(f);
+                check_scheme(f, &bb, None, &machine, heuristic, false, &expected);
+                let slr = form_slrs(f);
+                check_scheme(f, &slr, None, &machine, heuristic, false, &expected);
+                let tree = form_treegions(f);
+                check_scheme(f, &tree, None, &machine, heuristic, false, &expected);
+            }
+        }
+    }
+
+    #[test]
+    fn tail_duplication_preserves_semantics(seed in 0u64..10_000) {
+        let module = modules(seed);
+        let f = &module.functions()[0];
+        let expected = interpret(f, State::new(), 1_000_000).expect("interp");
+        let machine = MachineModel::model_4u();
+
+        // Superblock transformation: the transformed function itself must
+        // be equivalent, and so must its schedules.
+        let sb = form_superblocks(f);
+        let transformed = interpret(&sb.function, State::new(), 1_000_000).expect("sb interp");
+        prop_assert_eq!(transformed.ret, expected.ret);
+        prop_assert_eq!(&transformed.state.mem, &expected.state.mem);
+        check_scheme(
+            &sb.function,
+            &sb.regions,
+            Some(&sb.origin),
+            &machine,
+            Heuristic::GlobalWeight,
+            false,
+            &expected,
+        );
+
+        // Treegion tail duplication, with dominator parallelism on.
+        for limits in [TailDupLimits::expansion_2_0(), TailDupLimits::expansion_3_0()] {
+            let td = form_treegions_td(f, &limits);
+            let transformed =
+                interpret(&td.function, State::new(), 1_000_000).expect("td interp");
+            prop_assert_eq!(transformed.ret, expected.ret);
+            prop_assert_eq!(&transformed.state.mem, &expected.state.mem);
+            for dompar in [false, true] {
+                check_scheme(
+                    &td.function,
+                    &td.regions,
+                    Some(&td.origin),
+                    &machine,
+                    Heuristic::GlobalWeight,
+                    dompar,
+                    &expected,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_time_is_monotone_in_issue_width(seed in 0u64..10_000) {
+        let module = modules(seed);
+        let f = &module.functions()[0];
+        let regions = form_treegions(f);
+        let cfg = Cfg::new(f);
+        let live = Liveness::new(f, &cfg);
+        let mut last = f64::INFINITY;
+        for width in [1usize, 2, 4, 8, 16] {
+            let machine = MachineModel::builder(format!("{width}U"), width).build();
+            let time: f64 = regions
+                .regions()
+                .iter()
+                .map(|r| {
+                    let lowered = lower_region(f, r, &live, None);
+                    schedule_region(
+                        &lowered,
+                        &machine,
+                        &ScheduleOptions {
+                            heuristic: Heuristic::DependenceHeight,
+                            dominator_parallelism: false,
+                            ..Default::default()
+                        },
+                    )
+                    .estimated_time(&lowered)
+                })
+                .sum();
+            prop_assert!(
+                time <= last + 1e-6,
+                "width {width} slower: {time} > {last}"
+            );
+            last = time;
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Shape assertions for the paper's figures: the qualitative claims that
+//! must hold for the reproduction to be faithful. Fast variants run on
+//! micro-shapes and one small benchmark; the full-suite checks mirror
+//! EXPERIMENTS.md and run with `cargo test --release -- --ignored`.
+
+use treegion_suite::prelude::*;
+
+fn module_time(
+    module: &Module,
+    machine: &MachineModel,
+    heuristic: Heuristic,
+    form: impl Fn(&Function) -> RegionSet,
+) -> f64 {
+    module
+        .functions()
+        .iter()
+        .map(|f| {
+            let regions = form(f);
+            let cfg = Cfg::new(f);
+            let live = Liveness::new(f, &cfg);
+            regions
+                .regions()
+                .iter()
+                .map(|r| {
+                    let lowered = lower_region(f, r, &live, None);
+                    schedule_region(
+                        &lowered,
+                        machine,
+                        &ScheduleOptions {
+                            heuristic,
+                            dominator_parallelism: false,
+                            ..Default::default()
+                        },
+                    )
+                    .estimated_time(&lowered)
+                })
+                .sum::<f64>()
+        })
+        .sum()
+}
+
+/// Figures 4/5: the treegion schedule of the Figure 1 example beats the
+/// superblock schedule.
+#[test]
+fn worked_example_treegion_beats_superblock() {
+    let (f, _) = shapes::figure1();
+    let machine = MachineModel::model_4u();
+    let sb = form_superblocks(&f);
+    let cfg = Cfg::new(&sb.function);
+    let live = Liveness::new(&sb.function, &cfg);
+    let sb_time: f64 = sb
+        .regions
+        .regions()
+        .iter()
+        .map(|r| {
+            let lowered = lower_region(&sb.function, r, &live, Some(&sb.origin));
+            schedule_region(&lowered, &machine, &ScheduleOptions::default())
+                .estimated_time(&lowered)
+        })
+        .sum();
+    let tree_time = module_time(
+        &{
+            let mut m = Module::new("fig1");
+            m.add_function(f.clone());
+            m
+        },
+        &machine,
+        Heuristic::GlobalWeight,
+        form_treegions,
+    );
+    assert!(
+        tree_time <= sb_time,
+        "treegion {tree_time} must not lose to superblock {sb_time}"
+    );
+}
+
+/// Figure 6 on a small benchmark at 8 issue: treegions beat SLRs, which
+/// beat basic blocks.
+#[test]
+fn fig6_ordering_holds_at_8_issue() {
+    let module = generate(&spec_suite()[0]); // compress: small & fast
+    let m8 = MachineModel::model_8u();
+    let bb = module_time(&module, &m8, Heuristic::DependenceHeight, form_basic_blocks);
+    let slr = module_time(&module, &m8, Heuristic::DependenceHeight, form_slrs);
+    let tree = module_time(&module, &m8, Heuristic::DependenceHeight, form_treegions);
+    assert!(tree < slr, "tree {tree} !< slr {slr}");
+    assert!(slr < bb, "slr {slr} !< bb {bb}");
+}
+
+/// Figure 8's headline: global weight is the best heuristic overall.
+#[test]
+fn global_weight_wins_on_compress() {
+    let module = generate(&spec_suite()[0]);
+    let m4 = MachineModel::model_4u();
+    let times: Vec<f64> = Heuristic::ALL
+        .into_iter()
+        .map(|h| module_time(&module, &m4, h, form_treegions))
+        .collect();
+    let gw = times[2]; // global weight
+    for (h, &t) in Heuristic::ALL.iter().zip(&times) {
+        assert!(gw <= t * 1.001, "global weight ({gw}) lost to {h} ({t})");
+    }
+}
+
+/// Figure 9's mechanism: on a wide, shallow treegion with the hot case
+/// carrying the weight but cold cases carrying the exits, the exit-count
+/// heuristic must not beat global weight.
+#[test]
+fn exit_count_flaw_on_wide_shallow_shape() {
+    let (f, _) = shapes::wide_shallow(12);
+    let mut m = Module::new("fig9");
+    m.add_function(f);
+    let m4 = MachineModel::model_4u();
+    let ec = module_time(&m, &m4, Heuristic::ExitCount, form_treegions);
+    let gw = module_time(&m, &m4, Heuristic::GlobalWeight, form_treegions);
+    assert!(gw <= ec, "global weight {gw} must be <= exit count {ec}");
+}
+
+/// Figure 10's mechanism: on a linearized equal-weight treegion with the
+/// hot exit at the bottom, global weight must not lose to weighted count.
+#[test]
+fn weighted_count_flaw_on_linearized_shape() {
+    let (f, _) = shapes::linearized(8);
+    let mut m = Module::new("fig10");
+    m.add_function(f);
+    let m4 = MachineModel::model_4u();
+    let wc = module_time(&m, &m4, Heuristic::WeightedCount, form_treegions);
+    let gw = module_time(&m, &m4, Heuristic::GlobalWeight, form_treegions);
+    assert!(
+        gw <= wc,
+        "global weight {gw} must be <= weighted count {wc}"
+    );
+}
+
+/// Table 1 vs Table 2 on a small benchmark: treegions contain more blocks
+/// and more ops than SLRs.
+#[test]
+fn treegions_are_larger_than_slrs() {
+    let module = generate(&spec_suite()[0]);
+    let (mut tree_blocks, mut tree_regions) = (0usize, 0usize);
+    let (mut slr_blocks, mut slr_regions) = (0usize, 0usize);
+    for f in module.functions() {
+        let t = form_treegions(f);
+        tree_regions += t.len();
+        tree_blocks += t.regions().iter().map(Region::num_blocks).sum::<usize>();
+        let s = form_slrs(f);
+        slr_regions += s.len();
+        slr_blocks += s.regions().iter().map(Region::num_blocks).sum::<usize>();
+    }
+    let tree_avg = tree_blocks as f64 / tree_regions as f64;
+    let slr_avg = slr_blocks as f64 / slr_regions as f64;
+    assert!(tree_avg > slr_avg, "{tree_avg} !> {slr_avg}");
+    assert!(tree_avg > 2.0, "treegions too small: {tree_avg}");
+    assert!(slr_avg < 2.0, "SLRs too large: {slr_avg}");
+}
+
+/// Table 3's ordering on a small benchmark: superblock expansion below
+/// treegion(2.0) expansion below treegion(3.0); all moderate.
+#[test]
+fn code_expansion_ordering() {
+    let module = generate(&spec_suite()[0]);
+    let mut expansions = Vec::new();
+    for f in module.functions() {
+        let orig = f.num_ops() as f64;
+        let sb = form_superblocks(f).function.num_ops() as f64 / orig;
+        let t2 = form_treegions_td(f, &TailDupLimits::expansion_2_0())
+            .function
+            .num_ops() as f64
+            / orig;
+        let t3 = form_treegions_td(f, &TailDupLimits::expansion_3_0())
+            .function
+            .num_ops() as f64
+            / orig;
+        expansions.push((sb, t2, t3));
+    }
+    let n = expansions.len() as f64;
+    let (sb, t2, t3) = expansions.iter().fold((0.0, 0.0, 0.0), |acc, e| {
+        (acc.0 + e.0 / n, acc.1 + e.1 / n, acc.2 + e.2 / n)
+    });
+    assert!(sb < t2, "sb {sb} !< tree2 {t2}");
+    assert!(t2 <= t3, "tree2 {t2} !<= tree3 {t3}");
+    assert!(t3 <= 3.0, "tree3 expansion immoderate: {t3}");
+}
+
+/// Full-suite Figure 13 check (slow; run with `--release -- --ignored`):
+/// tail-duplicated treegions with global weight + dominator parallelism
+/// beat superblocks at 8 issue on average.
+#[test]
+#[ignore = "full suite; run with cargo test --release -- --ignored"]
+fn fig13_treegions_beat_superblocks_at_8_issue() {
+    use treegion_suite::eval::{fig13, Suite};
+    let suite = Suite::load();
+    let t = fig13(&suite, &MachineModel::model_8u());
+    let avg = t.rows.last().unwrap();
+    let sb: f64 = avg[1].parse().unwrap();
+    let t2: f64 = avg[2].parse().unwrap();
+    let t3: f64 = avg[3].parse().unwrap();
+    assert!(t2 > sb, "tree(2.0) {t2} !> sb {sb}");
+    assert!(t3 > sb, "tree(3.0) {t3} !> sb {sb}");
+}

@@ -1,0 +1,119 @@
+//! Golden-file tests: the committed `.tir` files in `testdata/` must
+//! parse, verify, round-trip, schedule, and (where executable) run to
+//! known results. These pin down the textual format and the end-to-end
+//! pipeline against accidental changes.
+
+use std::path::PathBuf;
+use treegion_suite::prelude::*;
+
+fn testdata(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("testdata")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"))
+}
+
+fn load(name: &str) -> Module {
+    let m = parse_module(&testdata(name)).expect("golden file parses");
+    for f in m.functions() {
+        verify_function(f).expect("golden file verifies");
+    }
+    m
+}
+
+#[test]
+fn all_golden_files_roundtrip() {
+    for name in ["fig1.tir", "wide.tir", "linearized.tir", "sum_loop.tir"] {
+        let m = load(name);
+        let printed = print_module(&m);
+        let reparsed = parse_module(&printed).expect("roundtrip parses");
+        assert_eq!(print_module(&reparsed), printed, "{name}");
+    }
+}
+
+#[test]
+fn sum_loop_computes_the_sum_0_to_9() {
+    let m = load("sum_loop.tir");
+    let f = &m.functions()[0];
+    let r = interpret(f, State::new(), 1_000).expect("terminates");
+    assert_eq!(r.ret, Some(45));
+    // Every scheme produces the same answer when executed as VLIW code.
+    for regions in [form_basic_blocks(f), form_slrs(f), form_treegions(f)] {
+        let prog = VliwProgram::compile(
+            f,
+            &regions,
+            &MachineModel::model_4u(),
+            &ScheduleOptions::default(),
+            None,
+        );
+        let got = prog.execute(State::new(), 1_000).expect("executes");
+        assert_eq!(got.ret, Some(45));
+    }
+}
+
+#[test]
+fn fig1_golden_region_structure() {
+    let m = load("fig1.tir");
+    let f = &m.functions()[0];
+    let set = form_treegions(f);
+    assert_eq!(set.len(), 3);
+    let root = set.region(set.region_of(f.entry()).unwrap());
+    assert_eq!(root.num_blocks(), 5);
+    assert_eq!(root.path_count(), 3);
+}
+
+#[test]
+fn fig1_schedule_is_stable() {
+    // The worked example's estimated times are pinned: any scheduler
+    // change that shifts them should be a conscious decision.
+    let m = load("fig1.tir");
+    let f = &m.functions()[0];
+    let machine = MachineModel::model_4u();
+    let set = form_treegions(f);
+    let cfg = Cfg::new(f);
+    let live = Liveness::new(f, &cfg);
+    let total: f64 = set
+        .regions()
+        .iter()
+        .map(|r| {
+            let lowered = lower_region(f, r, &live, None);
+            schedule_region(
+                &lowered,
+                &machine,
+                &ScheduleOptions {
+                    heuristic: Heuristic::GlobalWeight,
+                    dominator_parallelism: false,
+                    ..Default::default()
+                },
+            )
+            .estimated_time(&lowered)
+        })
+        .sum();
+    assert_eq!(total, 840.0, "fig1 golden estimated time drifted");
+}
+
+#[test]
+fn wide_and_linearized_shapes_schedule_under_all_heuristics() {
+    for name in ["wide.tir", "linearized.tir"] {
+        let m = load(name);
+        let f = &m.functions()[0];
+        let set = form_treegions(f);
+        let cfg = Cfg::new(f);
+        let live = Liveness::new(f, &cfg);
+        for h in Heuristic::ALL {
+            for r in set.regions() {
+                let lowered = lower_region(f, r, &live, None);
+                let s = schedule_region(
+                    &lowered,
+                    &MachineModel::model_8u(),
+                    &ScheduleOptions {
+                        heuristic: h,
+                        dominator_parallelism: false,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(s.issued_ops(), lowered.lops.len(), "{name} {h}");
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based structural invariants of region formation, lowering,
+//! and scheduling, checked over arbitrary generated programs.
+
+use proptest::prelude::*;
+use treegion_suite::prelude::*;
+
+fn gen_module(seed: u64, budget: usize) -> Module {
+    let mut spec = BenchmarkSpec::tiny(seed);
+    spec.functions = 1;
+    spec.blocks_per_function = (budget.max(4), budget.max(4) + 8);
+    spec.p_wide_switch = 0.1;
+    spec.p_linearized_chain = 0.05;
+    generate(&spec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_block_lands_in_exactly_one_region(seed in 0u64..100_000, budget in 4usize..40) {
+        let module = gen_module(seed, budget);
+        let f = &module.functions()[0];
+        for set in [form_basic_blocks(f), form_slrs(f), form_treegions(f)] {
+            prop_assert!(set.is_partition_of(f));
+        }
+    }
+
+    #[test]
+    fn treegions_are_trees_without_internal_merges(seed in 0u64..100_000, budget in 4usize..40) {
+        let module = gen_module(seed, budget);
+        let f = &module.functions()[0];
+        let cfg = Cfg::new(f);
+        let set = form_treegions(f);
+        for r in set.regions() {
+            prop_assert!(r.is_tree());
+            // No member except the root is a merge point.
+            for &b in &r.blocks()[1..] {
+                prop_assert!(!cfg.is_merge_point(b), "{b} is an internal merge");
+            }
+            // Tree property from the paper: every block dominates all
+            // blocks below it in the region.
+            let dom = DomTree::new(&cfg);
+            for &b in r.blocks() {
+                let mut cur = b;
+                while let Some((p, _)) = r.parent_edge(cur) {
+                    prop_assert!(dom.dominates(p, b));
+                    cur = p;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slrs_are_linear_single_entry(seed in 0u64..100_000, budget in 4usize..40) {
+        let module = gen_module(seed, budget);
+        let f = &module.functions()[0];
+        let cfg = Cfg::new(f);
+        let set = form_slrs(f);
+        for r in set.regions() {
+            prop_assert!(r.is_linear());
+            prop_assert_eq!(r.path_count(), 1);
+            for &b in &r.blocks()[1..] {
+                prop_assert!(!cfg.is_merge_point(b));
+            }
+        }
+    }
+
+    #[test]
+    fn superblocks_are_single_entry_and_conserve_flow(seed in 0u64..100_000, budget in 4usize..40) {
+        let module = gen_module(seed, budget);
+        let f = &module.functions()[0];
+        let res = form_superblocks(f);
+        prop_assert!(res.regions.is_partition_of(&res.function));
+        treegion_suite::ir::verify_profile(&res.function).map_err(|e| {
+            TestCaseError::fail(format!("flow conservation broken: {e}"))
+        })?;
+        let preds = res.function.predecessors();
+        for r in res.regions.regions() {
+            for &b in &r.blocks()[1..] {
+                let (parent, _) = r.parent_edge(b).unwrap();
+                for &p in &preds[b.index()] {
+                    prop_assert_eq!(p, parent, "side entrance into superblock");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_duplication_respects_limits_and_flow(seed in 0u64..100_000, budget in 4usize..40) {
+        let module = gen_module(seed, budget);
+        let f = &module.functions()[0];
+        let original_ops = f.num_ops();
+        for limits in [TailDupLimits::expansion_2_0(), TailDupLimits::expansion_3_0()] {
+            let res = form_treegions_td(f, &limits);
+            prop_assert!(res.regions.is_partition_of(&res.function));
+            treegion_suite::ir::verify_profile(&res.function).map_err(|e| {
+                TestCaseError::fail(format!("flow conservation broken: {e}"))
+            })?;
+            for r in res.regions.regions() {
+                prop_assert!(r.is_tree());
+            }
+            // Whole-program expansion is bounded by the per-region rule.
+            prop_assert!(
+                res.function.num_ops() as f64
+                    <= limits.code_expansion * original_ops.max(1) as f64 + 1e-9,
+                "expansion {} over limit {}",
+                res.function.num_ops() as f64 / original_ops.max(1) as f64,
+                limits.code_expansion
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_respect_all_dependences_and_resources(seed in 0u64..100_000, budget in 4usize..30) {
+        let module = gen_module(seed, budget);
+        let f = &module.functions()[0];
+        let set = form_treegions(f);
+        let cfg = Cfg::new(f);
+        let live = Liveness::new(f, &cfg);
+        let machine = MachineModel::model_4u();
+        for r in set.regions() {
+            let lowered = lower_region(f, r, &live, None);
+            let ddg = treegion::Ddg::build(&lowered, &machine);
+            for heuristic in Heuristic::ALL {
+                let s = treegion::schedule_with_ddg(
+                    &lowered,
+                    &ddg,
+                    &machine,
+                    &ScheduleOptions { heuristic, dominator_parallelism: false, ..Default::default() },
+                );
+                treegion::verify_schedule(&lowered, &ddg, &machine, &s).map_err(|e| {
+                    TestCaseError::fail(format!("schedule verification: {e}"))
+                })?;
+                // Every op scheduled exactly once.
+                prop_assert_eq!(s.issued_ops(), lowered.lops.len());
+                // Resource bound.
+                for row in &s.cycles {
+                    prop_assert!(row.len() <= machine.issue_width());
+                }
+                // Dependence latencies.
+                for e in ddg.edges() {
+                    let (cf, ct) = (s.cycle_of[e.from].unwrap(), s.cycle_of[e.to].unwrap());
+                    prop_assert!(
+                        ct >= cf + e.latency,
+                        "edge {:?} violated: {cf} -> {ct}",
+                        e
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn renamed_defs_are_single_assignment(seed in 0u64..100_000, budget in 4usize..30) {
+        let module = gen_module(seed, budget);
+        let f = &module.functions()[0];
+        let set = form_treegions(f);
+        let cfg = Cfg::new(f);
+        let live = Liveness::new(f, &cfg);
+        for r in set.regions() {
+            let lowered = lower_region(f, r, &live, None);
+            let mut seen = std::collections::HashSet::new();
+            for l in &lowered.lops {
+                for d in &l.op.defs {
+                    prop_assert!(seen.insert(*d), "double def of {d} after renaming");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn textual_ir_roundtrips(seed in 0u64..100_000, budget in 4usize..30) {
+        let module = gen_module(seed, budget);
+        let text = print_module(&module);
+        let reparsed = parse_module(&text).map_err(|e| {
+            TestCaseError::fail(format!("parse failed: {e}"))
+        })?;
+        prop_assert_eq!(print_module(&reparsed), text);
+    }
+}
