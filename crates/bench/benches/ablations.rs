@@ -3,10 +3,9 @@
 //! under one configuration as its throughput payload, so `cargo bench`
 //! output doubles as an ablation table (compare the printed times).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use treegion::{form_treegions, form_treegions_td, Heuristic, TailDupLimits};
-use treegion_bench::{bench_module, time_formed};
+use treegion_bench::{bench_module, criterion_group, criterion_main, time_formed, Criterion};
 use treegion_machine::MachineModel;
 
 fn bench_ablations(c: &mut Criterion) {

@@ -3,8 +3,8 @@
 //! `treegion-eval` binaries — `cargo run -p treegion-eval --bin table1`
 //! etc.). Run on a reduced suite so a full `cargo bench` stays snappy.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use treegion_bench::{criterion_group, criterion_main, Criterion};
 use treegion_eval::{fig13, fig6, fig8, region_stats, table3, table4, RegionConfig, Suite};
 use treegion_machine::MachineModel;
 

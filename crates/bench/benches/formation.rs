@@ -2,13 +2,12 @@
 //! Figure 11 (`treeform-td`), SLR formation, and superblock formation over
 //! the compress-like benchmark.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use treegion::{
     form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
     TailDupLimits,
 };
-use treegion_bench::bench_module;
+use treegion_bench::{bench_module, criterion_group, criterion_main, BatchSize, Criterion};
 
 fn bench_formation(c: &mut Criterion) {
     let module = bench_module();

@@ -1,11 +1,10 @@
 //! Scheduling throughput: lowering, DDG construction, and list scheduling
 //! under each of the paper's four heuristics, on the 4U and 8U machines.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use treegion::{form_treegions, lower_region, schedule_with_ddg, Ddg, Heuristic, ScheduleOptions};
 use treegion_analysis::{Cfg, Liveness};
-use treegion_bench::bench_module;
+use treegion_bench::{bench_module, criterion_group, criterion_main, Criterion};
 use treegion_machine::MachineModel;
 
 fn bench_scheduling(c: &mut Criterion) {

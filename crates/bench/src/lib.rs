@@ -1,7 +1,9 @@
 //! # treegion-bench
 //!
-//! Criterion benchmarks for the treegion reproduction. The benches live in
-//! `benches/`:
+//! Benchmarks for the treegion reproduction, written against a small
+//! criterion-compatible harness (this workspace builds hermetically with no
+//! access to crates.io, so the harness lives in [`harness`] rather than in
+//! an external crate). The benches live in `benches/`:
 //!
 //! * `formation` — region formation throughput (treegion, SLR, superblock,
 //!   tail-duplicated treegion) over a generated benchmark.
@@ -17,6 +19,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod harness;
+pub use harness::{BatchSize, Bencher, BenchmarkGroup, Criterion};
 
 use treegion::{lower_region, schedule_region, Heuristic, RegionSet, ScheduleOptions};
 use treegion_analysis::{Cfg, Liveness};

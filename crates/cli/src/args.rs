@@ -2,7 +2,7 @@
 //! heavyweight CLI dependencies).
 
 use std::fmt;
-use treegion::{Heuristic, TailDupLimits};
+use treegion::{FallbackPolicy, Heuristic, TailDupLimits, VerifyMode};
 use treegion_machine::MachineModel;
 
 /// Which region formation the user asked for.
@@ -94,6 +94,13 @@ pub struct Options {
     pub dompar: bool,
     /// `--fuel N` for `run`.
     pub fuel: u64,
+    /// `--verify off|warn|strict`, default strict.
+    pub verify: VerifyMode,
+    /// `--fallback none|slr|bb`, default bb.
+    pub fallback: FallbackPolicy,
+    /// `--fault-seed N`: inject deterministic faults (testing the
+    /// degradation chain end to end).
+    pub fault_seed: Option<u64>,
 }
 
 /// An argument error with a user-facing message.
@@ -123,6 +130,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
         heuristic: Heuristic::GlobalWeight,
         dompar: false,
         fuel: 1_000_000,
+        verify: VerifyMode::Strict,
+        fallback: FallbackPolicy::Bb,
+        fault_seed: None,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -145,6 +155,27 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
                 opts.heuristic = parse_heuristic(v)?;
             }
             "--dompar" => opts.dompar = true,
+            "--verify" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--verify needs a value".into()))?;
+                opts.verify = v.parse().map_err(ArgError)?;
+            }
+            "--fallback" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--fallback needs a value".into()))?;
+                opts.fallback = v.parse().map_err(ArgError)?;
+            }
+            "--fault-seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--fault-seed needs a value".into()))?;
+                opts.fault_seed = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad fault seed `{v}`")))?,
+                );
+            }
             "--fuel" => {
                 let v = it
                     .next()
@@ -202,6 +233,33 @@ mod tests {
         assert_eq!(o.machine.issue_width(), 4);
         assert_eq!(o.heuristic, Heuristic::GlobalWeight);
         assert!(!o.dompar);
+    }
+
+    #[test]
+    fn robustness_flags_parse_with_defaults() {
+        let o = parse_args(&v(&["schedule", "x.tir"])).unwrap();
+        assert_eq!(o.verify, VerifyMode::Strict);
+        assert_eq!(o.fallback, FallbackPolicy::Bb);
+        assert_eq!(o.fault_seed, None);
+
+        let o = parse_args(&v(&[
+            "schedule",
+            "x.tir",
+            "--verify",
+            "warn",
+            "--fallback",
+            "none",
+            "--fault-seed",
+            "42",
+        ]))
+        .unwrap();
+        assert_eq!(o.verify, VerifyMode::Warn);
+        assert_eq!(o.fallback, FallbackPolicy::None);
+        assert_eq!(o.fault_seed, Some(42));
+
+        assert!(parse_args(&v(&["schedule", "--verify", "loose"])).is_err());
+        assert!(parse_args(&v(&["schedule", "--fallback", "hyperblock"])).is_err());
+        assert!(parse_args(&v(&["schedule", "--fault-seed", "nope"])).is_err());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! tgc print    FILE.tir                       parse, verify, pretty-print
 //! tgc regions  FILE.tir [--kind K]            show the region partition
 //! tgc schedule FILE.tir [--kind K] [--machine M] [--heuristic H] [--dompar]
+//!              [--verify V] [--fallback F] [--fault-seed N]
 //! tgc run      FILE.tir [--kind K] [--machine M] [--heuristic H] [--fuel N]
+//!              [--verify V] [--fallback F] [--fault-seed N]
 //! tgc gen      BENCH                          emit a synthetic benchmark
 //! tgc shape    NAME                           emit a paper figure shape
 //! ```
@@ -14,6 +16,12 @@
 //! Heuristics: `dep-height`, `exit-count`, `global-weight` (default),
 //! `weighted-count`. Benchmarks: the SPECint95 suite names. Shapes:
 //! `fig1`, `biased`, `wide`, `linearized`.
+//!
+//! Robustness: `--verify off|warn|strict` controls post-scheduling
+//! verification, `--fallback none|slr|bb` bounds the degradation chain,
+//! and `--fault-seed N` injects deterministic scheduler faults so the
+//! chain can be exercised end to end. Exit codes: `0` clean, `2` the
+//! pipeline degraded but produced a correct result, `1` hard failure.
 
 mod args;
 
@@ -21,9 +29,9 @@ use args::{parse_args, KindArg, Options};
 use std::process::ExitCode;
 use treegion::{
     form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
-    lower_region, render_schedule, schedule_region, RegionSet, ScheduleOptions,
+    render_schedule, schedule_function_robust, Budgets, DegradationEvent, FaultPlan, RegionSet,
+    RobustOptions, ScheduleOptions,
 };
-use treegion_analysis::{Cfg, Liveness};
 use treegion_ir::{
     parse_module, print_function, print_module, verify_function, BlockId, Function, Module,
 };
@@ -36,7 +44,14 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     match run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(events) if events.is_empty() => ExitCode::SUCCESS,
+        Ok(events) => {
+            for e in &events {
+                eprintln!("tgc: degraded: {e}");
+            }
+            eprintln!("tgc: pipeline degraded ({} event(s))", events.len());
+            ExitCode::from(2)
+        }
         Err(msg) => {
             eprintln!("tgc: {msg}");
             ExitCode::FAILURE
@@ -52,21 +67,28 @@ USAGE:
   tgc regions  FILE.tir [--kind bb|slr|sb|tree|tree-td[:LIMIT]]
   tgc schedule FILE.tir [--kind K] [--machine 1u|4u|8u|WIDTH]
                [--heuristic dep-height|exit-count|global-weight|weighted-count]
-               [--dompar]
+               [--dompar] [--verify off|warn|strict] [--fallback none|slr|bb]
+               [--fault-seed N]
   tgc run      FILE.tir [--kind K] [--machine M] [--heuristic H] [--fuel N]
+               [--verify V] [--fallback F] [--fault-seed N]
   tgc gen      compress|gcc|go|ijpeg|li|m88ksim|perl|vortex
   tgc shape    fig1|biased|wide|linearized
+
+EXIT CODES:
+  0  success
+  1  hard failure (bad input, unrecoverable scheduling error, divergence)
+  2  success with degradation (a region fell back or was kept unverified)
 ";
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<Vec<DegradationEvent>, String> {
     let opts = parse_args(argv).map_err(|e| e.to_string())?;
     match opts.command.as_str() {
-        "print" => cmd_print(&opts),
-        "regions" => cmd_regions(&opts),
+        "print" => cmd_print(&opts).map(|()| Vec::new()),
+        "regions" => cmd_regions(&opts).map(|()| Vec::new()),
         "schedule" => cmd_schedule(&opts),
         "run" => cmd_run(&opts),
-        "gen" => cmd_gen(&opts),
-        "shape" => cmd_shape(&opts),
+        "gen" => cmd_gen(&opts).map(|()| Vec::new()),
+        "shape" => cmd_shape(&opts).map(|()| Vec::new()),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
 }
@@ -100,6 +122,21 @@ fn form(f: &Function, kind: &KindArg) -> (Function, RegionSet, Vec<BlockId>) {
             let r = form_treegions_td(f, limits);
             (r.function, r.regions, r.origin)
         }
+    }
+}
+
+/// Builds the robust-pipeline configuration from the parsed flags.
+fn robust_options(opts: &Options) -> RobustOptions {
+    RobustOptions {
+        sched: ScheduleOptions {
+            heuristic: opts.heuristic,
+            dominator_parallelism: opts.dompar,
+            ..Default::default()
+        },
+        verify: opts.verify,
+        fallback: opts.fallback,
+        budgets: Budgets::UNLIMITED,
+        fault: opts.fault_seed.map(FaultPlan::from_seed),
     }
 }
 
@@ -138,62 +175,66 @@ fn cmd_regions(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_schedule(opts: &Options) -> Result<(), String> {
+fn cmd_schedule(opts: &Options) -> Result<Vec<DegradationEvent>, String> {
     let module = load_module(opts)?;
-    let sched_opts = ScheduleOptions {
-        heuristic: opts.heuristic,
-        dominator_parallelism: opts.dompar,
-        ..Default::default()
-    };
+    let ropts = robust_options(opts);
     let mut total = 0.0;
+    let mut events = Vec::new();
     for f in module.functions() {
         let (func, regions, origin) = form(f, &opts.kind);
-        let cfg = Cfg::new(&func);
-        let live = Liveness::new(&func, &cfg);
+        let result =
+            schedule_function_robust(&func, &regions, Some(&origin), &opts.machine, &ropts)
+                .map_err(|e| e.to_string())?;
         println!("func @{}:", func.name());
-        for r in regions.regions() {
-            let lowered = lower_region(&func, r, &live, Some(&origin));
-            let s = schedule_region(&lowered, &opts.machine, &sched_opts);
-            let t = s.estimated_time(&lowered);
+        for o in &result.outcomes {
+            let t = o.estimated_time();
             total += t;
             println!(
-                "-- region @ {} ({} blocks, {} ops, est. time {t}):",
-                r.root(),
-                r.num_blocks(),
-                lowered.num_ops()
+                "-- region @ {} ({} blocks, {} ops, level {}, est. time {t}):",
+                o.region.root(),
+                o.region.num_blocks(),
+                o.lowered.num_ops(),
+                o.level,
             );
-            println!("{}", render_schedule(&lowered, &s, &opts.machine));
+            println!(
+                "{}",
+                render_schedule(&o.lowered, &o.schedule, &opts.machine)
+            );
         }
+        events.extend(result.events);
     }
     println!("total estimated time: {total}");
-    Ok(())
+    Ok(events)
 }
 
-fn cmd_run(opts: &Options) -> Result<(), String> {
+fn cmd_run(opts: &Options) -> Result<Vec<DegradationEvent>, String> {
     let module = load_module(opts)?;
-    let sched_opts = ScheduleOptions {
-        heuristic: opts.heuristic,
-        dominator_parallelism: opts.dompar,
-        ..Default::default()
-    };
+    let ropts = robust_options(opts);
+    let mut events = Vec::new();
     for f in module.functions() {
         let reference =
             interpret(f, State::new(), opts.fuel).map_err(|e| format!("{}: {e}", f.name()))?;
         let (func, regions, origin) = form(f, &opts.kind);
-        let prog = VliwProgram::compile(&func, &regions, &opts.machine, &sched_opts, Some(&origin));
+        let result =
+            schedule_function_robust(&func, &regions, Some(&origin), &opts.machine, &ropts)
+                .map_err(|e| e.to_string())?;
+        // Re-compile over the accepted partition: faults only perturb the
+        // robust attempts above, so the executed program is the clean
+        // schedule of whatever (possibly degraded) region shapes survived.
+        let accepted = result.region_set();
+        let prog =
+            VliwProgram::compile(&func, &accepted, &opts.machine, &ropts.sched, Some(&origin));
         let got = prog
             .execute(State::new(), opts.fuel)
             .map_err(|e| format!("{}: {e}", func.name()))?;
-        let check = if got.ret == reference.ret && got.state.mem == reference.state.mem {
-            "OK"
-        } else {
+        if got.ret != reference.ret || got.state.mem != reference.state.mem {
             return Err(format!(
                 "{}: schedule diverged from sequential semantics",
                 func.name()
             ));
-        };
+        }
         println!(
-            "func @{}: ret {:?}, {} cycles on {}, {} region crossings, est. {} [{check}]",
+            "func @{}: ret {:?}, {} cycles on {}, {} region crossings, est. {} [OK]",
             func.name(),
             got.ret,
             got.cycles,
@@ -201,8 +242,9 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             got.region_trace.len(),
             prog.estimated_time(),
         );
+        events.extend(result.events);
     }
-    Ok(())
+    Ok(events)
 }
 
 fn cmd_gen(opts: &Options) -> Result<(), String> {

@@ -35,7 +35,14 @@ fn shape_then_full_pipeline() {
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("3 regions"), "{text}");
 
-    let out = tgc(&["schedule", p, "--machine", "8u", "--heuristic", "dep-height"]);
+    let out = tgc(&[
+        "schedule",
+        p,
+        "--machine",
+        "8u",
+        "--heuristic",
+        "dep-height",
+    ]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("total estimated time"), "{text}");
@@ -74,14 +81,67 @@ fn errors_exit_nonzero_with_messages() {
 
     let out = tgc(&["print", "/nonexistent/file.tir"]);
     assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).unwrap().contains("cannot read"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("cannot read"));
 
     let out = tgc(&["gen", "nacht"]);
     assert!(!out.status.success());
 
-    let bad = tempfile("bad.tir", "func @f {\n  bb0 (weight 1):\n    r0 = bogus\n    ret\n}\n");
+    let bad = tempfile(
+        "bad.tir",
+        "func @f {\n  bb0 (weight 1):\n    r0 = bogus\n    ret\n}\n",
+    );
     let out = tgc(&["print", bad.to_str().unwrap()]);
     assert!(!out.status.success());
+}
+
+#[test]
+fn fault_injection_degrades_with_exit_code_2() {
+    let out = tgc(&["shape", "fig1"]);
+    let path = tempfile("fault-fig1.tir", &String::from_utf8(out.stdout).unwrap());
+    let p = path.to_str().unwrap();
+
+    // Strict verification + full fallback: faults are caught, the chain
+    // recovers, and the process signals "degraded" via exit code 2.
+    let out = tgc(&["run", p, "--fault-seed", "7"]);
+    assert_eq!(out.status.code(), Some(2), "expected degraded exit");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("degraded"), "{stderr}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("[OK]"), "{stdout}");
+
+    // `schedule` reports the same degradation.
+    let out = tgc(&["schedule", p, "--fault-seed", "7"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("total estimated time"), "{stdout}");
+
+    // With verification off, statically invisible damage is never noticed:
+    // no degradation events, clean exit.
+    let out = tgc(&["schedule", p, "--fault-seed", "7", "--verify", "off"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // With fallback disabled, a strict rejection is a hard failure.
+    let out = tgc(&["schedule", p, "--fault-seed", "7", "--fallback", "none"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("tgc:"), "{stderr}");
+}
+
+#[test]
+fn clean_runs_stay_exit_code_0() {
+    let out = tgc(&["shape", "biased"]);
+    let path = tempfile("clean-biased.tir", &String::from_utf8(out.stdout).unwrap());
+    let p = path.to_str().unwrap();
+    for cmd in ["schedule", "run"] {
+        let out = tgc(&[cmd, p, "--verify", "strict", "--fallback", "bb"]);
+        assert_eq!(out.status.code(), Some(0), "{cmd}: {out:?}");
+        assert!(
+            !String::from_utf8(out.stderr).unwrap().contains("degraded"),
+            "{cmd} unexpectedly degraded"
+        );
+    }
 }
 
 #[test]

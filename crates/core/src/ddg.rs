@@ -218,6 +218,49 @@ impl Ddg {
         self.num_ops
     }
 
+    /// Removes edge `k` and rebuilds the adjacency lists, returning the
+    /// removed edge. Used by the fault injector to model a scheduler that
+    /// lost a dependence; verification against the *true* graph then
+    /// attributes the resulting schedule damage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn remove_edge(&mut self, k: usize) -> Dep {
+        let d = self.edges.remove(k);
+        self.rebuild_adjacency();
+        d
+    }
+
+    /// Adds an edge and rebuilds the adjacency lists. The counterpart of
+    /// [`Ddg::remove_edge`] for fault injection and for tests that build
+    /// graphs by hand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn insert_edge(&mut self, d: Dep) {
+        assert!(
+            d.from < self.num_ops && d.to < self.num_ops,
+            "edge endpoint out of range"
+        );
+        self.edges.push(d);
+        self.rebuild_adjacency();
+    }
+
+    fn rebuild_adjacency(&mut self) {
+        for s in self.succs.iter_mut() {
+            s.clear();
+        }
+        for p in self.preds.iter_mut() {
+            p.clear();
+        }
+        for (k, e) in self.edges.iter().enumerate() {
+            self.succs[e.from].push(k);
+            self.preds[e.to].push(k);
+        }
+    }
+
     /// All edges.
     pub fn edges(&self) -> &[Dep] {
         &self.edges

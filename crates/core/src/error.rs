@@ -1,0 +1,345 @@
+//! Structured errors and degradation metadata for the scheduling pipeline.
+//!
+//! The seed scheduler treated every internal failure as a `panic!`: a
+//! verifier rejection or a watchdog trip aborted the whole evaluation. This
+//! module introduces the error hierarchy used by the fallible pipeline
+//! entry points (`try_lower_region`, `try_schedule_region`) and by the
+//! degradation chain in `treegion-eval`:
+//!
+//! * [`SchedFailure`] — why one region could not be scheduled (verifier
+//!   rejection, or a resource budget exceeded).
+//! * [`Budgets`] — configurable op/step watchdog limits.
+//! * [`VerifyMode`] / [`FallbackPolicy`] / [`FallbackLevel`] — the policy
+//!   knobs exposed on the CLI (`--verify`, `--fallback`).
+//! * [`DegradationEvent`] — one recovered (or tolerated) failure, recorded
+//!   per region in the eval stats.
+//! * [`PipelineError`] — terminal failure after the fallback chain is
+//!   exhausted, carrying every attempt for post-mortem.
+
+use crate::verify_sched::ScheduleError;
+use crate::RegionKind;
+use std::fmt;
+use std::str::FromStr;
+use treegion_ir::BlockId;
+
+/// Why scheduling one region failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedFailure {
+    /// The produced schedule was rejected by [`crate::verify_schedule`].
+    Verification(ScheduleError),
+    /// The lowered region had more ops than [`Budgets::max_region_ops`].
+    OpBudgetExceeded {
+        /// Number of ops in the lowered region.
+        ops: usize,
+        /// The configured budget that was exceeded.
+        budget: usize,
+    },
+    /// The list scheduler ran more cycles than allowed without finishing —
+    /// either the configured [`Budgets::max_schedule_cycles`], or the
+    /// built-in progress watchdog.
+    StepBudgetExceeded {
+        /// Cycles the scheduler ran before giving up.
+        steps: usize,
+        /// The cycle cap that was exceeded.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for SchedFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedFailure::Verification(e) => write!(f, "{e}"),
+            SchedFailure::OpBudgetExceeded { ops, budget } => {
+                write!(f, "region has {ops} ops, over the budget of {budget}")
+            }
+            SchedFailure::StepBudgetExceeded { steps, budget } => {
+                write!(
+                    f,
+                    "scheduler ran {steps} cycles without finishing (cap {budget})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedFailure {}
+
+impl From<ScheduleError> for SchedFailure {
+    fn from(e: ScheduleError) -> Self {
+        SchedFailure::Verification(e)
+    }
+}
+
+impl SchedFailure {
+    /// Short machine-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedFailure::Verification(_) => "verification",
+            SchedFailure::OpBudgetExceeded { .. } => "op-budget",
+            SchedFailure::StepBudgetExceeded { .. } => "step-budget",
+        }
+    }
+}
+
+/// Resource budgets for the scheduling pipeline. `None` means unlimited
+/// (beyond the scheduler's built-in progress watchdog).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budgets {
+    /// Maximum number of lowered ops per region.
+    pub max_region_ops: Option<usize>,
+    /// Maximum number of schedule cycles per region.
+    pub max_schedule_cycles: Option<usize>,
+}
+
+impl Budgets {
+    /// Unlimited budgets (only the built-in watchdog applies).
+    pub const UNLIMITED: Budgets = Budgets {
+        max_region_ops: None,
+        max_schedule_cycles: None,
+    };
+}
+
+/// What to do with a verifier rejection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Skip post-scheduling verification entirely.
+    Off,
+    /// Verify, record failures as [`DegradationEvent`]s, but keep the
+    /// rejected schedule.
+    Warn,
+    /// Verify and degrade (or fail) on rejection.
+    #[default]
+    Strict,
+}
+
+impl FromStr for VerifyMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(VerifyMode::Off),
+            "warn" => Ok(VerifyMode::Warn),
+            "strict" => Ok(VerifyMode::Strict),
+            other => Err(format!(
+                "unknown verify mode '{other}' (expected off, warn, or strict)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for VerifyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VerifyMode::Off => "off",
+            VerifyMode::Warn => "warn",
+            VerifyMode::Strict => "strict",
+        })
+    }
+}
+
+/// How far the degradation chain may fall back when a region fails.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// No fallback: a failed region is a pipeline error.
+    None,
+    /// Re-form the failed region as single-path linear regions (SLRs).
+    Slr,
+    /// Try SLRs first, then individual basic blocks.
+    #[default]
+    Bb,
+}
+
+impl FallbackPolicy {
+    /// The fallback levels this policy permits, in order of preference.
+    pub fn levels(&self) -> &'static [FallbackLevel] {
+        match self {
+            FallbackPolicy::None => &[],
+            FallbackPolicy::Slr => &[FallbackLevel::Slr],
+            FallbackPolicy::Bb => &[FallbackLevel::Slr, FallbackLevel::BasicBlock],
+        }
+    }
+}
+
+impl FromStr for FallbackPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(FallbackPolicy::None),
+            "slr" => Ok(FallbackPolicy::Slr),
+            "bb" => Ok(FallbackPolicy::Bb),
+            other => Err(format!(
+                "unknown fallback policy '{other}' (expected none, slr, or bb)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for FallbackPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FallbackPolicy::None => "none",
+            FallbackPolicy::Slr => "slr",
+            FallbackPolicy::Bb => "bb",
+        })
+    }
+}
+
+/// Which rung of the degradation ladder a schedule came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FallbackLevel {
+    /// The originally requested region shape.
+    Primary,
+    /// Single-path linear regions carved out of the failed region.
+    Slr,
+    /// Individual basic blocks.
+    BasicBlock,
+}
+
+impl fmt::Display for FallbackLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FallbackLevel::Primary => "primary",
+            FallbackLevel::Slr => "slr",
+            FallbackLevel::BasicBlock => "bb",
+        })
+    }
+}
+
+/// One region-level failure that the pipeline survived, either by falling
+/// back to a simpler region shape (`recovered == true`) or by tolerating
+/// the failure under [`VerifyMode::Warn`] (`recovered == false`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// Name of the function containing the failed region.
+    pub function: String,
+    /// Index of the region within its [`crate::RegionSet`].
+    pub region_index: usize,
+    /// Root block of the failed region.
+    pub region_root: BlockId,
+    /// Shape of the failed region.
+    pub region_kind: RegionKind,
+    /// Why the primary schedule was unusable.
+    pub cause: SchedFailure,
+    /// The rung that finally produced the accepted schedule.
+    pub level: FallbackLevel,
+    /// Whether a verified replacement schedule was produced.
+    pub recovered: bool,
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: region #{} (root {}, {}) {}: {} -> {}",
+            self.function,
+            self.region_index,
+            self.region_root,
+            self.region_kind,
+            if self.recovered {
+                "degraded"
+            } else {
+                "kept unverified"
+            },
+            self.cause.label(),
+            self.level,
+        )
+    }
+}
+
+/// Terminal failure: one region could not be scheduled even after the
+/// entire fallback chain was tried. Carries every attempt for post-mortem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineError {
+    /// Name of the function containing the failed region.
+    pub function: String,
+    /// Index of the region within its [`crate::RegionSet`].
+    pub region_index: usize,
+    /// Root block of the failed region.
+    pub region_root: BlockId,
+    /// Every (level, failure) pair in the order attempted.
+    pub attempts: Vec<(FallbackLevel, SchedFailure)>,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: region #{} (root {}) failed at every fallback level:",
+            self.function, self.region_index, self.region_root
+        )?;
+        for (level, failure) in &self.attempts {
+            write!(f, "\n  [{level}] {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_mode_parses() {
+        assert_eq!("off".parse::<VerifyMode>().unwrap(), VerifyMode::Off);
+        assert_eq!("warn".parse::<VerifyMode>().unwrap(), VerifyMode::Warn);
+        assert_eq!("strict".parse::<VerifyMode>().unwrap(), VerifyMode::Strict);
+        assert!("loose".parse::<VerifyMode>().is_err());
+        assert_eq!(VerifyMode::default(), VerifyMode::Strict);
+    }
+
+    #[test]
+    fn fallback_policy_parses_and_orders_levels() {
+        assert_eq!(
+            "none".parse::<FallbackPolicy>().unwrap().levels(),
+            &[] as &[FallbackLevel]
+        );
+        assert_eq!(
+            "slr".parse::<FallbackPolicy>().unwrap().levels(),
+            &[FallbackLevel::Slr]
+        );
+        assert_eq!(
+            "bb".parse::<FallbackPolicy>().unwrap().levels(),
+            &[FallbackLevel::Slr, FallbackLevel::BasicBlock]
+        );
+        assert!("superblock".parse::<FallbackPolicy>().is_err());
+    }
+
+    #[test]
+    fn failure_display_and_labels() {
+        let f = SchedFailure::OpBudgetExceeded { ops: 10, budget: 5 };
+        assert_eq!(f.label(), "op-budget");
+        assert!(f.to_string().contains("10"));
+        let f = SchedFailure::StepBudgetExceeded {
+            steps: 99,
+            budget: 64,
+        };
+        assert_eq!(f.label(), "step-budget");
+        assert!(f.to_string().contains("99"));
+    }
+
+    #[test]
+    fn pipeline_error_lists_attempts() {
+        let e = PipelineError {
+            function: "f".into(),
+            region_index: 0,
+            region_root: BlockId::from_index(0),
+            attempts: vec![
+                (
+                    FallbackLevel::Primary,
+                    SchedFailure::OpBudgetExceeded { ops: 2, budget: 1 },
+                ),
+                (
+                    FallbackLevel::Slr,
+                    SchedFailure::StepBudgetExceeded {
+                        steps: 3,
+                        budget: 2,
+                    },
+                ),
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("[primary]"), "{s}");
+        assert!(s.contains("[slr]"), "{s}");
+    }
+}

@@ -10,25 +10,39 @@
 #![forbid(unsafe_code)]
 
 mod ddg;
+mod error;
+mod fault;
 mod form;
 mod heuristic;
 mod lower;
 mod region;
+mod robust;
 mod sched;
 mod verify_sched;
 
 pub use ddg::{Ddg, Dep, DepKind};
+pub use error::{
+    Budgets, DegradationEvent, FallbackLevel, FallbackPolicy, PipelineError, SchedFailure,
+    VerifyMode,
+};
+pub use fault::{FaultClass, FaultInjector, FaultPlan};
 pub use form::{
     form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
     SuperblockResult, TailDupLimits, TailDupResult,
 };
 pub use heuristic::{Heuristic, Priority};
-pub use lower::{lower_region, LOp, LOpKind, LoweredRegion, OpOrigin, RNode, RegionExit};
-pub use region::{ExitEdge, Region, RegionId, RegionKind, RegionSet};
-pub use sched::{
-    render_schedule, schedule_region, schedule_with_ddg, Schedule, ScheduleOptions, TieBreak,
+pub use lower::{
+    lower_region, try_lower_region, LOp, LOpKind, LoweredRegion, OpOrigin, RNode, RegionExit,
 };
-pub use verify_sched::{verify_schedule, ScheduleError};
+pub use region::{ExitEdge, Region, RegionId, RegionKind, RegionSet};
+pub use robust::{
+    carve_bb, carve_slr, schedule_function_robust, RegionOutcome, RobustOptions, RobustResult,
+};
+pub use sched::{
+    render_schedule, schedule_region, schedule_with_ddg, try_schedule_region,
+    try_schedule_with_ddg, Schedule, ScheduleOptions, TieBreak,
+};
+pub use verify_sched::{verify_schedule, ScheduleError, ScheduleErrorKind};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -18,6 +18,7 @@
 //!    the paper these are *not* scheduled and excluded from speedup; they
 //!    are recorded on the exit for the simulator and the metrics.
 
+use crate::error::{Budgets, SchedFailure};
 use crate::Region;
 use std::collections::HashMap;
 use treegion_analysis::Liveness;
@@ -226,6 +227,43 @@ pub fn lower_region(
         lops: lw.lops,
         exits: lw.exits,
     }
+}
+
+/// Fallible [`lower_region`]: enforces the op budget both before lowering
+/// (on the source op count, so a pathological region is rejected without
+/// paying for its lowering) and after (on the materialized op count, which
+/// includes compare/branch helpers).
+///
+/// # Errors
+///
+/// Returns [`SchedFailure::OpBudgetExceeded`] if either count is over
+/// `budgets.max_region_ops`.
+pub fn try_lower_region(
+    f: &Function,
+    region: &Region,
+    live: &Liveness,
+    origin_map: Option<&[BlockId]>,
+    budgets: &Budgets,
+) -> Result<LoweredRegion, SchedFailure> {
+    if let Some(cap) = budgets.max_region_ops {
+        let src = region.num_source_ops(f);
+        if src > cap {
+            return Err(SchedFailure::OpBudgetExceeded {
+                ops: src,
+                budget: cap,
+            });
+        }
+    }
+    let lr = lower_region(f, region, live, origin_map);
+    if let Some(cap) = budgets.max_region_ops {
+        if lr.num_ops() > cap {
+            return Err(SchedFailure::OpBudgetExceeded {
+                ops: lr.num_ops(),
+                budget: cap,
+            });
+        }
+    }
+    Ok(lr)
 }
 
 impl<'a> Lowerer<'a> {

@@ -1,0 +1,598 @@
+//! Verifier-gated graceful degradation for the scheduling pipeline.
+//!
+//! The seed pipeline treated every internal failure as fatal: a verifier
+//! rejection or a watchdog trip panicked the whole evaluation. This module
+//! replaces that with a *degradation chain*: when a region's primary
+//! schedule is unusable — rejected by [`verify_schedule`], over an op
+//! budget, or stuck against the cycle watchdog — the region is re-carved
+//! into progressively simpler shapes and rescheduled:
+//!
+//! 1. **Primary** — the originally requested region shape.
+//! 2. **SLR** — the failed region's blocks re-partitioned into
+//!    single-entry linear chains (each chain follows the heaviest
+//!    in-region child, exactly as SLR formation follows the heaviest
+//!    successor).
+//! 3. **Basic blocks** — one singleton region per member block.
+//!
+//! The carve is always legal: every non-root member of a region has
+//! exactly one CFG predecessor (merge points delimit regions during
+//! formation), so *any* re-partition of a region's blocks into trees,
+//! paths, or singletons keeps each piece single-entry. Fallback schedules
+//! are themselves verified before being accepted; only when every rung
+//! fails does the pipeline return a terminal [`PipelineError`] carrying
+//! every attempt.
+//!
+//! Fault injection (the [`crate::FaultInjector`]) plugs in at the primary
+//! level only, so injected faults are detected by the verifier and then
+//! *recovered* by clean fallback scheduling — the property the robustness
+//! tests assert end to end.
+
+use crate::ddg::Ddg;
+use crate::error::{
+    Budgets, DegradationEvent, FallbackLevel, FallbackPolicy, PipelineError, SchedFailure,
+    VerifyMode,
+};
+use crate::fault::{FaultClass, FaultInjector, FaultPlan};
+use crate::lower::{try_lower_region, LoweredRegion};
+use crate::region::{Region, RegionKind, RegionSet};
+use crate::sched::{try_schedule_with_ddg, Schedule, ScheduleOptions};
+use crate::verify_sched::{verify_schedule, ScheduleError};
+use std::collections::HashSet;
+use treegion_analysis::{Cfg, Liveness};
+use treegion_ir::{BlockId, Function};
+use treegion_machine::MachineModel;
+
+/// Configuration of the robust scheduling pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct RobustOptions {
+    /// Scheduler configuration for every attempt.
+    pub sched: ScheduleOptions,
+    /// What to do with verifier rejections (default: strict).
+    pub verify: VerifyMode,
+    /// How far the degradation chain may fall (default: SLR then BB).
+    pub fallback: FallbackPolicy,
+    /// Resource budgets (default: unlimited beyond the watchdog).
+    pub budgets: Budgets,
+    /// Optional fault-injection campaign, applied to primary attempts.
+    pub fault: Option<FaultPlan>,
+}
+
+/// One accepted (sub-)region schedule.
+#[derive(Clone, Debug)]
+pub struct RegionOutcome {
+    /// Index of the *original* region in the input [`RegionSet`] this
+    /// outcome descends from (several outcomes share an index after a
+    /// fallback carve).
+    pub region_index: usize,
+    /// The region actually scheduled (the original, or a carved piece).
+    pub region: Region,
+    /// Its lowering.
+    pub lowered: LoweredRegion,
+    /// The accepted schedule.
+    pub schedule: Schedule,
+    /// Which rung of the ladder produced it.
+    pub level: FallbackLevel,
+}
+
+impl RegionOutcome {
+    /// Estimated execution time of this outcome (Σ exit count × height).
+    pub fn estimated_time(&self) -> f64 {
+        self.schedule.estimated_time(&self.lowered)
+    }
+}
+
+/// The result of robustly scheduling one function.
+#[derive(Clone, Debug)]
+pub struct RobustResult {
+    /// Accepted schedules, in original-region order (carved pieces stay
+    /// adjacent, roots first).
+    pub outcomes: Vec<RegionOutcome>,
+    /// Every failure the chain survived.
+    pub events: Vec<DegradationEvent>,
+    kind: RegionKind,
+}
+
+impl RobustResult {
+    /// Total estimated execution time over all outcomes.
+    pub fn estimated_time(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(RegionOutcome::estimated_time)
+            .sum()
+    }
+
+    /// `true` if every region scheduled at its primary shape with no
+    /// tolerated failures.
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty()
+            && self
+                .outcomes
+                .iter()
+                .all(|o| o.level == FallbackLevel::Primary)
+    }
+
+    /// Rebuilds the accepted partition as a [`RegionSet`] (primary regions
+    /// plus carved fallback pieces). The set partitions the function again,
+    /// so it can be handed to the VLIW compiler/simulator like any other
+    /// formation result.
+    pub fn region_set(&self) -> RegionSet {
+        let mut set = RegionSet::new(self.kind);
+        for o in &self.outcomes {
+            set.add(o.region.clone());
+        }
+        set
+    }
+}
+
+/// Schedules every region of `set` over `f` with verification, budgets,
+/// optional fault injection, and the degradation chain.
+///
+/// `origin_map`, when present (after tail duplication), maps each block to
+/// its original (see [`crate::lower_region`]).
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] when one region fails at the primary level
+/// *and* at every fallback level the policy permits.
+pub fn schedule_function_robust(
+    f: &Function,
+    set: &RegionSet,
+    origin_map: Option<&[BlockId]>,
+    m: &MachineModel,
+    opts: &RobustOptions,
+) -> Result<RobustResult, PipelineError> {
+    let cfg = Cfg::new(f);
+    let live = Liveness::new(f, &cfg);
+    let mut injector = opts.fault.as_ref().map(FaultInjector::new);
+    let mut result = RobustResult {
+        outcomes: Vec::new(),
+        events: Vec::new(),
+        kind: set.kind(),
+    };
+    for (idx, region) in set.regions().iter().enumerate() {
+        schedule_one(
+            f,
+            idx,
+            region,
+            &live,
+            origin_map,
+            m,
+            opts,
+            injector.as_mut(),
+            &mut result,
+        )?;
+    }
+    Ok(result)
+}
+
+/// What one attempt produced: a schedule, plus a rejection that was
+/// tolerated under [`VerifyMode::Warn`].
+struct Attempt {
+    lowered: LoweredRegion,
+    schedule: Schedule,
+    tolerated: Option<ScheduleError>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule_one(
+    f: &Function,
+    idx: usize,
+    region: &Region,
+    live: &Liveness,
+    origin_map: Option<&[BlockId]>,
+    m: &MachineModel,
+    opts: &RobustOptions,
+    injector: Option<&mut FaultInjector>,
+    result: &mut RobustResult,
+) -> Result<(), PipelineError> {
+    match attempt(f, region, live, origin_map, m, opts, injector) {
+        Ok(att) => {
+            if let Some(err) = att.tolerated {
+                result.events.push(DegradationEvent {
+                    function: f.name().to_string(),
+                    region_index: idx,
+                    region_root: region.root(),
+                    region_kind: region.kind(),
+                    cause: SchedFailure::Verification(err),
+                    level: FallbackLevel::Primary,
+                    recovered: false,
+                });
+            }
+            result.outcomes.push(RegionOutcome {
+                region_index: idx,
+                region: region.clone(),
+                lowered: att.lowered,
+                schedule: att.schedule,
+                level: FallbackLevel::Primary,
+            });
+            Ok(())
+        }
+        Err(cause) => {
+            let mut attempts = vec![(FallbackLevel::Primary, cause.clone())];
+            for &level in opts.fallback.levels() {
+                let pieces = match level {
+                    FallbackLevel::Primary => unreachable!("primary is not a fallback rung"),
+                    FallbackLevel::Slr => carve_slr(f, region),
+                    FallbackLevel::BasicBlock => carve_bb(region),
+                };
+                match schedule_pieces(f, &pieces, live, origin_map, m, opts) {
+                    Ok(outs) => {
+                        result.events.push(DegradationEvent {
+                            function: f.name().to_string(),
+                            region_index: idx,
+                            region_root: region.root(),
+                            region_kind: region.kind(),
+                            cause,
+                            level,
+                            recovered: true,
+                        });
+                        for (piece, att) in pieces.into_iter().zip(outs) {
+                            result.outcomes.push(RegionOutcome {
+                                region_index: idx,
+                                region: piece,
+                                lowered: att.lowered,
+                                schedule: att.schedule,
+                                level,
+                            });
+                        }
+                        return Ok(());
+                    }
+                    Err(failure) => attempts.push((level, failure)),
+                }
+            }
+            Err(PipelineError {
+                function: f.name().to_string(),
+                region_index: idx,
+                region_root: region.root(),
+                attempts,
+            })
+        }
+    }
+}
+
+/// Lowers, (optionally fault-injects,) schedules, and verifies one region.
+fn attempt(
+    f: &Function,
+    region: &Region,
+    live: &Liveness,
+    origin_map: Option<&[BlockId]>,
+    m: &MachineModel,
+    opts: &RobustOptions,
+    mut injector: Option<&mut FaultInjector>,
+) -> Result<Attempt, SchedFailure> {
+    let mut lr = try_lower_region(f, region, live, origin_map, &opts.budgets)?;
+    let true_ddg = Ddg::build(&lr, m);
+    let class: Option<FaultClass> = injector.as_deref_mut().and_then(FaultInjector::choose);
+
+    let mut sched_opts = opts.sched;
+    let sched = match (injector.as_deref_mut(), class) {
+        (Some(inj), Some(c)) if c.is_pre_schedule() => {
+            let mut corrupted = true_ddg.clone();
+            inj.corrupt_pre(c, &mut corrupted, &mut sched_opts);
+            try_schedule_with_ddg(&lr, &corrupted, m, &sched_opts, &opts.budgets)?
+        }
+        _ => try_schedule_with_ddg(&lr, &true_ddg, m, &sched_opts, &opts.budgets)?,
+    };
+    let mut sched = sched;
+    if let (Some(inj), Some(c)) = (injector, class) {
+        if !c.is_pre_schedule() {
+            inj.corrupt_post(c, &mut lr, m, &mut sched);
+        }
+    }
+
+    match opts.verify {
+        VerifyMode::Off => Ok(Attempt {
+            lowered: lr,
+            schedule: sched,
+            tolerated: None,
+        }),
+        VerifyMode::Warn => {
+            let tolerated = verify_schedule(&lr, &true_ddg, m, &sched).err();
+            Ok(Attempt {
+                lowered: lr,
+                schedule: sched,
+                tolerated,
+            })
+        }
+        VerifyMode::Strict => {
+            verify_schedule(&lr, &true_ddg, m, &sched)?;
+            Ok(Attempt {
+                lowered: lr,
+                schedule: sched,
+                tolerated: None,
+            })
+        }
+    }
+}
+
+/// Schedules carved fallback pieces: no fault injection, and verification
+/// is strict whenever verification is on at all (a recovered schedule must
+/// be *proven* good, even under `warn`).
+fn schedule_pieces(
+    f: &Function,
+    pieces: &[Region],
+    live: &Liveness,
+    origin_map: Option<&[BlockId]>,
+    m: &MachineModel,
+    opts: &RobustOptions,
+) -> Result<Vec<Attempt>, SchedFailure> {
+    let strict = RobustOptions {
+        sched: opts.sched,
+        verify: match opts.verify {
+            VerifyMode::Off => VerifyMode::Off,
+            _ => VerifyMode::Strict,
+        },
+        fallback: opts.fallback,
+        budgets: opts.budgets,
+        fault: None,
+    };
+    pieces
+        .iter()
+        .map(|p| attempt(f, p, live, origin_map, m, &strict, None))
+        .collect()
+}
+
+/// Carves a failed region's blocks into single-entry linear chains: each
+/// chain starts at the first unassigned block (in region preorder) and
+/// follows the heaviest not-yet-assigned child of the original region
+/// tree, mirroring SLR formation restricted to the region's own edges.
+pub fn carve_slr(f: &Function, region: &Region) -> Vec<Region> {
+    let mut assigned: HashSet<BlockId> = HashSet::new();
+    let mut out = Vec::new();
+    for &root in region.blocks() {
+        if assigned.contains(&root) {
+            continue;
+        }
+        let mut chain = Region::new(RegionKind::Slr, root);
+        assigned.insert(root);
+        let mut cur = root;
+        loop {
+            let next = region
+                .children(cur)
+                .into_iter()
+                .filter(|c| !assigned.contains(c))
+                .max_by(|a, b| {
+                    f.block(*a)
+                        .weight
+                        .partial_cmp(&f.block(*b).weight)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.index().cmp(&a.index())) // earlier block wins ties
+                });
+            let Some(nb) = next else { break };
+            let (parent, succ_index) = region
+                .parent_edge(nb)
+                .expect("non-root region member has a parent edge");
+            debug_assert_eq!(parent, cur);
+            chain.absorb(nb, cur, succ_index);
+            assigned.insert(nb);
+            cur = nb;
+        }
+        out.push(chain);
+    }
+    out
+}
+
+/// Carves a failed region into one basic-block region per member.
+pub fn carve_bb(region: &Region) -> Vec<Region> {
+    region
+        .blocks()
+        .iter()
+        .map(|&b| Region::new(RegionKind::BasicBlock, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::form_treegions;
+    use crate::testutil::figure1_cfg;
+    use treegion_ir::{FunctionBuilder, Op};
+
+    fn model() -> MachineModel {
+        MachineModel::model_4u()
+    }
+
+    #[test]
+    fn clean_run_matches_plain_scheduling() {
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        let r = schedule_function_robust(&f, &set, None, &model(), &RobustOptions::default())
+            .expect("clean function must schedule");
+        assert!(r.is_clean());
+        assert_eq!(r.outcomes.len(), set.len());
+        assert!(r.region_set().is_partition_of(&f));
+        // Times agree with the infallible path.
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        let plain: f64 = set
+            .regions()
+            .iter()
+            .map(|reg| {
+                let lr = crate::lower_region(&f, reg, &live, None);
+                crate::schedule_region(&lr, &model(), &ScheduleOptions::default())
+                    .estimated_time(&lr)
+            })
+            .sum();
+        assert_eq!(r.estimated_time(), plain);
+    }
+
+    #[test]
+    fn carve_slr_partitions_and_stays_linear() {
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        for region in set.regions() {
+            let pieces = carve_slr(&f, region);
+            let mut blocks: Vec<BlockId> =
+                pieces.iter().flat_map(|p| p.blocks().to_vec()).collect();
+            blocks.sort();
+            let mut orig = region.blocks().to_vec();
+            orig.sort();
+            assert_eq!(blocks, orig, "carve must re-partition the region");
+            for p in &pieces {
+                assert!(p.is_linear());
+                assert!(p.is_tree());
+            }
+        }
+    }
+
+    #[test]
+    fn carve_bb_yields_singletons() {
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        let region = set.region(set.region_of(f.entry()).unwrap());
+        let pieces = carve_bb(region);
+        assert_eq!(pieces.len(), region.num_blocks());
+        assert!(pieces.iter().all(|p| p.num_blocks() == 1));
+    }
+
+    #[test]
+    fn every_detectable_fault_is_recovered_by_fallback() {
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        let m = model();
+        for class in FaultClass::ALL {
+            if class.expected_kind().is_none() {
+                continue; // statically invisible; covered elsewhere
+            }
+            let opts = RobustOptions {
+                fault: Some(FaultPlan::single(21, class)),
+                ..Default::default()
+            };
+            let r = schedule_function_robust(&f, &set, None, &m, &opts)
+                .unwrap_or_else(|e| panic!("{class}: chain must recover: {e}"));
+            // The injected fault may miss regions without a viable site,
+            // but the big entry treegion always offers one for every
+            // detectable class except those needing specific shapes; at
+            // least one region must have degraded and recovered.
+            if r.events.is_empty() {
+                // The fault found no site anywhere (possible for classes
+                // needing e.g. eliminations); the run must then be clean.
+                assert!(r.is_clean(), "{class}: events empty but not clean");
+                continue;
+            }
+            for ev in &r.events {
+                assert!(ev.recovered, "{class}: event not recovered: {ev}");
+                assert_eq!(ev.cause.label(), "verification", "{class}");
+            }
+            assert!(r.region_set().is_partition_of(&f), "{class}");
+            // Every recovered outcome re-verifies against a fresh DDG.
+            let cfg = Cfg::new(&f);
+            let live = Liveness::new(&f, &cfg);
+            for o in &r.outcomes {
+                let lr = crate::lower_region(&f, &o.region, &live, None);
+                let ddg = Ddg::build(&lr, &m);
+                let s = crate::schedule_region(&lr, &m, &ScheduleOptions::default());
+                verify_schedule(&lr, &ddg, &m, &s).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn warn_mode_keeps_rejected_schedules_and_records_events() {
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        let opts = RobustOptions {
+            verify: VerifyMode::Warn,
+            fault: Some(FaultPlan::single(5, FaultClass::ShiftExitCycle)),
+            ..Default::default()
+        };
+        let r = schedule_function_robust(&f, &set, None, &model(), &opts).unwrap();
+        // Same number of outcomes as regions (nothing was re-carved) …
+        assert_eq!(r.outcomes.len(), set.len());
+        assert!(r.outcomes.iter().all(|o| o.level == FallbackLevel::Primary));
+        // … but the rejections were recorded as unrecovered events.
+        assert!(!r.events.is_empty());
+        assert!(r.events.iter().all(|e| !e.recovered));
+    }
+
+    #[test]
+    fn verify_off_accepts_everything_silently() {
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        let opts = RobustOptions {
+            verify: VerifyMode::Off,
+            fault: Some(FaultPlan::single(5, FaultClass::ShiftExitCycle)),
+            ..Default::default()
+        };
+        let r = schedule_function_robust(&f, &set, None, &model(), &opts).unwrap();
+        assert!(r.events.is_empty());
+        assert_eq!(r.outcomes.len(), set.len());
+    }
+
+    #[test]
+    fn fallback_none_surfaces_pipeline_error_with_attempts() {
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        let opts = RobustOptions {
+            fallback: FallbackPolicy::None,
+            fault: Some(FaultPlan::single(9, FaultClass::OmitOp)),
+            ..Default::default()
+        };
+        let err = schedule_function_robust(&f, &set, None, &model(), &opts)
+            .expect_err("no fallback must be fatal");
+        assert_eq!(err.attempts.len(), 1);
+        assert_eq!(err.attempts[0].0, FallbackLevel::Primary);
+        assert!(err.to_string().contains("failed at every fallback level"));
+    }
+
+    #[test]
+    fn op_budget_degrades_large_regions() {
+        // The figure-1 entry treegion lowers to well over 8 ops; with
+        // max_region_ops = 8 it must degrade until every accepted piece
+        // fits the budget.
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        let opts = RobustOptions {
+            budgets: Budgets {
+                max_region_ops: Some(8),
+                max_schedule_cycles: None,
+            },
+            ..Default::default()
+        };
+        let r = schedule_function_robust(&f, &set, None, &model(), &opts).unwrap();
+        assert!(!r.events.is_empty());
+        assert!(r
+            .events
+            .iter()
+            .all(|e| e.recovered && e.cause.label() == "op-budget"));
+        assert!(r.region_set().is_partition_of(&f));
+        for o in &r.outcomes {
+            assert!(
+                o.lowered.num_ops() <= 8,
+                "accepted piece over budget: {} ops at {:?}",
+                o.lowered.num_ops(),
+                o.level
+            );
+        }
+    }
+
+    #[test]
+    fn step_budget_exhausts_the_whole_chain_on_serial_code() {
+        // A long serial chain cannot finish in 1 cycle; budget of 1 forces
+        // step-budget failures all the way down to single blocks — which
+        // still exceed it, so the pipeline errors with all attempts listed.
+        let mut b = FunctionBuilder::new("serial");
+        let bb0 = b.block();
+        let a = b.gpr();
+        let mut prev = a;
+        for _ in 0..6 {
+            let x = b.gpr();
+            b.push(bb0, Op::add(x, prev, prev));
+            prev = x;
+        }
+        b.ret(bb0, None);
+        let f = b.finish();
+        let set = form_treegions(&f);
+        let opts = RobustOptions {
+            budgets: Budgets {
+                max_region_ops: None,
+                max_schedule_cycles: Some(1),
+            },
+            ..Default::default()
+        };
+        let err = schedule_function_robust(&f, &set, None, &model(), &opts)
+            .expect_err("1-cycle budget cannot fit a serial chain");
+        assert!(err.attempts.iter().all(|(_, c)| c.label() == "step-budget"));
+        assert_eq!(err.attempts.len(), 3); // primary, slr, bb
+    }
+}

@@ -15,6 +15,7 @@
 //! Figures 4 and 5.
 
 use crate::ddg::Ddg;
+use crate::error::{Budgets, SchedFailure};
 use crate::heuristic::Heuristic;
 use crate::lower::{LOpKind, LoweredRegion};
 use std::collections::HashMap;
@@ -142,6 +143,12 @@ impl Schedule {
 
 /// Schedules a lowered region on machine `m` (Figure 3: build DDG, sort by
 /// heuristic, list schedule).
+///
+/// # Panics
+///
+/// Panics if the scheduler cannot make progress (a dependence-graph cycle,
+/// which a correct DDG never contains). The fallible pipeline uses
+/// [`try_schedule_region`] instead.
 pub fn schedule_region(lr: &LoweredRegion, m: &MachineModel, opts: &ScheduleOptions) -> Schedule {
     let ddg = Ddg::build(lr, m);
     schedule_with_ddg(lr, &ddg, m, opts)
@@ -149,13 +156,80 @@ pub fn schedule_region(lr: &LoweredRegion, m: &MachineModel, opts: &ScheduleOpti
 
 /// [`schedule_region`] with a pre-built DDG (lets callers reuse the graph
 /// across heuristics).
+///
+/// # Panics
+///
+/// Panics if the scheduler cannot make progress (see [`schedule_region`]).
 pub fn schedule_with_ddg(
     lr: &LoweredRegion,
     ddg: &Ddg,
     m: &MachineModel,
     opts: &ScheduleOptions,
 ) -> Schedule {
+    let sched = try_schedule_with_ddg(lr, ddg, m, opts, &Budgets::UNLIMITED)
+        .expect("scheduler failed to make progress (dependence cycle?)");
+    // In debug builds, every schedule is independently re-verified —
+    // scheduler bugs become loud test failures instead of wrong numbers.
+    #[cfg(debug_assertions)]
+    crate::verify_sched::verify_schedule(lr, ddg, m, &sched)
+        .expect("scheduler produced an invalid schedule");
+    sched
+}
+
+/// Fallible [`schedule_region`]: builds the DDG and schedules under the
+/// given resource [`Budgets`].
+///
+/// # Errors
+///
+/// Returns [`SchedFailure::OpBudgetExceeded`] if the region is over the op
+/// budget, or [`SchedFailure::StepBudgetExceeded`] if the list scheduler
+/// runs more cycles than the cycle budget (or its built-in progress
+/// watchdog) allows.
+pub fn try_schedule_region(
+    lr: &LoweredRegion,
+    m: &MachineModel,
+    opts: &ScheduleOptions,
+    budgets: &Budgets,
+) -> Result<Schedule, SchedFailure> {
+    if let Some(cap) = budgets.max_region_ops {
+        if lr.num_ops() > cap {
+            return Err(SchedFailure::OpBudgetExceeded {
+                ops: lr.num_ops(),
+                budget: cap,
+            });
+        }
+    }
+    let ddg = Ddg::build(lr, m);
+    try_schedule_with_ddg(lr, &ddg, m, opts, budgets)
+}
+
+/// [`try_schedule_region`] with a pre-built DDG. This is the primitive the
+/// degradation chain and the fault-injection harness drive directly: it
+/// never panics on a malformed graph, and it does *not* self-verify (the
+/// robust pipeline verifies explicitly, under its own [`crate::VerifyMode`]).
+///
+/// # Errors
+///
+/// Returns [`SchedFailure::StepBudgetExceeded`] when the scheduler runs
+/// more cycles than `budgets.max_schedule_cycles` (or the built-in
+/// watchdog of `4 × ops + 64` cycles, whichever is smaller) without
+/// issuing every op — the symptom of a dependence cycle or a corrupted
+/// graph.
+pub fn try_schedule_with_ddg(
+    lr: &LoweredRegion,
+    ddg: &Ddg,
+    m: &MachineModel,
+    opts: &ScheduleOptions,
+    budgets: &Budgets,
+) -> Result<Schedule, SchedFailure> {
     let n = lr.lops.len();
+    // Safety valve: a correct DDG can never deadlock, but guard against a
+    // cycle bug (or an injected fault) rather than spinning forever. The
+    // configured cycle budget tightens, never loosens, the watchdog.
+    let watchdog = 4 * n + 64;
+    let cycle_cap = budgets
+        .max_schedule_cycles
+        .map_or(watchdog, |b| b.min(watchdog));
     let priorities = opts.heuristic.priorities(lr, ddg, m);
 
     // Remaining unscheduled predecessor count and earliest start cycle.
@@ -280,24 +354,19 @@ pub fn schedule_with_ddg(
 
         sched.cycles.push(issued_this_cycle);
         cycle += 1;
-        // Safety valve: a correct DDG can never deadlock, but guard
-        // against a cycle bug rather than spinning forever.
-        assert!(
-            (cycle as usize) <= 4 * n + 64,
-            "scheduler failed to make progress (dependence cycle?)"
-        );
+        if (cycle as usize) > cycle_cap {
+            return Err(SchedFailure::StepBudgetExceeded {
+                steps: cycle as usize,
+                budget: cycle_cap,
+            });
+        }
     }
     // Trim trailing empty cycles (can appear if the last issue cycle was
     // followed by bookkeeping-only iterations).
     while matches!(sched.cycles.last(), Some(c) if c.is_empty()) {
         sched.cycles.pop();
     }
-    // In debug builds, every schedule is independently re-verified —
-    // scheduler bugs become loud test failures instead of wrong numbers.
-    #[cfg(debug_assertions)]
-    crate::verify_sched::verify_schedule(lr, ddg, m, &sched)
-        .expect("scheduler produced an invalid schedule");
-    sched
+    Ok(sched)
 }
 
 fn release_succs(

@@ -15,20 +15,58 @@ use std::error::Error;
 use std::fmt;
 use treegion_machine::MachineModel;
 
-/// A schedule verification failure.
+/// The class of property a schedule violated. Fault-injection tests key on
+/// this to prove the verifier attributes each corruption correctly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleErrorKind {
+    /// An op is neither issued nor recorded as eliminated.
+    MissingOp,
+    /// An op appears in more than one issue slot (or is both issued and
+    /// eliminated).
+    DoubleIssue,
+    /// A cycle issues more ops than the machine's issue width.
+    WidthOverflow,
+    /// A cycle issues more branches than the machine's branch limit.
+    BranchOverflow,
+    /// A cycle issues more memory ops than the machine has ports.
+    MemPortOverflow,
+    /// A dependence edge's latency is not satisfied.
+    LatencyViolation,
+    /// An exit's recorded cycle disagrees with its branch op.
+    ExitMismatch,
+    /// A dominator-parallelism elimination pairs non-twin ops, removes a
+    /// non-speculable op, or names a twin that was never issued.
+    BogusElimination,
+    /// Internally inconsistent bookkeeping (out-of-range index, `cycle_of`
+    /// disagreeing with the issue rows, unscheduled edge endpoint).
+    Malformed,
+}
+
+/// A schedule verification failure: a [`ScheduleErrorKind`] plus a
+/// human-readable description of the specific violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ScheduleError(String);
+pub struct ScheduleError {
+    kind: ScheduleErrorKind,
+    message: String,
+}
+
+impl ScheduleError {
+    /// The class of property that was violated.
+    pub fn kind(&self) -> ScheduleErrorKind {
+        self.kind
+    }
+}
 
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "schedule verification failed: {}", self.0)
+        write!(f, "schedule verification failed: {}", self.message)
     }
 }
 
 impl Error for ScheduleError {}
 
-fn fail(msg: String) -> Result<(), ScheduleError> {
-    Err(ScheduleError(msg))
+fn fail(kind: ScheduleErrorKind, message: String) -> Result<(), ScheduleError> {
+    Err(ScheduleError { kind, message })
 }
 
 /// Verifies `sched` against its region, dependence graph, and machine.
@@ -56,41 +94,62 @@ pub fn verify_schedule(
     for (c, row) in sched.cycles.iter().enumerate() {
         for &i in row {
             if i >= n {
-                return fail(format!("cycle {c} references op {i} out of range"));
+                return fail(
+                    ScheduleErrorKind::Malformed,
+                    format!("cycle {c} references op {i} out of range"),
+                );
             }
             if seen[i] {
-                return fail(format!("op {i} issued twice"));
+                return fail(
+                    ScheduleErrorKind::DoubleIssue,
+                    format!("op {i} issued twice"),
+                );
             }
             seen[i] = true;
             if sched.cycle_of[i] != Some(c as u32) {
-                return fail(format!(
-                    "op {i} in cycle {c} but cycle_of says {:?}",
-                    sched.cycle_of[i]
-                ));
+                return fail(
+                    ScheduleErrorKind::Malformed,
+                    format!(
+                        "op {i} in cycle {c} but cycle_of says {:?}",
+                        sched.cycle_of[i]
+                    ),
+                );
             }
         }
     }
     for (e, t) in &sched.eliminated {
         if seen[*e] {
-            return fail(format!("op {e} both issued and eliminated"));
+            return fail(
+                ScheduleErrorKind::DoubleIssue,
+                format!("op {e} both issued and eliminated"),
+            );
         }
         seen[*e] = true;
         if !sched.cycles.iter().flatten().any(|i| i == t) {
-            return fail(format!("twin {t} of eliminated op {e} was never issued"));
+            return fail(
+                ScheduleErrorKind::BogusElimination,
+                format!("twin {t} of eliminated op {e} was never issued"),
+            );
         }
     }
     if let Some(missing) = seen.iter().position(|s| !s) {
-        return fail(format!("op {missing} neither issued nor eliminated"));
+        return fail(
+            ScheduleErrorKind::MissingOp,
+            format!("op {missing} neither issued nor eliminated"),
+        );
     }
 
     // Resources.
     for (c, row) in sched.cycles.iter().enumerate() {
         if row.len() > m.issue_width() {
-            return fail(format!(
-                "cycle {c} issues {} ops on a {}-wide machine",
-                row.len(),
-                m.issue_width()
-            ));
+            return fail(
+                ScheduleErrorKind::WidthOverflow,
+                format!(
+                    "cycle {c} issues {} ops on a {}-wide machine",
+                    row.len(),
+                    m.issue_width()
+                ),
+            );
         }
         if let Some(limit) = m.branch_limit() {
             let branches = row
@@ -98,9 +157,10 @@ pub fn verify_schedule(
                 .filter(|&&i| lr.lops[i].op.opcode.is_branch())
                 .count();
             if branches > limit {
-                return fail(format!(
-                    "cycle {c} issues {branches} branches (limit {limit})"
-                ));
+                return fail(
+                    ScheduleErrorKind::BranchOverflow,
+                    format!("cycle {c} issues {branches} branches (limit {limit})"),
+                );
             }
         }
         if let Some(limit) = m.mem_port_limit() {
@@ -112,9 +172,10 @@ pub fn verify_schedule(
                 })
                 .count();
             if mems > limit {
-                return fail(format!(
-                    "cycle {c} issues {mems} memory ops (ports {limit})"
-                ));
+                return fail(
+                    ScheduleErrorKind::MemPortOverflow,
+                    format!("cycle {c} issues {mems} memory ops (ports {limit})"),
+                );
             }
         }
     }
@@ -131,13 +192,19 @@ pub fn verify_schedule(
             continue;
         }
         let (Some(cf), Some(ct)) = (sched.cycle_of[e.from], sched.cycle_of[e.to]) else {
-            return fail(format!("edge {:?} touches an unscheduled op", e));
+            return fail(
+                ScheduleErrorKind::Malformed,
+                format!("edge {e:?} touches an unscheduled op"),
+            );
         };
         if ct < cf + e.latency {
-            return fail(format!(
-                "dependence {} -> {} (latency {}) violated: cycles {cf} -> {ct}",
-                e.from, e.to, e.latency
-            ));
+            return fail(
+                ScheduleErrorKind::LatencyViolation,
+                format!(
+                    "dependence {} -> {} (latency {}) violated: cycles {cf} -> {ct}",
+                    e.from, e.to, e.latency
+                ),
+            );
         }
     }
 
@@ -146,14 +213,20 @@ pub fn verify_schedule(
         match sched.cycle_of[exit.branch_lop] {
             Some(c) if c == sched.exit_cycles[k] => {}
             other => {
-                return fail(format!(
-                    "exit {k}: recorded cycle {} but branch op at {other:?}",
-                    sched.exit_cycles[k]
-                ))
+                return fail(
+                    ScheduleErrorKind::ExitMismatch,
+                    format!(
+                        "exit {k}: recorded cycle {} but branch op at {other:?}",
+                        sched.exit_cycles[k]
+                    ),
+                )
             }
         }
         if !matches!(lr.lops[exit.branch_lop].kind, LOpKind::ExitBranch(e) if e == k) {
-            return fail(format!("exit {k}: branch_lop is not its exit branch"));
+            return fail(
+                ScheduleErrorKind::ExitMismatch,
+                format!("exit {k}: branch_lop is not its exit branch"),
+            );
         }
     }
 
@@ -161,10 +234,16 @@ pub fn verify_schedule(
     for (e, t) in &sched.eliminated {
         let (le, lt) = (&lr.lops[*e], &lr.lops[*t]);
         if le.origin != lt.origin || le.op.opcode != lt.op.opcode || le.op.imm != lt.op.imm {
-            return fail(format!("elimination ({e},{t}) pairs non-twin ops"));
+            return fail(
+                ScheduleErrorKind::BogusElimination,
+                format!("elimination ({e},{t}) pairs non-twin ops"),
+            );
         }
         if !le.op.opcode.is_speculable() {
-            return fail(format!("elimination ({e},{t}) removes a non-speculable op"));
+            return fail(
+                ScheduleErrorKind::BogusElimination,
+                format!("elimination ({e},{t}) removes a non-speculable op"),
+            );
         }
     }
     Ok(())
@@ -255,6 +334,77 @@ mod tests {
             );
             verify_schedule(&lr, &ddg, &m, &s).unwrap();
         }
+    }
+
+    /// One hand-built tamper per fault class, each asserting the *exact*
+    /// [`ScheduleErrorKind`] — the attribution contract the degradation
+    /// chain's reports rely on (see also `fault.rs`, which reaches the same
+    /// kinds through the seeded injector).
+    #[test]
+    fn each_tamper_class_yields_its_error_kind() {
+        let f = branchy();
+        let set = form_treegions(&f);
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        let m = MachineModel::model_4u();
+        let r = set.region(set.region_of(f.entry()).unwrap());
+        let lr = lower_region(&f, r, &live, None);
+        let ddg = Ddg::build(&lr, &m);
+        let good = schedule_region(&lr, &m, &ScheduleOptions::default());
+        verify_schedule(&lr, &ddg, &m, &good).unwrap();
+        let kind_of = |s: &Schedule| verify_schedule(&lr, &ddg, &m, s).unwrap_err().kind();
+
+        // Missing op: drop one op from its row but keep its cycle_of.
+        let mut s = good.clone();
+        let victim = s.cycles[0][0];
+        s.cycles[0].retain(|&i| i != victim);
+        assert_eq!(kind_of(&s), ScheduleErrorKind::MissingOp);
+
+        // Double issue: the same op in two rows.
+        let mut s = good.clone();
+        let dup = s.cycles[0][0];
+        s.cycles.last_mut().unwrap().push(dup);
+        assert_eq!(kind_of(&s), ScheduleErrorKind::DoubleIssue);
+
+        // Width overflow: cram every op into cycle 0 (consistently).
+        let mut s = good.clone();
+        assert!(lr.lops.len() > m.issue_width());
+        s.cycles = vec![(0..lr.lops.len()).collect()];
+        for c in s.cycle_of.iter_mut() {
+            *c = Some(0);
+        }
+        assert_eq!(kind_of(&s), ScheduleErrorKind::WidthOverflow);
+
+        // Latency violation: delay a producer past its consumer.
+        let mut s = good.clone();
+        let e = ddg
+            .edges()
+            .iter()
+            .find(|e| e.latency > 0)
+            .expect("region has a latency-carrying edge");
+        let from = e.from;
+        for row in s.cycles.iter_mut() {
+            row.retain(|&i| i != from);
+        }
+        let last = s.cycles.len();
+        s.cycles.push(vec![from]);
+        s.cycle_of[from] = Some(last as u32);
+        assert_eq!(kind_of(&s), ScheduleErrorKind::LatencyViolation);
+
+        // Exit mismatch: shift a recorded exit cycle off its branch op.
+        let mut s = good.clone();
+        s.exit_cycles[0] += 1;
+        assert_eq!(kind_of(&s), ScheduleErrorKind::ExitMismatch);
+
+        // Bogus elimination: record an op as eliminated by a twin that was
+        // itself never issued.
+        let mut s = good.clone();
+        let victim = s.cycles[0][0];
+        for row in s.cycles.iter_mut() {
+            row.retain(|&i| i != victim);
+        }
+        s.eliminated.push((victim, victim));
+        assert_eq!(kind_of(&s), ScheduleErrorKind::BogusElimination);
     }
 
     #[test]

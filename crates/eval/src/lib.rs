@@ -35,9 +35,10 @@ pub use config::{EvalConfig, RegionConfig};
 pub use dynamic::{validate_dynamic, DynamicReport};
 pub use harness::{fig13, fig6, fig8, table1, table2, table3, table4, Suite};
 pub use pipeline::{
-    baseline_time, form_function, program_time, schedule_function, speedup, speedup_with_baseline,
-    FormedFunction, ScheduledRegion,
+    baseline_time, form_function, program_time, program_time_robust, schedule_function,
+    schedule_function_robust, speedup, speedup_with_baseline, FormedFunction, RobustModuleReport,
+    ScheduledRegion,
 };
-pub use report::{f2, f3, Table};
+pub use report::{degradation_table, f2, f3, Table};
 pub use stats::{region_stats, RegionStats};
 pub use variation::{perturb_profile, variation_speedups, variation_table};

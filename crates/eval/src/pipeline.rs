@@ -5,7 +5,8 @@
 use crate::{EvalConfig, RegionConfig};
 use treegion::{
     form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
-    lower_region, schedule_region, Heuristic, LoweredRegion, RegionSet, Schedule, ScheduleOptions,
+    lower_region, schedule_region, DegradationEvent, Heuristic, LoweredRegion, PipelineError,
+    RegionSet, RobustOptions, RobustResult, Schedule, ScheduleOptions,
 };
 use treegion_analysis::{Cfg, Liveness};
 use treegion_ir::{BlockId, Function, Module};
@@ -104,6 +105,85 @@ pub fn schedule_function(
         .collect()
 }
 
+/// Robust (degradation-chain) scheduling of one formed function: the
+/// fallible counterpart of [`schedule_function`], with verification,
+/// budgets, fallback, and optional fault injection per `opts`.
+///
+/// # Errors
+///
+/// Returns the terminal [`PipelineError`] when a region fails at every
+/// permitted fallback level.
+pub fn schedule_function_robust(
+    formed: &FormedFunction,
+    machine: &MachineModel,
+    opts: &RobustOptions,
+) -> Result<RobustResult, PipelineError> {
+    treegion::schedule_function_robust(
+        &formed.function,
+        &formed.regions,
+        Some(&formed.origin),
+        machine,
+        opts,
+    )
+}
+
+/// A whole-module robust scheduling run: the analytic time plus every
+/// degradation the chain survived.
+#[derive(Clone, Debug, Default)]
+pub struct RobustModuleReport {
+    /// Total estimated execution time (Σ count × height over accepted
+    /// schedules, including fallback pieces).
+    pub time: f64,
+    /// Number of accepted (sub-)region schedules.
+    pub regions: usize,
+    /// Every recovered or tolerated failure, across all functions.
+    pub events: Vec<DegradationEvent>,
+}
+
+impl RobustModuleReport {
+    /// Events that fell back to a simpler region shape.
+    pub fn recovered(&self) -> usize {
+        self.events.iter().filter(|e| e.recovered).count()
+    }
+
+    /// Events tolerated under `--verify warn` (schedule kept unverified).
+    pub fn tolerated(&self) -> usize {
+        self.events.iter().filter(|e| !e.recovered).count()
+    }
+}
+
+/// [`program_time`] through the robust pipeline: schedules every function
+/// with the degradation chain and aggregates both the analytic time and
+/// the [`DegradationEvent`]s into one report.
+///
+/// # Errors
+///
+/// Returns the first terminal [`PipelineError`].
+pub fn program_time_robust(
+    module: &Module,
+    config: &EvalConfig,
+    machine: &MachineModel,
+    robust: &RobustOptions,
+) -> Result<RobustModuleReport, PipelineError> {
+    let mut report = RobustModuleReport::default();
+    for f in module.functions() {
+        let formed = form_function(f, &config.region);
+        let opts = RobustOptions {
+            sched: ScheduleOptions {
+                heuristic: config.heuristic,
+                dominator_parallelism: config.dominator_parallelism,
+                ..Default::default()
+            },
+            ..robust.clone()
+        };
+        let r = schedule_function_robust(&formed, machine, &opts)?;
+        report.time += r.estimated_time();
+        report.regions += r.outcomes.len();
+        report.events.extend(r.events);
+    }
+    Ok(report)
+}
+
 /// Estimated execution time of a whole module under a configuration:
 /// Σ over functions Σ over regions Σ over exits (count × schedule height).
 pub fn program_time(module: &Module, config: &EvalConfig, machine: &MachineModel) -> f64 {
@@ -189,6 +269,47 @@ mod tests {
         let cfg = EvalConfig::new(RegionConfig::BasicBlock, Heuristic::DependenceHeight);
         let s = speedup(&m, &cfg, &MachineModel::model_1u());
         assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn robust_time_matches_plain_time_without_faults() {
+        let m = generate(&BenchmarkSpec::tiny(19));
+        let machine = MachineModel::model_4u();
+        for region in [
+            RegionConfig::BasicBlock,
+            RegionConfig::Slr,
+            RegionConfig::Superblock,
+            RegionConfig::Treegion,
+            RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()),
+        ] {
+            let cfg = EvalConfig::new(region, Heuristic::GlobalWeight);
+            let plain = program_time(&m, &cfg, &machine);
+            let robust =
+                program_time_robust(&m, &cfg, &machine, &RobustOptions::default()).unwrap();
+            assert_eq!(robust.time, plain, "{:?}", cfg.region);
+            assert!(robust.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn robust_run_with_faults_records_events_and_still_completes() {
+        use treegion::FaultPlan;
+        let m = generate(&BenchmarkSpec::tiny(23));
+        let machine = MachineModel::model_4u();
+        let cfg = EvalConfig::new(RegionConfig::Treegion, Heuristic::GlobalWeight);
+        let opts = RobustOptions {
+            fault: Some(FaultPlan::from_seed(42)),
+            ..Default::default()
+        };
+        let report = program_time_robust(&m, &cfg, &machine, &opts)
+            .expect("fallback chain must absorb every injected fault");
+        assert!(report.time > 0.0);
+        assert!(report.tolerated() == 0);
+        // A full fault campaign over a generated module must trip the
+        // verifier at least once.
+        assert!(report.recovered() > 0, "no fault manifested");
+        let table = crate::report::degradation_table(&report.events).render();
+        assert!(table.contains("degraded"), "{table}");
     }
 
     #[test]

@@ -61,6 +61,27 @@ impl Table {
     }
 }
 
+/// Renders the degradation events of a robust run as a table: one row per
+/// survived failure, with the failing region, the cause, and the rung of
+/// the fallback ladder that finally produced (or tolerated) the schedule.
+pub fn degradation_table(events: &[treegion::DegradationEvent]) -> Table {
+    let mut t = Table::new(
+        "Degradation events (verifier-gated fallback)",
+        vec!["function", "region", "kind", "cause", "action", "level"],
+    );
+    for e in events {
+        t.row(vec![
+            e.function.clone(),
+            format!("#{} @{}", e.region_index, e.region_root),
+            e.region_kind.to_string(),
+            e.cause.label().to_string(),
+            if e.recovered { "degraded" } else { "kept" }.to_string(),
+            e.level.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Formats a float with 2 decimal places (the paper's usual precision).
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")

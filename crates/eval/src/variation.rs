@@ -11,14 +11,13 @@
 //! the test profile is conservation-consistent.
 
 use crate::report::{f3, Table};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use treegion::{
     form_basic_blocks, form_treegions, lower_region, schedule_region, Heuristic, ScheduleOptions,
 };
 use treegion_analysis::{Cfg, Liveness};
 use treegion_ir::{Function, Module, Terminator};
 use treegion_machine::MachineModel;
+use treegion_rng::StdRng;
 
 /// Returns a copy of `f` with perturbed, flow-conserving profile weights.
 ///

@@ -23,7 +23,9 @@ impl fmt::Display for ParseError {
 
 impl Error for ParseError {}
 
-/// Parses a module from the textual IR format.
+/// Parses a module from the textual IR format. Blank lines and `//`
+/// comment lines are ignored (fuzz repro files carry their failure
+/// description as a comment header).
 ///
 /// # Errors
 ///
@@ -40,10 +42,10 @@ impl Error for ParseError {}
 pub fn parse_module(text: &str) -> Result<Module, ParseError> {
     let mut lines = text.lines().enumerate().peekable();
     let mut name = String::from("module");
-    // Optional module header.
+    // Optional module header (blank lines and `//` comments may precede it).
     while let Some((_, raw)) = lines.peek() {
         let line = raw.trim();
-        if line.is_empty() {
+        if line.is_empty() || line.starts_with("//") {
             lines.next();
             continue;
         }
@@ -56,8 +58,9 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
     let mut module = Module::new(name);
     // Functions.
     loop {
-        // Skip blanks.
-        while matches!(lines.peek(), Some((_, l)) if l.trim().is_empty()) {
+        // Skip blanks and comments.
+        while matches!(lines.peek(), Some((_, l)) if l.trim().is_empty() || l.trim().starts_with("//"))
+        {
             lines.next();
         }
         let Some(&(n, raw)) = lines.peek() else { break };
@@ -104,7 +107,7 @@ fn parse_function_body(name: &str, lines: &mut Lines<'_>) -> Result<Function, Pa
 
     for (n, raw) in lines.by_ref() {
         let line = raw.trim();
-        if line.is_empty() {
+        if line.is_empty() || line.starts_with("//") {
             continue;
         }
         if line == "}" {
@@ -447,6 +450,14 @@ mod tests {
     fn rejects_out_of_order_blocks() {
         let text = "func @f {\n  bb1 (weight 1):\n    ret\n}\n";
         assert!(parse_function(text).is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped_everywhere() {
+        let text = "// repro header\n// failing config: treegion/gw/8U\nmodule @m\n\nfunc @f {\n  // entry\n  bb0 (weight 1):\n    r0 = movi #5\n    // trailing note\n    ret r0\n}\n";
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.functions().len(), 1);
+        assert_eq!(m.functions()[0].num_ops(), 1);
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub enum SimError {
     OutOfFuel,
     /// Internal invariant violated (message describes it).
     Invariant(String),
+    /// The scalar executor was handed an opcode it cannot evaluate
+    /// (e.g. a control op reaching [`crate::exec_op`]).
+    UnsupportedOp(String),
 }
 
 impl fmt::Display for SimError {
@@ -24,6 +27,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::OutOfFuel => f.write_str("execution exceeded its fuel limit"),
             SimError::Invariant(m) => write!(f, "simulator invariant violated: {m}"),
+            SimError::UnsupportedOp(m) => write!(f, "unsupported op: {m}"),
         }
     }
 }
@@ -49,6 +53,7 @@ pub struct ExecResult {
 ///
 /// [`SimError::OutOfFuel`] if more than `fuel` blocks are entered — the
 /// guard against non-terminating loops in generated workloads.
+/// [`SimError::UnsupportedOp`] if a block body contains a control op.
 pub fn interpret(f: &Function, initial: State, fuel: u64) -> Result<ExecResult, SimError> {
     let mut state = initial;
     let mut block = f.entry();
@@ -58,7 +63,7 @@ pub fn interpret(f: &Function, initial: State, fuel: u64) -> Result<ExecResult, 
         trace.push(block);
         let b = f.block(block);
         for op in &b.ops {
-            exec_op(&mut state, op);
+            exec_op(&mut state, op)?;
             ops_executed += 1;
         }
         match &b.term {

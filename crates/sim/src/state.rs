@@ -5,6 +5,7 @@
 //! between the two can only come from scheduling/renaming/predication —
 //! exactly what the differential tests are after.
 
+use crate::interp::SimError;
 use std::collections::HashMap;
 use treegion_ir::{Op, Opcode, Reg};
 
@@ -77,11 +78,11 @@ fn from_f(v: f64) -> i64 {
 ///
 /// Division by zero yields 0 by definition (documented IR semantics).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `op` is not a two-source ALU opcode.
-pub fn eval_alu(op: Opcode, a: i64, b: i64) -> i64 {
-    match op {
+/// [`SimError::UnsupportedOp`] if `op` is not a two-source ALU opcode.
+pub fn eval_alu(op: Opcode, a: i64, b: i64) -> Result<i64, SimError> {
+    Ok(match op {
         Opcode::Add => a.wrapping_add(b),
         Opcode::Sub => a.wrapping_sub(b),
         Opcode::Mul => a.wrapping_mul(b),
@@ -103,18 +104,23 @@ pub fn eval_alu(op: Opcode, a: i64, b: i64) -> i64 {
         Opcode::FSub => from_f(to_f(a) - to_f(b)),
         Opcode::FMul => from_f(to_f(a) * to_f(b)),
         Opcode::FDiv => from_f(to_f(a) / to_f(b)),
-        other => panic!("eval_alu called on non-ALU opcode {other}"),
-    }
+        other => {
+            return Err(SimError::UnsupportedOp(format!(
+                "eval_alu called on non-ALU opcode {other}"
+            )))
+        }
+    })
 }
 
 /// Executes a non-control op against `state` (arithmetic, moves, memory,
 /// calls, and lowered `CMPP`). Branches, `PBR`, and `RET` are control ops
 /// and must be handled by the caller.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on control opcodes.
-pub fn exec_op(state: &mut State, op: &Op) {
+/// [`SimError::UnsupportedOp`] on control opcodes — executors surface
+/// this as a structured failure instead of aborting the whole run.
+pub fn exec_op(state: &mut State, op: &Op) -> Result<(), SimError> {
     match op.opcode {
         Opcode::Nop => {}
         Opcode::MovI => state.write(op.defs[0], op.imm),
@@ -169,12 +175,17 @@ pub fn exec_op(state: &mut State, op: &Op) {
         | Opcode::FDiv => {
             let a = state.read(op.uses[0]);
             let b = state.read(op.uses[1]);
-            state.write(op.defs[0], eval_alu(op.opcode, a, b));
+            let v = eval_alu(op.opcode, a, b)?;
+            state.write(op.defs[0], v);
         }
         Opcode::Pbr | Opcode::Brct | Opcode::Brcf | Opcode::Bru | Opcode::Ret => {
-            panic!("control op {} must be handled by the executor", op.opcode)
+            return Err(SimError::UnsupportedOp(format!(
+                "control op {} must be handled by the executor",
+                op.opcode
+            )))
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -192,18 +203,25 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_zero() {
-        assert_eq!(eval_alu(Opcode::Div, 42, 0), 0);
-        assert_eq!(eval_alu(Opcode::Div, 42, 7), 6);
-        assert_eq!(eval_alu(Opcode::Div, i64::MIN, -1), i64::MIN); // wrapping
+        assert_eq!(eval_alu(Opcode::Div, 42, 0), Ok(0));
+        assert_eq!(eval_alu(Opcode::Div, 42, 7), Ok(6));
+        assert_eq!(eval_alu(Opcode::Div, i64::MIN, -1), Ok(i64::MIN)); // wrapping
     }
 
     #[test]
     fn alu_semantics() {
-        assert_eq!(eval_alu(Opcode::Add, i64::MAX, 1), i64::MIN);
-        assert_eq!(eval_alu(Opcode::Shl, 1, 65), 2); // shift masked to 1
-        assert_eq!(eval_alu(Opcode::Shr, -1, 60), 15);
-        assert_eq!(eval_alu(Opcode::Sar, -16, 2), -4);
-        assert_eq!(eval_alu(Opcode::Cmp(Cond::Le), 3, 3), 1);
+        assert_eq!(eval_alu(Opcode::Add, i64::MAX, 1), Ok(i64::MIN));
+        assert_eq!(eval_alu(Opcode::Shl, 1, 65), Ok(2)); // shift masked to 1
+        assert_eq!(eval_alu(Opcode::Shr, -1, 60), Ok(15));
+        assert_eq!(eval_alu(Opcode::Sar, -16, 2), Ok(-4));
+        assert_eq!(eval_alu(Opcode::Cmp(Cond::Le), 3, 3), Ok(1));
+    }
+
+    #[test]
+    fn eval_alu_rejects_non_alu_opcodes() {
+        let err = eval_alu(Opcode::Load, 1, 2).unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedOp(_)), "{err:?}");
+        assert!(err.to_string().contains("non-ALU"), "{err}");
     }
 
     #[test]
@@ -215,12 +233,12 @@ mod tests {
         s.write(b, 3);
         // Guard false: both outputs false regardless of the comparison.
         let op = Op::cmpp(Cond::Gt, p, Some(q), a, b, Some(g));
-        exec_op(&mut s, &op);
+        exec_op(&mut s, &op).unwrap();
         assert!(!s.read_pred(p));
         assert!(!s.read_pred(q));
         // Guard true: p = (5>3)=true, q = complement.
         s.write_pred(g, true);
-        exec_op(&mut s, &op);
+        exec_op(&mut s, &op).unwrap();
         assert!(s.read_pred(p));
         assert!(!s.read_pred(q));
     }
@@ -231,8 +249,8 @@ mod tests {
         let (a, v, d) = (Reg::gpr(0), Reg::gpr(1), Reg::gpr(2));
         s.write(a, 100);
         s.write(v, 77);
-        exec_op(&mut s, &Op::store(a, v, 8));
-        exec_op(&mut s, &Op::load(d, a, 8));
+        exec_op(&mut s, &Op::store(a, v, 8)).unwrap();
+        exec_op(&mut s, &Op::load(d, a, 8)).unwrap();
         assert_eq!(s.read(d), 77);
         assert_eq!(s.load(108), 77);
     }
@@ -245,9 +263,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "control op")]
     fn exec_op_rejects_branches() {
         let mut s = State::new();
-        exec_op(&mut s, &Op::bru(Reg::btr(0)));
+        let err = exec_op(&mut s, &Op::bru(Reg::btr(0))).unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedOp(_)), "{err:?}");
+        assert!(err.to_string().contains("control op"), "{err}");
     }
 }

@@ -212,7 +212,7 @@ impl<'f> VliwProgram<'f> {
                     }
                     Opcode::Store | Opcode::Call => {
                         if guard_ok {
-                            exec_op(state, &op);
+                            exec_op(state, &op)?;
                         }
                         if let Some(d) = op.def() {
                             ready.insert(d, cycle + m_lat(op.opcode));
@@ -221,7 +221,7 @@ impl<'f> VliwProgram<'f> {
                     _ => {
                         // Speculated ops execute unconditionally into their
                         // renamed destinations.
-                        exec_op(state, &op);
+                        exec_op(state, &op)?;
                         for d in &op.defs {
                             ready.insert(*d, cycle + m_lat(op.opcode));
                         }

@@ -11,9 +11,8 @@
 //! execution always terminates.
 
 use crate::BenchmarkSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use treegion_ir::{BlockId, Cond, Function, FunctionBuilder, Module, Op, Opcode, Reg};
+use treegion_rng::StdRng;
 
 /// Generates the whole module for a benchmark spec. Deterministic in
 /// `spec.seed`.
@@ -31,6 +30,13 @@ pub fn generate(spec: &BenchmarkSpec) -> Module {
 /// Generates every benchmark of [`crate::spec_suite`].
 pub fn generate_suite() -> Vec<Module> {
     crate::spec_suite().iter().map(generate).collect()
+}
+
+/// Entry point for the differential fuzz harness: one random module per
+/// seed, with the generator's shape parameters themselves randomized (see
+/// [`BenchmarkSpec::fuzz`]). Deterministic in `seed`.
+pub fn generate_fuzz(seed: u64) -> Module {
+    generate(&BenchmarkSpec::fuzz(seed))
 }
 
 /// Profile count entering each generated function.
@@ -109,9 +115,9 @@ impl<'a> Gen<'a> {
     /// chaining dependences per `chain_bias`.
     fn emit_ops(&mut self, block: BlockId, n: usize) {
         for _ in 0..n {
-            let roll: f64 = self.rng.gen();
+            let roll: f64 = self.rng.gen_f64();
             let op = if roll < self.spec.mem_frac {
-                let off = self.rng.gen_range(0..32) * 8;
+                let off = self.rng.gen_range(0i64..32) * 8;
                 if self.rng.gen_bool(0.6) {
                     // Half the loads chase the dependence chain through
                     // memory (address = previous result), as linked-list
@@ -216,7 +222,7 @@ impl<'a> Gen<'a> {
         let n_ops = self.sample_ops();
         self.emit_ops(cur, n_ops);
         let s = self.spec;
-        let roll: f64 = self.rng.gen();
+        let roll: f64 = self.rng.gen_f64();
         let p1 = s.p_chain;
         let p2 = p1 + s.p_switch;
         let p3 = p2 + s.p_loop;
@@ -317,7 +323,7 @@ impl<'a> Gen<'a> {
         // hot cases, the rest zero. Ordinary switches get a smoother skew.
         let mut weights = vec![0.0f64; k];
         if wide {
-            let hot = 2 + self.rng.gen_range(0..2).min(k - 1);
+            let hot = 2 + self.rng.gen_range(0usize..2).min(k - 1);
             for _ in 0..hot {
                 let idx = self.rng.gen_range(0..k);
                 weights[idx] += inflow * self.rng.gen_range(0.2..0.5);

@@ -31,5 +31,5 @@ mod gen;
 pub mod shapes;
 mod spec;
 
-pub use gen::{generate, generate_suite};
+pub use gen::{generate, generate_fuzz, generate_suite};
 pub use spec::{spec_suite, BenchmarkSpec};

@@ -69,6 +69,40 @@ pub struct BenchmarkSpec {
 }
 
 impl BenchmarkSpec {
+    /// A randomized spec for the differential fuzz harness: every shape
+    /// parameter is itself drawn from `seed`, so consecutive seeds explore
+    /// very different corners of the generator's grammar (deep nesting, wide
+    /// switches, linearized chains, fp/call-heavy mixes) instead of staying
+    /// near one benchmark's calibration. Deterministic in `seed`.
+    pub fn fuzz(seed: u64) -> Self {
+        let mut r = treegion_rng::StdRng::seed_from_u64(seed ^ 0xF0_55ED);
+        let blocks_lo = r.gen_range(4usize..20);
+        let blocks_hi = blocks_lo + r.gen_range(2usize..24);
+        BenchmarkSpec {
+            name: "fuzz",
+            seed,
+            functions: 1,
+            blocks_per_function: (blocks_lo, blocks_hi),
+            mean_ops_per_block: r.gen_range(1.5..10.0),
+            p_chain: r.gen_range(0.0..0.35),
+            p_if_then: r.gen_range(0.1..0.9),
+            p_switch: r.gen_range(0.0..0.25),
+            p_loop: r.gen_range(0.0..0.3),
+            switch_width: (2, 2 + r.gen_range(0usize..6)),
+            p_wide_switch: r.gen_range(0.0..0.2),
+            wide_switch_width: (8, 8 + r.gen_range(0usize..12)),
+            p_biased_branch: r.gen_range(0.0..1.0),
+            bias_hot: r.gen_range(0.5..1.0),
+            p_linearized_chain: r.gen_range(0.0..0.2),
+            linearized_len: (3, 3 + r.gen_range(0usize..5)),
+            p_nest: r.gen_range(0.0..0.5),
+            chain_bias: r.gen_range(0.3..0.95),
+            mem_frac: r.gen_range(0.0..0.4),
+            fp_frac: r.gen_range(0.0..0.15),
+            call_frac: r.gen_range(0.0..0.1),
+        }
+    }
+
     /// A small, fast spec for tests (not part of the suite).
     pub fn tiny(seed: u64) -> Self {
         BenchmarkSpec {
@@ -332,6 +366,33 @@ mod tests {
             assert!(s.switch_width.0 >= 2);
             assert!(s.functions > 0);
         }
+    }
+
+    #[test]
+    fn fuzz_specs_are_deterministic_sane_and_varied() {
+        for seed in 0..64u64 {
+            let a = BenchmarkSpec::fuzz(seed);
+            assert_eq!(a, BenchmarkSpec::fuzz(seed), "seed {seed}");
+            for p in [
+                a.p_chain,
+                a.p_if_then,
+                a.p_switch,
+                a.p_loop,
+                a.p_wide_switch,
+                a.p_biased_branch,
+                a.bias_hot,
+                a.p_linearized_chain,
+                a.p_nest,
+                a.mem_frac,
+                a.fp_frac,
+                a.call_frac,
+            ] {
+                assert!((0.0..=1.0).contains(&p), "seed {seed}: {p}");
+            }
+            assert!(a.blocks_per_function.0 <= a.blocks_per_function.1);
+            assert!(a.switch_width.0 >= 2);
+        }
+        assert_ne!(BenchmarkSpec::fuzz(1), BenchmarkSpec::fuzz(2));
     }
 
     #[test]

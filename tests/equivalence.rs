@@ -1,10 +1,14 @@
-//! Property-based differential testing: for arbitrary generated programs,
-//! every region scheme × heuristic × machine must produce schedules whose
-//! VLIW execution is architecturally equivalent to the sequential
-//! interpreter — same return value, same final memory. Tail duplication
-//! must additionally preserve the semantics of the *transformed* function.
+//! Differential testing over seeded random programs: every region scheme ×
+//! heuristic × machine must produce schedules whose VLIW execution is
+//! architecturally equivalent to the sequential interpreter — same return
+//! value, same final memory. Tail duplication must additionally preserve
+//! the semantics of the *transformed* function.
+//!
+//! These were originally proptest properties; they are now plain seeded
+//! loops (the workspace builds hermetically, without crates.io), which
+//! keeps them deterministic and the failing seed printable.
 
-use proptest::prelude::*;
+use treegion_rng::StdRng;
 use treegion_suite::prelude::*;
 
 fn modules(seed: u64) -> Module {
@@ -13,6 +17,7 @@ fn modules(seed: u64) -> Module {
     generate(&spec)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_scheme(
     f: &Function,
     regions: &RegionSet,
@@ -21,6 +26,7 @@ fn check_scheme(
     heuristic: Heuristic,
     dompar: bool,
     expected: &treegion_suite::sim::ExecResult,
+    seed: u64,
 ) {
     let prog = VliwProgram::compile(
         f,
@@ -36,34 +42,45 @@ fn check_scheme(
     let got = prog
         .execute(State::new(), 1_000_000)
         .expect("vliw execution");
-    assert_eq!(got.ret, expected.ret, "return value diverged");
-    assert_eq!(got.state.mem, expected.state.mem, "final memory diverged");
-    // The analytic estimate and the dynamic count must both be positive.
-    assert!(got.cycles > 0);
+    assert_eq!(got.ret, expected.ret, "return value diverged (seed {seed})");
+    assert_eq!(
+        got.state.mem, expected.state.mem,
+        "final memory diverged (seed {seed})"
+    );
+    // The dynamic cycle count must be positive.
+    assert!(got.cycles > 0, "seed {seed}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn all_schemes_preserve_semantics(seed in 0u64..10_000) {
+#[test]
+fn all_schemes_preserve_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xE0_0001);
+    for _ in 0..24 {
+        let seed = rng.gen_range(0u64..10_000);
         let module = modules(seed);
         let f = &module.functions()[0];
         let expected = interpret(f, State::new(), 1_000_000).expect("interp");
-        for machine in [MachineModel::model_1u(), MachineModel::model_4u(), MachineModel::model_8u()] {
+        for machine in [
+            MachineModel::model_1u(),
+            MachineModel::model_4u(),
+            MachineModel::model_8u(),
+        ] {
             for heuristic in Heuristic::ALL {
                 let bb = form_basic_blocks(f);
-                check_scheme(f, &bb, None, &machine, heuristic, false, &expected);
+                check_scheme(f, &bb, None, &machine, heuristic, false, &expected, seed);
                 let slr = form_slrs(f);
-                check_scheme(f, &slr, None, &machine, heuristic, false, &expected);
+                check_scheme(f, &slr, None, &machine, heuristic, false, &expected, seed);
                 let tree = form_treegions(f);
-                check_scheme(f, &tree, None, &machine, heuristic, false, &expected);
+                check_scheme(f, &tree, None, &machine, heuristic, false, &expected, seed);
             }
         }
     }
+}
 
-    #[test]
-    fn tail_duplication_preserves_semantics(seed in 0u64..10_000) {
+#[test]
+fn tail_duplication_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xE0_0002);
+    for _ in 0..24 {
+        let seed = rng.gen_range(0u64..10_000);
         let module = modules(seed);
         let f = &module.functions()[0];
         let expected = interpret(f, State::new(), 1_000_000).expect("interp");
@@ -73,8 +90,8 @@ proptest! {
         // be equivalent, and so must its schedules.
         let sb = form_superblocks(f);
         let transformed = interpret(&sb.function, State::new(), 1_000_000).expect("sb interp");
-        prop_assert_eq!(transformed.ret, expected.ret);
-        prop_assert_eq!(&transformed.state.mem, &expected.state.mem);
+        assert_eq!(transformed.ret, expected.ret, "seed {seed}");
+        assert_eq!(&transformed.state.mem, &expected.state.mem, "seed {seed}");
         check_scheme(
             &sb.function,
             &sb.regions,
@@ -83,15 +100,18 @@ proptest! {
             Heuristic::GlobalWeight,
             false,
             &expected,
+            seed,
         );
 
         // Treegion tail duplication, with dominator parallelism on.
-        for limits in [TailDupLimits::expansion_2_0(), TailDupLimits::expansion_3_0()] {
+        for limits in [
+            TailDupLimits::expansion_2_0(),
+            TailDupLimits::expansion_3_0(),
+        ] {
             let td = form_treegions_td(f, &limits);
-            let transformed =
-                interpret(&td.function, State::new(), 1_000_000).expect("td interp");
-            prop_assert_eq!(transformed.ret, expected.ret);
-            prop_assert_eq!(&transformed.state.mem, &expected.state.mem);
+            let transformed = interpret(&td.function, State::new(), 1_000_000).expect("td interp");
+            assert_eq!(transformed.ret, expected.ret, "seed {seed}");
+            assert_eq!(&transformed.state.mem, &expected.state.mem, "seed {seed}");
             for dompar in [false, true] {
                 check_scheme(
                     &td.function,
@@ -101,13 +121,18 @@ proptest! {
                     Heuristic::GlobalWeight,
                     dompar,
                     &expected,
+                    seed,
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn estimated_time_is_monotone_in_issue_width(seed in 0u64..10_000) {
+#[test]
+fn estimated_time_is_monotone_in_issue_width() {
+    let mut rng = StdRng::seed_from_u64(0xE0_0003);
+    for _ in 0..24 {
+        let seed = rng.gen_range(0u64..10_000);
         let module = modules(seed);
         let f = &module.functions()[0];
         let regions = form_treegions(f);
@@ -133,9 +158,9 @@ proptest! {
                     .estimated_time(&lowered)
                 })
                 .sum();
-            prop_assert!(
+            assert!(
                 time <= last + 1e-6,
-                "width {width} slower: {time} > {last}"
+                "width {width} slower: {time} > {last} (seed {seed})"
             );
             last = time;
         }
