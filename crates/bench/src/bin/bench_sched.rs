@@ -1,0 +1,243 @@
+//! `bench_sched` — machine-readable performance snapshot of the
+//! scheduling pipeline and the evaluation harness.
+//!
+//! Emits `BENCH_sched.json` (hand-rolled JSON; the workspace builds
+//! without crates.io) with:
+//!
+//! * ns/op microbenchmarks for region formation, DDG construction, and
+//!   list scheduling on the compress-like benchmark module;
+//! * end-to-end evaluation-harness wall time (all tables and figures) in
+//!   three configurations: memoization off at `jobs=1` (the pre-cache
+//!   behaviour), memoization on at `jobs=1`, and memoization on at the
+//!   machine's job count.
+//!
+//! ```text
+//! bench_sched [--quick] [--check] [--out PATH]
+//! ```
+//!
+//! `--quick` (or `BENCH_QUICK=1`) runs a reduced suite with fewer
+//! repetitions — the CI smoke mode. `--check` exits non-zero if the
+//! parallel harness run is more than 1.2× slower than the serial one
+//! (parallelism must never cost more than scheduling noise). `--out`
+//! overrides the output path (default `BENCH_sched.json` in the current
+//! directory, i.e. the repository root when run via `cargo run`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use treegion::{lower_region, schedule_region, Ddg, Heuristic, LoweredRegion, ScheduleOptions};
+use treegion_analysis::{Cfg, Liveness};
+use treegion_bench::bench_module;
+use treegion_eval::{fig13, fig6, fig8, table1, table2, table3, table4, Suite};
+use treegion_machine::MachineModel;
+
+struct Config {
+    quick: bool,
+    check: bool,
+    out: String,
+}
+
+fn parse_config() -> Config {
+    let mut cfg = Config {
+        quick: std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1"),
+        check: false,
+        out: "BENCH_sched.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cfg.quick = true,
+            "--check" => cfg.check = true,
+            "--out" => cfg.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!("bench_sched: unknown argument `{other}`");
+                eprintln!("usage: bench_sched [--quick] [--check] [--out PATH]");
+                std::process::exit(1);
+            }
+        }
+    }
+    cfg
+}
+
+/// Best-of-`reps` wall time of `body`, in nanoseconds.
+fn best_of<F: FnMut()>(reps: usize, mut body: F) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        body();
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    best
+}
+
+/// Lowers every treegion of the bench module once (shared input for the
+/// DDG and scheduling microbenches).
+fn lowered_regions(module: &treegion_ir::Module) -> Vec<LoweredRegion> {
+    let mut out = Vec::new();
+    for f in module.functions() {
+        let regions = treegion::form_treegions(f);
+        let cfg = Cfg::new(f);
+        let live = Liveness::new(f, &cfg);
+        for r in regions.regions() {
+            let _ = &cfg;
+            out.push(lower_region(f, r, &live, None));
+        }
+    }
+    out
+}
+
+/// Renders every table/figure the `all` binary prints; returns total
+/// rendered bytes (a cheap checksum that also defeats dead-code
+/// elimination).
+fn run_harness(suite: &Suite) -> usize {
+    let (m4, m8) = (MachineModel::model_4u(), MachineModel::model_8u());
+    let mut bytes = 0usize;
+    for t in [table1(suite), table2(suite)] {
+        bytes += t.render().len();
+    }
+    for m in [&m4, &m8] {
+        bytes += fig6(suite, m).render().len();
+    }
+    for m in [&m4, &m8] {
+        bytes += fig8(suite, m).render().len();
+    }
+    for t in [table3(suite), table4(suite)] {
+        bytes += t.render().len();
+    }
+    for m in [&m4, &m8] {
+        bytes += fig13(suite, m).render().len();
+    }
+    bytes
+}
+
+/// One end-to-end harness run (suite load + every table/figure), in
+/// milliseconds, under the given job count and cache mode.
+fn harness_ms(quick: bool, cached: bool, jobs: usize) -> f64 {
+    treegion_par::set_jobs(jobs);
+    let t0 = Instant::now();
+    let suite = match (quick, cached) {
+        (true, true) => Suite::load_small(2),
+        (true, false) => Suite::load_small_uncached(2),
+        (false, true) => Suite::load(),
+        (false, false) => Suite::load_uncached(),
+    };
+    let bytes = run_harness(&suite);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(bytes > 0);
+    ms
+}
+
+fn main() {
+    let cfg = parse_config();
+    let reps = if cfg.quick { 2 } else { 5 };
+
+    // --- Microbenchmarks (ns per source/lowered op). ---
+    let module = bench_module();
+    let src_ops = module.num_ops() as u128;
+
+    let formation_ns = best_of(reps, || {
+        for f in module.functions() {
+            std::hint::black_box(treegion::form_treegions(f));
+        }
+    });
+    let formation_td_ns = best_of(reps, || {
+        for f in module.functions() {
+            std::hint::black_box(treegion::form_treegions_td(
+                f,
+                &treegion::TailDupLimits::expansion_2_0(),
+            ));
+        }
+    });
+
+    let lowered = lowered_regions(&module);
+    let lowered_ops: u128 = lowered.iter().map(|lr| lr.num_ops() as u128).sum();
+    let m8 = MachineModel::model_8u();
+
+    let ddg_ns = best_of(reps, || {
+        for lr in &lowered {
+            std::hint::black_box(Ddg::build(lr, &m8));
+        }
+    });
+    let opts = ScheduleOptions {
+        heuristic: Heuristic::GlobalWeight,
+        ..Default::default()
+    };
+    let sched_ns = best_of(reps, || {
+        for lr in &lowered {
+            std::hint::black_box(schedule_region(lr, &m8, &opts));
+        }
+    });
+
+    // --- End-to-end harness wall times. ---
+    let jobs_n = treegion_par::max_jobs();
+    // Best-of-k wall times: k >= 2 even in quick mode so the --check
+    // comparison is between best runs, not run-to-run noise.
+    let e2e_reps = if cfg.quick { 2 } else { 3 };
+    let best_ms = |cached: bool, jobs: usize| {
+        (0..e2e_reps)
+            .map(|_| harness_ms(cfg.quick, cached, jobs))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let uncached_jobs1 = best_ms(false, 1);
+    let cached_jobs1 = best_ms(true, 1);
+    let cached_jobsn = best_ms(true, jobs_n);
+    treegion_par::set_jobs(1);
+
+    let cache_speedup = uncached_jobs1 / cached_jobs1;
+    let total_speedup = uncached_jobs1 / cached_jobsn;
+
+    // --- Emit JSON. ---
+    let per = |total_ns: u128, ops: u128| total_ns as f64 / ops.max(1) as f64;
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema\": \"treegion-bench-sched/v1\",");
+    let _ = writeln!(
+        j,
+        "  \"mode\": \"{}\",",
+        if cfg.quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(j, "  \"jobs_available\": {jobs_n},");
+    let _ = writeln!(j, "  \"ns_per_op\": {{");
+    let _ = writeln!(
+        j,
+        "    \"formation_treegion\": {:.2},",
+        per(formation_ns, src_ops)
+    );
+    let _ = writeln!(
+        j,
+        "    \"formation_treegion_td2\": {:.2},",
+        per(formation_td_ns, src_ops)
+    );
+    let _ = writeln!(j, "    \"ddg_build\": {:.2},", per(ddg_ns, lowered_ops));
+    let _ = writeln!(
+        j,
+        "    \"schedule_region\": {:.2}",
+        per(sched_ns, lowered_ops)
+    );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"harness_ms\": {{");
+    let _ = writeln!(j, "    \"uncached_jobs1\": {uncached_jobs1:.1},");
+    let _ = writeln!(j, "    \"cached_jobs1\": {cached_jobs1:.1},");
+    let _ = writeln!(j, "    \"cached_jobsN\": {cached_jobsn:.1}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"speedup_cache_only_jobs1\": {cache_speedup:.2},");
+    let _ = writeln!(j, "  \"speedup_total\": {total_speedup:.2}");
+    let _ = writeln!(j, "}}");
+
+    std::fs::write(&cfg.out, &j).expect("write BENCH_sched.json");
+    eprintln!("bench_sched: wrote {}", cfg.out);
+    eprint!("{j}");
+
+    if cfg.check {
+        let limit = 1.2 * cached_jobs1;
+        if cached_jobsn > limit {
+            eprintln!(
+                "bench_sched: FAIL: jobs={jobs_n} harness took {cached_jobsn:.1} ms, \
+                 more than 1.2x the jobs=1 time ({cached_jobs1:.1} ms)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_sched: check ok: jobs={jobs_n} {cached_jobsn:.1} ms <= 1.2 x {cached_jobs1:.1} ms"
+        );
+    }
+}

@@ -101,6 +101,11 @@ pub struct Options {
     /// `--fault-seed N`: inject deterministic faults (testing the
     /// degradation chain end to end).
     pub fault_seed: Option<u64>,
+    /// `--jobs N`: worker threads for region-parallel scheduling.
+    /// `None` defers to the `TGC_JOBS` environment variable and then to
+    /// the machine's available parallelism. `--jobs 1` is the strictly
+    /// serial reproducibility mode (output is byte-identical either way).
+    pub jobs: Option<usize>,
 }
 
 /// An argument error with a user-facing message.
@@ -133,6 +138,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
         verify: VerifyMode::Strict,
         fallback: FallbackPolicy::Bb,
         fault_seed: None,
+        jobs: None,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -175,6 +181,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
                     v.parse()
                         .map_err(|_| ArgError(format!("bad fault seed `{v}`")))?,
                 );
+            }
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--jobs needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad job count `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--jobs must be at least 1".into()));
+                }
+                opts.jobs = Some(n);
             }
             "--fuel" => {
                 let v = it
@@ -260,6 +278,20 @@ mod tests {
         assert!(parse_args(&v(&["schedule", "--verify", "loose"])).is_err());
         assert!(parse_args(&v(&["schedule", "--fallback", "hyperblock"])).is_err());
         assert!(parse_args(&v(&["schedule", "--fault-seed", "nope"])).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_rejects_zero() {
+        assert_eq!(parse_args(&v(&["schedule", "x.tir"])).unwrap().jobs, None);
+        assert_eq!(
+            parse_args(&v(&["schedule", "x.tir", "--jobs", "8"]))
+                .unwrap()
+                .jobs,
+            Some(8)
+        );
+        assert!(parse_args(&v(&["schedule", "--jobs", "0"])).is_err());
+        assert!(parse_args(&v(&["schedule", "--jobs", "many"])).is_err());
+        assert!(parse_args(&v(&["schedule", "--jobs"])).is_err());
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! tgc print    FILE.tir                       parse, verify, pretty-print
 //! tgc regions  FILE.tir [--kind K]            show the region partition
 //! tgc schedule FILE.tir [--kind K] [--machine M] [--heuristic H] [--dompar]
-//!              [--verify V] [--fallback F] [--fault-seed N]
+//!              [--verify V] [--fallback F] [--fault-seed N] [--jobs N]
 //! tgc run      FILE.tir [--kind K] [--machine M] [--heuristic H] [--fuel N]
-//!              [--verify V] [--fallback F] [--fault-seed N]
+//!              [--verify V] [--fallback F] [--fault-seed N] [--jobs N]
 //! tgc gen      BENCH                          emit a synthetic benchmark
 //! tgc shape    NAME                           emit a paper figure shape
 //! ```
@@ -22,6 +22,12 @@
 //! and `--fault-seed N` injects deterministic scheduler faults so the
 //! chain can be exercised end to end. Exit codes: `0` clean, `2` the
 //! pipeline degraded but produced a correct result, `1` hard failure.
+//!
+//! Parallelism: `--jobs N` sets the worker-thread count for
+//! region-parallel scheduling (default: the `TGC_JOBS` environment
+//! variable, then the machine's available parallelism). `--jobs 1` is
+//! the strictly serial reproducibility mode; any `N` produces
+//! byte-identical output.
 
 mod args;
 
@@ -68,9 +74,14 @@ USAGE:
   tgc schedule FILE.tir [--kind K] [--machine 1u|4u|8u|WIDTH]
                [--heuristic dep-height|exit-count|global-weight|weighted-count]
                [--dompar] [--verify off|warn|strict] [--fallback none|slr|bb]
-               [--fault-seed N]
+               [--fault-seed N] [--jobs N]
   tgc run      FILE.tir [--kind K] [--machine M] [--heuristic H] [--fuel N]
-               [--verify V] [--fallback F] [--fault-seed N]
+               [--verify V] [--fallback F] [--fault-seed N] [--jobs N]
+
+PARALLELISM:
+  --jobs N   worker threads for region-parallel scheduling (default:
+             TGC_JOBS env var, then available hardware parallelism;
+             --jobs 1 = strictly serial; output is identical at any N)
   tgc gen      compress|gcc|go|ijpeg|li|m88ksim|perl|vortex
   tgc shape    fig1|biased|wide|linearized
 
@@ -82,6 +93,9 @@ EXIT CODES:
 
 fn run(argv: &[String]) -> Result<Vec<DegradationEvent>, String> {
     let opts = parse_args(argv).map_err(|e| e.to_string())?;
+    if let Some(jobs) = opts.jobs {
+        treegion_par::set_jobs(jobs);
+    }
     match opts.command.as_str() {
         "print" => cmd_print(&opts).map(|()| Vec::new()),
         "regions" => cmd_regions(&opts).map(|()| Vec::new()),

@@ -22,9 +22,55 @@
 //!   slots push these edges' sources later, which pushes the exits later.
 
 use crate::lower::LoweredRegion;
-use std::collections::HashMap;
 use treegion_ir::{Opcode, Reg};
 use treegion_machine::MachineModel;
+
+/// Dense `Reg -> defining lop` map: one `Vec<u32>` per register class,
+/// indexed by register number, with `u32::MAX` as the "no def" sentinel.
+/// Replaces the seed's `HashMap<Reg, usize>` on the DDG hot path —
+/// renaming mints small dense register indices, so a direct-indexed table
+/// is both smaller and an order of magnitude faster to probe.
+struct DefMap {
+    tables: [Vec<u32>; 3],
+}
+
+const NO_DEF: u32 = u32::MAX;
+
+impl DefMap {
+    fn build(lr: &LoweredRegion) -> Self {
+        // Size each class table from the maximum defined index.
+        let mut max_idx = [0usize; 3];
+        let mut any = [false; 3];
+        for l in &lr.lops {
+            for d in &l.op.defs {
+                let c = d.class().index();
+                max_idx[c] = max_idx[c].max(d.index() as usize);
+                any[c] = true;
+            }
+        }
+        let mut tables: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for c in 0..3 {
+            if any[c] {
+                tables[c] = vec![NO_DEF; max_idx[c] + 1];
+            }
+        }
+        let mut map = DefMap { tables };
+        for (i, l) in lr.lops.iter().enumerate() {
+            for d in &l.op.defs {
+                map.tables[d.class().index()][d.index() as usize] = i as u32;
+            }
+        }
+        map
+    }
+
+    #[inline]
+    fn get(&self, r: &Reg) -> Option<usize> {
+        match self.tables[r.class().index()].get(r.index() as usize) {
+            Some(&v) if v != NO_DEF => Some(v as usize),
+            _ => None,
+        }
+    }
+}
 
 /// Why an edge exists (useful for debugging and tests).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -66,18 +112,17 @@ impl Ddg {
     /// Builds the DDG for `lr` under machine model `m`.
     pub fn build(lr: &LoweredRegion, m: &MachineModel) -> Self {
         let n = lr.lops.len();
-        let mut edges: Vec<Dep> = Vec::new();
+        // Pre-size from op counts: in practice regions average ~2 edges
+        // per op (one data edge per use plus memory/guard/retire edges);
+        // reserving up front avoids repeated growth in the hot loop.
+        let per_op_uses: usize = lr.lops.iter().map(|l| l.op.uses.len()).sum();
+        let mut edges: Vec<Dep> = Vec::with_capacity(per_op_uses + 2 * n);
 
         // --- Data edges: single-assignment defs -> uses. ---
-        let mut def_of: HashMap<Reg, usize> = HashMap::new();
-        for (i, l) in lr.lops.iter().enumerate() {
-            for d in &l.op.defs {
-                def_of.insert(*d, i);
-            }
-        }
+        let def_of = DefMap::build(lr);
         for (i, l) in lr.lops.iter().enumerate() {
             for u in &l.op.uses {
-                if let Some(&p) = def_of.get(u) {
+                if let Some(p) = def_of.get(u) {
                     if p != i {
                         edges.push(Dep {
                             from: p,
@@ -90,7 +135,7 @@ impl Ddg {
             }
             // Guard availability (covers RET, whose guard is not a use).
             if let Some(g) = l.guard {
-                if let Some(&p) = def_of.get(&g) {
+                if let Some(p) = def_of.get(&g) {
                     let already = l.op.uses.contains(&g);
                     if !already && p != i {
                         edges.push(Dep {
@@ -117,10 +162,26 @@ impl Ddg {
         for (i, l) in lr.lops.iter().enumerate() {
             by_node[l.home].push(i);
         }
+        // Child counts let the walk *move* a parent's MemState into its
+        // last (often only) child instead of cloning the `loads` vec for
+        // every node — the per-node clone the seed paid on this hot path.
+        let mut children_left: Vec<usize> = vec![0; lr.nodes.len()];
+        for node in &lr.nodes {
+            if let Some(p) = node.parent {
+                children_left[p] += 1;
+            }
+        }
         let lat = m.mem_dep_latency();
         for node in 0..lr.nodes.len() {
             let mut st = match lr.nodes[node].parent {
-                Some(p) => node_state[p].clone(),
+                Some(p) => {
+                    children_left[p] -= 1;
+                    if children_left[p] == 0 {
+                        std::mem::take(&mut node_state[p])
+                    } else {
+                        node_state[p].clone()
+                    }
+                }
                 None => MemState::default(),
             };
             for &i in &by_node[node] {
@@ -168,7 +229,7 @@ impl Ddg {
             // Values restored by the exit's copies must be ready by the
             // end of the branch cycle.
             for (_, renamed) in &exit.copies {
-                if let Some(&p) = def_of.get(renamed) {
+                if let Some(p) = def_of.get(renamed) {
                     let l = m.latency(lr.lops[p].op.opcode);
                     edges.push(Dep {
                         from: p,
@@ -199,8 +260,16 @@ impl Ddg {
         edges.sort_by_key(|e| (e.from, e.to, std::cmp::Reverse(e.latency)));
         edges.dedup_by_key(|e| (e.from, e.to));
 
-        let mut succs = vec![Vec::new(); n];
-        let mut preds = vec![Vec::new(); n];
+        // Build adjacency with exact pre-sizing (count degrees first, then
+        // fill) so no per-op vec reallocates.
+        let mut succ_deg = vec![0usize; n];
+        let mut pred_deg = vec![0usize; n];
+        for e in &edges {
+            succ_deg[e.from] += 1;
+            pred_deg[e.to] += 1;
+        }
+        let mut succs: Vec<Vec<usize>> = succ_deg.iter().map(|&d| Vec::with_capacity(d)).collect();
+        let mut preds: Vec<Vec<usize>> = pred_deg.iter().map(|&d| Vec::with_capacity(d)).collect();
         for (k, e) in edges.iter().enumerate() {
             succs[e.from].push(k);
             preds[e.to].push(k);

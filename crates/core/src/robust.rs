@@ -143,24 +143,54 @@ pub fn schedule_function_robust(
 ) -> Result<RobustResult, PipelineError> {
     let cfg = Cfg::new(f);
     let live = Liveness::new(f, &cfg);
-    let mut injector = opts.fault.as_ref().map(FaultInjector::new);
     let mut result = RobustResult {
         outcomes: Vec::new(),
         events: Vec::new(),
         kind: set.kind(),
     };
-    for (idx, region) in set.regions().iter().enumerate() {
-        schedule_one(
-            f,
-            idx,
-            region,
-            &live,
-            origin_map,
-            m,
-            opts,
-            injector.as_mut(),
-            &mut result,
-        )?;
+    if opts.fault.is_some() {
+        // Fault campaigns draw from one RNG stream *across* regions; the
+        // stream's region order is part of the campaign's determinism
+        // contract, so the faulted path stays strictly serial.
+        let mut injector = opts.fault.as_ref().map(FaultInjector::new);
+        for (idx, region) in set.regions().iter().enumerate() {
+            let run = schedule_one(
+                f,
+                idx,
+                region,
+                &live,
+                origin_map,
+                m,
+                opts,
+                injector.as_mut(),
+            )?;
+            result.outcomes.extend(run.outcomes);
+            result.events.extend(run.events);
+        }
+        return Ok(result);
+    }
+    // Clean path: regions are independent, so fan out. Results are merged
+    // back in region order, which keeps outcomes/events byte-identical to
+    // the serial path at any job count; on error, the *first* failing
+    // region's error is returned, exactly as the serial loop would.
+    let regions = set.regions();
+    let runs = treegion_par::par_map(regions, |region| {
+        // Index recovered below; par_map preserves order.
+        schedule_one(f, usize::MAX, region, &live, origin_map, m, opts, None)
+    });
+    for (idx, run) in runs.into_iter().enumerate() {
+        let mut run = run.map_err(|mut e| {
+            e.region_index = idx;
+            e
+        })?;
+        for o in &mut run.outcomes {
+            o.region_index = idx;
+        }
+        for ev in &mut run.events {
+            ev.region_index = idx;
+        }
+        result.outcomes.extend(run.outcomes);
+        result.events.extend(run.events);
     }
     Ok(result)
 }
@@ -173,6 +203,14 @@ struct Attempt {
     tolerated: Option<ScheduleError>,
 }
 
+/// Everything one region contributed: its accepted outcome(s) plus any
+/// degradation events. Returned (rather than pushed into shared state) so
+/// the clean path can schedule regions in parallel and merge in order.
+struct RegionRun {
+    outcomes: Vec<RegionOutcome>,
+    events: Vec<DegradationEvent>,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn schedule_one(
     f: &Function,
@@ -183,12 +221,15 @@ fn schedule_one(
     m: &MachineModel,
     opts: &RobustOptions,
     injector: Option<&mut FaultInjector>,
-    result: &mut RobustResult,
-) -> Result<(), PipelineError> {
+) -> Result<RegionRun, PipelineError> {
+    let mut run = RegionRun {
+        outcomes: Vec::new(),
+        events: Vec::new(),
+    };
     match attempt(f, region, live, origin_map, m, opts, injector) {
         Ok(att) => {
             if let Some(err) = att.tolerated {
-                result.events.push(DegradationEvent {
+                run.events.push(DegradationEvent {
                     function: f.name().to_string(),
                     region_index: idx,
                     region_root: region.root(),
@@ -198,14 +239,14 @@ fn schedule_one(
                     recovered: false,
                 });
             }
-            result.outcomes.push(RegionOutcome {
+            run.outcomes.push(RegionOutcome {
                 region_index: idx,
                 region: region.clone(),
                 lowered: att.lowered,
                 schedule: att.schedule,
                 level: FallbackLevel::Primary,
             });
-            Ok(())
+            Ok(run)
         }
         Err(cause) => {
             let mut attempts = vec![(FallbackLevel::Primary, cause.clone())];
@@ -217,7 +258,7 @@ fn schedule_one(
                 };
                 match schedule_pieces(f, &pieces, live, origin_map, m, opts) {
                     Ok(outs) => {
-                        result.events.push(DegradationEvent {
+                        run.events.push(DegradationEvent {
                             function: f.name().to_string(),
                             region_index: idx,
                             region_root: region.root(),
@@ -227,7 +268,7 @@ fn schedule_one(
                             recovered: true,
                         });
                         for (piece, att) in pieces.into_iter().zip(outs) {
-                            result.outcomes.push(RegionOutcome {
+                            run.outcomes.push(RegionOutcome {
                                 region_index: idx,
                                 region: piece,
                                 lowered: att.lowered,
@@ -235,7 +276,7 @@ fn schedule_one(
                                 level,
                             });
                         }
-                        return Ok(());
+                        return Ok(run);
                     }
                     Err(failure) => attempts.push((level, failure)),
                 }

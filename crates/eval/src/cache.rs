@@ -1,0 +1,415 @@
+//! Formation / lowering memoization for the evaluation engine.
+//!
+//! The paper's evaluation sweeps 5 region formers × 4 heuristics ×
+//! several machine models over the whole suite. Region formation,
+//! liveness, and lowering depend only on `(module, RegionConfig)` — not
+//! on the heuristic or the machine. The seed harness recomputed all of
+//! them for every table cell; this cache computes each layer once and
+//! shares it:
+//!
+//! * [`FormationCache::formation`] — `(module, config)` →
+//!   [`ModuleFormation`]: per-function [`FormedFunction`] + `Cfg` +
+//!   `Liveness` + every region's [`LoweredRegion`].
+//! * [`FormationCache::time`] — `(module, config, heuristic, dompar,
+//!   machine)` → the scalar `program_time` of that cell (figures share
+//!   cells: fig6's treegion column is fig8's dep-height column).
+//!
+//! The handle is `Arc`-based: cloning a [`FormationCache`] shares the
+//! underlying store, so the `Suite` can hand one instance to every
+//! table/figure generator (and to parallel workers) without copying.
+//!
+//! ## Why there is no DDG layer
+//!
+//! A third layer memoizing every region's dependence graph per machine
+//! was built and measured, and then removed: retaining all DDGs grew the
+//! harness's peak RSS from ~11 MB to ~440 MB, and first-touch page
+//! faults on that retained memory cost more wall time (several seconds
+//! of kernel time on the evaluation VM) than the DDG rebuilds it saved —
+//! only Figure 8 ever re-reads a DDG across cells, and rebuilding is
+//! cheap next to scheduling. See DESIGN.md §8 for the measurements.
+//!
+//! ## Invalidation
+//!
+//! Entries are keyed by a module fingerprint (name, block count, op
+//! count) — modules are immutable for the lifetime of a run, so there is
+//! no invalidation protocol; drop the cache (or call
+//! [`FormationCache::clear`]) to release everything. Callers that mutate
+//! a module (e.g. profile perturbation) must treat the mutated copy as a
+//! *new* module — `perturb_profile` returns a fresh `Function`, so the
+//! stats hold. A disabled cache ([`FormationCache::disabled`]) computes
+//! every request from scratch, which the determinism tests use to prove
+//! cache-on and cache-off runs are byte-identical.
+
+use crate::pipeline::form_function;
+use crate::{EvalConfig, RegionConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use treegion::{lower_region, Heuristic, LoweredRegion};
+use treegion_analysis::{Cfg, Liveness};
+use treegion_ir::Module;
+use treegion_machine::MachineModel;
+
+/// A module fingerprint used as the cache key. Modules are immutable
+/// during an evaluation run; the fingerprint (name + structural sizes)
+/// distinguishes every module the workloads generator produces.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct ModuleKey {
+    name: String,
+    blocks: usize,
+    ops: usize,
+}
+
+impl ModuleKey {
+    fn of(m: &Module) -> Self {
+        ModuleKey {
+            name: m.name().to_string(),
+            blocks: m.num_blocks(),
+            ops: m.num_ops(),
+        }
+    }
+}
+
+/// Hashable mirror of [`RegionConfig`] (`TailDupLimits` holds an `f64`,
+/// so the config itself cannot derive `Eq`/`Hash`; the limit is keyed by
+/// its bit pattern).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum ConfigKey {
+    Bb,
+    Slr,
+    Sb,
+    Tree,
+    TreeTd {
+        expansion_bits: u64,
+        path_limit: usize,
+        merge_limit: usize,
+    },
+}
+
+impl ConfigKey {
+    fn of(c: &RegionConfig) -> Self {
+        match c {
+            RegionConfig::BasicBlock => ConfigKey::Bb,
+            RegionConfig::Slr => ConfigKey::Slr,
+            RegionConfig::Superblock => ConfigKey::Sb,
+            RegionConfig::Treegion => ConfigKey::Tree,
+            RegionConfig::TreegionTd(l) => ConfigKey::TreeTd {
+                expansion_bits: l.code_expansion.to_bits(),
+                path_limit: l.path_limit,
+                merge_limit: l.merge_limit,
+            },
+        }
+    }
+}
+
+/// Machine identity for the DDG/time caches: the `Debug` rendering covers
+/// every field of [`MachineModel`], so two machines with the same key are
+/// behaviourally identical.
+fn machine_key(m: &MachineModel) -> String {
+    format!("{m:?}")
+}
+
+/// One function's formation artifacts: the (possibly transformed)
+/// function with its regions, the analyses lowering needs, and every
+/// region's lowering.
+#[derive(Clone, Debug)]
+pub struct FunctionFormation {
+    /// Formation result (function, regions, origin map, original op count).
+    pub formed: crate::pipeline::FormedFunction,
+    /// CFG of the formed function.
+    pub cfg: Cfg,
+    /// Liveness over that CFG.
+    pub live: Liveness,
+    /// Lowered regions, parallel to `formed.regions.regions()`.
+    pub lowered: Vec<LoweredRegion>,
+}
+
+/// A whole module formed under one [`RegionConfig`].
+#[derive(Clone, Debug)]
+pub struct ModuleFormation {
+    /// Per-function artifacts, in module function order.
+    pub functions: Vec<FunctionFormation>,
+}
+
+impl ModuleFormation {
+    fn compute(module: &Module, config: &RegionConfig) -> Self {
+        let functions = treegion_par::par_map(module.functions(), |f| {
+            let formed = form_function(f, config);
+            let cfg = Cfg::new(&formed.function);
+            let live = Liveness::new(&formed.function, &cfg);
+            let lowered = formed
+                .regions
+                .regions()
+                .iter()
+                .map(|r| lower_region(&formed.function, r, &live, Some(&formed.origin)))
+                .collect();
+            FunctionFormation {
+                formed,
+                cfg,
+                live,
+                lowered,
+            }
+        });
+        ModuleFormation { functions }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Counters {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Hit/miss accounting for one cache layer.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LayerStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to compute (for the formation layer, each miss
+    /// is exactly one region formation + liveness + lowering pass).
+    pub misses: u64,
+}
+
+/// Aggregated statistics over the cache layers.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Formation/liveness/lowering layer.
+    pub formation: LayerStats,
+    /// Per-cell `program_time` layer.
+    pub time: LayerStats,
+}
+
+/// Key of the scalar `program_time` layer: module and region-formation
+/// identity plus heuristic, dominator-parallelism flag, and a machine
+/// fingerprint (its `Debug` rendering).
+type TimeKey = (ModuleKey, ConfigKey, Heuristic, bool, String);
+
+struct Inner {
+    enabled: bool,
+    formations: Mutex<HashMap<(ModuleKey, ConfigKey), Arc<ModuleFormation>>>,
+    times: Mutex<HashMap<TimeKey, f64>>,
+    formation_counters: Counters,
+    time_counters: Counters,
+}
+
+/// The memoization handle threaded through `program_time` /
+/// `region_stats` and held by the `Suite`. Cloning shares the store.
+#[derive(Clone)]
+pub struct FormationCache {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for FormationCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FormationCache")
+            .field("enabled", &self.inner.enabled)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for FormationCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FormationCache {
+    /// An empty, enabled cache.
+    pub fn new() -> Self {
+        Self::with_enabled(true)
+    }
+
+    /// A cache that never stores anything: every request recomputes.
+    /// Results are byte-identical to the enabled cache; used as the
+    /// cache-off reference in the determinism tests.
+    pub fn disabled() -> Self {
+        Self::with_enabled(false)
+    }
+
+    fn with_enabled(enabled: bool) -> Self {
+        FormationCache {
+            inner: Arc::new(Inner {
+                enabled,
+                formations: Mutex::new(HashMap::new()),
+                times: Mutex::new(HashMap::new()),
+                formation_counters: Counters::default(),
+                time_counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// `true` if this handle stores results.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// The formation artifacts of `module` under `config`, computed at
+    /// most once per key while the cache is enabled.
+    pub fn formation(&self, module: &Module, config: &RegionConfig) -> Arc<ModuleFormation> {
+        if !self.inner.enabled {
+            self.inner.formation_counters.miss();
+            return Arc::new(ModuleFormation::compute(module, config));
+        }
+        let key = (ModuleKey::of(module), ConfigKey::of(config));
+        if let Some(hit) = self.inner.formations.lock().unwrap().get(&key) {
+            self.inner.formation_counters.hit();
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock so misses on distinct keys proceed in
+        // parallel; on a race the first insertion wins (both computations
+        // are deterministic and identical).
+        self.inner.formation_counters.miss();
+        let computed = Arc::new(ModuleFormation::compute(module, config));
+        Arc::clone(
+            self.inner
+                .formations
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert(computed),
+        )
+    }
+
+    /// Memoizes the scalar `program_time` of one `(module, config,
+    /// machine)` cell: `compute` runs on a miss (or always, when the
+    /// cache is disabled).
+    pub fn time(
+        &self,
+        module: &Module,
+        config: &EvalConfig,
+        machine: &MachineModel,
+        compute: impl FnOnce() -> f64,
+    ) -> f64 {
+        if !self.inner.enabled {
+            self.inner.time_counters.miss();
+            return compute();
+        }
+        let key = (
+            ModuleKey::of(module),
+            ConfigKey::of(&config.region),
+            config.heuristic,
+            config.dominator_parallelism,
+            machine_key(machine),
+        );
+        if let Some(&hit) = self.inner.times.lock().unwrap().get(&key) {
+            self.inner.time_counters.hit();
+            return hit;
+        }
+        self.inner.time_counters.miss();
+        let v = compute();
+        *self.inner.times.lock().unwrap().entry(key).or_insert(v)
+    }
+
+    /// Hit/miss statistics across all layers.
+    pub fn stats(&self) -> CacheStats {
+        let layer = |c: &Counters| LayerStats {
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+        };
+        CacheStats {
+            formation: layer(&self.inner.formation_counters),
+            time: layer(&self.inner.time_counters),
+        }
+    }
+
+    /// Drops every stored entry (statistics are preserved).
+    pub fn clear(&self) {
+        self.inner.formations.lock().unwrap().clear();
+        self.inner.times.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treegion_workloads::{generate, BenchmarkSpec};
+
+    #[test]
+    fn formation_is_computed_once_per_key() {
+        let m = generate(&BenchmarkSpec::tiny(61));
+        let cache = FormationCache::new();
+        let a = cache.formation(&m, &RegionConfig::Treegion);
+        let b = cache.formation(&m, &RegionConfig::Treegion);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!(s.formation.misses, 1);
+        assert_eq!(s.formation.hits, 1);
+        // A different config is a different key.
+        let _ = cache.formation(&m, &RegionConfig::Slr);
+        assert_eq!(cache.stats().formation.misses, 2);
+    }
+
+    #[test]
+    fn disabled_cache_always_recomputes() {
+        let m = generate(&BenchmarkSpec::tiny(67));
+        let cache = FormationCache::disabled();
+        let a = cache.formation(&m, &RegionConfig::Treegion);
+        let b = cache.formation(&m, &RegionConfig::Treegion);
+        assert!(!Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!(s.formation.misses, 2);
+        assert_eq!(s.formation.hits, 0);
+    }
+
+    #[test]
+    fn time_layer_distinguishes_machines() {
+        let m = generate(&BenchmarkSpec::tiny(71));
+        let cfg = EvalConfig::new(RegionConfig::Treegion, Heuristic::GlobalWeight);
+        let cache = FormationCache::new();
+        let a = cache.time(&m, &cfg, &MachineModel::model_4u(), || 4.0);
+        let b = cache.time(&m, &cfg, &MachineModel::model_8u(), || 8.0);
+        assert_eq!((a, b), (4.0, 8.0));
+        assert_eq!(cache.stats().time.misses, 2);
+        assert_eq!(cache.stats().time.hits, 0);
+    }
+
+    #[test]
+    fn time_layer_memoizes_cells() {
+        let m = generate(&BenchmarkSpec::tiny(73));
+        let cfg = EvalConfig::new(RegionConfig::Treegion, Heuristic::GlobalWeight);
+        let m4 = MachineModel::model_4u();
+        let cache = FormationCache::new();
+        let mut calls = 0usize;
+        let a = cache.time(&m, &cfg, &m4, || {
+            calls += 1;
+            42.0
+        });
+        let b = cache.time(&m, &cfg, &m4, || {
+            calls += 1;
+            99.0 // must not be observed
+        });
+        assert_eq!((a, b, calls), (42.0, 42.0, 1));
+    }
+
+    #[test]
+    fn clear_preserves_statistics() {
+        let m = generate(&BenchmarkSpec::tiny(79));
+        let cache = FormationCache::new();
+        let _ = cache.formation(&m, &RegionConfig::BasicBlock);
+        cache.clear();
+        let _ = cache.formation(&m, &RegionConfig::BasicBlock);
+        let s = cache.stats();
+        assert_eq!(s.formation.misses, 2);
+    }
+
+    #[test]
+    fn shared_handles_share_the_store() {
+        let m = generate(&BenchmarkSpec::tiny(83));
+        let cache = FormationCache::new();
+        let clone = cache.clone();
+        let a = cache.formation(&m, &RegionConfig::Treegion);
+        let b = clone.formation(&m, &RegionConfig::Treegion);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(clone.stats().formation.hits, 1);
+    }
+}

@@ -1,9 +1,10 @@
 //! Experiment harness: regenerates every table and figure of the paper's
 //! evaluation (see DESIGN.md's experiment index).
 
-use crate::pipeline::{baseline_time, program_time};
+use crate::cache::{CacheStats, FormationCache};
+use crate::pipeline::{baseline_time_cached, program_time_cached};
 use crate::report::{f2, f3, Table};
-use crate::stats::region_stats;
+use crate::stats::{region_stats_cached, RegionStats};
 use crate::{EvalConfig, RegionConfig};
 use treegion::{Heuristic, TailDupLimits};
 use treegion_ir::Module;
@@ -11,31 +12,77 @@ use treegion_machine::MachineModel;
 use treegion_workloads::generate_suite;
 
 /// The generated benchmark suite plus cached 1U basic-block baselines.
+///
+/// The suite owns a [`FormationCache`] shared by every table/figure
+/// generator, so formation, lowering, dependence graphs, and repeated
+/// `program_time` cells are each computed once across the whole
+/// evaluation run.
 #[derive(Clone, Debug)]
 pub struct Suite {
     /// One module per SPECint95-style benchmark.
     pub modules: Vec<Module>,
     /// Cached baseline time (1U, basic blocks) per module.
     pub baselines: Vec<f64>,
+    cache: FormationCache,
 }
 
 impl Suite {
     /// Generates the eight benchmarks and their baselines.
     pub fn load() -> Self {
-        let modules = generate_suite();
-        let baselines = modules.iter().map(baseline_time).collect();
-        Suite { modules, baselines }
+        Self::from_modules(generate_suite(), FormationCache::new())
     }
 
     /// A reduced suite (first `n` benchmarks) for quick tests.
     pub fn load_small(n: usize) -> Self {
-        let modules: Vec<Module> = generate_suite().into_iter().take(n).collect();
-        let baselines = modules.iter().map(baseline_time).collect();
-        Suite { modules, baselines }
+        Self::from_modules(
+            generate_suite().into_iter().take(n).collect(),
+            FormationCache::new(),
+        )
+    }
+
+    /// [`Suite::load_small`] with memoization off: every table cell is
+    /// recomputed from scratch. The determinism tests render the same
+    /// tables through a cached and an uncached suite and require the
+    /// output to be byte-identical.
+    pub fn load_small_uncached(n: usize) -> Self {
+        Self::from_modules(
+            generate_suite().into_iter().take(n).collect(),
+            FormationCache::disabled(),
+        )
+    }
+
+    /// [`Suite::load`] with memoization off — the pre-cache behaviour,
+    /// kept so the benchmark harness can measure the cache's effect on
+    /// the full evaluation run.
+    pub fn load_uncached() -> Self {
+        Self::from_modules(generate_suite(), FormationCache::disabled())
+    }
+
+    fn from_modules(modules: Vec<Module>, cache: FormationCache) -> Self {
+        let baselines = treegion_par::par_map(&modules, |m| baseline_time_cached(m, &cache));
+        Suite {
+            modules,
+            baselines,
+            cache,
+        }
+    }
+
+    /// The memoization handle shared by all generators.
+    pub fn cache(&self) -> &FormationCache {
+        &self.cache
+    }
+
+    /// Hit/miss statistics of the suite's cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     fn speedup(&self, idx: usize, config: &EvalConfig, machine: &MachineModel) -> f64 {
-        self.baselines[idx] / program_time(&self.modules[idx], config, machine)
+        self.baselines[idx] / program_time_cached(&self.modules[idx], config, machine, &self.cache)
+    }
+
+    fn stats(&self, idx: usize, config: &RegionConfig) -> RegionStats {
+        region_stats_cached(&self.modules[idx], config, &self.cache)
     }
 }
 
@@ -55,8 +102,9 @@ pub fn table2(suite: &Suite) -> Table {
 
 fn stats_table(suite: &Suite, title: &str, config: &RegionConfig) -> Table {
     let mut t = Table::new(title, vec!["program", "avg #bb", "max #bb", "avg #ops"]);
-    for m in &suite.modules {
-        let s = region_stats(m, config);
+    let indices: Vec<usize> = (0..suite.modules.len()).collect();
+    let stats = treegion_par::par_map(&indices, |&i| suite.stats(i, config));
+    for (m, s) in suite.modules.iter().zip(stats) {
         t.row(vec![
             m.name().into(),
             f2(s.avg_blocks),
@@ -79,11 +127,15 @@ pub fn table3(suite: &Suite) -> Table {
         RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()),
         RegionConfig::TreegionTd(TailDupLimits::expansion_3_0()),
     ];
+    let cells: Vec<(usize, usize)> = (0..suite.modules.len())
+        .flat_map(|i| (0..configs.len()).map(move |k| (i, k)))
+        .collect();
+    let stats = treegion_par::par_map(&cells, |&(i, k)| suite.stats(i, &configs[k]));
     let mut sums = [0.0f64; 3];
-    for m in &suite.modules {
+    for (i, m) in suite.modules.iter().enumerate() {
         let mut cells = vec![m.name().to_string()];
-        for (k, c) in configs.iter().enumerate() {
-            let s = region_stats(m, c);
+        for k in 0..configs.len() {
+            let s = &stats[i * configs.len() + k];
             sums[k] += s.code_expansion;
             cells.push(f2(s.code_expansion));
         }
@@ -114,9 +166,14 @@ pub fn table4(suite: &Suite) -> Table {
             "avg #ops tree(2.0)",
         ],
     );
-    for m in &suite.modules {
-        let sb = region_stats(m, &RegionConfig::Superblock);
-        let td = region_stats(m, &RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()));
+    let indices: Vec<usize> = (0..suite.modules.len()).collect();
+    let stats = treegion_par::par_map(&indices, |&i| {
+        (
+            suite.stats(i, &RegionConfig::Superblock),
+            suite.stats(i, &RegionConfig::TreegionTd(TailDupLimits::expansion_2_0())),
+        )
+    });
+    for (m, (sb, td)) in suite.modules.iter().zip(stats) {
         t.row(vec![
             m.name().into(),
             sb.num_regions.to_string(),
@@ -164,17 +221,11 @@ pub fn fig8(suite: &Suite, machine: &MachineModel) -> Table {
             "weighted-count",
         ],
     );
-    let mut sums = vec![0.0f64; Heuristic::ALL.len()];
-    for (i, m) in suite.modules.iter().enumerate() {
-        let mut cells = vec![m.name().to_string()];
-        for (k, h) in Heuristic::ALL.into_iter().enumerate() {
-            let s = suite.speedup(i, &EvalConfig::new(RegionConfig::Treegion, h), machine);
-            sums[k] += s;
-            cells.push(f3(s));
-        }
-        t.row(cells);
-    }
-    average_row(&mut t, &sums, suite.modules.len());
+    let configs: Vec<EvalConfig> = Heuristic::ALL
+        .into_iter()
+        .map(|h| EvalConfig::new(RegionConfig::Treegion, h))
+        .collect();
+    fill_speedup_rows(suite, machine, &mut t, &configs);
     t
 }
 
@@ -201,15 +252,30 @@ fn speedup_rows(
     configs: &[RegionConfig],
     heuristic: Heuristic,
 ) {
+    let configs: Vec<EvalConfig> = configs
+        .iter()
+        .map(|c| EvalConfig::new(*c, heuristic))
+        .collect();
+    fill_speedup_rows(suite, machine, t, &configs);
+}
+
+/// Fans every `(module, config)` speedup cell out across the worker
+/// budget, then assembles rows and column averages in the original serial
+/// order — the rendered table is byte-identical at any `--jobs` setting.
+fn fill_speedup_rows(suite: &Suite, machine: &MachineModel, t: &mut Table, configs: &[EvalConfig]) {
+    let cells: Vec<(usize, usize)> = (0..suite.modules.len())
+        .flat_map(|i| (0..configs.len()).map(move |k| (i, k)))
+        .collect();
+    let values = treegion_par::par_map(&cells, |&(i, k)| suite.speedup(i, &configs[k], machine));
     let mut sums = vec![0.0f64; configs.len()];
     for (i, m) in suite.modules.iter().enumerate() {
-        let mut cells = vec![m.name().to_string()];
-        for (k, c) in configs.iter().enumerate() {
-            let s = suite.speedup(i, &EvalConfig::new(*c, heuristic), machine);
+        let mut row = vec![m.name().to_string()];
+        for (k, _) in configs.iter().enumerate() {
+            let s = values[i * configs.len() + k];
             sums[k] += s;
-            cells.push(f3(s));
+            row.push(f3(s));
         }
-        t.row(cells);
+        t.row(row);
     }
     average_row(t, &sums, suite.modules.len());
 }
@@ -243,6 +309,44 @@ mod tests {
             assert!(text.contains("compress"), "{text}");
             assert!(!table.rows.is_empty());
         }
+    }
+
+    #[test]
+    fn fig8_forms_treegions_exactly_once_per_module() {
+        let suite = Suite::load_small(1);
+        let m4 = MachineModel::model_4u();
+        // Loading computed the 1U basic-block baseline: one bb formation.
+        let s0 = suite.cache_stats();
+        assert_eq!(s0.formation.misses, 1, "{s0:?}");
+
+        // Figure 8 sweeps all four heuristics over treegions: the
+        // treegion formation must be computed exactly once and then hit
+        // three times (heuristics share formation artifacts).
+        let _ = fig8(&suite, &m4);
+        let s1 = suite.cache_stats();
+        assert_eq!(s1.formation.misses, 2, "{s1:?}");
+        assert_eq!(s1.formation.hits - s0.formation.hits, 3, "{s1:?}");
+
+        // Regenerating the figure hits the per-cell time layer: no new
+        // formation work at all.
+        let _ = fig8(&suite, &m4);
+        let s2 = suite.cache_stats();
+        assert_eq!(s2.formation.misses, 2, "{s2:?}");
+        assert_eq!(s2.time.hits - s1.time.hits, 4, "{s2:?}");
+    }
+
+    #[test]
+    fn uncached_suite_recomputes_but_matches() {
+        let cached = Suite::load_small(1);
+        let uncached = Suite::load_small_uncached(1);
+        assert!(cached.cache().is_enabled());
+        assert!(!uncached.cache().is_enabled());
+        assert_eq!(cached.baselines, uncached.baselines);
+        let t_on = table1(&cached).render();
+        let t_off = table1(&uncached).render();
+        assert_eq!(t_on, t_off);
+        // The disabled cache records only misses.
+        assert_eq!(uncached.cache_stats().formation.hits, 0);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cache;
 mod config;
 mod dynamic;
 mod harness;
@@ -31,14 +32,15 @@ mod report;
 mod stats;
 mod variation;
 
+pub use cache::{CacheStats, FormationCache, FunctionFormation, LayerStats, ModuleFormation};
 pub use config::{EvalConfig, RegionConfig};
 pub use dynamic::{validate_dynamic, DynamicReport};
 pub use harness::{fig13, fig6, fig8, table1, table2, table3, table4, Suite};
 pub use pipeline::{
-    baseline_time, form_function, program_time, program_time_robust, schedule_function,
-    schedule_function_robust, speedup, speedup_with_baseline, FormedFunction, RobustModuleReport,
-    ScheduledRegion,
+    baseline_time, baseline_time_cached, form_function, program_time, program_time_cached,
+    program_time_robust, schedule_function, schedule_function_robust, speedup,
+    speedup_with_baseline, FormedFunction, RobustModuleReport, ScheduledRegion,
 };
 pub use report::{degradation_table, f2, f3, Table};
-pub use stats::{region_stats, RegionStats};
+pub use stats::{region_stats, region_stats_cached, RegionStats};
 pub use variation::{perturb_profile, variation_speedups, variation_table};

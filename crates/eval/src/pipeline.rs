@@ -2,7 +2,7 @@
 //! formation (possibly transforming the function), lower and schedule
 //! every region, and aggregate statistics / estimated times.
 
-use crate::{EvalConfig, RegionConfig};
+use crate::{EvalConfig, FormationCache, RegionConfig};
 use treegion::{
     form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
     lower_region, schedule_region, DegradationEvent, Heuristic, LoweredRegion, PipelineError,
@@ -80,6 +80,10 @@ pub struct ScheduledRegion {
 }
 
 /// Lowers and schedules every region of a formed function.
+///
+/// Regions are independent, so the per-region work fans out across the
+/// `treegion_par` worker budget; results come back in region order, so
+/// output is byte-identical at any `--jobs` setting.
 pub fn schedule_function(
     formed: &FormedFunction,
     machine: &MachineModel,
@@ -93,16 +97,11 @@ pub fn schedule_function(
         dominator_parallelism,
         ..Default::default()
     };
-    formed
-        .regions
-        .regions()
-        .iter()
-        .map(|r| {
-            let lowered = lower_region(&formed.function, r, &live, Some(&formed.origin));
-            let schedule = schedule_region(&lowered, machine, &opts);
-            ScheduledRegion { lowered, schedule }
-        })
-        .collect()
+    treegion_par::par_map(formed.regions.regions(), |r| {
+        let lowered = lower_region(&formed.function, r, &live, Some(&formed.origin));
+        let schedule = schedule_region(&lowered, machine, &opts);
+        ScheduledRegion { lowered, schedule }
+    })
 }
 
 /// Robust (degradation-chain) scheduling of one formed function: the
@@ -187,30 +186,54 @@ pub fn program_time_robust(
 /// Estimated execution time of a whole module under a configuration:
 /// Σ over functions Σ over regions Σ over exits (count × schedule height).
 pub fn program_time(module: &Module, config: &EvalConfig, machine: &MachineModel) -> f64 {
-    module
-        .functions()
-        .iter()
-        .map(|f| {
-            let formed = form_function(f, &config.region);
-            schedule_function(
-                &formed,
-                machine,
-                config.heuristic,
-                config.dominator_parallelism,
-            )
+    program_time_cached(module, config, machine, &FormationCache::disabled())
+}
+
+/// [`program_time`] through a [`FormationCache`]: formation, liveness and
+/// lowering are shared across heuristics/machines, and the final scalar
+/// across repeated cells (several figures share columns). The summation
+/// order — per region, then per function — is identical to the uncached
+/// path, so the result is bit-for-bit the same whether the cache is
+/// enabled, disabled, warm or cold.
+pub fn program_time_cached(
+    module: &Module,
+    config: &EvalConfig,
+    machine: &MachineModel,
+    cache: &FormationCache,
+) -> f64 {
+    cache.time(module, config, machine, || {
+        let formation = cache.formation(module, &config.region);
+        let opts = ScheduleOptions {
+            heuristic: config.heuristic,
+            dominator_parallelism: config.dominator_parallelism,
+            ..Default::default()
+        };
+        formation
+            .functions
             .iter()
-            .map(|s| s.schedule.estimated_time(&s.lowered))
-            .sum::<f64>()
-        })
-        .sum()
+            .map(|ff| {
+                treegion_par::par_map(&ff.lowered, |lr| {
+                    schedule_region(lr, machine, &opts).estimated_time(lr)
+                })
+                .iter()
+                .sum::<f64>()
+            })
+            .sum()
+    })
 }
 
 /// The paper's baseline: basic-block scheduling on the 1-issue machine.
 pub fn baseline_time(module: &Module) -> f64 {
-    program_time(
+    baseline_time_cached(module, &FormationCache::disabled())
+}
+
+/// [`baseline_time`] through a [`FormationCache`].
+pub fn baseline_time_cached(module: &Module, cache: &FormationCache) -> f64 {
+    program_time_cached(
         module,
         &EvalConfig::new(RegionConfig::BasicBlock, Heuristic::DependenceHeight),
         &MachineModel::model_1u(),
+        cache,
     )
 }
 

@@ -1,9 +1,6 @@
 //! Region statistics (Tables 1, 2, 4) and code expansion (Table 3).
 
-use crate::pipeline::{form_function, FormedFunction};
-use crate::RegionConfig;
-use treegion::lower_region;
-use treegion_analysis::{Cfg, Liveness};
+use crate::{FormationCache, RegionConfig};
 use treegion_ir::Module;
 
 /// Aggregate region statistics for one program under one region type —
@@ -26,6 +23,17 @@ pub struct RegionStats {
 
 /// Computes region statistics for `module` under `config`.
 pub fn region_stats(module: &Module, config: &RegionConfig) -> RegionStats {
+    region_stats_cached(module, config, &FormationCache::disabled())
+}
+
+/// [`region_stats`] reusing `cache`'s formation/lowering artifacts: the
+/// table generators and the speedup figures share a single formation per
+/// `(module, config)`.
+pub fn region_stats_cached(
+    module: &Module,
+    config: &RegionConfig,
+    cache: &FormationCache,
+) -> RegionStats {
     let mut num_regions = 0usize;
     let mut total_blocks = 0usize;
     let mut max_blocks = 0usize;
@@ -33,17 +41,15 @@ pub fn region_stats(module: &Module, config: &RegionConfig) -> RegionStats {
     let mut original_source_ops = 0usize;
     let mut source_ops_after = 0usize;
 
-    for f in module.functions() {
-        let formed: FormedFunction = form_function(f, config);
-        let cfg = Cfg::new(&formed.function);
-        let live = Liveness::new(&formed.function, &cfg);
+    let formation = cache.formation(module, config);
+    for ff in &formation.functions {
+        let formed = &ff.formed;
         original_source_ops += formed.original_ops;
         source_ops_after += formed.function.num_ops();
-        for r in formed.regions.regions() {
+        for (r, lowered) in formed.regions.regions().iter().zip(ff.lowered.iter()) {
             num_regions += 1;
             total_blocks += r.num_blocks();
             max_blocks = max_blocks.max(r.num_blocks());
-            let lowered = lower_region(&formed.function, r, &live, Some(&formed.origin));
             total_ops += lowered.num_ops();
         }
     }

@@ -1,0 +1,331 @@
+//! # treegion-par
+//!
+//! A tiny, hermetic (std-only) parallel-execution layer for the treegion
+//! workspace. The workspace must build without crates.io, so this crate
+//! provides the two primitives the evaluation engine needs instead of
+//! pulling in rayon:
+//!
+//! * [`par_map`] / [`par_map_jobs`] — order-preserving parallel map over a
+//!   slice, built on [`std::thread::scope`]. Results come back in input
+//!   order, so a parallel caller is **byte-identical** to the serial one as
+//!   long as the mapped closure is a pure function of its item.
+//! * [`scope`] — a thin re-export of [`std::thread::scope`] for ad-hoc
+//!   fork/join that does not fit the map shape.
+//!
+//! ## Determinism contract
+//!
+//! Parallelism here only ever changes *when* a result is computed, never
+//! *what* is computed or in which order results are observed by the
+//! caller. `par_map(items, f)[i] == f(&items[i])` for every `i`, at every
+//! job count. The whole workspace relies on this: schedules, report
+//! tables, and fuzz verdicts produced at `jobs=1` and `jobs=N` must be
+//! byte-identical (see `tests/parallel_determinism.rs` at the workspace
+//! root).
+//!
+//! ## Job-count resolution
+//!
+//! The effective worker count is resolved in this order:
+//!
+//! 1. [`set_jobs`] (e.g. from `tgc --jobs N`),
+//! 2. the `TGC_JOBS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `jobs == 1` runs strictly serially on the calling thread — the
+//! documented reproducibility mode (no worker threads are ever spawned).
+//!
+//! ## Nested parallelism
+//!
+//! Callers nest freely (the eval harness fans out over table cells while
+//! `schedule_function` fans out over regions). A global *worker budget* of
+//! `current_jobs() - 1` extra threads keeps the process from
+//! oversubscribing: inner `par_map`s that cannot obtain workers simply run
+//! serially on their calling thread. Work never deadlocks — the calling
+//! thread always participates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Explicit job-count override (0 = unset; fall back to env / hardware).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Extra worker threads currently live across all `par_map`s (the global
+/// budget that bounds nested parallelism).
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Memoized [`max_jobs`] resolution (0 = not resolved yet). Resolving
+/// consults the environment and `available_parallelism`, which on Linux
+/// reads cgroup files — far too expensive for `par_map`'s hot path, so it
+/// happens once per process.
+static ENV_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// The job count the environment asks for: `TGC_JOBS` if set and valid,
+/// otherwise the machine's available parallelism (1 if unknown).
+/// Resolved once per process and cached.
+pub fn max_jobs() -> usize {
+    match ENV_JOBS.load(Ordering::Relaxed) {
+        0 => {
+            let n = resolve_env_jobs();
+            ENV_JOBS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+fn resolve_env_jobs() -> usize {
+    match std::env::var("TGC_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Overrides the job count for the whole process (clamped to ≥ 1).
+/// `tgc --jobs N` and the determinism tests call this.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n.max(1), Ordering::SeqCst);
+}
+
+/// The effective job count: the [`set_jobs`] override if one was made,
+/// otherwise [`max_jobs`].
+pub fn current_jobs() -> usize {
+    match JOBS.load(Ordering::SeqCst) {
+        0 => max_jobs(),
+        n => n,
+    }
+}
+
+/// Thin wrapper over [`std::thread::scope`]; exists so callers in the
+/// workspace depend only on `treegion-par` for their fork/join needs.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(f)
+}
+
+/// Order-preserving parallel map with the process-wide job count
+/// ([`current_jobs`]). See [`par_map_jobs`].
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_jobs(current_jobs(), items, f)
+}
+
+/// Order-preserving parallel map: returns `vec![f(&items[0]), ...]`, with
+/// up to `jobs` threads (the caller included) executing `f` concurrently.
+///
+/// * `jobs <= 1` (or fewer than 2 items, or an exhausted global worker
+///   budget) degrades to a serial `map` on the calling thread.
+/// * Worker threads pull items off a shared atomic index — no work
+///   splitting heuristics, which keeps the pool fair for the coarse,
+///   uneven items (regions, table cells, fuzz cases) this workspace maps
+///   over.
+/// * If `f` panics on any item, the panic is propagated to the caller
+///   after all workers have stopped.
+pub fn par_map_jobs<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Budget: how many *extra* threads this call may spawn. The global
+    // ledger keeps nested par_maps from oversubscribing the machine.
+    let want = jobs.min(n) - 1;
+    let granted = acquire_workers(want, jobs.saturating_sub(1));
+    if granted == 0 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let run = |_worker: usize| {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            local.push((i, f(&items[i])));
+        }
+        local
+    };
+
+    // The calling thread participates too (worker 0), and it may itself
+    // panic inside `run`; catch everything so the worker budget is always
+    // released before the panic resumes.
+    let outcome: Result<Vec<R>, Box<dyn std::any::Any + Send>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..granted).map(|w| s.spawn(move || run(w + 1))).collect();
+        let mine = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(0)));
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        match mine {
+            Ok(local) => {
+                for (i, r) in local {
+                    slots[i] = Some(r);
+                }
+            }
+            Err(p) => panic = Some(p),
+        }
+        for h in handles {
+            match h.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(p) => panic = Some(p),
+            }
+        }
+        match panic {
+            Some(p) => Err(p),
+            None => Ok(slots
+                .into_iter()
+                .map(|o| o.expect("worker produced every index"))
+                .collect()),
+        }
+    });
+    release_workers(granted);
+    match outcome {
+        Ok(v) => v,
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}
+
+/// Tries to reserve up to `want` extra workers against a cap of `cap`
+/// process-wide extra workers; returns how many were granted (possibly 0).
+fn acquire_workers(want: usize, cap: usize) -> usize {
+    loop {
+        let cur = LIVE_WORKERS.load(Ordering::SeqCst);
+        if cur >= cap {
+            return 0;
+        }
+        let grant = want.min(cap - cur);
+        if LIVE_WORKERS
+            .compare_exchange(cur, cur + grant, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return grant;
+        }
+    }
+}
+
+fn release_workers(n: usize) {
+    LIVE_WORKERS.fetch_sub(n, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that assert on the global worker ledger (the
+    /// default test harness runs tests on several threads).
+    static LEDGER: Mutex<()> = Mutex::new(());
+
+    fn ledger() -> std::sync::MutexGuard<'static, ()> {
+        LEDGER.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let serial: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 4, 8, 33] {
+            let par = par_map_jobs(jobs, &items, |x| x * 3 + 1);
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_jobs(8, &empty, |x| *x).is_empty());
+        assert_eq!(par_map_jobs(8, &[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn serial_mode_spawns_no_threads() {
+        let _g = ledger();
+        // jobs=1 must never touch the worker budget.
+        let before = LIVE_WORKERS.load(Ordering::SeqCst);
+        let out = par_map_jobs(1, &[1, 2, 3], |x| {
+            assert_eq!(LIVE_WORKERS.load(Ordering::SeqCst), before);
+            x * 2
+        });
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn nested_maps_complete_and_stay_ordered() {
+        let outer: Vec<usize> = (0..8).collect();
+        let got = par_map_jobs(4, &outer, |&i| {
+            let inner: Vec<usize> = (0..16).collect();
+            par_map_jobs(4, &inner, move |&j| i * 100 + j)
+        });
+        for (i, row) in got.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(*v, i * 100 + j);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_budget_is_released() {
+        let _g = ledger();
+        for _ in 0..10 {
+            let items: Vec<usize> = (0..64).collect();
+            let _ = par_map_jobs(4, &items, |x| x + 1);
+        }
+        assert_eq!(LIVE_WORKERS.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let _g = ledger();
+        let items: Vec<usize> = (0..32).collect();
+        let r = std::panic::catch_unwind(|| {
+            par_map_jobs(4, &items, |&x| {
+                if x == 17 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(r.is_err());
+        // Budget must still be released after a panic inside the scope.
+        assert_eq!(LIVE_WORKERS.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn set_jobs_overrides_env_and_hardware() {
+        set_jobs(3);
+        assert_eq!(current_jobs(), 3);
+        set_jobs(0); // clamps to 1
+        assert_eq!(current_jobs(), 1);
+        set_jobs(1);
+    }
+
+    #[test]
+    fn scope_runs_scoped_threads() {
+        let mut a = 0u32;
+        let mut b = 0u32;
+        scope(|s| {
+            s.spawn(|| a = 1);
+            s.spawn(|| b = 2);
+        });
+        assert_eq!((a, b), (1, 2));
+    }
+}

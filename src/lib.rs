@@ -14,7 +14,9 @@
 //!   its four heuristics.
 //! * [`sim`] — sequential interpreter + VLIW schedule executor.
 //! * [`workloads`] — synthetic SPECint95-style benchmark generators.
-//! * [`eval`] — the experiment harness regenerating every table/figure.
+//! * [`eval`] — the experiment harness regenerating every table/figure,
+//!   with formation/lowering caches and parallel fan-out.
+//! * [`par`] — the hermetic scoped thread pool behind `--jobs N`.
 //!
 //! See README.md for a tour and DESIGN.md for the architecture.
 //!
@@ -55,6 +57,7 @@ pub use treegion_analysis as analysis;
 pub use treegion_eval as eval;
 pub use treegion_ir as ir;
 pub use treegion_machine as machine;
+pub use treegion_par as par;
 pub use treegion_sim as sim;
 pub use treegion_workloads as workloads;
 

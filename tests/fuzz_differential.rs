@@ -248,23 +248,31 @@ fn write_repro_in(dir: &std::path::Path, seed: u64, f: &Function, msg: &str) -> 
 #[test]
 fn differential_fuzz() {
     let n = cases();
-    let mut failures = Vec::new();
-    for i in 0..n {
-        let seed = 0xF022_0000 + i;
-        let module = generate_fuzz(seed);
-        for f in module.functions() {
-            if let Err(msg) = quiet(|| run_case(f)) {
-                let shrunk = shrink(f, 200);
-                let path = write_repro(seed, &shrunk, &msg);
-                failures.push(format!(
-                    "seed {seed:#x}: {msg}\n  minimized repro: {} ({} ops, {} blocks)",
-                    path.display(),
-                    shrunk.num_ops(),
-                    shrunk.num_blocks()
-                ));
+    let seeds: Vec<u64> = (0..n).map(|i| 0xF022_0000 + i).collect();
+    // Fuzz cases are independent, so they fan out over the worker budget.
+    // The panic hook is silenced once around the whole fan-out (the hook
+    // is process-global); failures come back in seed order, so the
+    // failure report is deterministic at any job count.
+    let per_seed: Vec<Vec<String>> = quiet(|| {
+        treegion_par::par_map(&seeds, |&seed| {
+            let module = generate_fuzz(seed);
+            let mut failures = Vec::new();
+            for f in module.functions() {
+                if let Err(msg) = run_case(f) {
+                    let shrunk = shrink(f, 200);
+                    let path = write_repro(seed, &shrunk, &msg);
+                    failures.push(format!(
+                        "seed {seed:#x}: {msg}\n  minimized repro: {} ({} ops, {} blocks)",
+                        path.display(),
+                        shrunk.num_ops(),
+                        shrunk.num_blocks()
+                    ));
+                }
             }
-        }
-    }
+            failures
+        })
+    });
+    let failures: Vec<String> = per_seed.into_iter().flatten().collect();
     assert!(
         failures.is_empty(),
         "{}/{n} fuzz cases failed:\n{}",
@@ -280,8 +288,11 @@ fn differential_fuzz() {
 #[test]
 fn fault_campaign_recoveries_stay_equivalent() {
     let n = (cases() / 4).max(8);
-    for i in 0..n {
-        let seed = 0xFA_0117 + i;
+    let seeds: Vec<u64> = (0..n).map(|i| 0xFA_0117 + i).collect();
+    // Each seed owns its module and fault plan, so the campaign is
+    // embarrassingly parallel; assertions fire inside the workers and
+    // propagate through `par_map`'s panic plumbing.
+    treegion_par::par_map(&seeds, |&seed| {
         let module = generate_fuzz(seed);
         let machine = MachineModel::model_8u();
         for f in module.functions() {
@@ -306,7 +317,7 @@ fn fault_campaign_recoveries_stay_equivalent() {
             assert_eq!(got.ret, expected.ret, "seed {seed:#x}");
             assert_eq!(got.state.mem, expected.state.mem, "seed {seed:#x}");
         }
-    }
+    });
 }
 
 /// Exercises the shrinker and repro writer on a synthetic oracle (the real

@@ -1,0 +1,126 @@
+//! Determinism contract of the parallel + memoized evaluation engine.
+//!
+//! Parallelism and caching may only ever change *when* something is
+//! computed — never *what*. These tests pin that down end to end:
+//!
+//! * schedules rendered at `jobs=1` and `jobs=8` are byte-identical;
+//! * every report table rendered at `jobs=1` and `jobs=8` is
+//!   byte-identical;
+//! * tables produced through an enabled [`FormationCache`] equal the
+//!   tables produced with caching disabled, byte for byte;
+//! * the robust (degradation-chain) pipeline returns identical results
+//!   at any job count.
+//!
+//! `treegion_par::set_jobs` is process-global, so every test that touches
+//! it holds `JOBS_LOCK` (the default test harness runs tests on several
+//! threads) and leaves the process in `jobs=1` afterwards.
+
+use std::sync::{Mutex, MutexGuard};
+use treegion_suite::eval::{
+    fig13, fig6, fig8, form_function, schedule_function, table1, table3, RegionConfig, Suite,
+};
+use treegion_suite::prelude::*;
+use treegion_suite::treegion::RobustOptions;
+
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn jobs_lock() -> MutexGuard<'static, ()> {
+    JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `body` under an explicit job count, restoring serial mode after.
+fn with_jobs<R>(n: usize, body: impl FnOnce() -> R) -> R {
+    treegion_suite::par::set_jobs(n);
+    let r = body();
+    treegion_suite::par::set_jobs(1);
+    r
+}
+
+/// Renders every region schedule of every function of `module` under one
+/// configuration into a single string.
+fn render_module_schedules(module: &Module) -> String {
+    let machine = MachineModel::model_4u();
+    let mut out = String::new();
+    for f in module.functions() {
+        for config in [
+            RegionConfig::BasicBlock,
+            RegionConfig::Treegion,
+            RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()),
+        ] {
+            let formed = form_function(f, &config);
+            for s in schedule_function(&formed, &machine, Heuristic::GlobalWeight, false) {
+                out.push_str(&render_schedule(&s.lowered, &s.schedule, &machine));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn schedules_are_byte_identical_at_any_job_count() {
+    let _g = jobs_lock();
+    let module = generate(&BenchmarkSpec::tiny(29));
+    let serial = with_jobs(1, || render_module_schedules(&module));
+    for jobs in [2, 8] {
+        let parallel = with_jobs(jobs, || render_module_schedules(&module));
+        assert_eq!(serial, parallel, "schedules diverged at jobs={jobs}");
+    }
+}
+
+/// Renders a representative slice of the paper's tables/figures.
+fn render_tables(suite: &Suite) -> String {
+    let m4 = MachineModel::model_4u();
+    [
+        table1(suite).render(),
+        table3(suite).render(),
+        fig6(suite, &m4).render(),
+        fig8(suite, &m4).render(),
+        fig13(suite, &m4).render(),
+    ]
+    .join("\n")
+}
+
+#[test]
+fn tables_are_byte_identical_at_any_job_count() {
+    let _g = jobs_lock();
+    let serial = with_jobs(1, || render_tables(&Suite::load_small(1)));
+    let parallel = with_jobs(8, || render_tables(&Suite::load_small(1)));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn tables_are_byte_identical_with_and_without_cache() {
+    let _g = jobs_lock();
+    let cached = render_tables(&Suite::load_small(1));
+    let uncached = render_tables(&Suite::load_small_uncached(1));
+    assert_eq!(cached, uncached);
+}
+
+#[test]
+fn robust_pipeline_is_identical_at_any_job_count() {
+    let _g = jobs_lock();
+    let module = generate(&BenchmarkSpec::tiny(31));
+    let machine = MachineModel::model_4u();
+    let run = || {
+        let mut times = Vec::new();
+        for f in module.functions() {
+            let regions = form_treegions(f);
+            let r = treegion_suite::treegion::schedule_function_robust(
+                f,
+                &regions,
+                None,
+                &machine,
+                &RobustOptions::default(),
+            )
+            .expect("robust scheduling succeeds");
+            // Bitwise comparison: estimated times are f64 sums whose
+            // order must not depend on the job count.
+            times.push((r.estimated_time().to_bits(), r.outcomes.len()));
+        }
+        times
+    };
+    let serial = with_jobs(1, run);
+    let parallel = with_jobs(8, run);
+    assert_eq!(serial, parallel);
+}
