@@ -106,6 +106,30 @@ pub struct Options {
     /// the machine's available parallelism. `--jobs 1` is the strictly
     /// serial reproducibility mode (output is byte-identical either way).
     pub jobs: Option<usize>,
+    /// `--panic-region N`: inject a panic while scheduling region `N`
+    /// (exercises the containment path end to end).
+    pub panic_region: Option<usize>,
+    /// `eval --small N`: run the harness on the first `N` benchmarks.
+    pub small: Option<usize>,
+    /// `eval --checkpoint DIR`: persist per-cell results and a manifest.
+    pub checkpoint: Option<String>,
+    /// `eval --resume MANIFEST`: restore finished cells, run the rest.
+    pub resume: Option<String>,
+    /// `eval --retries N`: attempts per cell (default 3).
+    pub retries: Option<u32>,
+    /// `eval --backoff-ms N`: base retry backoff (default 10).
+    pub backoff_ms: Option<u64>,
+    /// `eval --cell-deadline-ms N`: per-cell wall-clock watchdog.
+    pub cell_deadline_ms: Option<u64>,
+    /// `eval --fault-cell CELL=KIND` (repeatable): inject a cell fault.
+    pub fault_cells: Vec<String>,
+    /// `eval --quarantine DIR`: where exhausted cells' replay files go
+    /// (default `testdata/quarantine`).
+    pub quarantine: Option<String>,
+    /// `eval --no-quarantine`: report failures without writing files.
+    pub no_quarantine: bool,
+    /// `eval --only A,B`: restrict the run to the named cells.
+    pub only: Vec<String>,
 }
 
 /// An argument error with a user-facing message.
@@ -139,6 +163,17 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
         fallback: FallbackPolicy::Bb,
         fault_seed: None,
         jobs: None,
+        panic_region: None,
+        small: None,
+        checkpoint: None,
+        resume: None,
+        retries: None,
+        backoff_ms: None,
+        cell_deadline_ms: None,
+        fault_cells: Vec::new(),
+        quarantine: None,
+        no_quarantine: false,
+        only: Vec::new(),
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -199,6 +234,89 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
                     .next()
                     .ok_or_else(|| ArgError("--fuel needs a value".into()))?;
                 opts.fuel = v.parse().map_err(|_| ArgError(format!("bad fuel `{v}`")))?;
+            }
+            "--panic-region" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--panic-region needs a region index".into()))?;
+                opts.panic_region = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad region index `{v}`")))?,
+                );
+            }
+            "--small" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--small needs a benchmark count".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad benchmark count `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--small must be at least 1".into()));
+                }
+                opts.small = Some(n);
+            }
+            "--checkpoint" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--checkpoint needs a directory".into()))?;
+                opts.checkpoint = Some(v.clone());
+            }
+            "--resume" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--resume needs a manifest path".into()))?;
+                opts.resume = Some(v.clone());
+            }
+            "--retries" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--retries needs a count".into()))?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad retry count `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--retries must be at least 1".into()));
+                }
+                opts.retries = Some(n);
+            }
+            "--backoff-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--backoff-ms needs a value".into()))?;
+                opts.backoff_ms = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad backoff `{v}`")))?,
+                );
+            }
+            "--cell-deadline-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--cell-deadline-ms needs a value".into()))?;
+                opts.cell_deadline_ms = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad deadline `{v}`")))?,
+                );
+            }
+            "--fault-cell" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--fault-cell needs CELL=KIND".into()))?;
+                opts.fault_cells.push(v.clone());
+            }
+            "--quarantine" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--quarantine needs a directory".into()))?;
+                opts.quarantine = Some(v.clone());
+            }
+            "--no-quarantine" => opts.no_quarantine = true,
+            "--only" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--only needs a cell list".into()))?;
+                opts.only
+                    .extend(v.split(',').filter(|s| !s.is_empty()).map(String::from));
             }
             other if other.starts_with("--") => {
                 return Err(ArgError(format!("unknown flag `{other}`")));
@@ -300,6 +418,55 @@ mod tests {
         assert!(parse_args(&v(&["print", "--kind", "hyperblock"])).is_err());
         assert!(parse_args(&v(&["print", "--machine", "0"])).is_err());
         assert!(parse_args(&v(&[])).is_err());
+    }
+
+    #[test]
+    fn eval_flags_parse() {
+        let o = parse_args(&v(&[
+            "eval",
+            "--small",
+            "2",
+            "--checkpoint",
+            "out/ckpt",
+            "--retries",
+            "2",
+            "--backoff-ms",
+            "0",
+            "--cell-deadline-ms",
+            "500",
+            "--fault-cell",
+            "table1=panic",
+            "--fault-cell",
+            "table2=fail:1",
+            "--only",
+            "table1,table2",
+            "--no-quarantine",
+        ]))
+        .unwrap();
+        assert_eq!(o.command, "eval");
+        assert_eq!(o.small, Some(2));
+        assert_eq!(o.checkpoint.as_deref(), Some("out/ckpt"));
+        assert_eq!(o.retries, Some(2));
+        assert_eq!(o.backoff_ms, Some(0));
+        assert_eq!(o.cell_deadline_ms, Some(500));
+        assert_eq!(o.fault_cells.len(), 2);
+        assert_eq!(o.only, vec!["table1", "table2"]);
+        assert!(o.no_quarantine);
+
+        let o = parse_args(&v(&["eval", "--resume", "out/ckpt/manifest.txt"])).unwrap();
+        assert_eq!(o.resume.as_deref(), Some("out/ckpt/manifest.txt"));
+
+        assert!(parse_args(&v(&["eval", "--small", "0"])).is_err());
+        assert!(parse_args(&v(&["eval", "--retries", "0"])).is_err());
+        assert!(parse_args(&v(&["eval", "--cell-deadline-ms", "soon"])).is_err());
+        assert!(parse_args(&v(&["eval", "--fault-cell"])).is_err());
+        assert!(parse_args(&v(&["schedule", "x.tir", "--panic-region", "no"])).is_err());
+        assert_eq!(
+            parse_args(&v(&["schedule", "x.tir", "--panic-region", "1"]))
+                .unwrap()
+                .panic_region,
+            Some(1)
+        );
     }
 
     #[test]

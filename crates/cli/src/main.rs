@@ -7,6 +7,11 @@
 //!              [--verify V] [--fallback F] [--fault-seed N] [--jobs N]
 //! tgc run      FILE.tir [--kind K] [--machine M] [--heuristic H] [--fuel N]
 //!              [--verify V] [--fallback F] [--fault-seed N] [--jobs N]
+//! tgc eval     [--small N] [--checkpoint DIR] [--resume MANIFEST]
+//!              [--only CELLS] [--retries N] [--backoff-ms N]
+//!              [--cell-deadline-ms N] [--fault-seed N]
+//!              [--fault-cell CELL=KIND] [--quarantine DIR]
+//!              [--no-quarantine] [--jobs N]
 //! tgc gen      BENCH                          emit a synthetic benchmark
 //! tgc shape    NAME                           emit a paper figure shape
 //! ```
@@ -19,9 +24,19 @@
 //!
 //! Robustness: `--verify off|warn|strict` controls post-scheduling
 //! verification, `--fallback none|slr|bb` bounds the degradation chain,
-//! and `--fault-seed N` injects deterministic scheduler faults so the
-//! chain can be exercised end to end. Exit codes: `0` clean, `2` the
-//! pipeline degraded but produced a correct result, `1` hard failure.
+//! `--fault-seed N` injects deterministic scheduler faults, and
+//! `--panic-region N` injects a panic while scheduling region `N` so the
+//! containment path can be exercised end to end.
+//!
+//! `tgc eval` runs the paper's evaluation harness crash-isolated: each
+//! cell is contained (panics caught, optional per-cell deadline), failed
+//! cells retry with backoff and are quarantined when exhausted, and
+//! `--checkpoint`/`--resume` make runs resumable (see DESIGN.md §9).
+//!
+//! Exit codes: `0` clean; `2` the pipeline degraded but produced a
+//! correct, verified result; `3` contained failures occurred (a panic or
+//! deadline trip was isolated — quarantined cells, or a region rescued
+//! from a crash by the fallback chain); `1` hard failure.
 //!
 //! Parallelism: `--jobs N` sets the worker-thread count for
 //! region-parallel scheduling (default: the `TGC_JOBS` environment
@@ -35,13 +50,44 @@ use args::{parse_args, KindArg, Options};
 use std::process::ExitCode;
 use treegion::{
     form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
-    render_schedule, schedule_function_robust, Budgets, DegradationEvent, FaultPlan, RegionSet,
-    RobustOptions, ScheduleOptions,
+    render_schedule, schedule_function_robust, Budgets, ContainmentEvent, DegradationEvent,
+    FaultPlan, RegionSet, RetryPolicy, RobustOptions, ScheduleOptions,
 };
 use treegion_ir::{
     parse_module, print_function, print_module, verify_function, BlockId, Function, Module,
 };
 use treegion_sim::{interpret, State, VliwProgram};
+
+/// What a successful invocation survived — drives the exit-code contract
+/// (see `EXIT CODES` in [`USAGE`] and DESIGN.md §9).
+#[derive(Debug, Default)]
+struct RunStatus {
+    /// Verifier-gated degradations (fallback rungs taken, budget trips).
+    degraded: Vec<DegradationEvent>,
+    /// Contained incidents (cell retries/recoveries/quarantines).
+    contained: Vec<ContainmentEvent>,
+    /// Whether a contained *failure* remains in the output: a quarantined
+    /// harness cell, or a region rescued from a panic/deadline crash.
+    contained_failure: bool,
+}
+
+impl RunStatus {
+    fn clean() -> Self {
+        RunStatus::default()
+    }
+
+    /// Classifies a robust scheduling run: crash-class causes (panic,
+    /// deadline) count as contained failures, everything else as plain
+    /// degradation.
+    fn from_degraded(degraded: Vec<DegradationEvent>) -> Self {
+        let contained_failure = degraded.iter().any(|e| e.cause.is_containment());
+        RunStatus {
+            degraded,
+            contained: Vec::new(),
+            contained_failure,
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -50,13 +96,29 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     match run(&argv) {
-        Ok(events) if events.is_empty() => ExitCode::SUCCESS,
-        Ok(events) => {
-            for e in &events {
+        Ok(status) => {
+            for e in &status.degraded {
                 eprintln!("tgc: degraded: {e}");
             }
-            eprintln!("tgc: pipeline degraded ({} event(s))", events.len());
-            ExitCode::from(2)
+            for e in &status.contained {
+                eprintln!("tgc: contained: {e}");
+            }
+            if status.contained_failure {
+                eprintln!(
+                    "tgc: contained failure(s) present ({} degradation, {} containment event(s))",
+                    status.degraded.len(),
+                    status.contained.len()
+                );
+                ExitCode::from(3)
+            } else if !status.degraded.is_empty() || !status.contained.is_empty() {
+                eprintln!(
+                    "tgc: pipeline degraded ({} event(s))",
+                    status.degraded.len() + status.contained.len()
+                );
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(msg) => {
             eprintln!("tgc: {msg}");
@@ -77,32 +139,51 @@ USAGE:
                [--fault-seed N] [--jobs N]
   tgc run      FILE.tir [--kind K] [--machine M] [--heuristic H] [--fuel N]
                [--verify V] [--fallback F] [--fault-seed N] [--jobs N]
+  tgc eval     [--small N] [--checkpoint DIR] [--resume MANIFEST]
+               [--only CELLS] [--retries N] [--backoff-ms N]
+               [--cell-deadline-ms N] [--fault-seed N]
+               [--fault-cell CELL=panic|hang:MS|fail[:TRIPS]]
+               [--quarantine DIR] [--no-quarantine] [--jobs N]
+  tgc gen      compress|gcc|go|ijpeg|li|m88ksim|perl|vortex
+  tgc shape    fig1|biased|wide|linearized
 
 PARALLELISM:
   --jobs N   worker threads for region-parallel scheduling (default:
              TGC_JOBS env var, then available hardware parallelism;
              --jobs 1 = strictly serial; output is identical at any N)
-  tgc gen      compress|gcc|go|ijpeg|li|m88ksim|perl|vortex
-  tgc shape    fig1|biased|wide|linearized
+
+CONTAINMENT (schedule|run):
+  --panic-region N   inject a panic while scheduling region N; the crash
+                     is contained and the fallback chain takes over
+
+EVAL:
+  crash-isolated harness over the paper's ten cells (table1 table2
+  fig6@4u fig6@8u fig8@4u fig8@8u table3 table4 fig13@4u fig13@8u);
+  failed cells retry with exponential backoff, exhausted cells are
+  quarantined (default testdata/quarantine), --checkpoint/--resume
+  skip already-finished cells
 
 EXIT CODES:
   0  success
   1  hard failure (bad input, unrecoverable scheduling error, divergence)
   2  success with degradation (a region fell back or was kept unverified)
+  3  contained failure(s): a panic/deadline was isolated (quarantined
+     cell, or a region rescued from a crash by the fallback chain)
 ";
 
-fn run(argv: &[String]) -> Result<Vec<DegradationEvent>, String> {
+fn run(argv: &[String]) -> Result<RunStatus, String> {
     let opts = parse_args(argv).map_err(|e| e.to_string())?;
     if let Some(jobs) = opts.jobs {
         treegion_par::set_jobs(jobs);
     }
     match opts.command.as_str() {
-        "print" => cmd_print(&opts).map(|()| Vec::new()),
-        "regions" => cmd_regions(&opts).map(|()| Vec::new()),
-        "schedule" => cmd_schedule(&opts),
-        "run" => cmd_run(&opts),
-        "gen" => cmd_gen(&opts).map(|()| Vec::new()),
-        "shape" => cmd_shape(&opts).map(|()| Vec::new()),
+        "print" => cmd_print(&opts).map(|()| RunStatus::clean()),
+        "regions" => cmd_regions(&opts).map(|()| RunStatus::clean()),
+        "schedule" => cmd_schedule(&opts).map(RunStatus::from_degraded),
+        "run" => cmd_run(&opts).map(RunStatus::from_degraded),
+        "eval" => cmd_eval(&opts),
+        "gen" => cmd_gen(&opts).map(|()| RunStatus::clean()),
+        "shape" => cmd_shape(&opts).map(|()| RunStatus::clean()),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
 }
@@ -151,6 +232,7 @@ fn robust_options(opts: &Options) -> RobustOptions {
         fallback: opts.fallback,
         budgets: Budgets::UNLIMITED,
         fault: opts.fault_seed.map(FaultPlan::from_seed),
+        panic_on_region: opts.panic_region,
     }
 }
 
@@ -259,6 +341,61 @@ fn cmd_run(opts: &Options) -> Result<Vec<DegradationEvent>, String> {
         events.extend(result.events);
     }
     Ok(events)
+}
+
+/// `tgc eval`: the crash-isolated, resumable evaluation harness.
+fn cmd_eval(opts: &Options) -> Result<RunStatus, String> {
+    if opts.input.is_some() {
+        return Err("eval takes no positional argument".into());
+    }
+    let mut fault_cells = Vec::new();
+    for spec in &opts.fault_cells {
+        fault_cells.push(treegion_eval::parse_fault_spec(spec)?);
+    }
+    let default_retry = RetryPolicy::default();
+    let hopts = treegion_eval::HarnessOptions {
+        small: opts.small,
+        checkpoint_dir: opts.checkpoint.clone().map(Into::into),
+        resume: opts.resume.clone().map(Into::into),
+        retry: RetryPolicy {
+            max_attempts: opts.retries.unwrap_or(default_retry.max_attempts),
+            base_backoff_ms: opts.backoff_ms.unwrap_or(default_retry.base_backoff_ms),
+        },
+        cell_deadline_ms: opts.cell_deadline_ms,
+        fault_seed: opts.fault_seed,
+        fault_cells,
+        quarantine_dir: if opts.no_quarantine {
+            None
+        } else {
+            Some(
+                opts.quarantine
+                    .clone()
+                    .unwrap_or_else(|| "testdata/quarantine".into())
+                    .into(),
+            )
+        },
+        only: opts.only.clone(),
+    };
+    let report = treegion_eval::run_harness(&hopts)?;
+    print!("{}", report.merged_output());
+    if !report.events.is_empty() {
+        print!(
+            "{}",
+            treegion_eval::containment_table(&report.events).render()
+        );
+    }
+    eprintln!("tgc: {}", report.summary());
+    for q in &report.quarantined {
+        eprintln!("tgc: quarantined input written to {}", q.display());
+    }
+    if let Some(m) = &report.manifest_path {
+        eprintln!("tgc: resume with `tgc eval --resume {}`", m.display());
+    }
+    Ok(RunStatus {
+        degraded: Vec::new(),
+        contained: report.events.clone(),
+        contained_failure: report.has_contained_failures(),
+    })
 }
 
 fn cmd_gen(opts: &Options) -> Result<(), String> {

@@ -145,6 +145,116 @@ fn clean_runs_stay_exit_code_0() {
 }
 
 #[test]
+fn eval_exit_code_contract_and_resume() {
+    let dir = std::env::temp_dir().join(format!("tgc-cli-eval-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let ckpt = dir.join("ckpt");
+    let quar = dir.join("quarantine");
+    let base = [
+        "eval",
+        "--small",
+        "1",
+        "--only",
+        "table1,table2",
+        "--retries",
+        "2",
+        "--backoff-ms",
+        "0",
+    ];
+
+    // Clean contained run: exit 0, tables on stdout.
+    let mut clean_args: Vec<&str> = base.to_vec();
+    clean_args.push("--no-quarantine");
+    let clean = tgc(&clean_args);
+    assert_eq!(clean.status.code(), Some(0), "{clean:?}");
+    let clean_stdout = String::from_utf8(clean.stdout).unwrap();
+    assert!(clean_stdout.contains("Table 1"), "{clean_stdout}");
+
+    // Poisoned run: the panic is contained (exit 3, not a crash), the
+    // healthy cell still renders, the poison input is quarantined, and a
+    // resumable manifest is written.
+    let ckpt_s = ckpt.to_str().unwrap().to_string();
+    let quar_s = quar.to_str().unwrap().to_string();
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend([
+        "--fault-cell",
+        "table1=panic",
+        "--checkpoint",
+        &ckpt_s,
+        "--quarantine",
+        &quar_s,
+    ]);
+    let out = tgc(&args);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Table 2"), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("contained"), "{stderr}");
+    assert!(stderr.contains("quarantined"), "{stderr}");
+    let quarantined: Vec<_> = std::fs::read_dir(&quar).unwrap().collect();
+    assert!(!quarantined.is_empty(), "quarantine dir must not be empty");
+    let manifest = ckpt.join("manifest.txt");
+    assert!(manifest.exists());
+
+    // Resume without the fault: exit 0 and stdout byte-identical to the
+    // clean run (the restored cell merges with the re-run one).
+    let manifest_s = manifest.to_str().unwrap().to_string();
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--resume", &manifest_s, "--no-quarantine"]);
+    let resumed = tgc(&args);
+    assert_eq!(resumed.status.code(), Some(0), "{resumed:?}");
+    assert_eq!(String::from_utf8(resumed.stdout).unwrap(), clean_stdout);
+    let stderr = String::from_utf8(resumed.stderr).unwrap();
+    assert!(stderr.contains("1 restored"), "{stderr}");
+
+    // Bad fault specs and unknown cells are hard errors (exit 1).
+    let out = tgc(&["eval", "--fault-cell", "table1=explode"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let out = tgc(&["eval", "--only", "tableX"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn panic_region_is_contained_with_exit_code_3() {
+    let out = tgc(&["shape", "fig1"]);
+    let path = tempfile("panic-fig1.tir", &String::from_utf8(out.stdout).unwrap());
+    let p = path.to_str().unwrap();
+
+    // The injected panic is contained; the fallback chain recovers the
+    // region and the process reports "contained failure" via exit 3.
+    let out = tgc(&["schedule", p, "--panic-region", "0"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("total estimated time"), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("contained"), "{stderr}");
+
+    // A region index past the end injects nothing: clean exit.
+    let out = tgc(&["schedule", p, "--panic-region", "999"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn bad_tgc_jobs_env_warns_but_never_panics() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tgc"))
+        .args(["shape", "fig1"])
+        .env("TGC_JOBS", "banana")
+        .output()
+        .expect("tgc runs");
+    assert!(out.status.success(), "{out:?}");
+    for val in ["0", "", "99999999999999999999"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_tgc"))
+            .args(["shape", "fig1"])
+            .env("TGC_JOBS", val)
+            .output()
+            .expect("tgc runs");
+        assert!(out.status.success(), "TGC_JOBS={val}: {out:?}");
+    }
+}
+
+#[test]
 fn help_prints_usage() {
     let out = tgc(&["--help"]);
     assert!(out.status.success());

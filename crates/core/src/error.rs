@@ -43,6 +43,26 @@ pub enum SchedFailure {
         /// The cycle cap that was exceeded.
         budget: usize,
     },
+    /// The scheduling attempt ran past its wall-clock deadline
+    /// ([`Budgets::max_wall_ms`]), checked at scheduler loop boundaries.
+    /// Deadlines are per *attempt*: every rung of the degradation chain
+    /// starts a fresh clock, so a timed-out primary schedule can still
+    /// recover through a faster fallback shape.
+    DeadlineExceeded {
+        /// Wall-clock milliseconds the attempt had consumed when the
+        /// deadline check tripped.
+        elapsed_ms: u64,
+        /// The configured deadline in milliseconds.
+        budget_ms: u64,
+    },
+    /// The scheduling attempt panicked; the unwind was contained by the
+    /// robust pipeline and converted into this structured failure so the
+    /// degradation chain can treat a crash like any other per-region
+    /// failure (one poisoned region costs one region, not the run).
+    Panicked {
+        /// Stringified panic payload.
+        payload: String,
+    },
 }
 
 impl fmt::Display for SchedFailure {
@@ -57,6 +77,18 @@ impl fmt::Display for SchedFailure {
                     f,
                     "scheduler ran {steps} cycles without finishing (cap {budget})"
                 )
+            }
+            SchedFailure::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => {
+                write!(
+                    f,
+                    "scheduling attempt ran {elapsed_ms} ms, past its {budget_ms} ms deadline"
+                )
+            }
+            SchedFailure::Panicked { payload } => {
+                write!(f, "scheduling attempt panicked: {payload}")
             }
         }
     }
@@ -77,7 +109,20 @@ impl SchedFailure {
             SchedFailure::Verification(_) => "verification",
             SchedFailure::OpBudgetExceeded { .. } => "op-budget",
             SchedFailure::StepBudgetExceeded { .. } => "step-budget",
+            SchedFailure::DeadlineExceeded { .. } => "deadline",
+            SchedFailure::Panicked { .. } => "panic",
         }
+    }
+
+    /// `true` for failures that were *contained* rather than produced by
+    /// the scheduler's own logic: panics and wall-clock deadline trips.
+    /// The CLI maps these to exit code 3 (contained failures present)
+    /// instead of 2 (ordinary degradation).
+    pub fn is_containment(&self) -> bool {
+        matches!(
+            self,
+            SchedFailure::DeadlineExceeded { .. } | SchedFailure::Panicked { .. }
+        )
     }
 }
 
@@ -89,6 +134,16 @@ pub struct Budgets {
     pub max_region_ops: Option<usize>,
     /// Maximum number of schedule cycles per region.
     pub max_schedule_cycles: Option<usize>,
+    /// Soft wall-clock deadline per scheduling *attempt*, in
+    /// milliseconds. Checked at scheduler loop boundaries (once per
+    /// schedule cycle), so a runaway region trips
+    /// [`SchedFailure::DeadlineExceeded`] instead of stalling the run.
+    /// `None` disables the wall clock entirely — the default, and the
+    /// only mode the byte-determinism tests exercise (a wall-clock trip
+    /// is inherently timing-dependent, so deterministic runs must not
+    /// enable it unless the deadline is far above any real cell time, or
+    /// zero for a guaranteed immediate trip in tests).
+    pub max_wall_ms: Option<u64>,
 }
 
 impl Budgets {
@@ -96,6 +151,7 @@ impl Budgets {
     pub const UNLIMITED: Budgets = Budgets {
         max_region_ops: None,
         max_schedule_cycles: None,
+        max_wall_ms: None,
     };
 }
 
@@ -316,6 +372,20 @@ mod tests {
         };
         assert_eq!(f.label(), "step-budget");
         assert!(f.to_string().contains("99"));
+        let f = SchedFailure::DeadlineExceeded {
+            elapsed_ms: 120,
+            budget_ms: 50,
+        };
+        assert_eq!(f.label(), "deadline");
+        assert!(f.is_containment());
+        assert!(f.to_string().contains("120"));
+        let f = SchedFailure::Panicked {
+            payload: "kaboom".into(),
+        };
+        assert_eq!(f.label(), "panic");
+        assert!(f.is_containment());
+        assert!(f.to_string().contains("kaboom"));
+        assert!(!SchedFailure::OpBudgetExceeded { ops: 1, budget: 1 }.is_containment());
     }
 
     #[test]

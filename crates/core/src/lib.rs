@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod contain;
 mod ddg;
 mod error;
 mod fault;
@@ -20,6 +21,7 @@ mod robust;
 mod sched;
 mod verify_sched;
 
+pub use contain::{ContainmentAction, ContainmentCause, ContainmentEvent, RetryPolicy};
 pub use ddg::{Ddg, Dep, DepKind};
 pub use error::{
     Budgets, DegradationEvent, FallbackLevel, FallbackPolicy, PipelineError, SchedFailure,

@@ -55,6 +55,12 @@ pub struct RobustOptions {
     pub budgets: Budgets,
     /// Optional fault-injection campaign, applied to primary attempts.
     pub fault: Option<FaultPlan>,
+    /// Containment-test hook (`tgc --panic-region N`): deterministically
+    /// panic while scheduling region `N` at the primary level, exercising
+    /// the panic-containment path end to end. The panic is caught, mapped
+    /// to [`SchedFailure::Panicked`], and recovered through the ordinary
+    /// fallback chain.
+    pub panic_on_region: Option<usize>,
 }
 
 /// One accepted (sub-)region schedule.
@@ -174,21 +180,12 @@ pub fn schedule_function_robust(
     // the serial path at any job count; on error, the *first* failing
     // region's error is returned, exactly as the serial loop would.
     let regions = set.regions();
-    let runs = treegion_par::par_map(regions, |region| {
-        // Index recovered below; par_map preserves order.
-        schedule_one(f, usize::MAX, region, &live, origin_map, m, opts, None)
+    let indexed: Vec<usize> = (0..regions.len()).collect();
+    let runs = treegion_par::par_map(&indexed, |&idx| {
+        schedule_one(f, idx, &regions[idx], &live, origin_map, m, opts, None)
     });
-    for (idx, run) in runs.into_iter().enumerate() {
-        let mut run = run.map_err(|mut e| {
-            e.region_index = idx;
-            e
-        })?;
-        for o in &mut run.outcomes {
-            o.region_index = idx;
-        }
-        for ev in &mut run.events {
-            ev.region_index = idx;
-        }
+    for run in runs {
+        let run = run?;
         result.outcomes.extend(run.outcomes);
         result.events.extend(run.events);
     }
@@ -226,7 +223,7 @@ fn schedule_one(
         outcomes: Vec::new(),
         events: Vec::new(),
     };
-    match attempt(f, region, live, origin_map, m, opts, injector) {
+    match attempt_contained(f, idx, region, live, origin_map, m, opts, injector) {
         Ok(att) => {
             if let Some(err) = att.tolerated {
                 run.events.push(DegradationEvent {
@@ -289,6 +286,43 @@ fn schedule_one(
             })
         }
     }
+}
+
+/// Runs one scheduling attempt with panic containment: an unwind anywhere
+/// in lowering, scheduling, or verification becomes
+/// [`SchedFailure::Panicked`] instead of aborting the run, so the
+/// degradation chain treats a crash exactly like a verifier rejection or
+/// a tripped budget. `AssertUnwindSafe` is sound here: on a contained
+/// panic the attempt's partial state is discarded wholesale, and the
+/// fault injector (the only captured `&mut`) is documented to be
+/// serial-only, so a torn injector stream can never feed a parallel path.
+fn contain<R>(body: impl FnOnce() -> Result<R, SchedFailure>) -> Result<R, SchedFailure> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).unwrap_or_else(|p| {
+        Err(SchedFailure::Panicked {
+            payload: treegion_par::panic_message(p.as_ref()),
+        })
+    })
+}
+
+/// The primary-level [`attempt`] under [`contain`], with the
+/// deterministic `panic_on_region` containment-test hook.
+#[allow(clippy::too_many_arguments)]
+fn attempt_contained(
+    f: &Function,
+    idx: usize,
+    region: &Region,
+    live: &Liveness,
+    origin_map: Option<&[BlockId]>,
+    m: &MachineModel,
+    opts: &RobustOptions,
+    injector: Option<&mut FaultInjector>,
+) -> Result<Attempt, SchedFailure> {
+    contain(|| {
+        if opts.panic_on_region == Some(idx) {
+            panic!("injected panic while scheduling region #{idx} (panic_on_region)");
+        }
+        attempt(f, region, live, origin_map, m, opts, injector)
+    })
 }
 
 /// Lowers, (optionally fault-injects,) schedules, and verifies one region.
@@ -366,10 +400,11 @@ fn schedule_pieces(
         fallback: opts.fallback,
         budgets: opts.budgets,
         fault: None,
+        panic_on_region: None,
     };
     pieces
         .iter()
-        .map(|p| attempt(f, p, live, origin_map, m, &strict, None))
+        .map(|p| contain(|| attempt(f, p, live, origin_map, m, &strict, None)))
         .collect()
 }
 
@@ -586,7 +621,7 @@ mod tests {
         let opts = RobustOptions {
             budgets: Budgets {
                 max_region_ops: Some(8),
-                max_schedule_cycles: None,
+                ..Budgets::UNLIMITED
             },
             ..Default::default()
         };
@@ -608,6 +643,107 @@ mod tests {
     }
 
     #[test]
+    fn injected_panic_is_contained_and_recovered_by_fallback() {
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        let opts = RobustOptions {
+            panic_on_region: Some(0),
+            ..Default::default()
+        };
+        let r = schedule_function_robust(&f, &set, None, &model(), &opts)
+            .expect("a contained panic must recover through the chain");
+        assert!(!r.is_clean());
+        // Exactly one region degraded, with a panic cause, and recovered.
+        let panics: Vec<_> = r
+            .events
+            .iter()
+            .filter(|e| e.cause.label() == "panic")
+            .collect();
+        assert_eq!(panics.len(), 1, "{:?}", r.events);
+        assert!(panics[0].recovered);
+        assert!(panics[0].cause.is_containment());
+        assert_eq!(panics[0].region_index, 0);
+        assert!(panics[0].cause.to_string().contains("injected panic"));
+        // The accepted partition still covers the whole function.
+        assert!(r.region_set().is_partition_of(&f));
+        // Every other region scheduled cleanly at the primary level.
+        assert!(r
+            .outcomes
+            .iter()
+            .filter(|o| o.region_index != 0)
+            .all(|o| o.level == FallbackLevel::Primary));
+    }
+
+    #[test]
+    fn contained_panic_is_identical_at_any_job_count() {
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        let opts = RobustOptions {
+            panic_on_region: Some(0),
+            ..Default::default()
+        };
+        let run = || {
+            let r = schedule_function_robust(&f, &set, None, &model(), &opts).unwrap();
+            (
+                r.estimated_time().to_bits(),
+                r.outcomes.len(),
+                r.events.iter().map(|e| e.to_string()).collect::<Vec<_>>(),
+            )
+        };
+        let serial = {
+            treegion_par::set_jobs(1);
+            run()
+        };
+        let parallel = {
+            treegion_par::set_jobs(8);
+            let r = run();
+            treegion_par::set_jobs(1);
+            r
+        };
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_wall_deadline_trips_deterministically_and_chain_reports_it() {
+        // A 0 ms deadline trips on the very first loop-boundary check of
+        // every attempt, at every rung — the chain must exhaust and the
+        // terminal error must carry deadline failures for every level.
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        let opts = RobustOptions {
+            budgets: Budgets {
+                max_wall_ms: Some(0),
+                ..Budgets::UNLIMITED
+            },
+            ..Default::default()
+        };
+        let err = schedule_function_robust(&f, &set, None, &model(), &opts)
+            .expect_err("a zero deadline cannot schedule anything");
+        assert_eq!(err.attempts.len(), 3); // primary, slr, bb
+        assert!(err.attempts.iter().all(|(_, c)| c.label() == "deadline"));
+        assert!(err.attempts.iter().all(|(_, c)| c.is_containment()));
+    }
+
+    #[test]
+    fn generous_wall_deadline_changes_nothing() {
+        let (f, _) = figure1_cfg();
+        let set = form_treegions(&f);
+        let clean = schedule_function_robust(&f, &set, None, &model(), &RobustOptions::default())
+            .unwrap()
+            .estimated_time();
+        let opts = RobustOptions {
+            budgets: Budgets {
+                max_wall_ms: Some(60_000),
+                ..Budgets::UNLIMITED
+            },
+            ..Default::default()
+        };
+        let r = schedule_function_robust(&f, &set, None, &model(), &opts).unwrap();
+        assert!(r.is_clean());
+        assert_eq!(r.estimated_time(), clean);
+    }
+
+    #[test]
     fn step_budget_exhausts_the_whole_chain_on_serial_code() {
         // A long serial chain cannot finish in 1 cycle; budget of 1 forces
         // step-budget failures all the way down to single blocks — which
@@ -626,8 +762,8 @@ mod tests {
         let set = form_treegions(&f);
         let opts = RobustOptions {
             budgets: Budgets {
-                max_region_ops: None,
                 max_schedule_cycles: Some(1),
+                ..Budgets::UNLIMITED
             },
             ..Default::default()
         };

@@ -223,6 +223,11 @@ pub fn try_schedule_with_ddg(
     budgets: &Budgets,
 ) -> Result<Schedule, SchedFailure> {
     let n = lr.lops.len();
+    // Soft wall-clock deadline: one `Instant::now()` per schedule cycle
+    // (cycles are coarse — a whole issue pass over the ready list), so
+    // the overhead is negligible while a runaway attempt trips within a
+    // cycle boundary. The clock is per *attempt*: each call starts fresh.
+    let wall_start = budgets.max_wall_ms.map(|_| std::time::Instant::now());
     // Safety valve: a correct DDG can never deadlock, but guard against a
     // cycle bug (or an injected fault) rather than spinning forever. The
     // configured cycle budget tightens, never loosens, the watchdog.
@@ -252,6 +257,18 @@ pub fn try_schedule_with_ddg(
     // Per-node issue counts for the round-robin tie break.
     let mut issued_per_node = vec![0usize; lr.nodes.len()];
     while remaining > 0 {
+        // Deadline check at the loop boundary, before committing to
+        // another cycle. `>=` so a zero-millisecond budget trips on the
+        // very first check — the deterministic trigger the tests use.
+        if let (Some(budget_ms), Some(t0)) = (budgets.max_wall_ms, wall_start) {
+            let elapsed_ms = t0.elapsed().as_millis() as u64;
+            if elapsed_ms >= budget_ms {
+                return Err(SchedFailure::DeadlineExceeded {
+                    elapsed_ms,
+                    budget_ms,
+                });
+            }
+        }
         let mut slots_used = 0usize;
         let mut branches_used = 0usize;
         let mut mem_used = 0usize;

@@ -208,6 +208,18 @@ pub struct FormationCache {
     inner: Arc<Inner>,
 }
 
+/// Locks a cache map, tolerating poisoning. A worker that panics while
+/// holding one of these locks (contained by `par_map_isolated` or the
+/// harness runner) poisons the mutex, but the stored data is always
+/// consistent: entries are inserted fully-formed in a single `HashMap`
+/// operation, and every computation happens *outside* the lock. Treating
+/// poison as fatal would turn one contained panic into a cascade of
+/// failures across every cell that shares the cache — exactly what the
+/// containment layer exists to prevent.
+fn lock_tolerant<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl std::fmt::Debug for FormationCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FormationCache")
@@ -261,7 +273,7 @@ impl FormationCache {
             return Arc::new(ModuleFormation::compute(module, config));
         }
         let key = (ModuleKey::of(module), ConfigKey::of(config));
-        if let Some(hit) = self.inner.formations.lock().unwrap().get(&key) {
+        if let Some(hit) = lock_tolerant(&self.inner.formations).get(&key) {
             self.inner.formation_counters.hit();
             return Arc::clone(hit);
         }
@@ -301,13 +313,13 @@ impl FormationCache {
             config.dominator_parallelism,
             machine_key(machine),
         );
-        if let Some(&hit) = self.inner.times.lock().unwrap().get(&key) {
+        if let Some(&hit) = lock_tolerant(&self.inner.times).get(&key) {
             self.inner.time_counters.hit();
             return hit;
         }
         self.inner.time_counters.miss();
         let v = compute();
-        *self.inner.times.lock().unwrap().entry(key).or_insert(v)
+        *lock_tolerant(&self.inner.times).entry(key).or_insert(v)
     }
 
     /// Hit/miss statistics across all layers.
@@ -324,8 +336,8 @@ impl FormationCache {
 
     /// Drops every stored entry (statistics are preserved).
     pub fn clear(&self) {
-        self.inner.formations.lock().unwrap().clear();
-        self.inner.times.lock().unwrap().clear();
+        lock_tolerant(&self.inner.formations).clear();
+        lock_tolerant(&self.inner.times).clear();
     }
 }
 

@@ -24,15 +24,20 @@
 #![forbid(unsafe_code)]
 
 mod cache;
+mod checkpoint;
 mod config;
 mod dynamic;
 mod harness;
 mod pipeline;
 mod report;
+mod runner;
 mod stats;
 mod variation;
 
 pub use cache::{CacheStats, FormationCache, FunctionFormation, LayerStats, ModuleFormation};
+pub use checkpoint::{
+    cell_path, fnv1a, git_rev, sanitize, CellRecord, CellStatus, RunManifest, MANIFEST_FILE,
+};
 pub use config::{EvalConfig, RegionConfig};
 pub use dynamic::{validate_dynamic, DynamicReport};
 pub use harness::{fig13, fig6, fig8, table1, table2, table3, table4, Suite};
@@ -41,6 +46,10 @@ pub use pipeline::{
     program_time_robust, schedule_function, schedule_function_robust, speedup,
     speedup_with_baseline, FormedFunction, RobustModuleReport, ScheduledRegion,
 };
-pub use report::{degradation_table, f2, f3, Table};
+pub use report::{containment_table, degradation_table, f2, f3, Table};
+pub use runner::{
+    parse_fault_spec, run_harness, CellFault, CellFaultKind, CellResult, HarnessOptions,
+    HarnessReport, CELL_NAMES,
+};
 pub use stats::{region_stats, region_stats_cached, RegionStats};
 pub use variation::{perturb_profile, variation_speedups, variation_table};

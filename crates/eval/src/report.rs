@@ -82,6 +82,27 @@ pub fn degradation_table(events: &[treegion::DegradationEvent]) -> Table {
     t
 }
 
+/// Renders the containment events of a contained harness run as a table:
+/// one row per incident, with the scope (harness cell or region), the
+/// attempt number, the cause, and the action taken (retried with backoff,
+/// recovered, or quarantined).
+pub fn containment_table(events: &[treegion::ContainmentEvent]) -> Table {
+    let mut t = Table::new(
+        "Containment events (panic/deadline isolation)",
+        vec!["scope", "attempt", "cause", "detail", "action"],
+    );
+    for e in events {
+        t.row(vec![
+            e.scope.clone(),
+            e.attempt.to_string(),
+            e.cause.label().to_string(),
+            e.cause.detail(),
+            e.action.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Formats a float with 2 decimal places (the paper's usual precision).
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")

@@ -124,3 +124,46 @@ fn robust_pipeline_is_identical_at_any_job_count() {
     let parallel = with_jobs(8, run);
     assert_eq!(serial, parallel);
 }
+
+/// Runs the contained evaluation harness (no faults) over two fast cells.
+fn contained_merged(checkpoint: Option<std::path::PathBuf>) -> String {
+    use treegion_suite::eval::{run_harness, HarnessOptions};
+    let opts = HarnessOptions {
+        small: Some(1),
+        checkpoint_dir: checkpoint,
+        only: vec!["table1".into(), "fig6@4u".into()],
+        ..HarnessOptions::default()
+    };
+    let report = run_harness(&opts).expect("clean contained run");
+    assert!(!report.has_contained_failures());
+    assert!(report.events.is_empty());
+    report.merged_output()
+}
+
+#[test]
+fn contained_harness_is_identical_at_any_job_count() {
+    let _g = jobs_lock();
+    let serial = with_jobs(1, || contained_merged(None));
+    let parallel = with_jobs(8, || contained_merged(None));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn containment_and_checkpointing_do_not_perturb_results() {
+    let _g = jobs_lock();
+    // Plain harness (no containment envelope at all) ...
+    let suite = Suite::load_small(1);
+    let plain = format!(
+        "{}\n{}\n",
+        table1(&suite).render(),
+        fig6(&suite, &MachineModel::model_4u()).render()
+    );
+    // ... versus the contained runner with checkpointing off and on.
+    let off = contained_merged(None);
+    let dir = std::env::temp_dir().join(format!("tgc-det-ckpt-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let on = contained_merged(Some(dir.clone()));
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(plain, off, "containment must not change results");
+    assert_eq!(off, on, "checkpointing must not change results");
+}
