@@ -12,7 +12,7 @@
 //!   machine's job count.
 //!
 //! ```text
-//! bench_sched [--quick] [--check] [--out PATH]
+//! bench_sched [--quick] [--check] [--out PATH] [--regress BASELINE.json]
 //! ```
 //!
 //! `--quick` (or `BENCH_QUICK=1`) runs a reduced suite with fewer
@@ -21,10 +21,16 @@
 //! (parallelism must never cost more than scheduling noise). `--out`
 //! overrides the output path (default `BENCH_sched.json` in the current
 //! directory, i.e. the repository root when run via `cargo run`).
+//! `--regress BASELINE.json` exits non-zero if `schedule_region` or
+//! `ddg_build` ns/op regresses more than 1.3× against the committed
+//! baseline file (the per-kernel CI regression bound).
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use treegion::{lower_region, schedule_region, Ddg, Heuristic, LoweredRegion, ScheduleOptions};
+use treegion::{
+    lower_region, schedule_region, schedule_with_ddg, Ddg, Heuristic, LoweredRegion,
+    ScheduleOptions,
+};
 use treegion_analysis::{Cfg, Liveness};
 use treegion_bench::bench_module;
 use treegion_eval::{fig13, fig6, fig8, table1, table2, table3, table4, Suite};
@@ -34,6 +40,7 @@ struct Config {
     quick: bool,
     check: bool,
     out: String,
+    regress: Option<String>,
 }
 
 fn parse_config() -> Config {
@@ -41,6 +48,7 @@ fn parse_config() -> Config {
         quick: std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1"),
         check: false,
         out: "BENCH_sched.json".to_string(),
+        regress: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -48,14 +56,30 @@ fn parse_config() -> Config {
             "--quick" => cfg.quick = true,
             "--check" => cfg.check = true,
             "--out" => cfg.out = it.next().expect("--out needs a path"),
+            "--regress" => cfg.regress = Some(it.next().expect("--regress needs a path")),
             other => {
                 eprintln!("bench_sched: unknown argument `{other}`");
-                eprintln!("usage: bench_sched [--quick] [--check] [--out PATH]");
+                eprintln!(
+                    "usage: bench_sched [--quick] [--check] [--out PATH] [--regress BASELINE.json]"
+                );
                 std::process::exit(1);
             }
         }
     }
     cfg
+}
+
+/// Extracts the number following `"key": ` from hand-rolled bench JSON.
+/// Good enough for the files this binary itself writes; `None` when the
+/// key is absent (e.g. a pre-v2 baseline missing a new kernel).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Best-of-`reps` wall time of `body`, in nanoseconds.
@@ -128,7 +152,11 @@ fn harness_ms(quick: bool, cached: bool, jobs: usize) -> f64 {
 
 fn main() {
     let cfg = parse_config();
-    let reps = if cfg.quick { 2 } else { 5 };
+    // Microbench repetitions: best-of-3 even in quick mode — the kernels
+    // cost milliseconds and the `--regress` bound compares against a
+    // best-of-5 committed baseline, so a single noisy rep must not flap
+    // the CI regression gate.
+    let reps = if cfg.quick { 3 } else { 5 };
 
     // --- Microbenchmarks (ns per source/lowered op). ---
     let module = bench_module();
@@ -166,6 +194,22 @@ fn main() {
             std::hint::black_box(schedule_region(lr, &m8, &opts));
         }
     });
+    // List scheduling alone, over prebuilt DDGs: isolates the ready-queue
+    // and issue loop from graph construction.
+    let with_ddgs: Vec<(&LoweredRegion, Ddg)> =
+        lowered.iter().map(|lr| (lr, Ddg::build(lr, &m8))).collect();
+    let list_sched_ns = best_of(reps, || {
+        for (lr, ddg) in &with_ddgs {
+            std::hint::black_box(schedule_with_ddg(lr, ddg, &m8, &opts));
+        }
+    });
+    drop(with_ddgs);
+    // Lowering runs last among the microbenches: it churns the heap
+    // (one arena of vectors per region per rep), and the scheduling
+    // kernels above are measured against the committed baseline.
+    let lowering_ns = best_of(reps, || {
+        std::hint::black_box(lowered_regions(&module));
+    });
 
     // --- End-to-end harness wall times. ---
     let jobs_n = treegion_par::max_jobs();
@@ -189,7 +233,7 @@ fn main() {
     let per = |total_ns: u128, ops: u128| total_ns as f64 / ops.max(1) as f64;
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"treegion-bench-sched/v1\",");
+    let _ = writeln!(j, "  \"schema\": \"treegion-bench-sched/v2\",");
     let _ = writeln!(
         j,
         "  \"mode\": \"{}\",",
@@ -207,7 +251,13 @@ fn main() {
         "    \"formation_treegion_td2\": {:.2},",
         per(formation_td_ns, src_ops)
     );
+    let _ = writeln!(j, "    \"lowering\": {:.2},", per(lowering_ns, src_ops));
     let _ = writeln!(j, "    \"ddg_build\": {:.2},", per(ddg_ns, lowered_ops));
+    let _ = writeln!(
+        j,
+        "    \"list_sched\": {:.2},",
+        per(list_sched_ns, lowered_ops)
+    );
     let _ = writeln!(
         j,
         "    \"schedule_region\": {:.2}",
@@ -239,5 +289,37 @@ fn main() {
         eprintln!(
             "bench_sched: check ok: jobs={jobs_n} {cached_jobsn:.1} ms <= 1.2 x {cached_jobs1:.1} ms"
         );
+    }
+
+    if let Some(baseline_path) = &cfg.regress {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("bench_sched: cannot read baseline {baseline_path}: {e}"));
+        let bound = 1.3;
+        let mut failed = false;
+        for (key, current) in [
+            ("ddg_build", per(ddg_ns, lowered_ops)),
+            ("schedule_region", per(sched_ns, lowered_ops)),
+        ] {
+            let Some(base) = json_number(&baseline, key) else {
+                eprintln!("bench_sched: regress: baseline has no `{key}`, skipping");
+                continue;
+            };
+            let limit = bound * base;
+            if current > limit {
+                eprintln!(
+                    "bench_sched: FAIL: {key} {current:.2} ns/op exceeds \
+                     {bound}x baseline ({base:.2} ns/op)"
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "bench_sched: regress ok: {key} {current:.2} ns/op <= \
+                     {bound} x {base:.2} ns/op"
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

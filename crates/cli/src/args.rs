@@ -109,6 +109,9 @@ pub struct Options {
     /// `--panic-region N`: inject a panic while scheduling region `N`
     /// (exercises the containment path end to end).
     pub panic_region: Option<usize>,
+    /// `schedule --profile`: print a per-phase (formation / lowering /
+    /// DDG / list-sched) timing breakdown after the schedules.
+    pub profile: bool,
     /// `eval --small N`: run the harness on the first `N` benchmarks.
     pub small: Option<usize>,
     /// `eval --checkpoint DIR`: persist per-cell results and a manifest.
@@ -164,6 +167,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
         fault_seed: None,
         jobs: None,
         panic_region: None,
+        profile: false,
         small: None,
         checkpoint: None,
         resume: None,
@@ -196,6 +200,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
                 opts.heuristic = parse_heuristic(v)?;
             }
             "--dompar" => opts.dompar = true,
+            "--profile" => opts.profile = true,
             "--verify" => {
                 let v = it
                     .next()
@@ -410,6 +415,16 @@ mod tests {
         assert!(parse_args(&v(&["schedule", "--jobs", "0"])).is_err());
         assert!(parse_args(&v(&["schedule", "--jobs", "many"])).is_err());
         assert!(parse_args(&v(&["schedule", "--jobs"])).is_err());
+    }
+
+    #[test]
+    fn profile_flag_parses() {
+        assert!(!parse_args(&v(&["schedule", "x.tir"])).unwrap().profile);
+        assert!(
+            parse_args(&v(&["schedule", "x.tir", "--profile"]))
+                .unwrap()
+                .profile
+        );
     }
 
     #[test]

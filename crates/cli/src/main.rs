@@ -5,6 +5,7 @@
 //! tgc regions  FILE.tir [--kind K]            show the region partition
 //! tgc schedule FILE.tir [--kind K] [--machine M] [--heuristic H] [--dompar]
 //!              [--verify V] [--fallback F] [--fault-seed N] [--jobs N]
+//!              [--profile]
 //! tgc run      FILE.tir [--kind K] [--machine M] [--heuristic H] [--fuel N]
 //!              [--verify V] [--fallback F] [--fault-seed N] [--jobs N]
 //! tgc eval     [--small N] [--checkpoint DIR] [--resume MANIFEST]
@@ -50,9 +51,11 @@ use args::{parse_args, KindArg, Options};
 use std::process::ExitCode;
 use treegion::{
     form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
-    render_schedule, schedule_function_robust, Budgets, ContainmentEvent, DegradationEvent,
-    FaultPlan, RegionSet, RetryPolicy, RobustOptions, ScheduleOptions,
+    lower_region, render_schedule, schedule_function_robust, schedule_with_ddg, Budgets,
+    ContainmentEvent, Ddg, DegradationEvent, FaultPlan, RegionSet, RetryPolicy, RobustOptions,
+    ScheduleOptions,
 };
+use treegion_analysis::{Cfg, Liveness};
 use treegion_ir::{
     parse_module, print_function, print_module, verify_function, BlockId, Function, Module,
 };
@@ -300,7 +303,74 @@ fn cmd_schedule(opts: &Options) -> Result<Vec<DegradationEvent>, String> {
         events.extend(result.events);
     }
     println!("total estimated time: {total}");
+    if opts.profile {
+        print_profile(&module, opts);
+    }
     Ok(events)
+}
+
+/// `--profile`: per-phase wall-time breakdown of the clean scheduling
+/// pipeline (formation / lowering / DDG construction / list scheduling)
+/// over the whole module. The robust driver above interleaves phases per
+/// region, so the profile runs a dedicated straight-line replay with the
+/// same kind/machine/heuristic flags and times each phase in bulk.
+fn print_profile(module: &Module, opts: &Options) {
+    use std::time::{Duration, Instant};
+    let sopts = ScheduleOptions {
+        heuristic: opts.heuristic,
+        dominator_parallelism: opts.dompar,
+        ..Default::default()
+    };
+
+    let t0 = Instant::now();
+    let formed: Vec<(Function, RegionSet, Vec<BlockId>)> = module
+        .functions()
+        .iter()
+        .map(|f| form(f, &opts.kind))
+        .collect();
+    let formation = t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut lowered = Vec::new();
+    for (func, regions, origin) in &formed {
+        let cfg = Cfg::new(func);
+        let live = Liveness::new(func, &cfg);
+        for r in regions.regions() {
+            lowered.push(lower_region(func, r, &live, Some(origin)));
+        }
+    }
+    let lowering = t0.elapsed();
+
+    let t0 = Instant::now();
+    let ddgs: Vec<Ddg> = lowered
+        .iter()
+        .map(|lr| Ddg::build(lr, &opts.machine))
+        .collect();
+    let ddg_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    for (lr, ddg) in lowered.iter().zip(&ddgs) {
+        std::hint::black_box(schedule_with_ddg(lr, ddg, &opts.machine, &sopts));
+    }
+    let list_sched = t0.elapsed();
+
+    let total = formation + lowering + ddg_time + list_sched;
+    let regions: usize = formed.iter().map(|(_, rs, _)| rs.regions().len()).sum();
+    let ops: usize = lowered.iter().map(|lr| lr.num_ops()).sum();
+    let row = |name: &str, d: Duration| {
+        let us = d.as_secs_f64() * 1e6;
+        let pct = 100.0 * d.as_secs_f64() / total.as_secs_f64().max(1e-12);
+        println!("  {name:<10} {us:>10.1} us  {pct:>5.1}%");
+    };
+    println!(
+        "profile ({} function(s), {regions} region(s), {ops} lowered ops):",
+        formed.len()
+    );
+    row("formation", formation);
+    row("lowering", lowering);
+    row("ddg", ddg_time);
+    row("list-sched", list_sched);
+    row("total", total);
 }
 
 fn cmd_run(opts: &Options) -> Result<Vec<DegradationEvent>, String> {

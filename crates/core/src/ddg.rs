@@ -30,39 +30,39 @@ use treegion_machine::MachineModel;
 /// Replaces the seed's `HashMap<Reg, usize>` on the DDG hot path —
 /// renaming mints small dense register indices, so a direct-indexed table
 /// is both smaller and an order of magnitude faster to probe.
-struct DefMap {
-    tables: [Vec<u32>; 3],
+struct DefMap<'a> {
+    tables: &'a [Vec<u32>; 3],
 }
 
 const NO_DEF: u32 = u32::MAX;
 
-impl DefMap {
-    fn build(lr: &LoweredRegion) -> Self {
-        // Size each class table from the maximum defined index.
-        let mut max_idx = [0usize; 3];
-        let mut any = [false; 3];
-        for l in &lr.lops {
-            for d in &l.op.defs {
-                let c = d.class().index();
-                max_idx[c] = max_idx[c].max(d.index() as usize);
-                any[c] = true;
-            }
+/// Rebuilds the per-class def tables in place (cleared first; unused
+/// classes stay empty so lookups fall through to `None`).
+fn fill_def_tables(lr: &LoweredRegion, tables: &mut [Vec<u32>; 3]) {
+    // Size each class table from the maximum defined index.
+    let mut max_idx = [0usize; 3];
+    let mut any = [false; 3];
+    for l in &lr.lops {
+        for d in &l.op.defs {
+            let c = d.class().index();
+            max_idx[c] = max_idx[c].max(d.index() as usize);
+            any[c] = true;
         }
-        let mut tables: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        for c in 0..3 {
-            if any[c] {
-                tables[c] = vec![NO_DEF; max_idx[c] + 1];
-            }
-        }
-        let mut map = DefMap { tables };
-        for (i, l) in lr.lops.iter().enumerate() {
-            for d in &l.op.defs {
-                map.tables[d.class().index()][d.index() as usize] = i as u32;
-            }
-        }
-        map
     }
+    for c in 0..3 {
+        tables[c].clear();
+        if any[c] {
+            tables[c].resize(max_idx[c] + 1, NO_DEF);
+        }
+    }
+    for (i, l) in lr.lops.iter().enumerate() {
+        for d in &l.op.defs {
+            tables[d.class().index()][d.index() as usize] = i as u32;
+        }
+    }
+}
 
+impl DefMap<'_> {
     #[inline]
     fn get(&self, r: &Reg) -> Option<usize> {
         match self.tables[r.class().index()].get(r.index() as usize) {
@@ -70,6 +70,31 @@ impl DefMap {
             _ => None,
         }
     }
+}
+
+/// Per-path memory-serialization state for the DDG build's tree walk:
+/// the last store/call barrier plus the loads issued since it.
+#[derive(Clone, Default)]
+struct MemState {
+    last_barrier: Option<usize>,
+    loads: Vec<usize>,
+}
+
+/// Reusable per-thread buffers for [`Ddg::build`]; every field is
+/// cleared or overwritten per call, so only capacity persists between
+/// regions (including the `loads` vecs nested inside `node_state`).
+#[derive(Default)]
+struct BuildScratch {
+    def_tables: [Vec<u32>; 3],
+    node_off: Vec<u32>,
+    node_lops: Vec<u32>,
+    children_left: Vec<usize>,
+    node_state: Vec<MemState>,
+}
+
+thread_local! {
+    static BUILD_SCRATCH: std::cell::RefCell<BuildScratch> =
+        std::cell::RefCell::new(BuildScratch::default());
 }
 
 /// Why an edge exists (useful for debugging and tests).
@@ -99,27 +124,100 @@ pub struct Dep {
     pub kind: DepKind,
 }
 
-/// The dependence graph: edges plus per-op adjacency.
+/// The dependence graph: edges plus per-op adjacency in CSR
+/// (compressed sparse row) form.
+///
+/// The seed stored adjacency as `Vec<Vec<usize>>` edge-index lists — `2n`
+/// heap allocations per region and a double indirection
+/// (`edges[succs[op][k]]`) on every scheduler walk. The CSR layout packs
+/// each op's out-/in-edges contiguously (`succ_csr`/`pred_csr`) behind an
+/// `n + 1` offset table, so [`Ddg::succs`]/[`Ddg::preds`] are plain
+/// slices: four flat allocations total, one pointer chase per walk, and
+/// within-bucket order identical to the seed's push order (the counting
+/// fill visits `edges` in the same order `rebuild_adjacency` used to).
 #[derive(Clone, Debug)]
 pub struct Ddg {
     num_ops: usize,
     edges: Vec<Dep>,
-    succs: Vec<Vec<usize>>, // edge indices by producer
-    preds: Vec<Vec<usize>>, // edge indices by consumer
+    succ_off: Vec<u32>, // n + 1 offsets into succ_csr, bucketed by producer
+    succ_csr: Vec<Dep>,
+    pred_off: Vec<u32>, // n + 1 offsets into pred_csr, bucketed by consumer
+    pred_csr: Vec<Dep>,
+    // Every edge satisfies `from < to` (true for every graph `build`
+    // produces: defs precede uses, memory/guard/retire edges follow
+    // program order). When set, one reverse sweep computes exact
+    // dependence heights; when cleared (a hand-inserted or fault-injected
+    // backward edge), `heights` falls back to relaxation to a fixpoint.
+    forward_only: bool,
+}
+
+/// Builds both CSR halves in one counting pass over `edges`.
+///
+/// Within-bucket order is the order edges appear in `edges`, exactly
+/// matching the seed's `push`-per-edge adjacency fill — this is what keeps
+/// every downstream consumer (heights relaxation, release order in the
+/// list scheduler) byte-identical.
+fn fill_csr(n: usize, edges: &[Dep]) -> (Vec<u32>, Vec<Dep>, Vec<u32>, Vec<Dep>) {
+    let mut succ_off = vec![0u32; n + 1];
+    let mut pred_off = vec![0u32; n + 1];
+    for e in edges {
+        succ_off[e.from + 1] += 1;
+        pred_off[e.to + 1] += 1;
+    }
+    for i in 0..n {
+        succ_off[i + 1] += succ_off[i];
+        pred_off[i + 1] += pred_off[i];
+    }
+    let filler = Dep {
+        from: 0,
+        to: 0,
+        latency: 0,
+        kind: DepKind::Data,
+    };
+    let mut succ_csr = vec![filler; edges.len()];
+    let mut pred_csr = vec![filler; edges.len()];
+    // The offset tables double as fill cursors (no scratch allocation):
+    // after the fill, entry `i` holds the *end* of bucket `i`, i.e. the
+    // start of bucket `i + 1` — one shift restores start-offset form.
+    for e in edges {
+        succ_csr[succ_off[e.from] as usize] = *e;
+        succ_off[e.from] += 1;
+        pred_csr[pred_off[e.to] as usize] = *e;
+        pred_off[e.to] += 1;
+    }
+    for i in (1..=n).rev() {
+        succ_off[i] = succ_off[i - 1];
+        pred_off[i] = pred_off[i - 1];
+    }
+    succ_off[0] = 0;
+    pred_off[0] = 0;
+    (succ_off, succ_csr, pred_off, pred_csr)
 }
 
 impl Ddg {
     /// Builds the DDG for `lr` under machine model `m`.
     pub fn build(lr: &LoweredRegion, m: &MachineModel) -> Self {
+        // The transient build tables (def maps, node CSR, walk state) are
+        // region-sized and fully reinitialized per call; a thread-local
+        // arena hands their allocations from one region to the next.
+        BUILD_SCRATCH.with(|cell| Self::build_inner(&mut cell.borrow_mut(), lr, m))
+    }
+
+    fn build_inner(scratch: &mut BuildScratch, lr: &LoweredRegion, m: &MachineModel) -> Self {
         let n = lr.lops.len();
         // Pre-size from op counts: in practice regions average ~2 edges
         // per op (one data edge per use plus memory/guard/retire edges);
         // reserving up front avoids repeated growth in the hot loop.
+        // (`edges` is retained inside the returned graph, so it is the
+        // one build table that genuinely allocates per call.)
         let per_op_uses: usize = lr.lops.iter().map(|l| l.op.uses.len()).sum();
         let mut edges: Vec<Dep> = Vec::with_capacity(per_op_uses + 2 * n);
 
         // --- Data edges: single-assignment defs -> uses. ---
-        let def_of = DefMap::build(lr);
+        fill_def_tables(lr, &mut scratch.def_tables);
+        let def_of = DefMap {
+            tables: &scratch.def_tables,
+        };
         for (i, l) in lr.lops.iter().enumerate() {
             for u in &l.op.uses {
                 if let Some(p) = def_of.get(u) {
@@ -151,21 +249,48 @@ impl Ddg {
 
         // --- Memory serialization along each root-to-node path. ---
         // Walk the tree carrying (last barrier, loads since barrier).
-        #[derive(Clone, Default)]
-        struct MemState {
-            last_barrier: Option<usize>,
-            loads: Vec<usize>,
+        let num_nodes = lr.nodes.len();
+        let node_state = &mut scratch.node_state;
+        for st in node_state.iter_mut() {
+            st.last_barrier = None;
+            st.loads.clear();
         }
-        let mut node_state: Vec<MemState> = vec![MemState::default(); lr.nodes.len()];
-        // lop indices grouped by node, in program order.
-        let mut by_node: Vec<Vec<usize>> = vec![Vec::new(); lr.nodes.len()];
+        node_state.resize_with(num_nodes, MemState::default);
+        // lop indices grouped by node, in program order — flat CSR
+        // (two allocations in the seed rewrite, now arena-backed) instead
+        // of one `Vec` per node.
+        let node_off = &mut scratch.node_off;
+        node_off.clear();
+        node_off.resize(num_nodes + 1, 0);
+        for l in &lr.lops {
+            node_off[l.home + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            node_off[i + 1] += node_off[i];
+        }
+        let node_lops = &mut scratch.node_lops;
+        node_lops.clear();
+        node_lops.resize(n, 0);
+        // `node_off` doubles as the fill cursor (see `fill_csr`).
         for (i, l) in lr.lops.iter().enumerate() {
-            by_node[l.home].push(i);
+            node_lops[node_off[l.home] as usize] = i as u32;
+            node_off[l.home] += 1;
         }
+        for i in (1..=num_nodes).rev() {
+            node_off[i] = node_off[i - 1];
+        }
+        node_off[0] = 0;
+        let node_off: &[u32] = node_off; // freeze
+        let node_lops: &[u32] = node_lops;
+        let by_node = |node: usize| -> &[u32] {
+            &node_lops[node_off[node] as usize..node_off[node + 1] as usize]
+        };
         // Child counts let the walk *move* a parent's MemState into its
         // last (often only) child instead of cloning the `loads` vec for
         // every node — the per-node clone the seed paid on this hot path.
-        let mut children_left: Vec<usize> = vec![0; lr.nodes.len()];
+        let children_left = &mut scratch.children_left;
+        children_left.clear();
+        children_left.resize(num_nodes, 0);
         for node in &lr.nodes {
             if let Some(p) = node.parent {
                 children_left[p] += 1;
@@ -184,7 +309,8 @@ impl Ddg {
                 }
                 None => MemState::default(),
             };
-            for &i in &by_node[node] {
+            for &i in by_node(node) {
+                let i = i as usize;
                 match lr.lops[i].op.opcode {
                     Opcode::Load => {
                         if let Some(b) = st.last_barrier {
@@ -242,7 +368,8 @@ impl Ddg {
             // Side effects on the exit's path must have issued.
             let mut cur = Some(exit.from_node);
             while let Some(nidx) = cur {
-                for &i in &by_node[nidx] {
+                for &i in by_node(nidx) {
+                    let i = i as usize;
                     if lr.lops[i].op.opcode.has_side_effects() && i != br {
                         edges.push(Dep {
                             from: i,
@@ -256,29 +383,27 @@ impl Ddg {
             }
         }
 
-        // Dedup (keep max latency per (from, to)).
-        edges.sort_by_key(|e| (e.from, e.to, std::cmp::Reverse(e.latency)));
+        // Dedup (keep max latency per (from, to)). The sort key packs
+        // (from, to, descending latency) into one integer — a single
+        // u128 compare per element instead of a three-field tuple
+        // compare — and the *stable* sort preserves the original order
+        // among full-key ties, so the surviving edge (and hence the
+        // public `edges()` order) is byte-identical to the seed's.
+        edges.sort_by_key(|e| {
+            ((e.from as u128) << 64) | ((e.to as u128) << 32) | (!e.latency as u128)
+        });
         edges.dedup_by_key(|e| (e.from, e.to));
 
-        // Build adjacency with exact pre-sizing (count degrees first, then
-        // fill) so no per-op vec reallocates.
-        let mut succ_deg = vec![0usize; n];
-        let mut pred_deg = vec![0usize; n];
-        for e in &edges {
-            succ_deg[e.from] += 1;
-            pred_deg[e.to] += 1;
-        }
-        let mut succs: Vec<Vec<usize>> = succ_deg.iter().map(|&d| Vec::with_capacity(d)).collect();
-        let mut preds: Vec<Vec<usize>> = pred_deg.iter().map(|&d| Vec::with_capacity(d)).collect();
-        for (k, e) in edges.iter().enumerate() {
-            succs[e.from].push(k);
-            preds[e.to].push(k);
-        }
+        let (succ_off, succ_csr, pred_off, pred_csr) = fill_csr(n, &edges);
+        let forward_only = edges.iter().all(|e| e.from < e.to);
         Ddg {
             num_ops: n,
             edges,
-            succs,
-            preds,
+            succ_off,
+            succ_csr,
+            pred_off,
+            pred_csr,
+            forward_only,
         }
     }
 
@@ -318,16 +443,12 @@ impl Ddg {
     }
 
     fn rebuild_adjacency(&mut self) {
-        for s in self.succs.iter_mut() {
-            s.clear();
-        }
-        for p in self.preds.iter_mut() {
-            p.clear();
-        }
-        for (k, e) in self.edges.iter().enumerate() {
-            self.succs[e.from].push(k);
-            self.preds[e.to].push(k);
-        }
+        let (succ_off, succ_csr, pred_off, pred_csr) = fill_csr(self.num_ops, &self.edges);
+        self.succ_off = succ_off;
+        self.succ_csr = succ_csr;
+        self.pred_off = pred_off;
+        self.pred_csr = pred_csr;
+        self.forward_only = self.edges.iter().all(|e| e.from < e.to);
     }
 
     /// All edges.
@@ -335,14 +456,22 @@ impl Ddg {
         &self.edges
     }
 
-    /// Outgoing edges of `op`.
-    pub fn succs(&self, op: usize) -> impl Iterator<Item = &Dep> {
-        self.succs[op].iter().map(move |&k| &self.edges[k])
+    /// Outgoing edges of `op`, as a contiguous CSR slice.
+    #[inline]
+    pub fn succs(&self, op: usize) -> &[Dep] {
+        &self.succ_csr[self.succ_off[op] as usize..self.succ_off[op + 1] as usize]
     }
 
-    /// Incoming edges of `op`.
-    pub fn preds(&self, op: usize) -> impl Iterator<Item = &Dep> {
-        self.preds[op].iter().map(move |&k| &self.edges[k])
+    /// Incoming edges of `op`, as a contiguous CSR slice.
+    #[inline]
+    pub fn preds(&self, op: usize) -> &[Dep] {
+        &self.pred_csr[self.pred_off[op] as usize..self.pred_off[op + 1] as usize]
+    }
+
+    /// In-degree of `op` — an O(1) offset subtraction in the CSR layout.
+    #[inline]
+    pub fn pred_count(&self, op: usize) -> usize {
+        (self.pred_off[op + 1] - self.pred_off[op]) as usize
     }
 
     /// Dependence heights: `height[i] = max(latency(i), max over edges
@@ -350,11 +479,23 @@ impl Ddg {
     /// from `i` to the end of the schedule, including `i`'s own latency.
     /// This is the paper's *dependence height* (critical path) priority.
     pub fn heights(&self, lr: &LoweredRegion, m: &MachineModel) -> Vec<u32> {
-        let mut height = vec![0u32; self.num_ops];
-        // All edges point from earlier lop indices to later ones (defs are
-        // emitted before uses, memory/guard/retire edges follow program
-        // order), so a single reverse sweep would suffice; the relaxation
-        // loop keeps this robust should that ever change.
+        let mut height = Vec::new();
+        self.heights_into(lr, m, &mut height);
+        height
+    }
+
+    /// [`Ddg::heights`] into a caller-provided buffer (cleared first) —
+    /// the list scheduler's per-region calls reuse one thread-local
+    /// buffer instead of allocating a fresh vec per region.
+    pub(crate) fn heights_into(&self, lr: &LoweredRegion, m: &MachineModel, height: &mut Vec<u32>) {
+        height.clear();
+        height.resize(self.num_ops, 0);
+        // All edges `build` produces point from earlier lop indices to
+        // later ones (defs are emitted before uses, memory/guard/retire
+        // edges follow program order), so a single reverse sweep computes
+        // the exact fixpoint — the `forward_only` flag proves it and
+        // skips the seed's confirmation re-sweep. Hand-edited graphs with
+        // a backward edge relax to a fixpoint as before.
         let mut changed = true;
         while changed {
             changed = false;
@@ -368,8 +509,10 @@ impl Ddg {
                     changed = true;
                 }
             }
+            if self.forward_only {
+                break;
+            }
         }
-        height
     }
 }
 
@@ -492,6 +635,7 @@ mod tests {
         let guard = lr.lops[store].guard.unwrap();
         let has_guard_edge = ddg
             .preds(store)
+            .iter()
             .any(|e| lr.lops[e.from].op.defs.contains(&guard));
         assert!(has_guard_edge);
         let _ = a;
@@ -577,7 +721,7 @@ mod tests {
         // Rets are guarded by path preds which chain to the cmpp and the cmp.
         for exit in &lr.exits {
             let br = exit.branch_lop;
-            assert!(ddg.preds(br).count() >= 1, "exit branch has no deps");
+            assert!(ddg.pred_count(br) >= 1, "exit branch has no deps");
         }
         // Critical path: movi(1) -> cmp(1) -> cmpp(1) -> ret: height of movi >= 4.
         let h = ddg.heights(&lr, &m);

@@ -15,10 +15,9 @@
 //!   incoming edges are not duplicated *unless* they have no successors
 //!   (e.g. function exits, which are cheap to duplicate).
 
-use crate::form::treegion::absorb_into_tree;
+use crate::form::treegion::{absorb_into_tree, FlowFacts};
 use crate::{Region, RegionKind, RegionSet};
 use std::collections::VecDeque;
-use treegion_analysis::Cfg;
 use treegion_ir::{Block, BlockId, Function};
 
 /// Limits applied during tail duplication (Section 4 defaults: merge
@@ -79,6 +78,12 @@ pub fn form_treegions_td(f: &Function, limits: &TailDupLimits) -> TailDupResult 
     let mut func = f.clone();
     let mut origin: Vec<BlockId> = func.block_ids().collect();
     let mut set = RegionSet::new(RegionKind::Treegion);
+    // Flow facts maintained incrementally across duplications. The seed
+    // rebuilt a whole-function `Cfg` (successor lists, predecessor
+    // lists, DFS postorder) three times per absorbed sapling; a
+    // single-block duplication only perturbs the clone, its source, and
+    // the clone's successors, so the view updates in O(out-degree).
+    let mut flow = FlowView::new(&func);
     let mut unprocessed: VecDeque<BlockId> = VecDeque::new();
     unprocessed.push_back(func.entry());
 
@@ -86,9 +91,8 @@ pub fn form_treegions_td(f: &Function, limits: &TailDupLimits) -> TailDupResult 
         if set.region_of(node).is_some() {
             continue;
         }
-        let region = grow_region_td(&mut func, &mut origin, &set, node, limits);
+        let region = grow_region_td(&mut func, &mut origin, &mut flow, &set, node, limits);
         // Enqueue remaining saplings.
-        let cfg = Cfg::new(&func);
         for exit in region.exit_edges(&func) {
             if exit.succ_index == usize::MAX {
                 continue;
@@ -98,14 +102,13 @@ pub fn form_treegions_td(f: &Function, limits: &TailDupLimits) -> TailDupResult 
                 unprocessed.push_back(target);
             }
         }
-        let _ = cfg;
         set.add(region);
     }
 
     // Sweep leftovers (unreachable blocks).
     for b in func.block_ids().collect::<Vec<_>>() {
         if set.region_of(b).is_none() {
-            let region = grow_region_td(&mut func, &mut origin, &set, b, limits);
+            let region = grow_region_td(&mut func, &mut origin, &mut flow, &set, b, limits);
             set.add(region);
         }
     }
@@ -117,26 +120,78 @@ pub fn form_treegions_td(f: &Function, limits: &TailDupLimits) -> TailDupResult 
     }
 }
 
+/// Incrementally maintained per-edge successor lists and incoming-edge
+/// counts — the subset of [`treegion_analysis::Cfg`] that `treeform-td`
+/// consumes, kept exact across tail duplications instead of rebuilt from
+/// scratch around every candidate.
+struct FlowView {
+    /// `succs[b]`: successors of block `b`, one entry per terminator
+    /// edge, in edge order (mirrors `Block::successors`).
+    succs: Vec<Vec<BlockId>>,
+    /// `pred_count[b]`: number of incoming edges of `b` (the merge count).
+    pred_count: Vec<u32>,
+}
+
+impl FlowView {
+    fn new(f: &Function) -> Self {
+        let mut succs = Vec::with_capacity(f.num_blocks());
+        for (_, block) in f.blocks() {
+            succs.push(block.successors());
+        }
+        let mut pred_count = vec![0u32; succs.len()];
+        for ss in &succs {
+            for s in ss {
+                pred_count[s.index()] += 1;
+            }
+        }
+        FlowView { succs, pred_count }
+    }
+
+    /// Applies the flow effect of [`split_off_copy`]: `dup` (a clone of
+    /// `block`) was appended and the edge `(leaf, si)` retargeted to it.
+    /// The clone inherits `block`'s out-edges verbatim (profile scaling
+    /// does not change targets), so each of its successors gains one
+    /// incoming edge; `block` loses the retargeted edge and `dup` gains
+    /// it as its single predecessor.
+    fn note_split(&mut self, block: BlockId, dup: BlockId, leaf: BlockId, si: usize) {
+        debug_assert_eq!(dup.index(), self.succs.len());
+        let dup_succs = self.succs[block.index()].clone();
+        for s in &dup_succs {
+            self.pred_count[s.index()] += 1;
+        }
+        self.succs.push(dup_succs);
+        self.pred_count.push(1);
+        self.pred_count[block.index()] -= 1;
+        self.succs[leaf.index()][si] = dup;
+    }
+}
+
+impl FlowFacts for FlowView {
+    fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+    fn merge_count(&self, b: BlockId) -> usize {
+        self.pred_count[b.index()] as usize
+    }
+}
+
 /// Grows one treegion from `root`, applying tail duplication until no
 /// sapling qualifies.
 fn grow_region_td(
     func: &mut Function,
     origin: &mut Vec<BlockId>,
+    flow: &mut FlowView,
     set: &RegionSet,
     root: BlockId,
     limits: &TailDupLimits,
 ) -> Region {
     let mut region = Region::new(RegionKind::Treegion, root);
-    {
-        let cfg = Cfg::new(func);
-        absorb_into_tree(&mut region, root, &cfg, set);
-    }
+    absorb_into_tree(&mut region, root, flow, set);
 
     loop {
         if region.path_count() >= limits.path_limit {
             break;
         }
-        let cfg = Cfg::new(func);
         // Candidate saplings: exit-edge targets not in any region.
         let mut chosen: Option<(BlockId, BlockId, usize)> = None; // (sapling, leaf, si)
         for exit in region.exit_edges(func) {
@@ -147,7 +202,7 @@ fn grow_region_td(
             if region.contains(target) || set.region_of(target).is_some() {
                 continue;
             }
-            let merge_count = cfg.merge_count(target);
+            let merge_count = flow.merge_count(target);
             let will_copy = merge_count > 1;
             if exceeds_expansion(
                 func,
@@ -170,18 +225,16 @@ fn grow_region_td(
             break;
         };
 
-        let merge_count = Cfg::new(func).merge_count(sapling);
-        if merge_count > 1 {
+        if flow.merge_count(sapling) > 1 {
             // Tail duplicate: clone the sapling for this in-tree edge.
             let dup = split_off_copy(func, origin, sapling, leaf, si);
+            flow.note_split(sapling, dup, leaf, si);
             region.absorb(dup, leaf, si);
-            let cfg = Cfg::new(func);
-            absorb_into_tree(&mut region, dup, &cfg, set);
+            absorb_into_tree(&mut region, dup, flow, set);
         } else {
             // Single remaining incoming edge: absorb directly.
             region.absorb(sapling, leaf, si);
-            let cfg = Cfg::new(func);
-            absorb_into_tree(&mut region, sapling, &cfg, set);
+            absorb_into_tree(&mut region, sapling, flow, set);
         }
     }
     region

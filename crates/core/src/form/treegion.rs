@@ -49,6 +49,27 @@ pub fn form_treegions(f: &Function) -> RegionSet {
     set
 }
 
+/// The flow facts `absorb-into-tree` consumes: per-edge successor lists
+/// and incoming-edge (merge) counts. Implemented by the snapshot
+/// [`Cfg`] for plain formation and by tail duplication's incrementally
+/// maintained view (rebuilding a whole-function `Cfg` after every
+/// single-block duplication dominated `treeform-td`'s cost).
+pub(crate) trait FlowFacts {
+    /// Successors of `b`, one entry per terminator edge, in edge order.
+    fn succs(&self, b: BlockId) -> &[BlockId];
+    /// Number of incoming edges of `b`.
+    fn merge_count(&self, b: BlockId) -> usize;
+}
+
+impl FlowFacts for Cfg {
+    fn succs(&self, b: BlockId) -> &[BlockId] {
+        Cfg::succs(self, b)
+    }
+    fn merge_count(&self, b: BlockId) -> usize {
+        Cfg::merge_count(self, b)
+    }
+}
+
 /// Figure 2's `absorb-into-tree`: starting from `node` (already the root
 /// of `region`), absorb successors depth-first, skipping merge points and
 /// blocks already in a region. Returns the saplings encountered.
@@ -56,10 +77,10 @@ pub fn form_treegions(f: &Function) -> RegionSet {
 /// The candidate queue is a stack pushed at the front (the paper adds
 /// successors "to (front of) candidate queue"), giving a depth-first
 /// absorption order.
-pub(crate) fn absorb_into_tree(
+pub(crate) fn absorb_into_tree<F: FlowFacts>(
     region: &mut Region,
     node: BlockId,
-    cfg: &Cfg,
+    cfg: &F,
     set: &RegionSet,
 ) -> Vec<BlockId> {
     let mut saplings = Vec::new();
@@ -77,7 +98,7 @@ pub(crate) fn absorb_into_tree(
             saplings.push(cand);
             continue;
         }
-        if cfg.is_merge_point(cand) {
+        if cfg.merge_count(cand) > 1 {
             // Merge points delimit treegions; they become saplings.
             if !saplings.contains(&cand) {
                 saplings.push(cand);
@@ -90,7 +111,11 @@ pub(crate) fn absorb_into_tree(
     saplings
 }
 
-fn push_successors(candidates: &mut VecDeque<(BlockId, BlockId, usize)>, from: BlockId, cfg: &Cfg) {
+fn push_successors<F: FlowFacts>(
+    candidates: &mut VecDeque<(BlockId, BlockId, usize)>,
+    from: BlockId,
+    cfg: &F,
+) {
     // Push to the *front* in reverse so the first successor is processed
     // first (depth-first, successor order preserved).
     for (i, &s) in cfg.succs(from).iter().enumerate().rev() {

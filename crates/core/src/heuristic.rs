@@ -51,21 +51,29 @@ impl Heuristic {
     /// lexicographically, larger = scheduled first.
     pub fn priorities(self, lr: &LoweredRegion, ddg: &Ddg, m: &MachineModel) -> Vec<Priority> {
         let heights = ddg.heights(lr, m);
-        lr.lops
-            .iter()
-            .enumerate()
-            .map(|(i, l)| {
-                let node = &lr.nodes[l.home];
-                let h = heights[i] as f64;
-                let key = match self {
-                    Heuristic::DependenceHeight => [h, 0.0, 0.0],
-                    Heuristic::ExitCount => [node.exits_below as f64, h, 0.0],
-                    Heuristic::GlobalWeight => [node.weight, h, 0.0],
-                    Heuristic::WeightedCount => [node.weight, node.exits_below as f64, h],
-                };
-                Priority { key }
+        (0..lr.lops.len())
+            .map(|i| Priority {
+                key: self.key_components(lr, i, heights[i]),
             })
             .collect()
+    }
+
+    /// The raw priority components of op `i` given its dependence
+    /// height — the single-op core of [`Heuristic::priorities`], exposed
+    /// crate-internally so the list scheduler can fuse key packing into
+    /// its ready-key construction pass without materializing a
+    /// `Vec<Priority>` first. Must stay in lockstep with `priorities`
+    /// (it *is* its body) so packed and unpacked comparisons agree.
+    #[inline]
+    pub(crate) fn key_components(self, lr: &LoweredRegion, i: usize, height: u32) -> [f64; 3] {
+        let node = &lr.nodes[lr.lops[i].home];
+        let h = height as f64;
+        match self {
+            Heuristic::DependenceHeight => [h, 0.0, 0.0],
+            Heuristic::ExitCount => [node.exits_below as f64, h, 0.0],
+            Heuristic::GlobalWeight => [node.weight, h, 0.0],
+            Heuristic::WeightedCount => [node.weight, node.exits_below as f64, h],
+        }
     }
 }
 
@@ -86,6 +94,42 @@ impl Priority {
     pub fn key(&self) -> [f64; 3] {
         self.key
     }
+
+    /// Packs the key into three order-preserving `u64` words; see
+    /// [`pack3`], which the list scheduler uses directly.
+    #[cfg(test)]
+    pub(crate) fn packed(&self) -> [u64; 3] {
+        pack3(self.key)
+    }
+}
+
+/// Packs a raw key triple into three order-preserving `u64` words so the
+/// list scheduler's ready queue can compare priorities with plain integer
+/// comparisons instead of three `f64::partial_cmp` calls per element per
+/// sort pass. The scheduler feeds it [`Heuristic::key_components`] output
+/// directly, skipping any intermediate `Vec<Priority>`.
+///
+/// The packing is the usual total-order bit trick (flip all bits of
+/// negatives, set the sign bit of non-negatives): for the finite
+/// values heuristics produce (non-negative heights, exit counts, and
+/// profile weights) `pack3(a) <= pack3(b)` iff `a <= b` under
+/// [`Priority`]'s `Ord`. NaN (impossible here — every component is built
+/// from integer counts or summed non-negative profile weights) would
+/// order as "greater than every finite value" instead of the `Ord`
+/// impl's "equal"; the differential reference-scheduler test guards
+/// this equivalence over the fuzz corpus.
+#[inline]
+pub(crate) fn pack3(key: [f64; 3]) -> [u64; 3] {
+    #[inline]
+    fn pack(x: f64) -> u64 {
+        let b = x.to_bits();
+        if b & (1 << 63) != 0 {
+            !b
+        } else {
+            b | (1 << 63)
+        }
+    }
+    [pack(key[0]), pack(key[1]), pack(key[2])]
 }
 
 impl Eq for Priority {}
@@ -191,6 +235,29 @@ mod tests {
         let mut v = vec![a, b, c];
         v.sort();
         assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn packed_keys_preserve_priority_order() {
+        let keys = [
+            [0.0, 0.0, 0.0],
+            [0.5, 3.0, 1.0],
+            [1.0, 0.0, 2.0],
+            [1.0, 2.0, 0.0],
+            [90.0, 1.0, 7.0],
+            [100.5, 0.25, 3.0],
+        ];
+        for a in keys {
+            for b in keys {
+                let (pa, pb) = (Priority { key: a }, Priority { key: b });
+                assert_eq!(
+                    pa.packed().cmp(&pb.packed()),
+                    pa.cmp(&pb),
+                    "packed order diverges for {a:?} vs {b:?}"
+                );
+                assert_eq!(pack3(a).cmp(&pack3(b)), pa.cmp(&pb));
+            }
+        }
     }
 
     #[test]

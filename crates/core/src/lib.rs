@@ -19,6 +19,8 @@ mod lower;
 mod region;
 mod robust;
 mod sched;
+#[cfg(debug_assertions)]
+mod sched_ref;
 mod verify_sched;
 
 pub use contain::{ContainmentAction, ContainmentCause, ContainmentEvent, RetryPolicy};
@@ -44,6 +46,8 @@ pub use sched::{
     render_schedule, schedule_region, schedule_with_ddg, try_schedule_region,
     try_schedule_with_ddg, Schedule, ScheduleOptions, TieBreak,
 };
+#[cfg(debug_assertions)]
+pub use sched_ref::schedule_with_ddg_reference;
 pub use verify_sched::{verify_schedule, ScheduleError, ScheduleErrorKind};
 
 #[cfg(test)]

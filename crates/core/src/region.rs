@@ -142,10 +142,15 @@ impl Region {
     /// Leaf members (no in-region children). The number of leaves equals
     /// the paper's *path count* for tree-shaped regions.
     pub fn leaves(&self) -> Vec<BlockId> {
+        let parents: std::collections::HashSet<BlockId> = self
+            .parent_edge
+            .iter()
+            .filter_map(|pe| pe.map(|(p, _)| p))
+            .collect();
         self.blocks
             .iter()
             .copied()
-            .filter(|&b| self.children(b).is_empty())
+            .filter(|b| !parents.contains(b))
             .collect()
     }
 
@@ -159,6 +164,10 @@ impl Region {
     /// [`ExitEdge`] with `succ_index == usize::MAX` for each `ret`
     /// terminator.
     pub fn exit_edges(&self, f: &Function) -> Vec<ExitEdge> {
+        // Parent (internal) edges as a set, so the per-out-edge test is
+        // O(1) rather than a scan of the whole parent-edge list.
+        let internal: std::collections::HashSet<(BlockId, usize)> =
+            self.parent_edge.iter().flatten().copied().collect();
         let mut exits = Vec::new();
         for &b in &self.blocks {
             let term = &f.block(b).term;
@@ -169,8 +178,8 @@ impl Region {
                 });
                 continue;
             }
-            for (i, _) in term.edges().iter().enumerate() {
-                if !self.is_internal_edge(b, i) {
+            for i in 0..term.num_successors() {
+                if !internal.contains(&(b, i)) {
                     exits.push(ExitEdge {
                         from: b,
                         succ_index: i,

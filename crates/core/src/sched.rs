@@ -132,9 +132,28 @@ impl Schedule {
     }
 
     /// Resolves a register through the dominator-parallelism alias map.
+    ///
+    /// The scheduler itself only ever records alias chains of depth ≤ 1
+    /// (an eliminated op aliases to a *surviving* twin, and survivors are
+    /// never themselves eliminated), and internally resolves through a
+    /// path-compressing union-find that cannot represent a cycle. This
+    /// public walk over the (public, hand-editable) map is additionally
+    /// bounded: a chain longer than the map itself proves a cycle, and
+    /// the walk panics instead of spinning forever — the seed version
+    /// hung on `{a -> b, b -> a}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg_alias` contains a cyclic chain.
     pub fn resolve(&self, r: Reg) -> Reg {
         let mut cur = r;
+        let mut steps = 0usize;
         while let Some(&next) = self.reg_alias.get(&cur) {
+            steps += 1;
+            assert!(
+                steps <= self.reg_alias.len(),
+                "cyclic reg_alias chain detected at {cur} (resolving {r})"
+            );
             cur = next;
         }
         cur
@@ -222,6 +241,46 @@ pub fn try_schedule_with_ddg(
     opts: &ScheduleOptions,
     budgets: &Budgets,
 ) -> Result<Schedule, SchedFailure> {
+    // Per-thread scratch: the transient tables below (heights, packed
+    // keys, op state, the two heap backings, pass scratch) are sized by
+    // the region and fully reinitialized per call, so reusing one
+    // thread-local arena turns ~10 allocations per region into zero on
+    // the steady state. `par_map` workers each get their own arena.
+    SCRATCH.with(|cell| schedule_inner(&mut cell.borrow_mut(), lr, ddg, m, opts, budgets))
+}
+
+/// Reusable per-thread buffers for [`schedule_inner`]; every field is
+/// cleared or overwritten at the start of each call, so only capacity
+/// survives between regions.
+#[derive(Default)]
+struct Scratch {
+    heights: Vec<u32>,
+    base_key: Vec<ReadyKey>,
+    op_state: Vec<OpState>,
+    heap: Vec<ReadyEntry>,
+    future: Vec<std::cmp::Reverse<(u32, u32)>>,
+    staged: Vec<usize>,
+    deferred: Vec<ReadyEntry>,
+    issued_this_cycle: Vec<usize>,
+    issued_per_node: Vec<u32>,
+    rr_snapshot: Vec<u32>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::default());
+}
+
+fn schedule_inner(
+    scratch: &mut Scratch,
+    lr: &LoweredRegion,
+    ddg: &Ddg,
+    m: &MachineModel,
+    opts: &ScheduleOptions,
+    budgets: &Budgets,
+) -> Result<Schedule, SchedFailure> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
     let n = lr.lops.len();
     // Soft wall-clock deadline: one `Instant::now()` per schedule cycle
     // (cycles are coarse — a whole issue pass over the ready list), so
@@ -235,12 +294,59 @@ pub fn try_schedule_with_ddg(
     let cycle_cap = budgets
         .max_schedule_cycles
         .map_or(watchdog, |b| b.min(watchdog));
-    let priorities = opts.heuristic.priorities(lr, ddg, m);
+    ddg.heights_into(lr, m, &mut scratch.heights);
+    let heights = &scratch.heights;
 
-    // Remaining unscheduled predecessor count and earliest start cycle.
-    let mut pending_preds: Vec<usize> = (0..n).map(|i| ddg.preds(i).count()).collect();
-    let mut earliest: Vec<u32> = vec![0; n];
-    let mut ready: Vec<usize> = (0..n).filter(|&i| pending_preds[i] == 0).collect();
+    // The static part of every op's ready-queue key, precomputed once.
+    // The seed re-sorted the avail vec on every issue pass, re-deriving
+    // branchness and re-comparing `[f64; 3]` priorities each time; here a
+    // heap pop yields the identical order from plain integer compares.
+    // Key packing is fused with priority computation (`key_components`
+    // is the body of `Heuristic::priorities`), skipping the intermediate
+    // `Vec<Priority>`.
+    scratch.base_key.clear();
+    scratch.base_key.extend((0..n).map(|i| ReadyKey {
+        branch: lr.lops[i].op.opcode.is_branch(),
+        prio: crate::heuristic::pack3(opts.heuristic.key_components(lr, i, heights[i])),
+        rr: !0u32,
+        idx: !(i as u32),
+    }));
+    let base_key = &scratch.base_key;
+    let rr_mode = opts.tie_break == TieBreak::RoundRobin;
+
+    // Remaining unscheduled predecessor count and earliest start cycle,
+    // interleaved in one table so `release_succs` touches a single cache
+    // line per successor.
+    scratch.op_state.clear();
+    scratch.op_state.extend((0..n).map(|i| OpState {
+        pending: ddg.pred_count(i) as u32,
+        earliest: 0,
+    }));
+    let op_state = &mut scratch.op_state;
+
+    // Two-level ready structure. `future` (a min-heap on earliest cycle)
+    // holds ops whose dependences have all issued but whose operands are
+    // not yet due; at each cycle boundary the due ones migrate into
+    // `heap`, the indexed ready queue the issue passes pop from. Between
+    // them they partition what the seed kept in one flat `ready` vec and
+    // re-filtered + re-sorted per pass. Initially ready ops (no preds)
+    // are due at cycle 0 and go straight into the queue; `future` only
+    // allocates once a released op actually has to wait on a latency.
+    scratch.future.clear();
+    let mut future: BinaryHeap<Reverse<(u32, u32)>> =
+        BinaryHeap::from(std::mem::take(&mut scratch.future));
+    scratch.heap.clear();
+    scratch.heap.reserve(n);
+    let mut heap: BinaryHeap<ReadyEntry> = BinaryHeap::from(std::mem::take(&mut scratch.heap));
+    for i in 0..n {
+        if op_state[i].pending == 0 {
+            heap.push(ReadyEntry {
+                key: base_key[i],
+                epoch: 0,
+                idx: i as u32,
+            });
+        }
+    }
 
     let mut sched = Schedule {
         cycles: Vec::new(),
@@ -249,13 +355,53 @@ pub fn try_schedule_with_ddg(
         eliminated: Vec::new(),
         reg_alias: HashMap::new(),
     };
-    // Twin index for dominator parallelism: origin -> scheduled lops.
-    let mut twins: HashMap<crate::lower::OpOrigin, Vec<usize>> = HashMap::new();
+
+    // Twin index for dominator parallelism: dense per-origin buckets.
+    // Origins are interned once up front (one hash probe per op for the
+    // whole schedule), so the per-issue bucket append and the per-ready-op
+    // candidate lookup are plain indexed accesses. Bucket order is append
+    // order — identical to the seed's `HashMap<OpOrigin, Vec<usize>>`
+    // entry vecs, so the first-match twin choice is unchanged.
+    let mut origin_bucket: Vec<u32> = Vec::new();
+    let mut twin_buckets: Vec<Vec<u32>> = Vec::new();
+    if opts.dominator_parallelism {
+        let mut ids: HashMap<crate::lower::OpOrigin, u32> = HashMap::with_capacity(n);
+        origin_bucket.reserve(n);
+        for l in &lr.lops {
+            let next = ids.len() as u32;
+            let id = *ids.entry(l.origin).or_insert(next);
+            origin_bucket.push(id);
+        }
+        twin_buckets = vec![Vec::new(); ids.len()];
+    }
+    // Union-find over eliminated defs; mirrors the public `reg_alias` map
+    // but is dense and path-compressed for the twin-comparison hot loop.
+    let mut alias = AliasTable::default();
 
     let mut remaining = n;
     let mut cycle: u32 = 0;
-    // Per-node issue counts for the round-robin tie break.
-    let mut issued_per_node = vec![0usize; lr.nodes.len()];
+    // Per-node issue counts for the round-robin tie break, plus the
+    // frozen copy each pass keys against (the seed's comparator read the
+    // live counts, but only ever *between* issues of a pass's pre-sorted
+    // snapshot — freezing at pass start reproduces that exactly). Both
+    // are maintained only under RoundRobin; SourceOrder never reads them.
+    let issued_per_node = &mut scratch.issued_per_node;
+    issued_per_node.clear();
+    let rr_snapshot = &mut scratch.rr_snapshot;
+    rr_snapshot.clear();
+    if rr_mode {
+        issued_per_node.resize(lr.nodes.len(), 0);
+        rr_snapshot.resize(lr.nodes.len(), 0);
+    }
+    let mut epoch: u32 = 0;
+    // Scratch reused across all cycles and passes.
+    let staged = &mut scratch.staged;
+    staged.clear();
+    let deferred = &mut scratch.deferred;
+    deferred.clear();
+    let issued_this_cycle = &mut scratch.issued_this_cycle;
+    issued_this_cycle.clear();
+
     while remaining > 0 {
         // Deadline check at the loop boundary, before committing to
         // another cycle. `>=` so a zero-millisecond budget trips on the
@@ -269,51 +415,67 @@ pub fn try_schedule_with_ddg(
                 });
             }
         }
+        // Admit ops whose earliest cycle has arrived.
+        while let Some(&Reverse((e, i))) = future.peek() {
+            if e > cycle {
+                break;
+            }
+            future.pop();
+            let idx = i as usize;
+            let mut key = base_key[idx];
+            if rr_mode {
+                key.rr = !rr_snapshot[lr.lops[idx].home];
+            }
+            heap.push(ReadyEntry { key, epoch, idx: i });
+        }
+
         let mut slots_used = 0usize;
         let mut branches_used = 0usize;
         let mut mem_used = 0usize;
-        let mut issued_this_cycle: Vec<usize> = Vec::new();
+        issued_this_cycle.clear();
 
         // Re-scan after every pass: issuing an op can make a 0-latency
         // dependent ready *in the same cycle* (PlayDoh: a store and a
         // dependent memory op or retiring branch may share a MultiOp).
         loop {
-            let mut avail: Vec<usize> = ready
-                .iter()
-                .copied()
-                .filter(|&i| earliest[i] <= cycle)
-                .collect();
+            if rr_mode {
+                // New pass: freeze the round-robin counts. Entries keyed
+                // under an older pass re-key lazily on pop — sound for a
+                // max-heap because issue counts only grow, so keys only
+                // ever decrease.
+                epoch += 1;
+                rr_snapshot.copy_from_slice(issued_per_node);
+            }
+            let mut progressed = false;
             // Ready branches issue ahead of everything else: a branch
             // becomes ready only once its exit's path work has issued
             // (retirement edges), and at that point every cycle it waits
             // costs its exit's full profile weight, while the displaced op
             // loses at most one cycle. The heuristic still orders branches
-            // among themselves and all other ops.
-            avail.sort_by(|&a, &b| {
-                let (ba, bb) = (
-                    lr.lops[a].op.opcode.is_branch(),
-                    lr.lops[b].op.opcode.is_branch(),
-                );
-                let base = bb.cmp(&ba).then(priorities[b].cmp(&priorities[a]));
-                let base = match opts.tie_break {
-                    TieBreak::SourceOrder => base,
-                    TieBreak::RoundRobin => base.then(
-                        issued_per_node[lr.lops[a].home].cmp(&issued_per_node[lr.lops[b].home]),
-                    ),
-                };
-                base.then(a.cmp(&b)) // final tie: source order
-            });
-            let mut progressed = false;
-            let mut finished: Vec<usize> = Vec::new();
-
-            for &i in &avail {
-                if slots_used >= m.issue_width() {
-                    break;
+            // among themselves and all other ops. (All of this is encoded
+            // in `ReadyKey`, so the pop order below *is* the seed's sorted
+            // order: branch flag, then priority, then round-robin count,
+            // then source index.)
+            while slots_used < m.issue_width() {
+                let Some(top) = heap.pop() else { break };
+                let i = top.idx as usize;
+                if rr_mode && top.epoch != epoch {
+                    // Stale pass snapshot: re-key against this pass's
+                    // frozen counts and push back.
+                    let mut key = base_key[i];
+                    key.rr = !rr_snapshot[lr.lops[i].home];
+                    heap.push(ReadyEntry {
+                        key,
+                        epoch,
+                        idx: top.idx,
+                    });
+                    continue;
                 }
                 let is_branch = lr.lops[i].op.opcode.is_branch();
                 if is_branch {
                     if let Some(limit) = m.branch_limit() {
                         if branches_used >= limit {
+                            deferred.push(top);
                             continue;
                         }
                     }
@@ -323,6 +485,7 @@ pub fn try_schedule_with_ddg(
                 if is_mem {
                     if let Some(limit) = m.mem_port_limit() {
                         if mem_used >= limit {
+                            deferred.push(top);
                             continue;
                         }
                     }
@@ -330,20 +493,18 @@ pub fn try_schedule_with_ddg(
                 // Dominator parallelism: drop this op if a scheduled twin
                 // computes the identical value.
                 if opts.dominator_parallelism {
-                    if let Some(t) = find_twin(lr, &sched, &twins, i) {
-                        eliminate(lr, &mut sched, i, t);
-                        finished.push(i);
+                    if let Some(t) = find_twin(lr, &mut alias, &twin_buckets, origin_bucket[i], i) {
+                        eliminate(lr, &mut sched, &mut alias, i, t);
                         remaining -= 1;
                         progressed = true;
                         let tc = sched.cycle_of[i].unwrap();
-                        release_succs(ddg, i, tc, &mut pending_preds, &mut earliest, &mut ready);
+                        release_succs(ddg, i, tc, op_state, staged);
                         continue;
                     }
                 }
                 // Issue.
                 sched.cycle_of[i] = Some(cycle);
                 issued_this_cycle.push(i);
-                finished.push(i);
                 slots_used += 1;
                 progressed = true;
                 if is_branch {
@@ -352,24 +513,49 @@ pub fn try_schedule_with_ddg(
                 if is_mem {
                     mem_used += 1;
                 }
-                issued_per_node[lr.lops[i].home] += 1;
+                if rr_mode {
+                    issued_per_node[lr.lops[i].home] += 1;
+                }
                 if let LOpKind::ExitBranch(e) = lr.lops[i].kind {
                     sched.exit_cycles[e] = cycle;
                 }
                 if opts.dominator_parallelism {
-                    twins.entry(lr.lops[i].origin).or_default().push(i);
+                    twin_buckets[origin_bucket[i] as usize].push(i as u32);
                 }
                 remaining -= 1;
-                release_succs(ddg, i, cycle, &mut pending_preds, &mut earliest, &mut ready);
+                release_succs(ddg, i, cycle, op_state, staged);
             }
-
-            ready.retain(|i| !finished.contains(i));
+            // Pass end. Limit-blocked ops return to the queue unchanged
+            // (their keys refresh lazily next pass); ops whose last
+            // dependence issued mid-pass join the *next* pass — the
+            // seed's avail set was a snapshot taken at pass start, and
+            // mid-pass releases never participated in the running pass.
+            heap.extend(deferred.drain(..));
+            for i in staged.drain(..) {
+                if op_state[i].earliest <= cycle {
+                    let mut key = base_key[i];
+                    if rr_mode {
+                        key.rr = !rr_snapshot[lr.lops[i].home];
+                    }
+                    heap.push(ReadyEntry {
+                        key,
+                        epoch,
+                        idx: i as u32,
+                    });
+                } else {
+                    future.push(Reverse((op_state[i].earliest, i as u32)));
+                }
+            }
             if !progressed || slots_used >= m.issue_width() {
                 break;
             }
         }
 
-        sched.cycles.push(issued_this_cycle);
+        // `clone` allocates exactly `len` (the scratch keeps its
+        // capacity for the next cycle); an empty cycle clones without
+        // allocating at all — cheaper than the seed's fresh
+        // growth-reallocated vec per cycle.
+        sched.cycles.push(issued_this_cycle.clone());
         cycle += 1;
         if (cycle as usize) > cycle_cap {
             return Err(SchedFailure::StepBudgetExceeded {
@@ -383,23 +569,121 @@ pub fn try_schedule_with_ddg(
     while matches!(sched.cycles.last(), Some(c) if c.is_empty()) {
         sched.cycles.pop();
     }
+    // Hand the heap backings back to the arena (error paths skip this —
+    // only capacity is lost, and the next call re-takes empty vecs).
+    scratch.heap = heap.into_vec();
+    scratch.future = future.into_vec();
     Ok(sched)
+}
+
+/// Sort key of a ready op in the indexed ready queue.
+///
+/// The derived lexicographic `Ord` over the field order encodes exactly
+/// the comparator the seed applied with `sort_by` on every issue pass —
+/// branches first, then descending heuristic priority, then (RoundRobin
+/// only) ascending per-node issue count, then ascending lop index — so a
+/// max-heap pop sequence reproduces the sorted iteration byte for byte.
+/// Ascending components (`rr`, `idx`) are stored bitwise-complemented so
+/// that "smaller is better" becomes "larger is better" uniformly.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct ReadyKey {
+    /// Branches ahead of everything else.
+    branch: bool,
+    /// Packed heuristic priority (see `heuristic::pack3`); higher first.
+    prio: [u64; 3],
+    /// `!issued_per_node[home]` under the pass's frozen snapshot
+    /// (RoundRobin), `!0` under SourceOrder: fewer issues first.
+    rr: u32,
+    /// `!(lop index)`: earlier source position first.
+    idx: u32,
+}
+
+/// A ready-queue element: the op, the key it was inserted with, and the
+/// pass (`epoch`) whose round-robin snapshot produced the key. Stale
+/// epochs are re-keyed lazily on pop.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct ReadyEntry {
+    key: ReadyKey,
+    epoch: u32,
+    idx: u32,
+}
+
+/// Path-compressing union-find over renamed registers, one dense table
+/// per register class (`u32::MAX` = "not aliased"). This is the
+/// scheduler-internal mirror of [`Schedule::reg_alias`]: twin detection
+/// resolves every use through it with indexed loads instead of the
+/// seed's per-use `HashMap` chain walk. It is structurally cycle-free —
+/// an alias is installed pointing at the *root* of its target's set, and
+/// an eliminated def (always a fresh, unique renamed register) can never
+/// already be somebody's root.
+#[derive(Default)]
+struct AliasTable {
+    tables: [Vec<u32>; 3],
+}
+
+const NOT_ALIASED: u32 = u32::MAX;
+
+impl AliasTable {
+    /// Resolves `r` to its set root, compressing the walked path.
+    fn resolve(&mut self, r: Reg) -> Reg {
+        let t = &mut self.tables[r.class().index()];
+        let start = r.index() as usize;
+        if start >= t.len() || t[start] == NOT_ALIASED {
+            return r;
+        }
+        let mut root = t[start];
+        while let Some(&next) = t.get(root as usize) {
+            if next == NOT_ALIASED {
+                break;
+            }
+            root = next;
+        }
+        // Path compression: point every chain element at the root.
+        let mut cur = start;
+        while t[cur] != NOT_ALIASED && t[cur] != root {
+            let next = t[cur] as usize;
+            t[cur] = root;
+            cur = next;
+        }
+        Reg::new(r.class(), root)
+    }
+
+    /// Records `a -> root(b)`.
+    fn union(&mut self, a: Reg, b: Reg) {
+        debug_assert_eq!(a.class(), b.class(), "twin defs must agree on class");
+        let root = self.resolve(b);
+        debug_assert_ne!(root, a, "aliasing {a} into its own set would form a cycle");
+        let t = &mut self.tables[a.class().index()];
+        let i = a.index() as usize;
+        if i >= t.len() {
+            t.resize(i + 1, NOT_ALIASED);
+        }
+        t[i] = root.index();
+    }
+}
+
+/// Per-op dynamic scheduling state: unscheduled predecessor count and
+/// earliest permissible start cycle, interleaved for locality.
+#[derive(Copy, Clone)]
+struct OpState {
+    pending: u32,
+    earliest: u32,
 }
 
 fn release_succs(
     ddg: &Ddg,
     i: usize,
     cycle: u32,
-    pending_preds: &mut [usize],
-    earliest: &mut [u32],
-    ready: &mut Vec<usize>,
+    op_state: &mut [OpState],
+    staged: &mut Vec<usize>,
 ) {
     for e in ddg.succs(i) {
         let t = e.to;
-        earliest[t] = earliest[t].max(cycle + e.latency);
-        pending_preds[t] -= 1;
-        if pending_preds[t] == 0 {
-            ready.push(t);
+        let st = &mut op_state[t];
+        st.earliest = st.earliest.max(cycle + e.latency);
+        st.pending -= 1;
+        if st.pending == 0 {
+            staged.push(t);
         }
     }
 }
@@ -411,8 +695,9 @@ fn release_succs(
 /// parallelism).
 fn find_twin(
     lr: &LoweredRegion,
-    sched: &Schedule,
-    twins: &HashMap<crate::lower::OpOrigin, Vec<usize>>,
+    alias: &mut AliasTable,
+    twin_buckets: &[Vec<u32>],
+    bucket: u32,
     i: usize,
 ) -> Option<usize> {
     let l = &lr.lops[i];
@@ -425,8 +710,9 @@ fn find_twin(
     {
         return None;
     }
-    let candidates = twins.get(&l.origin)?;
+    let candidates = &twin_buckets[bucket as usize];
     'outer: for &t in candidates {
+        let t = t as usize;
         let tl = &lr.lops[t];
         if tl.op.opcode != l.op.opcode
             || tl.op.imm != l.op.imm
@@ -437,7 +723,7 @@ fn find_twin(
             continue;
         }
         for (a, b) in l.op.uses.iter().zip(tl.op.uses.iter()) {
-            if sched.resolve(*a) != sched.resolve(*b) {
+            if alias.resolve(*a) != alias.resolve(*b) {
                 continue 'outer;
             }
         }
@@ -448,10 +734,13 @@ fn find_twin(
 
 /// Records the elimination of `i` in favour of its twin `t`: `i`'s defs
 /// alias to `t`'s defs and `i` inherits `t`'s issue cycle (its value is
-/// available wherever `t`'s is).
-fn eliminate(lr: &LoweredRegion, sched: &mut Schedule, i: usize, t: usize) {
+/// available wherever `t`'s is). The public `reg_alias` map receives the
+/// raw `def(i) -> def(t)` entries (exactly as the seed recorded them);
+/// the internal union-find additionally records the compressed root.
+fn eliminate(lr: &LoweredRegion, sched: &mut Schedule, alias: &mut AliasTable, i: usize, t: usize) {
     for (a, b) in lr.lops[i].op.defs.iter().zip(lr.lops[t].op.defs.iter()) {
         sched.reg_alias.insert(*a, *b);
+        alias.union(*a, *b);
     }
     sched.cycle_of[i] = sched.cycle_of[t];
     sched.eliminated.push((i, t));
@@ -459,20 +748,26 @@ fn eliminate(lr: &LoweredRegion, sched: &mut Schedule, i: usize, t: usize) {
 
 /// Renders a schedule as a Figure 4/5-style table (one row per cycle, one
 /// column per issue slot).
+///
+/// Every one of the machine's `issue_width` columns uses one uniform
+/// width (the widest cell anywhere in the table, floor 8). The seed
+/// widened only columns that held an op in *some* row, so a trailing
+/// always-empty slot rendered at the 8-character floor and its border
+/// fell out of line with the occupied columns.
 pub fn render_schedule(lr: &LoweredRegion, sched: &Schedule, m: &MachineModel) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let width = m.issue_width();
-    let mut col_w = vec![8usize; width];
     let cell = |i: usize| -> String { format!("{}", lr.lops[i].op) };
+    let mut w = 8usize;
     for row in &sched.cycles {
-        for (s, &i) in row.iter().enumerate() {
-            col_w[s] = col_w[s].max(cell(i).len());
+        for &i in row {
+            w = w.max(cell(i).len());
         }
     }
     for (c, row) in sched.cycles.iter().enumerate() {
         let _ = write!(out, "{c:>3} |");
-        for (s, w) in col_w.iter().enumerate().take(width) {
+        for s in 0..width {
             let text = row.get(s).map(|&i| cell(i)).unwrap_or_default();
             let _ = write!(out, " {text:<w$} |");
         }
@@ -755,6 +1050,47 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "cyclic reg_alias")]
+    fn resolve_panics_on_cyclic_alias_instead_of_hanging() {
+        // The seed's resolve spun forever on a hand-built cycle in the
+        // public map; the bounded walk must detect it and panic.
+        let a = Reg::gpr(1);
+        let b = Reg::gpr(2);
+        let mut reg_alias = HashMap::new();
+        reg_alias.insert(a, b);
+        reg_alias.insert(b, a);
+        let s = Schedule {
+            cycles: Vec::new(),
+            cycle_of: Vec::new(),
+            exit_cycles: Vec::new(),
+            eliminated: Vec::new(),
+            reg_alias,
+        };
+        let _ = s.resolve(a);
+    }
+
+    #[test]
+    fn resolve_follows_acyclic_chains() {
+        // Chains of any depth (the scheduler only builds depth <= 1, but
+        // the public map is hand-editable) resolve to the final target.
+        let (a, b, c) = (Reg::gpr(1), Reg::gpr(2), Reg::gpr(3));
+        let mut reg_alias = HashMap::new();
+        reg_alias.insert(a, b);
+        reg_alias.insert(b, c);
+        let s = Schedule {
+            cycles: Vec::new(),
+            cycle_of: Vec::new(),
+            exit_cycles: Vec::new(),
+            eliminated: Vec::new(),
+            reg_alias,
+        };
+        assert_eq!(s.resolve(a), c);
+        assert_eq!(s.resolve(b), c);
+        assert_eq!(s.resolve(c), c);
+        assert_eq!(s.resolve(Reg::gpr(9)), Reg::gpr(9));
+    }
+
+    #[test]
     fn render_produces_rows_per_cycle() {
         let mut b = FunctionBuilder::new("r");
         let bb0 = b.block();
@@ -769,5 +1105,56 @@ mod tests {
         assert_eq!(text.lines().count(), s.length() + 1);
         assert!(text.contains("movi"));
         assert!(text.contains("exits:"));
+    }
+
+    #[test]
+    fn render_aligns_trailing_empty_slots() {
+        // One op per cycle on an 8-wide machine: slots 1..7 are empty in
+        // every row. The seed widened only slots that held an op in some
+        // row, so those trailing columns fell out of line; now all
+        // `issue_width` columns share one uniform width.
+        let mut b = FunctionBuilder::new("align");
+        let bb0 = b.block();
+        let (a, x, y) = (b.gpr(), b.gpr(), b.gpr());
+        b.push_all(bb0, [Op::load(x, a, 0), Op::add(y, x, x)]);
+        b.ret(bb0, Some(y));
+        let f = b.finish();
+        let lr = lower_entry(&f, true);
+        let m = MachineModel::model_8u();
+        let s = sched(&lr, &m);
+        let text = render_schedule(&lr, &s, &m);
+        let rows: Vec<&str> = text.lines().filter(|l| !l.starts_with("exits:")).collect();
+        assert!(rows.len() >= 2);
+        // Every row renders every slot: uniform line length and exactly
+        // issue_width + 1 column separators per row.
+        let len0 = rows[0].len();
+        for r in &rows {
+            assert_eq!(r.len(), len0, "misaligned row: {r:?}");
+            assert_eq!(
+                r.matches('|').count(),
+                m.issue_width() + 1,
+                "row missing slots: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_snapshot_single_cycle() {
+        // Exact-output snapshot: one movi + ret on a 1-wide machine.
+        let mut b = FunctionBuilder::new("snap");
+        let bb0 = b.block();
+        let x = b.gpr();
+        b.push(bb0, Op::movi(x, 7));
+        b.ret(bb0, Some(x));
+        let f = b.finish();
+        let lr = lower_entry(&f, true);
+        let m = MachineModel::model_1u();
+        let s = sched(&lr, &m);
+        let text = render_schedule(&lr, &s, &m);
+        let cell0 = format!("{}", lr.lops[s.cycles[0][0]].op);
+        let cell1 = format!("{}", lr.lops[s.cycles[1][0]].op);
+        let w = cell0.len().max(cell1.len()).max(8);
+        let expected = format!("  0 | {cell0:<w$} |\n  1 | {cell1:<w$} |\nexits: ret@2 (w=1)\n");
+        assert_eq!(text, expected);
     }
 }
