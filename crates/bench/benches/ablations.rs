@@ -5,7 +5,9 @@
 
 use std::hint::black_box;
 use treegion::{form_treegions, form_treegions_td, Heuristic, TailDupLimits};
-use treegion_bench::{bench_module, criterion_group, criterion_main, time_formed, Criterion};
+use treegion_bench::{
+    bench_module, criterion_group, criterion_main, time_formed, time_formed_opts, Criterion,
+};
 use treegion_machine::MachineModel;
 
 fn bench_ablations(c: &mut Criterion) {
@@ -144,26 +146,17 @@ fn time_formed_tb(
     machine: &MachineModel,
     tie_break: treegion::TieBreak,
 ) -> f64 {
-    use treegion_analysis::{Cfg, Liveness};
-    let cfg = Cfg::new(f);
-    let live = Liveness::new(f, &cfg);
-    regions
-        .regions()
-        .iter()
-        .map(|r| {
-            let lowered = treegion::lower_region(f, r, &live, None);
-            treegion::schedule_region(
-                &lowered,
-                machine,
-                &treegion::ScheduleOptions {
-                    heuristic: Heuristic::DependenceHeight,
-                    dominator_parallelism: false,
-                    tie_break,
-                },
-            )
-            .estimated_time(&lowered)
-        })
-        .sum()
+    time_formed_opts(
+        f,
+        regions,
+        None,
+        machine,
+        &treegion::ScheduleOptions {
+            heuristic: Heuristic::DependenceHeight,
+            dominator_parallelism: false,
+            tie_break,
+        },
+    )
 }
 
 criterion_group!(benches, bench_ablations);

@@ -4,8 +4,12 @@
 //! Emits `BENCH_sched.json` (hand-rolled JSON; the workspace builds
 //! without crates.io) with:
 //!
-//! * ns/op microbenchmarks for region formation, DDG construction, and
-//!   list scheduling on the compress-like benchmark module;
+//! * ns/op microbenchmarks for region formation, lowering, DDG
+//!   construction, and list scheduling on the compress-like benchmark
+//!   module — sourced from the [`treegion::Profiler`] observer's
+//!   per-stage [`treegion::PassObserver`] brackets on the
+//!   [`treegion::Pipeline`] driver (the same instrumentation behind
+//!   `tgc schedule --profile`), not ad-hoc kernel loops;
 //! * end-to-end evaluation-harness wall time (all tables and figures) in
 //!   three configurations: memoization off at `jobs=1` (the pre-cache
 //!   behaviour), memoization on at `jobs=1`, and memoization on at the
@@ -28,12 +32,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use treegion::{
-    lower_region, schedule_region, schedule_with_ddg, Ddg, Heuristic, LoweredRegion,
-    ScheduleOptions,
+    Heuristic, Pipeline, Profiler, RegionConfig, RobustOptions, ScheduleOptions, Stage,
+    TailDupLimits,
 };
-use treegion_analysis::{Cfg, Liveness};
 use treegion_bench::bench_module;
 use treegion_eval::{fig13, fig6, fig8, table1, table2, table3, table4, Suite};
+use treegion_ir::Module;
 use treegion_machine::MachineModel;
 
 struct Config {
@@ -82,31 +86,47 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Best-of-`reps` wall time of `body`, in nanoseconds.
-fn best_of<F: FnMut()>(reps: usize, mut body: F) -> u128 {
-    let mut best = u128::MAX;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        body();
-        best = best.min(t0.elapsed().as_nanos());
+/// One observed run of the staged pipeline over the whole module: forms,
+/// lowers, and schedules every function under `config`, with a fresh
+/// [`Profiler`] capturing per-stage wall time via the pipeline's
+/// observer brackets.
+fn profiled_run(
+    module: &Module,
+    config: &RegionConfig,
+    machine: &MachineModel,
+    opts: &ScheduleOptions,
+) -> Profiler {
+    let pipeline = Pipeline::with_options(
+        machine,
+        RobustOptions {
+            sched: *opts,
+            ..Default::default()
+        },
+    );
+    let prof = Profiler::new();
+    for f in module.functions() {
+        std::hint::black_box(pipeline.schedule_function(f, config, &prof));
     }
-    best
+    prof
 }
 
-/// Lowers every treegion of the bench module once (shared input for the
-/// DDG and scheduling microbenches).
-fn lowered_regions(module: &treegion_ir::Module) -> Vec<LoweredRegion> {
-    let mut out = Vec::new();
-    for f in module.functions() {
-        let regions = treegion::form_treegions(f);
-        let cfg = Cfg::new(f);
-        let live = Liveness::new(f, &cfg);
-        for r in regions.regions() {
-            let _ = &cfg;
-            out.push(lower_region(f, r, &live, None));
+/// Best-of-`reps` per-stage nanoseconds (each rep is a fresh profiled
+/// pipeline run; minima are stage-wise). The second value is the best
+/// per-rep `ddg + list-sched` composite — the `schedule_region` kernel,
+/// which composes exactly those two stages.
+fn best_stages(reps: usize, mut run: impl FnMut() -> Profiler) -> ([u128; 5], u128) {
+    let mut best = [u128::MAX; 5];
+    let mut best_sched = u128::MAX;
+    for _ in 0..reps {
+        let prof = run();
+        let mut rep = [0u128; 5];
+        for (i, s) in Stage::ALL.into_iter().enumerate() {
+            rep[i] = prof.stage_nanos(s);
+            best[i] = best[i].min(rep[i]);
         }
+        best_sched = best_sched.min(rep[2] + rep[3]);
     }
-    out
+    (best, best_sched)
 }
 
 /// Renders every table/figure the `all` binary prints; returns total
@@ -159,57 +179,36 @@ fn main() {
     let reps = if cfg.quick { 3 } else { 5 };
 
     // --- Microbenchmarks (ns per source/lowered op). ---
+    //
+    // Every per-kernel number below comes from the Profiler observer's
+    // stage brackets on the Pipeline driver — one profiled run yields
+    // formation, lowering, ddg, and list-sched in a single pass. The
+    // microbenches run strictly serial so per-stage sums are comparable
+    // to the committed serial baseline.
+    treegion_par::set_jobs(1);
     let module = bench_module();
     let src_ops = module.num_ops() as u128;
-
-    let formation_ns = best_of(reps, || {
-        for f in module.functions() {
-            std::hint::black_box(treegion::form_treegions(f));
-        }
-    });
-    let formation_td_ns = best_of(reps, || {
-        for f in module.functions() {
-            std::hint::black_box(treegion::form_treegions_td(
-                f,
-                &treegion::TailDupLimits::expansion_2_0(),
-            ));
-        }
-    });
-
-    let lowered = lowered_regions(&module);
-    let lowered_ops: u128 = lowered.iter().map(|lr| lr.num_ops() as u128).sum();
     let m8 = MachineModel::model_8u();
-
-    let ddg_ns = best_of(reps, || {
-        for lr in &lowered {
-            std::hint::black_box(Ddg::build(lr, &m8));
-        }
-    });
     let opts = ScheduleOptions {
         heuristic: Heuristic::GlobalWeight,
         ..Default::default()
     };
-    let sched_ns = best_of(reps, || {
-        for lr in &lowered {
-            std::hint::black_box(schedule_region(lr, &m8, &opts));
-        }
-    });
-    // List scheduling alone, over prebuilt DDGs: isolates the ready-queue
-    // and issue loop from graph construction.
-    let with_ddgs: Vec<(&LoweredRegion, Ddg)> =
-        lowered.iter().map(|lr| (lr, Ddg::build(lr, &m8))).collect();
-    let list_sched_ns = best_of(reps, || {
-        for (lr, ddg) in &with_ddgs {
-            std::hint::black_box(schedule_with_ddg(lr, ddg, &m8, &opts));
-        }
-    });
-    drop(with_ddgs);
-    // Lowering runs last among the microbenches: it churns the heap
-    // (one arena of vectors per region per rep), and the scheduling
-    // kernels above are measured against the committed baseline.
-    let lowering_ns = best_of(reps, || {
-        std::hint::black_box(lowered_regions(&module));
-    });
+    let tree = RegionConfig::Treegion;
+    let tree_td = RegionConfig::TreegionTd(TailDupLimits::expansion_2_0());
+
+    // Warm-up run; also the source of the lowered-op denominator (the
+    // Lowering stage's summed op counter).
+    let lowered_ops = profiled_run(&module, &tree, &m8, &opts).report()[Stage::Lowering as usize]
+        .stats
+        .ops as u128;
+
+    let (stage_ns, sched_ns) = best_stages(reps, || profiled_run(&module, &tree, &m8, &opts));
+    let formation_ns = stage_ns[0];
+    let lowering_ns = stage_ns[1];
+    let ddg_ns = stage_ns[2];
+    let list_sched_ns = stage_ns[3];
+    let (td_stage_ns, _) = best_stages(reps, || profiled_run(&module, &tree_td, &m8, &opts));
+    let formation_td_ns = td_stage_ns[0];
 
     // --- End-to-end harness wall times. ---
     let jobs_n = treegion_par::max_jobs();

@@ -23,13 +23,14 @@
 pub mod harness;
 pub use harness::{BatchSize, Bencher, BenchmarkGroup, Criterion};
 
-use treegion::{lower_region, schedule_region, Heuristic, RegionSet, ScheduleOptions};
-use treegion_analysis::{Cfg, Liveness};
+use treegion::{Heuristic, NullObserver, Pipeline, RegionSet, RobustOptions, ScheduleOptions};
 use treegion_ir::{Function, Module};
 use treegion_machine::MachineModel;
 
 /// Total estimated time of a formed function under one configuration —
-/// the core computation every experiment repeats.
+/// the core computation every experiment repeats. Drives the staged
+/// [`Pipeline`] (lower → DDG → list-sched) rather than wiring the
+/// kernels by hand.
 pub fn time_formed(
     f: &Function,
     regions: &RegionSet,
@@ -38,25 +39,39 @@ pub fn time_formed(
     heuristic: Heuristic,
     dompar: bool,
 ) -> f64 {
-    let cfg = Cfg::new(f);
-    let live = Liveness::new(f, &cfg);
-    regions
-        .regions()
-        .iter()
-        .map(|r| {
-            let lowered = lower_region(f, r, &live, origin);
-            schedule_region(
-                &lowered,
-                machine,
-                &ScheduleOptions {
-                    heuristic,
-                    dominator_parallelism: dompar,
-                    ..Default::default()
-                },
-            )
-            .estimated_time(&lowered)
-        })
-        .sum()
+    time_formed_opts(
+        f,
+        regions,
+        origin,
+        machine,
+        &ScheduleOptions {
+            heuristic,
+            dominator_parallelism: dompar,
+            ..Default::default()
+        },
+    )
+}
+
+/// As [`time_formed`], with fully explicit [`ScheduleOptions`] (tie
+/// break, dominator parallelism — the ablation benches need both).
+pub fn time_formed_opts(
+    f: &Function,
+    regions: &RegionSet,
+    origin: Option<&[treegion_ir::BlockId]>,
+    machine: &MachineModel,
+    opts: &ScheduleOptions,
+) -> f64 {
+    Pipeline::with_options(
+        machine,
+        RobustOptions {
+            sched: *opts,
+            ..Default::default()
+        },
+    )
+    .schedule_set(f, regions, origin, &NullObserver)
+    .iter()
+    .map(|s| s.schedule.estimated_time(&s.lowered))
+    .sum()
 }
 
 /// A small deterministic module for benchmarking (compress-like).

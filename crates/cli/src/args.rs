@@ -2,46 +2,30 @@
 //! heavyweight CLI dependencies).
 
 use std::fmt;
-use treegion::{FallbackPolicy, Heuristic, TailDupLimits, VerifyMode};
+use treegion::{FallbackPolicy, Heuristic, RegionConfig, TailDupLimits, VerifyMode};
 use treegion_machine::MachineModel;
 
-/// Which region formation the user asked for.
-#[derive(Clone, Debug, PartialEq)]
-pub enum KindArg {
-    /// `--kind bb`
-    BasicBlock,
-    /// `--kind slr`
-    Slr,
-    /// `--kind sb`
-    Superblock,
-    /// `--kind tree`
-    Treegion,
-    /// `--kind tree-td[:LIMIT]`
-    TreegionTd(TailDupLimits),
-}
-
-impl KindArg {
-    /// Parses a `--kind` value.
-    pub fn parse(s: &str) -> Result<Self, ArgError> {
-        match s {
-            "bb" => Ok(KindArg::BasicBlock),
-            "slr" => Ok(KindArg::Slr),
-            "sb" => Ok(KindArg::Superblock),
-            "tree" => Ok(KindArg::Treegion),
-            other => {
-                if let Some(rest) = other.strip_prefix("tree-td") {
-                    let mut limits = TailDupLimits::expansion_2_0();
-                    if let Some(v) = rest.strip_prefix(':') {
-                        limits.code_expansion = v
-                            .parse()
-                            .map_err(|_| ArgError(format!("bad expansion limit `{v}`")))?;
-                    }
-                    Ok(KindArg::TreegionTd(limits))
-                } else {
-                    Err(ArgError(format!(
-                        "unknown region kind `{other}` (bb|slr|sb|tree|tree-td[:LIMIT])"
-                    )))
+/// Parses a `--kind` value into the core [`RegionConfig`] (which plugs
+/// straight into the pipeline driver as a `RegionFormer`).
+pub fn parse_kind(s: &str) -> Result<RegionConfig, ArgError> {
+    match s {
+        "bb" => Ok(RegionConfig::BasicBlock),
+        "slr" => Ok(RegionConfig::Slr),
+        "sb" => Ok(RegionConfig::Superblock),
+        "tree" => Ok(RegionConfig::Treegion),
+        other => {
+            if let Some(rest) = other.strip_prefix("tree-td") {
+                let mut limits = TailDupLimits::expansion_2_0();
+                if let Some(v) = rest.strip_prefix(':') {
+                    limits.code_expansion = v
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad expansion limit `{v}`")))?;
                 }
+                Ok(RegionConfig::TreegionTd(limits))
+            } else {
+                Err(ArgError(format!(
+                    "unknown region kind `{other}` (bb|slr|sb|tree|tree-td[:LIMIT])"
+                )))
             }
         }
     }
@@ -85,7 +69,7 @@ pub struct Options {
     /// Positional argument (input file or benchmark/shape name).
     pub input: Option<String>,
     /// `--kind`, default treegion.
-    pub kind: KindArg,
+    pub kind: RegionConfig,
     /// `--machine`, default 4U.
     pub machine: MachineModel,
     /// `--heuristic`, default global weight.
@@ -109,8 +93,9 @@ pub struct Options {
     /// `--panic-region N`: inject a panic while scheduling region `N`
     /// (exercises the containment path end to end).
     pub panic_region: Option<usize>,
-    /// `schedule --profile`: print a per-phase (formation / lowering /
-    /// DDG / list-sched) timing breakdown after the schedules.
+    /// `schedule --profile`: print a per-stage (formation / lowering /
+    /// ddg / list-sched / verify) timing breakdown after the schedules,
+    /// sourced from the pipeline's `PassObserver` stage brackets.
     pub profile: bool,
     /// `eval --small N`: run the harness on the first `N` benchmarks.
     pub small: Option<usize>,
@@ -157,7 +142,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
     let mut opts = Options {
         command,
         input: None,
-        kind: KindArg::Treegion,
+        kind: RegionConfig::Treegion,
         machine: MachineModel::model_4u(),
         heuristic: Heuristic::GlobalWeight,
         dompar: false,
@@ -185,7 +170,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
                 let v = it
                     .next()
                     .ok_or_else(|| ArgError("--kind needs a value".into()))?;
-                opts.kind = KindArg::parse(v)?;
+                opts.kind = parse_kind(v)?;
             }
             "--machine" => {
                 let v = it
@@ -361,7 +346,7 @@ mod tests {
         .unwrap();
         assert_eq!(o.command, "schedule");
         assert_eq!(o.input.as_deref(), Some("foo.tir"));
-        assert!(matches!(o.kind, KindArg::TreegionTd(l) if l.code_expansion == 3.0));
+        assert!(matches!(o.kind, RegionConfig::TreegionTd(l) if l.code_expansion == 3.0));
         assert_eq!(o.machine.issue_width(), 8);
         assert_eq!(o.heuristic, Heuristic::DependenceHeight);
         assert!(o.dompar);
@@ -370,7 +355,7 @@ mod tests {
     #[test]
     fn defaults_are_sane() {
         let o = parse_args(&v(&["print", "x.tir"])).unwrap();
-        assert_eq!(o.kind, KindArg::Treegion);
+        assert_eq!(o.kind, RegionConfig::Treegion);
         assert_eq!(o.machine.issue_width(), 4);
         assert_eq!(o.heuristic, Heuristic::GlobalWeight);
         assert!(!o.dompar);

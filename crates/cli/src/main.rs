@@ -47,18 +47,13 @@
 
 mod args;
 
-use args::{parse_args, KindArg, Options};
+use args::{parse_args, Options};
 use std::process::ExitCode;
 use treegion::{
-    form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
-    lower_region, render_schedule, schedule_function_robust, schedule_with_ddg, Budgets,
-    ContainmentEvent, Ddg, DegradationEvent, FaultPlan, RegionSet, RetryPolicy, RobustOptions,
-    ScheduleOptions,
+    render_schedule, Budgets, ContainmentEvent, DegradationEvent, FaultPlan, NullObserver,
+    PassObserver, Pipeline, Profiler, RegionFormer, RetryPolicy, RobustOptions, ScheduleOptions,
 };
-use treegion_analysis::{Cfg, Liveness};
-use treegion_ir::{
-    parse_module, print_function, print_module, verify_function, BlockId, Function, Module,
-};
+use treegion_ir::{parse_module, print_function, print_module, verify_function, Module};
 use treegion_sim::{interpret, State, VliwProgram};
 
 /// What a successful invocation survived — drives the exit-code contract
@@ -204,25 +199,6 @@ fn load_module(opts: &Options) -> Result<Module, String> {
     Ok(module)
 }
 
-/// Applies the requested formation; returns the (possibly transformed)
-/// function, its regions, and the origin map.
-fn form(f: &Function, kind: &KindArg) -> (Function, RegionSet, Vec<BlockId>) {
-    let identity: Vec<BlockId> = f.block_ids().collect();
-    match kind {
-        KindArg::BasicBlock => (f.clone(), form_basic_blocks(f), identity),
-        KindArg::Slr => (f.clone(), form_slrs(f), identity),
-        KindArg::Treegion => (f.clone(), form_treegions(f), identity),
-        KindArg::Superblock => {
-            let r = form_superblocks(f);
-            (r.function, r.regions, r.origin)
-        }
-        KindArg::TreegionTd(limits) => {
-            let r = form_treegions_td(f, limits);
-            (r.function, r.regions, r.origin)
-        }
-    }
-}
-
 /// Builds the robust-pipeline configuration from the parsed flags.
 fn robust_options(opts: &Options) -> RobustOptions {
     RobustOptions {
@@ -248,14 +224,18 @@ fn cmd_print(opts: &Options) -> Result<(), String> {
 fn cmd_regions(opts: &Options) -> Result<(), String> {
     let module = load_module(opts)?;
     for f in module.functions() {
-        let (func, regions, origin) = form(f, &opts.kind);
-        println!("func @{} — {} regions:", func.name(), regions.len());
-        for (k, r) in regions.regions().iter().enumerate() {
+        let formed = opts.kind.form(f);
+        println!(
+            "func @{} — {} regions:",
+            formed.function.name(),
+            formed.regions.len()
+        );
+        for (k, r) in formed.regions.regions().iter().enumerate() {
             let labels: Vec<String> = r
                 .blocks()
                 .iter()
                 .map(|b| {
-                    if origin[b.index()] == *b {
+                    if formed.origin[b.index()] == *b {
                         b.to_string()
                     } else {
                         format!("{b}*")
@@ -267,7 +247,7 @@ fn cmd_regions(opts: &Options) -> Result<(), String> {
                 r.root(),
                 labels.join(" "),
                 r.path_count(),
-                r.weight(&func)
+                r.weight(&formed.function)
             );
         }
     }
@@ -276,16 +256,23 @@ fn cmd_regions(opts: &Options) -> Result<(), String> {
 
 fn cmd_schedule(opts: &Options) -> Result<Vec<DegradationEvent>, String> {
     let module = load_module(opts)?;
-    let ropts = robust_options(opts);
+    let pipeline = Pipeline::with_options(&opts.machine, robust_options(opts));
+    let profiler = Profiler::new();
+    let obs: &dyn PassObserver = if opts.profile {
+        &profiler
+    } else {
+        &NullObserver
+    };
     let mut total = 0.0;
+    let mut functions = 0usize;
     let mut events = Vec::new();
     for f in module.functions() {
-        let (func, regions, origin) = form(f, &opts.kind);
-        let result =
-            schedule_function_robust(&func, &regions, Some(&origin), &opts.machine, &ropts)
-                .map_err(|e| e.to_string())?;
-        println!("func @{}:", func.name());
-        for o in &result.outcomes {
+        let run = pipeline
+            .run_function(f, &opts.kind, obs)
+            .map_err(|e| e.to_string())?;
+        functions += 1;
+        println!("func @{}:", run.formed.function.name());
+        for o in &run.result.outcomes {
             let t = o.estimated_time();
             total += t;
             println!(
@@ -300,96 +287,69 @@ fn cmd_schedule(opts: &Options) -> Result<Vec<DegradationEvent>, String> {
                 render_schedule(&o.lowered, &o.schedule, &opts.machine)
             );
         }
-        events.extend(result.events);
+        events.extend(run.result.events);
     }
     println!("total estimated time: {total}");
     if opts.profile {
-        print_profile(&module, opts);
+        print_profile(&profiler, functions);
     }
     Ok(events)
 }
 
-/// `--profile`: per-phase wall-time breakdown of the clean scheduling
-/// pipeline (formation / lowering / DDG construction / list scheduling)
-/// over the whole module. The robust driver above interleaves phases per
-/// region, so the profile runs a dedicated straight-line replay with the
-/// same kind/machine/heuristic flags and times each phase in bulk.
-fn print_profile(module: &Module, opts: &Options) {
-    use std::time::{Duration, Instant};
-    let sopts = ScheduleOptions {
-        heuristic: opts.heuristic,
-        dominator_parallelism: opts.dompar,
-        ..Default::default()
-    };
-
-    let t0 = Instant::now();
-    let formed: Vec<(Function, RegionSet, Vec<BlockId>)> = module
-        .functions()
+/// `--profile`: per-stage wall-time breakdown of the scheduling pipeline,
+/// sourced from the [`Profiler`] observer's [`PassObserver`] hooks — the
+/// same stage brackets the driver fires on every run, not a separate
+/// replay. Stages that never fired (e.g. `verify` under `--verify off`)
+/// still print, with zero calls.
+fn print_profile(profiler: &Profiler, functions: usize) {
+    let report = profiler.report();
+    let total: u128 = profiler.total_nanos();
+    let regions: usize = report
         .iter()
-        .map(|f| form(f, &opts.kind))
-        .collect();
-    let formation = t0.elapsed();
-
-    let t0 = Instant::now();
-    let mut lowered = Vec::new();
-    for (func, regions, origin) in &formed {
-        let cfg = Cfg::new(func);
-        let live = Liveness::new(func, &cfg);
-        for r in regions.regions() {
-            lowered.push(lower_region(func, r, &live, Some(origin)));
+        .find(|p| p.stage == treegion::Stage::Formation)
+        .map_or(0, |p| p.stats.regions);
+    let ops: usize = report
+        .iter()
+        .find(|p| p.stage == treegion::Stage::Lowering)
+        .map_or(0, |p| p.stats.ops);
+    let row = |name: &str, nanos: u128, calls: Option<usize>| {
+        let us = nanos as f64 / 1e3;
+        let pct = 100.0 * nanos as f64 / (total as f64).max(1e-3);
+        match calls {
+            Some(c) => println!("  {name:<10} {us:>10.1} us  {pct:>5.1}%  ({c} call(s))"),
+            None => println!("  {name:<10} {us:>10.1} us  {pct:>5.1}%"),
         }
-    }
-    let lowering = t0.elapsed();
-
-    let t0 = Instant::now();
-    let ddgs: Vec<Ddg> = lowered
-        .iter()
-        .map(|lr| Ddg::build(lr, &opts.machine))
-        .collect();
-    let ddg_time = t0.elapsed();
-
-    let t0 = Instant::now();
-    for (lr, ddg) in lowered.iter().zip(&ddgs) {
-        std::hint::black_box(schedule_with_ddg(lr, ddg, &opts.machine, &sopts));
-    }
-    let list_sched = t0.elapsed();
-
-    let total = formation + lowering + ddg_time + list_sched;
-    let regions: usize = formed.iter().map(|(_, rs, _)| rs.regions().len()).sum();
-    let ops: usize = lowered.iter().map(|lr| lr.num_ops()).sum();
-    let row = |name: &str, d: Duration| {
-        let us = d.as_secs_f64() * 1e6;
-        let pct = 100.0 * d.as_secs_f64() / total.as_secs_f64().max(1e-12);
-        println!("  {name:<10} {us:>10.1} us  {pct:>5.1}%");
     };
-    println!(
-        "profile ({} function(s), {regions} region(s), {ops} lowered ops):",
-        formed.len()
-    );
-    row("formation", formation);
-    row("lowering", lowering);
-    row("ddg", ddg_time);
-    row("list-sched", list_sched);
-    row("total", total);
+    println!("profile ({functions} function(s), {regions} region(s), {ops} lowered ops):");
+    for p in &report {
+        row(p.stage.name(), p.nanos, Some(p.calls));
+    }
+    row("total", total, None);
 }
 
 fn cmd_run(opts: &Options) -> Result<Vec<DegradationEvent>, String> {
     let module = load_module(opts)?;
     let ropts = robust_options(opts);
+    let pipeline = Pipeline::with_options(&opts.machine, ropts.clone());
     let mut events = Vec::new();
     for f in module.functions() {
         let reference =
             interpret(f, State::new(), opts.fuel).map_err(|e| format!("{}: {e}", f.name()))?;
-        let (func, regions, origin) = form(f, &opts.kind);
-        let result =
-            schedule_function_robust(&func, &regions, Some(&origin), &opts.machine, &ropts)
-                .map_err(|e| e.to_string())?;
+        let run = pipeline
+            .run_function(f, &opts.kind, &NullObserver)
+            .map_err(|e| e.to_string())?;
+        let func = &run.formed.function;
         // Re-compile over the accepted partition: faults only perturb the
         // robust attempts above, so the executed program is the clean
         // schedule of whatever (possibly degraded) region shapes survived.
-        let accepted = result.region_set();
-        let prog =
-            VliwProgram::compile(&func, &accepted, &opts.machine, &ropts.sched, Some(&origin));
+        let accepted = run.result.region_set();
+        let prog = VliwProgram::compile(
+            func,
+            &accepted,
+            &opts.machine,
+            &ropts.sched,
+            Some(&run.formed.origin),
+        );
         let got = prog
             .execute(State::new(), opts.fuel)
             .map_err(|e| format!("{}: {e}", func.name()))?;
@@ -408,7 +368,7 @@ fn cmd_run(opts: &Options) -> Result<Vec<DegradationEvent>, String> {
             got.region_trace.len(),
             prog.estimated_time(),
         );
-        events.extend(result.events);
+        events.extend(run.result.events);
     }
     Ok(events)
 }

@@ -14,6 +14,6 @@ mod treegion;
 
 pub use basic::form_basic_blocks;
 pub use slr::form_slrs;
-pub use superblock::{form_superblocks, SuperblockResult};
-pub use tail_dup::{form_treegions_td, TailDupLimits, TailDupResult};
+pub use superblock::form_superblocks;
+pub use tail_dup::{form_treegions_td, TailDupLimits};
 pub use treegion::form_treegions;

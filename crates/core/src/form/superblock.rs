@@ -20,36 +20,23 @@
 //! is *split* at the side-entered block instead, which preserves the
 //! single-entry invariant without further growth.
 
-use crate::{Region, RegionKind, RegionSet};
+use crate::{FormOutcome, Region, RegionKind, RegionSet};
 use std::collections::HashMap;
 use treegion_ir::{Block, BlockId, Function};
-
-/// Result of superblock formation: the (possibly tail-duplicated)
-/// function, the superblock partition, and the per-block origin map.
-#[derive(Clone, Debug)]
-pub struct SuperblockResult {
-    /// The transformed function (duplicates appended; ids of original
-    /// blocks unchanged).
-    pub function: Function,
-    /// The superblock partition of `function`.
-    pub regions: RegionSet,
-    /// `origin[b]` is the original block that block `b` is a copy of
-    /// (identity for original blocks).
-    pub origin: Vec<BlockId>,
-}
 
 /// Default per-function code expansion budget for superblock tail
 /// duplication, as a multiple of the original op count.
 pub const SB_EXPANSION_BUDGET: f64 = 1.35;
 
 /// Forms superblocks over a copy of `f` (the input is not modified).
-pub fn form_superblocks(f: &Function) -> SuperblockResult {
+pub fn form_superblocks(f: &Function) -> FormOutcome {
     form_superblocks_with_budget(f, SB_EXPANSION_BUDGET)
 }
 
 /// [`form_superblocks`] with an explicit expansion budget (total ops after
 /// duplication may not exceed `budget` × original ops).
-pub fn form_superblocks_with_budget(f: &Function, budget: f64) -> SuperblockResult {
+pub fn form_superblocks_with_budget(f: &Function, budget: f64) -> FormOutcome {
+    let original_blocks = f.num_blocks();
     let mut func = f.clone();
     let original_ops = func.num_ops().max(1);
     let mut origin: Vec<BlockId> = func.block_ids().collect();
@@ -101,10 +88,12 @@ pub fn form_superblocks_with_budget(f: &Function, budget: f64) -> SuperblockResu
         set.add(r);
     }
     debug_assert!(set.is_partition_of(&func));
-    SuperblockResult {
+    FormOutcome {
         function: func,
         regions: set,
         origin,
+        original_ops: f.num_ops(),
+        original_blocks,
     }
 }
 
@@ -401,7 +390,7 @@ mod tests {
         assert_single_entry(&res);
     }
 
-    fn assert_single_entry(res: &SuperblockResult) {
+    fn assert_single_entry(res: &FormOutcome) {
         let preds = res.function.predecessors();
         for r in res.regions.regions() {
             for &b in &r.blocks()[1..] {

@@ -16,7 +16,7 @@
 //!   (e.g. function exits, which are cheap to duplicate).
 
 use crate::form::treegion::{absorb_into_tree, FlowFacts};
-use crate::{Region, RegionKind, RegionSet};
+use crate::{FormOutcome, Region, RegionKind, RegionSet};
 use std::collections::VecDeque;
 use treegion_ir::{Block, BlockId, Function};
 
@@ -60,21 +60,8 @@ impl Default for TailDupLimits {
     }
 }
 
-/// Result of `treeform-td`: the tail-duplicated function, its treegion
-/// partition, and the per-block origin map.
-#[derive(Clone, Debug)]
-pub struct TailDupResult {
-    /// The transformed function (duplicates appended).
-    pub function: Function,
-    /// The treegion partition of `function`.
-    pub regions: RegionSet,
-    /// `origin[b]` is the original block `b` was copied from (identity for
-    /// originals).
-    pub origin: Vec<BlockId>,
-}
-
 /// Forms treegions with tail duplication over a copy of `f` (Figure 11).
-pub fn form_treegions_td(f: &Function, limits: &TailDupLimits) -> TailDupResult {
+pub fn form_treegions_td(f: &Function, limits: &TailDupLimits) -> FormOutcome {
     let mut func = f.clone();
     let mut origin: Vec<BlockId> = func.block_ids().collect();
     let mut set = RegionSet::new(RegionKind::Treegion);
@@ -113,10 +100,12 @@ pub fn form_treegions_td(f: &Function, limits: &TailDupLimits) -> TailDupResult 
         }
     }
     debug_assert!(set.is_partition_of(&func));
-    TailDupResult {
+    FormOutcome {
         function: func,
         regions: set,
         origin,
+        original_ops: f.num_ops(),
+        original_blocks: f.num_blocks(),
     }
 }
 

@@ -14,8 +14,11 @@ mod ddg;
 mod error;
 mod fault;
 mod form;
+mod former;
 mod heuristic;
 mod lower;
+mod observe;
+mod pipeline;
 mod region;
 mod robust;
 mod sched;
@@ -32,16 +35,23 @@ pub use error::{
 pub use fault::{FaultClass, FaultInjector, FaultPlan};
 pub use form::{
     form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
-    SuperblockResult, TailDupLimits, TailDupResult,
+    TailDupLimits,
 };
+pub use former::{FormOutcome, RegionConfig, RegionFormer};
 pub use heuristic::{Heuristic, Priority};
 pub use lower::{
     lower_region, try_lower_region, LOp, LOpKind, LoweredRegion, OpOrigin, RNode, RegionExit,
 };
-pub use region::{ExitEdge, Region, RegionId, RegionKind, RegionSet};
-pub use robust::{
-    carve_bb, carve_slr, schedule_function_robust, RegionOutcome, RobustOptions, RobustResult,
+pub use observe::{
+    EventLog, NullObserver, PassObserver, Profiler, Stage, StageProfile, StageScope, StageStats,
 };
+pub use pipeline::{
+    form_and_lower, FunctionRun, LoweredFunction, ModuleRun, Pipeline, RegionSchedule,
+};
+pub use region::{ExitEdge, Region, RegionId, RegionKind, RegionSet};
+#[allow(deprecated)]
+pub use robust::schedule_function_robust;
+pub use robust::{carve_bb, carve_slr, RegionOutcome, RobustOptions, RobustResult};
 pub use sched::{
     render_schedule, schedule_region, schedule_with_ddg, try_schedule_region,
     try_schedule_with_ddg, Schedule, ScheduleOptions, TieBreak,

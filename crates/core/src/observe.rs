@@ -1,0 +1,320 @@
+//! Pass observation: the [`PassObserver`] hook interface and its built-in
+//! implementations.
+//!
+//! Every stage of the [`crate::Pipeline`] driver — formation, lowering,
+//! DDG construction, list scheduling, verification — brackets its work
+//! with [`PassObserver::stage_enter`] / [`PassObserver::stage_exit`],
+//! carrying wall time and op/region/edge counters. Degradation and
+//! containment events flow through the same interface. `tgc schedule
+//! --profile`, `bench_sched`'s per-kernel timings, and the eval harness's
+//! `DegradationEvents` are all built on these hooks instead of ad-hoc
+//! instrumentation.
+//!
+//! ## Threading and determinism
+//!
+//! Observers are shared across the `treegion_par` worker budget, so the
+//! trait requires [`Sync`] and all hooks take `&self` (implementations
+//! use interior mutability). Stage hooks fire *inside* the per-region
+//! work — concurrently under `--jobs N` — so implementations must only
+//! accumulate commutatively (the built-in [`Profiler`] sums). Event hooks
+//! ([`PassObserver::degradation`], [`PassObserver::containment`]) are
+//! invoked by the driver *at the merge point, in region order*, so an
+//! [`EventLog`] sees the same byte-identical stream at any job count.
+
+use crate::contain::ContainmentEvent;
+use crate::error::DegradationEvent;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A pipeline stage, in dataflow order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Region formation (per function).
+    Formation,
+    /// Lowering a region to its schedulable form (per region).
+    Lowering,
+    /// Data-dependence-graph construction (per region).
+    DdgBuild,
+    /// List scheduling (per region).
+    ListSched,
+    /// Schedule verification (per region; skipped under `--verify off`).
+    Verify,
+}
+
+impl Stage {
+    /// All stages, in dataflow order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Formation,
+        Stage::Lowering,
+        Stage::DdgBuild,
+        Stage::ListSched,
+        Stage::Verify,
+    ];
+
+    /// Stable short name (used by `--profile` output and CI smoke tests).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Formation => "formation",
+            Stage::Lowering => "lowering",
+            Stage::DdgBuild => "ddg",
+            Stage::ListSched => "list-sched",
+            Stage::Verify => "verify",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Formation => 0,
+            Stage::Lowering => 1,
+            Stage::DdgBuild => 2,
+            Stage::ListSched => 3,
+            Stage::Verify => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a stage invocation happened.
+#[derive(Copy, Clone, Debug)]
+pub struct StageScope<'a> {
+    /// Name of the function being driven.
+    pub function: &'a str,
+    /// Index of the region within its `RegionSet` (`None` for
+    /// function-granularity stages like formation).
+    pub region: Option<usize>,
+}
+
+/// Work counters reported at [`PassObserver::stage_exit`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Regions processed (formation: regions formed; per-region stages: 1).
+    pub regions: usize,
+    /// Ops processed (lowered ops for per-region stages).
+    pub ops: usize,
+    /// DDG edges involved (0 where not applicable).
+    pub edges: usize,
+}
+
+/// Hook interface threaded through every [`crate::Pipeline`] stage.
+///
+/// All methods have empty defaults, so observers implement only what they
+/// need. See the module docs for the threading/determinism contract.
+pub trait PassObserver: Sync {
+    /// A stage is about to run.
+    fn stage_enter(&self, stage: Stage, scope: StageScope<'_>) {
+        let _ = (stage, scope);
+    }
+
+    /// A stage finished; `elapsed` covers only the stage's own work.
+    fn stage_exit(
+        &self,
+        stage: Stage,
+        scope: StageScope<'_>,
+        elapsed: Duration,
+        stats: StageStats,
+    ) {
+        let _ = (stage, scope, elapsed, stats);
+    }
+
+    /// The degradation chain survived a failure (merge-point ordered).
+    fn degradation(&self, event: &DegradationEvent) {
+        let _ = event;
+    }
+
+    /// A harness-level containment occurred (merge-point ordered).
+    fn containment(&self, event: &ContainmentEvent) {
+        let _ = event;
+    }
+}
+
+/// The do-nothing observer (zero-cost default).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NullObserver;
+
+impl PassObserver for NullObserver {}
+
+#[derive(Clone, Debug, Default)]
+struct StageAcc {
+    calls: usize,
+    nanos: u128,
+    stats: StageStats,
+}
+
+/// Accumulated profile of one stage, as reported by [`Profiler::report`].
+#[derive(Clone, Debug)]
+pub struct StageProfile {
+    /// Which stage.
+    pub stage: Stage,
+    /// Number of invocations (enter/exit pairs).
+    pub calls: usize,
+    /// Total wall time, in nanoseconds.
+    pub nanos: u128,
+    /// Summed work counters.
+    pub stats: StageStats,
+}
+
+/// A [`PassObserver`] that accumulates per-stage wall time and counters.
+///
+/// Powers `tgc schedule --profile` and `bench_sched`'s kernel timings.
+/// Accumulation is commutative (sums under a mutex), so totals are
+/// meaningful at any job count even though per-invocation callbacks fire
+/// concurrently.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    stages: Mutex<[StageAcc; 5]>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Per-stage accumulated profile, in dataflow order; stages that never
+    /// fired report zero calls.
+    pub fn report(&self) -> Vec<StageProfile> {
+        let accs = self.stages.lock().unwrap_or_else(|p| p.into_inner());
+        Stage::ALL
+            .iter()
+            .map(|&stage| {
+                let a = &accs[stage.index()];
+                StageProfile {
+                    stage,
+                    calls: a.calls,
+                    nanos: a.nanos,
+                    stats: a.stats,
+                }
+            })
+            .collect()
+    }
+
+    /// Total accumulated nanoseconds of one stage.
+    pub fn stage_nanos(&self, stage: Stage) -> u128 {
+        let accs = self.stages.lock().unwrap_or_else(|p| p.into_inner());
+        accs[stage.index()].nanos
+    }
+
+    /// Total accumulated nanoseconds across all stages.
+    pub fn total_nanos(&self) -> u128 {
+        let accs = self.stages.lock().unwrap_or_else(|p| p.into_inner());
+        accs.iter().map(|a| a.nanos).sum()
+    }
+}
+
+impl PassObserver for Profiler {
+    fn stage_exit(
+        &self,
+        stage: Stage,
+        _scope: StageScope<'_>,
+        elapsed: Duration,
+        stats: StageStats,
+    ) {
+        let mut accs = self.stages.lock().unwrap_or_else(|p| p.into_inner());
+        let a = &mut accs[stage.index()];
+        a.calls += 1;
+        a.nanos += elapsed.as_nanos();
+        a.stats.regions += stats.regions;
+        a.stats.ops += stats.ops;
+        a.stats.edges += stats.edges;
+    }
+}
+
+/// A [`PassObserver`] that records the ordered degradation / containment
+/// event streams. Because the driver invokes event hooks at the merge
+/// point in region order, the log's contents are byte-identical at any
+/// job count — the eval harness's `DegradationEvents` reporting is built
+/// on this.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    degradations: Mutex<Vec<DegradationEvent>>,
+    containments: Mutex<Vec<ContainmentEvent>>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Drains the recorded degradation events, in pipeline order.
+    pub fn take_degradations(&self) -> Vec<DegradationEvent> {
+        std::mem::take(&mut *self.degradations.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Drains the recorded containment events, in pipeline order.
+    pub fn take_containments(&self) -> Vec<ContainmentEvent> {
+        std::mem::take(&mut *self.containments.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
+impl PassObserver for EventLog {
+    fn degradation(&self, event: &DegradationEvent) {
+        self.degradations
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(event.clone());
+    }
+
+    fn containment(&self, event: &ContainmentEvent) {
+        self.containments
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["formation", "lowering", "ddg", "list-sched", "verify"]
+        );
+    }
+
+    #[test]
+    fn profiler_accumulates_per_stage() {
+        let p = Profiler::new();
+        let scope = StageScope {
+            function: "f",
+            region: Some(0),
+        };
+        p.stage_exit(
+            Stage::Lowering,
+            scope,
+            Duration::from_nanos(10),
+            StageStats {
+                regions: 1,
+                ops: 5,
+                edges: 0,
+            },
+        );
+        p.stage_exit(
+            Stage::Lowering,
+            scope,
+            Duration::from_nanos(32),
+            StageStats {
+                regions: 1,
+                ops: 7,
+                edges: 0,
+            },
+        );
+        let report = p.report();
+        let lowering = &report[1];
+        assert_eq!(lowering.stage, Stage::Lowering);
+        assert_eq!(lowering.calls, 2);
+        assert_eq!(lowering.nanos, 42);
+        assert_eq!(lowering.stats.ops, 12);
+        assert_eq!(p.total_nanos(), 42);
+        assert_eq!(p.stage_nanos(Stage::Formation), 0);
+    }
+}

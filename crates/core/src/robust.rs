@@ -34,10 +34,12 @@ use crate::error::{
 };
 use crate::fault::{FaultClass, FaultInjector, FaultPlan};
 use crate::lower::{try_lower_region, LoweredRegion};
+use crate::observe::{PassObserver, Stage, StageScope, StageStats};
 use crate::region::{Region, RegionKind, RegionSet};
 use crate::sched::{try_schedule_with_ddg, Schedule, ScheduleOptions};
 use crate::verify_sched::{verify_schedule, ScheduleError};
 use std::collections::HashSet;
+use std::time::Instant;
 use treegion_analysis::{Cfg, Liveness};
 use treegion_ir::{BlockId, Function};
 use treegion_machine::MachineModel;
@@ -130,22 +132,50 @@ impl RobustResult {
     }
 }
 
-/// Schedules every region of `set` over `f` with verification, budgets,
-/// optional fault injection, and the degradation chain.
+/// Deprecated free-function entry point to the robust chain.
 ///
-/// `origin_map`, when present (after tail duplication), maps each block to
-/// its original (see [`crate::lower_region`]).
+/// This was one of two colliding `schedule_function_robust` entry points
+/// (the other lived in the eval crate and has been removed). The
+/// canonical driver is now [`crate::Pipeline`]: use
+/// [`crate::Pipeline::run_formed`] / [`crate::Pipeline::run_set`], which
+/// additionally thread [`PassObserver`] hooks through every stage.
 ///
 /// # Errors
 ///
 /// Returns a [`PipelineError`] when one region fails at the primary level
 /// *and* at every fallback level the policy permits.
+#[deprecated(
+    since = "0.5.0",
+    note = "use Pipeline::run_formed / Pipeline::run_set; this shim runs unobserved"
+)]
 pub fn schedule_function_robust(
     f: &Function,
     set: &RegionSet,
     origin_map: Option<&[BlockId]>,
     m: &MachineModel,
     opts: &RobustOptions,
+) -> Result<RobustResult, PipelineError> {
+    run_robust(f, set, origin_map, m, opts, &crate::observe::NullObserver)
+}
+
+/// Schedules every region of `set` over `f` with verification, budgets,
+/// optional fault injection, and the degradation chain — the engine
+/// behind [`crate::Pipeline::run_set`].
+///
+/// `origin_map`, when present (after tail duplication), maps each block to
+/// its original (see [`crate::lower_region`]).
+///
+/// Stage hooks ([`PassObserver::stage_enter`]/`stage_exit`) fire inside
+/// the per-region work (possibly concurrently); degradation hooks fire at
+/// the merge point, in region order, so observers see a deterministic
+/// event stream at any job count.
+pub(crate) fn run_robust(
+    f: &Function,
+    set: &RegionSet,
+    origin_map: Option<&[BlockId]>,
+    m: &MachineModel,
+    opts: &RobustOptions,
+    obs: &dyn PassObserver,
 ) -> Result<RobustResult, PipelineError> {
     let cfg = Cfg::new(f);
     let live = Liveness::new(f, &cfg);
@@ -169,8 +199,12 @@ pub fn schedule_function_robust(
                 m,
                 opts,
                 injector.as_mut(),
+                obs,
             )?;
             result.outcomes.extend(run.outcomes);
+            for ev in &run.events {
+                obs.degradation(ev);
+            }
             result.events.extend(run.events);
         }
         return Ok(result);
@@ -182,11 +216,14 @@ pub fn schedule_function_robust(
     let regions = set.regions();
     let indexed: Vec<usize> = (0..regions.len()).collect();
     let runs = treegion_par::par_map(&indexed, |&idx| {
-        schedule_one(f, idx, &regions[idx], &live, origin_map, m, opts, None)
+        schedule_one(f, idx, &regions[idx], &live, origin_map, m, opts, None, obs)
     });
     for run in runs {
         let run = run?;
         result.outcomes.extend(run.outcomes);
+        for ev in &run.events {
+            obs.degradation(ev);
+        }
         result.events.extend(run.events);
     }
     Ok(result)
@@ -218,12 +255,13 @@ fn schedule_one(
     m: &MachineModel,
     opts: &RobustOptions,
     injector: Option<&mut FaultInjector>,
+    obs: &dyn PassObserver,
 ) -> Result<RegionRun, PipelineError> {
     let mut run = RegionRun {
         outcomes: Vec::new(),
         events: Vec::new(),
     };
-    match attempt_contained(f, idx, region, live, origin_map, m, opts, injector) {
+    match attempt_contained(f, idx, region, live, origin_map, m, opts, injector, obs) {
         Ok(att) => {
             if let Some(err) = att.tolerated {
                 run.events.push(DegradationEvent {
@@ -253,7 +291,7 @@ fn schedule_one(
                     FallbackLevel::Slr => carve_slr(f, region),
                     FallbackLevel::BasicBlock => carve_bb(region),
                 };
-                match schedule_pieces(f, &pieces, live, origin_map, m, opts) {
+                match schedule_pieces(f, idx, &pieces, live, origin_map, m, opts, obs) {
                     Ok(outs) => {
                         run.events.push(DegradationEvent {
                             function: f.name().to_string(),
@@ -316,30 +354,69 @@ fn attempt_contained(
     m: &MachineModel,
     opts: &RobustOptions,
     injector: Option<&mut FaultInjector>,
+    obs: &dyn PassObserver,
 ) -> Result<Attempt, SchedFailure> {
     contain(|| {
         if opts.panic_on_region == Some(idx) {
             panic!("injected panic while scheduling region #{idx} (panic_on_region)");
         }
-        attempt(f, region, live, origin_map, m, opts, injector)
+        attempt(f, idx, region, live, origin_map, m, opts, injector, obs)
     })
 }
 
 /// Lowers, (optionally fault-injects,) schedules, and verifies one region.
+///
+/// Each stage is bracketed with [`PassObserver`] enter/exit hooks;
+/// `stage_exit` fires only when the stage succeeds (a failed attempt
+/// aborts mid-stage, and its partial time is not attributed).
+#[allow(clippy::too_many_arguments)]
 fn attempt(
     f: &Function,
+    idx: usize,
     region: &Region,
     live: &Liveness,
     origin_map: Option<&[BlockId]>,
     m: &MachineModel,
     opts: &RobustOptions,
     mut injector: Option<&mut FaultInjector>,
+    obs: &dyn PassObserver,
 ) -> Result<Attempt, SchedFailure> {
+    let scope = StageScope {
+        function: f.name(),
+        region: Some(idx),
+    };
+    obs.stage_enter(Stage::Lowering, scope);
+    let t = Instant::now();
     let mut lr = try_lower_region(f, region, live, origin_map, &opts.budgets)?;
+    obs.stage_exit(
+        Stage::Lowering,
+        scope,
+        t.elapsed(),
+        StageStats {
+            regions: 1,
+            ops: lr.num_ops(),
+            edges: 0,
+        },
+    );
+
+    obs.stage_enter(Stage::DdgBuild, scope);
+    let t = Instant::now();
     let true_ddg = Ddg::build(&lr, m);
+    obs.stage_exit(
+        Stage::DdgBuild,
+        scope,
+        t.elapsed(),
+        StageStats {
+            regions: 1,
+            ops: lr.num_ops(),
+            edges: true_ddg.edges().len(),
+        },
+    );
     let class: Option<FaultClass> = injector.as_deref_mut().and_then(FaultInjector::choose);
 
     let mut sched_opts = opts.sched;
+    obs.stage_enter(Stage::ListSched, scope);
+    let t = Instant::now();
     let sched = match (injector.as_deref_mut(), class) {
         (Some(inj), Some(c)) if c.is_pre_schedule() => {
             let mut corrupted = true_ddg.clone();
@@ -348,6 +425,16 @@ fn attempt(
         }
         _ => try_schedule_with_ddg(&lr, &true_ddg, m, &sched_opts, &opts.budgets)?,
     };
+    obs.stage_exit(
+        Stage::ListSched,
+        scope,
+        t.elapsed(),
+        StageStats {
+            regions: 1,
+            ops: lr.num_ops(),
+            edges: true_ddg.edges().len(),
+        },
+    );
     let mut sched = sched;
     if let (Some(inj), Some(c)) = (injector, class) {
         if !c.is_pre_schedule() {
@@ -355,22 +442,35 @@ fn attempt(
         }
     }
 
-    match opts.verify {
-        VerifyMode::Off => Ok(Attempt {
+    if opts.verify == VerifyMode::Off {
+        return Ok(Attempt {
             lowered: lr,
             schedule: sched,
             tolerated: None,
+        });
+    }
+    obs.stage_enter(Stage::Verify, scope);
+    let t = Instant::now();
+    let verdict = verify_schedule(&lr, &true_ddg, m, &sched);
+    obs.stage_exit(
+        Stage::Verify,
+        scope,
+        t.elapsed(),
+        StageStats {
+            regions: 1,
+            ops: lr.num_ops(),
+            edges: true_ddg.edges().len(),
+        },
+    );
+    match opts.verify {
+        VerifyMode::Off => unreachable!("handled above"),
+        VerifyMode::Warn => Ok(Attempt {
+            lowered: lr,
+            schedule: sched,
+            tolerated: verdict.err(),
         }),
-        VerifyMode::Warn => {
-            let tolerated = verify_schedule(&lr, &true_ddg, m, &sched).err();
-            Ok(Attempt {
-                lowered: lr,
-                schedule: sched,
-                tolerated,
-            })
-        }
         VerifyMode::Strict => {
-            verify_schedule(&lr, &true_ddg, m, &sched)?;
+            verdict?;
             Ok(Attempt {
                 lowered: lr,
                 schedule: sched,
@@ -382,14 +482,19 @@ fn attempt(
 
 /// Schedules carved fallback pieces: no fault injection, and verification
 /// is strict whenever verification is on at all (a recovered schedule must
-/// be *proven* good, even under `warn`).
+/// be *proven* good, even under `warn`). Stage hooks carry the *original*
+/// region's index, so profiles attribute fallback work to the region that
+/// degraded.
+#[allow(clippy::too_many_arguments)]
 fn schedule_pieces(
     f: &Function,
+    idx: usize,
     pieces: &[Region],
     live: &Liveness,
     origin_map: Option<&[BlockId]>,
     m: &MachineModel,
     opts: &RobustOptions,
+    obs: &dyn PassObserver,
 ) -> Result<Vec<Attempt>, SchedFailure> {
     let strict = RobustOptions {
         sched: opts.sched,
@@ -404,7 +509,7 @@ fn schedule_pieces(
     };
     pieces
         .iter()
-        .map(|p| contain(|| attempt(f, p, live, origin_map, m, &strict, None)))
+        .map(|p| contain(|| attempt(f, idx, p, live, origin_map, m, &strict, None, obs)))
         .collect()
 }
 
@@ -468,11 +573,26 @@ mod tests {
         MachineModel::model_4u()
     }
 
+    /// Drives the chain through the canonical [`crate::Pipeline`] entry.
+    fn run(
+        f: &Function,
+        set: &RegionSet,
+        m: &MachineModel,
+        opts: &RobustOptions,
+    ) -> Result<RobustResult, PipelineError> {
+        crate::Pipeline::with_options(m, opts.clone()).run_set(
+            f,
+            set,
+            None,
+            &crate::observe::NullObserver,
+        )
+    }
+
     #[test]
     fn clean_run_matches_plain_scheduling() {
         let (f, _) = figure1_cfg();
         let set = form_treegions(&f);
-        let r = schedule_function_robust(&f, &set, None, &model(), &RobustOptions::default())
+        let r = run(&f, &set, &model(), &RobustOptions::default())
             .expect("clean function must schedule");
         assert!(r.is_clean());
         assert_eq!(r.outcomes.len(), set.len());
@@ -534,7 +654,7 @@ mod tests {
                 fault: Some(FaultPlan::single(21, class)),
                 ..Default::default()
             };
-            let r = schedule_function_robust(&f, &set, None, &m, &opts)
+            let r = run(&f, &set, &m, &opts)
                 .unwrap_or_else(|e| panic!("{class}: chain must recover: {e}"));
             // The injected fault may miss regions without a viable site,
             // but the big entry treegion always offers one for every
@@ -572,7 +692,7 @@ mod tests {
             fault: Some(FaultPlan::single(5, FaultClass::ShiftExitCycle)),
             ..Default::default()
         };
-        let r = schedule_function_robust(&f, &set, None, &model(), &opts).unwrap();
+        let r = run(&f, &set, &model(), &opts).unwrap();
         // Same number of outcomes as regions (nothing was re-carved) …
         assert_eq!(r.outcomes.len(), set.len());
         assert!(r.outcomes.iter().all(|o| o.level == FallbackLevel::Primary));
@@ -590,7 +710,7 @@ mod tests {
             fault: Some(FaultPlan::single(5, FaultClass::ShiftExitCycle)),
             ..Default::default()
         };
-        let r = schedule_function_robust(&f, &set, None, &model(), &opts).unwrap();
+        let r = run(&f, &set, &model(), &opts).unwrap();
         assert!(r.events.is_empty());
         assert_eq!(r.outcomes.len(), set.len());
     }
@@ -604,8 +724,7 @@ mod tests {
             fault: Some(FaultPlan::single(9, FaultClass::OmitOp)),
             ..Default::default()
         };
-        let err = schedule_function_robust(&f, &set, None, &model(), &opts)
-            .expect_err("no fallback must be fatal");
+        let err = run(&f, &set, &model(), &opts).expect_err("no fallback must be fatal");
         assert_eq!(err.attempts.len(), 1);
         assert_eq!(err.attempts[0].0, FallbackLevel::Primary);
         assert!(err.to_string().contains("failed at every fallback level"));
@@ -625,7 +744,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let r = schedule_function_robust(&f, &set, None, &model(), &opts).unwrap();
+        let r = run(&f, &set, &model(), &opts).unwrap();
         assert!(!r.events.is_empty());
         assert!(r
             .events
@@ -650,7 +769,7 @@ mod tests {
             panic_on_region: Some(0),
             ..Default::default()
         };
-        let r = schedule_function_robust(&f, &set, None, &model(), &opts)
+        let r = run(&f, &set, &model(), &opts)
             .expect("a contained panic must recover through the chain");
         assert!(!r.is_clean());
         // Exactly one region degraded, with a panic cause, and recovered.
@@ -683,7 +802,7 @@ mod tests {
             ..Default::default()
         };
         let run = || {
-            let r = schedule_function_robust(&f, &set, None, &model(), &opts).unwrap();
+            let r = run(&f, &set, &model(), &opts).unwrap();
             (
                 r.estimated_time().to_bits(),
                 r.outcomes.len(),
@@ -717,8 +836,8 @@ mod tests {
             },
             ..Default::default()
         };
-        let err = schedule_function_robust(&f, &set, None, &model(), &opts)
-            .expect_err("a zero deadline cannot schedule anything");
+        let err =
+            run(&f, &set, &model(), &opts).expect_err("a zero deadline cannot schedule anything");
         assert_eq!(err.attempts.len(), 3); // primary, slr, bb
         assert!(err.attempts.iter().all(|(_, c)| c.label() == "deadline"));
         assert!(err.attempts.iter().all(|(_, c)| c.is_containment()));
@@ -728,7 +847,7 @@ mod tests {
     fn generous_wall_deadline_changes_nothing() {
         let (f, _) = figure1_cfg();
         let set = form_treegions(&f);
-        let clean = schedule_function_robust(&f, &set, None, &model(), &RobustOptions::default())
+        let clean = run(&f, &set, &model(), &RobustOptions::default())
             .unwrap()
             .estimated_time();
         let opts = RobustOptions {
@@ -738,7 +857,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let r = schedule_function_robust(&f, &set, None, &model(), &opts).unwrap();
+        let r = run(&f, &set, &model(), &opts).unwrap();
         assert!(r.is_clean());
         assert_eq!(r.estimated_time(), clean);
     }
@@ -767,8 +886,8 @@ mod tests {
             },
             ..Default::default()
         };
-        let err = schedule_function_robust(&f, &set, None, &model(), &opts)
-            .expect_err("1-cycle budget cannot fit a serial chain");
+        let err =
+            run(&f, &set, &model(), &opts).expect_err("1-cycle budget cannot fit a serial chain");
         assert!(err.attempts.iter().all(|(_, c)| c.label() == "step-budget"));
         assert_eq!(err.attempts.len(), 3); // primary, slr, bb
     }

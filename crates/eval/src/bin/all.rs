@@ -1,23 +1,10 @@
-//! Runs every experiment and prints all tables and figures in paper order.
-use treegion_eval::{fig13, fig6, fig8, table1, table2, table3, table4, Suite};
-use treegion_machine::MachineModel;
+//! Runs every experiment and prints all tables and figures in paper order
+//! (the same canonical cell order the contained runner uses).
+use treegion_eval::{render_cell, Suite, CELL_NAMES};
 
 fn main() {
     let suite = Suite::load();
-    let (m4, m8) = (MachineModel::model_4u(), MachineModel::model_8u());
-    for t in [table1(&suite), table2(&suite)] {
-        println!("{}", t.render());
-    }
-    for m in [&m4, &m8] {
-        println!("{}", fig6(&suite, m).render());
-    }
-    for m in [&m4, &m8] {
-        println!("{}", fig8(&suite, m).render());
-    }
-    for t in [table3(&suite), table4(&suite)] {
-        println!("{}", t.render());
-    }
-    for m in [&m4, &m8] {
-        println!("{}", fig13(&suite, m).render());
+    for name in CELL_NAMES {
+        println!("{}", render_cell(&suite, name));
     }
 }

@@ -1,10 +1,7 @@
 //! Regenerates the paper's Fig13 (4U and 8U machine models).
-use treegion_eval::{fig13, Suite};
-use treegion_machine::MachineModel;
+use treegion_eval::{render_figure_pair, Suite};
 
 fn main() {
     let suite = Suite::load();
-    print!("{}", fig13(&suite, &MachineModel::model_4u()).render());
-    println!();
-    print!("{}", fig13(&suite, &MachineModel::model_8u()).render());
+    print!("{}", render_figure_pair(&suite, "fig13"));
 }

@@ -3,48 +3,47 @@
 //! region of the Figure 1 CFG on the 4U machine.
 
 use treegion::{
-    form_superblocks, form_treegions, lower_region, render_schedule, schedule_region, Heuristic,
-    ScheduleOptions,
+    form_superblocks, form_treegions, render_schedule, Heuristic, NullObserver, Pipeline,
+    RobustOptions, ScheduleOptions,
 };
-use treegion_analysis::{Cfg, Liveness};
 use treegion_machine::MachineModel;
 use treegion_workloads::shapes;
 
 fn main() {
     let (f, _) = shapes::figure1();
     let machine = MachineModel::model_4u();
-    let opts = ScheduleOptions {
-        heuristic: Heuristic::GlobalWeight,
-        dominator_parallelism: false,
-        ..Default::default()
-    };
+    let pipeline = Pipeline::with_options(
+        &machine,
+        RobustOptions {
+            sched: ScheduleOptions {
+                heuristic: Heuristic::GlobalWeight,
+                dominator_parallelism: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
 
     println!("=== Figure 4: superblock schedule of the topmost region ===\n");
     let sb = form_superblocks(&f);
-    let cfg = Cfg::new(&sb.function);
-    let live = Liveness::new(&sb.function, &cfg);
     let mut sb_total = 0.0;
-    for r in sb.regions.regions() {
-        let lowered = lower_region(&sb.function, r, &live, Some(&sb.origin));
-        let s = schedule_region(&lowered, &machine, &opts);
-        sb_total += s.estimated_time(&lowered);
+    let scheds = pipeline.schedule_set(&sb.function, &sb.regions, Some(&sb.origin), &NullObserver);
+    for (r, s) in sb.regions.regions().iter().zip(&scheds) {
+        sb_total += s.schedule.estimated_time(&s.lowered);
         if r.root() == sb.function.entry() {
-            println!("{}", render_schedule(&lowered, &s, &machine));
+            println!("{}", render_schedule(&s.lowered, &s.schedule, &machine));
         }
     }
     println!("superblock estimated execution time: {sb_total}\n");
 
     println!("=== Figure 5: treegion schedule of the topmost region ===\n");
     let tree = form_treegions(&f);
-    let cfg = Cfg::new(&f);
-    let live = Liveness::new(&f, &cfg);
     let mut tree_total = 0.0;
-    for r in tree.regions() {
-        let lowered = lower_region(&f, r, &live, None);
-        let s = schedule_region(&lowered, &machine, &opts);
-        tree_total += s.estimated_time(&lowered);
+    let scheds = pipeline.schedule_set(&f, &tree, None, &NullObserver);
+    for (r, s) in tree.regions().iter().zip(&scheds) {
+        tree_total += s.schedule.estimated_time(&s.lowered);
         if r.root() == f.entry() {
-            println!("{}", render_schedule(&lowered, &s, &machine));
+            println!("{}", render_schedule(&s.lowered, &s.schedule, &machine));
         }
     }
     println!("treegion estimated execution time: {tree_total}");

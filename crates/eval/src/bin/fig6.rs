@@ -1,10 +1,7 @@
 //! Regenerates the paper's Fig6 (4U and 8U machine models).
-use treegion_eval::{fig6, Suite};
-use treegion_machine::MachineModel;
+use treegion_eval::{render_figure_pair, Suite};
 
 fn main() {
     let suite = Suite::load();
-    print!("{}", fig6(&suite, &MachineModel::model_4u()).render());
-    println!();
-    print!("{}", fig6(&suite, &MachineModel::model_8u()).render());
+    print!("{}", render_figure_pair(&suite, "fig6"));
 }

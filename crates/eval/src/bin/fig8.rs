@@ -1,10 +1,7 @@
 //! Regenerates the paper's Fig8 (4U and 8U machine models).
-use treegion_eval::{fig8, Suite};
-use treegion_machine::MachineModel;
+use treegion_eval::{render_figure_pair, Suite};
 
 fn main() {
     let suite = Suite::load();
-    print!("{}", fig8(&suite, &MachineModel::model_4u()).render());
-    println!();
-    print!("{}", fig8(&suite, &MachineModel::model_8u()).render());
+    print!("{}", render_figure_pair(&suite, "fig8"));
 }

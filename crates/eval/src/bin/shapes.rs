@@ -1,35 +1,31 @@
 //! Prints the paper's analysis shapes (Figures 7, 9, 10) and how each
 //! heuristic schedules them — the mechanisms behind the Figure 8 results.
 
-use treegion::{form_treegions, lower_region, schedule_region, Heuristic, ScheduleOptions};
-use treegion_analysis::{Cfg, Liveness};
+use treegion::{form_treegions, Heuristic, NullObserver, Pipeline, RobustOptions, ScheduleOptions};
 use treegion_ir::{print_function, Function};
 use treegion_machine::MachineModel;
 use treegion_workloads::shapes;
 
 fn times(f: &Function, machine: &MachineModel) -> Vec<(Heuristic, f64)> {
     let set = form_treegions(f);
-    let cfg = Cfg::new(f);
-    let live = Liveness::new(f, &cfg);
     Heuristic::ALL
         .into_iter()
         .map(|h| {
-            let t = set
-                .regions()
+            let p = Pipeline::with_options(
+                machine,
+                RobustOptions {
+                    sched: ScheduleOptions {
+                        heuristic: h,
+                        dominator_parallelism: false,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            let t = p
+                .schedule_set(f, &set, None, &NullObserver)
                 .iter()
-                .map(|r| {
-                    let lowered = lower_region(f, r, &live, None);
-                    schedule_region(
-                        &lowered,
-                        machine,
-                        &ScheduleOptions {
-                            heuristic: h,
-                            dominator_parallelism: false,
-                            ..Default::default()
-                        },
-                    )
-                    .estimated_time(&lowered)
-                })
+                .map(|s| s.schedule.estimated_time(&s.lowered))
                 .sum();
             (h, t)
         })

@@ -1,7 +1,7 @@
 //! Regenerates the paper's Table4 (see DESIGN.md experiment index).
-use treegion_eval::{table4, Suite};
+use treegion_eval::{render_cell, Suite};
 
 fn main() {
     let suite = Suite::load();
-    print!("{}", table4(&suite).render());
+    print!("{}", render_cell(&suite, "table4"));
 }

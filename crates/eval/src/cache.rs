@@ -8,8 +8,10 @@
 //! shares it:
 //!
 //! * [`FormationCache::formation`] — `(module, config)` →
-//!   [`ModuleFormation`]: per-function [`FormedFunction`] + `Cfg` +
-//!   `Liveness` + every region's [`LoweredRegion`].
+//!   [`ModuleFormation`]: per-function [`treegion::FormOutcome`],
+//!   `Cfg`, `Liveness`, and every region's [`LoweredRegion`], all
+//!   produced by the driver's machine-independent front half
+//!   ([`form_and_lower`]).
 //! * [`FormationCache::time`] — `(module, config, heuristic, dompar,
 //!   machine)` → the scalar `program_time` of that cell (figures share
 //!   cells: fig6's treegion column is fig8's dep-height column).
@@ -40,12 +42,11 @@
 //! every request from scratch, which the determinism tests use to prove
 //! cache-on and cache-off runs are byte-identical.
 
-use crate::pipeline::form_function;
 use crate::{EvalConfig, RegionConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use treegion::{lower_region, Heuristic, LoweredRegion};
+use treegion::{form_and_lower, FormOutcome, Heuristic, LoweredRegion, NullObserver};
 use treegion_analysis::{Cfg, Liveness};
 use treegion_ir::Module;
 use treegion_machine::MachineModel;
@@ -114,8 +115,8 @@ fn machine_key(m: &MachineModel) -> String {
 /// region's lowering.
 #[derive(Clone, Debug)]
 pub struct FunctionFormation {
-    /// Formation result (function, regions, origin map, original op count).
-    pub formed: crate::pipeline::FormedFunction,
+    /// Formation result (function, regions, origin map, original sizes).
+    pub formed: FormOutcome,
     /// CFG of the formed function.
     pub cfg: Cfg,
     /// Liveness over that CFG.
@@ -134,20 +135,14 @@ pub struct ModuleFormation {
 impl ModuleFormation {
     fn compute(module: &Module, config: &RegionConfig) -> Self {
         let functions = treegion_par::par_map(module.functions(), |f| {
-            let formed = form_function(f, config);
-            let cfg = Cfg::new(&formed.function);
-            let live = Liveness::new(&formed.function, &cfg);
-            let lowered = formed
-                .regions
-                .regions()
-                .iter()
-                .map(|r| lower_region(&formed.function, r, &live, Some(&formed.origin)))
-                .collect();
+            // Stages 1–2 of the driver (the machine-independent front
+            // half): formation, CFG/liveness, lowering of every region.
+            let (formed, lf) = form_and_lower(f, config, &NullObserver);
             FunctionFormation {
                 formed,
-                cfg,
-                live,
-                lowered,
+                cfg: lf.cfg,
+                live: lf.live,
+                lowered: lf.lowered,
             }
         });
         ModuleFormation { functions }

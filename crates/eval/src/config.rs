@@ -1,34 +1,13 @@
 //! Experiment configuration: which region type, heuristic, and machine.
+//!
+//! The region-formation choice itself ([`RegionConfig`]) now lives in the
+//! core crate, where it implements [`treegion::RegionFormer`] and plugs
+//! straight into the [`treegion::Pipeline`] driver; this module re-exports
+//! it and adds the evaluation-only knobs ([`EvalConfig`]).
 
-use treegion::{Heuristic, TailDupLimits};
+use treegion::Heuristic;
 
-/// Which region formation to evaluate.
-#[derive(Copy, Clone, Debug, PartialEq)]
-pub enum RegionConfig {
-    /// One region per basic block.
-    BasicBlock,
-    /// Simple linear regions (Section 3).
-    Slr,
-    /// Superblocks (traces + tail duplication).
-    Superblock,
-    /// Treegions without tail duplication (Figure 2).
-    Treegion,
-    /// Treegions with tail duplication under the given limits (Figure 11).
-    TreegionTd(TailDupLimits),
-}
-
-impl RegionConfig {
-    /// Short label for report tables.
-    pub fn label(&self) -> String {
-        match self {
-            RegionConfig::BasicBlock => "bb".into(),
-            RegionConfig::Slr => "slr".into(),
-            RegionConfig::Superblock => "sb".into(),
-            RegionConfig::Treegion => "tree".into(),
-            RegionConfig::TreegionTd(l) => format!("tree({:.1})", l.code_expansion),
-        }
-    }
-}
+pub use treegion::RegionConfig;
 
 /// A full evaluation configuration.
 #[derive(Clone, Debug)]
@@ -51,11 +30,21 @@ impl EvalConfig {
             dominator_parallelism: matches!(region, RegionConfig::TreegionTd(_)),
         }
     }
+
+    /// The [`treegion::ScheduleOptions`] this cell schedules under.
+    pub fn sched_options(&self) -> treegion::ScheduleOptions {
+        treegion::ScheduleOptions {
+            heuristic: self.heuristic,
+            dominator_parallelism: self.dominator_parallelism,
+            ..Default::default()
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use treegion::TailDupLimits;
 
     #[test]
     fn labels_include_expansion_limit() {
@@ -78,5 +67,16 @@ mod tests {
         assert!(
             !EvalConfig::new(RegionConfig::Treegion, Heuristic::GlobalWeight).dominator_parallelism
         );
+    }
+
+    #[test]
+    fn sched_options_reflect_the_cell() {
+        let cfg = EvalConfig::new(
+            RegionConfig::TreegionTd(TailDupLimits::expansion_2_0()),
+            Heuristic::ExitCount,
+        );
+        let opts = cfg.sched_options();
+        assert_eq!(opts.heuristic, Heuristic::ExitCount);
+        assert!(opts.dominator_parallelism);
     }
 }

@@ -245,6 +245,44 @@ pub fn fig13(suite: &Suite, machine: &MachineModel) -> Table {
     t
 }
 
+/// Renders one evaluation cell by canonical name (see
+/// [`crate::CELL_NAMES`]) — the single dispatch shared by every
+/// table/figure binary and the contained runner, so no binary wires up
+/// its own `EvalConfig`/machine matrix.
+///
+/// # Panics
+///
+/// Panics on an unknown cell name (the runner validates names up front;
+/// the binaries pass literals).
+pub fn render_cell(suite: &Suite, name: &str) -> String {
+    let m4 = MachineModel::model_4u;
+    let m8 = MachineModel::model_8u;
+    match name {
+        "table1" => table1(suite).render(),
+        "table2" => table2(suite).render(),
+        "table3" => table3(suite).render(),
+        "table4" => table4(suite).render(),
+        "fig6@4u" => fig6(suite, &m4()).render(),
+        "fig6@8u" => fig6(suite, &m8()).render(),
+        "fig8@4u" => fig8(suite, &m4()).render(),
+        "fig8@8u" => fig8(suite, &m8()).render(),
+        "fig13@4u" => fig13(suite, &m4()).render(),
+        "fig13@8u" => fig13(suite, &m8()).render(),
+        other => panic!("unknown evaluation cell `{other}`"),
+    }
+}
+
+/// Renders a figure at both standard machine models (4U then 8U),
+/// separated by a blank line — the shared body of the `fig6`, `fig8`,
+/// and `fig13` binaries.
+pub fn render_figure_pair(suite: &Suite, figure: &str) -> String {
+    format!(
+        "{}\n{}",
+        render_cell(suite, &format!("{figure}@4u")),
+        render_cell(suite, &format!("{figure}@8u"))
+    )
+}
+
 fn speedup_rows(
     suite: &Suite,
     machine: &MachineModel,

@@ -40,11 +40,13 @@ pub use checkpoint::{
 };
 pub use config::{EvalConfig, RegionConfig};
 pub use dynamic::{validate_dynamic, DynamicReport};
-pub use harness::{fig13, fig6, fig8, table1, table2, table3, table4, Suite};
+pub use harness::{
+    fig13, fig6, fig8, render_cell, render_figure_pair, table1, table2, table3, table4, Suite,
+};
 pub use pipeline::{
     baseline_time, baseline_time_cached, form_function, program_time, program_time_cached,
-    program_time_robust, schedule_function, schedule_function_robust, speedup,
-    speedup_with_baseline, FormedFunction, RobustModuleReport, ScheduledRegion,
+    program_time_robust, schedule_function, speedup, speedup_with_baseline, RobustModuleReport,
+    ScheduledRegion,
 };
 pub use report::{containment_table, degradation_table, f2, f3, Table};
 pub use runner::{

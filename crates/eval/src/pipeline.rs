@@ -1,159 +1,70 @@
-//! The compile pipeline shared by every experiment: apply region
-//! formation (possibly transforming the function), lower and schedule
-//! every region, and aggregate statistics / estimated times.
+//! The compile pipeline shared by every experiment — a thin veneer over
+//! the core [`treegion::Pipeline`] driver.
+//!
+//! Nothing here wires `form_* → lower_region → schedule_region` by hand
+//! any more: formation goes through [`treegion::RegionFormer`] (the
+//! [`RegionConfig`] enum implements it), and scheduling goes through
+//! [`treegion::Pipeline::schedule_set`] / [`treegion::Pipeline::run_module`].
+//! The evaluation-specific parts that remain are the cell memoization
+//! ([`FormationCache`]) and the analytic time/speedup aggregation.
 
 use crate::{EvalConfig, FormationCache, RegionConfig};
 use treegion::{
-    form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
-    lower_region, schedule_region, DegradationEvent, Heuristic, LoweredRegion, PipelineError,
-    RegionSet, RobustOptions, RobustResult, Schedule, ScheduleOptions,
+    EventLog, FormOutcome, Heuristic, Pipeline, PipelineError, RegionFormer, RobustOptions,
+    StageScope,
 };
-use treegion_analysis::{Cfg, Liveness};
-use treegion_ir::{BlockId, Function, Module};
+use treegion_ir::{Function, Module};
 use treegion_machine::MachineModel;
 
-/// A function after region formation (tail duplication may have produced
-/// a transformed copy).
-#[derive(Clone, Debug)]
-pub struct FormedFunction {
-    /// The (possibly transformed) function.
-    pub function: Function,
-    /// Its region partition.
-    pub regions: RegionSet,
-    /// Per-block origin map (identity when no duplication happened).
-    pub origin: Vec<BlockId>,
-    /// Op count of the original, untransformed function.
-    pub original_ops: usize,
+/// A scheduled region with its lowering (re-export of the driver's
+/// per-region product).
+pub use treegion::RegionSchedule as ScheduledRegion;
+
+/// A whole-module robust scheduling run: the analytic time plus every
+/// degradation the chain survived (re-export of the driver's aggregate).
+pub use treegion::ModuleRun as RobustModuleReport;
+
+/// Applies `config`'s region formation to one function (stage 1 of the
+/// driver, unobserved).
+pub fn form_function(f: &Function, config: &RegionConfig) -> FormOutcome {
+    config.form(f)
 }
 
-/// Applies `config`'s region formation to one function.
-pub fn form_function(f: &Function, config: &RegionConfig) -> FormedFunction {
-    let original_ops = f.num_ops();
-    let identity: Vec<BlockId> = f.block_ids().collect();
-    match config {
-        RegionConfig::BasicBlock => FormedFunction {
-            function: f.clone(),
-            regions: form_basic_blocks(f),
-            origin: identity,
-            original_ops,
-        },
-        RegionConfig::Slr => FormedFunction {
-            function: f.clone(),
-            regions: form_slrs(f),
-            origin: identity,
-            original_ops,
-        },
-        RegionConfig::Treegion => FormedFunction {
-            function: f.clone(),
-            regions: form_treegions(f),
-            origin: identity,
-            original_ops,
-        },
-        RegionConfig::Superblock => {
-            let r = form_superblocks(f);
-            FormedFunction {
-                function: r.function,
-                regions: r.regions,
-                origin: r.origin,
-                original_ops,
-            }
-        }
-        RegionConfig::TreegionTd(limits) => {
-            let r = form_treegions_td(f, limits);
-            FormedFunction {
-                function: r.function,
-                regions: r.regions,
-                origin: r.origin,
-                original_ops,
-            }
-        }
-    }
-}
-
-/// A scheduled region with its lowering.
-#[derive(Clone, Debug)]
-pub struct ScheduledRegion {
-    /// Lowered form.
-    pub lowered: LoweredRegion,
-    /// Its schedule.
-    pub schedule: Schedule,
-}
-
-/// Lowers and schedules every region of a formed function.
+/// Lowers and schedules every region of a formed function through the
+/// driver's infallible path.
 ///
 /// Regions are independent, so the per-region work fans out across the
 /// `treegion_par` worker budget; results come back in region order, so
 /// output is byte-identical at any `--jobs` setting.
 pub fn schedule_function(
-    formed: &FormedFunction,
+    formed: &FormOutcome,
     machine: &MachineModel,
     heuristic: Heuristic,
     dominator_parallelism: bool,
 ) -> Vec<ScheduledRegion> {
-    let cfg = Cfg::new(&formed.function);
-    let live = Liveness::new(&formed.function, &cfg);
-    let opts = ScheduleOptions {
-        heuristic,
-        dominator_parallelism,
+    let opts = RobustOptions {
+        sched: treegion::ScheduleOptions {
+            heuristic,
+            dominator_parallelism,
+            ..Default::default()
+        },
         ..Default::default()
     };
-    treegion_par::par_map(formed.regions.regions(), |r| {
-        let lowered = lower_region(&formed.function, r, &live, Some(&formed.origin));
-        let schedule = schedule_region(&lowered, machine, &opts);
-        ScheduledRegion { lowered, schedule }
-    })
-}
-
-/// Robust (degradation-chain) scheduling of one formed function: the
-/// fallible counterpart of [`schedule_function`], with verification,
-/// budgets, fallback, and optional fault injection per `opts`.
-///
-/// # Errors
-///
-/// Returns the terminal [`PipelineError`] when a region fails at every
-/// permitted fallback level.
-pub fn schedule_function_robust(
-    formed: &FormedFunction,
-    machine: &MachineModel,
-    opts: &RobustOptions,
-) -> Result<RobustResult, PipelineError> {
-    treegion::schedule_function_robust(
+    Pipeline::with_options(machine, opts).schedule_set(
         &formed.function,
         &formed.regions,
         Some(&formed.origin),
-        machine,
-        opts,
+        &treegion::NullObserver,
     )
 }
 
-/// A whole-module robust scheduling run: the analytic time plus every
-/// degradation the chain survived.
-#[derive(Clone, Debug, Default)]
-pub struct RobustModuleReport {
-    /// Total estimated execution time (Σ count × height over accepted
-    /// schedules, including fallback pieces).
-    pub time: f64,
-    /// Number of accepted (sub-)region schedules.
-    pub regions: usize,
-    /// Every recovered or tolerated failure, across all functions.
-    pub events: Vec<DegradationEvent>,
-}
-
-impl RobustModuleReport {
-    /// Events that fell back to a simpler region shape.
-    pub fn recovered(&self) -> usize {
-        self.events.iter().filter(|e| e.recovered).count()
-    }
-
-    /// Events tolerated under `--verify warn` (schedule kept unverified).
-    pub fn tolerated(&self) -> usize {
-        self.events.iter().filter(|e| !e.recovered).count()
-    }
-}
-
-/// [`program_time`] through the robust pipeline: schedules every function
-/// with the degradation chain and aggregates both the analytic time and
-/// the [`DegradationEvent`]s into one report.
+/// [`program_time`] through the robust pipeline: drives every function
+/// through [`Pipeline::run_module`] with the degradation chain and
+/// aggregates both the analytic time and the
+/// [`treegion::DegradationEvent`]s into one report. The event stream is
+/// sourced from the [`treegion::PassObserver`] hooks (an [`EventLog`]),
+/// which the driver fires at the merge point in region order — identical
+/// at any job count.
 ///
 /// # Errors
 ///
@@ -164,23 +75,16 @@ pub fn program_time_robust(
     machine: &MachineModel,
     robust: &RobustOptions,
 ) -> Result<RobustModuleReport, PipelineError> {
-    let mut report = RobustModuleReport::default();
-    for f in module.functions() {
-        let formed = form_function(f, &config.region);
-        let opts = RobustOptions {
-            sched: ScheduleOptions {
-                heuristic: config.heuristic,
-                dominator_parallelism: config.dominator_parallelism,
-                ..Default::default()
-            },
-            ..robust.clone()
-        };
-        let r = schedule_function_robust(&formed, machine, &opts)?;
-        report.time += r.estimated_time();
-        report.regions += r.outcomes.len();
-        report.events.extend(r.events);
-    }
-    Ok(report)
+    let log = EventLog::new();
+    let opts = RobustOptions {
+        sched: config.sched_options(),
+        ..robust.clone()
+    };
+    let mut run = Pipeline::with_options(machine, opts).run_module(module, &config.region, &log)?;
+    // Report the observer's stream (byte-identical to the driver's own
+    // aggregate by the merge-point ordering contract, asserted in tests).
+    run.events = log.take_degradations();
+    Ok(run)
 }
 
 /// Estimated execution time of a whole module under a configuration:
@@ -203,17 +107,27 @@ pub fn program_time_cached(
 ) -> f64 {
     cache.time(module, config, machine, || {
         let formation = cache.formation(module, &config.region);
-        let opts = ScheduleOptions {
-            heuristic: config.heuristic,
-            dominator_parallelism: config.dominator_parallelism,
-            ..Default::default()
-        };
+        let p = Pipeline::with_options(
+            machine,
+            RobustOptions {
+                sched: config.sched_options(),
+                ..Default::default()
+            },
+        );
         formation
             .functions
             .iter()
             .map(|ff| {
-                treegion_par::par_map(&ff.lowered, |lr| {
-                    schedule_region(lr, machine, &opts).estimated_time(lr)
+                let name = ff.formed.function.name();
+                let indexed: Vec<usize> = (0..ff.lowered.len()).collect();
+                treegion_par::par_map(&indexed, |&i| {
+                    let lr = &ff.lowered[i];
+                    let scope = StageScope {
+                        function: name,
+                        region: Some(i),
+                    };
+                    p.schedule_lowered(lr, scope, &treegion::NullObserver)
+                        .estimated_time(lr)
                 })
                 .iter()
                 .sum::<f64>()
@@ -333,6 +247,33 @@ mod tests {
         assert!(report.recovered() > 0, "no fault manifested");
         let table = crate::report::degradation_table(&report.events).render();
         assert!(table.contains("degraded"), "{table}");
+    }
+
+    #[test]
+    fn observer_event_stream_matches_driver_aggregate() {
+        use treegion::FaultPlan;
+        let m = generate(&BenchmarkSpec::tiny(29));
+        let machine = MachineModel::model_4u();
+        let cfg = EvalConfig::new(RegionConfig::Treegion, Heuristic::GlobalWeight);
+        let robust = RobustOptions {
+            fault: Some(FaultPlan::from_seed(5)),
+            ..Default::default()
+        };
+        // Same run twice: once reporting the observer's stream (the
+        // public entry point) and once reading the driver's own aggregate.
+        let observed = program_time_robust(&m, &cfg, &machine, &robust).unwrap();
+        let opts = RobustOptions {
+            sched: cfg.sched_options(),
+            ..robust
+        };
+        let direct = Pipeline::with_options(&machine, opts)
+            .run_module(&m, &cfg.region, &treegion::NullObserver)
+            .unwrap();
+        assert_eq!(observed.time, direct.time);
+        assert_eq!(observed.events.len(), direct.events.len());
+        for (a, b) in observed.events.iter().zip(&direct.events) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
     }
 
     #[test]

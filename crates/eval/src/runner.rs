@@ -33,9 +33,8 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use crate::checkpoint::{cell_path, fnv1a, git_rev, CellRecord, CellStatus, RunManifest};
-use crate::harness::{fig13, fig6, fig8, table1, table2, table3, table4, Suite};
+use crate::harness::{render_cell, Suite};
 use treegion::{ContainmentAction, ContainmentCause, ContainmentEvent, RetryPolicy};
-use treegion_machine::MachineModel;
 use treegion_par::TaskOutcome;
 
 /// The canonical harness cells, in paper order (the order `--bin all`
@@ -246,28 +245,9 @@ impl HarnessReport {
 /// What one attempt of one cell produced.
 type AttemptResult = Result<String, ContainmentCause>;
 
-/// Renders one cell against a suite. Panics propagate to the containment
-/// layer around the call.
-fn render_cell(name: &str, suite: &Suite) -> String {
-    let m4 = MachineModel::model_4u;
-    let m8 = MachineModel::model_8u;
-    match name {
-        "table1" => table1(suite).render(),
-        "table2" => table2(suite).render(),
-        "table3" => table3(suite).render(),
-        "table4" => table4(suite).render(),
-        "fig6@4u" => fig6(suite, &m4()).render(),
-        "fig6@8u" => fig6(suite, &m8()).render(),
-        "fig8@4u" => fig8(suite, &m4()).render(),
-        "fig8@8u" => fig8(suite, &m8()).render(),
-        "fig13@4u" => fig13(suite, &m4()).render(),
-        "fig13@8u" => fig13(suite, &m8()).render(),
-        other => unreachable!("unknown cell `{other}` survived validation"),
-    }
-}
-
-/// The cell body: applies any injected fault, then renders. May panic
-/// (that is the point — the layers above contain it).
+/// The cell body: applies any injected fault, then renders through the
+/// shared [`render_cell`] dispatch. May panic (that is the point — the
+/// layers above contain it).
 fn cell_body(name: &str, suite: &Suite, fault: Option<CellFault>, attempt: u32) -> AttemptResult {
     if let Some(f) = fault {
         if attempt <= f.trips {
@@ -286,7 +266,7 @@ fn cell_body(name: &str, suite: &Suite, fault: Option<CellFault>, attempt: u32) 
             }
         }
     }
-    Ok(render_cell(name, suite))
+    Ok(render_cell(suite, name))
 }
 
 /// Runs one attempt under the containment envelope. With a deadline the
@@ -688,7 +668,11 @@ mod tests {
         assert!(report.events.is_empty());
         assert_eq!(report.executed, 2);
         let suite = Suite::load_small(1);
-        let expect = format!("{}\n{}\n", table1(&suite).render(), table2(&suite).render());
+        let expect = format!(
+            "{}\n{}\n",
+            render_cell(&suite, "table1"),
+            render_cell(&suite, "table2")
+        );
         assert_eq!(report.merged_output(), expect);
     }
 

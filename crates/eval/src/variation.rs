@@ -12,9 +12,9 @@
 
 use crate::report::{f3, Table};
 use treegion::{
-    form_basic_blocks, form_treegions, lower_region, schedule_region, Heuristic, ScheduleOptions,
+    form_basic_blocks, form_treegions, Heuristic, NullObserver, Pipeline, RobustOptions,
+    ScheduleOptions, StageScope,
 };
-use treegion_analysis::{Cfg, Liveness};
 use treegion_ir::{Function, Module, Terminator};
 use treegion_machine::MachineModel;
 use treegion_rng::StdRng;
@@ -121,34 +121,46 @@ pub fn variation_speedups(
     strength: f64,
 ) -> Vec<(Heuristic, f64)> {
     let m1 = MachineModel::model_1u();
+    let base_pipe = Pipeline::new(&m1);
     let mut scheme_time = vec![0.0f64; Heuristic::ALL.len()];
     let mut base_time = 0.0f64;
     for f in module.functions() {
         let test = perturb_profile(f, seed ^ f.num_blocks() as u64, strength);
-        let cfg = Cfg::new(f);
-        let live = Liveness::new(f, &cfg);
         // Baseline: basic blocks scheduled with the training profile on
-        // 1U, costed under the test profile.
-        for r in form_basic_blocks(f).regions() {
-            let lowered = lower_region(f, r, &live, None);
-            let s = schedule_region(&lowered, &m1, &ScheduleOptions::default());
-            base_time += s.estimated_time_under(&lowered, &test);
+        // 1U, costed under the test profile (driver stages 2–4; results
+        // come back in region order).
+        for s in base_pipe.schedule_set(f, &form_basic_blocks(f), None, &NullObserver) {
+            base_time += s.schedule.estimated_time_under(&s.lowered, &test);
         }
-        // Treegions under each heuristic.
+        // Treegions under each heuristic: lower once through the driver,
+        // then schedule per heuristic. The loop is heuristic-outer /
+        // region-inner, but each per-heuristic sum still accumulates in
+        // region order, so the floats are bit-identical to the legacy
+        // region-outer wiring.
         let regions = form_treegions(f);
-        for r in regions.regions() {
-            let lowered = lower_region(f, r, &live, None);
-            for (k, h) in Heuristic::ALL.into_iter().enumerate() {
-                let s = schedule_region(
-                    &lowered,
-                    machine,
-                    &ScheduleOptions {
+        let lowered = base_pipe
+            .lower_set(f, &regions, None, &NullObserver)
+            .lowered;
+        for (k, h) in Heuristic::ALL.into_iter().enumerate() {
+            let p = Pipeline::with_options(
+                machine,
+                RobustOptions {
+                    sched: ScheduleOptions {
                         heuristic: h,
                         dominator_parallelism: false,
                         ..Default::default()
                     },
-                );
-                scheme_time[k] += s.estimated_time_under(&lowered, &test);
+                    ..Default::default()
+                },
+            );
+            for (i, lr) in lowered.iter().enumerate() {
+                let scope = StageScope {
+                    function: f.name(),
+                    region: Some(i),
+                };
+                scheme_time[k] += p
+                    .schedule_lowered(lr, scope, &NullObserver)
+                    .estimated_time_under(lr, &test);
             }
         }
     }
@@ -229,7 +241,7 @@ mod tests {
 
     #[test]
     fn recosting_under_training_profile_matches_estimated_time() {
-        use treegion::form_treegions;
+        use treegion::{form_treegions, lower_region, schedule_region};
         use treegion_analysis::{Cfg, Liveness};
         let m = generate(&BenchmarkSpec::tiny(41));
         let f = &m.functions()[0];

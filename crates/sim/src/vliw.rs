@@ -18,10 +18,9 @@ use crate::interp::SimError;
 use crate::state::{exec_op, State};
 use std::collections::HashMap;
 use treegion::{
-    lower_region, schedule_region, LOpKind, LoweredRegion, RegionId, RegionSet, Schedule,
+    LOpKind, LoweredRegion, NullObserver, Pipeline, RegionId, RegionSet, RobustOptions, Schedule,
     ScheduleOptions,
 };
-use treegion_analysis::{Cfg, Liveness};
 use treegion_ir::{BlockId, Function, Opcode, Reg};
 use treegion_machine::MachineModel;
 
@@ -70,15 +69,22 @@ impl<'f> VliwProgram<'f> {
         opts: &ScheduleOptions,
         origin_map: Option<&[BlockId]>,
     ) -> Self {
-        let cfg = Cfg::new(f);
-        let live = Liveness::new(f, &cfg);
-        let compiled = regions
-            .regions()
-            .iter()
-            .map(|r| {
-                let lowered = lower_region(f, r, &live, origin_map);
-                let schedule = schedule_region(&lowered, m, opts);
-                CompiledRegion { lowered, schedule }
+        // Stages 2–4 of the core driver (infallible path): lowering, DDG
+        // construction, and list scheduling of every region, in region
+        // order.
+        let pipeline = Pipeline::with_options(
+            m,
+            RobustOptions {
+                sched: *opts,
+                ..Default::default()
+            },
+        );
+        let compiled = pipeline
+            .schedule_set(f, regions, origin_map, &NullObserver)
+            .into_iter()
+            .map(|s| CompiledRegion {
+                lowered: s.lowered,
+                schedule: s.schedule,
             })
             .collect();
         VliwProgram {

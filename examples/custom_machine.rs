@@ -12,33 +12,30 @@ fn program_time(
     treegions: bool,
     heuristic: Heuristic,
 ) -> f64 {
+    let config = if treegions {
+        RegionConfig::Treegion
+    } else {
+        RegionConfig::Slr
+    };
+    let pipeline = Pipeline::with_options(
+        machine,
+        RobustOptions {
+            sched: ScheduleOptions {
+                heuristic,
+                dominator_parallelism: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
     module
         .functions()
         .iter()
         .map(|f| {
-            let regions = if treegions {
-                form_treegions(f)
-            } else {
-                form_slrs(f)
-            };
-            let cfg = Cfg::new(f);
-            let live = Liveness::new(f, &cfg);
-            regions
-                .regions()
+            let (_, scheds) = pipeline.schedule_function(f, &config, &NullObserver);
+            scheds
                 .iter()
-                .map(|r| {
-                    let lowered = lower_region(f, r, &live, None);
-                    schedule_region(
-                        &lowered,
-                        machine,
-                        &ScheduleOptions {
-                            heuristic,
-                            dominator_parallelism: false,
-                            ..Default::default()
-                        },
-                    )
-                    .estimated_time(&lowered)
-                })
+                .map(|s| s.schedule.estimated_time(&s.lowered))
                 .sum::<f64>()
         })
         .sum()

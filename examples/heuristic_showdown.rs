@@ -8,24 +8,21 @@ use treegion_suite::prelude::*;
 
 fn time_under(f: &Function, h: Heuristic, machine: &MachineModel) -> f64 {
     let regions = form_treegions(f);
-    let cfg = Cfg::new(f);
-    let live = Liveness::new(f, &cfg);
-    regions
-        .regions()
+    let pipeline = Pipeline::with_options(
+        machine,
+        RobustOptions {
+            sched: ScheduleOptions {
+                heuristic: h,
+                dominator_parallelism: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    pipeline
+        .schedule_set(f, &regions, None, &NullObserver)
         .iter()
-        .map(|r| {
-            let lowered = lower_region(f, r, &live, None);
-            schedule_region(
-                &lowered,
-                machine,
-                &ScheduleOptions {
-                    heuristic: h,
-                    dominator_parallelism: false,
-                    ..Default::default()
-                },
-            )
-            .estimated_time(&lowered)
-        })
+        .map(|s| s.schedule.estimated_time(&s.lowered))
         .sum()
 }
 

@@ -41,28 +41,29 @@ fn main() {
         regions.regions()[0].path_count()
     );
 
-    // Lower (rename + materialize CMPP/PBR/branches) and schedule with the
+    // Drive the staged pipeline (lower → DDG → list-sched) with the
     // paper's best heuristic on the 4U machine.
-    let cfg = Cfg::new(&f);
-    let live = Liveness::new(&f, &cfg);
     let machine = MachineModel::model_4u();
-    let region = regions.region(regions.region_of(f.entry()).unwrap());
-    let lowered = lower_region(&f, region, &live, None);
-    let schedule = schedule_region(
-        &lowered,
+    let pipeline = Pipeline::with_options(
         &machine,
-        &ScheduleOptions {
-            heuristic: Heuristic::GlobalWeight,
-            dominator_parallelism: false,
+        RobustOptions {
+            sched: ScheduleOptions {
+                heuristic: Heuristic::GlobalWeight,
+                dominator_parallelism: false,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
+    let scheds = pipeline.schedule_set(&f, &regions, None, &NullObserver);
+    let entry = regions.region_of(f.entry()).unwrap().0;
+    let s = &scheds[entry];
 
     println!("== Treegion schedule (4U, global weight) ==");
-    println!("{}", render_schedule(&lowered, &schedule, &machine));
+    println!("{}", render_schedule(&s.lowered, &s.schedule, &machine));
     println!(
         "estimated execution time: {} cycles (profile-weighted)",
-        schedule.estimated_time(&lowered)
+        s.schedule.estimated_time(&s.lowered)
     );
 
     // Execute it to prove the schedule preserves semantics.

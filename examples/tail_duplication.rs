@@ -46,28 +46,31 @@ fn main() {
 
         // Schedule the top region with and without dominator parallelism.
         let machine = MachineModel::model_4u();
-        let cfg = Cfg::new(&result.function);
-        let live = Liveness::new(&result.function, &cfg);
-        let top = result
-            .regions
-            .region(result.regions.region_of(result.function.entry()).unwrap());
-        let lowered = lower_region(&result.function, top, &live, Some(&result.origin));
+        let top = result.regions.region_of(result.function.entry()).unwrap().0;
         for dompar in [false, true] {
-            let schedule = schedule_region(
-                &lowered,
+            let pipeline = Pipeline::with_options(
                 &machine,
-                &ScheduleOptions {
-                    heuristic: Heuristic::GlobalWeight,
-                    dominator_parallelism: dompar,
+                RobustOptions {
+                    sched: ScheduleOptions {
+                        heuristic: Heuristic::GlobalWeight,
+                        dominator_parallelism: dompar,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 },
             );
+            let s = &pipeline.schedule_set(
+                &result.function,
+                &result.regions,
+                Some(&result.origin),
+                &NullObserver,
+            )[top];
             println!(
                 "  dominator parallelism {}: time {}, {} ops issued, {} eliminated",
                 if dompar { "ON " } else { "off" },
-                schedule.estimated_time(&lowered),
-                schedule.issued_ops(),
-                schedule.eliminated.len()
+                s.schedule.estimated_time(&s.lowered),
+                s.schedule.issued_ops(),
+                s.schedule.eliminated.len()
             );
         }
     }

@@ -15,37 +15,34 @@ fn main() {
     println!("== Figure 1 CFG ==\n{}", print_function(&f));
     let machine = MachineModel::model_4u();
 
+    let pipeline = Pipeline::with_options(
+        &machine,
+        RobustOptions {
+            sched: ScheduleOptions {
+                heuristic: Heuristic::GlobalWeight,
+                dominator_parallelism: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
     let mut times = Vec::new();
-    for (label, which) in [("superblock", false), ("treegion", true)] {
-        let (func, regions, origin) = if which {
-            (f.clone(), form_treegions(&f), None)
-        } else {
-            let r = form_superblocks(&f);
-            (r.function, r.regions, Some(r.origin))
-        };
-        let cfg = Cfg::new(&func);
-        let live = Liveness::new(&func, &cfg);
+    for (label, config) in [
+        ("superblock", RegionConfig::Superblock),
+        ("treegion", RegionConfig::Treegion),
+    ] {
+        let (formed, scheds) = pipeline.schedule_function(&f, &config, &NullObserver);
         let mut total = 0.0;
         println!("== {label} schedules (4U, global weight) ==");
-        for region in regions.regions() {
-            let lowered = lower_region(&func, region, &live, origin.as_deref());
-            let schedule = schedule_region(
-                &lowered,
-                &machine,
-                &ScheduleOptions {
-                    heuristic: Heuristic::GlobalWeight,
-                    dominator_parallelism: false,
-                    ..Default::default()
-                },
-            );
-            let t = schedule.estimated_time(&lowered);
-            if region.weight(&func) > 0.0 {
+        for (region, s) in formed.regions.regions().iter().zip(&scheds) {
+            let t = s.schedule.estimated_time(&s.lowered);
+            if region.weight(&formed.function) > 0.0 {
                 println!(
                     "-- region rooted at {} ({} blocks, time {t}):",
                     region.root(),
                     region.num_blocks()
                 );
-                println!("{}", render_schedule(&lowered, &schedule, &machine));
+                println!("{}", render_schedule(&s.lowered, &s.schedule, &machine));
             }
             total += t;
         }

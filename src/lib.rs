@@ -36,18 +36,17 @@
 //! b.ret(bb2, Some(y));
 //! let f = b.finish();
 //!
-//! let regions = form_treegions(&f);
-//! let cfg = Cfg::new(&f);
-//! let live = Liveness::new(&f, &cfg);
-//! let region = regions.region(regions.region_of(f.entry()).unwrap());
-//! let lowered = lower_region(&f, region, &live, None);
-//! let schedule = schedule_region(
-//!     &lowered,
-//!     &MachineModel::model_4u(),
-//!     &ScheduleOptions { heuristic: Heuristic::GlobalWeight, dominator_parallelism: false, ..Default::default() },
-//! );
-//! assert!(schedule.estimated_time(&lowered) > 0.0);
+//! let machine = MachineModel::model_4u();
+//! let pipeline = Pipeline::new(&machine);
+//! let (formed, scheds) = pipeline.schedule_function(&f, &RegionConfig::Treegion, &NullObserver);
+//! assert_eq!(scheds.len(), formed.regions.len());
+//! let total: f64 = scheds.iter().map(|s| s.schedule.estimated_time(&s.lowered)).sum();
+//! assert!(total > 0.0);
 //! ```
+//!
+//! The [`treegion::Pipeline`] driver owns the whole formation →
+//! lowering → DDG → list-scheduling → verification chain; a
+//! [`treegion::PassObserver`] sees every stage (see DESIGN.md §11).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -65,8 +64,10 @@ pub use treegion_workloads as workloads;
 pub mod prelude {
     pub use treegion::{
         form_basic_blocks, form_slrs, form_superblocks, form_treegions, form_treegions_td,
-        lower_region, render_schedule, schedule_region, Heuristic, LoweredRegion, Region,
-        RegionKind, RegionSet, Schedule, ScheduleOptions, TailDupLimits, TieBreak,
+        lower_region, render_schedule, schedule_region, FormOutcome, Heuristic, LoweredRegion,
+        NullObserver, PassObserver, Pipeline, Profiler, Region, RegionConfig, RegionFormer,
+        RegionKind, RegionSchedule, RegionSet, RobustOptions, Schedule, ScheduleOptions, Stage,
+        StageScope, StageStats, TailDupLimits, TieBreak,
     };
     pub use treegion_analysis::{Cfg, DomTree, Liveness, Loops};
     pub use treegion_ir::{

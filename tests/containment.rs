@@ -138,7 +138,7 @@ fn poisoned_run_completes_quarantines_and_resumes_only_failed_cells() {
 #[test]
 fn region_level_panic_is_contained_by_the_fallback_chain() {
     use treegion_suite::prelude::*;
-    use treegion_suite::treegion::{form_treegions, schedule_function_robust, RobustOptions};
+    use treegion_suite::treegion::{form_treegions, RobustOptions};
 
     let (f, _) = treegion_suite::workloads::shapes::figure1();
     let regions = form_treegions(&f);
@@ -147,7 +147,9 @@ fn region_level_panic_is_contained_by_the_fallback_chain() {
         panic_on_region: Some(0),
         ..RobustOptions::default()
     };
-    let result = schedule_function_robust(&f, &regions, None, &machine, &opts)
+    let pipeline = Pipeline::with_options(&machine, opts);
+    let result = pipeline
+        .run_set(&f, &regions, None, &NullObserver)
         .expect("panic must be contained, not propagated");
     // The crash is recorded as a containment-class degradation and the
     // fallback chain produced a replacement schedule.
@@ -161,6 +163,6 @@ fn region_level_panic_is_contained_by_the_fallback_chain() {
         "the fallback carve keeps every block scheduled"
     );
     // Deterministic: running it twice gives identical events.
-    let again = schedule_function_robust(&f, &regions, None, &machine, &opts).unwrap();
+    let again = pipeline.run_set(&f, &regions, None, &NullObserver).unwrap();
     assert_eq!(result.events, again.events);
 }

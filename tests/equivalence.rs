@@ -136,27 +136,24 @@ fn estimated_time_is_monotone_in_issue_width() {
         let module = modules(seed);
         let f = &module.functions()[0];
         let regions = form_treegions(f);
-        let cfg = Cfg::new(f);
-        let live = Liveness::new(f, &cfg);
         let mut last = f64::INFINITY;
         for width in [1usize, 2, 4, 8, 16] {
             let machine = MachineModel::builder(format!("{width}U"), width).build();
-            let time: f64 = regions
-                .regions()
+            let pipeline = Pipeline::with_options(
+                &machine,
+                RobustOptions {
+                    sched: ScheduleOptions {
+                        heuristic: Heuristic::DependenceHeight,
+                        dominator_parallelism: false,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            let time: f64 = pipeline
+                .schedule_set(f, &regions, None, &NullObserver)
                 .iter()
-                .map(|r| {
-                    let lowered = lower_region(f, r, &live, None);
-                    schedule_region(
-                        &lowered,
-                        &machine,
-                        &ScheduleOptions {
-                            heuristic: Heuristic::DependenceHeight,
-                            dominator_parallelism: false,
-                            ..Default::default()
-                        },
-                    )
-                    .estimated_time(&lowered)
-                })
+                .map(|s| s.schedule.estimated_time(&s.lowered))
                 .sum();
             assert!(
                 time <= last + 1e-6,

@@ -11,29 +11,26 @@ fn module_time(
     heuristic: Heuristic,
     form: impl Fn(&Function) -> RegionSet,
 ) -> f64 {
+    let pipeline = Pipeline::with_options(
+        machine,
+        RobustOptions {
+            sched: ScheduleOptions {
+                heuristic,
+                dominator_parallelism: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
     module
         .functions()
         .iter()
         .map(|f| {
             let regions = form(f);
-            let cfg = Cfg::new(f);
-            let live = Liveness::new(f, &cfg);
-            regions
-                .regions()
+            pipeline
+                .schedule_set(f, &regions, None, &NullObserver)
                 .iter()
-                .map(|r| {
-                    let lowered = lower_region(f, r, &live, None);
-                    schedule_region(
-                        &lowered,
-                        machine,
-                        &ScheduleOptions {
-                            heuristic,
-                            dominator_parallelism: false,
-                            ..Default::default()
-                        },
-                    )
-                    .estimated_time(&lowered)
-                })
+                .map(|s| s.schedule.estimated_time(&s.lowered))
                 .sum::<f64>()
         })
         .sum()
@@ -46,17 +43,10 @@ fn worked_example_treegion_beats_superblock() {
     let (f, _) = shapes::figure1();
     let machine = MachineModel::model_4u();
     let sb = form_superblocks(&f);
-    let cfg = Cfg::new(&sb.function);
-    let live = Liveness::new(&sb.function, &cfg);
-    let sb_time: f64 = sb
-        .regions
-        .regions()
+    let sb_time: f64 = Pipeline::new(&machine)
+        .schedule_set(&sb.function, &sb.regions, Some(&sb.origin), &NullObserver)
         .iter()
-        .map(|r| {
-            let lowered = lower_region(&sb.function, r, &live, Some(&sb.origin));
-            schedule_region(&lowered, &machine, &ScheduleOptions::default())
-                .estimated_time(&lowered)
-        })
+        .map(|s| s.schedule.estimated_time(&s.lowered))
         .sum();
     let tree_time = module_time(
         &{

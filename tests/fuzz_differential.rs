@@ -21,7 +21,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use treegion_suite::prelude::*;
 use treegion_suite::sim::ExecResult;
-use treegion_suite::treegion::{schedule_function_robust, FaultPlan, RobustOptions};
+use treegion_suite::treegion::{FaultPlan, RobustOptions};
 use treegion_suite::workloads::generate_fuzz;
 
 const FUEL: u64 = 1_000_000;
@@ -301,7 +301,8 @@ fn fault_campaign_recoveries_stay_equivalent() {
                 fault: Some(FaultPlan::from_seed(seed)),
                 ..Default::default()
             };
-            let r = schedule_function_robust(f, &regions, None, &machine, &opts)
+            let r = Pipeline::with_options(&machine, opts)
+                .run_set(f, &regions, None, &NullObserver)
                 .unwrap_or_else(|e| panic!("seed {seed:#x}: fallback chain exhausted: {e}"));
             assert!(
                 r.events.iter().all(|e| e.recovered),

@@ -70,24 +70,21 @@ fn fig1_schedule_is_stable() {
     let f = &m.functions()[0];
     let machine = MachineModel::model_4u();
     let set = form_treegions(f);
-    let cfg = Cfg::new(f);
-    let live = Liveness::new(f, &cfg);
-    let total: f64 = set
-        .regions()
+    let pipeline = Pipeline::with_options(
+        &machine,
+        RobustOptions {
+            sched: ScheduleOptions {
+                heuristic: Heuristic::GlobalWeight,
+                dominator_parallelism: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let total: f64 = pipeline
+        .schedule_set(f, &set, None, &NullObserver)
         .iter()
-        .map(|r| {
-            let lowered = lower_region(f, r, &live, None);
-            schedule_region(
-                &lowered,
-                &machine,
-                &ScheduleOptions {
-                    heuristic: Heuristic::GlobalWeight,
-                    dominator_parallelism: false,
-                    ..Default::default()
-                },
-            )
-            .estimated_time(&lowered)
-        })
+        .map(|s| s.schedule.estimated_time(&s.lowered))
         .sum();
     assert_eq!(total, 840.0, "fig1 golden estimated time drifted");
 }
@@ -98,21 +95,21 @@ fn wide_and_linearized_shapes_schedule_under_all_heuristics() {
         let m = load(name);
         let f = &m.functions()[0];
         let set = form_treegions(f);
-        let cfg = Cfg::new(f);
-        let live = Liveness::new(f, &cfg);
+        let m8 = MachineModel::model_8u();
         for h in Heuristic::ALL {
-            for r in set.regions() {
-                let lowered = lower_region(f, r, &live, None);
-                let s = schedule_region(
-                    &lowered,
-                    &MachineModel::model_8u(),
-                    &ScheduleOptions {
+            let pipeline = Pipeline::with_options(
+                &m8,
+                RobustOptions {
+                    sched: ScheduleOptions {
                         heuristic: h,
                         dominator_parallelism: false,
                         ..Default::default()
                     },
-                );
-                assert_eq!(s.issued_ops(), lowered.lops.len(), "{name} {h}");
+                    ..Default::default()
+                },
+            );
+            for s in pipeline.schedule_set(f, &set, None, &NullObserver) {
+                assert_eq!(s.schedule.issued_ops(), s.lowered.lops.len(), "{name} {h}");
             }
         }
     }

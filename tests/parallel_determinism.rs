@@ -103,17 +103,13 @@ fn robust_pipeline_is_identical_at_any_job_count() {
     let module = generate(&BenchmarkSpec::tiny(31));
     let machine = MachineModel::model_4u();
     let run = || {
+        let pipeline = Pipeline::with_options(&machine, RobustOptions::default());
         let mut times = Vec::new();
         for f in module.functions() {
             let regions = form_treegions(f);
-            let r = treegion_suite::treegion::schedule_function_robust(
-                f,
-                &regions,
-                None,
-                &machine,
-                &RobustOptions::default(),
-            )
-            .expect("robust scheduling succeeds");
+            let r = pipeline
+                .run_set(f, &regions, None, &NullObserver)
+                .expect("robust scheduling succeeds");
             // Bitwise comparison: estimated times are f64 sums whose
             // order must not depend on the job count.
             times.push((r.estimated_time().to_bits(), r.outcomes.len()));
