@@ -10,6 +10,9 @@
 //!   per-stage [`treegion::PassObserver`] brackets on the
 //!   [`treegion::Pipeline`] driver (the same instrumentation behind
 //!   `tgc schedule --profile`), not ad-hoc kernel loops;
+//! * us/request through the `tgc serve` engine's batch path, cold (every
+//!   module scheduled and written to the disk cache tier) and warm
+//!   (every module answered from cache) — the serve-daemon kernel;
 //! * end-to-end evaluation-harness wall time (all tables and figures) in
 //!   three configurations: memoization off at `jobs=1` (the pre-cache
 //!   behaviour), memoization on at `jobs=1`, and memoization on at the
@@ -25,9 +28,10 @@
 //! (parallelism must never cost more than scheduling noise). `--out`
 //! overrides the output path (default `BENCH_sched.json` in the current
 //! directory, i.e. the repository root when run via `cargo run`).
-//! `--regress BASELINE.json` exits non-zero if `schedule_region` or
-//! `ddg_build` ns/op regresses more than 1.3× against the committed
-//! baseline file (the per-kernel CI regression bound).
+//! `--regress BASELINE.json` exits non-zero if `schedule_region`,
+//! `ddg_build`, `serve_cold`, or `serve_warm` regresses more than 1.3×
+//! against the committed baseline file (the per-kernel CI regression
+//! bound).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -129,6 +133,54 @@ fn best_stages(reps: usize, mut run: impl FnMut() -> Profiler) -> ([u128; 5], u1
     (best, best_sched)
 }
 
+/// us-per-request through the serve engine's `process_batch`: best-of-
+/// `reps` cold passes (fresh engine + disk cache; every module runs the
+/// full pipeline and is fsynced into the cache) and warm passes over the
+/// same engine (every module answered from the cache tiers). Runs
+/// serially, like the other microbenches, so numbers are comparable
+/// across machines.
+fn serve_kernel(reps: usize, n: usize) -> (f64, f64) {
+    use treegion_serve::{
+        Admission, BatchOptions, Engine, EngineConfig, ModuleReply, ModuleRequest, Poison,
+    };
+    let dir = std::env::temp_dir().join(format!("tgc-bench-serve-{}", std::process::id()));
+    let batch: Vec<ModuleRequest> = (0..n)
+        .map(|i| ModuleRequest {
+            text: format!(
+                "module @bench{i}\n\nfunc @f {{\n  bb0 (weight 100):\n    r0 = movi #{i}\n    r1 = movi #2\n    r2 = add r0, r1\n    ret r2\n}}\n"
+            ),
+            poison: Poison::default(),
+        })
+        .collect();
+    let gate = Admission::new(usize::MAX, 0);
+    let opts = BatchOptions::default();
+    let (mut cold, mut warm) = (f64::INFINITY, f64::INFINITY);
+    for rep in 0..reps {
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = Engine::open(&EngineConfig {
+            cache_path: Some(dir.join(format!("cache-{rep}.tgc"))),
+            quarantine_dir: None,
+            default_deadline_ms: None,
+        })
+        .expect("bench engine opens");
+        let t0 = Instant::now();
+        let replies = engine.process_batch(&gate, &opts, &batch);
+        cold = cold.min(t0.elapsed().as_secs_f64() * 1e6 / n as f64);
+        assert!(replies
+            .iter()
+            .all(|r| matches!(r, ModuleReply::Ok { warm: false, .. })));
+        let t0 = Instant::now();
+        let replies = engine.process_batch(&gate, &opts, &batch);
+        warm = warm.min(t0.elapsed().as_secs_f64() * 1e6 / n as f64);
+        assert!(replies
+            .iter()
+            .all(|r| matches!(r, ModuleReply::Ok { warm: true, .. })));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (cold, warm)
+}
+
 /// Renders every table/figure the `all` binary prints; returns total
 /// rendered bytes (a cheap checksum that also defeats dead-code
 /// elimination).
@@ -210,6 +262,10 @@ fn main() {
     let (td_stage_ns, _) = best_stages(reps, || profiled_run(&module, &tree_td, &m8, &opts));
     let formation_td_ns = td_stage_ns[0];
 
+    // --- Serve engine kernel (cold vs warm, us per request). ---
+    let serve_n = if cfg.quick { 8 } else { 32 };
+    let (serve_cold_us, serve_warm_us) = serve_kernel(reps, serve_n);
+
     // --- End-to-end harness wall times. ---
     let jobs_n = treegion_par::max_jobs();
     // Best-of-k wall times: k >= 2 even in quick mode so the --check
@@ -232,7 +288,7 @@ fn main() {
     let per = |total_ns: u128, ops: u128| total_ns as f64 / ops.max(1) as f64;
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"treegion-bench-sched/v2\",");
+    let _ = writeln!(j, "  \"schema\": \"treegion-bench-sched/v3\",");
     let _ = writeln!(
         j,
         "  \"mode\": \"{}\",",
@@ -262,6 +318,10 @@ fn main() {
         "    \"schedule_region\": {:.2}",
         per(sched_ns, lowered_ops)
     );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"serve_us_per_req\": {{");
+    let _ = writeln!(j, "    \"serve_cold\": {serve_cold_us:.2},");
+    let _ = writeln!(j, "    \"serve_warm\": {serve_warm_us:.2}");
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"harness_ms\": {{");
     let _ = writeln!(j, "    \"uncached_jobs1\": {uncached_jobs1:.1},");
@@ -298,6 +358,8 @@ fn main() {
         for (key, current) in [
             ("ddg_build", per(ddg_ns, lowered_ops)),
             ("schedule_region", per(sched_ns, lowered_ops)),
+            ("serve_cold", serve_cold_us),
+            ("serve_warm", serve_warm_us),
         ] {
             let Some(base) = json_number(&baseline, key) else {
                 eprintln!("bench_sched: regress: baseline has no `{key}`, skipping");
@@ -306,14 +368,14 @@ fn main() {
             let limit = bound * base;
             if current > limit {
                 eprintln!(
-                    "bench_sched: FAIL: {key} {current:.2} ns/op exceeds \
-                     {bound}x baseline ({base:.2} ns/op)"
+                    "bench_sched: FAIL: {key} {current:.2} exceeds \
+                     {bound}x baseline ({base:.2})"
                 );
                 failed = true;
             } else {
                 eprintln!(
-                    "bench_sched: regress ok: {key} {current:.2} ns/op <= \
-                     {bound} x {base:.2} ns/op"
+                    "bench_sched: regress ok: {key} {current:.2} <= \
+                     {bound} x {base:.2}"
                 );
             }
         }

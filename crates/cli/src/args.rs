@@ -118,6 +118,19 @@ pub struct Options {
     pub no_quarantine: bool,
     /// `eval --only A,B`: restrict the run to the named cells.
     pub only: Vec<String>,
+    /// `serve|client --addr HOST:PORT`: bind/connect address
+    /// (serve default `127.0.0.1:0`, printed at startup).
+    pub addr: Option<String>,
+    /// `serve --cache FILE`: durable result-cache file.
+    pub cache: Option<String>,
+    /// `serve --queue-max N`: admission high-water mark (default 64).
+    pub queue_max: Option<usize>,
+    /// `serve|client --deadline-ms N`: per-module soft deadline.
+    pub deadline_ms: Option<u64>,
+    /// `serve --retry-after-ms N`: hint carried by shed replies.
+    pub retry_after_ms: Option<u64>,
+    /// `client --op compile|stats|ping|shutdown` (default compile).
+    pub op: Option<String>,
 }
 
 /// An argument error with a user-facing message.
@@ -163,6 +176,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
         quarantine: None,
         no_quarantine: false,
         only: Vec::new(),
+        addr: None,
+        cache: None,
+        queue_max: None,
+        deadline_ms: None,
+        retry_after_ms: None,
+        op: None,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -301,6 +320,57 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
                 opts.quarantine = Some(v.clone());
             }
             "--no-quarantine" => opts.no_quarantine = true,
+            "--addr" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--addr needs HOST:PORT".into()))?;
+                opts.addr = Some(v.clone());
+            }
+            "--cache" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--cache needs a file path".into()))?;
+                opts.cache = Some(v.clone());
+            }
+            "--queue-max" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--queue-max needs a count".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad queue size `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--queue-max must be at least 1".into()));
+                }
+                opts.queue_max = Some(n);
+            }
+            "--deadline-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--deadline-ms needs a value".into()))?;
+                opts.deadline_ms = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad deadline `{v}`")))?,
+                );
+            }
+            "--retry-after-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--retry-after-ms needs a value".into()))?;
+                opts.retry_after_ms = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad retry hint `{v}`")))?,
+                );
+            }
+            "--op" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--op needs compile|stats|ping|shutdown".into()))?;
+                match v.as_str() {
+                    "compile" | "stats" | "ping" | "shutdown" => opts.op = Some(v.clone()),
+                    other => return Err(ArgError(format!("unknown op `{other}`"))),
+                }
+            }
             "--only" => {
                 let v = it
                     .next()
@@ -467,6 +537,46 @@ mod tests {
                 .panic_region,
             Some(1)
         );
+    }
+
+    #[test]
+    fn serve_and_client_flags_parse() {
+        let o = parse_args(&v(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--cache",
+            "out/serve-cache.tgc",
+            "--queue-max",
+            "8",
+            "--deadline-ms",
+            "250",
+            "--retry-after-ms",
+            "40",
+        ]))
+        .unwrap();
+        assert_eq!(o.command, "serve");
+        assert_eq!(o.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.cache.as_deref(), Some("out/serve-cache.tgc"));
+        assert_eq!(o.queue_max, Some(8));
+        assert_eq!(o.deadline_ms, Some(250));
+        assert_eq!(o.retry_after_ms, Some(40));
+
+        let o = parse_args(&v(&[
+            "client",
+            "batch.tir",
+            "--addr",
+            "127.0.0.1:9999",
+            "--op",
+            "stats",
+        ]))
+        .unwrap();
+        assert_eq!(o.op.as_deref(), Some("stats"));
+        assert_eq!(o.input.as_deref(), Some("batch.tir"));
+
+        assert!(parse_args(&v(&["serve", "--queue-max", "0"])).is_err());
+        assert!(parse_args(&v(&["client", "--op", "explode"])).is_err());
+        assert!(parse_args(&v(&["serve", "--addr"])).is_err());
     }
 
     #[test]

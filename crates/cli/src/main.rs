@@ -15,6 +15,11 @@
 //!              [--no-quarantine] [--jobs N]
 //! tgc gen      BENCH                          emit a synthetic benchmark
 //! tgc shape    NAME                           emit a paper figure shape
+//! tgc serve    [--addr A] [--cache FILE] [--quarantine DIR]
+//!              [--queue-max N] [--deadline-ms N] [--retry-after-ms N]
+//!              [--jobs N]                     scheduler-as-a-service daemon
+//! tgc client   FILE --addr A [--op compile|stats|ping|shutdown]
+//!              [--kind K] [--machine M] [--heuristic H] [--deadline-ms N]
 //! ```
 //!
 //! Kinds: `bb`, `slr`, `sb`, `tree` (default), `tree-td[:LIMIT]`.
@@ -34,10 +39,18 @@
 //! cells retry with backoff and are quarantined when exhausted, and
 //! `--checkpoint`/`--resume` make runs resumable (see DESIGN.md §9).
 //!
+//! `tgc serve` is the fault-tolerant scheduler-as-a-service daemon
+//! (DESIGN.md §12): batches of modules over length-prefixed TCP, per
+//! request containment and deadlines, quarantine of repeat offenders,
+//! bounded admission with load shedding, and a crash-recoverable disk
+//! cache. `tgc client` is the matching one-shot client.
+//!
 //! Exit codes: `0` clean; `2` the pipeline degraded but produced a
-//! correct, verified result; `3` contained failures occurred (a panic or
-//! deadline trip was isolated — quarantined cells, or a region rescued
-//! from a crash by the fallback chain); `1` hard failure.
+//! correct, verified result (client: some modules shed, retryable);
+//! `3` contained failures occurred (a panic or deadline trip was
+//! isolated — quarantined cells, a region rescued from a crash by the
+//! fallback chain, or serve modules answered with structured errors);
+//! `1` hard failure; `4` serve-daemon fatal (bind/listener death).
 //!
 //! Parallelism: `--jobs N` sets the worker-thread count for
 //! region-parallel scheduling (default: the `TGC_JOBS` environment
@@ -65,8 +78,39 @@ struct RunStatus {
     /// Contained incidents (cell retries/recoveries/quarantines).
     contained: Vec<ContainmentEvent>,
     /// Whether a contained *failure* remains in the output: a quarantined
-    /// harness cell, or a region rescued from a panic/deadline crash.
+    /// harness cell, a region rescued from a panic/deadline crash, or a
+    /// serve-batch module answered with a structured error.
     contained_failure: bool,
+    /// Modules shed by serve-side admission control (client mode):
+    /// retryable, so they degrade the run rather than failing it.
+    shed: usize,
+}
+
+/// A failed invocation: the message plus the exit code it maps to.
+/// `From<String>` keeps the plain-error call sites unchanged (code 1);
+/// the serve daemon wraps its fatal errors with code 4 so supervisors
+/// can tell "service died" from "bad invocation".
+#[derive(Debug)]
+struct Failure {
+    msg: String,
+    code: u8,
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Self {
+        Failure { msg, code: 1 }
+    }
+}
+
+/// Exit code for daemon-fatal serve errors (bind failure, listener
+/// death, unrecoverable cache corruption at checkpoint).
+const EXIT_SERVE_FATAL: u8 = 4;
+
+fn serve_fatal(msg: String) -> Failure {
+    Failure {
+        msg,
+        code: EXIT_SERVE_FATAL,
+    }
 }
 
 impl RunStatus {
@@ -83,6 +127,7 @@ impl RunStatus {
             degraded,
             contained: Vec::new(),
             contained_failure,
+            shed: 0,
         }
     }
 }
@@ -101,6 +146,12 @@ fn main() -> ExitCode {
             for e in &status.contained {
                 eprintln!("tgc: contained: {e}");
             }
+            if status.shed > 0 {
+                eprintln!(
+                    "tgc: {} module(s) shed by the server; retry later",
+                    status.shed
+                );
+            }
             if status.contained_failure {
                 eprintln!(
                     "tgc: contained failure(s) present ({} degradation, {} containment event(s))",
@@ -108,19 +159,20 @@ fn main() -> ExitCode {
                     status.contained.len()
                 );
                 ExitCode::from(3)
-            } else if !status.degraded.is_empty() || !status.contained.is_empty() {
+            } else if !status.degraded.is_empty() || !status.contained.is_empty() || status.shed > 0
+            {
                 eprintln!(
                     "tgc: pipeline degraded ({} event(s))",
-                    status.degraded.len() + status.contained.len()
+                    status.degraded.len() + status.contained.len() + status.shed
                 );
                 ExitCode::from(2)
             } else {
                 ExitCode::SUCCESS
             }
         }
-        Err(msg) => {
-            eprintln!("tgc: {msg}");
-            ExitCode::FAILURE
+        Err(f) => {
+            eprintln!("tgc: {}", f.msg);
+            ExitCode::from(f.code)
         }
     }
 }
@@ -144,6 +196,12 @@ USAGE:
                [--quarantine DIR] [--no-quarantine] [--jobs N]
   tgc gen      compress|gcc|go|ijpeg|li|m88ksim|perl|vortex
   tgc shape    fig1|biased|wide|linearized
+  tgc serve    [--addr HOST:PORT] [--cache FILE] [--quarantine DIR]
+               [--no-quarantine] [--queue-max N] [--deadline-ms N]
+               [--retry-after-ms N] [--jobs N]
+  tgc client   FILE --addr HOST:PORT [--op compile|stats|ping|shutdown]
+               [--kind K] [--machine M] [--heuristic H] [--dompar]
+               [--deadline-ms N]
 
 PARALLELISM:
   --jobs N   worker threads for region-parallel scheduling (default:
@@ -161,28 +219,57 @@ EVAL:
   quarantined (default testdata/quarantine), --checkpoint/--resume
   skip already-finished cells
 
+SERVE:
+  long-lived scheduler-as-a-service daemon (DESIGN.md §12): batches of
+  tir modules over length-prefixed TCP, per-request catch_unwind
+  containment with soft deadlines and watchdog escalation, FNV-deduped
+  quarantine of repeat offenders, bounded admission with deterministic
+  load shedding, and a checksummed crash-recoverable disk cache
+  (--cache); `tgc client FILE` submits a batch (modules separated by
+  `---` lines; `!fault-seed N`, `!panic-region N`, `!panic-hard` poison
+  the module that follows), --op stats|ping|shutdown for control
+
 EXIT CODES:
   0  success
   1  hard failure (bad input, unrecoverable scheduling error, divergence)
-  2  success with degradation (a region fell back or was kept unverified)
+  2  success with degradation (a region fell back or was kept unverified;
+     client: some modules were shed and can be retried)
   3  contained failure(s): a panic/deadline was isolated (quarantined
-     cell, or a region rescued from a crash by the fallback chain)
+     cell, a region rescued from a crash by the fallback chain, or a
+     serve module answered with a structured error)
+  4  serve-daemon fatal: the service itself could not start or died
+     (bind failure, listener death) — distinct from per-request errors,
+     which never take the daemon down
 ";
 
-fn run(argv: &[String]) -> Result<RunStatus, String> {
-    let opts = parse_args(argv).map_err(|e| e.to_string())?;
+fn run(argv: &[String]) -> Result<RunStatus, Failure> {
+    let opts = parse_args(argv).map_err(|e| Failure::from(e.to_string()))?;
     if let Some(jobs) = opts.jobs {
         treegion_par::set_jobs(jobs);
     }
     match opts.command.as_str() {
-        "print" => cmd_print(&opts).map(|()| RunStatus::clean()),
-        "regions" => cmd_regions(&opts).map(|()| RunStatus::clean()),
-        "schedule" => cmd_schedule(&opts).map(RunStatus::from_degraded),
-        "run" => cmd_run(&opts).map(RunStatus::from_degraded),
-        "eval" => cmd_eval(&opts),
-        "gen" => cmd_gen(&opts).map(|()| RunStatus::clean()),
-        "shape" => cmd_shape(&opts).map(|()| RunStatus::clean()),
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        "print" => cmd_print(&opts)
+            .map(|()| RunStatus::clean())
+            .map_err(Into::into),
+        "regions" => cmd_regions(&opts)
+            .map(|()| RunStatus::clean())
+            .map_err(Into::into),
+        "schedule" => cmd_schedule(&opts)
+            .map(RunStatus::from_degraded)
+            .map_err(Into::into),
+        "run" => cmd_run(&opts)
+            .map(RunStatus::from_degraded)
+            .map_err(Into::into),
+        "eval" => cmd_eval(&opts).map_err(Into::into),
+        "gen" => cmd_gen(&opts)
+            .map(|()| RunStatus::clean())
+            .map_err(Into::into),
+        "shape" => cmd_shape(&opts)
+            .map(|()| RunStatus::clean())
+            .map_err(Into::into),
+        "serve" => cmd_serve(&opts),
+        "client" => cmd_client(&opts).map_err(Into::into),
+        other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
     }
 }
 
@@ -425,6 +512,7 @@ fn cmd_eval(opts: &Options) -> Result<RunStatus, String> {
         degraded: Vec::new(),
         contained: report.events.clone(),
         contained_failure: report.has_contained_failures(),
+        shed: 0,
     })
 }
 
@@ -457,4 +545,167 @@ fn cmd_shape(opts: &Options) -> Result<(), String> {
     };
     print!("{}", print_function(&f));
     Ok(())
+}
+
+/// `tgc serve`: the fault-tolerant scheduler-as-a-service daemon
+/// (DESIGN.md §12). Blocks until drained by a `shutdown` request.
+/// Daemon-fatal errors exit with code 4 so a supervisor can tell a dead
+/// service from a bad invocation.
+fn cmd_serve(opts: &Options) -> Result<RunStatus, Failure> {
+    if opts.input.is_some() {
+        return Err("serve takes no positional argument".to_string().into());
+    }
+    let config = treegion_serve::ServerConfig {
+        addr: opts.addr.clone().unwrap_or_else(|| "127.0.0.1:0".into()),
+        engine: treegion_serve::EngineConfig {
+            cache_path: opts.cache.clone().map(Into::into),
+            quarantine_dir: if opts.no_quarantine {
+                None
+            } else {
+                Some(
+                    opts.quarantine
+                        .clone()
+                        .unwrap_or_else(|| "testdata/quarantine".into())
+                        .into(),
+                )
+            },
+            default_deadline_ms: opts.deadline_ms,
+        },
+        queue_max: opts.queue_max.unwrap_or(64),
+        retry_after_ms: opts.retry_after_ms.unwrap_or(100),
+    };
+    let server = treegion_serve::Server::bind(&config).map_err(serve_fatal)?;
+    let engine = server.engine();
+    if let Some(r) = engine.recovery() {
+        if r.compacted {
+            eprintln!(
+                "tgc serve: cache recovery replayed={} dropped={} torn-tail={} (compacted)",
+                r.replayed, r.dropped, r.torn_tail
+            );
+        }
+    }
+    if engine.quarantined_count() > 0 {
+        eprintln!(
+            "tgc serve: quarantine ledger holds {} module(s)",
+            engine.quarantined_count()
+        );
+    }
+    // The scrape line for tests and supervisors: Rust's stdout is
+    // line-buffered even when piped, so this is visible immediately.
+    println!("listening on {}", server.local_addr().map_err(serve_fatal)?);
+    server.run().map_err(serve_fatal)?;
+    eprintln!("tgc serve: drained");
+    Ok(RunStatus::clean())
+}
+
+/// `tgc client`: one-shot client for the serve protocol. `compile`
+/// submits the positional file as a batch (modules separated by `---`
+/// lines, `!`-lines poison the following module); `stats`, `ping`, and
+/// `shutdown` are bodyless. Exit codes: 0 all scheduled, 2 some shed
+/// (retryable), 3 structured per-module errors, 1 hard failure.
+fn cmd_client(opts: &Options) -> Result<RunStatus, String> {
+    use treegion_serve::{
+        parse_response, read_frame, render_compile, render_simple, write_frame, BatchOptions,
+        ResultStatus, Verb,
+    };
+    let addr = opts
+        .addr
+        .as_deref()
+        .ok_or_else(|| "client needs --addr HOST:PORT".to_string())?;
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let op = opts.op.as_deref().unwrap_or("compile");
+    if op != "compile" {
+        let verb = match op {
+            "stats" => Verb::Stats,
+            "ping" => Verb::Ping,
+            "shutdown" => Verb::Shutdown,
+            other => return Err(format!("unknown op `{other}`")),
+        };
+        write_frame(&mut stream, &render_simple(verb))?;
+        let reply = read_frame(&mut stream)?.ok_or("server hung up")?;
+        let frame = parse_response(&reply)?;
+        if frame.kind == "error" {
+            return Err(format!(
+                "server rejected the request: {}",
+                frame.key("reason").unwrap_or("")
+            ));
+        }
+        if frame.body.is_empty() {
+            println!("{}", frame.kind);
+        } else {
+            print!("{}", frame.body);
+        }
+        return Ok(RunStatus::clean());
+    }
+    let path = opts
+        .input
+        .as_deref()
+        .ok_or_else(|| "client compile needs a batch file".to_string())?;
+    let batch_text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let options = BatchOptions {
+        kind: opts.kind,
+        machine: opts.machine.clone(),
+        heuristic: opts.heuristic,
+        dompar: opts.dompar,
+        deadline_ms: opts.deadline_ms,
+    };
+    // The batch file *is* the request body; rendering with no modules
+    // gives the option header, and the file text rides behind it.
+    let mut payload = render_compile(&options, &[]);
+    payload.push_str(&batch_text);
+    write_frame(&mut stream, &payload)?;
+    let (mut ok, mut errors, mut shed) = (0usize, 0usize, 0usize);
+    loop {
+        let reply = read_frame(&mut stream)?.ok_or("server hung up mid-batch")?;
+        let frame = parse_response(&reply)?;
+        match frame.kind.as_str() {
+            "batch-end" => break,
+            "error" => {
+                return Err(format!(
+                    "server rejected the batch: {}",
+                    frame.key("reason").unwrap_or("")
+                ));
+            }
+            "result" => {
+                let index = frame.key("index").unwrap_or("?").to_string();
+                match frame.status {
+                    Some(ResultStatus::Ok) => {
+                        ok += 1;
+                        println!(
+                            "-- module #{index} ok (cache {})",
+                            frame.key("cache").unwrap_or("?")
+                        );
+                        print!("{}", frame.body);
+                    }
+                    Some(ResultStatus::Error) => {
+                        errors += 1;
+                        eprintln!(
+                            "tgc client: module #{index} failed: cause={} quarantined={} {}",
+                            frame.key("cause").unwrap_or("?"),
+                            frame.key("quarantined").unwrap_or("?"),
+                            frame.key("detail").unwrap_or(""),
+                        );
+                    }
+                    Some(ResultStatus::Shed) => {
+                        shed += 1;
+                        eprintln!(
+                            "tgc client: module #{index} shed; retry after {} ms",
+                            frame.key("retry-after-ms").unwrap_or("?"),
+                        );
+                    }
+                    None => return Err(format!("malformed result frame: {reply}")),
+                }
+            }
+            other => return Err(format!("unexpected frame `{other}`")),
+        }
+    }
+    eprintln!("tgc client: {ok} ok, {errors} failed, {shed} shed");
+    Ok(RunStatus {
+        degraded: Vec::new(),
+        contained: Vec::new(),
+        contained_failure: errors > 0,
+        shed,
+    })
 }

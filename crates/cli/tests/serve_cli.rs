@@ -1,0 +1,287 @@
+//! End-to-end drills against a real `tgc serve` child process: the
+//! kill-9 crash-recovery drill, client exit-code round-trips, and
+//! deterministic load shedding through the CLI.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use treegion_serve::{
+    parse_response, read_frame, render_compile, render_simple, write_frame, BatchOptions,
+    ModuleRequest, Poison, ResponseFrame, ResultStatus, Verb,
+};
+
+fn tgc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tgc"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tgc-serve-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Spawns `tgc serve` on an ephemeral port and scrapes the bound
+/// address from the `listening on ADDR` stdout line.
+fn spawn_serve(extra: &[&str]) -> (Child, String) {
+    let mut child = tgc()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("tgc serve spawns");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before announcing its address")
+            .unwrap();
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+    (child, addr)
+}
+
+fn module(name: &str, poison: Poison) -> ModuleRequest {
+    ModuleRequest {
+        text: format!(
+            "module @{name}\n\nfunc @f {{\n  bb0 (weight 100):\n    r0 = movi #1\n    r1 = movi #2\n    r2 = add r0, r1\n    ret r2\n}}\n"
+        ),
+        poison,
+    }
+}
+
+fn submit(addr: &str, batch: &[ModuleRequest]) -> Vec<ResponseFrame> {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write_frame(&mut s, &render_compile(&BatchOptions::default(), batch)).unwrap();
+    let mut results = Vec::new();
+    loop {
+        let frame = parse_response(&read_frame(&mut s).unwrap().unwrap()).unwrap();
+        if frame.kind == "batch-end" {
+            break;
+        }
+        assert_eq!(frame.kind, "result", "{frame:?}");
+        results.push(frame);
+    }
+    results
+}
+
+fn stats_body(addr: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write_frame(&mut s, &render_simple(Verb::Stats)).unwrap();
+    let frame = parse_response(&read_frame(&mut s).unwrap().unwrap()).unwrap();
+    assert_eq!(frame.kind, "stats");
+    frame.body
+}
+
+/// Graceful stop over the wire; the child must exit 0.
+fn shutdown(addr: &str, mut child: Child) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write_frame(&mut s, &render_simple(Verb::Shutdown)).unwrap();
+    let frame = parse_response(&read_frame(&mut s).unwrap().unwrap()).unwrap();
+    assert_eq!(frame.kind, "draining");
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve exited {status:?} after drain");
+}
+
+/// The headline robustness drill: run a daemon warm, SIGKILL it with
+/// no drain (and a torn half-record appended to the cache file, as a
+/// crash mid-write would leave), restart over the same cache, and
+/// demand byte-identical warm answers plus honest recovery counters.
+#[test]
+fn kill_nine_drill_restart_serves_identical_bytes() {
+    let dir = tmpdir("kill9");
+    let cache = dir.join("cache.tgc");
+    let cache_arg = cache.to_str().unwrap().to_string();
+    let batch = vec![
+        module("k1", Poison::default()),
+        module("k2", Poison::default()),
+    ];
+
+    let (mut child, addr) = spawn_serve(&["--cache", &cache_arg, "--no-quarantine"]);
+    let cold = submit(&addr, &batch);
+    assert!(cold.iter().all(|r| r.status == Some(ResultStatus::Ok)));
+    assert!(cold.iter().all(|r| r.key("cache") == Some("cold")));
+
+    // SIGKILL: no drain, no seal, no compaction — the cache file is
+    // whatever the per-put fsyncs left behind.
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Simulate the crash landing mid-write: a torn, unchecksummable
+    // tail after the last complete record.
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&cache)
+        .unwrap();
+    f.write_all(b"REC torn-half-record-with-no-checksum")
+        .unwrap();
+    f.sync_all().unwrap();
+
+    let (child, addr) = spawn_serve(&["--cache", &cache_arg, "--no-quarantine"]);
+    let warm = submit(&addr, &batch);
+    for (a, b) in cold.iter().zip(&warm) {
+        assert_eq!(b.key("cache"), Some("warm"), "{b:?}");
+        assert_eq!(a.body, b.body, "warm restart must serve identical bytes");
+    }
+    let stats = stats_body(&addr);
+    assert!(stats.contains("cache-warm 2\n"), "{stats}");
+    assert!(stats.contains("torn-tail=true"), "{stats}");
+    shutdown(&addr, child);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn batch_file(dir: &Path, name: &str, text: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+#[test]
+fn client_round_trip_maps_outcomes_to_exit_codes() {
+    let dir = tmpdir("client");
+    let qdir = dir.join("quarantine");
+    let (child, addr) = spawn_serve(&[
+        "--cache",
+        dir.join("cache.tgc").to_str().unwrap(),
+        "--quarantine",
+        qdir.to_str().unwrap(),
+    ]);
+
+    let mixed = batch_file(
+        &dir,
+        "mixed.batch",
+        "module @good\n\nfunc @f {\n  bb0 (weight 100):\n    r0 = movi #7\n    ret r0\n}\n\
+         ---\n\
+         !panic-hard\n\
+         module @bad\n\nfunc @f {\n  bb0 (weight 100):\n    r0 = movi #9\n    ret r0\n}\n",
+    );
+    let clean = batch_file(
+        &dir,
+        "clean.batch",
+        "module @solo\n\nfunc @f {\n  bb0 (weight 100):\n    r0 = movi #3\n    ret r0\n}\n",
+    );
+
+    // Mixed batch: the poisoned module is a contained failure -> exit 3,
+    // but the clean sibling still streams back scheduled.
+    let out = tgc()
+        .args(["client", &mixed, "--addr", &addr])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("-- module #0 ok (cache cold)"), "{stdout}");
+    assert!(stdout.contains("module @good"), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cause=panic"), "{stderr}");
+    assert!(stderr.contains("quarantined=true"), "{stderr}");
+
+    // Resubmitted: the clean module is warm, the offender is
+    // fast-rejected from the quarantine ledger — still exit 3.
+    let out = tgc()
+        .args(["client", &mixed, "--addr", &addr])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("-- module #0 ok (cache warm)"), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cause=quarantined"), "{stderr}");
+    assert_eq!(
+        std::fs::read_dir(&qdir).unwrap().count(),
+        1,
+        "repeat offender must not grow the quarantine directory"
+    );
+
+    // All-clean batch -> exit 0.
+    let out = tgc()
+        .args(["client", &clean, "--addr", &addr])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Control verbs.
+    let out = tgc()
+        .args(["client", "--addr", &addr, "--op", "ping"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("pong"));
+    let out = tgc()
+        .args(["client", "--addr", &addr, "--op", "stats"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("contained 1\n"), "{stdout}");
+    assert!(stdout.contains("quarantine-rejects 1\n"), "{stdout}");
+
+    // Shutdown through the client: daemon drains and exits 0.
+    let out = tgc()
+        .args(["client", "--addr", &addr, "--op", "shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let status = {
+        let mut child = child;
+        child.wait().unwrap()
+    };
+    assert!(
+        status.success(),
+        "serve exited {status:?} after client shutdown"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_shed_suffix_exits_retryable() {
+    let dir = tmpdir("shed");
+    let (child, addr) = spawn_serve(&["--no-quarantine", "--queue-max", "1"]);
+    let many = batch_file(
+        &dir,
+        "many.batch",
+        &(0..4)
+            .map(|i| {
+                format!(
+                    "module @m{i}\n\nfunc @f {{\n  bb0 (weight 100):\n    r0 = movi #{i}\n    ret r0\n}}\n"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("---\n"),
+    );
+    let out = tgc()
+        .args(["client", &many, "--addr", &addr])
+        .output()
+        .unwrap();
+    // Shed-but-no-failure is the retryable degradation code.
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("shed; retry after"), "{stderr}");
+    assert!(stderr.contains("retry later"), "{stderr}");
+    shutdown(&addr, child);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_without_a_daemon_is_a_hard_failure() {
+    let out = tgc()
+        .args(["client", "--addr", "127.0.0.1:1", "--op", "ping"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+/// `serve` on an unbindable address is the serve-fatal exit, distinct
+/// from every per-request failure code.
+#[test]
+fn unbindable_address_is_serve_fatal() {
+    let out = tgc()
+        .args(["serve", "--addr", "256.0.0.1:0", "--no-quarantine"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+}

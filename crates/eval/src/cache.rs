@@ -42,8 +42,10 @@
 //! every request from scratch, which the determinism tests use to prove
 //! cache-on and cache-off runs are byte-identical.
 
+use crate::diskcache::{result_key, DiskCache, DiskRecovery};
 use crate::{EvalConfig, RegionConfig};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use treegion::{form_and_lower, FormOutcome, Heuristic, LoweredRegion, NullObserver};
@@ -181,6 +183,9 @@ pub struct CacheStats {
     pub formation: LayerStats,
     /// Per-cell `program_time` layer.
     pub time: LayerStats,
+    /// Durable rendered-result layer (zeros when no disk tier is
+    /// attached — see [`FormationCache::attach_disk`]).
+    pub disk: LayerStats,
 }
 
 /// Key of the scalar `program_time` layer: module and region-formation
@@ -194,6 +199,10 @@ struct Inner {
     times: Mutex<HashMap<TimeKey, f64>>,
     formation_counters: Counters,
     time_counters: Counters,
+    /// Optional durable tier for *rendered results* (the serve daemon's
+    /// warm path): crash-recoverable, keyed by (module digest, config
+    /// fingerprint). `None` until [`FormationCache::attach_disk`].
+    disk: Mutex<Option<Arc<DiskCache>>>,
 }
 
 /// The memoization handle threaded through `program_time` /
@@ -251,7 +260,53 @@ impl FormationCache {
                 times: Mutex::new(HashMap::new()),
                 formation_counters: Counters::default(),
                 time_counters: Counters::default(),
+                disk: Mutex::new(None),
             }),
+        }
+    }
+
+    /// Attaches the durable result tier backed by the crash-recoverable
+    /// store at `path`, reporting what the startup recovery scan found.
+    /// The tier works even on a [`FormationCache::disabled`] handle —
+    /// disabling turns off *memoization*, while the disk tier is an
+    /// explicit put/get store the serve daemon drives directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from [`DiskCache::open`].
+    pub fn attach_disk(&self, path: &Path) -> Result<DiskRecovery, String> {
+        let (disk, recovery) = DiskCache::open(path)?;
+        *lock_tolerant(&self.inner.disk) = Some(Arc::new(disk));
+        Ok(recovery)
+    }
+
+    /// The attached disk tier, when any.
+    pub fn disk(&self) -> Option<Arc<DiskCache>> {
+        lock_tolerant(&self.inner.disk).clone()
+    }
+
+    /// Looks up a rendered result in the disk tier. `None` when no tier
+    /// is attached or the key is cold.
+    pub fn disk_get(&self, module_digest: u64, config_fingerprint: &str) -> Option<String> {
+        self.disk()?
+            .get(result_key(module_digest, config_fingerprint))
+    }
+
+    /// Stores a rendered result durably. A no-op without an attached
+    /// tier; write errors are returned so the caller can degrade loudly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from [`DiskCache::put`].
+    pub fn disk_put(
+        &self,
+        module_digest: u64,
+        config_fingerprint: &str,
+        payload: &str,
+    ) -> Result<(), String> {
+        match self.disk() {
+            Some(d) => d.put(result_key(module_digest, config_fingerprint), payload),
+            None => Ok(()),
         }
     }
 
@@ -326,6 +381,16 @@ impl FormationCache {
         CacheStats {
             formation: layer(&self.inner.formation_counters),
             time: layer(&self.inner.time_counters),
+            disk: self
+                .disk()
+                .map(|d| {
+                    let s = d.stats();
+                    LayerStats {
+                        hits: s.hits,
+                        misses: s.misses,
+                    }
+                })
+                .unwrap_or_default(),
         }
     }
 
@@ -407,6 +472,39 @@ mod tests {
         let _ = cache.formation(&m, &RegionConfig::BasicBlock);
         let s = cache.stats();
         assert_eq!(s.formation.misses, 2);
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_counts() {
+        let dir = std::env::temp_dir().join(format!("tgc-cache-disk-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("results.txt");
+        let cache = FormationCache::new();
+        // Without a tier: gets miss nothing, puts are no-ops.
+        assert_eq!(cache.disk_get(1, "tree|4U"), None);
+        cache.disk_put(1, "tree|4U", "x").unwrap();
+        assert_eq!(cache.stats().disk, LayerStats::default());
+
+        let rec = cache.attach_disk(&path).unwrap();
+        assert_eq!(rec.replayed, 0);
+        cache.disk_put(1, "tree|4U", "region r0: ...").unwrap();
+        assert_eq!(
+            cache.disk_get(1, "tree|4U").as_deref(),
+            Some("region r0: ...")
+        );
+        assert_eq!(cache.disk_get(1, "tree|8U"), None);
+        let s = cache.stats().disk;
+        assert_eq!((s.hits, s.misses), (1, 1));
+
+        // A fresh handle over the same file sees the durable entry.
+        let warm = FormationCache::new();
+        let rec = warm.attach_disk(&path).unwrap();
+        assert_eq!(rec.replayed, 1);
+        assert_eq!(
+            warm.disk_get(1, "tree|4U").as_deref(),
+            Some("region r0: ...")
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

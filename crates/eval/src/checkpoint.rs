@@ -30,7 +30,15 @@
 //! re-runs only `failed`/`pending` cells. Digests are FNV-1a 64 over the
 //! rendered cell text; a digest mismatch (truncated write, manual edit)
 //! demotes the cell to `pending` rather than trusting stale bytes.
+//!
+//! Since PR 6 every directive line is sealed with the
+//! [`crate::records`] checksum suffix (` ~<fnv1a hex>`). The strict
+//! parser ignores trailing tokens, so sealed manifests stay readable by
+//! older readers; [`RunManifest::load_recovering`] uses the seals to
+//! survive a torn or corrupted tail (a crash mid-append) by dropping
+//! only the damaged lines instead of refusing to resume.
 
+use crate::records;
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -116,19 +124,25 @@ pub struct RunManifest {
 }
 
 impl RunManifest {
-    /// Renders the manifest in its on-disk format.
+    /// Renders the manifest in its on-disk format. Directive lines carry
+    /// a [`crate::records`] seal; the header stays bare so old readers
+    /// (which match it exactly) still recognize the file.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("tgc-eval-manifest v1\n");
-        out.push_str(&format!("config {:016x}\n", self.config_hash));
-        out.push_str(&format!("git {}\n", self.git_rev));
+        let mut put = |line: String| {
+            out.push_str(&records::seal(&line));
+            out.push('\n');
+        };
+        put(format!("config {:016x}", self.config_hash));
+        put(format!("git {}", self.git_rev));
         match self.fault_seed {
-            Some(s) => out.push_str(&format!("fault-seed {s}\n")),
-            None => out.push_str("fault-seed -\n"),
+            Some(s) => put(format!("fault-seed {s}")),
+            None => put("fault-seed -".to_string()),
         }
         for c in &self.cells {
-            out.push_str(&format!(
-                "cell {} {} {:016x} {}\n",
+            put(format!(
+                "cell {} {} {:016x} {}",
                 c.name, c.status, c.digest, c.attempts
             ));
         }
@@ -251,6 +265,71 @@ impl RunManifest {
     pub fn cell(&self, name: &str) -> Option<&CellRecord> {
         self.cells.iter().find(|c| c.name == name)
     }
+
+    /// Loads a manifest leniently: the checksummed-record recovery scan
+    /// (shared with the serve disk cache) truncates a torn or corrupt
+    /// tail, and any surviving line that still fails to parse is dropped
+    /// instead of failing the whole load. Cells lost this way simply
+    /// re-run — resume loses one cell, not the run.
+    ///
+    /// # Errors
+    ///
+    /// Still fails when the file is unreadable, is not a manifest at
+    /// all, or lost its config fingerprint (resuming without one could
+    /// silently merge incompatible runs).
+    pub fn load_recovering(path: &Path) -> Result<(Self, ManifestRecovery), String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read manifest `{}`: {e}", path.display()))?;
+        let rec = records::recover(&text);
+        let mut recovery = ManifestRecovery {
+            dropped: rec.dropped,
+            torn_tail: rec.torn_tail,
+        };
+        let mut survivors = rec.lines;
+        // Shed still-unparsable lines from the tail first (crash damage
+        // lives there), then anywhere, until the remainder parses.
+        loop {
+            let joined = if survivors.is_empty() {
+                String::new()
+            } else {
+                format!("{}\n", survivors.join("\n"))
+            };
+            match Self::parse(&joined) {
+                Ok(m) => return Ok((m, recovery)),
+                Err(e) => {
+                    // `parse` reports "manifest line N: ..." — drop that
+                    // line and retry; anything else is structural.
+                    let line_no = e
+                        .strip_prefix("manifest line ")
+                        .and_then(|r| r.split(':').next())
+                        .and_then(|n| n.parse::<usize>().ok());
+                    match line_no {
+                        Some(n) if n >= 1 && n <= survivors.len() => {
+                            survivors.remove(n - 1);
+                            recovery.dropped += 1;
+                        }
+                        _ => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// What [`RunManifest::load_recovering`] had to repair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ManifestRecovery {
+    /// Lines dropped (torn tail, corrupt seal, or unparsable).
+    pub dropped: usize,
+    /// Whether the file ended mid-append.
+    pub torn_tail: bool,
+}
+
+impl ManifestRecovery {
+    /// `true` when anything was repaired.
+    pub fn needed_repair(&self) -> bool {
+        self.dropped > 0 || self.torn_tail
+    }
 }
 
 /// Path of a cell's checkpointed output inside a checkpoint directory.
@@ -369,6 +448,84 @@ mod tests {
         let m = RunManifest::parse(text).unwrap();
         assert_eq!(m.config_hash, 0xff);
         assert_eq!(m.cells.len(), 1);
+    }
+
+    #[test]
+    fn rendered_lines_are_sealed() {
+        let m = sample();
+        for line in m.render().lines().skip(1) {
+            assert!(
+                matches!(records::check(line), records::LineCheck::Sealed(_)),
+                "unsealed directive: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_recovering_survives_torn_final_line() {
+        let dir = std::env::temp_dir().join(format!("tgc-manifest-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = sample();
+        let path = dir.join(MANIFEST_FILE);
+        // Simulate a crash mid-append: the final cell line loses its tail
+        // (including the newline), ending mid-status.
+        let text = m.render();
+        std::fs::write(&path, &text[..text.len() - 40]).unwrap();
+
+        // The strict loader refuses...
+        assert!(RunManifest::load(&path).is_err());
+        // ...the recovering loader drops only the torn cell.
+        let (got, rec) = RunManifest::load_recovering(&path).unwrap();
+        assert_eq!(rec.dropped, 1);
+        assert!(rec.torn_tail);
+        assert_eq!(got.config_hash, m.config_hash);
+        assert_eq!(got.cells.len(), m.cells.len() - 1);
+        assert!(got.cell("fig8@8u").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_recovering_drops_corrupt_line() {
+        let dir = std::env::temp_dir().join(format!("tgc-manifest-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = sample();
+        let path = dir.join(MANIFEST_FILE);
+        // Flip a byte inside a sealed cell line: the seal catches it and
+        // recovery truncates from there (append-log semantics).
+        std::fs::write(&path, m.render().replacen("fig6@4u", "fig6@4X", 1)).unwrap();
+        let (got, rec) = RunManifest::load_recovering(&path).unwrap();
+        assert!(rec.needed_repair());
+        assert!(got.cell("table1").is_some());
+        assert!(got.cell("fig6@4u").is_none());
+        assert!(got.cell("fig6@4X").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_recovering_accepts_legacy_unsealed_manifests() {
+        let dir = std::env::temp_dir().join(format!("tgc-manifest-legacy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        // A pre-PR-6 manifest: no seals anywhere.
+        std::fs::write(
+            &path,
+            "tgc-eval-manifest v1\nconfig ff\ngit abc\nfault-seed -\ncell a done 1 1\n",
+        )
+        .unwrap();
+        let (got, rec) = RunManifest::load_recovering(&path).unwrap();
+        assert!(!rec.needed_repair());
+        assert_eq!(got.cells.len(), 1);
+        // An unparsable-but-checksummed line is dropped, not fatal.
+        let sealed_junk = records::seal("cell broken");
+        std::fs::write(
+            &path,
+            format!("tgc-eval-manifest v1\nconfig ff\n{sealed_junk}\ncell a done 1 1\n"),
+        )
+        .unwrap();
+        let (got, rec) = RunManifest::load_recovering(&path).unwrap();
+        assert_eq!(rec.dropped, 1);
+        assert_eq!(got.cells.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -26,9 +26,11 @@
 mod cache;
 mod checkpoint;
 mod config;
+mod diskcache;
 mod dynamic;
 mod harness;
 mod pipeline;
+mod records;
 mod report;
 mod runner;
 mod stats;
@@ -36,9 +38,11 @@ mod variation;
 
 pub use cache::{CacheStats, FormationCache, FunctionFormation, LayerStats, ModuleFormation};
 pub use checkpoint::{
-    cell_path, fnv1a, git_rev, sanitize, CellRecord, CellStatus, RunManifest, MANIFEST_FILE,
+    cell_path, fnv1a, git_rev, sanitize, CellRecord, CellStatus, ManifestRecovery, RunManifest,
+    MANIFEST_FILE,
 };
 pub use config::{EvalConfig, RegionConfig};
+pub use diskcache::{result_key, DiskCache, DiskRecovery, DiskStats};
 pub use dynamic::{validate_dynamic, DynamicReport};
 pub use harness::{
     fig13, fig6, fig8, render_cell, render_figure_pair, table1, table2, table3, table4, Suite,
@@ -47,6 +51,10 @@ pub use pipeline::{
     baseline_time, baseline_time_cached, form_function, program_time, program_time_cached,
     program_time_robust, schedule_function, speedup, speedup_with_baseline, RobustModuleReport,
     ScheduledRegion,
+};
+pub use records::{
+    check as check_record, escape as escape_record, recover as recover_records,
+    seal as seal_record, unescape as unescape_record, LineCheck, Recovery,
 };
 pub use report::{containment_table, degradation_table, f2, f3, Table};
 pub use runner::{

@@ -1,0 +1,278 @@
+//! Checksummed line records: the crash-safe framing shared by the
+//! checkpoint manifest and the serve disk cache.
+//!
+//! PR 3's checkpoint manifest is line-oriented plain text, written with
+//! atomic tmp-file + rename. That protects against a crash mid-*rewrite*,
+//! but two durability holes remained:
+//!
+//! * an **append-only log** (the serve cache tier) cannot use
+//!   rewrite-and-rename per record — a `kill -9` mid-append leaves a torn
+//!   final line, and nothing distinguished "torn" from "corrupt";
+//! * a manifest line damaged after the fact (truncation, manual edit)
+//!   made `tgc eval --resume` bail entirely instead of re-running only
+//!   the lost cell.
+//!
+//! This module closes both with one convention: a record is one line of
+//! payload followed by ` ~<fnv1a-64 of the payload, 16 hex digits>`. A
+//! reader can then classify every line:
+//!
+//! * **sealed + verified** — the payload is intact, replay it;
+//! * **legacy** (no seal) — a pre-checksum line; trusted for backward
+//!   compatibility unless it is a torn tail (see below);
+//! * **torn/corrupt** — the seal does not verify, or the file ends
+//!   without a final newline. Recovery *truncates from the first bad
+//!   record onward*: in an append-only log only the tail can be damaged
+//!   by a crash, so everything after the first bad record is suspect.
+//!
+//! Payloads are single lines; [`escape`]/[`unescape`] fold arbitrary text
+//! (newlines, backslashes) into one line losslessly so multi-line values
+//! (rendered schedules) can ride in one record.
+
+use crate::checkpoint::fnv1a;
+
+/// The separator between a record's payload and its seal.
+pub const SEAL_MARK: &str = " ~";
+
+/// Seals a single-line payload: appends ` ~<fnv1a-64 hex>` over the
+/// payload bytes. The payload must not contain a newline (escape it
+/// first — see [`escape`]).
+pub fn seal(payload: &str) -> String {
+    debug_assert!(!payload.contains('\n'), "seal() takes a single line");
+    format!("{payload}{SEAL_MARK}{:016x}", fnv1a(payload.as_bytes()))
+}
+
+/// How a reader should treat one line of a record file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LineCheck {
+    /// The line carries a seal and it verifies; the payload is intact.
+    Sealed(String),
+    /// The line carries no seal (written before checksumming existed).
+    Legacy(String),
+    /// The line carries a seal that does not verify: a torn append or
+    /// later corruption.
+    Corrupt,
+}
+
+/// Classifies one line. A seal is the *last* ` ~` followed by exactly 16
+/// hex digits at end of line; anything else is a legacy line.
+pub fn check(line: &str) -> LineCheck {
+    if let Some(idx) = line.rfind(SEAL_MARK) {
+        let (payload, rest) = line.split_at(idx);
+        let digest = &rest[SEAL_MARK.len()..];
+        if digest.len() == 16 && digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return match u64::from_str_radix(digest, 16) {
+                Ok(d) if d == fnv1a(payload.as_bytes()) => LineCheck::Sealed(payload.to_string()),
+                _ => LineCheck::Corrupt,
+            };
+        }
+    }
+    LineCheck::Legacy(line.to_string())
+}
+
+/// The result of scanning a record file after a possible crash.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Recovery {
+    /// The surviving payloads, in file order.
+    pub lines: Vec<String>,
+    /// How many trailing lines were dropped (torn or corrupt).
+    pub dropped: usize,
+    /// Whether the file ended without a final newline (a torn append).
+    pub torn_tail: bool,
+}
+
+impl Recovery {
+    /// `true` when the file needed repair (anything was dropped or the
+    /// tail was torn).
+    pub fn needed_repair(&self) -> bool {
+        self.dropped > 0 || self.torn_tail
+    }
+}
+
+/// Scans raw file text and recovers the surviving records.
+///
+/// Truncation semantics: scanning stops at the first bad record — a
+/// corrupt seal, or an unsealed line that is the file's unterminated
+/// final line — and everything from there on is dropped. In an
+/// append-only log only the tail can be crash-damaged, so a bad record
+/// means the log ends there.
+pub fn recover(text: &str) -> Recovery {
+    let terminated = text.is_empty() || text.ends_with('\n');
+    let raw: Vec<&str> = text.lines().collect();
+    let mut out = Recovery::default();
+    for (i, line) in raw.iter().enumerate() {
+        let last = i + 1 == raw.len();
+        match check(line) {
+            // A sealed line that verifies is intact even without a final
+            // newline (the seal is the evidence the append completed),
+            // but the missing newline still needs repair — a later append
+            // would otherwise concatenate onto it.
+            LineCheck::Sealed(p) => {
+                out.lines.push(p);
+                if last && !terminated {
+                    out.torn_tail = true;
+                }
+            }
+            // A legacy line is trusted unless it is an unterminated tail:
+            // with no seal and no newline there is no evidence the append
+            // completed.
+            LineCheck::Legacy(p) => {
+                if last && !terminated {
+                    out.dropped = raw.len() - i;
+                    out.torn_tail = true;
+                    return out;
+                }
+                out.lines.push(p);
+            }
+            LineCheck::Corrupt => {
+                out.dropped = raw.len() - i;
+                out.torn_tail = last && !terminated;
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Folds arbitrary text into a single line: `\` → `\\`, newline → `\n`,
+/// carriage return → `\r`. Lossless inverse: [`unescape`].
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]. Unknown escapes pass through verbatim (the
+/// escaped byte is kept), so a damaged payload cannot panic the reader.
+pub fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_and_check_round_trip() {
+        let line = seal("cell table1 done 8a1b 1");
+        assert_eq!(
+            check(&line),
+            LineCheck::Sealed("cell table1 done 8a1b 1".into())
+        );
+        // Any payload damage is detected.
+        let tampered = line.replace("table1", "table2");
+        assert_eq!(check(&tampered), LineCheck::Corrupt);
+        // Truncated seal digits are not mistaken for a seal.
+        let truncated = &line[..line.len() - 3];
+        assert!(matches!(check(truncated), LineCheck::Legacy(_)));
+    }
+
+    #[test]
+    fn unsealed_lines_are_legacy() {
+        assert_eq!(check("plain line"), LineCheck::Legacy("plain line".into()));
+        // A ` ~` that is not followed by 16 hex digits is payload text.
+        assert_eq!(check("a ~tilde"), LineCheck::Legacy("a ~tilde".into()));
+    }
+
+    #[test]
+    fn recover_keeps_intact_files() {
+        let text = format!("{}\n{}\n", seal("one"), seal("two"));
+        let r = recover(&text);
+        assert_eq!(r.lines, vec!["one", "two"]);
+        assert!(!r.needed_repair());
+        assert_eq!(recover(""), Recovery::default());
+    }
+
+    #[test]
+    fn recover_truncates_torn_tail() {
+        // Simulate kill -9 mid-append: the final record lost its tail.
+        let good = seal("one");
+        let torn = &seal("two")[..8];
+        let text = format!("{good}\n{torn}");
+        let r = recover(&text);
+        assert_eq!(r.lines, vec!["one"]);
+        assert_eq!(r.dropped, 1);
+        assert!(r.torn_tail);
+        assert!(r.needed_repair());
+    }
+
+    #[test]
+    fn recover_stops_at_first_corrupt_record() {
+        // Mid-file corruption drops everything from the bad record on —
+        // in an append-only log nothing after it is trustworthy.
+        let text = format!(
+            "{}\ngarbage ~0123456789abcdef\n{}\n",
+            seal("one"),
+            seal("three")
+        );
+        let r = recover(&text);
+        assert_eq!(r.lines, vec!["one"]);
+        assert_eq!(r.dropped, 2);
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn recover_tolerates_terminated_legacy_lines() {
+        let text = format!("legacy header\n{}\n", seal("sealed"));
+        let r = recover(&text);
+        assert_eq!(r.lines, vec!["legacy header", "sealed"]);
+        assert!(!r.needed_repair());
+        // ...but drops an unterminated legacy tail.
+        let text = format!("{}\nhalf a lin", seal("sealed"));
+        let r = recover(&text);
+        assert_eq!(r.lines, vec!["sealed"]);
+        assert!(r.torn_tail);
+    }
+
+    #[test]
+    fn sealed_unterminated_tail_is_kept_but_flagged() {
+        // The seal proves the append completed; only the newline is
+        // missing. The record survives, but the file needs compaction so
+        // the next append starts on a fresh line.
+        let text = format!("{}\n{}", seal("one"), seal("two"));
+        let r = recover(&text);
+        assert_eq!(r.lines, vec!["one", "two"]);
+        assert_eq!(r.dropped, 0);
+        assert!(r.torn_tail);
+        assert!(r.needed_repair());
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in [
+            "",
+            "plain",
+            "two\nlines",
+            "back\\slash",
+            "\r\n mixed \\n literal",
+            "trailing\\",
+        ] {
+            assert_eq!(unescape(&escape(s)), s, "{s:?}");
+            assert!(!escape(s).contains('\n'));
+        }
+        // Damaged escapes do not panic.
+        assert_eq!(unescape("bad \\q escape"), "bad q escape");
+        assert_eq!(unescape("dangling\\"), "dangling\\");
+    }
+}

@@ -1,0 +1,142 @@
+//! Bounded admission with load-shedding backpressure.
+//!
+//! The daemon must not grow memory without bound under overload: every
+//! module of every in-flight batch holds one admission slot, and once
+//! the high-water mark is reached further modules are **shed** — the
+//! client gets a structured `shed` result with a retry hint instead of
+//! the request silently queueing. Shedding is deterministic: slots are
+//! taken in batch order at admission time (before the parallel fan-out),
+//! so the same overload always sheds the same suffix of a batch.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Inner {
+    inflight: AtomicUsize,
+    high_water: usize,
+    shed: AtomicU64,
+    admitted: AtomicU64,
+    retry_after_ms: u64,
+}
+
+/// The admission gate, shared by every connection handler.
+#[derive(Clone)]
+pub struct Admission {
+    inner: Arc<Inner>,
+}
+
+/// An RAII admission slot: dropping it releases the slot.
+#[derive(Debug)]
+pub struct Permit {
+    inner: Arc<Inner>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.inner.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl Admission {
+    /// A gate admitting at most `high_water` modules at once;
+    /// `retry_after_ms` is the hint shed results carry.
+    pub fn new(high_water: usize, retry_after_ms: u64) -> Self {
+        Admission {
+            inner: Arc::new(Inner {
+                inflight: AtomicUsize::new(0),
+                high_water: high_water.max(1),
+                shed: AtomicU64::new(0),
+                admitted: AtomicU64::new(0),
+                retry_after_ms,
+            }),
+        }
+    }
+
+    /// Tries to take one slot. `Err(retry_after_ms)` when the gate is at
+    /// its high-water mark (the shed counter is bumped).
+    ///
+    /// # Errors
+    ///
+    /// The error value is the retry hint in milliseconds.
+    pub fn try_admit(&self) -> Result<Permit, u64> {
+        let mut cur = self.inner.inflight.load(Ordering::Acquire);
+        loop {
+            if cur >= self.inner.high_water {
+                self.inner.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(self.inner.retry_after_ms);
+            }
+            match self.inner.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.inner.admitted.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Permit {
+                        inner: Arc::clone(&self.inner),
+                    });
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Modules currently holding slots.
+    pub fn inflight(&self) -> usize {
+        self.inner.inflight.load(Ordering::Acquire)
+    }
+
+    /// Total modules shed since startup.
+    pub fn shed(&self) -> u64 {
+        self.inner.shed.load(Ordering::Relaxed)
+    }
+
+    /// Total modules admitted since startup.
+    pub fn admitted(&self) -> u64 {
+        self.inner.admitted.load(Ordering::Relaxed)
+    }
+
+    /// The configured high-water mark.
+    pub fn high_water(&self) -> usize {
+        self.inner.high_water
+    }
+
+    /// The retry hint shed results carry, in milliseconds.
+    pub fn retry_after_ms(&self) -> u64 {
+        self.inner.retry_after_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_deterministically_past_high_water() {
+        let gate = Admission::new(2, 50);
+        let a = gate.try_admit().unwrap();
+        let b = gate.try_admit().unwrap();
+        assert_eq!(gate.inflight(), 2);
+        // Third module of the "batch" sheds with the retry hint.
+        assert_eq!(gate.try_admit().unwrap_err(), 50);
+        assert_eq!(gate.try_admit().unwrap_err(), 50);
+        assert_eq!(gate.shed(), 2);
+        drop(a);
+        // A released slot admits again.
+        let c = gate.try_admit().unwrap();
+        assert_eq!(gate.inflight(), 2);
+        drop((b, c));
+        assert_eq!(gate.inflight(), 0);
+        assert_eq!(gate.admitted(), 3);
+    }
+
+    #[test]
+    fn zero_high_water_is_clamped_to_one() {
+        let gate = Admission::new(0, 10);
+        assert_eq!(gate.high_water(), 1);
+        let _p = gate.try_admit().unwrap();
+        assert!(gate.try_admit().is_err());
+    }
+}

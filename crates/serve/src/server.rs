@@ -1,0 +1,264 @@
+//! The TCP front end: accept loop, per-connection handlers, graceful
+//! drain.
+//!
+//! The accept loop is non-blocking with a short poll so the drain flag
+//! is observed promptly; each connection gets a blocking handler thread
+//! (connections are few — this is a build-farm service, not a web
+//! server). `shutdown` flips the drain flag: the loop stops accepting,
+//! waits for every admission slot to free (in-flight batches finish and
+//! their replies go out), force-closes idle connections to unblock
+//! their readers, joins every handler, and checkpoints the durable
+//! cache. Crash safety does **not** depend on the graceful path — every
+//! cache write is already fsynced — the checkpoint merely compacts.
+
+use crate::admission::Admission;
+use crate::engine::{Engine, EngineConfig, ModuleReply};
+use crate::protocol::{parse_request, read_frame, render_response, write_frame, Request, Verb};
+use crate::stats::bump;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server construction options.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Engine options (cache file, quarantine dir, default deadline).
+    pub engine: EngineConfig,
+    /// Admission high-water mark: modules in flight at once.
+    pub queue_max: usize,
+    /// Retry hint carried by shed replies, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            engine: EngineConfig::default(),
+            queue_max: 64,
+            retry_after_ms: 100,
+        }
+    }
+}
+
+/// A bound (not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    admission: Admission,
+    drain: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Opens the engine (running cache recovery and the quarantine
+    /// ledger replay) and binds the listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and cache-recovery failures.
+    pub fn bind(config: &ServerConfig) -> Result<Server, String> {
+        let engine = Arc::new(Engine::open(&config.engine)?);
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        Ok(Server {
+            listener,
+            engine,
+            admission: Admission::new(config.queue_max.max(1), config.retry_after_ms),
+            drain: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (read this for `:0` ephemeral binds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error.
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener.local_addr().map_err(|e| e.to_string())
+    }
+
+    /// Shared handle to the engine (counters, stats, quarantine ledger)
+    /// — stays valid after [`Server::run`] returns.
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// A handle that trips the drain from outside the protocol (tests,
+    /// embedders). The `shutdown` verb flips the same flag.
+    pub fn drain_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.drain)
+    }
+
+    /// Runs until drained: accepts connections, serves requests, and on
+    /// `shutdown` finishes in-flight work, joins every handler, and
+    /// checkpoints the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener failures and the final checkpoint error.
+    pub fn run(self) -> Result<(), String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let handlers: Mutex<Vec<(std::thread::JoinHandle<()>, TcpStream)>> = Mutex::new(Vec::new());
+        while !self.drain.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let peer_copy = stream
+                        .try_clone()
+                        .map_err(|e| format!("clone stream: {e}"))?;
+                    let engine = Arc::clone(&self.engine);
+                    let admission = self.admission.clone();
+                    let drain = Arc::clone(&self.drain);
+                    let handle = std::thread::spawn(move || {
+                        handle_connection(stream, &engine, &admission, &drain);
+                    });
+                    lock(&handlers).push((handle, peer_copy));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(15));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+        // Drain: in-flight batches hold admission slots until their
+        // replies are rendered; wait for the slots to free (bounded so a
+        // wedged handler cannot hold the drain hostage), give the final
+        // reply writes a beat, then unblock idle readers and join.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while self.admission.inflight() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let mut handlers = lock(&handlers);
+        for (_, stream) in handlers.iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for (handle, _) in handlers.drain(..) {
+            let _ = handle.join();
+        }
+        self.engine.checkpoint()
+    }
+}
+
+/// Serves one connection until EOF, a dead socket, or drain.
+fn handle_connection(
+    mut stream: TcpStream,
+    engine: &Engine,
+    admission: &Admission,
+    drain: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // peer hung up cleanly
+            Err(_) => return,   // dead or force-closed socket
+        };
+        bump(&engine.stats.requests);
+        let req = match parse_request(&frame) {
+            Ok(r) => r,
+            Err(msg) => {
+                // Framing is intact, so the connection survives a bad
+                // request; only the request is rejected.
+                let reply = render_response("error", &[("reason", msg)], "");
+                if write_frame(&mut stream, &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        match req.verb {
+            Verb::Ping => {
+                if write_frame(&mut stream, &render_response("pong", &[], "")).is_err() {
+                    return;
+                }
+            }
+            Verb::Stats => {
+                let body = engine.render_stats(admission.inflight(), admission.high_water());
+                if write_frame(&mut stream, &render_response("stats", &[], &body)).is_err() {
+                    return;
+                }
+            }
+            Verb::Shutdown => {
+                let _ = write_frame(&mut stream, &render_response("draining", &[], ""));
+                drain.store(true, Ordering::Release);
+                return;
+            }
+            Verb::Compile => {
+                if serve_batch(&mut stream, engine, admission, &req).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Runs one compile batch and streams the per-module `result` frames in
+/// input order, closed by a `batch-end` frame.
+fn serve_batch(
+    stream: &mut TcpStream,
+    engine: &Engine,
+    admission: &Admission,
+    req: &Request,
+) -> Result<(), String> {
+    let replies = engine.process_batch(admission, &req.options, &req.modules);
+    let (mut ok, mut errors, mut shed) = (0u64, 0u64, 0u64);
+    for (i, reply) in replies.iter().enumerate() {
+        let index = ("index", i.to_string());
+        let frame = match reply {
+            ModuleReply::Ok { warm, payload } => {
+                ok += 1;
+                let tier = ("cache", if *warm { "warm" } else { "cold" }.to_string());
+                render_response("result ok", &[index, tier], payload)
+            }
+            ModuleReply::Err {
+                cause,
+                detail,
+                quarantined,
+            } => {
+                errors += 1;
+                render_response(
+                    "result error",
+                    &[
+                        index,
+                        ("cause", cause.clone()),
+                        ("detail", detail.clone()),
+                        ("quarantined", quarantined.to_string()),
+                    ],
+                    "",
+                )
+            }
+            ModuleReply::Shed { retry_after_ms } => {
+                shed += 1;
+                render_response(
+                    "result shed",
+                    &[index, ("retry-after-ms", retry_after_ms.to_string())],
+                    "",
+                )
+            }
+        };
+        write_frame(stream, &frame)?;
+    }
+    write_frame(
+        stream,
+        &render_response(
+            "batch-end",
+            &[
+                ("modules", replies.len().to_string()),
+                ("ok", ok.to_string()),
+                ("errors", errors.to_string()),
+                ("shed", shed.to_string()),
+            ],
+            "",
+        ),
+    )
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

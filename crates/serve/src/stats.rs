@@ -1,0 +1,151 @@
+//! Server-wide counters and the `/stats` report.
+//!
+//! Every counter is a relaxed atomic — stats are observability, not
+//! control flow — and the rendered report is the same line-oriented
+//! `key value` text as the rest of the workspace, so the CI smoke job
+//! can `grep` it. Per-stage timings come from the engine's shared
+//! [`treegion::Profiler`], the same `PassObserver` hooks that feed
+//! `tgc schedule --profile`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use treegion::Profiler;
+use treegion_eval::{CacheStats, DiskRecovery};
+
+/// Monotonic service counters (see [`ServeStats::render`] for the keys).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Request frames accepted (any verb).
+    pub requests: AtomicU64,
+    /// Compile batches processed.
+    pub batches: AtomicU64,
+    /// Modules scheduled successfully (warm or cold).
+    pub ok: AtomicU64,
+    /// Modules answered with a structured error.
+    pub errors: AtomicU64,
+    /// Modules shed by admission control.
+    pub shed: AtomicU64,
+    /// Contained crashes (panic or watchdog/deadline escalation).
+    pub contained: AtomicU64,
+    /// Deadline trips among the contained crashes.
+    pub deadline: AtomicU64,
+    /// New quarantine files written.
+    pub quarantined: AtomicU64,
+    /// Known-quarantined modules fast-rejected without re-running.
+    pub quarantine_rejects: AtomicU64,
+    /// Modules served from the durable cache.
+    pub warm: AtomicU64,
+    /// Modules scheduled cold (and, when cacheable, stored).
+    pub cold: AtomicU64,
+}
+
+/// Bumps a counter by one.
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+impl ServeStats {
+    /// Renders the `/stats` body: service counters, cache layers (warm /
+    /// cold hit rates and the startup recovery verdict), and per-stage
+    /// timings.
+    pub fn render(
+        &self,
+        cache: &CacheStats,
+        recovery: Option<DiskRecovery>,
+        profiler: &Profiler,
+        inflight: usize,
+        high_water: usize,
+    ) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut out = String::new();
+        let mut kv = |k: &str, v: String| out.push_str(&format!("{k} {v}\n"));
+        kv("requests", g(&self.requests).to_string());
+        kv("batches", g(&self.batches).to_string());
+        kv("ok", g(&self.ok).to_string());
+        kv("errors", g(&self.errors).to_string());
+        kv("shed", g(&self.shed).to_string());
+        kv("contained", g(&self.contained).to_string());
+        kv("deadline", g(&self.deadline).to_string());
+        kv("quarantined", g(&self.quarantined).to_string());
+        kv(
+            "quarantine-rejects",
+            g(&self.quarantine_rejects).to_string(),
+        );
+        kv("cache-warm", g(&self.warm).to_string());
+        kv("cache-cold", g(&self.cold).to_string());
+        let (w, c) = (g(&self.warm), g(&self.cold));
+        let rate = if w + c == 0 {
+            0.0
+        } else {
+            w as f64 / (w + c) as f64
+        };
+        kv("cache-warm-rate", format!("{rate:.3}"));
+        kv("inflight", inflight.to_string());
+        kv("high-water", high_water.to_string());
+        kv(
+            "disk-tier",
+            format!("hits={} misses={}", cache.disk.hits, cache.disk.misses),
+        );
+        kv(
+            "formation-tier",
+            format!(
+                "hits={} misses={}",
+                cache.formation.hits, cache.formation.misses
+            ),
+        );
+        if let Some(r) = recovery {
+            kv(
+                "cache-recovery",
+                format!(
+                    "replayed={} dropped={} torn-tail={} compacted={}",
+                    r.replayed, r.dropped, r.torn_tail, r.compacted
+                ),
+            );
+        }
+        for p in profiler.report() {
+            kv(
+                &format!("stage-{}", p.stage.name()),
+                format!("ns={} calls={}", p.nanos, p.calls),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_carries_every_counter() {
+        let s = ServeStats::default();
+        bump(&s.ok);
+        bump(&s.ok);
+        bump(&s.warm);
+        bump(&s.shed);
+        let text = s.render(&CacheStats::default(), None, &Profiler::new(), 3, 64);
+        assert!(text.contains("ok 2\n"), "{text}");
+        assert!(text.contains("shed 1\n"), "{text}");
+        assert!(text.contains("cache-warm 1\n"), "{text}");
+        assert!(text.contains("cache-warm-rate 1.000\n"), "{text}");
+        assert!(text.contains("inflight 3\n"), "{text}");
+        assert!(text.contains("high-water 64\n"), "{text}");
+        assert!(text.contains("stage-formation"), "{text}");
+        // Recovery line appears when a scan ran.
+        let text = s.render(
+            &CacheStats::default(),
+            Some(DiskRecovery {
+                replayed: 2,
+                dropped: 1,
+                torn_tail: true,
+                compacted: true,
+            }),
+            &Profiler::new(),
+            0,
+            64,
+        );
+        assert!(
+            text.contains("cache-recovery replayed=2 dropped=1 torn-tail=true compacted=true"),
+            "{text}"
+        );
+    }
+}
