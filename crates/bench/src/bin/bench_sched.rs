@@ -20,6 +20,7 @@
 //!
 //! ```text
 //! bench_sched [--quick] [--check] [--out PATH] [--regress BASELINE.json]
+//!             [--states]
 //! ```
 //!
 //! `--quick` (or `BENCH_QUICK=1`) runs a reduced suite with fewer
@@ -28,10 +29,12 @@
 //! (parallelism must never cost more than scheduling noise). `--out`
 //! overrides the output path (default `BENCH_sched.json` in the current
 //! directory, i.e. the repository root when run via `cargo run`).
-//! `--regress BASELINE.json` exits non-zero if `schedule_region`,
-//! `ddg_build`, `serve_cold`, or `serve_warm` regresses more than 1.3×
-//! against the committed baseline file (the per-kernel CI regression
-//! bound).
+//! `--regress BASELINE.json` exits non-zero if `ddg_build`,
+//! `list_sched`, `schedule_region`, `hazard_probe`, `serve_cold`, or
+//! `serve_warm` regresses more than 1.3× against the committed baseline
+//! file (the per-kernel CI regression bound). `--states` prints the
+//! hazard-automaton state count of every machine preset and exits — the
+//! CI guard against state-space blowups.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -42,13 +45,23 @@ use treegion::{
 use treegion_bench::bench_module;
 use treegion_eval::{fig13, fig6, fig8, table1, table2, table3, table4, Suite};
 use treegion_ir::Module;
-use treegion_machine::MachineModel;
+use treegion_machine::{MachineModel, OpClass};
 
 struct Config {
     quick: bool,
     check: bool,
     out: String,
     regress: Option<String>,
+}
+
+/// The machine presets whose automatons `--states` reports.
+fn presets() -> [MachineModel; 4] {
+    [
+        MachineModel::model_1u(),
+        MachineModel::model_4u(),
+        MachineModel::model_8u(),
+        MachineModel::model_4u_asym(),
+    ]
 }
 
 fn parse_config() -> Config {
@@ -65,10 +78,21 @@ fn parse_config() -> Config {
             "--check" => cfg.check = true,
             "--out" => cfg.out = it.next().expect("--out needs a path"),
             "--regress" => cfg.regress = Some(it.next().expect("--regress needs a path")),
+            "--states" => {
+                for m in presets() {
+                    println!(
+                        "state-count {} {}",
+                        m.name(),
+                        m.hazard_automaton().state_count()
+                    );
+                }
+                std::process::exit(0);
+            }
             other => {
                 eprintln!("bench_sched: unknown argument `{other}`");
                 eprintln!(
-                    "usage: bench_sched [--quick] [--check] [--out PATH] [--regress BASELINE.json]"
+                    "usage: bench_sched [--quick] [--check] [--out PATH] \
+                     [--regress BASELINE.json] [--states]"
                 );
                 std::process::exit(1);
             }
@@ -131,6 +155,47 @@ fn best_stages(reps: usize, mut run: impl FnMut() -> Profiler) -> ([u128; 5], u1
         best_sched = best_sched.min(rep[2] + rep[3]);
     }
     (best, best_sched)
+}
+
+/// ns per `go` probe on the asymmetric preset: a tight chase through the
+/// precomputed transition table over a fixed mixed-class pattern,
+/// restarting from the empty-cycle state on every hazard. This is the
+/// scheduler inner loop's resource check in isolation — the kernel the
+/// automaton rewrite optimizes — and the regression gate on it catches a
+/// table-layout or interning change that turns the O(1) probe back into
+/// something slower.
+fn hazard_probe_kernel(reps: usize, iters: usize) -> f64 {
+    let m = MachineModel::model_4u_asym();
+    let auto = m.hazard_automaton();
+    let pattern = [
+        OpClass::Alu,
+        OpClass::Mem,
+        OpClass::Alu,
+        OpClass::Branch,
+        OpClass::Mem,
+        OpClass::Alu,
+        OpClass::FDiv,
+        OpClass::Alu,
+    ];
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut state = auto.start();
+        let mut hazards = 0u64;
+        let t0 = Instant::now();
+        for i in 0..iters {
+            match auto.go(state, pattern[i & 7]) {
+                Some(next) => state = next,
+                None => {
+                    hazards += 1;
+                    state = auto.start();
+                }
+            }
+        }
+        let ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        std::hint::black_box((state, hazards));
+        best = best.min(ns);
+    }
+    best
 }
 
 /// us-per-request through the serve engine's `process_batch`: best-of-
@@ -262,6 +327,10 @@ fn main() {
     let (td_stage_ns, _) = best_stages(reps, || profiled_run(&module, &tree_td, &m8, &opts));
     let formation_td_ns = td_stage_ns[0];
 
+    // --- Hazard-probe micro-kernel (ns per table probe). ---
+    let probe_iters = if cfg.quick { 1_000_000 } else { 4_000_000 };
+    let hazard_probe_ns = hazard_probe_kernel(reps, probe_iters);
+
     // --- Serve engine kernel (cold vs warm, us per request). ---
     let serve_n = if cfg.quick { 8 } else { 32 };
     let (serve_cold_us, serve_warm_us) = serve_kernel(reps, serve_n);
@@ -288,7 +357,7 @@ fn main() {
     let per = |total_ns: u128, ops: u128| total_ns as f64 / ops.max(1) as f64;
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"treegion-bench-sched/v3\",");
+    let _ = writeln!(j, "  \"schema\": \"treegion-bench-sched/v4\",");
     let _ = writeln!(
         j,
         "  \"mode\": \"{}\",",
@@ -315,9 +384,24 @@ fn main() {
     );
     let _ = writeln!(
         j,
-        "    \"schedule_region\": {:.2}",
+        "    \"schedule_region\": {:.2},",
         per(sched_ns, lowered_ops)
     );
+    let _ = writeln!(j, "    \"hazard_probe\": {hazard_probe_ns:.2}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"automaton_states\": {{");
+    {
+        let ps = presets();
+        for (k, m) in ps.iter().enumerate() {
+            let comma = if k + 1 < ps.len() { "," } else { "" };
+            let _ = writeln!(
+                j,
+                "    \"{}\": {}{comma}",
+                m.name(),
+                m.hazard_automaton().state_count()
+            );
+        }
+    }
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"serve_us_per_req\": {{");
     let _ = writeln!(j, "    \"serve_cold\": {serve_cold_us:.2},");
@@ -357,7 +441,9 @@ fn main() {
         let mut failed = false;
         for (key, current) in [
             ("ddg_build", per(ddg_ns, lowered_ops)),
+            ("list_sched", per(list_sched_ns, lowered_ops)),
             ("schedule_region", per(sched_ns, lowered_ops)),
+            ("hazard_probe", hazard_probe_ns),
             ("serve_cold", serve_cold_us),
             ("serve_warm", serve_warm_us),
         ] {

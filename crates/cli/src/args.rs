@@ -31,16 +31,18 @@ pub fn parse_kind(s: &str) -> Result<RegionConfig, ArgError> {
     }
 }
 
-/// Parses a `--machine` value: `1u`, `4u`, `8u`, or a bare issue width.
+/// Parses a `--machine` value: `1u`, `4u`, `8u`, `4u-asym`, or a bare
+/// issue width.
 pub fn parse_machine(s: &str) -> Result<MachineModel, ArgError> {
     match s.to_ascii_lowercase().as_str() {
         "1u" => Ok(MachineModel::model_1u()),
         "4u" => Ok(MachineModel::model_4u()),
         "8u" => Ok(MachineModel::model_8u()),
+        "4u-asym" => Ok(MachineModel::model_4u_asym()),
         other => {
             let width: usize = other
                 .parse()
-                .map_err(|_| ArgError(format!("unknown machine `{s}` (1u|4u|8u|WIDTH)")))?;
+                .map_err(|_| ArgError(format!("unknown machine `{s}` (1u|4u|8u|4u-asym|WIDTH)")))?;
             if width == 0 {
                 return Err(ArgError("issue width must be positive".into()));
             }

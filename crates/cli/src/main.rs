@@ -183,7 +183,7 @@ tgc — treegion compiler driver
 USAGE:
   tgc print    FILE.tir
   tgc regions  FILE.tir [--kind bb|slr|sb|tree|tree-td[:LIMIT]]
-  tgc schedule FILE.tir [--kind K] [--machine 1u|4u|8u|WIDTH]
+  tgc schedule FILE.tir [--kind K] [--machine 1u|4u|8u|4u-asym|WIDTH]
                [--heuristic dep-height|exit-count|global-weight|weighted-count]
                [--dompar] [--verify off|warn|strict] [--fallback none|slr|bb]
                [--fault-seed N] [--jobs N]
@@ -378,7 +378,7 @@ fn cmd_schedule(opts: &Options) -> Result<Vec<DegradationEvent>, String> {
     }
     println!("total estimated time: {total}");
     if opts.profile {
-        print_profile(&profiler, functions);
+        print_profile(&profiler, functions, &opts.machine);
     }
     Ok(events)
 }
@@ -388,7 +388,7 @@ fn cmd_schedule(opts: &Options) -> Result<Vec<DegradationEvent>, String> {
 /// same stage brackets the driver fires on every run, not a separate
 /// replay. Stages that never fired (e.g. `verify` under `--verify off`)
 /// still print, with zero calls.
-fn print_profile(profiler: &Profiler, functions: usize) {
+fn print_profile(profiler: &Profiler, functions: usize, machine: &treegion_machine::MachineModel) {
     let report = profiler.report();
     let total: u128 = profiler.total_nanos();
     let regions: usize = report
@@ -412,6 +412,19 @@ fn print_profile(profiler: &Profiler, functions: usize) {
         row(p.stage.name(), p.nanos, Some(p.calls));
     }
     row("total", total, None);
+    // Hazard-automaton counters, sourced from the list-sched stage stats
+    // (the scheduler publishes them through the same observer hooks).
+    let sched_stats = report
+        .iter()
+        .find(|p| p.stage == treegion::Stage::ListSched)
+        .map(|p| p.stats)
+        .unwrap_or_default();
+    println!(
+        "  automaton  {} state(s), {} hazard hit(s), {} deferral park(s)",
+        machine.hazard_automaton().state_count(),
+        sched_stats.hazard_hits,
+        sched_stats.deferral_parks,
+    );
 }
 
 fn cmd_run(opts: &Options) -> Result<Vec<DegradationEvent>, String> {

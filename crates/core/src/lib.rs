@@ -53,8 +53,8 @@ pub use region::{ExitEdge, Region, RegionId, RegionKind, RegionSet};
 pub use robust::schedule_function_robust;
 pub use robust::{carve_bb, carve_slr, RegionOutcome, RobustOptions, RobustResult};
 pub use sched::{
-    render_schedule, schedule_region, schedule_with_ddg, try_schedule_region,
-    try_schedule_with_ddg, Schedule, ScheduleOptions, TieBreak,
+    last_sched_metrics, render_schedule, schedule_region, schedule_with_ddg, try_schedule_region,
+    try_schedule_with_ddg, SchedMetrics, Schedule, ScheduleOptions, TieBreak,
 };
 #[cfg(debug_assertions)]
 pub use sched_ref::schedule_with_ddg_reference;

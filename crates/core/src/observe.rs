@@ -98,6 +98,12 @@ pub struct StageStats {
     pub ops: usize,
     /// DDG edges involved (0 where not applicable).
     pub edges: usize,
+    /// Hazard-automaton probe rejections during list scheduling (0 for
+    /// other stages). See [`crate::SchedMetrics`].
+    pub hazard_hits: u64,
+    /// Ready entries parked on a class deferral list during list
+    /// scheduling (0 for other stages). See [`crate::SchedMetrics`].
+    pub deferral_parks: u64,
 }
 
 /// Hook interface threaded through every [`crate::Pipeline`] stage.
@@ -221,6 +227,8 @@ impl PassObserver for Profiler {
         a.stats.regions += stats.regions;
         a.stats.ops += stats.ops;
         a.stats.edges += stats.edges;
+        a.stats.hazard_hits += stats.hazard_hits;
+        a.stats.deferral_parks += stats.deferral_parks;
     }
 }
 
@@ -296,6 +304,8 @@ mod tests {
                 regions: 1,
                 ops: 5,
                 edges: 0,
+                hazard_hits: 2,
+                deferral_parks: 1,
             },
         );
         p.stage_exit(
@@ -306,6 +316,8 @@ mod tests {
                 regions: 1,
                 ops: 7,
                 edges: 0,
+                hazard_hits: 3,
+                deferral_parks: 2,
             },
         );
         let report = p.report();
@@ -314,6 +326,8 @@ mod tests {
         assert_eq!(lowering.calls, 2);
         assert_eq!(lowering.nanos, 42);
         assert_eq!(lowering.stats.ops, 12);
+        assert_eq!(lowering.stats.hazard_hits, 5);
+        assert_eq!(lowering.stats.deferral_parks, 3);
         assert_eq!(p.total_nanos(), 42);
         assert_eq!(p.stage_nanos(Stage::Formation), 0);
     }

@@ -124,6 +124,7 @@ fn stage_form(f: &Function, former: &dyn RegionFormer, obs: &dyn PassObserver) -
             regions: out.regions.len(),
             ops: out.function.num_ops(),
             edges: 0,
+            ..StageStats::default()
         },
     );
     out
@@ -170,6 +171,7 @@ fn stage_lower_one(
             regions: 1,
             ops: lr.num_ops(),
             edges: 0,
+            ..StageStats::default()
         },
     );
     lr
@@ -261,11 +263,16 @@ impl<'m> Pipeline<'m> {
                 regions: 1,
                 ops: lr.num_ops(),
                 edges: ddg.edges().len(),
+                ..StageStats::default()
             },
         );
         obs.stage_enter(Stage::ListSched, scope);
         let t = Instant::now();
         let schedule = schedule_with_ddg(lr, &ddg, self.machine, &self.options.sched);
+        // The scheduler published its automaton counters for this run on
+        // this thread just before returning; fold them into the stage
+        // bracket so profilers see them.
+        let metrics = crate::sched::last_sched_metrics();
         obs.stage_exit(
             Stage::ListSched,
             scope,
@@ -274,6 +281,8 @@ impl<'m> Pipeline<'m> {
                 regions: 1,
                 ops: lr.num_ops(),
                 edges: ddg.edges().len(),
+                hazard_hits: metrics.hazard_hits,
+                deferral_parks: metrics.deferral_parks,
             },
         );
         schedule

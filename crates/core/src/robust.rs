@@ -396,6 +396,7 @@ fn attempt(
             regions: 1,
             ops: lr.num_ops(),
             edges: 0,
+            ..StageStats::default()
         },
     );
 
@@ -410,6 +411,7 @@ fn attempt(
             regions: 1,
             ops: lr.num_ops(),
             edges: true_ddg.edges().len(),
+            ..StageStats::default()
         },
     );
     let class: Option<FaultClass> = injector.as_deref_mut().and_then(FaultInjector::choose);
@@ -425,16 +427,18 @@ fn attempt(
         }
         _ => try_schedule_with_ddg(&lr, &true_ddg, m, &sched_opts, &opts.budgets)?,
     };
-    obs.stage_exit(
-        Stage::ListSched,
-        scope,
-        t.elapsed(),
+    obs.stage_exit(Stage::ListSched, scope, t.elapsed(), {
+        // Fold in the scheduler's automaton counters (published on
+        // this thread just before the schedule call returned).
+        let metrics = crate::sched::last_sched_metrics();
         StageStats {
             regions: 1,
             ops: lr.num_ops(),
             edges: true_ddg.edges().len(),
-        },
-    );
+            hazard_hits: metrics.hazard_hits,
+            deferral_parks: metrics.deferral_parks,
+        }
+    });
     let mut sched = sched;
     if let (Some(inj), Some(c)) = (injector, class) {
         if !c.is_pre_schedule() {
@@ -460,6 +464,7 @@ fn attempt(
             regions: 1,
             ops: lr.num_ops(),
             edges: true_ddg.edges().len(),
+            ..StageStats::default()
         },
     );
     match opts.verify {

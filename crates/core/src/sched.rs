@@ -20,7 +20,41 @@ use crate::heuristic::Heuristic;
 use crate::lower::{LOpKind, LoweredRegion};
 use std::collections::HashMap;
 use treegion_ir::Reg;
-use treegion_machine::MachineModel;
+use treegion_machine::{MachineModel, OpClass};
+
+/// Resource-automaton counters of one scheduler run (see
+/// [`last_sched_metrics`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedMetrics {
+    /// Interned states of the machine's hazard automaton.
+    pub automaton_states: usize,
+    /// Structural-hazard probe rejections (`go` returned `None`) while
+    /// popping ready ops.
+    pub hazard_hits: u64,
+    /// Ready entries parked on a class's deferral list until the cycle
+    /// ended (re-admission events are counted once per park).
+    pub deferral_parks: u64,
+}
+
+thread_local! {
+    static LAST_METRICS: std::cell::Cell<SchedMetrics> =
+        const { std::cell::Cell::new(SchedMetrics {
+            automaton_states: 0,
+            hazard_hits: 0,
+            deferral_parks: 0,
+        }) };
+}
+
+/// Counters of the most recent successful schedule call *on this thread*.
+///
+/// The scheduler's hot loop owns these numbers; the pipeline driver reads
+/// them immediately after `schedule_with_ddg` returns (stage brackets run
+/// on the worker thread that did the scheduling) and forwards them
+/// through the [`crate::PassObserver`] stage stats, which is how
+/// `--profile` and `tgc serve stats` report them.
+pub fn last_sched_metrics() -> SchedMetrics {
+    LAST_METRICS.with(|c| c.get())
+}
 
 /// How the list scheduler breaks ties between ops of equal heuristic
 /// priority.
@@ -256,11 +290,14 @@ pub fn try_schedule_with_ddg(
 struct Scratch {
     heights: Vec<u32>,
     base_key: Vec<ReadyKey>,
+    class_of: Vec<u8>,
+    exit_of: Vec<u32>,
+    home_of: Vec<u32>,
     op_state: Vec<OpState>,
     heap: Vec<ReadyEntry>,
     future: Vec<std::cmp::Reverse<(u32, u32)>>,
     staged: Vec<usize>,
-    deferred: Vec<ReadyEntry>,
+    parked: [Vec<ReadyEntry>; OpClass::COUNT],
     issued_this_cycle: Vec<usize>,
     issued_per_node: Vec<u32>,
     rr_snapshot: Vec<u32>,
@@ -297,22 +334,46 @@ fn schedule_inner(
     ddg.heights_into(lr, m, &mut scratch.heights);
     let heights = &scratch.heights;
 
-    // The static part of every op's ready-queue key, precomputed once.
-    // The seed re-sorted the avail vec on every issue pass, re-deriving
-    // branchness and re-comparing `[f64; 3]` priorities each time; here a
-    // heap pop yields the identical order from plain integer compares.
-    // Key packing is fused with priority computation (`key_components`
-    // is the body of `Heuristic::priorities`), skipping the intermediate
-    // `Vec<Priority>`.
-    scratch.base_key.clear();
-    scratch.base_key.extend((0..n).map(|i| ReadyKey {
-        branch: lr.lops[i].op.opcode.is_branch(),
-        prio: crate::heuristic::pack3(opts.heuristic.key_components(lr, i, heights[i])),
-        rr: !0u32,
-        idx: !(i as u32),
-    }));
-    let base_key = &scratch.base_key;
+    // The static part of every op's scheduling identity, precomputed in
+    // one fused pass over the lop table: the ready-queue key (the seed
+    // re-sorted the avail vec on every issue pass, re-deriving branchness
+    // and re-comparing `[f64; 3]` priorities each time; a heap pop yields
+    // the identical order from plain integer compares), the op's resource
+    // class for the hazard-automaton probe, its exit index (or `MAX`),
+    // and — under RoundRobin — its home node. The issue loop then touches
+    // only these dense side tables, never the fat `LOp` structs.
     let rr_mode = opts.tie_break == TieBreak::RoundRobin;
+    scratch.base_key.clear();
+    scratch.class_of.clear();
+    scratch.exit_of.clear();
+    scratch.home_of.clear();
+    for (i, l) in lr.lops.iter().enumerate() {
+        let class = OpClass::of(l.op.opcode);
+        scratch.class_of.push(class as u8);
+        scratch.base_key.push(ReadyKey {
+            branch: class == OpClass::Branch,
+            prio: crate::heuristic::pack3(opts.heuristic.key_components(lr, i, heights[i])),
+            rr: !0u32,
+            idx: !(i as u32),
+        });
+        scratch.exit_of.push(match l.kind {
+            LOpKind::ExitBranch(e) => e as u32,
+            _ => u32::MAX,
+        });
+        if rr_mode {
+            scratch.home_of.push(l.home as u32);
+        }
+    }
+    let base_key = &scratch.base_key;
+    let class_of = &scratch.class_of;
+    let exit_of = &scratch.exit_of;
+    let home_of = &scratch.home_of;
+    // The machine's precomputed per-cycle resource automaton: one state
+    // threaded per cycle, one indexed `go` probe per popped ready op —
+    // replacing the seed's three per-op limit conditionals.
+    let auto = m.hazard_automaton();
+    let mut hazard_hits: u64 = 0;
+    let mut deferral_parks: u64 = 0;
 
     // Remaining unscheduled predecessor count and earliest start cycle,
     // interleaved in one table so `release_succs` touches a single cache
@@ -397,8 +458,10 @@ fn schedule_inner(
     // Scratch reused across all cycles and passes.
     let staged = &mut scratch.staged;
     staged.clear();
-    let deferred = &mut scratch.deferred;
-    deferred.clear();
+    let parked = &mut scratch.parked;
+    for p in parked.iter_mut() {
+        p.clear();
+    }
     let issued_this_cycle = &mut scratch.issued_this_cycle;
     issued_this_cycle.clear();
 
@@ -424,14 +487,14 @@ fn schedule_inner(
             let idx = i as usize;
             let mut key = base_key[idx];
             if rr_mode {
-                key.rr = !rr_snapshot[lr.lops[idx].home];
+                key.rr = !rr_snapshot[home_of[idx] as usize];
             }
             heap.push(ReadyEntry { key, epoch, idx: i });
         }
 
         let mut slots_used = 0usize;
-        let mut branches_used = 0usize;
-        let mut mem_used = 0usize;
+        // Fresh cycle: the automaton restarts from the empty-cycle state.
+        let mut state = auto.start();
         issued_this_cycle.clear();
 
         // Re-scan after every pass: issuing an op can make a 0-latency
@@ -463,7 +526,7 @@ fn schedule_inner(
                     // Stale pass snapshot: re-key against this pass's
                     // frozen counts and push back.
                     let mut key = base_key[i];
-                    key.rr = !rr_snapshot[lr.lops[i].home];
+                    key.rr = !rr_snapshot[home_of[i] as usize];
                     heap.push(ReadyEntry {
                         key,
                         epoch,
@@ -471,27 +534,25 @@ fn schedule_inner(
                     });
                     continue;
                 }
-                let is_branch = lr.lops[i].op.opcode.is_branch();
-                if is_branch {
-                    if let Some(limit) = m.branch_limit() {
-                        if branches_used >= limit {
-                            deferred.push(top);
-                            continue;
-                        }
-                    }
-                }
-                let opcode = lr.lops[i].op.opcode;
-                let is_mem = opcode.is_memory() || opcode == treegion_ir::Opcode::Call;
-                if is_mem {
-                    if let Some(limit) = m.mem_port_limit() {
-                        if mem_used >= limit {
-                            deferred.push(top);
-                            continue;
-                        }
-                    }
-                }
+                // Resource probe: one transition-table load. `None` means
+                // the op's class is saturated for this cycle (the width
+                // itself cannot trip inside the `slots_used` guard), and
+                // a class limit can only clear at a cycle boundary — so
+                // the entry parks on its class's deferral list until the
+                // cycle ends instead of churning through the heap once
+                // per pass, as the seed's deferral queue did.
+                let class = OpClass::ALL[class_of[i] as usize];
+                let Some(next_state) = auto.go(state, class) else {
+                    hazard_hits += 1;
+                    deferral_parks += 1;
+                    parked[class.index()].push(top);
+                    continue;
+                };
                 // Dominator parallelism: drop this op if a scheduled twin
-                // computes the identical value.
+                // computes the identical value. Checked after the hazard
+                // probe (the seed's limit checks also came first), but an
+                // elimination consumes no resources: `state` advances
+                // only on a real issue.
                 if opts.dominator_parallelism {
                     if let Some(t) = find_twin(lr, &mut alias, &twin_buckets, origin_bucket[i], i) {
                         eliminate(lr, &mut sched, &mut alias, i, t);
@@ -503,21 +564,17 @@ fn schedule_inner(
                     }
                 }
                 // Issue.
+                state = next_state;
                 sched.cycle_of[i] = Some(cycle);
                 issued_this_cycle.push(i);
                 slots_used += 1;
                 progressed = true;
-                if is_branch {
-                    branches_used += 1;
-                }
-                if is_mem {
-                    mem_used += 1;
-                }
                 if rr_mode {
-                    issued_per_node[lr.lops[i].home] += 1;
+                    issued_per_node[home_of[i] as usize] += 1;
                 }
-                if let LOpKind::ExitBranch(e) = lr.lops[i].kind {
-                    sched.exit_cycles[e] = cycle;
+                let e = exit_of[i];
+                if e != u32::MAX {
+                    sched.exit_cycles[e as usize] = cycle;
                 }
                 if opts.dominator_parallelism {
                     twin_buckets[origin_bucket[i] as usize].push(i as u32);
@@ -525,17 +582,16 @@ fn schedule_inner(
                 remaining -= 1;
                 release_succs(ddg, i, cycle, op_state, staged);
             }
-            // Pass end. Limit-blocked ops return to the queue unchanged
-            // (their keys refresh lazily next pass); ops whose last
-            // dependence issued mid-pass join the *next* pass — the
-            // seed's avail set was a snapshot taken at pass start, and
-            // mid-pass releases never participated in the running pass.
-            heap.extend(deferred.drain(..));
+            // Pass end. Ops whose last dependence issued mid-pass join
+            // the *next* pass — the seed's avail set was a snapshot taken
+            // at pass start, and mid-pass releases never participated in
+            // the running pass. (Class-parked entries stay parked: their
+            // limits cannot clear before the cycle boundary.)
             for i in staged.drain(..) {
                 if op_state[i].earliest <= cycle {
                     let mut key = base_key[i];
                     if rr_mode {
-                        key.rr = !rr_snapshot[lr.lops[i].home];
+                        key.rr = !rr_snapshot[home_of[i] as usize];
                     }
                     heap.push(ReadyEntry {
                         key,
@@ -549,6 +605,14 @@ fn schedule_inner(
             if !progressed || slots_used >= m.issue_width() {
                 break;
             }
+        }
+        // Cycle boundary: every class's units replenish, so all parked
+        // entries re-enter the ready queue. Keys are unique (the `idx`
+        // complement), so heap pop order is a pure function of the entry
+        // set — re-admission order does not matter — and stale round-
+        // robin epochs re-key lazily on pop exactly like any other entry.
+        for p in parked.iter_mut() {
+            heap.extend(p.drain(..));
         }
 
         // `clone` allocates exactly `len` (the scratch keeps its
@@ -573,6 +637,13 @@ fn schedule_inner(
     // only capacity is lost, and the next call re-takes empty vecs).
     scratch.heap = heap.into_vec();
     scratch.future = future.into_vec();
+    LAST_METRICS.with(|c| {
+        c.set(SchedMetrics {
+            automaton_states: auto.state_count(),
+            hazard_hits,
+            deferral_parks,
+        })
+    });
     Ok(sched)
 }
 

@@ -11,13 +11,21 @@
 //! `differential_sched` suite asserts over the fuzz corpus for every
 //! heuristic × tie-break combination.
 //!
+//! One structural generalization since the seed: the two hard-coded
+//! branch/mem limit checks became a brute-force per-class counter array
+//! driven by [`MachineModel::class_units`] — the naive mirror of the
+//! fast scheduler's hazard automaton, and the oracle for asymmetric
+//! machines (per-class unit counts) the seed's counters could not
+//! express. For branch/mem-only machines the counters check exactly what
+//! the seed checked.
+//!
 //! Debug builds only — release builds compile just the fast scheduler.
 
 use crate::ddg::Ddg;
 use crate::lower::{LOpKind, LoweredRegion};
 use crate::sched::{Schedule, ScheduleOptions, TieBreak};
 use std::collections::HashMap;
-use treegion_machine::MachineModel;
+use treegion_machine::{MachineModel, OpClass};
 
 /// Schedules `lr` with the retained seed algorithm. Output must be
 /// identical to [`crate::schedule_with_ddg`] on every input (the fast
@@ -57,8 +65,10 @@ pub fn schedule_with_ddg_reference(
     let mut issued_per_node = vec![0usize; lr.nodes.len()];
     while remaining > 0 {
         let mut slots_used = 0usize;
-        let mut branches_used = 0usize;
-        let mut mem_used = 0usize;
+        // Brute-force per-class counters: the naive mirror of the fast
+        // scheduler's hazard automaton. One counter per resource class,
+        // checked against the machine's unit vector on every candidate.
+        let mut class_used = [0usize; OpClass::COUNT];
         let mut issued_this_cycle: Vec<usize> = Vec::new();
 
         // Re-scan after every pass: issuing an op can make a 0-latency
@@ -93,21 +103,10 @@ pub fn schedule_with_ddg_reference(
                 if slots_used >= m.issue_width() {
                     break;
                 }
-                let is_branch = lr.lops[i].op.opcode.is_branch();
-                if is_branch {
-                    if let Some(limit) = m.branch_limit() {
-                        if branches_used >= limit {
-                            continue;
-                        }
-                    }
-                }
-                let opcode = lr.lops[i].op.opcode;
-                let is_mem = opcode.is_memory() || opcode == treegion_ir::Opcode::Call;
-                if is_mem {
-                    if let Some(limit) = m.mem_port_limit() {
-                        if mem_used >= limit {
-                            continue;
-                        }
+                let class = OpClass::of(lr.lops[i].op.opcode);
+                if let Some(limit) = m.unit_limit(class) {
+                    if class_used[class.index()] >= limit {
+                        continue;
                     }
                 }
                 // Dominator parallelism: drop this op if a scheduled twin
@@ -129,12 +128,7 @@ pub fn schedule_with_ddg_reference(
                 finished.push(i);
                 slots_used += 1;
                 progressed = true;
-                if is_branch {
-                    branches_used += 1;
-                }
-                if is_mem {
-                    mem_used += 1;
-                }
+                class_used[class.index()] += 1;
                 issued_per_node[lr.lops[i].home] += 1;
                 if let LOpKind::ExitBranch(e) = lr.lops[i].kind {
                     sched.exit_cycles[e] = cycle;

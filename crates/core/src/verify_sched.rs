@@ -13,7 +13,7 @@ use crate::lower::{LOpKind, LoweredRegion};
 use crate::sched::Schedule;
 use std::error::Error;
 use std::fmt;
-use treegion_machine::MachineModel;
+use treegion_machine::{MachineModel, OpClass};
 
 /// The class of property a schedule violated. Fault-injection tests key on
 /// this to prove the verifier attributes each corruption correctly.
@@ -30,6 +30,9 @@ pub enum ScheduleErrorKind {
     BranchOverflow,
     /// A cycle issues more memory ops than the machine has ports.
     MemPortOverflow,
+    /// A cycle issues more ops of some other resource class (e.g. fdiv)
+    /// than the machine has units for it.
+    ClassOverflow,
     /// A dependence edge's latency is not satisfied.
     LatencyViolation,
     /// An exit's recorded cycle disagrees with its branch op.
@@ -151,30 +154,30 @@ pub fn verify_schedule(
                 ),
             );
         }
-        if let Some(limit) = m.branch_limit() {
-            let branches = row
+        // Per-class unit limits, counted independently of any scheduler
+        // bookkeeping. The classification is the same one the scheduler's
+        // hazard automaton is built from; a bug there would surface here
+        // as a class overflow on some fuzzed schedule.
+        for class in OpClass::ALL {
+            let Some(limit) = m.unit_limit(class) else {
+                continue;
+            };
+            let used = row
                 .iter()
-                .filter(|&&i| lr.lops[i].op.opcode.is_branch())
+                .filter(|&&i| OpClass::of(lr.lops[i].op.opcode) == class)
                 .count();
-            if branches > limit {
+            if used > limit {
+                let kind = match class {
+                    OpClass::Branch => ScheduleErrorKind::BranchOverflow,
+                    OpClass::Mem => ScheduleErrorKind::MemPortOverflow,
+                    _ => ScheduleErrorKind::ClassOverflow,
+                };
                 return fail(
-                    ScheduleErrorKind::BranchOverflow,
-                    format!("cycle {c} issues {branches} branches (limit {limit})"),
-                );
-            }
-        }
-        if let Some(limit) = m.mem_port_limit() {
-            let mems = row
-                .iter()
-                .filter(|&&i| {
-                    let opc = lr.lops[i].op.opcode;
-                    opc.is_memory() || opc == treegion_ir::Opcode::Call
-                })
-                .count();
-            if mems > limit {
-                return fail(
-                    ScheduleErrorKind::MemPortOverflow,
-                    format!("cycle {c} issues {mems} memory ops (ports {limit})"),
+                    kind,
+                    format!(
+                        "cycle {c} issues {used} {} ops (units {limit})",
+                        class.name()
+                    ),
                 );
             }
         }
@@ -405,6 +408,59 @@ mod tests {
         }
         s.eliminated.push((victim, victim));
         assert_eq!(kind_of(&s), ScheduleErrorKind::BogusElimination);
+    }
+
+    #[test]
+    fn class_overflow_on_asym_machine_yields_class_kind() {
+        // Two independent fdivs on the asymmetric preset (1 fdiv unit):
+        // the honest schedule spreads them; cramming both into cycle 0
+        // stays within the issue width but overflows the fdiv class.
+        let mut b = FunctionBuilder::new("fd");
+        let bb0 = b.block();
+        let (a, x, y) = (b.gpr(), b.gpr(), b.gpr());
+        b.push_all(
+            bb0,
+            [
+                Op::new(treegion_ir::Opcode::FDiv, vec![x], vec![a, a], 0),
+                Op::new(treegion_ir::Opcode::FDiv, vec![y], vec![a, a], 0),
+            ],
+        );
+        b.ret(bb0, None);
+        let f = b.finish();
+        let set = form_treegions(&f);
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        let m = MachineModel::model_4u_asym();
+        let r = set.region(set.region_of(f.entry()).unwrap());
+        let lr = lower_region(&f, r, &live, None);
+        let ddg = Ddg::build(&lr, &m);
+        let good = schedule_region(&lr, &m, &ScheduleOptions::default());
+        verify_schedule(&lr, &ddg, &m, &good).unwrap();
+        let divs: Vec<usize> = lr
+            .lops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.op.opcode == treegion_ir::Opcode::FDiv)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(divs.len(), 2);
+        assert_ne!(good.cycle_of[divs[0]], good.cycle_of[divs[1]]);
+        let mut s = good.clone();
+        for row in s.cycles.iter_mut() {
+            row.retain(|i| !divs.contains(i));
+        }
+        s.cycles[0].extend(&divs);
+        // Keep cycle_of consistent so the class check is what trips.
+        let rebuilt: Vec<Vec<usize>> = s.cycles.clone();
+        for (c, row) in rebuilt.iter().enumerate() {
+            for &i in row {
+                s.cycle_of[i] = Some(c as u32);
+            }
+        }
+        assert_eq!(
+            verify_schedule(&lr, &ddg, &m, &s).unwrap_err().kind(),
+            ScheduleErrorKind::ClassOverflow
+        );
     }
 
     #[test]

@@ -32,14 +32,27 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod hazard;
+
+pub use hazard::{HazardAutomaton, OpClass};
+
 use std::fmt;
+use std::sync::Arc;
 use treegion_ir::Opcode;
 
 /// A statically-scheduled VLIW machine description.
 ///
 /// Use the named constructors for the paper's models, or
 /// [`MachineModel::builder`] for ablation variants.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Per-cycle structural resources are a vector of per-class unit counts
+/// ([`OpClass`]): `None` means the class draws only on the shared issue
+/// width (a universal unit), `Some(k)` caps the class at `k` ops per
+/// cycle. The legacy `branch_limit`/`mem_port_limit` knobs are views of
+/// the branch and memory entries of that vector. At construction the
+/// vector is compiled into a [`HazardAutomaton`] — the dense transition
+/// table the list scheduler probes instead of per-op limit conditionals.
+#[derive(Clone)]
 pub struct MachineModel {
     name: String,
     issue_width: usize,
@@ -47,8 +60,42 @@ pub struct MachineModel {
     fmul_latency: u32,
     fdiv_latency: u32,
     mem_dep_same_cycle: bool,
-    branch_limit: Option<usize>,
-    mem_port_limit: Option<usize>,
+    class_units: [Option<usize>; OpClass::COUNT],
+    /// Derived from the fields above; excluded from `Eq`/`Debug`. Shared
+    /// behind an `Arc` so model clones stay two-words-plus-strings cheap.
+    automaton: Arc<HazardAutomaton>,
+}
+
+impl PartialEq for MachineModel {
+    fn eq(&self, other: &Self) -> bool {
+        // Configuration only: the automaton is a pure function of it.
+        self.name == other.name
+            && self.issue_width == other.issue_width
+            && self.load_latency == other.load_latency
+            && self.fmul_latency == other.fmul_latency
+            && self.fdiv_latency == other.fdiv_latency
+            && self.mem_dep_same_cycle == other.mem_dep_same_cycle
+            && self.class_units == other.class_units
+    }
+}
+
+impl Eq for MachineModel {}
+
+impl fmt::Debug for MachineModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Configuration fields only — the serve engine keys its cache on
+        // `{:?}` of the model, so the derived transition table must not
+        // leak into (and bloat) the fingerprint.
+        f.debug_struct("MachineModel")
+            .field("name", &self.name)
+            .field("issue_width", &self.issue_width)
+            .field("load_latency", &self.load_latency)
+            .field("fmul_latency", &self.fmul_latency)
+            .field("fdiv_latency", &self.fdiv_latency)
+            .field("mem_dep_same_cycle", &self.mem_dep_same_cycle)
+            .field("class_units", &self.class_units)
+            .finish()
+    }
 }
 
 impl MachineModel {
@@ -69,6 +116,19 @@ impl MachineModel {
         MachineModel::builder("8U", 8).build()
     }
 
+    /// An asymmetric four-issue machine: 2 memory ports, 1 branch unit,
+    /// 1 floating-point divider, ALUs otherwise universal. The realistic
+    /// per-class configuration a wide-issue implementation would actually
+    /// build — expressible only through the per-class unit vector (the
+    /// old three-counter scheme had no fdiv knob).
+    pub fn model_4u_asym() -> Self {
+        MachineModel::builder("4U-asym", 4)
+            .mem_ports(Some(2))
+            .branch_limit(Some(1))
+            .units(OpClass::FDiv, Some(1))
+            .build()
+    }
+
     /// Starts building a custom machine named `name` with the given issue
     /// width, using the paper's latency defaults.
     ///
@@ -78,16 +138,13 @@ impl MachineModel {
     pub fn builder(name: impl Into<String>, issue_width: usize) -> MachineModelBuilder {
         assert!(issue_width > 0, "issue width must be positive");
         MachineModelBuilder {
-            model: MachineModel {
-                name: name.into(),
-                issue_width,
-                load_latency: 2,
-                fmul_latency: 3,
-                fdiv_latency: 9,
-                mem_dep_same_cycle: true,
-                branch_limit: None,
-                mem_port_limit: None,
-            },
+            name: name.into(),
+            issue_width,
+            load_latency: 2,
+            fmul_latency: 3,
+            fdiv_latency: 9,
+            mem_dep_same_cycle: true,
+            class_units: [None; OpClass::COUNT],
         }
     }
 
@@ -126,7 +183,7 @@ impl MachineModel {
     /// Maximum branches per cycle, or `None` for unlimited (the paper:
     /// "providing the architecture allows it").
     pub fn branch_limit(&self) -> Option<usize> {
-        self.branch_limit
+        self.class_units[OpClass::Branch.index()]
     }
 
     /// Maximum memory operations (loads/stores/calls) per cycle, or
@@ -134,7 +191,24 @@ impl MachineModel {
     /// this knob models the memory-ported machines an implementation
     /// would actually build, for the ablation benches.
     pub fn mem_port_limit(&self) -> Option<usize> {
-        self.mem_port_limit
+        self.class_units[OpClass::Mem.index()]
+    }
+
+    /// Per-class unit counts, indexed by [`OpClass::index`]; `None` means
+    /// the class is limited only by the issue width.
+    pub fn class_units(&self) -> &[Option<usize>; OpClass::COUNT] {
+        &self.class_units
+    }
+
+    /// Units available to one class ([`MachineModel::class_units`] entry).
+    pub fn unit_limit(&self, class: OpClass) -> Option<usize> {
+        self.class_units[class.index()]
+    }
+
+    /// The precomputed resource-hazard automaton for this machine.
+    #[inline]
+    pub fn hazard_automaton(&self) -> &HazardAutomaton {
+        &self.automaton
     }
 }
 
@@ -147,50 +221,74 @@ impl fmt::Display for MachineModel {
 /// Builder for custom [`MachineModel`]s (ablation studies).
 #[derive(Clone, Debug)]
 pub struct MachineModelBuilder {
-    model: MachineModel,
+    name: String,
+    issue_width: usize,
+    load_latency: u32,
+    fmul_latency: u32,
+    fdiv_latency: u32,
+    mem_dep_same_cycle: bool,
+    class_units: [Option<usize>; OpClass::COUNT],
 }
 
 impl MachineModelBuilder {
     /// Sets the load latency (paper default: 2).
     pub fn load_latency(mut self, cycles: u32) -> Self {
-        self.model.load_latency = cycles;
+        self.load_latency = cycles;
         self
     }
 
     /// Sets the floating-point multiply latency (paper default: 3).
     pub fn fmul_latency(mut self, cycles: u32) -> Self {
-        self.model.fmul_latency = cycles;
+        self.fmul_latency = cycles;
         self
     }
 
     /// Sets the floating-point divide latency (paper default: 9).
     pub fn fdiv_latency(mut self, cycles: u32) -> Self {
-        self.model.fdiv_latency = cycles;
+        self.fdiv_latency = cycles;
         self
     }
 
     /// Sets whether a store and a dependent memory op may share a cycle
     /// (PlayDoh behaviour; paper default: true).
     pub fn mem_dep_same_cycle(mut self, yes: bool) -> Self {
-        self.model.mem_dep_same_cycle = yes;
+        self.mem_dep_same_cycle = yes;
         self
     }
 
-    /// Limits branches per cycle (paper default: unlimited).
-    pub fn branch_limit(mut self, limit: Option<usize>) -> Self {
-        self.model.branch_limit = limit;
+    /// Caps one resource class at `limit` units per cycle (`None` =
+    /// limited only by the issue width; the default for every class).
+    pub fn units(mut self, class: OpClass, limit: Option<usize>) -> Self {
+        self.class_units[class.index()] = limit;
         self
+    }
+
+    /// Limits branches per cycle (paper default: unlimited). Shorthand
+    /// for [`MachineModelBuilder::units`] on [`OpClass::Branch`].
+    pub fn branch_limit(self, limit: Option<usize>) -> Self {
+        self.units(OpClass::Branch, limit)
     }
 
     /// Limits memory operations per cycle (paper default: unlimited).
-    pub fn mem_ports(mut self, limit: Option<usize>) -> Self {
-        self.model.mem_port_limit = limit;
-        self
+    /// Shorthand for [`MachineModelBuilder::units`] on [`OpClass::Mem`].
+    pub fn mem_ports(self, limit: Option<usize>) -> Self {
+        self.units(OpClass::Mem, limit)
     }
 
-    /// Finishes the model.
+    /// Finishes the model: compiles the unit vector into the hazard
+    /// automaton and freezes everything.
     pub fn build(self) -> MachineModel {
-        self.model
+        let automaton = Arc::new(HazardAutomaton::build(self.issue_width, &self.class_units));
+        MachineModel {
+            name: self.name,
+            issue_width: self.issue_width,
+            load_latency: self.load_latency,
+            fmul_latency: self.fmul_latency,
+            fdiv_latency: self.fdiv_latency,
+            mem_dep_same_cycle: self.mem_dep_same_cycle,
+            class_units: self.class_units,
+            automaton,
+        }
     }
 }
 
@@ -233,6 +331,33 @@ mod tests {
         assert_eq!(m.branch_limit(), Some(2));
         assert_eq!(m.mem_port_limit(), Some(2));
         assert_eq!(m.name(), "custom");
+    }
+
+    #[test]
+    fn asym_preset_has_per_class_units() {
+        let m = MachineModel::model_4u_asym();
+        assert_eq!(m.issue_width(), 4);
+        assert_eq!(m.branch_limit(), Some(1));
+        assert_eq!(m.mem_port_limit(), Some(2));
+        assert_eq!(m.unit_limit(OpClass::FDiv), Some(1));
+        assert_eq!(m.unit_limit(OpClass::Alu), None);
+        assert_eq!(m.class_units(), &[None, Some(2), Some(1), Some(1)]);
+        // Latencies stay the paper's defaults.
+        assert_eq!(m.latency(Opcode::Load), 2);
+        assert_eq!(m.latency(Opcode::FDiv), 9);
+    }
+
+    #[test]
+    fn equality_and_debug_cover_configuration_not_the_automaton() {
+        let a = MachineModel::model_4u_asym();
+        let b = MachineModel::model_4u_asym();
+        assert_eq!(a, b);
+        assert_ne!(a, MachineModel::model_4u());
+        // The derived transition table stays out of the Debug rendering
+        // (the serve cache fingerprints models via `{:?}`).
+        let dbg = format!("{a:?}");
+        assert!(dbg.contains("class_units"), "{dbg}");
+        assert!(!dbg.contains("table"), "{dbg}");
     }
 
     #[test]

@@ -101,12 +101,36 @@ impl ServeStats {
                 ),
             );
         }
+        let mut hazard_hits = 0u64;
+        let mut deferral_parks = 0u64;
         for p in profiler.report() {
             kv(
                 &format!("stage-{}", p.stage.name()),
                 format!("ns={} calls={}", p.nanos, p.calls),
             );
+            hazard_hits += p.stats.hazard_hits;
+            deferral_parks += p.stats.deferral_parks;
         }
+        // Hazard-automaton counters, summed from the same stage stats the
+        // profiler accumulates (only list-sched ever reports nonzero),
+        // plus the per-preset state counts (static per build — a blown-up
+        // state space shows here before it shows in memory).
+        kv("automaton-hazard-hits", hazard_hits.to_string());
+        kv("automaton-parks", deferral_parks.to_string());
+        use treegion_machine::MachineModel;
+        kv(
+            "automaton-states",
+            [
+                MachineModel::model_1u(),
+                MachineModel::model_4u(),
+                MachineModel::model_8u(),
+                MachineModel::model_4u_asym(),
+            ]
+            .iter()
+            .map(|m| format!("{}={}", m.name(), m.hazard_automaton().state_count()))
+            .collect::<Vec<_>>()
+            .join(" "),
+        );
         out
     }
 }
@@ -130,6 +154,10 @@ mod tests {
         assert!(text.contains("inflight 3\n"), "{text}");
         assert!(text.contains("high-water 64\n"), "{text}");
         assert!(text.contains("stage-formation"), "{text}");
+        assert!(text.contains("automaton-hazard-hits 0\n"), "{text}");
+        assert!(text.contains("automaton-parks 0\n"), "{text}");
+        assert!(text.contains("automaton-states "), "{text}");
+        assert!(text.contains("4U-asym=36"), "{text}");
         // Recovery line appears when a scan ran.
         let text = s.render(
             &CacheStats::default(),

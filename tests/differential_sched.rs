@@ -17,15 +17,20 @@ use treegion_suite::prelude::*;
 use treegion_suite::treegion::{lower_region, schedule_with_ddg, schedule_with_ddg_reference, Ddg};
 use treegion_suite::workloads::generate_fuzz;
 
-/// Machines under test: the paper's 8-wide plus a constrained variant
-/// whose branch/memory limits force ops through the deferral path.
+/// Machines under test: the paper's three universal machines, a
+/// constrained variant whose branch/memory limits force ops through the
+/// deferral path, and the asymmetric preset (per-class fdiv/mem/branch
+/// units) only the hazard automaton can express.
 fn machines() -> Vec<MachineModel> {
     vec![
+        MachineModel::model_1u(),
+        MachineModel::model_4u(),
         MachineModel::model_8u(),
         MachineModel::builder("4b1m1", 4)
             .branch_limit(Some(1))
             .mem_ports(Some(1))
             .build(),
+        MachineModel::model_4u_asym(),
     ]
 }
 
