@@ -227,6 +227,7 @@ fn serve_kernel(reps: usize, n: usize) -> (f64, f64) {
             cache_path: Some(dir.join(format!("cache-{rep}.tgc"))),
             quarantine_dir: None,
             default_deadline_ms: None,
+            chaos: None,
         })
         .expect("bench engine opens");
         let t0 = Instant::now();

@@ -1,0 +1,47 @@
+//! # treegion-chaos
+//!
+//! Deterministic I/O fault injection and crash-consistency fuzzing for
+//! the treegion workspace — the storage-layer sibling of the scheduler's
+//! seeded `FaultInjector` (DESIGN.md §7).
+//!
+//! Three pieces, std-only and dependency-free:
+//!
+//! * **[`FaultPlan`]** — a seeded, thread-safe plan that decides, per
+//!   durable I/O operation, whether to proceed, fail with an
+//!   [`std::io::ErrorKind`], short-write, or simulate a crash. Parsed
+//!   from the same operator-facing spec grammar everywhere
+//!   (`--chaos-plan record`, `err-every:N`, `short-every:N`,
+//!   `crash-at:N`).
+//! * **[`shim`]** — `ChaosFile` and free-function wrappers around the
+//!   handful of `std::fs` durability primitives the workspace uses
+//!   (create/append/write/flush/fsync/rename). When no plan is armed
+//!   (`chaos == None`) every wrapper is a transparent pass-through; when
+//!   armed, every durable operation is journaled and the plan may
+//!   perturb it.
+//! * **[`replay`]** — given the journal of a clean recorded run, the
+//!   crash-point sweep: for any prefix of the operation log,
+//!   [`replay::materialize`] builds the on-disk state a hard kill at
+//!   that point could leave behind (unsynced bytes torn, unsynced
+//!   renames lost) so recovery invariants can be asserted against every
+//!   possible crash, not a handful of hand-crafted truncations.
+//!
+//! The durability model behind the sweep: bytes written but never
+//! fsynced are *pending* and may be arbitrarily torn by a crash;
+//! `sync_all`/`sync_data` promote pending bytes to *synced* (guaranteed
+//! to survive); a rename publishes whatever durability state the source
+//! had — renaming a never-synced temp file yields a torn target, which
+//! is exactly the bug class the sweep exists to catch.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod plan;
+pub mod replay;
+pub mod shim;
+
+pub use plan::{Action, ChaosSnapshot, FaultPlan, Mode, Op, OpRecord};
+
+/// The chaos handle threaded through I/O call sites: `None` = unarmed
+/// (transparent pass-through), `Some` = every durable operation consults
+/// (and is journaled by) the shared plan.
+pub type Chaos = Option<std::sync::Arc<FaultPlan>>;

@@ -1,0 +1,445 @@
+//! The seeded fault plan: spec parsing, per-operation decisions, the
+//! durable-operation journal, and injection counters.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One durable filesystem operation, as journaled by the shim.
+///
+/// Only *mutating* operations are journaled — the crash-point sweep
+/// replays writes, not reads. Reads still consult the plan for error
+/// injection but leave no journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// A file was created (or truncated) at `path`.
+    Create {
+        /// The created file.
+        path: PathBuf,
+    },
+    /// `bytes` were appended to the file's write stream.
+    Write {
+        /// The written file.
+        path: PathBuf,
+        /// The exact bytes of this write call.
+        bytes: Vec<u8>,
+    },
+    /// The file (or directory) was fsynced (`sync_all`/`sync_data`).
+    Sync {
+        /// The synced path.
+        path: PathBuf,
+    },
+    /// `from` was atomically renamed onto `to`.
+    Rename {
+        /// Source path.
+        from: PathBuf,
+        /// Destination path.
+        to: PathBuf,
+    },
+}
+
+impl Op {
+    /// Short operation label (`create`/`write`/`sync`/`rename`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Op::Create { .. } => "create",
+            Op::Write { .. } => "write",
+            Op::Sync { .. } => "sync",
+            Op::Rename { .. } => "rename",
+        }
+    }
+}
+
+/// One journal entry: which call site issued which operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Call-site label (e.g. `diskcache.put`, `checkpoint.save`).
+    pub site: String,
+    /// The operation.
+    pub op: Op,
+}
+
+/// What the plan decided for one operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Perform the operation normally.
+    Proceed,
+    /// Fail the operation with this error kind.
+    Fail(std::io::ErrorKind),
+    /// Write only the first `n` bytes, then fail (short write).
+    Short(usize),
+    /// Simulated crash: this and every later shimmed operation fails.
+    Crash,
+}
+
+/// The injection mode parsed from a `--chaos-plan` spec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Journal every durable operation; inject nothing.
+    Record,
+    /// Fail every `n`-th durable operation (seed shifts the phase).
+    ErrEvery(u64),
+    /// Short-write every `n`-th write (seed shifts the phase).
+    ShortEvery(u64),
+    /// Simulate a crash at durable operation `n` (0-based).
+    CrashAt(u64),
+}
+
+impl Mode {
+    fn describe(self) -> String {
+        match self {
+            Mode::Record => "record".into(),
+            Mode::ErrEvery(n) => format!("err-every:{n}"),
+            Mode::ShortEvery(n) => format!("short-every:{n}"),
+            Mode::CrashAt(n) => format!("crash-at:{n}"),
+        }
+    }
+}
+
+/// A point-in-time copy of the plan's counters, for stats rendering.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosSnapshot {
+    /// Spec the plan was armed with (e.g. `record`, `err-every:3`).
+    pub mode: String,
+    /// Seed the plan was armed with.
+    pub seed: u64,
+    /// Durable operations observed (journaled or injected).
+    pub ops: u64,
+    /// Operations failed with an injected `ErrorKind`.
+    pub injected_errors: u64,
+    /// Writes truncated to a seeded prefix.
+    pub short_writes: u64,
+    /// Whether the simulated crash point has been reached.
+    pub crashed: bool,
+}
+
+/// The seeded, thread-safe I/O fault plan. Shared via `Arc` between
+/// every shimmed call site of a process; all state is internally
+/// synchronized.
+pub struct FaultPlan {
+    mode: Mode,
+    seed: u64,
+    counter: AtomicU64,
+    crashed: AtomicBool,
+    injected_errors: AtomicU64,
+    short_writes: AtomicU64,
+    journal: Mutex<Vec<OpRecord>>,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("mode", &self.mode)
+            .field("seed", &self.seed)
+            .field("ops", &self.counter.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// A record-only plan: journals everything, injects nothing. This is
+    /// what `--chaos-seed N` arms without a `--chaos-plan`.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        FaultPlan::new(Mode::Record, seed)
+    }
+
+    /// Builds a plan in an explicit mode.
+    pub fn new(mode: Mode, seed: u64) -> FaultPlan {
+        FaultPlan {
+            mode,
+            seed,
+            counter: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            injected_errors: AtomicU64::new(0),
+            short_writes: AtomicU64::new(0),
+            journal: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Parses an operator-facing plan spec: `record`, `err-every:N`,
+    /// `short-every:N`, or `crash-at:N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message on unknown directives or bad
+    /// counts (`err-every:0` would fail every op *and* read as a typo,
+    /// so zero intervals are rejected).
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        let count = |rest: Option<&str>, what: &str| -> Result<u64, String> {
+            let v = rest.ok_or_else(|| format!("`{what}` needs a count, e.g. `{what}:3`"))?;
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("bad count `{v}` in chaos plan `{spec}`"))?;
+            Ok(n)
+        };
+        let (head, rest) = match spec.split_once(':') {
+            Some((h, r)) => (h, Some(r)),
+            None => (spec, None),
+        };
+        let mode = match head {
+            "record" => Mode::Record,
+            "err-every" => {
+                let n = count(rest, "err-every")?;
+                if n == 0 {
+                    return Err("err-every interval must be positive".into());
+                }
+                Mode::ErrEvery(n)
+            }
+            "short-every" => {
+                let n = count(rest, "short-every")?;
+                if n == 0 {
+                    return Err("short-every interval must be positive".into());
+                }
+                Mode::ShortEvery(n)
+            }
+            "crash-at" => Mode::CrashAt(count(rest, "crash-at")?),
+            other => {
+                return Err(format!(
+                    "unknown chaos plan `{other}` (want record, err-every:N, short-every:N, or crash-at:N)"
+                ))
+            }
+        };
+        Ok(FaultPlan::new(mode, seed))
+    }
+
+    /// Journals one durable operation and decides its fate. Called by
+    /// the shim for every mutating operation.
+    pub fn on_op(&self, site: &str, op: Op) -> Action {
+        if self.crashed.load(Ordering::Acquire) {
+            // Post-crash: the process is "dead" to the filesystem.
+            self.injected_errors.fetch_add(1, Ordering::Relaxed);
+            return Action::Fail(std::io::ErrorKind::Other);
+        }
+        let idx = self.counter.fetch_add(1, Ordering::Relaxed);
+        let is_write = matches!(op, Op::Write { .. });
+        let write_len = match &op {
+            Op::Write { bytes, .. } => bytes.len(),
+            _ => 0,
+        };
+        lock(&self.journal).push(OpRecord {
+            site: site.to_string(),
+            op,
+        });
+        match self.mode {
+            Mode::Record => Action::Proceed,
+            Mode::ErrEvery(n) => {
+                if (idx + self.seed).is_multiple_of(n) {
+                    self.injected_errors.fetch_add(1, Ordering::Relaxed);
+                    Action::Fail(pick_error_kind(self.seed, idx))
+                } else {
+                    Action::Proceed
+                }
+            }
+            Mode::ShortEvery(n) => {
+                if is_write && write_len > 0 && (idx + self.seed).is_multiple_of(n) {
+                    self.short_writes.fetch_add(1, Ordering::Relaxed);
+                    Action::Short((mix(self.seed, idx) as usize) % write_len)
+                } else {
+                    Action::Proceed
+                }
+            }
+            Mode::CrashAt(n) => {
+                if idx >= n {
+                    self.crashed.store(true, Ordering::Release);
+                    self.injected_errors.fetch_add(1, Ordering::Relaxed);
+                    Action::Crash
+                } else {
+                    Action::Proceed
+                }
+            }
+        }
+    }
+
+    /// Decides the fate of a *read* (not journaled — reads leave no
+    /// crash-state behind, but error injection still applies).
+    pub fn on_read(&self, _site: &str) -> Action {
+        if self.crashed.load(Ordering::Acquire) {
+            self.injected_errors.fetch_add(1, Ordering::Relaxed);
+            return Action::Fail(std::io::ErrorKind::Other);
+        }
+        let idx = self.counter.fetch_add(1, Ordering::Relaxed);
+        match self.mode {
+            Mode::ErrEvery(n) if (idx + self.seed).is_multiple_of(n) => {
+                self.injected_errors.fetch_add(1, Ordering::Relaxed);
+                Action::Fail(pick_error_kind(self.seed, idx))
+            }
+            _ => Action::Proceed,
+        }
+    }
+
+    /// Whether the simulated crash point has been reached.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// A copy of the journal so far (clean-run recording for the sweep).
+    pub fn journal(&self) -> Vec<OpRecord> {
+        lock(&self.journal).clone()
+    }
+
+    /// Counter snapshot for stats rendering.
+    pub fn snapshot(&self) -> ChaosSnapshot {
+        ChaosSnapshot {
+            mode: self.mode.describe(),
+            seed: self.seed,
+            ops: self.counter.load(Ordering::Relaxed),
+            injected_errors: self.injected_errors.load(Ordering::Relaxed),
+            short_writes: self.short_writes.load(Ordering::Relaxed),
+            crashed: self.crashed(),
+        }
+    }
+}
+
+/// SplitMix64 — the workspace-standard cheap seeded mixer, inlined here
+/// so the chaos crate stays dependency-free.
+pub(crate) fn mix(seed: u64, idx: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(idx)
+        .wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministically picks one of the error kinds real filesystems
+/// produce under pressure.
+fn pick_error_kind(seed: u64, idx: u64) -> std::io::ErrorKind {
+    use std::io::ErrorKind::*;
+    const KINDS: [std::io::ErrorKind; 4] = [Other, PermissionDenied, Interrupted, WriteZero];
+    // `Interrupted` is retried by real I/O loops; as an *injected whole-
+    // operation* failure it must not be, so it is mapped away at the
+    // shim (which never returns raw Interrupted for injected faults).
+    let k = KINDS[(mix(seed, idx) as usize) % KINDS.len()];
+    if k == Interrupted {
+        Other
+    } else {
+        k
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn w(n: usize) -> Op {
+        Op::Write {
+            path: PathBuf::from("/x"),
+            bytes: vec![0u8; n],
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_grammar_and_rejects_garbage() {
+        assert_eq!(FaultPlan::parse("record", 1).unwrap().mode, Mode::Record);
+        assert_eq!(
+            FaultPlan::parse("err-every:3", 1).unwrap().mode,
+            Mode::ErrEvery(3)
+        );
+        assert_eq!(
+            FaultPlan::parse("short-every:2", 1).unwrap().mode,
+            Mode::ShortEvery(2)
+        );
+        assert_eq!(
+            FaultPlan::parse("crash-at:7", 1).unwrap().mode,
+            Mode::CrashAt(7)
+        );
+        for bad in [
+            "explode",
+            "err-every",
+            "err-every:x",
+            "err-every:0",
+            "short-every:0",
+            "crash-at",
+        ] {
+            assert!(FaultPlan::parse(bad, 1).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn record_mode_journals_and_never_injects() {
+        let p = FaultPlan::from_seed(42);
+        for i in 0..10 {
+            assert_eq!(p.on_op("t", w(i + 1)), Action::Proceed);
+        }
+        let snap = p.snapshot();
+        assert_eq!(snap.ops, 10);
+        assert_eq!(snap.injected_errors, 0);
+        assert_eq!(p.journal().len(), 10);
+        assert!(!p.crashed());
+    }
+
+    #[test]
+    fn err_every_is_seeded_and_deterministic() {
+        let run = |seed| {
+            let p = FaultPlan::parse("err-every:3", seed).unwrap();
+            (0..12).map(|i| p.on_op("t", w(i + 1))).collect::<Vec<_>>()
+        };
+        let a = run(5);
+        assert_eq!(a, run(5), "same seed, same fault sequence");
+        assert_eq!(a.iter().filter(|x| **x != Action::Proceed).count(), 4);
+        // A different seed shifts the phase but keeps the density.
+        let b = run(6);
+        assert_ne!(a, b);
+        assert_eq!(b.iter().filter(|x| **x != Action::Proceed).count(), 4);
+    }
+
+    #[test]
+    fn short_every_only_tears_writes() {
+        let p = FaultPlan::parse("short-every:1", 9).unwrap();
+        match p.on_op("t", w(100)) {
+            Action::Short(n) => assert!(n < 100),
+            other => panic!("expected short write, got {other:?}"),
+        }
+        // Non-write ops pass through untouched.
+        assert_eq!(
+            p.on_op(
+                "t",
+                Op::Sync {
+                    path: PathBuf::from("/x")
+                }
+            ),
+            Action::Proceed
+        );
+        assert_eq!(p.snapshot().short_writes, 1);
+    }
+
+    #[test]
+    fn crash_at_kills_everything_after() {
+        let p = FaultPlan::parse("crash-at:2", 0).unwrap();
+        assert_eq!(p.on_op("t", w(1)), Action::Proceed);
+        assert_eq!(p.on_op("t", w(1)), Action::Proceed);
+        assert_eq!(p.on_op("t", w(1)), Action::Crash);
+        assert!(p.crashed());
+        // Post-crash: every operation (and read) fails.
+        assert!(matches!(p.on_op("t", w(1)), Action::Fail(_)));
+        assert!(matches!(p.on_read("t"), Action::Fail(_)));
+        // The journal holds only the pre-crash ops plus the crash op.
+        assert_eq!(p.journal().len(), 3);
+    }
+
+    #[test]
+    fn injected_errors_are_never_raw_interrupted() {
+        let p = FaultPlan::parse("err-every:1", 0).unwrap();
+        for i in 0..64 {
+            match p.on_op("t", w(i + 1)) {
+                Action::Fail(k) => assert_ne!(k, std::io::ErrorKind::Interrupted),
+                other => panic!("expected failure, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_reports_the_armed_mode() {
+        let p = FaultPlan::parse("err-every:4", 11).unwrap();
+        let s = p.snapshot();
+        assert_eq!(s.mode, "err-every:4");
+        assert_eq!(s.seed, 11);
+    }
+}

@@ -1,0 +1,326 @@
+//! Crash-point materialization: turn a recorded operation journal plus a
+//! crash index into the on-disk state a hard kill could leave behind.
+//!
+//! The model (documented in DESIGN.md §14):
+//!
+//! * Each file carries **synced** bytes (survive any crash) and
+//!   **pending** bytes (written but never fsynced — may be arbitrarily
+//!   torn).
+//! * [`Op::Write`] appends to pending; [`Op::Sync`] promotes all pending
+//!   bytes to synced; [`Op::Create`] resets both (truncation).
+//! * [`Op::Rename`] moves the whole durability state from `from` to
+//!   `to` — so renaming a never-synced temp file publishes *pending*
+//!   bytes, and a crash right after tears the published file. This is
+//!   the exact failure the fsync-before-rename discipline exists to
+//!   prevent, and the sweep proves the workspace observes it.
+//! * A crash at operation `k` applies operations `0..k` fully and
+//!   operation `k` *partially* (a seeded prefix of a write; a seeded
+//!   coin for create/sync/rename — the operation raced the kill). After
+//!   the crash every file keeps its synced bytes plus a seeded-length
+//!   prefix of its pending bytes (the torn tail).
+//!
+//! Simplification: renames that happened before the crash point are
+//! treated as surviving even without a directory fsync. Journaling
+//! filesystems make this overwhelmingly likely in practice; the
+//! workspace still fsyncs directories where cheap, and the model keeps
+//! the sweep deterministic.
+
+use crate::plan::{mix, Op, OpRecord};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Durability state of one modeled file.
+#[derive(Clone, Debug, Default)]
+struct FileModel {
+    synced: Vec<u8>,
+    pending: Vec<u8>,
+}
+
+/// The simulated post-crash filesystem: path → surviving bytes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FsImage {
+    /// Files that survive the crash, with their surviving bytes.
+    pub files: BTreeMap<PathBuf, Vec<u8>>,
+}
+
+impl FsImage {
+    /// Writes the image under `new_root`, rebasing every journaled path
+    /// from `old_root` (paths outside `old_root` are skipped — the
+    /// journal should never contain any). Parent directories are
+    /// created as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors as strings.
+    pub fn materialize_under(&self, old_root: &Path, new_root: &Path) -> Result<(), String> {
+        for (path, bytes) in &self.files {
+            let Ok(rel) = path.strip_prefix(old_root) else {
+                continue;
+            };
+            let dest = new_root.join(rel);
+            if let Some(parent) = dest.parent() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+            }
+            std::fs::write(&dest, bytes)
+                .map_err(|e| format!("cannot write `{}`: {e}", dest.display()))?;
+        }
+        Ok(())
+    }
+}
+
+/// Replays `journal[0..crash_at]` fully and `journal[crash_at]`
+/// partially (seeded), returning the simulated post-crash filesystem.
+/// `crash_at == journal.len()` means the run completed — but even then
+/// pending (never-synced) bytes are torn, modeling a kill after the
+/// last operation.
+pub fn materialize(journal: &[OpRecord], crash_at: usize, seed: u64) -> FsImage {
+    let crash_at = crash_at.min(journal.len());
+    let mut models: BTreeMap<PathBuf, FileModel> = BTreeMap::new();
+    for rec in &journal[..crash_at] {
+        apply_full(&mut models, &rec.op);
+    }
+    if let Some(rec) = journal.get(crash_at) {
+        apply_partial(&mut models, &rec.op, seed, crash_at as u64);
+    }
+    // Survivors: synced bytes plus a seeded torn prefix of pending.
+    let mut files = BTreeMap::new();
+    for (path, m) in models {
+        let torn = if m.pending.is_empty() {
+            0
+        } else {
+            (mix(seed ^ 0x7361_6c74, path_mix(&path)) as usize) % (m.pending.len() + 1)
+        };
+        let mut bytes = m.synced;
+        bytes.extend_from_slice(&m.pending[..torn]);
+        files.insert(path, bytes);
+    }
+    FsImage { files }
+}
+
+fn path_mix(p: &Path) -> u64 {
+    // FNV-1a over the path bytes: stable, dependency-free.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in p.to_string_lossy().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn apply_full(models: &mut BTreeMap<PathBuf, FileModel>, op: &Op) {
+    match op {
+        Op::Create { path } => {
+            models.insert(path.clone(), FileModel::default());
+        }
+        Op::Write { path, bytes } => {
+            models
+                .entry(path.clone())
+                .or_default()
+                .pending
+                .extend_from_slice(bytes);
+        }
+        Op::Sync { path } => {
+            if let Some(m) = models.get_mut(path) {
+                let pending = std::mem::take(&mut m.pending);
+                m.synced.extend_from_slice(&pending);
+            }
+        }
+        Op::Rename { from, to } => {
+            if let Some(m) = models.remove(from) {
+                models.insert(to.clone(), m);
+            }
+        }
+    }
+}
+
+/// The crashing operation itself raced the kill: a write lands a seeded
+/// prefix (still pending — nothing synced it); create/sync/rename apply
+/// on a seeded coin.
+fn apply_partial(models: &mut BTreeMap<PathBuf, FileModel>, op: &Op, seed: u64, idx: u64) {
+    let coin = mix(seed, idx) & 1 == 0;
+    match op {
+        Op::Write { path, bytes } => {
+            let n = if bytes.is_empty() {
+                0
+            } else {
+                (mix(seed, idx) as usize) % (bytes.len() + 1)
+            };
+            models
+                .entry(path.clone())
+                .or_default()
+                .pending
+                .extend_from_slice(&bytes[..n]);
+        }
+        other if coin => apply_full(models, other),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(site: &str, op: Op) -> OpRecord {
+        OpRecord {
+            site: site.into(),
+            op,
+        }
+    }
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn synced_bytes_always_survive() {
+        let j = vec![
+            rec(
+                "t",
+                Op::Create {
+                    path: p("/r/a.txt"),
+                },
+            ),
+            rec(
+                "t",
+                Op::Write {
+                    path: p("/r/a.txt"),
+                    bytes: b"safe".to_vec(),
+                },
+            ),
+            rec(
+                "t",
+                Op::Sync {
+                    path: p("/r/a.txt"),
+                },
+            ),
+            rec(
+                "t",
+                Op::Write {
+                    path: p("/r/a.txt"),
+                    bytes: b"-doomed".to_vec(),
+                },
+            ),
+        ];
+        for seed in 0..16 {
+            // Crash after the sync: the synced prefix must be intact.
+            let img = materialize(&j, 4, seed);
+            let bytes = img.files.get(&p("/r/a.txt")).unwrap();
+            assert!(bytes.starts_with(b"safe"), "seed {seed}: {bytes:?}");
+            assert!(bytes.len() <= b"safe-doomed".len());
+            // Crash before anything synced: the file may hold any prefix
+            // of the pending bytes, never more.
+            let img = materialize(&j, 2, seed);
+            let bytes = img.files.get(&p("/r/a.txt")).unwrap();
+            assert!(b"safe".starts_with(&bytes[..]), "seed {seed}: {bytes:?}");
+        }
+    }
+
+    #[test]
+    fn unsynced_rename_publishes_a_tearable_file() {
+        // tmp is written but never synced, then renamed over the target:
+        // some seed must tear the published file — the missing-fsync bug
+        // the sweep exists to catch.
+        let j = vec![
+            rec("t", Op::Create { path: p("/r/tmp") }),
+            rec(
+                "t",
+                Op::Write {
+                    path: p("/r/tmp"),
+                    bytes: b"manifest-contents".to_vec(),
+                },
+            ),
+            rec(
+                "t",
+                Op::Rename {
+                    from: p("/r/tmp"),
+                    to: p("/r/manifest"),
+                },
+            ),
+        ];
+        let torn = (0..64).any(|seed| {
+            let img = materialize(&j, 3, seed);
+            img.files
+                .get(&p("/r/manifest"))
+                .is_some_and(|b| b.len() < b"manifest-contents".len())
+        });
+        assert!(torn, "no seed tore the unsynced renamed file");
+
+        // With a sync before the rename the target is always intact.
+        let j_fixed = vec![
+            j[0].clone(),
+            j[1].clone(),
+            rec("t", Op::Sync { path: p("/r/tmp") }),
+            j[2].clone(),
+        ];
+        for seed in 0..64 {
+            let img = materialize(&j_fixed, 4, seed);
+            assert_eq!(
+                img.files.get(&p("/r/manifest")).map(Vec::as_slice),
+                Some(&b"manifest-contents"[..]),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_mid_write_lands_a_prefix_only() {
+        let j = vec![
+            rec("t", Op::Create { path: p("/r/f") }),
+            rec(
+                "t",
+                Op::Write {
+                    path: p("/r/f"),
+                    bytes: b"0123456789".to_vec(),
+                },
+            ),
+        ];
+        for seed in 0..32 {
+            // Crash *at* the write (index 1): partial prefix, still torn.
+            let img = materialize(&j, 1, seed);
+            if let Some(bytes) = img.files.get(&p("/r/f")) {
+                assert!(b"0123456789".starts_with(&bytes[..]), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn materialization_is_deterministic_per_seed() {
+        let j = vec![
+            rec("t", Op::Create { path: p("/r/f") }),
+            rec(
+                "t",
+                Op::Write {
+                    path: p("/r/f"),
+                    bytes: vec![7u8; 100],
+                },
+            ),
+            rec("t", Op::Sync { path: p("/r/f") }),
+        ];
+        for k in 0..=j.len() {
+            assert_eq!(materialize(&j, k, 9), materialize(&j, k, 9));
+        }
+        // Past-the-end crash indexes clamp.
+        assert_eq!(materialize(&j, 99, 9), materialize(&j, j.len(), 9));
+    }
+
+    #[test]
+    fn materialize_under_rebases_paths() {
+        let dir = std::env::temp_dir().join(format!("tgc-chaos-replay-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let img = FsImage {
+            files: [
+                (p("/r/sub/a.txt"), b"aaa".to_vec()),
+                (p("/r/b.txt"), b"b".to_vec()),
+                (p("/elsewhere/x"), b"skip".to_vec()),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        img.materialize_under(&p("/r"), &dir).unwrap();
+        assert_eq!(std::fs::read(dir.join("sub/a.txt")).unwrap(), b"aaa");
+        assert_eq!(std::fs::read(dir.join("b.txt")).unwrap(), b"b");
+        assert!(!dir.join("x").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,367 @@
+//! The injectable I/O shim: thin wrappers over the `std::fs` durability
+//! primitives the workspace uses, with a [`Chaos`] handle threaded
+//! through every call.
+//!
+//! Unarmed (`chaos == None`) every wrapper compiles down to the plain
+//! `std::fs` call — zero behavior change, the property the differential
+//! tests pin. Armed, every mutating operation is journaled on the plan
+//! and the plan may fail it, tear it, or declare the simulated crash
+//! point reached (after which all shimmed I/O fails).
+
+use crate::plan::{Action, Op};
+use crate::Chaos;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Builds the injected-error `io::Error` for a failed action.
+fn injected(kind: io::ErrorKind, what: &str) -> io::Error {
+    io::Error::new(kind, format!("chaos: injected {what} failure"))
+}
+
+/// Applies a plan decision to a zero-byte-count operation.
+fn gate(chaos: &Chaos, site: &str, op: Op, what: &str) -> io::Result<()> {
+    if let Some(plan) = chaos {
+        match plan.on_op(site, op) {
+            Action::Proceed => {}
+            Action::Short(_) => {} // shorts only apply to writes
+            Action::Fail(kind) => return Err(injected(kind, what)),
+            Action::Crash => return Err(injected(io::ErrorKind::Other, "simulated-crash")),
+        }
+    }
+    Ok(())
+}
+
+/// A [`File`] whose durability operations consult the chaos plan.
+#[derive(Debug)]
+pub struct ChaosFile {
+    file: File,
+    path: PathBuf,
+    chaos: Chaos,
+    site: String,
+}
+
+impl ChaosFile {
+    /// Creates (truncating) a file — `File::create` with injection.
+    ///
+    /// # Errors
+    ///
+    /// Real or injected I/O errors.
+    pub fn create(path: &Path, chaos: &Chaos, site: &str) -> io::Result<ChaosFile> {
+        gate(
+            chaos,
+            site,
+            Op::Create {
+                path: path.to_path_buf(),
+            },
+            "create",
+        )?;
+        Ok(ChaosFile {
+            file: File::create(path)?,
+            path: path.to_path_buf(),
+            chaos: chaos.clone(),
+            site: site.to_string(),
+        })
+    }
+
+    /// Opens a file for appending — `OpenOptions::append` with
+    /// injection. Opening for append is not itself a durable mutation,
+    /// so it is gated like a read (error injection, no journal record).
+    ///
+    /// # Errors
+    ///
+    /// Real or injected I/O errors.
+    pub fn append(path: &Path, chaos: &Chaos, site: &str) -> io::Result<ChaosFile> {
+        if let Some(plan) = chaos {
+            if let Action::Fail(kind) = plan.on_read(site) {
+                return Err(injected(kind, "open"));
+            }
+        }
+        Ok(ChaosFile {
+            file: OpenOptions::new().append(true).open(path)?,
+            path: path.to_path_buf(),
+            chaos: chaos.clone(),
+            site: site.to_string(),
+        })
+    }
+
+    /// `write_all` with injection: the plan may fail the write outright
+    /// or tear it (write a seeded prefix, then fail — what a full disk
+    /// or a kill mid-`write(2)` leaves behind).
+    ///
+    /// # Errors
+    ///
+    /// Real or injected I/O errors. On a short write the prefix *is*
+    /// written before the error returns, like the real failure mode.
+    pub fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        if let Some(plan) = &self.chaos {
+            match plan.on_op(
+                &self.site,
+                Op::Write {
+                    path: self.path.clone(),
+                    bytes: buf.to_vec(),
+                },
+            ) {
+                Action::Proceed => {}
+                Action::Fail(kind) => return Err(injected(kind, "write")),
+                Action::Crash => return Err(injected(io::ErrorKind::Other, "simulated-crash")),
+                Action::Short(n) => {
+                    self.file.write_all(&buf[..n.min(buf.len())])?;
+                    return Err(injected(io::ErrorKind::WriteZero, "short-write"));
+                }
+            }
+        }
+        self.file.write_all(buf)
+    }
+
+    /// `flush` with injection (journaled as part of the sync discipline
+    /// only when it fails — a userspace flush alone is not durable).
+    ///
+    /// # Errors
+    ///
+    /// Real or injected I/O errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(plan) = &self.chaos {
+            if let Action::Fail(kind) = plan.on_read(&self.site) {
+                return Err(injected(kind, "flush"));
+            }
+        }
+        self.file.flush()
+    }
+
+    /// `sync_all` with injection — the durability point.
+    ///
+    /// # Errors
+    ///
+    /// Real or injected I/O errors.
+    pub fn sync_all(&mut self) -> io::Result<()> {
+        gate(
+            &self.chaos,
+            &self.site,
+            Op::Sync {
+                path: self.path.clone(),
+            },
+            "sync",
+        )?;
+        self.file.sync_all()
+    }
+
+    /// `sync_data` with injection — journaled identically to
+    /// [`ChaosFile::sync_all`] (the sweep's durability model does not
+    /// distinguish data from metadata syncs).
+    ///
+    /// # Errors
+    ///
+    /// Real or injected I/O errors.
+    pub fn sync_data(&mut self) -> io::Result<()> {
+        gate(
+            &self.chaos,
+            &self.site,
+            Op::Sync {
+                path: self.path.clone(),
+            },
+            "sync",
+        )?;
+        self.file.sync_data()
+    }
+
+    /// The wrapped path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// `std::fs::rename` with injection and journaling.
+///
+/// # Errors
+///
+/// Real or injected I/O errors.
+pub fn rename(from: &Path, to: &Path, chaos: &Chaos, site: &str) -> io::Result<()> {
+    gate(
+        chaos,
+        site,
+        Op::Rename {
+            from: from.to_path_buf(),
+            to: to.to_path_buf(),
+        },
+        "rename",
+    )?;
+    std::fs::rename(from, to)
+}
+
+/// Whole-file write (`std::fs::write` semantics: create + write, **no**
+/// fsync) with injection and journaling.
+///
+/// # Errors
+///
+/// Real or injected I/O errors.
+pub fn write(path: &Path, contents: &[u8], chaos: &Chaos, site: &str) -> io::Result<()> {
+    let mut f = ChaosFile::create(path, chaos, site)?;
+    f.write_all(contents)
+}
+
+/// Durable whole-file write: create + write + `sync_all`.
+///
+/// # Errors
+///
+/// Real or injected I/O errors.
+pub fn write_durable(path: &Path, contents: &[u8], chaos: &Chaos, site: &str) -> io::Result<()> {
+    let mut f = ChaosFile::create(path, chaos, site)?;
+    f.write_all(contents)?;
+    f.sync_all()
+}
+
+/// `std::fs::read_to_string` with read-error injection (reads are not
+/// journaled — they leave no crash state).
+///
+/// # Errors
+///
+/// Real or injected I/O errors.
+pub fn read_to_string(path: &Path, chaos: &Chaos, site: &str) -> io::Result<String> {
+    if let Some(plan) = chaos {
+        if let Action::Fail(kind) = plan.on_read(site) {
+            return Err(injected(kind, "read"));
+        }
+    }
+    let mut s = String::new();
+    File::open(path)?.read_to_string(&mut s)?;
+    Ok(s)
+}
+
+/// `std::fs::create_dir_all` with read-style injection (directory
+/// creation is idempotent and journal-free: the sweep models files, and
+/// materialization recreates parent directories as needed).
+///
+/// # Errors
+///
+/// Real or injected I/O errors.
+pub fn create_dir_all(path: &Path, chaos: &Chaos, site: &str) -> io::Result<()> {
+    if let Some(plan) = chaos {
+        if let Action::Fail(kind) = plan.on_read(site) {
+            return Err(injected(kind, "create-dir"));
+        }
+    }
+    std::fs::create_dir_all(path)
+}
+
+/// Best-effort directory fsync: opens the directory and `sync_all`s it
+/// so a just-renamed entry survives a power loss. Journaled as a
+/// [`Op::Sync`] on the directory path. Errors are returned, but callers
+/// typically treat directory-fsync failure as survivable (the rename
+/// itself already happened).
+///
+/// # Errors
+///
+/// Real or injected I/O errors (notably on platforms where directories
+/// cannot be opened for sync).
+pub fn sync_dir(dir: &Path, chaos: &Chaos, site: &str) -> io::Result<()> {
+    gate(
+        chaos,
+        site,
+        Op::Sync {
+            path: dir.to_path_buf(),
+        },
+        "sync-dir",
+    )?;
+    File::open(dir)?.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+    use std::sync::Arc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tgc-chaos-shim-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn unarmed_shim_is_a_transparent_pass_through() {
+        let dir = tmpdir("unarmed");
+        let chaos: Chaos = None;
+        let p = dir.join("a.txt");
+        let mut f = ChaosFile::create(&p, &chaos, "t").unwrap();
+        f.write_all(b"hello ").unwrap();
+        f.write_all(b"world").unwrap();
+        f.flush().unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        let q = dir.join("b.txt");
+        rename(&p, &q, &chaos, "t").unwrap();
+        assert_eq!(read_to_string(&q, &chaos, "t").unwrap(), "hello world");
+        let mut f = ChaosFile::append(&q, &chaos, "t").unwrap();
+        f.write_all(b"!").unwrap();
+        f.sync_data().unwrap();
+        assert_eq!(std::fs::read_to_string(&q).unwrap(), "hello world!");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn armed_record_plan_journals_every_durable_op() {
+        let dir = tmpdir("record");
+        let plan = Arc::new(FaultPlan::from_seed(1));
+        let chaos: Chaos = Some(Arc::clone(&plan));
+        let p = dir.join("a.txt");
+        let mut f = ChaosFile::create(&p, &chaos, "site-a").unwrap();
+        f.write_all(b"payload").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        rename(&p, &dir.join("b.txt"), &chaos, "site-b").unwrap();
+        let j = plan.journal();
+        let labels: Vec<&str> = j.iter().map(|r| r.op.label()).collect();
+        assert_eq!(labels, ["create", "write", "sync", "rename"]);
+        assert_eq!(j[0].site, "site-a");
+        assert_eq!(j[3].site, "site-b");
+        // The file contents are untouched by a record-only plan.
+        assert_eq!(
+            std::fs::read_to_string(dir.join("b.txt")).unwrap(),
+            "payload"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_write_leaves_the_prefix_then_fails() {
+        let dir = tmpdir("short");
+        let plan = Arc::new(FaultPlan::parse("short-every:1", 3).unwrap());
+        let chaos: Chaos = Some(plan);
+        let p = dir.join("a.txt");
+        let mut f = ChaosFile::create(&p, &chaos, "t").unwrap();
+        let err = f.write_all(b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("chaos"), "{err}");
+        let on_disk = std::fs::read(&p).unwrap();
+        assert!(on_disk.len() < 10);
+        assert_eq!(&on_disk[..], &b"0123456789"[..on_disk.len()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_at_zero_fails_everything() {
+        let dir = tmpdir("crash");
+        let plan = Arc::new(FaultPlan::parse("crash-at:0", 0).unwrap());
+        let chaos: Chaos = Some(Arc::clone(&plan));
+        assert!(ChaosFile::create(&dir.join("a.txt"), &chaos, "t").is_err());
+        assert!(plan.crashed());
+        assert!(write(&dir.join("b.txt"), b"x", &chaos, "t").is_err());
+        assert!(read_to_string(&dir.join("a.txt"), &chaos, "t").is_err());
+        // Nothing was created.
+        assert!(!dir.join("a.txt").exists());
+        assert!(!dir.join("b.txt").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_durable_journals_the_sync_discipline() {
+        let dir = tmpdir("durable");
+        let plan = Arc::new(FaultPlan::from_seed(0));
+        let chaos: Chaos = Some(Arc::clone(&plan));
+        write_durable(&dir.join("d.txt"), b"bytes", &chaos, "t").unwrap();
+        let labels: Vec<&str> = plan.journal().iter().map(|r| r.op.label()).collect();
+        assert_eq!(labels, ["create", "write", "sync"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

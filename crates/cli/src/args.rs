@@ -133,6 +133,21 @@ pub struct Options {
     pub retry_after_ms: Option<u64>,
     /// `client --op compile|stats|ping|shutdown` (default compile).
     pub op: Option<String>,
+    /// `eval|serve --chaos-seed N`: arm the deterministic I/O chaos
+    /// layer with this seed (default plan `record` journals durable ops
+    /// without injecting faults).
+    pub chaos_seed: Option<u64>,
+    /// `eval|serve --chaos-plan SPEC`: chaos plan grammar
+    /// (`record|err-every:N|short-every:N|crash-at:N`). Implies seed 0
+    /// unless `--chaos-seed` is also given.
+    pub chaos_plan: Option<String>,
+    /// `serve --read-timeout-ms N`: socket read timeout / idle poll tick.
+    pub read_timeout_ms: Option<u64>,
+    /// `serve --write-timeout-ms N`: socket write timeout.
+    pub write_timeout_ms: Option<u64>,
+    /// `serve --idle-timeout-ms N`: idle-connection reaper budget
+    /// (0 disables the reaper).
+    pub idle_timeout_ms: Option<u64>,
 }
 
 /// An argument error with a user-facing message.
@@ -184,6 +199,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
         deadline_ms: None,
         retry_after_ms: None,
         op: None,
+        chaos_seed: None,
+        chaos_plan: None,
+        read_timeout_ms: None,
+        write_timeout_ms: None,
+        idle_timeout_ms: None,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -362,6 +382,48 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
                 opts.retry_after_ms = Some(
                     v.parse()
                         .map_err(|_| ArgError(format!("bad retry hint `{v}`")))?,
+                );
+            }
+            "--chaos-seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--chaos-seed needs a value".into()))?;
+                opts.chaos_seed = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad chaos seed `{v}`")))?,
+                );
+            }
+            "--chaos-plan" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--chaos-plan needs a spec".into()))?;
+                opts.chaos_plan = Some(v.clone());
+            }
+            "--read-timeout-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--read-timeout-ms needs a value".into()))?;
+                opts.read_timeout_ms = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad read timeout `{v}`")))?,
+                );
+            }
+            "--write-timeout-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--write-timeout-ms needs a value".into()))?;
+                opts.write_timeout_ms = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad write timeout `{v}`")))?,
+                );
+            }
+            "--idle-timeout-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--idle-timeout-ms needs a value".into()))?;
+                opts.idle_timeout_ms = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad idle timeout `{v}`")))?,
                 );
             }
             "--op" => {
@@ -579,6 +641,37 @@ mod tests {
         assert!(parse_args(&v(&["serve", "--queue-max", "0"])).is_err());
         assert!(parse_args(&v(&["client", "--op", "explode"])).is_err());
         assert!(parse_args(&v(&["serve", "--addr"])).is_err());
+    }
+
+    #[test]
+    fn chaos_and_timeout_flags_parse() {
+        let o = parse_args(&v(&["eval", "--chaos-seed", "42"])).unwrap();
+        assert_eq!(o.chaos_seed, Some(42));
+        assert_eq!(o.chaos_plan, None);
+
+        let o = parse_args(&v(&[
+            "serve",
+            "--chaos-plan",
+            "err-every:7",
+            "--chaos-seed",
+            "3",
+            "--read-timeout-ms",
+            "50",
+            "--write-timeout-ms",
+            "60",
+            "--idle-timeout-ms",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(o.chaos_plan.as_deref(), Some("err-every:7"));
+        assert_eq!(o.chaos_seed, Some(3));
+        assert_eq!(o.read_timeout_ms, Some(50));
+        assert_eq!(o.write_timeout_ms, Some(60));
+        assert_eq!(o.idle_timeout_ms, Some(0));
+
+        assert!(parse_args(&v(&["eval", "--chaos-seed", "nope"])).is_err());
+        assert!(parse_args(&v(&["serve", "--chaos-plan"])).is_err());
+        assert!(parse_args(&v(&["serve", "--read-timeout-ms", "soon"])).is_err());
     }
 
     #[test]

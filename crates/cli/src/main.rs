@@ -194,11 +194,14 @@ USAGE:
                [--cell-deadline-ms N] [--fault-seed N]
                [--fault-cell CELL=panic|hang:MS|fail[:TRIPS]]
                [--quarantine DIR] [--no-quarantine] [--jobs N]
+               [--chaos-seed N] [--chaos-plan SPEC]
   tgc gen      compress|gcc|go|ijpeg|li|m88ksim|perl|vortex
   tgc shape    fig1|biased|wide|linearized
   tgc serve    [--addr HOST:PORT] [--cache FILE] [--quarantine DIR]
                [--no-quarantine] [--queue-max N] [--deadline-ms N]
                [--retry-after-ms N] [--jobs N]
+               [--read-timeout-ms N] [--write-timeout-ms N]
+               [--idle-timeout-ms N] [--chaos-seed N] [--chaos-plan SPEC]
   tgc client   FILE --addr HOST:PORT [--op compile|stats|ping|shutdown]
                [--kind K] [--machine M] [--heuristic H] [--dompar]
                [--deadline-ms N]
@@ -228,6 +231,17 @@ SERVE:
   (--cache); `tgc client FILE` submits a batch (modules separated by
   `---` lines; `!fault-seed N`, `!panic-region N`, `!panic-hard` poison
   the module that follows), --op stats|ping|shutdown for control
+
+CHAOS (eval|serve):
+  --chaos-seed N     arm the deterministic I/O fault layer with seed N
+                     (plan defaults to `record`: journal durable ops,
+                     inject nothing)
+  --chaos-plan SPEC  record | err-every:N | short-every:N | crash-at:N;
+                     injected faults, short writes, and crash points are
+                     a pure function of (plan, seed) — same seed, same
+                     faults. Counters surface in serve `stats`
+                     (chaos-ops, chaos-injected-errors, ...) and on
+                     stderr after `tgc eval`.
 
 EXIT CODES:
   0  success
@@ -425,6 +439,10 @@ fn print_profile(profiler: &Profiler, functions: usize, machine: &treegion_machi
         sched_stats.hazard_hits,
         sched_stats.deferral_parks,
     );
+    // The I/O chaos layer never arms for pure scheduling (no durable
+    // I/O here); the row keeps the profile's key set identical across
+    // subcommands so dashboards can scrape one shape.
+    println!("  chaos      off (I/O fault layer; arm via eval|serve --chaos-seed)");
 }
 
 fn cmd_run(opts: &Options) -> Result<Vec<DegradationEvent>, String> {
@@ -473,11 +491,34 @@ fn cmd_run(opts: &Options) -> Result<Vec<DegradationEvent>, String> {
     Ok(events)
 }
 
+/// Builds the armed chaos plan from `--chaos-seed` / `--chaos-plan`
+/// (either flag arms it; plan defaults to `record`, seed to 0), or
+/// `None` — the transparent pass-through — when neither is given.
+fn chaos_from_opts(opts: &Options) -> Result<treegion_chaos::Chaos, String> {
+    if opts.chaos_plan.is_none() && opts.chaos_seed.is_none() {
+        return Ok(None);
+    }
+    let spec = opts.chaos_plan.as_deref().unwrap_or("record");
+    let seed = opts.chaos_seed.unwrap_or(0);
+    let plan = treegion_chaos::FaultPlan::parse(spec, seed)?;
+    Ok(Some(std::sync::Arc::new(plan)))
+}
+
+/// One stderr line summarizing what the armed chaos layer did.
+fn report_chaos(plan: &treegion_chaos::FaultPlan) {
+    let s = plan.snapshot();
+    eprintln!(
+        "tgc: chaos {} seed={} ops={} injected-errors={} short-writes={} crashed={}",
+        s.mode, s.seed, s.ops, s.injected_errors, s.short_writes, s.crashed
+    );
+}
+
 /// `tgc eval`: the crash-isolated, resumable evaluation harness.
 fn cmd_eval(opts: &Options) -> Result<RunStatus, String> {
     if opts.input.is_some() {
         return Err("eval takes no positional argument".into());
     }
+    let chaos = chaos_from_opts(opts)?;
     let mut fault_cells = Vec::new();
     for spec in &opts.fault_cells {
         fault_cells.push(treegion_eval::parse_fault_spec(spec)?);
@@ -505,8 +546,22 @@ fn cmd_eval(opts: &Options) -> Result<RunStatus, String> {
             )
         },
         only: opts.only.clone(),
+        chaos: chaos.clone(),
     };
-    let report = treegion_eval::run_harness(&hopts)?;
+    let report = match treegion_eval::run_harness(&hopts) {
+        Ok(r) => r,
+        Err(e) => {
+            // The counters explain the failure when the chaos layer
+            // injected it — report them before propagating.
+            if let Some(plan) = &chaos {
+                report_chaos(plan);
+            }
+            return Err(e);
+        }
+    };
+    if let Some(plan) = &chaos {
+        report_chaos(plan);
+    }
     print!("{}", report.merged_output());
     if !report.events.is_empty() {
         print!(
@@ -568,6 +623,8 @@ fn cmd_serve(opts: &Options) -> Result<RunStatus, Failure> {
     if opts.input.is_some() {
         return Err("serve takes no positional argument".to_string().into());
     }
+    let chaos = chaos_from_opts(opts).map_err(Failure::from)?;
+    let defaults = treegion_serve::ServerConfig::default();
     let config = treegion_serve::ServerConfig {
         addr: opts.addr.clone().unwrap_or_else(|| "127.0.0.1:0".into()),
         engine: treegion_serve::EngineConfig {
@@ -583,9 +640,13 @@ fn cmd_serve(opts: &Options) -> Result<RunStatus, Failure> {
                 )
             },
             default_deadline_ms: opts.deadline_ms,
+            chaos,
         },
         queue_max: opts.queue_max.unwrap_or(64),
         retry_after_ms: opts.retry_after_ms.unwrap_or(100),
+        read_timeout_ms: opts.read_timeout_ms.unwrap_or(defaults.read_timeout_ms),
+        write_timeout_ms: opts.write_timeout_ms.unwrap_or(defaults.write_timeout_ms),
+        idle_timeout_ms: opts.idle_timeout_ms.unwrap_or(defaults.idle_timeout_ms),
     };
     let server = treegion_serve::Server::bind(&config).map_err(serve_fatal)?;
     let engine = server.engine();
@@ -627,6 +688,14 @@ fn cmd_client(opts: &Options) -> Result<RunStatus, String> {
         .ok_or_else(|| "client needs --addr HOST:PORT".to_string())?;
     let mut stream =
         std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    // A wedged or crashed server must not hang the client forever. The
+    // defaults are generous (a compile batch answers module by module,
+    // so each frame arrives well within one budget); `read_frame` turns
+    // a timeout into a hard error — for a client, silence IS failure.
+    let read_ms = opts.read_timeout_ms.unwrap_or(30_000).max(1);
+    let write_ms = opts.write_timeout_ms.unwrap_or(10_000).max(1);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(read_ms)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(write_ms)));
     let op = opts.op.as_deref().unwrap_or("compile");
     if op != "compile" {
         let verb = match op {

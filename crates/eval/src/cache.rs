@@ -275,7 +275,21 @@ impl FormationCache {
     ///
     /// Propagates filesystem errors from [`DiskCache::open`].
     pub fn attach_disk(&self, path: &Path) -> Result<DiskRecovery, String> {
-        let (disk, recovery) = DiskCache::open(path)?;
+        self.attach_disk_chaos(path, None)
+    }
+
+    /// [`FormationCache::attach_disk`] with a chaos handle threaded into
+    /// the disk tier's durable operations (`None` = the plain attach).
+    ///
+    /// # Errors
+    ///
+    /// As [`FormationCache::attach_disk`], plus injected faults.
+    pub fn attach_disk_chaos(
+        &self,
+        path: &Path,
+        chaos: treegion_chaos::Chaos,
+    ) -> Result<DiskRecovery, String> {
+        let (disk, recovery) = DiskCache::open_chaos(path, chaos)?;
         *lock_tolerant(&self.inner.disk) = Some(Arc::new(disk));
         Ok(recovery)
     }

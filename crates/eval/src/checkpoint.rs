@@ -40,8 +40,8 @@
 
 use crate::records;
 use std::fmt;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use treegion_chaos::shim;
 
 /// File name of the manifest inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "manifest.txt";
@@ -228,25 +228,49 @@ impl RunManifest {
         })
     }
 
-    /// Writes the manifest into `dir` (atomically: temp file + rename, so
-    /// a crash mid-write leaves the previous manifest intact).
+    /// Writes the manifest into `dir` (atomically: temp file, `sync_all`,
+    /// rename, best-effort directory fsync — so a crash or power loss at
+    /// any point leaves either the previous manifest or the complete new
+    /// one, never a torn file published under the manifest name).
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors as strings.
     pub fn save(&self, dir: &Path) -> Result<PathBuf, String> {
-        std::fs::create_dir_all(dir)
+        self.save_chaos(dir, &None)
+    }
+
+    /// [`RunManifest::save`] with a chaos handle: the create → write →
+    /// fsync → rename sequence is journaled on (and may be perturbed by)
+    /// the armed [`treegion_chaos::FaultPlan`]. `None` is the plain save.
+    ///
+    /// # Errors
+    ///
+    /// As [`RunManifest::save`], plus injected faults.
+    pub fn save_chaos(&self, dir: &Path, chaos: &treegion_chaos::Chaos) -> Result<PathBuf, String> {
+        shim::create_dir_all(dir, chaos, "checkpoint.save")
             .map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
         let path = dir.join(MANIFEST_FILE);
         let tmp = dir.join(".manifest.tmp");
         {
-            let mut f = std::fs::File::create(&tmp)
+            let mut f = shim::ChaosFile::create(&tmp, chaos, "checkpoint.save")
                 .map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
             f.write_all(self.render().as_bytes())
                 .map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
+            // The fsync before the rename is what makes the rename an
+            // atomic *publish*: without it a power loss can rename a
+            // file whose bytes never reached the platter, publishing a
+            // torn manifest under the real name (the crash-point sweep
+            // proves this model catches exactly that).
+            f.sync_all()
+                .map_err(|e| format!("cannot sync `{}`: {e}", tmp.display()))?;
         }
-        std::fs::rename(&tmp, &path)
+        shim::rename(&tmp, &path, chaos, "checkpoint.save")
             .map_err(|e| format!("cannot move manifest into place: {e}"))?;
+        // Directory fsync makes the rename itself durable. Best-effort:
+        // the data is already safe under either name, and not every
+        // platform lets a directory be opened for sync.
+        let _ = shim::sync_dir(dir, chaos, "checkpoint.save");
         Ok(path)
     }
 

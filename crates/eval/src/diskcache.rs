@@ -37,11 +37,10 @@
 use crate::checkpoint::fnv1a;
 use crate::records;
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use treegion_chaos::{shim, Chaos};
 
 /// First line of every cache file (sealed like any other record).
 const HEADER: &str = "tgc-disk-cache v1";
@@ -72,7 +71,7 @@ pub struct DiskStats {
 
 struct DiskInner {
     map: HashMap<u64, String>,
-    file: File,
+    file: shim::ChaosFile,
 }
 
 /// The crash-safe key→payload store. All methods take `&self`; the store
@@ -82,6 +81,7 @@ pub struct DiskCache {
     inner: Mutex<DiskInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    chaos: Chaos,
 }
 
 impl std::fmt::Debug for DiskCache {
@@ -116,11 +116,23 @@ impl DiskCache {
     /// errors — they are dropped by recovery and reported in
     /// [`DiskRecovery`].
     pub fn open(path: &Path) -> Result<(Self, DiskRecovery), String> {
+        Self::open_chaos(path, None)
+    }
+
+    /// [`DiskCache::open`] with a chaos handle: every durable operation
+    /// (appends, fsyncs, compaction rewrites and renames) is journaled
+    /// on — and may be perturbed by — the armed [`treegion_chaos::FaultPlan`].
+    /// `None` is byte-for-byte the plain open.
+    ///
+    /// # Errors
+    ///
+    /// As [`DiskCache::open`], plus injected faults.
+    pub fn open_chaos(path: &Path, chaos: Chaos) -> Result<(Self, DiskRecovery), String> {
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            std::fs::create_dir_all(dir)
+            shim::create_dir_all(dir, &chaos, "diskcache.open")
                 .map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
         }
-        let text = match std::fs::read_to_string(path) {
+        let text = match shim::read_to_string(path, &chaos, "diskcache.open") {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
             Err(e) => return Err(format!("cannot read cache `{}`: {e}", path.display())),
@@ -158,13 +170,11 @@ impl DiskCache {
             || malformed > 0
             || (!fresh && rec.lines.first().map(String::as_str) != Some(HEADER));
         if fresh || needs_compact {
-            Self::rewrite(path, &map)?;
+            Self::rewrite(path, &map, &chaos)?;
             recovery.compacted = needs_compact;
         }
 
-        let file = OpenOptions::new()
-            .append(true)
-            .open(path)
+        let file = shim::ChaosFile::append(path, &chaos, "diskcache.append")
             .map_err(|e| format!("cannot open cache `{}`: {e}", path.display()))?;
         Ok((
             DiskCache {
@@ -172,6 +182,7 @@ impl DiskCache {
                 inner: Mutex::new(DiskInner { map, file }),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                chaos,
             },
             recovery,
         ))
@@ -179,7 +190,7 @@ impl DiskCache {
 
     /// Atomically rewrites the whole store (tmp file + rename). Entries
     /// are written in key order so the compacted file is deterministic.
-    fn rewrite(path: &Path, map: &HashMap<u64, String>) -> Result<(), String> {
+    fn rewrite(path: &Path, map: &HashMap<u64, String>, chaos: &Chaos) -> Result<(), String> {
         let mut body = String::new();
         body.push_str(&records::seal(HEADER));
         body.push('\n');
@@ -191,14 +202,15 @@ impl DiskCache {
         }
         let tmp = path.with_extension("tmp");
         {
-            let mut f =
-                File::create(&tmp).map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
+            let mut f = shim::ChaosFile::create(&tmp, chaos, "diskcache.compact")
+                .map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
             f.write_all(body.as_bytes())
                 .map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
             f.sync_all()
                 .map_err(|e| format!("cannot sync `{}`: {e}", tmp.display()))?;
         }
-        std::fs::rename(&tmp, path).map_err(|e| format!("cannot move cache into place: {e}"))
+        shim::rename(&tmp, path, chaos, "diskcache.compact")
+            .map_err(|e| format!("cannot move cache into place: {e}"))
     }
 
     /// Looks up a payload.
@@ -269,10 +281,8 @@ impl DiskCache {
     /// Propagates filesystem errors.
     pub fn compact(&self) -> Result<(), String> {
         let mut inner = self.lock();
-        Self::rewrite(&self.path, &inner.map)?;
-        inner.file = OpenOptions::new()
-            .append(true)
-            .open(&self.path)
+        Self::rewrite(&self.path, &inner.map, &self.chaos)?;
+        inner.file = shim::ChaosFile::append(&self.path, &self.chaos, "diskcache.append")
             .map_err(|e| format!("cannot reopen cache `{}`: {e}", self.path.display()))?;
         Ok(())
     }

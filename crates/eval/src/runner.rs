@@ -146,6 +146,11 @@ pub struct HarnessOptions {
     pub quarantine_dir: Option<PathBuf>,
     /// Restrict the run to these cells (empty = all ten).
     pub only: Vec<String>,
+    /// Armed I/O chaos plan (`--chaos-seed`/`--chaos-plan`): journals
+    /// and may perturb the run's durable writes (checkpoint cells, the
+    /// manifest, quarantine files). `None` (the default) changes
+    /// nothing.
+    pub chaos: treegion_chaos::Chaos,
 }
 
 impl HarnessOptions {
@@ -360,9 +365,9 @@ fn quarantine(
     if path.exists() {
         return Ok(None); // Deduplicated: this exact incident is on file.
     }
-    std::fs::create_dir_all(dir)
+    treegion_chaos::shim::create_dir_all(dir, &opts.chaos, "eval.quarantine")
         .map_err(|e| format!("cannot create quarantine dir `{}`: {e}", dir.display()))?;
-    std::fs::write(&path, body)
+    treegion_chaos::shim::write_durable(&path, body.as_bytes(), &opts.chaos, "eval.quarantine")
         .map_err(|e| format!("cannot write quarantine file `{}`: {e}", path.display()))?;
     Ok(Some(path))
 }
@@ -605,13 +610,22 @@ pub fn run_harness(opts: &HarnessOptions) -> Result<HarnessReport, String> {
     // Persist the checkpoint: per-cell outputs, then the manifest.
     if let Some(dir) = &opts.checkpoint_dir {
         let cells_dir = dir.join("cells");
-        std::fs::create_dir_all(&cells_dir)
+        treegion_chaos::shim::create_dir_all(&cells_dir, &opts.chaos, "eval.cell")
             .map_err(|e| format!("cannot create `{}`: {e}", cells_dir.display()))?;
         for c in &report.cells {
             if let Some(text) = &c.output {
                 let path = cell_path(dir, &c.name);
-                std::fs::write(&path, text)
-                    .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+                // Cells are fsynced before the manifest records them as
+                // `done`: a crash between the two leaves an extra cell
+                // file (harmless), never a manifest pointing at torn
+                // bytes (the digest check would demote it anyway).
+                treegion_chaos::shim::write_durable(
+                    &path,
+                    text.as_bytes(),
+                    &opts.chaos,
+                    "eval.cell",
+                )
+                .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
             }
         }
         let manifest = RunManifest {
@@ -629,7 +643,7 @@ pub fn run_harness(opts: &HarnessOptions) -> Result<HarnessReport, String> {
                 })
                 .collect(),
         };
-        report.manifest_path = Some(manifest.save(dir)?);
+        report.manifest_path = Some(manifest.save_chaos(dir, &opts.chaos)?);
     }
 
     Ok(report)

@@ -47,6 +47,11 @@ pub struct EngineConfig {
     pub quarantine_dir: Option<PathBuf>,
     /// Deadline applied when a request does not set one.
     pub default_deadline_ms: Option<u64>,
+    /// Armed I/O chaos plan (`--chaos-seed`/`--chaos-plan`): journals
+    /// and may perturb every durable write the engine performs (cache
+    /// appends and compactions, quarantine files). `None` changes
+    /// nothing.
+    pub chaos: treegion_chaos::Chaos,
 }
 
 /// One module's outcome.
@@ -87,6 +92,7 @@ pub struct Engine {
     pub stats: Arc<ServeStats>,
     profiler: Arc<Profiler>,
     default_deadline_ms: Option<u64>,
+    chaos: treegion_chaos::Chaos,
 }
 
 /// The configuration fingerprint half of the cache key. Debug renderings
@@ -112,9 +118,10 @@ impl Engine {
     pub fn open(config: &EngineConfig) -> Result<Self, String> {
         let cache = FormationCache::new();
         let recovery = match &config.cache_path {
-            Some(p) => Some(cache.attach_disk(p)?),
+            Some(p) => Some(cache.attach_disk_chaos(p, config.chaos.clone())?),
             None => None,
         };
+        let stats = Arc::new(ServeStats::default());
         let mut quarantined = HashSet::new();
         if let Some(dir) = &config.quarantine_dir {
             if let Ok(entries) = std::fs::read_dir(dir) {
@@ -122,16 +129,23 @@ impl Engine {
                     // Ledger files are `serve-<digest:016x>.tir`; the
                     // digest in the name is the dedup key, so a restart
                     // rejects the same offenders without re-reading
-                    // their bodies.
+                    // their bodies. The directory is operator-writable,
+                    // so anything else — foreign filenames, bad hex,
+                    // subdirectories — is skipped (and counted), never
+                    // trusted and never fatal.
+                    let is_file = e.file_type().map(|t| t.is_file()).unwrap_or(false);
                     let name = e.file_name();
                     let name = name.to_string_lossy();
-                    if let Some(hex) = name
+                    let digest = name
                         .strip_prefix("serve-")
                         .and_then(|r| r.strip_suffix(".tir"))
-                    {
-                        if let Ok(d) = u64::from_str_radix(hex, 16) {
+                        .filter(|hex| !hex.is_empty())
+                        .and_then(|hex| u64::from_str_radix(hex, 16).ok());
+                    match digest {
+                        Some(d) if is_file => {
                             quarantined.insert(d);
                         }
+                        _ => bump(&stats.ledger_skipped),
                     }
                 }
             }
@@ -141,9 +155,10 @@ impl Engine {
             recovery,
             quarantined: Mutex::new(quarantined),
             qdir: config.quarantine_dir.clone(),
-            stats: Arc::new(ServeStats::default()),
+            stats,
             profiler: Arc::new(Profiler::new()),
             default_deadline_ms: config.default_deadline_ms,
+            chaos: config.chaos.clone(),
         })
     }
 
@@ -161,6 +176,7 @@ impl Engine {
             &self.profiler,
             inflight,
             high_water,
+            self.chaos.as_ref().map(|p| p.snapshot()),
         )
     }
 
@@ -378,9 +394,21 @@ impl Engine {
         }
         body.push_str("// replay: parse_quarantine() recovers the module and its poison knobs\n");
         body.push_str(text);
-        if let Err(e) = std::fs::create_dir_all(dir)
+        // Durable (fsynced) write: the in-memory ledger entry above
+        // already fast-rejects this process's repeats, but only bytes on
+        // the platter protect the *next* process — a crash that loses
+        // the file merely lets the offender crash-and-requarantine once.
+        if let Err(e) = treegion_chaos::shim::create_dir_all(dir, &self.chaos, "serve.quarantine")
             .map_err(|e| e.to_string())
-            .and_then(|()| std::fs::write(&path, body).map_err(|e| e.to_string()))
+            .and_then(|()| {
+                treegion_chaos::shim::write_durable(
+                    &path,
+                    body.as_bytes(),
+                    &self.chaos,
+                    "serve.quarantine",
+                )
+                .map_err(|e| e.to_string())
+            })
         {
             eprintln!(
                 "tgc-serve: cannot write quarantine file {}: {e}",

@@ -57,22 +57,47 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), String> {
         .map_err(|e| format!("write: {e}"))
 }
 
-/// Reads one length-prefixed frame. `Ok(None)` on clean EOF at a frame
-/// boundary (the peer hung up between requests).
+/// What one timeout-aware read attempt produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete frame payload.
+    Frame(String),
+    /// Clean EOF at a frame boundary (the peer hung up between
+    /// requests).
+    Eof,
+    /// The socket's read timeout expired **before any header byte
+    /// arrived** — the connection is merely idle, not broken. The
+    /// caller decides whether its idle budget is exhausted.
+    IdleTimeout,
+}
+
+/// Reads one length-prefixed frame from a socket that may carry a read
+/// timeout. A timeout at a frame boundary is reported as
+/// [`FrameEvent::IdleTimeout`] (retryable); a timeout *mid-frame* means
+/// the peer stalled after starting a frame and is an error — waiting
+/// longer would pin the handler on a wedged sender.
 ///
 /// # Errors
 ///
-/// Truncated frames, oversized lengths, non-UTF-8 payloads, and I/O
-/// errors all fail with a message.
-pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, String> {
+/// Truncated frames, oversized lengths, non-UTF-8 payloads, mid-frame
+/// stalls (message starts with `stalled`), and I/O errors.
+pub fn read_frame_event(r: &mut impl Read) -> Result<FrameEvent, String> {
+    let timed_out = |e: &std::io::Error| {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    };
     let mut len = [0u8; 4];
     let mut got = 0;
     while got < 4 {
         match r.read(&mut len[got..]) {
-            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) if got == 0 => return Ok(FrameEvent::Eof),
             Ok(0) => return Err("truncated frame header".into()),
             Ok(n) => got += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if timed_out(&e) && got == 0 => return Ok(FrameEvent::IdleTimeout),
+            Err(e) if timed_out(&e) => return Err("stalled peer (mid-header timeout)".into()),
             Err(e) => return Err(format!("read: {e}")),
         }
     }
@@ -87,12 +112,30 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, String> {
             Ok(0) => return Err("truncated frame body".into()),
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if timed_out(&e) => return Err("stalled peer (mid-body timeout)".into()),
             Err(e) => return Err(format!("read: {e}")),
         }
     }
     String::from_utf8(buf)
-        .map(Some)
+        .map(FrameEvent::Frame)
         .map_err(|_| "frame is not UTF-8".into())
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary (the peer hung up between requests). On a socket with a
+/// read timeout, an idle timeout is an error here — clients waiting on
+/// a response use this entry point, and for them silence *is* failure.
+///
+/// # Errors
+///
+/// Truncated frames, oversized lengths, non-UTF-8 payloads, timeouts,
+/// and I/O errors all fail with a message.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, String> {
+    match read_frame_event(r)? {
+        FrameEvent::Frame(f) => Ok(Some(f)),
+        FrameEvent::Eof => Ok(None),
+        FrameEvent::IdleTimeout => Err("read timed out waiting for a frame".into()),
+    }
 }
 
 /// The request verbs.

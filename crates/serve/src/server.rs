@@ -13,7 +13,9 @@
 
 use crate::admission::Admission;
 use crate::engine::{Engine, EngineConfig, ModuleReply};
-use crate::protocol::{parse_request, read_frame, render_response, write_frame, Request, Verb};
+use crate::protocol::{
+    parse_request, read_frame_event, render_response, write_frame, FrameEvent, Request, Verb,
+};
 use crate::stats::bump;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,6 +33,16 @@ pub struct ServerConfig {
     pub queue_max: usize,
     /// Retry hint carried by shed replies, in milliseconds.
     pub retry_after_ms: u64,
+    /// Socket read timeout. Doubles as the idle poll tick: a frame that
+    /// *starts* must deliver its next bytes within this budget or the
+    /// connection is dropped as a stalled peer.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout: a peer that stops draining its receive
+    /// buffer cannot pin a handler on a blocked write forever.
+    pub write_timeout_ms: u64,
+    /// Idle budget: a connection with no traffic at all for this long is
+    /// reaped (counted in `idle-reaped`). Zero disables the reaper.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -40,8 +52,19 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             queue_max: 64,
             retry_after_ms: 100,
+            read_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
+            idle_timeout_ms: 300_000,
         }
     }
+}
+
+/// The per-connection timeout knobs, shared by every handler thread.
+#[derive(Clone, Copy, Debug)]
+struct Timeouts {
+    read_ms: u64,
+    write_ms: u64,
+    idle_ms: u64,
 }
 
 /// A bound (not yet running) server.
@@ -50,6 +73,7 @@ pub struct Server {
     engine: Arc<Engine>,
     admission: Admission,
     drain: Arc<AtomicBool>,
+    timeouts: Timeouts,
 }
 
 impl Server {
@@ -68,6 +92,11 @@ impl Server {
             engine,
             admission: Admission::new(config.queue_max.max(1), config.retry_after_ms),
             drain: Arc::new(AtomicBool::new(false)),
+            timeouts: Timeouts {
+                read_ms: config.read_timeout_ms.max(1),
+                write_ms: config.write_timeout_ms.max(1),
+                idle_ms: config.idle_timeout_ms,
+            },
         })
     }
 
@@ -113,8 +142,9 @@ impl Server {
                     let engine = Arc::clone(&self.engine);
                     let admission = self.admission.clone();
                     let drain = Arc::clone(&self.drain);
+                    let timeouts = self.timeouts;
                     let handle = std::thread::spawn(move || {
-                        handle_connection(stream, &engine, &admission, &drain);
+                        handle_connection(stream, &engine, &admission, &drain, timeouts);
                     });
                     lock(&handlers).push((handle, peer_copy));
                 }
@@ -145,19 +175,66 @@ impl Server {
     }
 }
 
-/// Serves one connection until EOF, a dead socket, or drain.
+/// Serves one connection until EOF, a dead socket, a timeout, or drain.
+///
+/// The socket read timeout is the poll tick: each expiry at a frame
+/// boundary burns `read_ms` of the connection's idle budget (the
+/// reaper), while an expiry *mid-frame* means the peer started a frame
+/// and stalled — that connection is dropped immediately so a wedged
+/// sender cannot pin a handler thread forever.
 fn handle_connection(
-    mut stream: TcpStream,
+    stream: TcpStream,
     engine: &Engine,
     admission: &Admission,
     drain: &AtomicBool,
+    timeouts: Timeouts,
 ) {
+    let mut stream = stream;
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(timeouts.read_ms)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(timeouts.write_ms)));
+    serve_connection(&mut stream, engine, admission, drain, timeouts);
+    // The accept loop holds a clone of this socket (for the drain-time
+    // force-close), so merely dropping our handle would NOT send FIN —
+    // the peer would sit on a half-dead connection until the server
+    // drains. Shut the underlying socket down explicitly: a dropped,
+    // reaped, or stalled connection closes the moment its handler exits.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// The request loop of one connection; returning ends the connection.
+fn serve_connection(
+    mut stream: &mut TcpStream,
+    engine: &Engine,
+    admission: &Admission,
+    drain: &AtomicBool,
+    timeouts: Timeouts,
+) {
+    let mut idle_ms = 0u64;
     loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(Some(f)) => f,
-            Ok(None) => return, // peer hung up cleanly
-            Err(_) => return,   // dead or force-closed socket
+        let frame = match read_frame_event(&mut stream) {
+            Ok(FrameEvent::Frame(f)) => {
+                idle_ms = 0;
+                f
+            }
+            Ok(FrameEvent::Eof) => return, // peer hung up cleanly
+            Ok(FrameEvent::IdleTimeout) => {
+                if drain.load(Ordering::Acquire) {
+                    return; // draining: stop waiting on idle peers
+                }
+                idle_ms = idle_ms.saturating_add(timeouts.read_ms);
+                if timeouts.idle_ms > 0 && idle_ms >= timeouts.idle_ms {
+                    bump(&engine.stats.idle_reaped);
+                    return;
+                }
+                continue;
+            }
+            Err(e) => {
+                if e.starts_with("stalled") {
+                    bump(&engine.stats.read_stalls);
+                }
+                return; // dead, stalled, or force-closed socket
+            }
         };
         bump(&engine.stats.requests);
         let req = match parse_request(&frame) {
@@ -190,7 +267,7 @@ fn handle_connection(
                 return;
             }
             Verb::Compile => {
-                if serve_batch(&mut stream, engine, admission, &req).is_err() {
+                if serve_batch(stream, engine, admission, &req).is_err() {
                     return;
                 }
             }

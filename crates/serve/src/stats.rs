@@ -36,6 +36,14 @@ pub struct ServeStats {
     pub warm: AtomicU64,
     /// Modules scheduled cold (and, when cacheable, stored).
     pub cold: AtomicU64,
+    /// Hostile quarantine-directory entries skipped during the ledger
+    /// rebuild (non-ledger filenames, subdirectories).
+    pub ledger_skipped: AtomicU64,
+    /// Connections reaped after exhausting their idle budget.
+    pub idle_reaped: AtomicU64,
+    /// Connections dropped for stalling mid-frame (read timeout after a
+    /// frame had started).
+    pub read_stalls: AtomicU64,
 }
 
 /// Bumps a counter by one.
@@ -54,6 +62,7 @@ impl ServeStats {
         profiler: &Profiler,
         inflight: usize,
         high_water: usize,
+        chaos: Option<treegion_chaos::ChaosSnapshot>,
     ) -> String {
         let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let mut out = String::new();
@@ -81,6 +90,25 @@ impl ServeStats {
         kv("cache-warm-rate", format!("{rate:.3}"));
         kv("inflight", inflight.to_string());
         kv("high-water", high_water.to_string());
+        kv("ledger-skipped", g(&self.ledger_skipped).to_string());
+        kv("idle-reaped", g(&self.idle_reaped).to_string());
+        kv("read-stalls", g(&self.read_stalls).to_string());
+        // Chaos-layer counters render unconditionally (zeros when no
+        // plan is armed) so dashboards and the CI smoke grep see a
+        // stable key set.
+        let snap = chaos.unwrap_or_default();
+        kv(
+            "chaos-armed",
+            if snap.mode.is_empty() {
+                "off".to_string()
+            } else {
+                format!("{} seed={}", snap.mode, snap.seed)
+            },
+        );
+        kv("chaos-ops", snap.ops.to_string());
+        kv("chaos-injected-errors", snap.injected_errors.to_string());
+        kv("chaos-short-writes", snap.short_writes.to_string());
+        kv("chaos-crashed", snap.crashed.to_string());
         kv(
             "disk-tier",
             format!("hits={} misses={}", cache.disk.hits, cache.disk.misses),
@@ -146,18 +174,37 @@ mod tests {
         bump(&s.ok);
         bump(&s.warm);
         bump(&s.shed);
-        let text = s.render(&CacheStats::default(), None, &Profiler::new(), 3, 64);
+        let text = s.render(&CacheStats::default(), None, &Profiler::new(), 3, 64, None);
         assert!(text.contains("ok 2\n"), "{text}");
         assert!(text.contains("shed 1\n"), "{text}");
         assert!(text.contains("cache-warm 1\n"), "{text}");
         assert!(text.contains("cache-warm-rate 1.000\n"), "{text}");
         assert!(text.contains("inflight 3\n"), "{text}");
         assert!(text.contains("high-water 64\n"), "{text}");
+        assert!(text.contains("ledger-skipped 0\n"), "{text}");
+        assert!(text.contains("idle-reaped 0\n"), "{text}");
+        assert!(text.contains("read-stalls 0\n"), "{text}");
+        assert!(text.contains("chaos-armed off\n"), "{text}");
+        assert!(text.contains("chaos-ops 0\n"), "{text}");
+        assert!(text.contains("chaos-injected-errors 0\n"), "{text}");
+        assert!(text.contains("chaos-short-writes 0\n"), "{text}");
+        assert!(text.contains("chaos-crashed false\n"), "{text}");
         assert!(text.contains("stage-formation"), "{text}");
         assert!(text.contains("automaton-hazard-hits 0\n"), "{text}");
         assert!(text.contains("automaton-parks 0\n"), "{text}");
         assert!(text.contains("automaton-states "), "{text}");
         assert!(text.contains("4U-asym=36"), "{text}");
+        // An armed plan renders its live counters.
+        let plan = treegion_chaos::FaultPlan::parse("err-every:2", 7).unwrap();
+        let text = s.render(
+            &CacheStats::default(),
+            None,
+            &Profiler::new(),
+            0,
+            64,
+            Some(plan.snapshot()),
+        );
+        assert!(text.contains("chaos-armed err-every:2 seed=7\n"), "{text}");
         // Recovery line appears when a scan ran.
         let text = s.render(
             &CacheStats::default(),
@@ -170,6 +217,7 @@ mod tests {
             &Profiler::new(),
             0,
             64,
+            None,
         );
         assert!(
             text.contains("cache-recovery replayed=2 dropped=1 torn-tail=true compacted=true"),

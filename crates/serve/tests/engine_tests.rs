@@ -37,6 +37,7 @@ fn engine(cache: Option<PathBuf>, qdir: Option<PathBuf>) -> Engine {
         cache_path: cache,
         quarantine_dir: qdir,
         default_deadline_ms: None,
+        chaos: None,
     })
     .unwrap()
 }
@@ -225,6 +226,66 @@ fn quarantine_dedup_holds_across_restarts() {
         0,
         "the restarted engine never ran the offender"
     );
+    let _ = std::fs::remove_dir_all(&qdir);
+}
+
+#[test]
+fn ledger_rebuild_skips_hostile_directory_contents() {
+    // The quarantine directory is operator-writable: a restart must
+    // rebuild the ledger from whatever it finds without panicking,
+    // skipping (and counting) everything that is not a ledger file —
+    // while still deduplicating the real offender it shares the
+    // directory with.
+    let qdir = tmpdir("hostile");
+    let opts = BatchOptions::default();
+    let m = poisoned_module("realoffender");
+    {
+        let eng = engine(None, Some(qdir.clone()));
+        assert!(matches!(
+            eng.compile_module(&opts, &m),
+            ModuleReply::Err {
+                quarantined: true,
+                ..
+            }
+        ));
+    }
+    // Hostile neighbors: foreign names, empty digest, bad hex, an
+    // overlong digest, a stray extension, and a *directory* wearing a
+    // perfectly valid ledger name.
+    std::fs::write(qdir.join("README.txt"), "ops notes").unwrap();
+    std::fs::write(qdir.join("serve-.tir"), "").unwrap();
+    std::fs::write(qdir.join("serve-zzzz.tir"), "not hex").unwrap();
+    std::fs::write(qdir.join("serve-ffffffffffffffff0.tir"), "too long").unwrap();
+    std::fs::write(qdir.join("serve-1234.dat"), "wrong suffix").unwrap();
+    std::fs::create_dir(qdir.join("serve-000000000000000a.tir")).unwrap();
+
+    let eng = engine(None, Some(qdir.clone()));
+    assert_eq!(
+        eng.quarantined_count(),
+        1,
+        "only the real offender belongs on the ledger"
+    );
+    assert_eq!(
+        eng.stats.ledger_skipped.load(Ordering::Relaxed),
+        6,
+        "every hostile entry is skipped and counted"
+    );
+    // The real offender is still fast-rejected without re-running.
+    match eng.compile_module(&opts, &m) {
+        ModuleReply::Err {
+            cause, quarantined, ..
+        } => {
+            assert_eq!(cause, "quarantined");
+            assert!(quarantined);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(eng.stats.contained.load(Ordering::Relaxed), 0);
+    // A clean module still schedules in the hostile neighborhood.
+    assert!(matches!(
+        eng.compile_module(&opts, &clean_module("fine")),
+        ModuleReply::Ok { .. }
+    ));
     let _ = std::fs::remove_dir_all(&qdir);
 }
 

@@ -1,0 +1,227 @@
+//! Protocol robustness: a seeded fuzzer feeding malformed, truncated,
+//! oversized, and non-UTF-8 frames at both the pure parsers and a live
+//! server, plus the socket-timeout exit paths (idle reaper, mid-frame
+//! staller). The invariant everywhere: the server answers with a
+//! structured error or drops the connection cleanly — it never panics,
+//! never allocates past [`MAX_FRAME`], and never wedges a worker (a
+//! fresh connection always still gets `pong`).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use treegion_rng::StdRng;
+use treegion_serve::{
+    parse_request, parse_response, read_frame, render_simple, write_frame, EngineConfig, Server,
+    ServerConfig, Verb, MAX_FRAME,
+};
+
+fn start(config: ServerConfig) -> (String, std::thread::JoinHandle<Result<(), String>>) {
+    let server = Server::bind(&config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn quick_server() -> (String, std::thread::JoinHandle<Result<(), String>>) {
+    start(ServerConfig {
+        engine: EngineConfig {
+            cache_path: None,
+            quarantine_dir: None,
+            default_deadline_ms: None,
+            chaos: None,
+        },
+        // Short ticks so stall/reap paths fire within test time.
+        read_timeout_ms: 50,
+        write_timeout_ms: 1_000,
+        idle_timeout_ms: 150,
+        ..ServerConfig::default()
+    })
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let s = TcpStream::connect(addr).unwrap();
+    // The test must fail, not hang, if the server wedges.
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s
+}
+
+/// The liveness probe: a brand-new connection still gets `pong`.
+fn assert_alive(addr: &str) {
+    let mut s = connect(addr);
+    write_frame(&mut s, &render_simple(Verb::Ping)).unwrap();
+    let f = parse_response(&read_frame(&mut s).unwrap().expect("server hung up")).unwrap();
+    assert_eq!(f.kind, "pong");
+}
+
+/// Drains until the server closes the connection (or errors); panics if
+/// it keeps talking for more than `max` frames.
+fn assert_closed(mut s: TcpStream, max: usize) {
+    let mut buf = [0u8; 4096];
+    for _ in 0..max {
+        match s.read(&mut buf) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(_) => return, // reset counts as closed
+        }
+    }
+    panic!("server kept the connection alive past {max} reads");
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<Result<(), String>>) {
+    let mut s = connect(addr);
+    write_frame(&mut s, &render_simple(Verb::Shutdown)).unwrap();
+    let f = parse_response(&read_frame(&mut s).unwrap().unwrap()).unwrap();
+    assert_eq!(f.kind, "draining");
+    handle.join().unwrap().unwrap();
+}
+
+fn stats_value(addr: &str, key: &str) -> u64 {
+    let mut s = connect(addr);
+    write_frame(&mut s, &render_simple(Verb::Stats)).unwrap();
+    let f = parse_response(&read_frame(&mut s).unwrap().unwrap()).unwrap();
+    assert_eq!(f.kind, "stats");
+    f.body
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("stats body lacks `{key}`:\n{}", f.body))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn parsers_survive_seeded_garbage() {
+    // Pure-parser fuzz: random bytes (lossy UTF-8) and seeded mutations
+    // of a valid request must never panic — only `Ok` or `Err`.
+    let valid = "tgc-serve v1 compile\nkind tree\nmachine 4u\n\nmodule @m\n\nfunc @f {\n  bb0 (weight 1):\n    ret\n}\n";
+    let mut rng = StdRng::seed_from_u64(0xf00d);
+    for round in 0..500 {
+        let text: String = if round % 2 == 0 {
+            let len = rng.gen_range(0usize..300);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect();
+            String::from_utf8_lossy(&bytes).into_owned()
+        } else {
+            // Mutate the valid request: truncate, splice, flip chars.
+            let mut t: Vec<char> = valid.chars().collect();
+            for _ in 0..rng.gen_range(1usize..8) {
+                match rng.gen_range(0u64..3) {
+                    0 if !t.is_empty() => t.truncate(rng.gen_range(0usize..t.len())),
+                    1 => {
+                        let i = rng.gen_range(0usize..t.len().max(1));
+                        t.insert(i.min(t.len()), rng.gen_range(0u64..128) as u8 as char);
+                    }
+                    _ if !t.is_empty() => {
+                        let i = rng.gen_range(0usize..t.len());
+                        t[i] = rng.gen_range(0u64..128) as u8 as char;
+                    }
+                    _ => {}
+                }
+            }
+            t.into_iter().collect()
+        };
+        let _ = parse_request(&text);
+        let _ = parse_response(&text);
+    }
+}
+
+#[test]
+fn live_server_survives_malformed_frames() {
+    let (addr, handle) = quick_server();
+
+    // Oversized length claim: refused before allocation, connection
+    // dropped, server alive.
+    let mut s = connect(&addr);
+    s.write_all(&(MAX_FRAME + 1).to_be_bytes()).unwrap();
+    assert_closed(s, 4);
+    assert_alive(&addr);
+
+    // Truncated body: header promises 100 bytes, sender hangs up at 10.
+    let mut s = connect(&addr);
+    s.write_all(&100u32.to_be_bytes()).unwrap();
+    s.write_all(b"0123456789").unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    assert_closed(s, 4);
+    assert_alive(&addr);
+
+    // Non-UTF-8 payload: dropped cleanly.
+    let mut s = connect(&addr);
+    s.write_all(&4u32.to_be_bytes()).unwrap();
+    s.write_all(&[0xff, 0xfe, 0x80, 0x81]).unwrap();
+    assert_closed(s, 4);
+    assert_alive(&addr);
+
+    // Zero-length flood: framing stays intact, so each empty payload is
+    // answered with a structured `error` frame on the SAME connection —
+    // bounded work per frame, no amplification, no wedge.
+    let mut s = connect(&addr);
+    for _ in 0..64 {
+        s.write_all(&0u32.to_be_bytes()).unwrap();
+    }
+    for _ in 0..64 {
+        let f = parse_response(&read_frame(&mut s).unwrap().expect("hung up mid-flood")).unwrap();
+        assert_eq!(f.kind, "error");
+    }
+    write_frame(&mut s, &render_simple(Verb::Ping)).unwrap();
+    let f = parse_response(&read_frame(&mut s).unwrap().unwrap()).unwrap();
+    assert_eq!(f.kind, "pong", "connection must survive the flood");
+
+    // Seeded random payloads in valid framing: every reply is a
+    // structured frame or a clean close, and the server outlives all of
+    // them.
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..50 {
+        let mut s = connect(&addr);
+        let len = rng.gen_range(1usize..2048);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect();
+        let payload = String::from_utf8_lossy(&bytes).into_owned();
+        if write_frame(&mut s, &payload).is_err() {
+            continue;
+        }
+        // A clean close (Ok(None) / Err) is also acceptable.
+        if let Ok(Some(reply)) = read_frame(&mut s) {
+            let f = parse_response(&reply).expect("reply must be structured");
+            assert!(f.kind == "error" || f.kind.starts_with("result"), "{f:?}");
+        }
+    }
+    assert_alive(&addr);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn idle_connections_are_reaped_and_counted() {
+    let (addr, handle) = quick_server();
+    // An idle connection: no bytes at all. With a 50ms tick and a 150ms
+    // idle budget the reaper fires within a few ticks.
+    let s = connect(&addr);
+    assert_closed(s, 64);
+    assert!(
+        stats_value(&addr, "idle-reaped") >= 1,
+        "reap must be counted"
+    );
+    // The reaper does not touch connections that keep talking.
+    let mut chatty = connect(&addr);
+    for _ in 0..4 {
+        std::thread::sleep(Duration::from_millis(60));
+        write_frame(&mut chatty, &render_simple(Verb::Ping)).unwrap();
+        let f = parse_response(&read_frame(&mut chatty).unwrap().unwrap()).unwrap();
+        assert_eq!(f.kind, "pong");
+    }
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn mid_frame_stall_drops_the_connection() {
+    let (addr, handle) = quick_server();
+    // Two header bytes, then silence: the peer started a frame and
+    // stalled. The handler must drop it after one read tick — not wait
+    // out the idle budget, not hang forever.
+    let mut s = connect(&addr);
+    s.write_all(&[0u8, 0u8]).unwrap();
+    s.flush().unwrap();
+    assert_closed(s, 64);
+    assert!(
+        stats_value(&addr, "read-stalls") >= 1,
+        "stall must be counted"
+    );
+    assert_alive(&addr);
+    shutdown(&addr, handle);
+}

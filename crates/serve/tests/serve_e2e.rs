@@ -68,6 +68,7 @@ fn mixed_batch_poison_is_contained_while_siblings_complete() {
             cache_path: Some(dir.join("cache.tgc")),
             quarantine_dir: Some(dir.join("quarantine")),
             default_deadline_ms: None,
+            chaos: None,
         },
         ..ServerConfig::default()
     });
@@ -188,6 +189,7 @@ fn drain_finishes_inflight_work_and_compacts_the_cache() {
             cache_path: Some(cache_path.clone()),
             quarantine_dir: None,
             default_deadline_ms: None,
+            chaos: None,
         },
         ..ServerConfig::default()
     });
@@ -207,6 +209,7 @@ fn drain_finishes_inflight_work_and_compacts_the_cache() {
             cache_path: Some(cache_path),
             quarantine_dir: None,
             default_deadline_ms: None,
+            chaos: None,
         },
         ..ServerConfig::default()
     });
@@ -229,6 +232,7 @@ fn per_request_deadline_answers_with_structured_error() {
             cache_path: None,
             quarantine_dir: Some(dir.join("quarantine")),
             default_deadline_ms: None,
+            chaos: None,
         },
         ..ServerConfig::default()
     });
