@@ -13,6 +13,13 @@
 //! * us/request through the `tgc serve` engine's batch path, cold (every
 //!   module scheduled and written to the disk cache tier) and warm
 //!   (every module answered from cache) — the serve-daemon kernel;
+//! * sustained-throughput kernels through a real TCP server driven by
+//!   the `tgc loadgen` harness: `serve_warm_c1` (one connection, one
+//!   batch per connection — the pre-pipelining baseline shape) and
+//!   `serve_warm_c8` (8 keep-alive connections × pipeline depth 8),
+//!   with req/s and connection concurrency recorded alongside;
+//! * `cache_shard_probe`: ns per warm lookup on the 8-way lock-striped
+//!   sharded disk cache, the warm path's contention kernel;
 //! * end-to-end evaluation-harness wall time (all tables and figures) in
 //!   three configurations: memoization off at `jobs=1` (the pre-cache
 //!   behaviour), memoization on at `jobs=1`, and memoization on at the
@@ -30,8 +37,9 @@
 //! overrides the output path (default `BENCH_sched.json` in the current
 //! directory, i.e. the repository root when run via `cargo run`).
 //! `--regress BASELINE.json` exits non-zero if `ddg_build`,
-//! `list_sched`, `schedule_region`, `hazard_probe`, `serve_cold`, or
-//! `serve_warm` regresses more than 1.3× against the committed baseline
+//! `list_sched`, `schedule_region`, `hazard_probe`, `serve_cold`,
+//! `serve_warm`, `serve_warm_c8`, or `cache_shard_probe` regresses more
+//! than 1.3× against the committed baseline
 //! file (the per-kernel CI regression bound). `--states` prints the
 //! hazard-automaton state count of every machine preset and exits — the
 //! CI guard against state-space blowups.
@@ -228,6 +236,7 @@ fn serve_kernel(reps: usize, n: usize) -> (f64, f64) {
             quarantine_dir: None,
             default_deadline_ms: None,
             chaos: None,
+            cache_shards: 0,
         })
         .expect("bench engine opens");
         let t0 = Instant::now();
@@ -245,6 +254,127 @@ fn serve_kernel(reps: usize, n: usize) -> (f64, f64) {
     }
     let _ = std::fs::remove_dir_all(&dir);
     (cold, warm)
+}
+
+/// Connection/pipeline shapes of the two loadgen kernels. Recorded in
+/// the JSON next to the numbers so a baseline comparison knows what
+/// concurrency produced them.
+const LOAD_C1: (usize, usize) = (1, 1);
+const LOAD_C8: (usize, usize) = (8, 8);
+
+/// Sustained warm throughput through a real TCP `Server` driven by the
+/// `tgc loadgen` harness: `(c1_us, c1_rps, c8_us, c8_rps)`.
+///
+/// `c1` opens a fresh connection per batch at depth 1 — the
+/// pre-pipelining one-batch-per-connection baseline shape. `c8` keeps 8
+/// connections alive with 8 batches in flight each. Both draw the same
+/// seeded module pool, primed once beforehand, so every measured
+/// request is a warm cache hit and the delta is pure protocol/cache
+/// concurrency.
+fn loadgen_kernel() -> (f64, f64, f64, f64) {
+    use treegion_serve::{
+        parse_response, read_frame, render_simple, run_loadgen, write_frame, EngineConfig,
+        LoadgenConfig, Server, ServerConfig, Verb,
+    };
+    let dir = std::env::temp_dir().join(format!("tgc-bench-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        engine: EngineConfig {
+            cache_path: Some(dir.join("cache.tgc")),
+            quarantine_dir: None,
+            default_deadline_ms: None,
+            chaos: None,
+            cache_shards: 0,
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bench server binds");
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    // One second per shape in quick mode too: sustained-throughput
+    // numbers need the window to dominate startup jitter, or the CI
+    // regression gate flaps.
+    let base = LoadgenConfig {
+        addr: addr.clone(),
+        duration_ms: 1_000,
+        seed: 0xBEEF,
+        ..LoadgenConfig::default()
+    };
+    // Prime the cache: the pool is deterministic per seed, so one short
+    // pass converts every later request into a warm hit.
+    run_loadgen(&LoadgenConfig {
+        connections: 1,
+        pipeline_depth: 4,
+        duration_ms: 200,
+        reconnect: false,
+        ..base.clone()
+    })
+    .expect("prime pass");
+    let c1 = run_loadgen(&LoadgenConfig {
+        connections: LOAD_C1.0,
+        pipeline_depth: LOAD_C1.1,
+        reconnect: true,
+        ..base.clone()
+    })
+    .expect("c1 baseline pass");
+    let c8 = run_loadgen(&LoadgenConfig {
+        connections: LOAD_C8.0,
+        pipeline_depth: LOAD_C8.1,
+        reconnect: false,
+        ..base
+    })
+    .expect("c8 pipelined pass");
+    assert_eq!(c1.seq_mismatches + c8.seq_mismatches, 0, "FIFO broken");
+
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    write_frame(&mut s, &render_simple(Verb::Shutdown)).unwrap();
+    let reply = read_frame(&mut s).unwrap().expect("server hung up");
+    assert_eq!(parse_response(&reply).unwrap().kind, "draining");
+    handle.join().unwrap().expect("server run loop");
+    let _ = std::fs::remove_dir_all(&dir);
+    (
+        c1.us_per_module(),
+        c1.req_per_sec(),
+        c8.us_per_module(),
+        c8.req_per_sec(),
+    )
+}
+
+/// ns per warm `get` on a pre-populated 8-way [`ShardedDiskCache`] —
+/// the lock-striped lookup the serve warm path rides. A regression here
+/// means the striping (or the per-shard in-memory index) picked up a
+/// serialization point.
+fn cache_shard_probe_kernel(reps: usize, iters: usize) -> f64 {
+    use treegion_eval::ShardedDiskCache;
+    let dir = std::env::temp_dir().join(format!("tgc-bench-shardprobe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (cache, _) = ShardedDiskCache::open(&dir.join("probe.tgc"), 8, None).expect("probe store");
+    let keys = 256u64;
+    for k in 0..keys {
+        cache
+            .put(k, &format!("probe payload {k}"))
+            .expect("probe put");
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut live = 0u64;
+        let t0 = Instant::now();
+        for i in 0..iters {
+            let key = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % keys;
+            if cache.get(key).is_some() {
+                live += 1;
+            }
+        }
+        let ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        assert_eq!(live, iters as u64);
+        best = best.min(ns);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    best
 }
 
 /// Renders every table/figure the `all` binary prints; returns total
@@ -333,8 +463,20 @@ fn main() {
     let hazard_probe_ns = hazard_probe_kernel(reps, probe_iters);
 
     // --- Serve engine kernel (cold vs warm, us per request). ---
-    let serve_n = if cfg.quick { 8 } else { 32 };
+    // Same batch size in quick and full mode: per-request numbers only
+    // compare against the committed full-mode baseline if the
+    // batch-level fixed costs amortize identically, and the kernel
+    // costs milliseconds either way.
+    let serve_n = 32;
     let (serve_cold_us, serve_warm_us) = serve_kernel(reps, serve_n);
+
+    // --- Sustained-throughput loadgen kernels over real TCP. ---
+    let (c1_us, c1_rps, c8_us, c8_rps) = loadgen_kernel();
+    let load_speedup = if c1_rps > 0.0 { c8_rps / c1_rps } else { 0.0 };
+
+    // --- Sharded-cache probe kernel (ns per warm get). ---
+    let probe_gets = if cfg.quick { 200_000 } else { 1_000_000 };
+    let shard_probe_ns = cache_shard_probe_kernel(reps, probe_gets);
 
     // --- End-to-end harness wall times. ---
     let jobs_n = treegion_par::max_jobs();
@@ -358,7 +500,7 @@ fn main() {
     let per = |total_ns: u128, ops: u128| total_ns as f64 / ops.max(1) as f64;
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"treegion-bench-sched/v4\",");
+    let _ = writeln!(j, "  \"schema\": \"treegion-bench-sched/v5\",");
     let _ = writeln!(
         j,
         "  \"mode\": \"{}\",",
@@ -388,7 +530,8 @@ fn main() {
         "    \"schedule_region\": {:.2},",
         per(sched_ns, lowered_ops)
     );
-    let _ = writeln!(j, "    \"hazard_probe\": {hazard_probe_ns:.2}");
+    let _ = writeln!(j, "    \"hazard_probe\": {hazard_probe_ns:.2},");
+    let _ = writeln!(j, "    \"cache_shard_probe\": {shard_probe_ns:.2}");
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"automaton_states\": {{");
     {
@@ -406,7 +549,19 @@ fn main() {
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"serve_us_per_req\": {{");
     let _ = writeln!(j, "    \"serve_cold\": {serve_cold_us:.2},");
-    let _ = writeln!(j, "    \"serve_warm\": {serve_warm_us:.2}");
+    let _ = writeln!(j, "    \"serve_warm\": {serve_warm_us:.2},");
+    let _ = writeln!(j, "    \"serve_warm_c1\": {c1_us:.2},");
+    let _ = writeln!(j, "    \"serve_warm_c8\": {c8_us:.2}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"serve_load\": {{");
+    let _ = writeln!(j, "    \"jobs_available\": {jobs_n},");
+    let _ = writeln!(j, "    \"connections_c1\": {},", LOAD_C1.0);
+    let _ = writeln!(j, "    \"pipeline_depth_c1\": {},", LOAD_C1.1);
+    let _ = writeln!(j, "    \"req_per_sec_c1\": {c1_rps:.0},");
+    let _ = writeln!(j, "    \"connections_c8\": {},", LOAD_C8.0);
+    let _ = writeln!(j, "    \"pipeline_depth_c8\": {},", LOAD_C8.1);
+    let _ = writeln!(j, "    \"req_per_sec_c8\": {c8_rps:.0},");
+    let _ = writeln!(j, "    \"speedup_c8_over_c1\": {load_speedup:.2}");
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"harness_ms\": {{");
     let _ = writeln!(j, "    \"uncached_jobs1\": {uncached_jobs1:.1},");
@@ -447,6 +602,8 @@ fn main() {
             ("hazard_probe", hazard_probe_ns),
             ("serve_cold", serve_cold_us),
             ("serve_warm", serve_warm_us),
+            ("serve_warm_c8", c8_us),
+            ("cache_shard_probe", shard_probe_ns),
         ] {
             let Some(base) = json_number(&baseline, key) else {
                 eprintln!("bench_sched: regress: baseline has no `{key}`, skipping");

@@ -148,6 +148,32 @@ pub struct Options {
     /// `serve --idle-timeout-ms N`: idle-connection reaper budget
     /// (0 disables the reaper).
     pub idle_timeout_ms: Option<u64>,
+    /// `serve --cache-shards N`: lock-striped shard files for the disk
+    /// cache (default 8).
+    pub cache_shards: Option<usize>,
+    /// `serve --pipeline-depth N`: per-connection compile batches
+    /// buffered between the reader and the scheduler (default 32).
+    pub pipeline_depth: Option<usize>,
+    /// `loadgen --connections N`: concurrent connections (default 8).
+    pub connections: Option<usize>,
+    /// `loadgen --pipeline N`: batches in flight per connection
+    /// (default 8).
+    pub pipeline: Option<usize>,
+    /// `loadgen --duration-ms N`: run length (default 2000).
+    pub duration_ms: Option<u64>,
+    /// `loadgen|client --seed N`: workload / retry-jitter seed.
+    pub seed: Option<u64>,
+    /// `loadgen --batch-modules N`: modules per batch (default 2).
+    pub batch_modules: Option<usize>,
+    /// `loadgen --pool N`: distinct generated modules (default 16).
+    pub pool: Option<usize>,
+    /// `loadgen --reconnect`: fresh connection per batch, no pipelining
+    /// (the pre-keep-alive baseline shape).
+    pub reconnect: bool,
+    /// `client --shed-retries N`: resubmission rounds for shed modules,
+    /// honoring the server's retry-after hint (default 2; 0 fails
+    /// straight to the retryable exit).
+    pub shed_retries: Option<u32>,
 }
 
 /// An argument error with a user-facing message.
@@ -204,6 +230,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
         read_timeout_ms: None,
         write_timeout_ms: None,
         idle_timeout_ms: None,
+        cache_shards: None,
+        pipeline_depth: None,
+        connections: None,
+        pipeline: None,
+        duration_ms: None,
+        seed: None,
+        batch_modules: None,
+        pool: None,
+        reconnect: false,
+        shed_retries: None,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -426,6 +462,103 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
                         .map_err(|_| ArgError(format!("bad idle timeout `{v}`")))?,
                 );
             }
+            "--cache-shards" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--cache-shards needs a count".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad shard count `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--cache-shards must be at least 1".into()));
+                }
+                opts.cache_shards = Some(n);
+            }
+            "--pipeline-depth" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--pipeline-depth needs a count".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad pipeline depth `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--pipeline-depth must be at least 1".into()));
+                }
+                opts.pipeline_depth = Some(n);
+            }
+            "--connections" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--connections needs a count".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad connection count `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--connections must be at least 1".into()));
+                }
+                opts.connections = Some(n);
+            }
+            "--pipeline" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--pipeline needs a depth".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad pipeline depth `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--pipeline must be at least 1".into()));
+                }
+                opts.pipeline = Some(n);
+            }
+            "--duration-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--duration-ms needs a value".into()))?;
+                opts.duration_ms = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad duration `{v}`")))?,
+                );
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--seed needs a value".into()))?;
+                opts.seed = Some(v.parse().map_err(|_| ArgError(format!("bad seed `{v}`")))?);
+            }
+            "--batch-modules" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--batch-modules needs a count".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad module count `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--batch-modules must be at least 1".into()));
+                }
+                opts.batch_modules = Some(n);
+            }
+            "--pool" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--pool needs a count".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad pool size `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--pool must be at least 1".into()));
+                }
+                opts.pool = Some(n);
+            }
+            "--reconnect" => opts.reconnect = true,
+            "--shed-retries" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--shed-retries needs a count".into()))?;
+                opts.shed_retries = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad retry count `{v}`")))?,
+                );
+            }
             "--op" => {
                 let v = it
                     .next()
@@ -641,6 +774,56 @@ mod tests {
         assert!(parse_args(&v(&["serve", "--queue-max", "0"])).is_err());
         assert!(parse_args(&v(&["client", "--op", "explode"])).is_err());
         assert!(parse_args(&v(&["serve", "--addr"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_and_pipelining_flags_parse() {
+        let o = parse_args(&v(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:7878",
+            "--connections",
+            "8",
+            "--pipeline",
+            "4",
+            "--duration-ms",
+            "2000",
+            "--seed",
+            "99",
+            "--batch-modules",
+            "3",
+            "--pool",
+            "12",
+            "--reconnect",
+        ]))
+        .unwrap();
+        assert_eq!(o.command, "loadgen");
+        assert_eq!(o.connections, Some(8));
+        assert_eq!(o.pipeline, Some(4));
+        assert_eq!(o.duration_ms, Some(2000));
+        assert_eq!(o.seed, Some(99));
+        assert_eq!(o.batch_modules, Some(3));
+        assert_eq!(o.pool, Some(12));
+        assert!(o.reconnect);
+
+        let o = parse_args(&v(&[
+            "serve",
+            "--cache-shards",
+            "4",
+            "--pipeline-depth",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(o.cache_shards, Some(4));
+        assert_eq!(o.pipeline_depth, Some(16));
+
+        let o = parse_args(&v(&["client", "x.tir", "--shed-retries", "0"])).unwrap();
+        assert_eq!(o.shed_retries, Some(0));
+
+        assert!(parse_args(&v(&["serve", "--cache-shards", "0"])).is_err());
+        assert!(parse_args(&v(&["loadgen", "--connections", "0"])).is_err());
+        assert!(parse_args(&v(&["loadgen", "--pipeline", "zero"])).is_err());
+        assert!(parse_args(&v(&["client", "--shed-retries"])).is_err());
     }
 
     #[test]

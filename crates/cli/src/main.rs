@@ -15,11 +15,16 @@
 //!              [--no-quarantine] [--jobs N]
 //! tgc gen      BENCH                          emit a synthetic benchmark
 //! tgc shape    NAME                           emit a paper figure shape
-//! tgc serve    [--addr A] [--cache FILE] [--quarantine DIR]
-//!              [--queue-max N] [--deadline-ms N] [--retry-after-ms N]
-//!              [--jobs N]                     scheduler-as-a-service daemon
+//! tgc serve    [--addr A] [--cache FILE] [--cache-shards N]
+//!              [--quarantine DIR] [--queue-max N] [--pipeline-depth N]
+//!              [--deadline-ms N] [--retry-after-ms N] [--jobs N]
+//!                                             scheduler-as-a-service daemon
 //! tgc client   FILE --addr A [--op compile|stats|ping|shutdown]
 //!              [--kind K] [--machine M] [--heuristic H] [--deadline-ms N]
+//!              [--shed-retries N] [--seed N]
+//! tgc loadgen  --addr A [--connections N] [--pipeline N]
+//!              [--duration-ms N] [--seed N] [--reconnect]
+//!                                             sustained-throughput harness
 //! ```
 //!
 //! Kinds: `bb`, `slr`, `sb`, `tree` (default), `tree-td[:LIMIT]`.
@@ -197,14 +202,17 @@ USAGE:
                [--chaos-seed N] [--chaos-plan SPEC]
   tgc gen      compress|gcc|go|ijpeg|li|m88ksim|perl|vortex
   tgc shape    fig1|biased|wide|linearized
-  tgc serve    [--addr HOST:PORT] [--cache FILE] [--quarantine DIR]
-               [--no-quarantine] [--queue-max N] [--deadline-ms N]
-               [--retry-after-ms N] [--jobs N]
-               [--read-timeout-ms N] [--write-timeout-ms N]
+  tgc serve    [--addr HOST:PORT] [--cache FILE] [--cache-shards N]
+               [--quarantine DIR] [--no-quarantine] [--queue-max N]
+               [--pipeline-depth N] [--deadline-ms N] [--retry-after-ms N]
+               [--jobs N] [--read-timeout-ms N] [--write-timeout-ms N]
                [--idle-timeout-ms N] [--chaos-seed N] [--chaos-plan SPEC]
   tgc client   FILE --addr HOST:PORT [--op compile|stats|ping|shutdown]
                [--kind K] [--machine M] [--heuristic H] [--dompar]
-               [--deadline-ms N]
+               [--deadline-ms N] [--shed-retries N] [--seed N]
+  tgc loadgen  --addr HOST:PORT [--connections N] [--pipeline N]
+               [--duration-ms N] [--seed N] [--batch-modules N] [--pool N]
+               [--reconnect]
 
 PARALLELISM:
   --jobs N   worker threads for region-parallel scheduling (default:
@@ -223,14 +231,28 @@ EVAL:
   skip already-finished cells
 
 SERVE:
-  long-lived scheduler-as-a-service daemon (DESIGN.md §12): batches of
-  tir modules over length-prefixed TCP, per-request catch_unwind
+  long-lived scheduler-as-a-service daemon (DESIGN.md §12, §15): batches
+  of tir modules over length-prefixed TCP with keep-alive pipelining
+  (seq-tagged batches answered FIFO while the next batch is read;
+  `close` ends one connection gracefully), per-request catch_unwind
   containment with soft deadlines and watchdog escalation, FNV-deduped
   quarantine of repeat offenders, bounded admission with deterministic
-  load shedding, and a checksummed crash-recoverable disk cache
-  (--cache); `tgc client FILE` submits a batch (modules separated by
-  `---` lines; `!fault-seed N`, `!panic-region N`, `!panic-hard` poison
-  the module that follows), --op stats|ping|shutdown for control
+  load shedding, and a checksummed crash-recoverable disk cache striped
+  across --cache-shards lock-striped files (--cache names the base
+  path); `tgc client FILE` submits a batch (modules separated by `---`
+  lines; `!fault-seed N`, `!panic-region N`, `!panic-hard` poison the
+  module that follows), resubmits shed modules up to --shed-retries
+  times honoring the retry-after hint (seeded jitter via --seed),
+  --op stats|ping|shutdown for control
+
+LOADGEN:
+  seeded open-loop load harness against a running daemon: --connections
+  keep-alive connections each pipelining --pipeline batches for
+  --duration-ms, workload drawn deterministically from the generator
+  suite (--seed, --batch-modules, --pool); prints sustained req/s and
+  p50/p90/p99/p999 latency from a fixed-bucket log-scale histogram;
+  --reconnect opens a fresh connection per batch (the pre-pipelining
+  baseline, for apples-to-apples comparisons)
 
 CHAOS (eval|serve):
   --chaos-seed N     arm the deterministic I/O fault layer with seed N
@@ -244,10 +266,12 @@ CHAOS (eval|serve):
                      stderr after `tgc eval`.
 
 EXIT CODES:
-  0  success
-  1  hard failure (bad input, unrecoverable scheduling error, divergence)
+  0  success (client: every module scheduled, possibly after shed
+     retries; loadgen: the run completed with FIFO replies intact)
+  1  hard failure (bad input, unrecoverable scheduling error, divergence;
+     loadgen: no batch completed, or replies broke sequence order)
   2  success with degradation (a region fell back or was kept unverified;
-     client: some modules were shed and can be retried)
+     client: modules still shed after the --shed-retries budget)
   3  contained failure(s): a panic/deadline was isolated (quarantined
      cell, a region rescued from a crash by the fallback chain, or a
      serve module answered with a structured error)
@@ -282,6 +306,7 @@ fn run(argv: &[String]) -> Result<RunStatus, Failure> {
             .map(|()| RunStatus::clean())
             .map_err(Into::into),
         "serve" => cmd_serve(&opts),
+        "loadgen" => cmd_loadgen(&opts).map_err(Into::into),
         "client" => cmd_client(&opts).map_err(Into::into),
         other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
     }
@@ -641,9 +666,12 @@ fn cmd_serve(opts: &Options) -> Result<RunStatus, Failure> {
             },
             default_deadline_ms: opts.deadline_ms,
             chaos,
+            // 0 defers to the engine default (8 lock-striped shards).
+            cache_shards: opts.cache_shards.unwrap_or(0),
         },
         queue_max: opts.queue_max.unwrap_or(64),
         retry_after_ms: opts.retry_after_ms.unwrap_or(100),
+        pipeline_depth: opts.pipeline_depth.unwrap_or(defaults.pipeline_depth),
         read_timeout_ms: opts.read_timeout_ms.unwrap_or(defaults.read_timeout_ms),
         write_timeout_ms: opts.write_timeout_ms.unwrap_or(defaults.write_timeout_ms),
         idle_timeout_ms: opts.idle_timeout_ms.unwrap_or(defaults.idle_timeout_ms),
@@ -672,11 +700,71 @@ fn cmd_serve(opts: &Options) -> Result<RunStatus, Failure> {
     Ok(RunStatus::clean())
 }
 
+/// `tgc loadgen`: the seeded open-loop load harness (DESIGN.md §15).
+/// Drives a running daemon with keep-alive pipelined connections (or
+/// `--reconnect` for the one-batch-per-connection baseline) and prints
+/// sustained req/s plus the latency quantiles.
+fn cmd_loadgen(opts: &Options) -> Result<RunStatus, String> {
+    if opts.input.is_some() {
+        return Err("loadgen takes no positional argument".into());
+    }
+    let addr = opts
+        .addr
+        .as_deref()
+        .ok_or_else(|| "loadgen needs --addr HOST:PORT".to_string())?;
+    let d = treegion_serve::LoadgenConfig::default();
+    let config = treegion_serve::LoadgenConfig {
+        addr: addr.into(),
+        connections: opts.connections.unwrap_or(d.connections),
+        pipeline_depth: opts.pipeline.unwrap_or(d.pipeline_depth),
+        duration_ms: opts.duration_ms.unwrap_or(d.duration_ms),
+        seed: opts.seed.unwrap_or(d.seed),
+        batch_modules: opts.batch_modules.unwrap_or(d.batch_modules),
+        pool: opts.pool.unwrap_or(d.pool),
+        reconnect: opts.reconnect,
+    };
+    let report = treegion_serve::run_loadgen(&config)?;
+    print!("{}", report.render());
+    if report.seq_mismatches > 0 {
+        return Err(format!(
+            "{} replies broke FIFO sequence order",
+            report.seq_mismatches
+        ));
+    }
+    if report.conn_errors > 0 {
+        eprintln!(
+            "tgc loadgen: {} connection(s) died mid-run",
+            report.conn_errors
+        );
+    }
+    Ok(RunStatus::clean())
+}
+
+/// Splits a client batch file into its module sections (separated by
+/// `---` lines, exactly as the server parses them) so a retry can
+/// resubmit a subset. Poison `!`-lines stay attached to their section.
+fn split_batch(text: &str) -> Vec<String> {
+    let mut sections = vec![String::new()];
+    for line in text.lines() {
+        if line.trim() == "---" {
+            sections.push(String::new());
+        } else {
+            let s = sections.last_mut().expect("sections never empty");
+            s.push_str(line);
+            s.push('\n');
+        }
+    }
+    sections
+}
+
 /// `tgc client`: one-shot client for the serve protocol. `compile`
 /// submits the positional file as a batch (modules separated by `---`
 /// lines, `!`-lines poison the following module); `stats`, `ping`, and
-/// `shutdown` are bodyless. Exit codes: 0 all scheduled, 2 some shed
-/// (retryable), 3 structured per-module errors, 1 hard failure.
+/// `shutdown` are bodyless. Shed modules are resubmitted on the same
+/// keep-alive connection up to `--shed-retries` times (default 2),
+/// sleeping out the server's retry-after hint plus seeded jitter.
+/// Exit codes: 0 all scheduled, 2 some modules still shed after the
+/// retry budget, 3 structured per-module errors, 1 hard failure.
 fn cmd_client(opts: &Options) -> Result<RunStatus, String> {
     use treegion_serve::{
         parse_response, read_frame, render_compile, render_simple, write_frame, BatchOptions,
@@ -733,56 +821,97 @@ fn cmd_client(opts: &Options) -> Result<RunStatus, String> {
         dompar: opts.dompar,
         deadline_ms: opts.deadline_ms,
     };
-    // The batch file *is* the request body; rendering with no modules
-    // gives the option header, and the file text rides behind it.
-    let mut payload = render_compile(&options, &[]);
-    payload.push_str(&batch_text);
-    write_frame(&mut stream, &payload)?;
-    let (mut ok, mut errors, mut shed) = (0usize, 0usize, 0usize);
-    loop {
-        let reply = read_frame(&mut stream)?.ok_or("server hung up mid-batch")?;
-        let frame = parse_response(&reply)?;
-        match frame.kind.as_str() {
-            "batch-end" => break,
-            "error" => {
-                return Err(format!(
-                    "server rejected the batch: {}",
-                    frame.key("reason").unwrap_or("")
-                ));
-            }
-            "result" => {
-                let index = frame.key("index").unwrap_or("?").to_string();
-                match frame.status {
-                    Some(ResultStatus::Ok) => {
-                        ok += 1;
-                        println!(
-                            "-- module #{index} ok (cache {})",
-                            frame.key("cache").unwrap_or("?")
-                        );
-                        print!("{}", frame.body);
-                    }
-                    Some(ResultStatus::Error) => {
-                        errors += 1;
-                        eprintln!(
-                            "tgc client: module #{index} failed: cause={} quarantined={} {}",
-                            frame.key("cause").unwrap_or("?"),
-                            frame.key("quarantined").unwrap_or("?"),
-                            frame.key("detail").unwrap_or(""),
-                        );
-                    }
-                    Some(ResultStatus::Shed) => {
-                        shed += 1;
-                        eprintln!(
-                            "tgc client: module #{index} shed; retry after {} ms",
-                            frame.key("retry-after-ms").unwrap_or("?"),
-                        );
-                    }
-                    None => return Err(format!("malformed result frame: {reply}")),
+    let sections = split_batch(&batch_text);
+    // `pending` maps the next submission's index space back to the
+    // original batch indices; the first round is the whole file.
+    let mut pending: Vec<usize> = (0..sections.len()).collect();
+    let retries = opts.shed_retries.unwrap_or(2);
+    let mut rng = treegion_rng::StdRng::seed_from_u64(opts.seed.unwrap_or(0));
+    let (mut ok, mut errors) = (0usize, 0usize);
+    let mut attempt = 0u32;
+    let shed = loop {
+        // Rendering with no modules gives the option header; the
+        // pending sections ride behind it as the batch body.
+        let mut payload = render_compile(&options, &[]);
+        payload.push_str(
+            &pending
+                .iter()
+                .map(|&i| sections[i].as_str())
+                .collect::<Vec<_>>()
+                .join("---\n"),
+        );
+        write_frame(&mut stream, &payload)?;
+        // (original index, retry hint) of this round's shed modules.
+        let mut shed_now: Vec<(usize, u64)> = Vec::new();
+        loop {
+            let reply = read_frame(&mut stream)?.ok_or("server hung up mid-batch")?;
+            let frame = parse_response(&reply)?;
+            match frame.kind.as_str() {
+                "batch-end" => break,
+                "error" => {
+                    return Err(format!(
+                        "server rejected the batch: {}",
+                        frame.key("reason").unwrap_or("")
+                    ));
                 }
+                "result" => {
+                    let local: usize = frame
+                        .key("index")
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("malformed result frame: {reply}"))?;
+                    let index = *pending
+                        .get(local)
+                        .ok_or_else(|| format!("result index {local} out of range"))?;
+                    match frame.status {
+                        Some(ResultStatus::Ok) => {
+                            ok += 1;
+                            println!(
+                                "-- module #{index} ok (cache {})",
+                                frame.key("cache").unwrap_or("?")
+                            );
+                            print!("{}", frame.body);
+                        }
+                        Some(ResultStatus::Error) => {
+                            errors += 1;
+                            eprintln!(
+                                "tgc client: module #{index} failed: cause={} quarantined={} {}",
+                                frame.key("cause").unwrap_or("?"),
+                                frame.key("quarantined").unwrap_or("?"),
+                                frame.key("detail").unwrap_or(""),
+                            );
+                        }
+                        Some(ResultStatus::Shed) => {
+                            let hint = frame
+                                .key("retry-after-ms")
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or(100u64);
+                            eprintln!("tgc client: module #{index} shed; retry after {hint} ms");
+                            shed_now.push((index, hint));
+                        }
+                        None => return Err(format!("malformed result frame: {reply}")),
+                    }
+                }
+                other => return Err(format!("unexpected frame `{other}`")),
             }
-            other => return Err(format!("unexpected frame `{other}`")),
         }
-    }
+        if shed_now.is_empty() || attempt >= retries {
+            break shed_now.len();
+        }
+        // Honor the server's backpressure hint: sleep out the largest
+        // retry-after plus a little seeded jitter (decorrelates clients
+        // that were shed together), then resubmit ONLY the shed modules
+        // on the same keep-alive connection.
+        attempt += 1;
+        let hint = shed_now.iter().map(|&(_, h)| h).max().unwrap_or(100);
+        let jitter = rng.gen_range(0..hint / 2 + 1);
+        eprintln!(
+            "tgc client: retrying {} shed module(s) after {} ms (attempt {attempt}/{retries})",
+            shed_now.len(),
+            hint + jitter
+        );
+        std::thread::sleep(std::time::Duration::from_millis(hint + jitter));
+        pending = shed_now.into_iter().map(|(i, _)| i).collect();
+    };
     eprintln!("tgc client: {ok} ok, {errors} failed, {shed} shed");
     Ok(RunStatus {
         degraded: Vec::new(),

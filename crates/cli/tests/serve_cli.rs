@@ -113,10 +113,12 @@ fn kill_nine_drill_restart_serves_identical_bytes() {
     child.wait().unwrap();
 
     // Simulate the crash landing mid-write: a torn, unchecksummable
-    // tail after the last complete record.
+    // tail after the last complete record. The cache is striped across
+    // shard files (`<base>.0` .. `<base>.N-1`); tear the first shard —
+    // recovery is per-shard, so the others must stay untouched.
     let mut f = std::fs::OpenOptions::new()
         .append(true)
-        .open(&cache)
+        .open(treegion_eval::shard_path(&cache, 0))
         .unwrap();
     f.write_all(b"REC torn-half-record-with-no-checksum")
         .unwrap();
@@ -237,14 +239,11 @@ fn client_round_trip_maps_outcomes_to_exit_codes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-#[test]
-fn client_shed_suffix_exits_retryable() {
-    let dir = tmpdir("shed");
-    let (child, addr) = spawn_serve(&["--no-quarantine", "--queue-max", "1"]);
-    let many = batch_file(
-        &dir,
+fn many_batch(dir: &Path, n: usize) -> String {
+    batch_file(
+        dir,
         "many.batch",
-        &(0..4)
+        &(0..n)
             .map(|i| {
                 format!(
                     "module @m{i}\n\nfunc @f {{\n  bb0 (weight 100):\n    r0 = movi #{i}\n    ret r0\n}}\n"
@@ -252,16 +251,49 @@ fn client_shed_suffix_exits_retryable() {
             })
             .collect::<Vec<_>>()
             .join("---\n"),
-    );
+    )
+}
+
+#[test]
+fn client_shed_suffix_exits_retryable() {
+    let dir = tmpdir("shed");
+    let (child, addr) = spawn_serve(&["--no-quarantine", "--queue-max", "1"]);
+    let many = many_batch(&dir, 4);
+    // `--shed-retries 0` disables the retry loop: shed-but-no-failure is
+    // the retryable degradation code, reported straight to the caller.
     let out = tgc()
-        .args(["client", &many, "--addr", &addr])
+        .args(["client", &many, "--addr", &addr, "--shed-retries", "0"])
         .output()
         .unwrap();
-    // Shed-but-no-failure is the retryable degradation code.
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("shed; retry after"), "{stderr}");
     assert!(stderr.contains("retry later"), "{stderr}");
+    shutdown(&addr, child);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_shed_retries_recover_to_a_clean_exit() {
+    let dir = tmpdir("shed-retry");
+    let (child, addr) = spawn_serve(&["--no-quarantine", "--queue-max", "2"]);
+    let many = many_batch(&dir, 4);
+    // queue-max 2 sheds the suffix of the 4-module batch; the default
+    // retry budget resubmits the shed pair on the same connection after
+    // the server's retry-after hint — everything lands, exit 0.
+    let out = tgc()
+        .args(["client", &many, "--addr", &addr, "--seed", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("retrying 2 shed module(s)"), "{stderr}");
+    assert!(stderr.contains("4 ok, 0 failed, 0 shed"), "{stderr}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Original batch indices are preserved across the retry round.
+    for i in 0..4 {
+        assert!(stdout.contains(&format!("-- module #{i} ok")), "{stdout}");
+    }
     shutdown(&addr, child);
     let _ = std::fs::remove_dir_all(&dir);
 }

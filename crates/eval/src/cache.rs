@@ -42,7 +42,8 @@
 //! every request from scratch, which the determinism tests use to prove
 //! cache-on and cache-off runs are byte-identical.
 
-use crate::diskcache::{result_key, DiskCache, DiskRecovery};
+use crate::diskcache::{result_key, DiskRecovery};
+use crate::shardcache::ShardedDiskCache;
 use crate::{EvalConfig, RegionConfig};
 use std::collections::HashMap;
 use std::path::Path;
@@ -52,6 +53,7 @@ use treegion::{form_and_lower, FormOutcome, Heuristic, LoweredRegion, NullObserv
 use treegion_analysis::{Cfg, Liveness};
 use treegion_ir::Module;
 use treegion_machine::MachineModel;
+use treegion_par::lock_tolerant;
 
 /// A module fingerprint used as the cache key. Modules are immutable
 /// during an evaluation run; the fingerprint (name + structural sizes)
@@ -200,9 +202,10 @@ struct Inner {
     formation_counters: Counters,
     time_counters: Counters,
     /// Optional durable tier for *rendered results* (the serve daemon's
-    /// warm path): crash-recoverable, keyed by (module digest, config
-    /// fingerprint). `None` until [`FormationCache::attach_disk`].
-    disk: Mutex<Option<Arc<DiskCache>>>,
+    /// warm path): crash-recoverable and key-sharded across lock-striped
+    /// shard files, keyed by (module digest, config fingerprint). `None`
+    /// until [`FormationCache::attach_disk`].
+    disk: Mutex<Option<Arc<ShardedDiskCache>>>,
 }
 
 /// The memoization handle threaded through `program_time` /
@@ -212,17 +215,13 @@ pub struct FormationCache {
     inner: Arc<Inner>,
 }
 
-/// Locks a cache map, tolerating poisoning. A worker that panics while
-/// holding one of these locks (contained by `par_map_isolated` or the
-/// harness runner) poisons the mutex, but the stored data is always
-/// consistent: entries are inserted fully-formed in a single `HashMap`
-/// operation, and every computation happens *outside* the lock. Treating
-/// poison as fatal would turn one contained panic into a cascade of
-/// failures across every cell that shares the cache — exactly what the
-/// containment layer exists to prevent.
-fn lock_tolerant<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
+// The poison-tolerant lock acquire used throughout this file is
+// `treegion_par::lock_tolerant` — see its docs for why recovering a
+// poisoned guard is sound (entries are inserted fully-formed in a single
+// `HashMap` operation, and every computation happens *outside* the
+// lock). Treating poison as fatal would turn one contained panic into a
+// cascade of failures across every cell that shares the cache — exactly
+// what the containment layer exists to prevent.
 
 impl std::fmt::Debug for FormationCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -266,16 +265,17 @@ impl FormationCache {
     }
 
     /// Attaches the durable result tier backed by the crash-recoverable
-    /// store at `path`, reporting what the startup recovery scan found.
-    /// The tier works even on a [`FormationCache::disabled`] handle —
-    /// disabling turns off *memoization*, while the disk tier is an
-    /// explicit put/get store the serve daemon drives directly.
+    /// store rooted at `path` (one shard), reporting what the startup
+    /// recovery scan found. The tier works even on a
+    /// [`FormationCache::disabled`] handle — disabling turns off
+    /// *memoization*, while the disk tier is an explicit put/get store
+    /// the serve daemon drives directly.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors from [`DiskCache::open`].
+    /// Propagates filesystem errors from [`ShardedDiskCache::open`].
     pub fn attach_disk(&self, path: &Path) -> Result<DiskRecovery, String> {
-        self.attach_disk_chaos(path, None)
+        self.attach_disk_sharded(path, 1, None)
     }
 
     /// [`FormationCache::attach_disk`] with a chaos handle threaded into
@@ -289,13 +289,30 @@ impl FormationCache {
         path: &Path,
         chaos: treegion_chaos::Chaos,
     ) -> Result<DiskRecovery, String> {
-        let (disk, recovery) = DiskCache::open_chaos(path, chaos)?;
+        self.attach_disk_sharded(path, 1, chaos)
+    }
+
+    /// Attaches the durable result tier sharded over `shards` lock-striped
+    /// files rooted at `path` (`<path>.<k>`), with a chaos handle threaded
+    /// into every shard's durable operations. A legacy single-file cache
+    /// at `path` itself is migrated into the shards on open.
+    ///
+    /// # Errors
+    ///
+    /// As [`FormationCache::attach_disk`], plus injected faults.
+    pub fn attach_disk_sharded(
+        &self,
+        path: &Path,
+        shards: usize,
+        chaos: treegion_chaos::Chaos,
+    ) -> Result<DiskRecovery, String> {
+        let (disk, recovery) = ShardedDiskCache::open(path, shards, chaos)?;
         *lock_tolerant(&self.inner.disk) = Some(Arc::new(disk));
         Ok(recovery)
     }
 
     /// The attached disk tier, when any.
-    pub fn disk(&self) -> Option<Arc<DiskCache>> {
+    pub fn disk(&self) -> Option<Arc<ShardedDiskCache>> {
         lock_tolerant(&self.inner.disk).clone()
     }
 

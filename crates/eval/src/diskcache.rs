@@ -67,6 +67,22 @@ pub struct DiskStats {
     pub misses: u64,
     /// Entries currently stored.
     pub entries: usize,
+    /// Blocking lock acquires that found the store lock already held
+    /// (another thread was mid-lookup or mid-append).
+    pub contention: u64,
+}
+
+impl DiskStats {
+    /// Element-wise sum, for aggregating per-shard stats.
+    #[must_use]
+    pub fn merged(self, other: DiskStats) -> DiskStats {
+        DiskStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            entries: self.entries + other.entries,
+            contention: self.contention + other.contention,
+        }
+    }
 }
 
 struct DiskInner {
@@ -81,6 +97,7 @@ pub struct DiskCache {
     inner: Mutex<DiskInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    contention: AtomicU64,
     chaos: Chaos,
 }
 
@@ -182,6 +199,7 @@ impl DiskCache {
                 inner: Mutex::new(DiskInner { map, file }),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                contention: AtomicU64::new(0),
                 chaos,
             },
             recovery,
@@ -265,7 +283,17 @@ impl DiskCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            contention: self.contention.load(Ordering::Relaxed),
         }
+    }
+
+    /// All live entries, sorted by key (used by the sharded store's
+    /// legacy-file migration).
+    pub fn entries(&self) -> Vec<(u64, String)> {
+        let inner = self.lock();
+        let mut out: Vec<(u64, String)> = inner.map.iter().map(|(k, v)| (*k, v.clone())).collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
     }
 
     /// The backing file.
@@ -288,12 +316,18 @@ impl DiskCache {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, DiskInner> {
-        // A panicking worker cannot leave the map half-updated (inserts
-        // are single HashMap operations), so poison is survivable — the
-        // same reasoning as the in-memory FormationCache locks.
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        // Poison tolerance is sound here for the reasons documented on
+        // `treegion_par::lock_tolerant`: every mutation under this lock
+        // is single-step. The non-blocking probe first makes lock
+        // contention observable per shard without taxing the fast path.
+        match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                treegion_par::lock_tolerant(&self.inner)
+            }
+        }
     }
 }
 

@@ -33,6 +33,7 @@ mod pipeline;
 mod records;
 mod report;
 mod runner;
+mod shardcache;
 mod stats;
 mod variation;
 
@@ -61,5 +62,6 @@ pub use runner::{
     parse_fault_spec, run_harness, CellFault, CellFaultKind, CellResult, HarnessOptions,
     HarnessReport, CELL_NAMES,
 };
+pub use shardcache::{shard_path, ShardedDiskCache};
 pub use stats::{region_stats, region_stats_cached, RegionStats};
 pub use variation::{perturb_profile, variation_speedups, variation_table};

@@ -72,6 +72,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod sync;
+
+pub use sync::{lock_tolerant, StripedSet};
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -1,0 +1,169 @@
+//! Small synchronization utilities shared across the workspace.
+//!
+//! Two primitives live here because at least four crates were growing
+//! private copies of them:
+//!
+//! * [`lock_tolerant`] — the poison-tolerant mutex acquire used by every
+//!   cache/ledger/handler-registry lock in the serve and eval crates.
+//! * [`StripedSet`] — a lock-striped `u64` membership set, the
+//!   concurrent replacement for a global `Mutex<HashSet<u64>>`.
+//!
+//! ## Why poison tolerance is sound here
+//!
+//! All users of these locks protect state whose individual mutations are
+//! single-step (one `HashMap`/`HashSet` insert, one `Vec` push, one file
+//! append completed *before* the map update): a panicking holder cannot
+//! leave the structure half-updated, so the poison flag carries no
+//! information and recovering the guard is strictly better than
+//! propagating the panic into an unrelated worker.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError, TryLockError};
+
+/// Acquires `m`, recovering the guard if a previous holder panicked.
+///
+/// See the module docs for why this is sound for the workspace's locks
+/// (single-step mutations only).
+pub fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A lock-striped set of `u64` keys: membership state is spread over
+/// `stripes` independently locked `HashSet`s, selected by `key % stripes`,
+/// so readers and writers touching different keys rarely contend.
+///
+/// Used by the serve engine's quarantine ledger (digest fast-reject on
+/// the hot path of every compile request) in place of the former global
+/// `Mutex<HashSet<u64>>`.
+///
+/// Contention is observable: every acquire first tries the lock without
+/// blocking and counts a miss in [`StripedSet::contention`] before
+/// falling back to the blocking acquire.
+#[derive(Debug)]
+pub struct StripedSet {
+    stripes: Box<[Mutex<HashSet<u64>>]>,
+    contention: AtomicU64,
+}
+
+impl StripedSet {
+    /// Creates an empty set with `stripes` lock stripes (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(stripes: usize) -> Self {
+        let n = stripes.max(1);
+        StripedSet {
+            stripes: (0..n).map(|_| Mutex::new(HashSet::new())).collect(),
+            contention: AtomicU64::new(0),
+        }
+    }
+
+    fn stripe(&self, key: u64) -> MutexGuard<'_, HashSet<u64>> {
+        let m = &self.stripes[(key % self.stripes.len() as u64) as usize];
+        match m.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                lock_tolerant(m)
+            }
+        }
+    }
+
+    /// Inserts `key`; returns `true` when it was not already present.
+    pub fn insert(&self, key: u64) -> bool {
+        self.stripe(key).insert(key)
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        self.stripe(key).contains(&key)
+    }
+
+    /// Total number of keys across all stripes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| lock_tolerant(s).len()).sum()
+    }
+
+    /// `true` when no keys are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lock stripes.
+    #[must_use]
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Blocking lock acquires that found the stripe already held.
+    #[must_use]
+    pub fn contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_tolerant_recovers_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        assert_eq!(*lock_tolerant(&m), 7);
+    }
+
+    #[test]
+    fn striped_set_semantics_match_a_plain_set() {
+        let s = StripedSet::new(8);
+        assert!(s.is_empty());
+        assert!(s.insert(1));
+        assert!(s.insert(9)); // same stripe as 1 under % 8
+        assert!(!s.insert(1));
+        assert!(s.contains(9));
+        assert!(!s.contains(2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.stripes(), 8);
+    }
+
+    #[test]
+    fn zero_stripes_is_clamped() {
+        let s = StripedSet::new(0);
+        assert_eq!(s.stripes(), 1);
+        assert!(s.insert(42));
+        assert!(s.contains(42));
+    }
+
+    #[test]
+    fn concurrent_inserts_land_exactly_once() {
+        let s = Arc::new(StripedSet::new(4));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut fresh = 0usize;
+                for k in 0..1000u64 {
+                    if s.insert(k * 8 + t % 2) {
+                        fresh += 1;
+                    }
+                }
+                fresh
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Keys k*8 and k*8+1 for k in 0..1000 → 2000 distinct keys, each
+        // inserted "fresh" exactly once across all threads.
+        assert_eq!(total, 2000);
+        assert_eq!(s.len(), 2000);
+    }
+}

@@ -26,10 +26,9 @@
 
 use crate::admission::Admission;
 use crate::protocol::{BatchOptions, ModuleRequest, Poison};
-use crate::stats::{bump, ServeStats};
-use std::collections::HashSet;
+use crate::stats::{bump, RenderInputs, ServeStats};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 use treegion::{
     Budgets, ContainmentCause, FaultPlan, Pipeline, Profiler, RobustOptions, SchedFailure,
@@ -37,12 +36,24 @@ use treegion::{
 };
 use treegion_eval::{fnv1a, DiskRecovery, FormationCache};
 use treegion_ir::{parse_module, verify_function, Module};
+use treegion_par::StripedSet;
+
+/// Shard count used when [`EngineConfig::cache_shards`] is 0.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// Stripe count of the in-memory quarantine ledger.
+const QUARANTINE_STRIPES: usize = 16;
 
 /// Engine construction options.
 #[derive(Clone, Debug, Default)]
 pub struct EngineConfig {
-    /// Durable result-cache file (`None` = in-memory only, no warm tier).
+    /// Durable result-cache base path (`None` = in-memory only, no warm
+    /// tier). The store is sharded into `cache_shards` files named
+    /// `<path>.<k>`; a legacy single-file cache at `path` itself is
+    /// migrated on open.
     pub cache_path: Option<PathBuf>,
+    /// Disk-cache shard count (0 = [`DEFAULT_CACHE_SHARDS`]).
+    pub cache_shards: usize,
     /// Quarantine directory (`None` = containment without files).
     pub quarantine_dir: Option<PathBuf>,
     /// Deadline applied when a request does not set one.
@@ -85,7 +96,10 @@ pub enum ModuleReply {
 pub struct Engine {
     cache: FormationCache,
     recovery: Option<DiskRecovery>,
-    quarantined: Mutex<HashSet<u64>>,
+    /// Lock-striped ledger: the digest fast-reject sits on the hot path
+    /// of every compile request, so concurrent connections must not
+    /// serialize on one global `Mutex<HashSet>`.
+    quarantined: StripedSet,
     qdir: Option<PathBuf>,
     /// Service counters (`/stats`). `Arc`-shared so watchdog threads
     /// can keep counting after their request is abandoned.
@@ -117,12 +131,17 @@ impl Engine {
     /// Propagates filesystem errors opening the cache.
     pub fn open(config: &EngineConfig) -> Result<Self, String> {
         let cache = FormationCache::new();
+        let shards = if config.cache_shards == 0 {
+            DEFAULT_CACHE_SHARDS
+        } else {
+            config.cache_shards
+        };
         let recovery = match &config.cache_path {
-            Some(p) => Some(cache.attach_disk_chaos(p, config.chaos.clone())?),
+            Some(p) => Some(cache.attach_disk_sharded(p, shards, config.chaos.clone())?),
             None => None,
         };
         let stats = Arc::new(ServeStats::default());
-        let mut quarantined = HashSet::new();
+        let quarantined = StripedSet::new(QUARANTINE_STRIPES);
         if let Some(dir) = &config.quarantine_dir {
             if let Ok(entries) = std::fs::read_dir(dir) {
                 for e in entries.flatten() {
@@ -153,7 +172,7 @@ impl Engine {
         Ok(Engine {
             cache,
             recovery,
-            quarantined: Mutex::new(quarantined),
+            quarantined,
             qdir: config.quarantine_dir.clone(),
             stats,
             profiler: Arc::new(Profiler::new()),
@@ -170,19 +189,26 @@ impl Engine {
 
     /// The `/stats` body.
     pub fn render_stats(&self, inflight: usize, high_water: usize) -> String {
-        self.stats.render(
-            &self.cache.stats(),
-            self.recovery,
-            &self.profiler,
+        self.stats.render(&RenderInputs {
+            cache: self.cache.stats(),
+            recovery: self.recovery,
+            profiler: &self.profiler,
             inflight,
             high_water,
-            self.chaos.as_ref().map(|p| p.snapshot()),
-        )
+            chaos: self.chaos.as_ref().map(|p| p.snapshot()),
+            shards: self
+                .cache
+                .disk()
+                .map(|d| d.shard_stats())
+                .unwrap_or_default(),
+            quarantine_stripes: self.quarantined.stripes(),
+            quarantine_contention: self.quarantined.contention(),
+        })
     }
 
     /// Digests currently on the quarantine ledger.
     pub fn quarantined_count(&self) -> usize {
-        lock(&self.quarantined).len()
+        self.quarantined.len()
     }
 
     /// Graceful-drain checkpoint: compacts the durable cache so a clean
@@ -255,7 +281,7 @@ impl Engine {
     pub fn compile_module(&self, opts: &BatchOptions, m: &ModuleRequest) -> ModuleReply {
         let digest = fnv1a(m.text.as_bytes());
         // 1. Repeat offenders never reach the scheduler again.
-        if lock(&self.quarantined).contains(&digest) {
+        if self.quarantined.contains(digest) {
             bump(&self.stats.quarantine_rejects);
             bump(&self.stats.errors);
             return ModuleReply::Err {
@@ -365,7 +391,7 @@ impl Engine {
         poison: Poison,
         cause: &ContainmentCause,
     ) -> bool {
-        lock(&self.quarantined).insert(digest);
+        self.quarantined.insert(digest);
         let Some(dir) = &self.qdir else {
             return false;
         };
@@ -602,8 +628,4 @@ pub fn parse_quarantine(file_text: &str) -> (String, Poison, String) {
         }
     }
     (file_text[body_start..].to_string(), poison, cause)
-}
-
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -1,0 +1,290 @@
+//! A fixed-bucket log-scale latency histogram.
+//!
+//! Both ends of the serve path use this one type: the daemon records
+//! per-batch service time into it lock-free (atomic bucket counters,
+//! rendered by `serve stats`), and `tgc loadgen` records client-observed
+//! batch latency from many connection threads into a shared instance.
+//!
+//! ## Bucketing
+//!
+//! Microsecond values land in log-linear buckets (the HDR-histogram
+//! shape, sized down): values below 16 µs get exact unit buckets, and
+//! every power-of-two octave above that is split into 16 linear
+//! sub-buckets, so the relative quantile error is bounded by 1/16 ≈ 6%
+//! at every magnitude. The layout is fixed at compile time — recording
+//! never allocates, and two histograms always have identical bucket
+//! boundaries (they can be merged bucket-by-bucket).
+//!
+//! Quantiles are read from a [`HistogramSnapshot`]: the reported value
+//! is the upper bound of the bucket where the cumulative count crosses
+//! the requested rank, clamped to the maximum recorded value.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unit buckets cover `0..LINEAR` µs exactly.
+const LINEAR: u64 = 16;
+/// log2 of `LINEAR`: the first octave that gets sub-bucket treatment.
+const FIRST_OCTAVE: u32 = 4;
+/// Sub-buckets per octave (1/16 relative resolution).
+const SUB: usize = 16;
+/// Highest octave tracked: 2^36 µs ≈ 19 h. Larger values clamp here.
+const LAST_OCTAVE: u32 = 36;
+
+/// Total bucket count.
+pub const BUCKETS: usize = LINEAR as usize + (LAST_OCTAVE - FIRST_OCTAVE) as usize * SUB;
+
+/// Maps a microsecond value to its bucket index.
+fn bucket_of(us: u64) -> usize {
+    if us < LINEAR {
+        return us as usize;
+    }
+    let octave = (63 - us.leading_zeros()).min(LAST_OCTAVE - 1);
+    let offset = ((us - (1u64 << octave)) >> (octave - FIRST_OCTAVE)).min(SUB as u64 - 1);
+    LINEAR as usize + (octave - FIRST_OCTAVE) as usize * SUB + offset as usize
+}
+
+/// The (inclusive) upper bound of bucket `i`, in microseconds.
+fn upper_bound(i: usize) -> u64 {
+    if i < LINEAR as usize {
+        return i as u64;
+    }
+    let octave = FIRST_OCTAVE + ((i - LINEAR as usize) / SUB) as u32;
+    let offset = ((i - LINEAR as usize) % SUB) as u64;
+    (1u64 << octave) + (offset + 1) * (1u64 << (octave - FIRST_OCTAVE)) - 1
+}
+
+/// A concurrent log-scale histogram of microsecond latencies.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency observation, lock-free.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] observation.
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantile reads. Concurrent recording
+    /// keeps running; the snapshot is internally consistent enough for
+    /// reporting (bucket reads are relaxed).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`], with quantile accessors.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, µs.
+    pub sum_us: u64,
+    /// Largest observation, µs.
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// The latency at quantile `q` in `[0, 1]`, µs: the upper bound of
+    /// the bucket where the cumulative count reaches `ceil(q·count)`,
+    /// clamped to the maximum recorded value. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return upper_bound(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Mean latency, µs (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Renders the stable `key value` lines for `serve stats` /
+    /// `tgc loadgen`, each key prefixed with `prefix-`.
+    #[must_use]
+    pub fn render(&self, prefix: &str) -> String {
+        format!(
+            "{prefix}-count {}\n{prefix}-mean-us {}\n{prefix}-p50-us {}\n{prefix}-p90-us {}\n{prefix}-p99-us {}\n{prefix}-p999-us {}\n{prefix}-max-us {}\n",
+            self.count,
+            self.mean_us(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.90),
+            self.quantile_us(0.99),
+            self.quantile_us(0.999),
+            self.max_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_the_range() {
+        let mut prev = 0;
+        for i in 0..BUCKETS {
+            let ub = upper_bound(i);
+            assert!(i == 0 || ub > prev, "bucket {i}: {ub} <= {prev}");
+            prev = ub;
+        }
+        // Every value maps into a bucket whose bounds contain it.
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            65_535,
+            1 << 20,
+            1 << 35,
+            u64::MAX,
+        ] {
+            let b = bucket_of(v);
+            assert!(b < BUCKETS, "value {v} → bucket {b} out of range");
+            if v <= upper_bound(BUCKETS - 1) {
+                assert!(v <= upper_bound(b), "value {v} above bucket {b} bound");
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record_us(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 16);
+        assert_eq!(s.quantile_us(0.0), 0);
+        assert_eq!(s.max_us, 15);
+        assert_eq!(s.quantile_us(1.0), 15);
+    }
+
+    #[test]
+    fn quantiles_are_within_relative_error() {
+        let h = Histogram::new();
+        // Uniform 1..=10_000 µs: p50 ≈ 5000, p99 ≈ 9900.
+        for v in 1..=10_000u64 {
+            h.record_us(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_us(0.50) as f64;
+        let p99 = s.quantile_us(0.99) as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.08, "p50 = {p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.08, "p99 = {p99}");
+        assert_eq!(s.quantile_us(1.0), 10_000);
+        assert_eq!(s.mean_us(), 5_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile_us(0.5), 0);
+        assert_eq!(s.mean_us(), 0);
+        let r = s.render("latency");
+        assert!(r.contains("latency-count 0"));
+        assert!(r.contains("latency-p999-us 0"));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = std::sync::Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record_us(t * 1000 + i % 997);
+                }
+            }));
+        }
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.snapshot().buckets.iter().sum::<u64>(), 40_000);
+    }
+
+    #[test]
+    fn render_emits_every_fixed_key() {
+        let h = Histogram::new();
+        h.record_us(123);
+        let r = h.snapshot().render("latency");
+        for key in [
+            "latency-count",
+            "latency-mean-us",
+            "latency-p50-us",
+            "latency-p90-us",
+            "latency-p99-us",
+            "latency-p999-us",
+            "latency-max-us",
+        ] {
+            assert!(r.lines().any(|l| l.starts_with(key)), "missing {key}:\n{r}");
+        }
+    }
+}

@@ -33,16 +33,20 @@
 
 pub mod admission;
 pub mod engine;
+pub mod histo;
+pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
 pub use admission::{Admission, Permit};
-pub use engine::{parse_quarantine, Engine, EngineConfig, ModuleReply};
+pub use engine::{parse_quarantine, Engine, EngineConfig, ModuleReply, DEFAULT_CACHE_SHARDS};
+pub use histo::{Histogram, HistogramSnapshot};
+pub use loadgen::{run_loadgen, LoadReport, LoadgenConfig};
 pub use protocol::{
-    parse_request, parse_response, read_frame, render_compile, render_response, render_simple,
-    write_frame, BatchOptions, ModuleRequest, Poison, Request, ResponseFrame, ResultStatus, Verb,
-    MAGIC, MAX_FRAME,
+    parse_request, parse_response, read_frame, render_compile, render_compile_seq, render_response,
+    render_simple, write_frame, BatchOptions, ModuleRequest, Poison, Request, ResponseFrame,
+    ResultStatus, Verb, MAGIC, MAX_FRAME,
 };
 pub use server::{Server, ServerConfig};
 pub use stats::ServeStats;

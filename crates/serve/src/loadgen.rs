@@ -1,0 +1,422 @@
+//! `tgc loadgen`: a seeded open-loop load harness for the serve daemon.
+//!
+//! Drives a running server with `connections` concurrent keep-alive
+//! connections, each holding up to `pipeline_depth` compile batches in
+//! flight (sequence-id tagged, answered FIFO), for a fixed wall-clock
+//! duration. The workload is a deterministic mix drawn from
+//! `treegion_workloads` generators, so two runs with the same seed send
+//! byte-identical batches — the knobs change *pressure*, never *work*.
+//!
+//! Client-observed batch latency (enqueue → `batch-end`) lands in one
+//! shared [`Histogram`]; the report carries sustained requests/s plus
+//! p50/p90/p99/p999.
+//!
+//! `reconnect` mode opens a fresh connection per batch and never
+//! pipelines — the pre-keep-alive protocol shape — so the same binary
+//! measures both sides of the comparison recorded in `BENCH_sched.json`.
+
+use crate::histo::Histogram;
+use crate::protocol::{
+    parse_response, read_frame, render_compile_seq, render_simple, write_frame, BatchOptions,
+    ModuleRequest, Poison, Verb,
+};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use treegion_rng::StdRng;
+use treegion_workloads::{generate, BenchmarkSpec};
+
+/// Load harness knobs. Every field is plumbed through `tgc loadgen`
+/// flags; the defaults are the flag defaults.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Batches in flight per connection. `1` sends a batch and waits
+    /// for its reply (closed loop per connection).
+    pub pipeline_depth: usize,
+    /// Wall-clock run length in milliseconds.
+    pub duration_ms: u64,
+    /// Workload seed: same seed, same batches.
+    pub seed: u64,
+    /// Modules per compile batch.
+    pub batch_modules: usize,
+    /// Distinct modules in the generated pool (batches draw from these,
+    /// so a warm cache converges onto `pool` entries).
+    pub pool: usize,
+    /// Open a fresh connection per batch instead of keeping one alive —
+    /// the pre-pipelining baseline shape. Forces an effective depth
+    /// of 1.
+    pub reconnect: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".into(),
+            connections: 8,
+            pipeline_depth: 8,
+            duration_ms: 2_000,
+            seed: 0xC0FFEE,
+            batch_modules: 2,
+            pool: 16,
+            reconnect: false,
+        }
+    }
+}
+
+/// Shared tallies, written by every connection thread.
+#[derive(Debug, Default)]
+struct Tallies {
+    batches: AtomicU64,
+    modules: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    seq_mismatches: AtomicU64,
+    conn_errors: AtomicU64,
+    latency: Histogram,
+}
+
+/// What a load run measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Completed batches (a `batch-end` frame arrived).
+    pub batches: u64,
+    /// Module results received.
+    pub modules: u64,
+    /// `result ok` frames.
+    pub ok: u64,
+    /// `result error` frames.
+    pub errors: u64,
+    /// `result shed` frames.
+    pub shed: u64,
+    /// Replies whose echoed sequence id broke FIFO order.
+    pub seq_mismatches: u64,
+    /// Connections that died mid-run (connect/read/write failures).
+    pub conn_errors: u64,
+    /// Measured wall-clock, milliseconds.
+    pub elapsed_ms: u64,
+    /// Client-observed batch latency.
+    pub latency: crate::histo::HistogramSnapshot,
+}
+
+impl LoadReport {
+    /// Sustained module results per second over the measured window.
+    #[must_use]
+    pub fn req_per_sec(&self) -> f64 {
+        if self.elapsed_ms == 0 {
+            return 0.0;
+        }
+        self.modules as f64 * 1000.0 / self.elapsed_ms as f64
+    }
+
+    /// Mean microseconds per module result (0 when nothing completed) —
+    /// the unit `bench_sched` records for the serve kernels.
+    #[must_use]
+    pub fn us_per_module(&self) -> f64 {
+        if self.modules == 0 {
+            return 0.0;
+        }
+        self.elapsed_ms as f64 * 1000.0 / self.modules as f64
+    }
+
+    /// Renders the stable `key value` report (same shape as
+    /// `serve stats` bodies).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("batches {}\n", self.batches));
+        out.push_str(&format!("modules {}\n", self.modules));
+        out.push_str(&format!("ok {}\n", self.ok));
+        out.push_str(&format!("errors {}\n", self.errors));
+        out.push_str(&format!("shed {}\n", self.shed));
+        out.push_str(&format!("seq-mismatches {}\n", self.seq_mismatches));
+        out.push_str(&format!("conn-errors {}\n", self.conn_errors));
+        out.push_str(&format!("elapsed-ms {}\n", self.elapsed_ms));
+        out.push_str(&format!("req-per-sec {:.1}\n", self.req_per_sec()));
+        out.push_str(&self.latency.render("latency"));
+        out
+    }
+}
+
+/// Builds the deterministic module pool: `pool` distinct tiny modules,
+/// text rendered once up front so connection threads only clone strings.
+fn module_pool(seed: u64, pool: usize) -> Vec<String> {
+    (0..pool.max(1))
+        .map(|i| {
+            let spec = BenchmarkSpec::tiny(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64);
+            treegion_ir::print_module(&generate(&spec))
+        })
+        .collect()
+}
+
+/// Draws one batch from the pool, deterministically per (seed, conn,
+/// batch index).
+fn draw_batch(rng: &mut StdRng, pool: &[String], n: usize) -> Vec<ModuleRequest> {
+    (0..n.max(1))
+        .map(|_| ModuleRequest {
+            text: pool[(rng.next_u64() % pool.len() as u64) as usize].clone(),
+            poison: Poison::default(),
+        })
+        .collect()
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = s.set_nodelay(true);
+    let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = s.set_write_timeout(Some(Duration::from_secs(10)));
+    Ok(s)
+}
+
+/// Reads reply frames until the batch tagged `want_seq` completes.
+/// Returns the (ok, errors, shed, mismatches) counts for that batch.
+fn read_batch_replies(
+    stream: &mut TcpStream,
+    want_seq: Option<u64>,
+) -> Result<(u64, u64, u64, u64), String> {
+    let (mut ok, mut errors, mut shed, mut mismatches) = (0u64, 0u64, 0u64, 0u64);
+    loop {
+        let frame = read_frame(stream)?.ok_or("eof mid-batch")?;
+        let resp = parse_response(&frame)?;
+        match resp.kind.as_str() {
+            "result" => {
+                match resp.status {
+                    Some(crate::protocol::ResultStatus::Ok) => ok += 1,
+                    Some(crate::protocol::ResultStatus::Error) => errors += 1,
+                    Some(crate::protocol::ResultStatus::Shed) => shed += 1,
+                    None => {}
+                }
+                if let Some(want) = want_seq {
+                    if resp.key("seq") != Some(want.to_string().as_str()) {
+                        mismatches += 1;
+                    }
+                }
+            }
+            "batch-end" => {
+                if let Some(want) = want_seq {
+                    if resp.key("seq") != Some(want.to_string().as_str()) {
+                        mismatches += 1;
+                    }
+                }
+                return Ok((ok, errors, shed, mismatches));
+            }
+            "error" => {
+                return Err(format!(
+                    "server error: {}",
+                    resp.key("reason").unwrap_or("")
+                ))
+            }
+            other => return Err(format!("unexpected frame kind `{other}` mid-batch")),
+        }
+    }
+}
+
+/// One reconnect-mode connection worker: fresh connection per batch,
+/// one batch in flight — the pre-keep-alive baseline.
+fn run_reconnect_conn(
+    config: &LoadgenConfig,
+    pool: &[String],
+    conn_ix: usize,
+    deadline: Instant,
+    tallies: &Tallies,
+) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (conn_ix as u64).wrapping_mul(0x9E3779B9));
+    let options = BatchOptions::default();
+    while Instant::now() < deadline {
+        let modules = draw_batch(&mut rng, pool, config.batch_modules);
+        let started = Instant::now();
+        let outcome = connect(&config.addr).and_then(|mut stream| {
+            write_frame(&mut stream, &render_compile_seq(&options, None, &modules))?;
+            read_batch_replies(&mut stream, None)
+        });
+        match outcome {
+            Ok((ok, errors, shed, _)) => {
+                tallies.latency.record(started.elapsed());
+                tallies.batches.fetch_add(1, Ordering::Relaxed);
+                tallies
+                    .modules
+                    .fetch_add(ok + errors + shed, Ordering::Relaxed);
+                tallies.ok.fetch_add(ok, Ordering::Relaxed);
+                tallies.errors.fetch_add(errors, Ordering::Relaxed);
+                tallies.shed.fetch_add(shed, Ordering::Relaxed);
+            }
+            Err(_) => {
+                tallies.conn_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+/// One keep-alive connection worker: a sender half pipelines
+/// sequence-tagged batches through a single connection while a receiver
+/// thread drains replies FIFO; `close` drains the window at the end.
+fn run_pipelined_conn(
+    config: &LoadgenConfig,
+    pool: &[String],
+    conn_ix: usize,
+    deadline: Instant,
+    tallies: &Tallies,
+) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (conn_ix as u64).wrapping_mul(0x9E3779B9));
+    let options = BatchOptions::default();
+    let Ok(mut stream) = connect(&config.addr) else {
+        tallies.conn_errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let Ok(mut rstream) = stream.try_clone() else {
+        tallies.conn_errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let depth = config.pipeline_depth.max(1);
+    // The window: a bounded token channel. The sender blocks on `send`
+    // once `depth` batches are unanswered; the receiver frees a slot as
+    // each `batch-end` arrives (FIFO, like the server answers).
+    let (tok_tx, tok_rx) = mpsc::sync_channel::<(u64, Instant)>(depth - 1);
+    let receiver_dead = Arc::new(AtomicBool::new(false));
+    let receiver_dead2 = Arc::clone(&receiver_dead);
+    std::thread::scope(|s| {
+        let receiver = s.spawn(move || {
+            while let Ok((seq, started)) = tok_rx.recv() {
+                match read_batch_replies(&mut rstream, Some(seq)) {
+                    Ok((ok, errors, shed, mismatches)) => {
+                        tallies.latency.record(started.elapsed());
+                        tallies.batches.fetch_add(1, Ordering::Relaxed);
+                        tallies
+                            .modules
+                            .fetch_add(ok + errors + shed, Ordering::Relaxed);
+                        tallies.ok.fetch_add(ok, Ordering::Relaxed);
+                        tallies.errors.fetch_add(errors, Ordering::Relaxed);
+                        tallies.shed.fetch_add(shed, Ordering::Relaxed);
+                        tallies
+                            .seq_mismatches
+                            .fetch_add(mismatches, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        tallies.conn_errors.fetch_add(1, Ordering::Relaxed);
+                        receiver_dead2.store(true, Ordering::Release);
+                        return;
+                    }
+                }
+            }
+        });
+        let mut seq = 0u64;
+        while Instant::now() < deadline && !receiver_dead.load(Ordering::Acquire) {
+            let modules = draw_batch(&mut rng, pool, config.batch_modules);
+            let frame = render_compile_seq(&options, Some(seq), &modules);
+            // Claim a window slot first (blocks at full depth), then put
+            // the batch on the wire.
+            if tok_tx.send((seq, Instant::now())).is_err() {
+                break;
+            }
+            if write_frame(&mut stream, &frame).is_err() {
+                tallies.conn_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            seq += 1;
+        }
+        drop(tok_tx); // receiver drains the window, then exits
+        let _ = receiver.join();
+        // Protocol FIN: tell the server this connection is done.
+        if !receiver_dead.load(Ordering::Acquire)
+            && write_frame(&mut stream, &render_simple(Verb::Close)).is_ok()
+        {
+            let _ = read_frame(&mut stream); // `closing`
+        }
+    });
+}
+
+/// Runs the load harness against a live server and reports what it
+/// measured. Deterministic in the workload it sends (not in timing).
+///
+/// # Errors
+///
+/// Fails when no connection completed a single batch — the server is
+/// unreachable or rejecting everything.
+pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadReport, String> {
+    let pool = module_pool(config.seed, config.pool);
+    let tallies = Tallies::default();
+    let started = Instant::now();
+    let deadline = started + Duration::from_millis(config.duration_ms.max(1));
+    std::thread::scope(|s| {
+        for conn_ix in 0..config.connections.max(1) {
+            let (config, pool, tallies) = (&*config, &pool[..], &tallies);
+            s.spawn(move || {
+                if config.reconnect {
+                    run_reconnect_conn(config, pool, conn_ix, deadline, tallies);
+                } else {
+                    run_pipelined_conn(config, pool, conn_ix, deadline, tallies);
+                }
+            });
+        }
+    });
+    let elapsed_ms = (started.elapsed().as_millis() as u64).max(1);
+    let report = LoadReport {
+        batches: tallies.batches.load(Ordering::Relaxed),
+        modules: tallies.modules.load(Ordering::Relaxed),
+        ok: tallies.ok.load(Ordering::Relaxed),
+        errors: tallies.errors.load(Ordering::Relaxed),
+        shed: tallies.shed.load(Ordering::Relaxed),
+        seq_mismatches: tallies.seq_mismatches.load(Ordering::Relaxed),
+        conn_errors: tallies.conn_errors.load(Ordering::Relaxed),
+        elapsed_ms,
+        latency: tallies.latency.snapshot(),
+    };
+    if report.batches == 0 {
+        return Err(format!(
+            "loadgen completed no batches against {} ({} connection errors)",
+            config.addr, report.conn_errors
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_pool_is_deterministic_and_distinct() {
+        let a = module_pool(7, 4);
+        let b = module_pool(7, 4);
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn report_math_is_sane() {
+        let r = LoadReport {
+            batches: 10,
+            modules: 20,
+            ok: 18,
+            errors: 1,
+            shed: 1,
+            seq_mismatches: 0,
+            conn_errors: 0,
+            elapsed_ms: 2_000,
+            latency: Histogram::new().snapshot(),
+        };
+        assert!((r.req_per_sec() - 10.0).abs() < 1e-9);
+        assert!((r.us_per_module() - 100_000.0).abs() < 1e-9);
+        let text = r.render();
+        assert!(text.contains("req-per-sec 10.0"));
+        assert!(text.contains("latency-p99-us"));
+    }
+
+    #[test]
+    fn loadgen_against_nothing_fails_cleanly() {
+        let config = LoadgenConfig {
+            addr: "127.0.0.1:1".into(), // nothing listens here
+            connections: 1,
+            duration_ms: 50,
+            ..LoadgenConfig::default()
+        };
+        let err = run_loadgen(&config).unwrap_err();
+        assert!(err.contains("no batches"), "{err}");
+    }
+}

@@ -19,10 +19,22 @@
 //! module @b { ... }
 //! ```
 //!
-//! Verbs: `compile`, `stats`, `ping`, `shutdown`. The server answers a
-//! compile batch with one `result` frame per module **in input order**
-//! (streamed as each finishes admission/scheduling) and a final
+//! Verbs: `compile`, `stats`, `ping`, `shutdown`, `close`. The server
+//! answers a compile batch with one `result` frame per module **in input
+//! order** (streamed as each finishes admission/scheduling) and a final
 //! `batch-end` frame; other verbs get a single frame.
+//!
+//! ## Keep-alive pipelining
+//!
+//! A connection carries any number of batches back-to-back. A compile
+//! request may carry a `seq N` option line — an opaque per-batch
+//! sequence id the server echoes as a `seq` key on every `result` and
+//! `batch-end` frame of that batch, so a client with several batches in
+//! flight can demultiplex replies (which always arrive in submission
+//! order — the server processes one connection's batches FIFO while
+//! *reading ahead* on the socket). The `close` verb is the protocol's
+//! FIN equivalent: the server finishes every batch already accepted on
+//! the connection, answers `closing`, and closes its end.
 //!
 //! A result frame's body after the blank line is exactly the payload the
 //! disk cache stores, so a warm hit is byte-identical to the cold run
@@ -149,6 +161,10 @@ pub enum Verb {
     Ping,
     /// Graceful drain: finish in-flight work, checkpoint, exit.
     Shutdown,
+    /// Connection FIN: finish every batch accepted on this connection,
+    /// answer `closing`, close the connection (the server keeps
+    /// running).
+    Close,
 }
 
 /// Batch-wide scheduling options (defaults mirror `tgc schedule`).
@@ -217,6 +233,9 @@ pub struct Request {
     pub verb: Verb,
     /// Batch options (defaults when absent).
     pub options: BatchOptions,
+    /// Pipelining sequence id (`seq` option line): echoed on every
+    /// frame of this batch's reply. `None` for unpipelined clients.
+    pub seq: Option<u64>,
     /// The batch body (empty for non-compile verbs).
     pub modules: Vec<ModuleRequest>,
 }
@@ -267,9 +286,21 @@ fn parse_heuristic(s: &str) -> Result<Heuristic, String> {
 }
 
 /// Renders a compile request frame — the client-side inverse of
-/// [`parse_request`].
+/// [`parse_request`]. No `seq` line is emitted (the unpipelined form).
 pub fn render_compile(options: &BatchOptions, modules: &[ModuleRequest]) -> String {
+    render_compile_seq(options, None, modules)
+}
+
+/// [`render_compile`] with an explicit pipelining sequence id.
+pub fn render_compile_seq(
+    options: &BatchOptions,
+    seq: Option<u64>,
+    modules: &[ModuleRequest],
+) -> String {
     let mut out = format!("{MAGIC} compile\n");
+    if let Some(n) = seq {
+        out.push_str(&format!("seq {n}\n"));
+    }
     let kind = match &options.kind {
         RegionConfig::BasicBlock => "bb".to_string(),
         RegionConfig::Slr => "slr".to_string(),
@@ -315,6 +346,7 @@ pub fn render_simple(verb: Verb) -> String {
         Verb::Stats => "stats",
         Verb::Ping => "ping",
         Verb::Shutdown => "shutdown",
+        Verb::Close => "close",
     };
     format!("{MAGIC} {v}\n")
 }
@@ -334,10 +366,12 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
         Some("stats") => Verb::Stats,
         Some("ping") => Verb::Ping,
         Some("shutdown") => Verb::Shutdown,
+        Some("close") => Verb::Close,
         Some(other) => return Err(format!("unknown verb `{other}`")),
         None => return Err(format!("bad protocol magic (want `{MAGIC} <verb>`)")),
     };
     let mut options = BatchOptions::default();
+    let mut seq = None;
     // Option lines until the first blank line; the rest is the body.
     let mut body = Vec::new();
     let mut in_body = false;
@@ -359,6 +393,13 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
             "machine" => options.machine = parse_machine(value)?,
             "heuristic" => options.heuristic = parse_heuristic(value)?,
             "dompar" => options.dompar = true,
+            "seq" => {
+                seq = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad sequence id `{value}`"))?,
+                );
+            }
             "deadline-ms" => {
                 options.deadline_ms = Some(
                     value
@@ -380,6 +421,7 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
     Ok(Request {
         verb,
         options,
+        seq,
         modules,
     })
 }
@@ -602,11 +644,34 @@ mod tests {
             (Verb::Stats, "stats"),
             (Verb::Ping, "ping"),
             (Verb::Shutdown, "shutdown"),
+            (Verb::Close, "close"),
         ] {
             let req = parse_request(&render_simple(v)).unwrap();
             assert_eq!(req.verb, v, "{s}");
             assert!(req.modules.is_empty());
         }
+    }
+
+    #[test]
+    fn sequence_ids_round_trip_and_default_off() {
+        let m = vec![ModuleRequest {
+            text: "module @a\n".into(),
+            poison: Poison::default(),
+        }];
+        let opts = BatchOptions::default();
+        // Unpipelined clients emit no seq line and parse to None.
+        let plain = render_compile(&opts, &m);
+        assert!(!plain.contains("seq "));
+        assert_eq!(parse_request(&plain).unwrap().seq, None);
+        // Pipelined form round-trips arbitrary ids.
+        for id in [0u64, 1, 42, u64::MAX] {
+            let req = parse_request(&render_compile_seq(&opts, Some(id), &m)).unwrap();
+            assert_eq!(req.seq, Some(id));
+            assert_eq!(req.modules.len(), 1);
+        }
+        // Malformed ids are protocol errors, not panics.
+        assert!(parse_request("tgc-serve v1 compile\nseq x\n\nmodule @a\n").is_err());
+        assert!(parse_request("tgc-serve v1 compile\nseq -3\n\nmodule @a\n").is_err());
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The TCP front end: accept loop, per-connection handlers, graceful
-//! drain.
+//! The TCP front end: accept loop, per-connection pipelined handlers,
+//! graceful drain.
 //!
 //! The accept loop is non-blocking with a short poll so the drain flag
 //! is observed promptly; each connection gets a blocking handler thread
@@ -10,6 +10,33 @@
 //! their readers, joins every handler, and checkpoints the durable
 //! cache. Crash safety does **not** depend on the graceful path — every
 //! cache write is already fsynced — the checkpoint merely compacts.
+//!
+//! ## The connection state machine
+//!
+//! Each connection runs **two** threads so the socket read of batch
+//! N + 1 overlaps the scheduling of batch N:
+//!
+//! ```text
+//!  reader thread                 worker thread
+//!  ─────────────                 ─────────────
+//!  read_frame_event ──┐
+//!  parse, dispatch    │ bounded channel (pipeline_depth)
+//!  compile → enqueue ─┴───────▶  process_batch on the par pool
+//!  control verbs answer          result/batch-end frames (seq echoed)
+//!  via the shared writer  ◀────  via the shared writer
+//! ```
+//!
+//! The reader keeps the PR 8 per-frame semantics (idle-budget ticks at
+//! frame boundaries, immediate drop on a mid-frame stall) and handles
+//! `ping`/`stats`/`shutdown`/`close` inline; `compile` batches enqueue
+//! into a bounded channel the single worker drains FIFO — so one
+//! connection's replies always arrive in submission order, while the
+//! enqueue itself is the natural backpressure (a sender more than
+//! `pipeline_depth` batches ahead blocks in TCP). Every frame write
+//! goes through one mutex-guarded socket clone, keeping frames atomic
+//! when a control reply interleaves with streamed results. The idle
+//! reaper only ticks while **no batch is in flight** — a silent client
+//! waiting on a slow batch is patient, not idle.
 
 use crate::admission::Admission;
 use crate::engine::{Engine, EngineConfig, ModuleReply};
@@ -18,9 +45,10 @@ use crate::protocol::{
 };
 use crate::stats::bump;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+use treegion_par::lock_tolerant as lock;
 
 /// Server construction options.
 #[derive(Clone, Debug)]
@@ -33,6 +61,9 @@ pub struct ServerConfig {
     pub queue_max: usize,
     /// Retry hint carried by shed replies, in milliseconds.
     pub retry_after_ms: u64,
+    /// Per-connection pipeline window: compile batches buffered between
+    /// the reader and the worker before the enqueue blocks.
+    pub pipeline_depth: usize,
     /// Socket read timeout. Doubles as the idle poll tick: a frame that
     /// *starts* must deliver its next bytes within this budget or the
     /// connection is dropped as a stalled peer.
@@ -40,8 +71,9 @@ pub struct ServerConfig {
     /// Socket write timeout: a peer that stops draining its receive
     /// buffer cannot pin a handler on a blocked write forever.
     pub write_timeout_ms: u64,
-    /// Idle budget: a connection with no traffic at all for this long is
-    /// reaped (counted in `idle-reaped`). Zero disables the reaper.
+    /// Idle budget: a connection with no traffic at all (and no batch in
+    /// flight) for this long is reaped (counted in `idle-reaped`). Zero
+    /// disables the reaper.
     pub idle_timeout_ms: u64,
 }
 
@@ -52,6 +84,7 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             queue_max: 64,
             retry_after_ms: 100,
+            pipeline_depth: 32,
             read_timeout_ms: 10_000,
             write_timeout_ms: 10_000,
             idle_timeout_ms: 300_000,
@@ -65,6 +98,7 @@ struct Timeouts {
     read_ms: u64,
     write_ms: u64,
     idle_ms: u64,
+    pipeline_depth: usize,
 }
 
 /// A bound (not yet running) server.
@@ -96,6 +130,7 @@ impl Server {
                 read_ms: config.read_timeout_ms.max(1),
                 write_ms: config.write_timeout_ms.max(1),
                 idle_ms: config.idle_timeout_ms,
+                pipeline_depth: config.pipeline_depth.max(1),
             },
         })
     }
@@ -175,13 +210,8 @@ impl Server {
     }
 }
 
-/// Serves one connection until EOF, a dead socket, a timeout, or drain.
-///
-/// The socket read timeout is the poll tick: each expiry at a frame
-/// boundary burns `read_ms` of the connection's idle budget (the
-/// reaper), while an expiry *mid-frame* means the peer started a frame
-/// and stalled — that connection is dropped immediately so a wedged
-/// sender cannot pin a handler thread forever.
+/// Serves one connection until EOF, a `close`, a dead socket, a timeout,
+/// or drain.
 fn handle_connection(
     stream: TcpStream,
     engine: &Engine,
@@ -202,96 +232,194 @@ fn handle_connection(
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-/// The request loop of one connection; returning ends the connection.
+/// One enqueued compile batch: its sequence id, the parsed request, and
+/// the instant its frame was accepted (feeds the latency histogram).
+struct BatchJob {
+    seq: Option<u64>,
+    req: Request,
+    accepted: Instant,
+}
+
+/// The connection state machine (see the module docs): a reader loop on
+/// the calling thread plus a scoped worker thread draining the batch
+/// channel; returning ends the connection.
+///
+/// The socket read timeout is the poll tick: each expiry at a frame
+/// boundary burns `read_ms` of the connection's idle budget (the
+/// reaper) **unless a batch is in flight**, while an expiry *mid-frame*
+/// means the peer started a frame and stalled — that connection is
+/// dropped immediately so a wedged sender cannot pin a handler thread
+/// forever.
 fn serve_connection(
-    mut stream: &mut TcpStream,
+    stream: &mut TcpStream,
     engine: &Engine,
     admission: &Admission,
     drain: &AtomicBool,
     timeouts: Timeouts,
 ) {
-    let mut idle_ms = 0u64;
-    loop {
-        let frame = match read_frame_event(&mut stream) {
-            Ok(FrameEvent::Frame(f)) => {
-                idle_ms = 0;
-                f
-            }
-            Ok(FrameEvent::Eof) => return, // peer hung up cleanly
-            Ok(FrameEvent::IdleTimeout) => {
-                if drain.load(Ordering::Acquire) {
-                    return; // draining: stop waiting on idle peers
+    let Ok(wstream) = stream.try_clone() else {
+        return;
+    };
+    let writer = Mutex::new(wstream);
+    // Set by the worker when a reply write fails: the connection is
+    // beyond saving, the reader gives up at its next tick.
+    let dead = AtomicBool::new(false);
+    // Batches enqueued but not yet fully answered. The idle reaper and
+    // the drain path only act when this is zero.
+    let outstanding = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::sync_channel::<BatchJob>(timeouts.pipeline_depth);
+        let mut tx = Some(tx);
+        let (writer, dead, outstanding) = (&writer, &dead, &outstanding);
+        let mut worker = Some(s.spawn(move || {
+            while let Ok(job) = rx.recv() {
+                if !dead.load(Ordering::Acquire)
+                    && serve_batch(writer, engine, admission, &job).is_err()
+                {
+                    dead.store(true, Ordering::Release);
                 }
-                idle_ms = idle_ms.saturating_add(timeouts.read_ms);
-                if timeouts.idle_ms > 0 && idle_ms >= timeouts.idle_ms {
-                    bump(&engine.stats.idle_reaped);
-                    return;
+                outstanding.fetch_sub(1, Ordering::AcqRel);
+            }
+        }));
+        // Joins the worker after closing the channel: every accepted
+        // batch is answered before the connection advances past this.
+        let finish =
+            |tx: &mut Option<mpsc::SyncSender<BatchJob>>,
+             worker: &mut Option<std::thread::ScopedJoinHandle<'_, ()>>| {
+                drop(tx.take());
+                if let Some(w) = worker.take() {
+                    let _ = w.join();
                 }
-                continue;
+            };
+        let mut idle_ms = 0u64;
+        loop {
+            if dead.load(Ordering::Acquire) {
+                break;
             }
-            Err(e) => {
-                if e.starts_with("stalled") {
-                    bump(&engine.stats.read_stalls);
+            let frame = match read_frame_event(&mut *stream) {
+                Ok(FrameEvent::Frame(f)) => {
+                    idle_ms = 0;
+                    f
                 }
-                return; // dead, stalled, or force-closed socket
-            }
-        };
-        bump(&engine.stats.requests);
-        let req = match parse_request(&frame) {
-            Ok(r) => r,
-            Err(msg) => {
-                // Framing is intact, so the connection survives a bad
-                // request; only the request is rejected.
-                let reply = render_response("error", &[("reason", msg)], "");
-                if write_frame(&mut stream, &reply).is_err() {
-                    return;
+                Ok(FrameEvent::Eof) => break, // peer hung up cleanly
+                Ok(FrameEvent::IdleTimeout) => {
+                    if outstanding.load(Ordering::Acquire) > 0 {
+                        continue; // waiting on results, not idle
+                    }
+                    if drain.load(Ordering::Acquire) {
+                        break; // draining: stop waiting on idle peers
+                    }
+                    idle_ms = idle_ms.saturating_add(timeouts.read_ms);
+                    if timeouts.idle_ms > 0 && idle_ms >= timeouts.idle_ms {
+                        bump(&engine.stats.idle_reaped);
+                        break;
+                    }
+                    continue;
                 }
-                continue;
-            }
-        };
-        match req.verb {
-            Verb::Ping => {
-                if write_frame(&mut stream, &render_response("pong", &[], "")).is_err() {
-                    return;
+                Err(e) => {
+                    if e.starts_with("stalled") {
+                        bump(&engine.stats.read_stalls);
+                    }
+                    break; // dead, stalled, or force-closed socket
                 }
-            }
-            Verb::Stats => {
-                let body = engine.render_stats(admission.inflight(), admission.high_water());
-                if write_frame(&mut stream, &render_response("stats", &[], &body)).is_err() {
-                    return;
+            };
+            bump(&engine.stats.requests);
+            let req = match parse_request(&frame) {
+                Ok(r) => r,
+                Err(msg) => {
+                    // Framing is intact, so the connection survives a bad
+                    // request; only the request is rejected.
+                    let reply = render_response("error", &[("reason", msg)], "");
+                    if write_locked(writer, &reply).is_err() {
+                        break;
+                    }
+                    continue;
                 }
-            }
-            Verb::Shutdown => {
-                let _ = write_frame(&mut stream, &render_response("draining", &[], ""));
-                drain.store(true, Ordering::Release);
-                return;
-            }
-            Verb::Compile => {
-                if serve_batch(stream, engine, admission, &req).is_err() {
-                    return;
+            };
+            match req.verb {
+                Verb::Ping => {
+                    if write_locked(writer, &render_response("pong", &[], "")).is_err() {
+                        break;
+                    }
+                }
+                Verb::Stats => {
+                    let body = engine.render_stats(admission.inflight(), admission.high_water());
+                    if write_locked(writer, &render_response("stats", &[], &body)).is_err() {
+                        break;
+                    }
+                }
+                Verb::Shutdown => {
+                    // Answer this connection's accepted batches first —
+                    // a client that pipelines compiles and a shutdown
+                    // still gets every reply.
+                    finish(&mut tx, &mut worker);
+                    let _ = write_locked(writer, &render_response("draining", &[], ""));
+                    drain.store(true, Ordering::Release);
+                    break;
+                }
+                Verb::Close => {
+                    // Protocol FIN: drain this connection's pipeline,
+                    // confirm, close. The server keeps running.
+                    finish(&mut tx, &mut worker);
+                    bump(&engine.stats.closes);
+                    let _ = write_locked(writer, &render_response("closing", &[], ""));
+                    break;
+                }
+                Verb::Compile => {
+                    let job = BatchJob {
+                        seq: req.seq,
+                        req,
+                        accepted: Instant::now(),
+                    };
+                    outstanding.fetch_add(1, Ordering::AcqRel);
+                    // A full channel blocks here — backpressure via TCP.
+                    match &tx {
+                        Some(tx) if tx.send(job).is_ok() => {}
+                        _ => {
+                            outstanding.fetch_sub(1, Ordering::AcqRel);
+                            break;
+                        }
+                    }
                 }
             }
         }
-    }
+        finish(&mut tx, &mut worker);
+    });
+}
+
+/// Writes one frame under the connection's writer lock, keeping frames
+/// atomic when the reader (control replies) and the worker (results)
+/// interleave.
+fn write_locked(writer: &Mutex<TcpStream>, payload: &str) -> Result<(), String> {
+    write_frame(&mut *lock(writer), payload)
 }
 
 /// Runs one compile batch and streams the per-module `result` frames in
-/// input order, closed by a `batch-end` frame.
+/// input order, closed by a `batch-end` frame. The request's sequence
+/// id, when present, is echoed on every frame so pipelined clients can
+/// demultiplex.
 fn serve_batch(
-    stream: &mut TcpStream,
+    writer: &Mutex<TcpStream>,
     engine: &Engine,
     admission: &Admission,
-    req: &Request,
+    job: &BatchJob,
 ) -> Result<(), String> {
+    let req = &job.req;
     let replies = engine.process_batch(admission, &req.options, &req.modules);
     let (mut ok, mut errors, mut shed) = (0u64, 0u64, 0u64);
+    let with_seq = |mut keys: Vec<(&'static str, String)>| {
+        if let Some(n) = job.seq {
+            keys.push(("seq", n.to_string()));
+        }
+        keys
+    };
     for (i, reply) in replies.iter().enumerate() {
         let index = ("index", i.to_string());
         let frame = match reply {
             ModuleReply::Ok { warm, payload } => {
                 ok += 1;
                 let tier = ("cache", if *warm { "warm" } else { "cold" }.to_string());
-                render_response("result ok", &[index, tier], payload)
+                render_response("result ok", &with_seq(vec![index, tier]), payload)
             }
             ModuleReply::Err {
                 cause,
@@ -301,12 +429,12 @@ fn serve_batch(
                 errors += 1;
                 render_response(
                     "result error",
-                    &[
+                    &with_seq(vec![
                         index,
                         ("cause", cause.clone()),
                         ("detail", detail.clone()),
                         ("quarantined", quarantined.to_string()),
-                    ],
+                    ]),
                     "",
                 )
             }
@@ -314,28 +442,26 @@ fn serve_batch(
                 shed += 1;
                 render_response(
                     "result shed",
-                    &[index, ("retry-after-ms", retry_after_ms.to_string())],
+                    &with_seq(vec![index, ("retry-after-ms", retry_after_ms.to_string())]),
                     "",
                 )
             }
         };
-        write_frame(stream, &frame)?;
+        write_locked(writer, &frame)?;
     }
-    write_frame(
-        stream,
+    let out = write_locked(
+        writer,
         &render_response(
             "batch-end",
-            &[
+            &with_seq(vec![
                 ("modules", replies.len().to_string()),
                 ("ok", ok.to_string()),
                 ("errors", errors.to_string()),
                 ("shed", shed.to_string()),
-            ],
+            ]),
             "",
         ),
-    )
-}
-
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    );
+    engine.stats.latency.record(job.accepted.elapsed());
+    out
 }

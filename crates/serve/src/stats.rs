@@ -5,11 +5,14 @@
 //! `key value` text as the rest of the workspace, so the CI smoke job
 //! can `grep` it. Per-stage timings come from the engine's shared
 //! [`treegion::Profiler`], the same `PassObserver` hooks that feed
-//! `tgc schedule --profile`.
+//! `tgc schedule --profile`. Batch service latency is recorded into a
+//! fixed-bucket log-scale [`Histogram`] and rendered as the stable
+//! `latency-*` key set — the same keys `tgc loadgen` reports client-side.
 
+use crate::histo::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use treegion::Profiler;
-use treegion_eval::{CacheStats, DiskRecovery};
+use treegion_eval::{CacheStats, DiskRecovery, DiskStats};
 
 /// Monotonic service counters (see [`ServeStats::render`] for the keys).
 #[derive(Debug, Default)]
@@ -44,6 +47,10 @@ pub struct ServeStats {
     /// Connections dropped for stalling mid-frame (read timeout after a
     /// frame had started).
     pub read_stalls: AtomicU64,
+    /// Connections closed cleanly by the `close` verb.
+    pub closes: AtomicU64,
+    /// Per-batch service latency (frame accepted → batch-end written).
+    pub latency: Histogram,
 }
 
 /// Bumps a counter by one.
@@ -51,19 +58,54 @@ pub fn bump(c: &AtomicU64) {
     c.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Everything [`ServeStats::render`] needs beyond the counters
+/// themselves: cache-layer stats, the startup recovery verdict, the
+/// shared profiler, admission gauges, the chaos snapshot, and the
+/// sharding/striping observability feeds.
+pub struct RenderInputs<'a> {
+    /// Formation/time/disk layer hit rates.
+    pub cache: CacheStats,
+    /// Startup cache-recovery verdict (None without a disk tier).
+    pub recovery: Option<DiskRecovery>,
+    /// Per-stage timing source.
+    pub profiler: &'a Profiler,
+    /// Modules currently admitted.
+    pub inflight: usize,
+    /// Admission high-water mark.
+    pub high_water: usize,
+    /// Armed chaos-plan counters (None renders zeros).
+    pub chaos: Option<treegion_chaos::ChaosSnapshot>,
+    /// Per-shard disk-tier counters (empty without a disk tier).
+    pub shards: Vec<DiskStats>,
+    /// Quarantine ledger stripe count.
+    pub quarantine_stripes: usize,
+    /// Quarantine ledger lock contention events.
+    pub quarantine_contention: u64,
+}
+
+impl Default for RenderInputs<'_> {
+    fn default() -> Self {
+        // A static empty profiler so tests can build inputs tersely.
+        static EMPTY: std::sync::OnceLock<Profiler> = std::sync::OnceLock::new();
+        RenderInputs {
+            cache: CacheStats::default(),
+            recovery: None,
+            profiler: EMPTY.get_or_init(Profiler::new),
+            inflight: 0,
+            high_water: 0,
+            chaos: None,
+            shards: Vec::new(),
+            quarantine_stripes: 0,
+            quarantine_contention: 0,
+        }
+    }
+}
+
 impl ServeStats {
     /// Renders the `/stats` body: service counters, cache layers (warm /
-    /// cold hit rates and the startup recovery verdict), and per-stage
-    /// timings.
-    pub fn render(
-        &self,
-        cache: &CacheStats,
-        recovery: Option<DiskRecovery>,
-        profiler: &Profiler,
-        inflight: usize,
-        high_water: usize,
-        chaos: Option<treegion_chaos::ChaosSnapshot>,
-    ) -> String {
+    /// cold hit rates, per-shard hit/contention counters, the startup
+    /// recovery verdict), the latency histogram, and per-stage timings.
+    pub fn render(&self, inputs: &RenderInputs) -> String {
         let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let mut out = String::new();
         let mut kv = |k: &str, v: String| out.push_str(&format!("{k} {v}\n"));
@@ -79,6 +121,11 @@ impl ServeStats {
             "quarantine-rejects",
             g(&self.quarantine_rejects).to_string(),
         );
+        kv("quarantine-stripes", inputs.quarantine_stripes.to_string());
+        kv(
+            "quarantine-contention",
+            inputs.quarantine_contention.to_string(),
+        );
         kv("cache-warm", g(&self.warm).to_string());
         kv("cache-cold", g(&self.cold).to_string());
         let (w, c) = (g(&self.warm), g(&self.cold));
@@ -88,15 +135,21 @@ impl ServeStats {
             w as f64 / (w + c) as f64
         };
         kv("cache-warm-rate", format!("{rate:.3}"));
-        kv("inflight", inflight.to_string());
-        kv("high-water", high_water.to_string());
+        kv("inflight", inputs.inflight.to_string());
+        kv("high-water", inputs.high_water.to_string());
         kv("ledger-skipped", g(&self.ledger_skipped).to_string());
         kv("idle-reaped", g(&self.idle_reaped).to_string());
         kv("read-stalls", g(&self.read_stalls).to_string());
+        kv("closes", g(&self.closes).to_string());
+        // The latency histogram renders unconditionally (zeros before the
+        // first batch) so the key set is stable for dashboards and the CI
+        // loadgen-smoke grep.
+        out.push_str(&self.latency.snapshot().render("latency"));
+        let mut kv = |k: &str, v: String| out.push_str(&format!("{k} {v}\n"));
         // Chaos-layer counters render unconditionally (zeros when no
         // plan is armed) so dashboards and the CI smoke grep see a
         // stable key set.
-        let snap = chaos.unwrap_or_default();
+        let snap = inputs.chaos.clone().unwrap_or_default();
         kv(
             "chaos-armed",
             if snap.mode.is_empty() {
@@ -111,16 +164,34 @@ impl ServeStats {
         kv("chaos-crashed", snap.crashed.to_string());
         kv(
             "disk-tier",
-            format!("hits={} misses={}", cache.disk.hits, cache.disk.misses),
+            format!(
+                "hits={} misses={}",
+                inputs.cache.disk.hits, inputs.cache.disk.misses
+            ),
         );
+        // Per-shard counters: the striped layout's observability. The
+        // shard count renders unconditionally; the per-shard lines only
+        // when a disk tier is attached.
+        kv("disk-shards", inputs.shards.len().to_string());
+        let total_contention: u64 = inputs.shards.iter().map(|s| s.contention).sum();
+        kv("disk-contention", total_contention.to_string());
+        for (k, s) in inputs.shards.iter().enumerate() {
+            kv(
+                &format!("disk-shard-{k}"),
+                format!(
+                    "hits={} misses={} entries={} contention={}",
+                    s.hits, s.misses, s.entries, s.contention
+                ),
+            );
+        }
         kv(
             "formation-tier",
             format!(
                 "hits={} misses={}",
-                cache.formation.hits, cache.formation.misses
+                inputs.cache.formation.hits, inputs.cache.formation.misses
             ),
         );
-        if let Some(r) = recovery {
+        if let Some(r) = inputs.recovery {
             kv(
                 "cache-recovery",
                 format!(
@@ -131,7 +202,7 @@ impl ServeStats {
         }
         let mut hazard_hits = 0u64;
         let mut deferral_parks = 0u64;
-        for p in profiler.report() {
+        for p in inputs.profiler.report() {
             kv(
                 &format!("stage-{}", p.stage.name()),
                 format!("ns={} calls={}", p.nanos, p.calls),
@@ -174,7 +245,12 @@ mod tests {
         bump(&s.ok);
         bump(&s.warm);
         bump(&s.shed);
-        let text = s.render(&CacheStats::default(), None, &Profiler::new(), 3, 64, None);
+        s.latency.record_us(1_500);
+        let text = s.render(&RenderInputs {
+            inflight: 3,
+            high_water: 64,
+            ..RenderInputs::default()
+        });
         assert!(text.contains("ok 2\n"), "{text}");
         assert!(text.contains("shed 1\n"), "{text}");
         assert!(text.contains("cache-warm 1\n"), "{text}");
@@ -184,6 +260,17 @@ mod tests {
         assert!(text.contains("ledger-skipped 0\n"), "{text}");
         assert!(text.contains("idle-reaped 0\n"), "{text}");
         assert!(text.contains("read-stalls 0\n"), "{text}");
+        assert!(text.contains("closes 0\n"), "{text}");
+        assert!(text.contains("latency-count 1\n"), "{text}");
+        assert!(text.contains("latency-p50-us "), "{text}");
+        assert!(text.contains("latency-p90-us "), "{text}");
+        assert!(text.contains("latency-p99-us "), "{text}");
+        assert!(text.contains("latency-p999-us "), "{text}");
+        assert!(text.contains("latency-max-us 1500\n"), "{text}");
+        assert!(text.contains("quarantine-stripes 0\n"), "{text}");
+        assert!(text.contains("quarantine-contention 0\n"), "{text}");
+        assert!(text.contains("disk-shards 0\n"), "{text}");
+        assert!(text.contains("disk-contention 0\n"), "{text}");
         assert!(text.contains("chaos-armed off\n"), "{text}");
         assert!(text.contains("chaos-ops 0\n"), "{text}");
         assert!(text.contains("chaos-injected-errors 0\n"), "{text}");
@@ -196,32 +283,55 @@ mod tests {
         assert!(text.contains("4U-asym=36"), "{text}");
         // An armed plan renders its live counters.
         let plan = treegion_chaos::FaultPlan::parse("err-every:2", 7).unwrap();
-        let text = s.render(
-            &CacheStats::default(),
-            None,
-            &Profiler::new(),
-            0,
-            64,
-            Some(plan.snapshot()),
-        );
+        let text = s.render(&RenderInputs {
+            chaos: Some(plan.snapshot()),
+            ..RenderInputs::default()
+        });
         assert!(text.contains("chaos-armed err-every:2 seed=7\n"), "{text}");
         // Recovery line appears when a scan ran.
-        let text = s.render(
-            &CacheStats::default(),
-            Some(DiskRecovery {
+        let text = s.render(&RenderInputs {
+            recovery: Some(DiskRecovery {
                 replayed: 2,
                 dropped: 1,
                 torn_tail: true,
                 compacted: true,
             }),
-            &Profiler::new(),
-            0,
-            64,
-            None,
-        );
+            ..RenderInputs::default()
+        });
         assert!(
             text.contains("cache-recovery replayed=2 dropped=1 torn-tail=true compacted=true"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn per_shard_lines_render_with_a_disk_tier() {
+        let s = ServeStats::default();
+        let text = s.render(&RenderInputs {
+            shards: vec![
+                DiskStats {
+                    hits: 5,
+                    misses: 1,
+                    entries: 3,
+                    contention: 2,
+                },
+                DiskStats::default(),
+            ],
+            quarantine_stripes: 16,
+            quarantine_contention: 4,
+            ..RenderInputs::default()
+        });
+        assert!(text.contains("disk-shards 2\n"), "{text}");
+        assert!(text.contains("disk-contention 2\n"), "{text}");
+        assert!(
+            text.contains("disk-shard-0 hits=5 misses=1 entries=3 contention=2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("disk-shard-1 hits=0 misses=0 entries=0 contention=0\n"),
+            "{text}"
+        );
+        assert!(text.contains("quarantine-stripes 16\n"), "{text}");
+        assert!(text.contains("quarantine-contention 4\n"), "{text}");
     }
 }

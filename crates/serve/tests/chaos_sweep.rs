@@ -49,6 +49,7 @@ fn engine(root: &Path, chaos: treegion_chaos::Chaos) -> Engine {
         quarantine_dir: Some(root.join("quarantine")),
         default_deadline_ms: None,
         chaos,
+        cache_shards: 0,
     })
     .unwrap()
 }
@@ -239,7 +240,11 @@ fn unarmed_run_is_byte_identical_to_record_mode() {
     // quarantine directory, and the manifest all match an unarmed run.
     let observe = |root: &Path, chaos: treegion_chaos::Chaos| {
         let payload = scenario(root, chaos);
-        let cache = std::fs::read(root.join("cache.tgc")).unwrap();
+        // Per-shard byte identity: the striped store keys shards by
+        // digest, so the same workload lands in the same files.
+        let cache: Vec<Vec<u8>> = (0..treegion_serve::DEFAULT_CACHE_SHARDS)
+            .map(|k| std::fs::read(treegion_eval::shard_path(&root.join("cache.tgc"), k)).unwrap())
+            .collect();
         let mut qfiles: Vec<String> = std::fs::read_dir(root.join("quarantine"))
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
@@ -266,11 +271,20 @@ fn injected_errors_surface_without_wedging_the_engine() {
     // err-every faults fail operations loudly (counted in the snapshot)
     // but the engine keeps answering — a failed cache write degrades the
     // put, never the reply.
-    // err-every:11 seed 4 phases the first fault (op 7) past the 7 ops
-    // of `Engine::open` (an injected fault *during* open fails the open
-    // loudly — also correct, but not what this test is about).
+    // Calibrate the phase past `Engine::open`'s own durable ops (which
+    // scale with the shard count): an injected fault *during* open
+    // fails the open loudly — also correct, but not what this test is
+    // about.
+    let probe_root = tmpdir("inject-probe");
+    let probe = Arc::new(FaultPlan::parse("record", 0).unwrap());
+    let _ = engine(&probe_root, Some(Arc::clone(&probe)));
+    let open_ops = probe.snapshot().ops;
+    let _ = std::fs::remove_dir_all(&probe_root);
+    // First fault at op index open_ops + 2: (idx + seed) % n == 0.
+    let n = open_ops + 5;
+    let seed = n - (open_ops + 2) % n;
     let root = tmpdir("inject");
-    let plan = Arc::new(FaultPlan::parse("err-every:11", 4).unwrap());
+    let plan = Arc::new(FaultPlan::parse(&format!("err-every:{n}"), seed).unwrap());
     let eng = engine(&root, Some(Arc::clone(&plan)));
     let opts = Default::default();
     for i in 0..6 {
@@ -283,7 +297,7 @@ fn injected_errors_surface_without_wedging_the_engine() {
     assert!(snap.ops > 0, "chaos layer saw no ops");
     assert!(
         snap.injected_errors > 0,
-        "err-every:3 injected nothing over {} ops",
+        "err-every:{n} injected nothing over {} ops",
         snap.ops
     );
     let _ = std::fs::remove_dir_all(&root);

@@ -38,6 +38,7 @@ fn engine(cache: Option<PathBuf>, qdir: Option<PathBuf>) -> Engine {
         quarantine_dir: qdir,
         default_deadline_ms: None,
         chaos: None,
+        cache_shards: 0,
     })
     .unwrap()
 }

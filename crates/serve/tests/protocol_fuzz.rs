@@ -11,9 +11,29 @@ use std::net::TcpStream;
 use std::time::Duration;
 use treegion_rng::StdRng;
 use treegion_serve::{
-    parse_request, parse_response, read_frame, render_simple, write_frame, EngineConfig, Server,
-    ServerConfig, Verb, MAX_FRAME,
+    parse_request, parse_response, read_frame, render_compile_seq, render_simple, write_frame,
+    BatchOptions, EngineConfig, ModuleRequest, Poison, Server, ServerConfig, Verb, MAX_FRAME,
 };
+
+fn tiny_module(name: &str) -> ModuleRequest {
+    ModuleRequest {
+        text: format!(
+            "module @{name}\n\nfunc @f {{\n  bb0 (weight 1):\n    r0 = movi #1\n    ret r0\n}}\n"
+        ),
+        poison: Poison::default(),
+    }
+}
+
+/// Reads one batch's replies and returns the `batch-end` frame.
+fn read_to_batch_end(s: &mut TcpStream) -> treegion_serve::ResponseFrame {
+    loop {
+        let f = parse_response(&read_frame(s).unwrap().expect("hung up mid-batch")).unwrap();
+        if f.kind == "batch-end" {
+            return f;
+        }
+        assert!(f.kind == "result" || f.kind == "error", "{f:?}");
+    }
+}
 
 fn start(config: ServerConfig) -> (String, std::thread::JoinHandle<Result<(), String>>) {
     let server = Server::bind(&config).unwrap();
@@ -29,6 +49,7 @@ fn quick_server() -> (String, std::thread::JoinHandle<Result<(), String>>) {
             quarantine_dir: None,
             default_deadline_ms: None,
             chaos: None,
+            cache_shards: 0,
         },
         // Short ticks so stall/reap paths fire within test time.
         read_timeout_ms: 50,
@@ -182,6 +203,68 @@ fn live_server_survives_malformed_frames() {
             assert!(f.kind == "error" || f.kind.starts_with("result"), "{f:?}");
         }
     }
+    assert_alive(&addr);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn pipelined_framing_survives_interleaved_garbage() {
+    // Keep-alive fuzz: valid seq-tagged batches interleaved with garbage
+    // frames on ONE connection. Garbage gets structured `error` frames,
+    // batches get their FIFO replies with the seq id echoed verbatim,
+    // and the connection survives the whole mix.
+    let (addr, handle) = quick_server();
+    let mut s = connect(&addr);
+    let opts = BatchOptions::default();
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    let mut sent: Vec<u64> = Vec::new();
+    for round in 0..12u64 {
+        if round % 3 == 2 {
+            // Garbage in valid framing between pipelined batches.
+            let len = rng.gen_range(1usize..128);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u64..128) as u8).collect();
+            write_frame(&mut s, &String::from_utf8_lossy(&bytes)).unwrap();
+        } else {
+            // Out-of-order, gappy seq ids: the server echoes, never
+            // reorders or validates them.
+            let seq = rng.gen_range(0u64..u64::MAX);
+            let batch = vec![tiny_module(&format!("g{round}"))];
+            write_frame(&mut s, &render_compile_seq(&opts, Some(seq), &batch)).unwrap();
+            sent.push(seq);
+        }
+    }
+    // Replies come back in submission order; `error` frames from the
+    // garbage interleave but read_to_batch_end skips past them.
+    for seq in &sent {
+        let end = read_to_batch_end(&mut s);
+        assert_eq!(end.key("seq"), Some(seq.to_string().as_str()));
+    }
+    assert_alive(&addr);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn truncated_pipelined_frame_still_answers_accepted_batches() {
+    // A peer that pipelines two good batches, then dies mid-frame: the
+    // accepted batches must still be answered before the drop — the
+    // reader's exit drains the worker, it doesn't abandon it.
+    let (addr, handle) = quick_server();
+    let mut s = connect(&addr);
+    let opts = BatchOptions::default();
+    for seq in 0..2u64 {
+        let batch = vec![tiny_module(&format!("t{seq}"))];
+        write_frame(&mut s, &render_compile_seq(&opts, Some(seq), &batch)).unwrap();
+    }
+    // Header promises 64 bytes; deliver 3 and stall.
+    s.write_all(&64u32.to_be_bytes()).unwrap();
+    s.write_all(b"abc").unwrap();
+    s.flush().unwrap();
+    for seq in 0..2u64 {
+        let end = read_to_batch_end(&mut s);
+        assert_eq!(end.key("seq"), Some(seq.to_string().as_str()));
+        assert_eq!(end.key("ok"), Some("1"));
+    }
+    assert_closed(s, 64);
     assert_alive(&addr);
     shutdown(&addr, handle);
 }

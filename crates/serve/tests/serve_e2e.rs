@@ -1,11 +1,13 @@
 //! End-to-end daemon tests over real TCP: mixed batches, streaming
-//! replies, stats, backpressure, and graceful drain.
+//! replies, stats, backpressure, keep-alive pipelining, and graceful
+//! drain.
 
 use std::net::TcpStream;
 use std::path::PathBuf;
 use treegion_serve::{
-    parse_response, read_frame, render_compile, render_simple, write_frame, BatchOptions,
-    EngineConfig, ModuleRequest, Poison, ResponseFrame, ResultStatus, Server, ServerConfig, Verb,
+    parse_response, read_frame, render_compile, render_compile_seq, render_simple, write_frame,
+    BatchOptions, EngineConfig, LoadgenConfig, ModuleRequest, Poison, ResponseFrame, ResultStatus,
+    Server, ServerConfig, Verb,
 };
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -69,6 +71,7 @@ fn mixed_batch_poison_is_contained_while_siblings_complete() {
             quarantine_dir: Some(dir.join("quarantine")),
             default_deadline_ms: None,
             chaos: None,
+            cache_shards: 0,
         },
         ..ServerConfig::default()
     });
@@ -190,6 +193,7 @@ fn drain_finishes_inflight_work_and_compacts_the_cache() {
             quarantine_dir: None,
             default_deadline_ms: None,
             chaos: None,
+            cache_shards: 0,
         },
         ..ServerConfig::default()
     });
@@ -210,6 +214,7 @@ fn drain_finishes_inflight_work_and_compacts_the_cache() {
             quarantine_dir: None,
             default_deadline_ms: None,
             chaos: None,
+            cache_shards: 0,
         },
         ..ServerConfig::default()
     });
@@ -225,6 +230,110 @@ fn drain_finishes_inflight_work_and_compacts_the_cache() {
 }
 
 #[test]
+fn pipelined_batches_echo_seq_ids_in_fifo_order() {
+    let dir = tmpdir("pipeline");
+    let (addr, handle) = start(ServerConfig {
+        engine: EngineConfig {
+            cache_path: Some(dir.join("cache.tgc")),
+            quarantine_dir: None,
+            default_deadline_ms: None,
+            chaos: None,
+            cache_shards: 0,
+        },
+        ..ServerConfig::default()
+    });
+    let mut s = TcpStream::connect(&addr).unwrap();
+    // Fire off several sequence-tagged batches back to back without
+    // reading anything: the server interleaves reading batch N + 1 with
+    // scheduling batch N, but replies stay FIFO and carry the seq id.
+    let opts = BatchOptions::default();
+    for seq in 0..5u64 {
+        let batch = vec![module(&format!("p{seq}"), Poison::default())];
+        write_frame(&mut s, &render_compile_seq(&opts, Some(seq), &batch)).unwrap();
+    }
+    for seq in 0..5u64 {
+        let (results, end) = read_batch(&mut s, 1);
+        assert_eq!(results[0].key("seq"), Some(seq.to_string().as_str()));
+        assert_eq!(end.key("seq"), Some(seq.to_string().as_str()));
+        assert_eq!(end.key("ok"), Some("1"));
+    }
+    // A control verb interleaves cleanly on the same connection and the
+    // pipelined batches landed in the latency histogram.
+    let stats = roundtrip(&mut s, &render_simple(Verb::Stats));
+    assert!(stats.body.contains("latency-count 5\n"), "{}", stats.body);
+    assert!(stats.body.contains("latency-p99-us "), "{}", stats.body);
+    shutdown(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn close_verb_drains_the_pipeline_and_ends_only_that_connection() {
+    let (addr, handle) = start(ServerConfig::default());
+    let mut s = TcpStream::connect(&addr).unwrap();
+    let opts = BatchOptions::default();
+    for seq in 0..3u64 {
+        let batch = vec![module(&format!("c{seq}"), Poison::default())];
+        write_frame(&mut s, &render_compile_seq(&opts, Some(seq), &batch)).unwrap();
+    }
+    // `close` right behind the batches: every reply must still arrive,
+    // then the `closing` confirmation, then FIN.
+    write_frame(&mut s, &render_simple(Verb::Close)).unwrap();
+    for seq in 0..3u64 {
+        let (_, end) = read_batch(&mut s, 1);
+        assert_eq!(end.key("seq"), Some(seq.to_string().as_str()));
+    }
+    let closing = parse_response(&read_frame(&mut s).unwrap().unwrap()).unwrap();
+    assert_eq!(closing.kind, "closing");
+    assert_eq!(read_frame(&mut s).unwrap(), None, "server must FIN");
+    // The server itself keeps running: a fresh connection works and the
+    // close was counted.
+    let mut s2 = TcpStream::connect(&addr).unwrap();
+    let stats = roundtrip(&mut s2, &render_simple(Verb::Stats));
+    assert!(stats.body.contains("closes 1\n"), "{}", stats.body);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn loadgen_drives_a_live_server_and_reports_latency() {
+    let dir = tmpdir("loadgen");
+    let (addr, handle) = start(ServerConfig {
+        engine: EngineConfig {
+            cache_path: Some(dir.join("cache.tgc")),
+            quarantine_dir: None,
+            default_deadline_ms: None,
+            chaos: None,
+            cache_shards: 0,
+        },
+        ..ServerConfig::default()
+    });
+    let report = treegion_serve::run_loadgen(&LoadgenConfig {
+        addr: addr.clone(),
+        connections: 2,
+        pipeline_depth: 4,
+        duration_ms: 300,
+        seed: 7,
+        batch_modules: 2,
+        pool: 4,
+        reconnect: false,
+    })
+    .unwrap();
+    assert!(report.batches > 0);
+    assert_eq!(report.modules, report.ok + report.errors + report.shed);
+    assert_eq!(report.seq_mismatches, 0, "{report:?}");
+    assert_eq!(report.conn_errors, 0, "{report:?}");
+    assert!(report.req_per_sec() > 0.0);
+    assert_eq!(report.latency.count, report.batches);
+    let rendered = report.render();
+    assert!(rendered.contains("latency-p999-us"), "{rendered}");
+    // The server saw the same batch count and counted the two closes.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    let stats = roundtrip(&mut s, &render_simple(Verb::Stats));
+    assert!(stats.body.contains("closes 2\n"), "{}", stats.body);
+    shutdown(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn per_request_deadline_answers_with_structured_error() {
     let dir = tmpdir("deadline");
     let (addr, handle) = start(ServerConfig {
@@ -233,6 +342,7 @@ fn per_request_deadline_answers_with_structured_error() {
             quarantine_dir: Some(dir.join("quarantine")),
             default_deadline_ms: None,
             chaos: None,
+            cache_shards: 0,
         },
         ..ServerConfig::default()
     });
