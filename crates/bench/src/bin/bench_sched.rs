@@ -20,6 +20,9 @@
 //!   with req/s and connection concurrency recorded alongside;
 //! * `cache_shard_probe`: ns per warm lookup on the 8-way lock-striped
 //!   sharded disk cache, the warm path's contention kernel;
+//! * `pressure_track`: ns per lowered op of list scheduling under a
+//!   finite (64-entry) GPR file via the robust chain — the liveness
+//!   bookkeeping, ceiling checks, and spill machinery in one number;
 //! * end-to-end evaluation-harness wall time (all tables and figures) in
 //!   three configurations: memoization off at `jobs=1` (the pre-cache
 //!   behaviour), memoization on at `jobs=1`, and memoization on at the
@@ -37,10 +40,11 @@
 //! overrides the output path (default `BENCH_sched.json` in the current
 //! directory, i.e. the repository root when run via `cargo run`).
 //! `--regress BASELINE.json` exits non-zero if `ddg_build`,
-//! `list_sched`, `schedule_region`, `hazard_probe`, `serve_cold`,
-//! `serve_warm`, `serve_warm_c8`, or `cache_shard_probe` regresses more
-//! than 1.3× against the committed baseline
-//! file (the per-kernel CI regression bound). `--states` prints the
+//! `list_sched`, `schedule_region`, `pressure_track`, `hazard_probe`,
+//! `serve_cold`, `serve_warm`, `serve_warm_c8`, or `cache_shard_probe`
+//! regresses more than 1.3× against the committed baseline file (the
+//! per-kernel CI regression bound); each failing line names the kernel
+//! and its observed/allowed ratio. `--states` prints the
 //! hazard-automaton state count of every machine preset and exits — the
 //! CI guard against state-space blowups.
 
@@ -50,7 +54,7 @@ use treegion::{
     Heuristic, Pipeline, Profiler, RegionConfig, RobustOptions, ScheduleOptions, Stage,
     TailDupLimits,
 };
-use treegion_bench::bench_module;
+use treegion_bench::{bench_module, regress_verdicts};
 use treegion_eval::{fig13, fig6, fig8, table1, table2, table3, table4, Suite};
 use treegion_ir::Module;
 use treegion_machine::{MachineModel, OpClass};
@@ -109,19 +113,6 @@ fn parse_config() -> Config {
     cfg
 }
 
-/// Extracts the number following `"key": ` from hand-rolled bench JSON.
-/// Good enough for the files this binary itself writes; `None` when the
-/// key is absent (e.g. a pre-v2 baseline missing a new kernel).
-fn json_number(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let rest = &text[text.find(&needle)? + needle.len()..];
-    let rest = rest.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 /// One observed run of the staged pipeline over the whole module: forms,
 /// lowers, and schedules every function under `config`, with a fresh
 /// [`Profiler`] capturing per-stage wall time via the pipeline's
@@ -163,6 +154,39 @@ fn best_stages(reps: usize, mut run: impl FnMut() -> Profiler) -> ([u128; 5], u1
         best_sched = best_sched.min(rep[2] + rep[3]);
     }
     (best, best_sched)
+}
+
+/// ns per lowered op of list scheduling the whole module on the 8-issue
+/// machine with a 64-entry GPR file — the pressure-tracking overhead
+/// kernel. The run rides the robust chain (spill recovery included), so
+/// the number covers the incremental liveness bookkeeping, the ceiling
+/// checks, and any spill rounds the finite file forces; against the
+/// unbounded `list_sched` kernel it bounds what register tracking costs.
+fn pressure_track_kernel(reps: usize, module: &Module, lowered_ops: u128) -> f64 {
+    let m = MachineModel::model_8u_r64();
+    let pipeline = Pipeline::with_options(
+        &m,
+        RobustOptions {
+            sched: ScheduleOptions {
+                heuristic: Heuristic::GlobalWeight,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let prof = Profiler::new();
+        for f in module.functions() {
+            std::hint::black_box(
+                pipeline
+                    .run_function(f, &RegionConfig::Treegion, &prof)
+                    .expect("pressure-track kernel schedules"),
+            );
+        }
+        best = best.min(prof.stage_nanos(Stage::ListSched));
+    }
+    best as f64 / lowered_ops.max(1) as f64
 }
 
 /// ns per `go` probe on the asymmetric preset: a tight chase through the
@@ -458,6 +482,9 @@ fn main() {
     let (td_stage_ns, _) = best_stages(reps, || profiled_run(&module, &tree_td, &m8, &opts));
     let formation_td_ns = td_stage_ns[0];
 
+    // --- Pressure-tracking kernel (finite register file, ns per op). ---
+    let pressure_track_ns = pressure_track_kernel(reps, &module, lowered_ops);
+
     // --- Hazard-probe micro-kernel (ns per table probe). ---
     let probe_iters = if cfg.quick { 1_000_000 } else { 4_000_000 };
     let hazard_probe_ns = hazard_probe_kernel(reps, probe_iters);
@@ -500,7 +527,7 @@ fn main() {
     let per = |total_ns: u128, ops: u128| total_ns as f64 / ops.max(1) as f64;
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"treegion-bench-sched/v5\",");
+    let _ = writeln!(j, "  \"schema\": \"treegion-bench-sched/v6\",");
     let _ = writeln!(
         j,
         "  \"mode\": \"{}\",",
@@ -530,6 +557,7 @@ fn main() {
         "    \"schedule_region\": {:.2},",
         per(sched_ns, lowered_ops)
     );
+    let _ = writeln!(j, "    \"pressure_track\": {pressure_track_ns:.2},");
     let _ = writeln!(j, "    \"hazard_probe\": {hazard_probe_ns:.2},");
     let _ = writeln!(j, "    \"cache_shard_probe\": {shard_probe_ns:.2}");
     let _ = writeln!(j, "  }},");
@@ -593,37 +621,25 @@ fn main() {
     if let Some(baseline_path) = &cfg.regress {
         let baseline = std::fs::read_to_string(baseline_path)
             .unwrap_or_else(|e| panic!("bench_sched: cannot read baseline {baseline_path}: {e}"));
-        let bound = 1.3;
-        let mut failed = false;
-        for (key, current) in [
-            ("ddg_build", per(ddg_ns, lowered_ops)),
-            ("list_sched", per(list_sched_ns, lowered_ops)),
-            ("schedule_region", per(sched_ns, lowered_ops)),
-            ("hazard_probe", hazard_probe_ns),
-            ("serve_cold", serve_cold_us),
-            ("serve_warm", serve_warm_us),
-            ("serve_warm_c8", c8_us),
-            ("cache_shard_probe", shard_probe_ns),
-        ] {
-            let Some(base) = json_number(&baseline, key) else {
-                eprintln!("bench_sched: regress: baseline has no `{key}`, skipping");
-                continue;
-            };
-            let limit = bound * base;
-            if current > limit {
-                eprintln!(
-                    "bench_sched: FAIL: {key} {current:.2} exceeds \
-                     {bound}x baseline ({base:.2})"
-                );
-                failed = true;
-            } else {
-                eprintln!(
-                    "bench_sched: regress ok: {key} {current:.2} <= \
-                     {bound} x {base:.2}"
-                );
-            }
+        let verdicts = regress_verdicts(
+            &baseline,
+            1.3,
+            &[
+                ("ddg_build", per(ddg_ns, lowered_ops)),
+                ("list_sched", per(list_sched_ns, lowered_ops)),
+                ("schedule_region", per(sched_ns, lowered_ops)),
+                ("pressure_track", pressure_track_ns),
+                ("hazard_probe", hazard_probe_ns),
+                ("serve_cold", serve_cold_us),
+                ("serve_warm", serve_warm_us),
+                ("serve_warm_c8", c8_us),
+                ("cache_shard_probe", shard_probe_ns),
+            ],
+        );
+        for v in &verdicts {
+            eprintln!("{}", v.render());
         }
-        if failed {
+        if verdicts.iter().any(|v| v.failed()) {
             std::process::exit(1);
         }
     }

@@ -51,14 +51,19 @@ pub fn parse_machine(s: &str) -> Result<MachineModel, ArgError> {
     }
 }
 
-/// Parses a `--heuristic` value.
+/// Parses a `--heuristic` value. Besides the paper's four priority
+/// functions this accepts `pressure`, the register-pressure-aware
+/// extension ([`Heuristic::RegPressure`]).
 pub fn parse_heuristic(s: &str) -> Result<Heuristic, ArgError> {
+    if s == Heuristic::RegPressure.name() {
+        return Ok(Heuristic::RegPressure);
+    }
     Heuristic::ALL
         .into_iter()
         .find(|h| h.name() == s)
         .ok_or_else(|| {
             ArgError(format!(
-                "unknown heuristic `{s}` (dep-height|exit-count|global-weight|weighted-count)"
+                "unknown heuristic `{s}` (dep-height|exit-count|global-weight|weighted-count|pressure)"
             ))
         })
 }
@@ -76,6 +81,10 @@ pub struct Options {
     pub machine: MachineModel,
     /// `--heuristic`, default global weight.
     pub heuristic: Heuristic,
+    /// `--reg-file N`: cap the machine's GPR file at `N`
+    /// simultaneously-live registers (default unbounded). Applied on top
+    /// of `--machine` regardless of flag order.
+    pub reg_file: Option<u32>,
     /// `--dompar`.
     pub dompar: bool,
     /// `--fuel N` for `run`.
@@ -201,6 +210,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
         kind: RegionConfig::Treegion,
         machine: MachineModel::model_4u(),
         heuristic: Heuristic::GlobalWeight,
+        reg_file: None,
         dompar: false,
         fuel: 1_000_000,
         verify: VerifyMode::Strict,
@@ -260,6 +270,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
                     .next()
                     .ok_or_else(|| ArgError("--heuristic needs a value".into()))?;
                 opts.heuristic = parse_heuristic(v)?;
+            }
+            "--reg-file" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--reg-file needs a register count".into()))?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad register count `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--reg-file must be at least 1".into()));
+                }
+                opts.reg_file = Some(n);
             }
             "--dompar" => opts.dompar = true,
             "--profile" => opts.profile = true,
@@ -586,6 +608,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, ArgError> {
             }
         }
     }
+    if let Some(cap) = opts.reg_file {
+        opts.machine = opts.machine.with_gpr_file(cap);
+    }
     Ok(opts)
 }
 
@@ -855,6 +880,40 @@ mod tests {
         assert!(parse_args(&v(&["eval", "--chaos-seed", "nope"])).is_err());
         assert!(parse_args(&v(&["serve", "--chaos-plan"])).is_err());
         assert!(parse_args(&v(&["serve", "--read-timeout-ms", "soon"])).is_err());
+    }
+
+    #[test]
+    fn reg_file_flag_caps_the_machine_in_any_flag_order() {
+        let o = parse_args(&v(&["schedule", "x.tir", "--reg-file", "32"])).unwrap();
+        assert!(o.machine.has_finite_regs());
+        assert!(o.machine.name().ends_with("+r32"), "{}", o.machine.name());
+
+        // `--reg-file` before `--machine` still applies to the final machine.
+        let o = parse_args(&v(&[
+            "schedule",
+            "x.tir",
+            "--reg-file",
+            "64",
+            "--machine",
+            "8u",
+        ]))
+        .unwrap();
+        assert_eq!(o.machine.issue_width(), 8);
+        assert!(o.machine.has_finite_regs());
+
+        assert!(parse_args(&v(&["schedule", "x.tir"]))
+            .unwrap()
+            .reg_file
+            .is_none());
+        assert!(parse_args(&v(&["schedule", "--reg-file", "0"])).is_err());
+        assert!(parse_args(&v(&["schedule", "--reg-file", "lots"])).is_err());
+        assert!(parse_args(&v(&["schedule", "--reg-file"])).is_err());
+    }
+
+    #[test]
+    fn pressure_heuristic_parses_as_the_extension() {
+        assert_eq!(parse_heuristic("pressure").unwrap(), Heuristic::RegPressure);
+        assert!(parse_heuristic("register-pressure").is_err());
     }
 
     #[test]

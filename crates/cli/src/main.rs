@@ -464,6 +464,17 @@ fn print_profile(profiler: &Profiler, functions: usize, machine: &treegion_machi
         sched_stats.hazard_hits,
         sched_stats.deferral_parks,
     );
+    // Register-file counters: peak combined pressure the accepted
+    // schedules reached, ceiling parks, and spill ops inserted. The file
+    // column shows the GPR cap when `--reg-file` bounds it.
+    let file = match machine.reg_cap(treegion_ir::RegClass::Gpr) {
+        Some(cap) => format!("{cap}"),
+        None => "unbounded".into(),
+    };
+    println!(
+        "  pressure   file {file}, peak {} reg(s), {} park(s), {} spill(s)",
+        sched_stats.pressure_peak, sched_stats.pressure_parks, sched_stats.spills,
+    );
     // The I/O chaos layer never arms for pure scheduling (no durable
     // I/O here); the row keeps the profile's key set identical across
     // subcommands so dashboards can scrape one shape.

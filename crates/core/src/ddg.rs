@@ -383,6 +383,37 @@ impl Ddg {
             }
         }
 
+        // --- Spill-slot dependences. ---
+        // Spill/reload traffic targets private per-value stack slots, so
+        // it never aliases program memory (no serialization against the
+        // load/store chain above); the only ordering requirement is that
+        // a slot's reloads follow its spill, at the machine's
+        // store-to-load distance.
+        {
+            let mut spill_of: Option<std::collections::HashMap<i64, usize>> = None;
+            for (i, l) in lr.lops.iter().enumerate() {
+                if l.op.opcode == Opcode::Spill {
+                    spill_of
+                        .get_or_insert_with(Default::default)
+                        .insert(l.op.imm, i);
+                }
+            }
+            if let Some(spill_of) = spill_of {
+                for (i, l) in lr.lops.iter().enumerate() {
+                    if l.op.opcode == Opcode::Reload {
+                        if let Some(&s) = spill_of.get(&l.op.imm) {
+                            edges.push(Dep {
+                                from: s,
+                                to: i,
+                                latency: lat,
+                                kind: DepKind::Memory,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
         // Dedup (keep max latency per (from, to)). The sort key packs
         // (from, to, descending latency) into one integer — a single
         // u128 compare per element instead of a three-field tuple
@@ -671,6 +702,52 @@ mod tests {
             .expect("retire edge");
         assert_eq!(e.latency, 1); // load latency 2 - 1
         assert_eq!(lr.lops[e.from].op.opcode, treegion_ir::Opcode::Load);
+    }
+
+    #[test]
+    fn spill_slot_orders_reloads_after_their_spill() {
+        use treegion_ir::Reg;
+        let (x, y, z, w) = (Reg::gpr(0), Reg::gpr(1), Reg::gpr(2), Reg::gpr(3));
+        // x spans the whole block and feeds both adds: the spill victim.
+        let f = straightline(vec![
+            Op::movi(x, 1),
+            Op::movi(y, 2),
+            Op::add(z, x, y),
+            Op::add(w, z, x),
+        ]);
+        let lr = lowered(&f);
+        let (sp, n) = crate::lower::insert_spills(&lr, 1).expect("victim");
+        assert_eq!(n, 1);
+        let m = treegion_machine::MachineModel::model_4u();
+        let ddg = Ddg::build(&sp, &m);
+        let spill = sp
+            .lops
+            .iter()
+            .position(|l| l.op.opcode == Opcode::Spill)
+            .unwrap();
+        let reloads: Vec<usize> = sp
+            .lops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.op.opcode == Opcode::Reload)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(reloads.len(), 2, "one reload per use of the victim");
+        for &r in &reloads {
+            assert!(
+                ddg.edges().iter().any(|e| e.from == spill
+                    && e.to == r
+                    && e.kind == DepKind::Memory
+                    && e.latency == m.mem_dep_latency()),
+                "reload {r} must be ordered after spill {spill}"
+            );
+        }
+        // Spill traffic is private: no serialization against the (absent
+        // here) program-memory chain, and reloads stay mutually unordered.
+        assert!(!ddg
+            .edges()
+            .iter()
+            .any(|e| reloads.contains(&e.from) && reloads.contains(&e.to)));
     }
 
     #[test]

@@ -63,6 +63,21 @@ pub enum SchedFailure {
         /// Stringified panic payload.
         payload: String,
     },
+    /// A finite register file is provably too small for the region: the
+    /// list scheduler reached a cycle where nothing could issue, nothing
+    /// died, and no op was waiting on a latency, with ready ops parked
+    /// on the pressure ceiling — replaying that cycle forever. The
+    /// robust pipeline reacts by inserting spill code (GPRs) or by
+    /// degrading to smaller regions, which carry less speculative
+    /// pressure.
+    RegisterPressure {
+        /// The register class whose file overflowed.
+        class: treegion_ir::RegClass,
+        /// Live ranges of that class at the blocking park.
+        live: u32,
+        /// The file's capacity.
+        cap: u32,
+    },
 }
 
 impl fmt::Display for SchedFailure {
@@ -90,6 +105,13 @@ impl fmt::Display for SchedFailure {
             SchedFailure::Panicked { payload } => {
                 write!(f, "scheduling attempt panicked: {payload}")
             }
+            SchedFailure::RegisterPressure { class, live, cap } => {
+                write!(
+                    f,
+                    "register pressure livelock: {live} live {class} ranges \
+                     against a file of {cap}"
+                )
+            }
         }
     }
 }
@@ -111,6 +133,7 @@ impl SchedFailure {
             SchedFailure::StepBudgetExceeded { .. } => "step-budget",
             SchedFailure::DeadlineExceeded { .. } => "deadline",
             SchedFailure::Panicked { .. } => "panic",
+            SchedFailure::RegisterPressure { .. } => "reg-pressure",
         }
     }
 
@@ -386,6 +409,14 @@ mod tests {
         assert!(f.is_containment());
         assert!(f.to_string().contains("kaboom"));
         assert!(!SchedFailure::OpBudgetExceeded { ops: 1, budget: 1 }.is_containment());
+        let f = SchedFailure::RegisterPressure {
+            class: treegion_ir::RegClass::Gpr,
+            live: 32,
+            cap: 32,
+        };
+        assert_eq!(f.label(), "reg-pressure");
+        assert!(!f.is_containment());
+        assert!(f.to_string().contains("32 live gpr ranges"), "{f}");
     }
 
     #[test]

@@ -26,10 +26,20 @@ pub enum Heuristic {
     /// Priority = (weight, exit count, height). The combination heuristic;
     /// degrades on linearized equal-weight treegions (Figure 10).
     WeightedCount,
+    /// Priority = (net register release, weight, height). The
+    /// pressure-aware heuristic beyond the paper: ops that free more
+    /// live ranges than they open (their operands' last uses outnumber
+    /// their defs) go first, which drains pressure before it piles up
+    /// against a finite register file. Ties fall back to the paper's
+    /// best performer (global weight), then height. Deliberately *not*
+    /// in [`Heuristic::ALL`] — it is an extension axis, not one of the
+    /// paper's four.
+    RegPressure,
 }
 
 impl Heuristic {
-    /// All four heuristics in the order the paper presents them.
+    /// The paper's four heuristics in the order the paper presents them
+    /// ([`Heuristic::RegPressure`] is an extension and excluded).
     pub const ALL: [Heuristic; 4] = [
         Heuristic::DependenceHeight,
         Heuristic::ExitCount,
@@ -44,6 +54,7 @@ impl Heuristic {
             Heuristic::ExitCount => "exit-count",
             Heuristic::GlobalWeight => "global-weight",
             Heuristic::WeightedCount => "weighted-count",
+            Heuristic::RegPressure => "pressure",
         }
     }
 
@@ -51,11 +62,54 @@ impl Heuristic {
     /// lexicographically, larger = scheduled first.
     pub fn priorities(self, lr: &LoweredRegion, ddg: &Ddg, m: &MachineModel) -> Vec<Priority> {
         let heights = ddg.heights(lr, m);
+        let aux = self.pressure_aux(lr);
         (0..lr.lops.len())
             .map(|i| Priority {
-                key: self.key_components(lr, i, heights[i]),
+                key: self.key_components(lr, &aux, i, heights[i]),
             })
             .collect()
+    }
+
+    /// Per-op static net-release deltas for [`Heuristic::RegPressure`]:
+    /// `delta[i]` = (registers whose textually last use — operand, guard,
+    /// or exit-copy source attributed to the exit's branch — is op `i`)
+    /// minus (registers op `i` defines). Purely positional (lop order),
+    /// so the optimized scheduler and the reference oracle derive the
+    /// identical key from the lowering alone. Empty for every other
+    /// heuristic (no allocation).
+    pub(crate) fn pressure_aux(self, lr: &LoweredRegion) -> Vec<f64> {
+        if self != Heuristic::RegPressure {
+            return Vec::new();
+        }
+        let mut last_use: std::collections::HashMap<treegion_ir::Reg, usize> =
+            std::collections::HashMap::new();
+        for (i, l) in lr.lops.iter().enumerate() {
+            for &u in &l.op.uses {
+                last_use.insert(u, i);
+            }
+            if let Some(g) = l.guard {
+                last_use.insert(g, i);
+            }
+        }
+        for exit in &lr.exits {
+            for &(_, src) in &exit.copies {
+                let e = last_use.entry(src).or_insert(exit.branch_lop);
+                *e = (*e).max(exit.branch_lop);
+            }
+        }
+        // `0.0 - n` (not `-n`) so a zero-def op yields +0.0, never -0.0:
+        // the packed integer keys order -0.0 below +0.0 while the
+        // reference oracle's f64 comparison calls them equal, and the two
+        // schedulers must sort identically.
+        let mut delta: Vec<f64> = lr
+            .lops
+            .iter()
+            .map(|l| 0.0 - (l.op.defs.len() as f64))
+            .collect();
+        for &i in last_use.values() {
+            delta[i] += 1.0;
+        }
+        delta
     }
 
     /// The raw priority components of op `i` given its dependence
@@ -64,15 +118,24 @@ impl Heuristic {
     /// its ready-key construction pass without materializing a
     /// `Vec<Priority>` first. Must stay in lockstep with `priorities`
     /// (it *is* its body) so packed and unpacked comparisons agree.
+    /// `aux` is [`Heuristic::pressure_aux`] output (read only by
+    /// [`Heuristic::RegPressure`]).
     #[inline]
-    pub(crate) fn key_components(self, lr: &LoweredRegion, i: usize, height: u32) -> [f64; 3] {
+    pub(crate) fn key_components(
+        self,
+        lr: &LoweredRegion,
+        aux: &[f64],
+        i: usize,
+        height: u32,
+    ) -> [f64; 4] {
         let node = &lr.nodes[lr.lops[i].home];
         let h = height as f64;
         match self {
-            Heuristic::DependenceHeight => [h, 0.0, 0.0],
-            Heuristic::ExitCount => [node.exits_below as f64, h, 0.0],
-            Heuristic::GlobalWeight => [node.weight, h, 0.0],
-            Heuristic::WeightedCount => [node.weight, node.exits_below as f64, h],
+            Heuristic::DependenceHeight => [h, 0.0, 0.0, 0.0],
+            Heuristic::ExitCount => [node.exits_below as f64, h, 0.0, 0.0],
+            Heuristic::GlobalWeight => [node.weight, h, 0.0, 0.0],
+            Heuristic::WeightedCount => [node.weight, node.exits_below as f64, h, 0.0],
+            Heuristic::RegPressure => [aux[i], node.weight, h, 0.0],
         }
     }
 }
@@ -86,42 +149,49 @@ impl std::fmt::Display for Heuristic {
 /// A lexicographic priority key (larger is more urgent).
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Priority {
-    key: [f64; 3],
+    key: [f64; 4],
 }
 
 impl Priority {
     /// The raw key components.
-    pub fn key(&self) -> [f64; 3] {
+    pub fn key(&self) -> [f64; 4] {
         self.key
     }
 
-    /// Packs the key into three order-preserving `u64` words; see
+    /// Packs the key into four order-preserving `u64` words; see
     /// [`pack3`], which the list scheduler uses directly.
     #[cfg(test)]
-    pub(crate) fn packed(&self) -> [u64; 3] {
+    pub(crate) fn packed(&self) -> [u64; 4] {
         pack3(self.key)
     }
 }
 
-/// Packs a raw key triple into three order-preserving `u64` words so the
-/// list scheduler's ready queue can compare priorities with plain integer
-/// comparisons instead of three `f64::partial_cmp` calls per element per
-/// sort pass. The scheduler feeds it [`Heuristic::key_components`] output
-/// directly, skipping any intermediate `Vec<Priority>`.
+/// Packs a raw key quadruple into four order-preserving `u64` words so
+/// the list scheduler's ready queue can compare priorities with plain
+/// integer comparisons instead of four `f64::partial_cmp` calls per
+/// element per sort pass. The scheduler feeds it
+/// [`Heuristic::key_components`] output directly, skipping any
+/// intermediate `Vec<Priority>`. (The name predates the fourth
+/// component, added when the pressure heuristic widened every key; the
+/// per-word transform is unchanged.)
 ///
 /// The packing is the usual total-order bit trick (flip all bits of
-/// negatives, set the sign bit of non-negatives): for the finite
-/// values heuristics produce (non-negative heights, exit counts, and
-/// profile weights) `pack3(a) <= pack3(b)` iff `a <= b` under
-/// [`Priority`]'s `Ord`. NaN (impossible here — every component is built
-/// from integer counts or summed non-negative profile weights) would
-/// order as "greater than every finite value" instead of the `Ord`
-/// impl's "equal"; the differential reference-scheduler test guards
-/// this equivalence over the fuzz corpus.
+/// negatives, set the sign bit of non-negatives): for the finite values
+/// heuristics produce (heights, exit counts, profile weights, and
+/// net-release deltas, which may be negative) `pack3(a) <= pack3(b)` iff
+/// `a <= b` under [`Priority`]'s `Ord` — with one documented exception:
+/// `pack(-0.0) < pack(+0.0)` while IEEE comparison (hence `Ord`) treats
+/// them as equal. Heuristic components are therefore never produced as
+/// `-0.0` ([`Heuristic::pressure_aux`] computes `0.0 - n` rather than
+/// `-n` for exactly this reason; the property tests pin both facts).
+/// NaN is rejected in debug builds: every component is built from
+/// integer counts or summed non-negative profile weights, so a NaN
+/// reaching the packer is a bug upstream, not an orderable key.
 #[inline]
-pub(crate) fn pack3(key: [f64; 3]) -> [u64; 3] {
+pub(crate) fn pack3(key: [f64; 4]) -> [u64; 4] {
     #[inline]
     fn pack(x: f64) -> u64 {
+        debug_assert!(!x.is_nan(), "NaN heuristic key component");
         let b = x.to_bits();
         if b & (1 << 63) != 0 {
             !b
@@ -129,7 +199,7 @@ pub(crate) fn pack3(key: [f64; 3]) -> [u64; 3] {
             b | (1 << 63)
         }
     }
-    [pack(key[0]), pack(key[1]), pack(key[2])]
+    [pack(key[0]), pack(key[1]), pack(key[2]), pack(key[3])]
 }
 
 impl Eq for Priority {}
@@ -222,13 +292,13 @@ mod tests {
     #[test]
     fn weighted_count_orders_weight_then_exits() {
         let a = Priority {
-            key: [5.0, 1.0, 9.0],
+            key: [5.0, 1.0, 9.0, 0.0],
         };
         let b = Priority {
-            key: [5.0, 2.0, 0.0],
+            key: [5.0, 2.0, 0.0, 0.0],
         };
         let c = Priority {
-            key: [6.0, 0.0, 0.0],
+            key: [6.0, 0.0, 0.0, 0.0],
         };
         assert!(b > a);
         assert!(c > b);
@@ -240,12 +310,16 @@ mod tests {
     #[test]
     fn packed_keys_preserve_priority_order() {
         let keys = [
-            [0.0, 0.0, 0.0],
-            [0.5, 3.0, 1.0],
-            [1.0, 0.0, 2.0],
-            [1.0, 2.0, 0.0],
-            [90.0, 1.0, 7.0],
-            [100.5, 0.25, 3.0],
+            [0.0, 0.0, 0.0, 0.0],
+            [0.5, 3.0, 1.0, 0.0],
+            [1.0, 0.0, 2.0, 4.0],
+            [1.0, 2.0, 0.0, 0.0],
+            [90.0, 1.0, 7.0, 2.0],
+            [100.5, 0.25, 3.0, 0.0],
+            // Negative components (pressure deltas) and the fourth word.
+            [-1.0, 5.0, 0.0, 0.0],
+            [-2.5, 5.0, 0.0, 1.0],
+            [0.0, 0.0, 0.0, 1.0],
         ];
         for a in keys {
             for b in keys {
@@ -260,10 +334,105 @@ mod tests {
         }
     }
 
+    /// Property sweep over the tricky corners of the f64 total-order bit
+    /// trick on the widened 4-component key: subnormals, signed zeros,
+    /// negatives, and extreme magnitudes must pack in exactly the order
+    /// `f64::partial_cmp` gives — except the documented signed-zero split.
+    #[test]
+    fn pack_orders_subnormals_and_negatives_like_partial_cmp() {
+        let samples = [
+            f64::NEG_INFINITY,
+            f64::MIN,
+            -1.0e300,
+            -2.0,
+            -1.0,
+            -f64::MIN_POSITIVE, // largest-magnitude negative normal boundary
+            -f64::from_bits(1), // smallest-magnitude negative subnormal
+            f64::from_bits(1),  // smallest positive subnormal
+            f64::from_bits(0x000F_FFFF_FFFF_FFFF), // largest subnormal
+            f64::MIN_POSITIVE,
+            0.5,
+            1.0,
+            1.0 + f64::EPSILON,
+            1.0e300,
+            f64::MAX,
+            f64::INFINITY,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                let expect = a.partial_cmp(&b).unwrap();
+                let got = pack3([a, 0.0, 0.0, 0.0]).cmp(&pack3([b, 0.0, 0.0, 0.0]));
+                assert_eq!(got, expect, "pack order diverges for {a:e} vs {b:e}");
+                // The component position must not matter.
+                let got3 = pack3([0.0, 0.0, 0.0, a]).cmp(&pack3([0.0, 0.0, 0.0, b]));
+                assert_eq!(
+                    got3, expect,
+                    "4th-word pack order diverges for {a:e} vs {b:e}"
+                );
+            }
+        }
+    }
+
+    /// The one documented divergence: packed keys split the signed zeros
+    /// (-0.0 packs below +0.0) while `Priority`'s `Ord` — like IEEE
+    /// comparison — calls them equal. `pressure_aux` therefore never
+    /// emits -0.0 (it computes `0.0 - n`, not `-n`).
+    #[test]
+    fn pack_splits_signed_zeros_and_aux_never_emits_negative_zero() {
+        let neg = pack3([-0.0, 0.0, 0.0, 0.0]);
+        let pos = pack3([0.0, 0.0, 0.0, 0.0]);
+        assert!(neg < pos, "pack(-0.0) must order below pack(+0.0)");
+        let (pa, pb) = (
+            Priority {
+                key: [-0.0, 0.0, 0.0, 0.0],
+            },
+            Priority {
+                key: [0.0, 0.0, 0.0, 0.0],
+            },
+        );
+        assert_eq!(pa.cmp(&pb), std::cmp::Ordering::Equal);
+
+        // A region whose branch/ret ops have zero defs and kill nothing
+        // would produce `-(0)` deltas under naive negation; the aux must
+        // still hand back +0.0 bit patterns.
+        let (lr, _, _) = fanout();
+        let aux = Heuristic::RegPressure.pressure_aux(&lr);
+        assert_eq!(aux.len(), lr.lops.len());
+        for (i, d) in aux.iter().enumerate() {
+            assert!(!(d == &0.0 && d.is_sign_negative()), "aux[{i}] is -0.0");
+        }
+    }
+
+    /// NaN components are a bug upstream, not an orderable key: the
+    /// packer rejects them loudly in debug builds.
+    #[test]
+    #[should_panic(expected = "NaN heuristic key component")]
+    fn pack_rejects_nan_components_in_debug() {
+        let _ = pack3([f64::NAN, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pressure_heuristic_prefers_releasing_ops() {
+        let (lr, ddg, m) = fanout();
+        let p = Heuristic::RegPressure.priorities(&lr, &ddg, &m);
+        assert_eq!(p.len(), lr.lops.len());
+        // A movi opens a live range and kills nothing: delta -1. The adds
+        // consume x (but x has two uses, so only the later add is its
+        // last use) and open one range each.
+        let movi = lr
+            .lops
+            .iter()
+            .position(|l| l.op.opcode == treegion_ir::Opcode::MovI)
+            .unwrap();
+        assert_eq!(p[movi].key()[0], -1.0);
+    }
+
     #[test]
     fn names_are_stable() {
         assert_eq!(Heuristic::GlobalWeight.name(), "global-weight");
         assert_eq!(Heuristic::ALL.len(), 4);
         assert_eq!(Heuristic::ExitCount.to_string(), "exit-count");
+        assert_eq!(Heuristic::RegPressure.name(), "pressure");
+        assert!(!Heuristic::ALL.contains(&Heuristic::RegPressure));
     }
 }

@@ -22,7 +22,7 @@ use crate::error::{Budgets, SchedFailure};
 use crate::Region;
 use std::collections::HashMap;
 use treegion_analysis::Liveness;
-use treegion_ir::{BlockId, Cond, Function, Op, Reg, RegClass, Terminator};
+use treegion_ir::{BlockId, Cond, Function, Op, Opcode, Reg, RegClass, Terminator};
 
 /// What role a lowered op plays.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -651,6 +651,236 @@ impl<'a> Lowerer<'a> {
     }
 }
 
+/// Spill-everywhere rewrite for register-pressure recovery.
+///
+/// Picks up to `max_victims` GPR live ranges by *longest static span*
+/// (lop-index distance from definition to last use, ties broken toward
+/// the smaller register index) and rewrites the region so each victim is
+/// stored to a private spill slot right after its definition (at the
+/// region front for live-ins) and re-materialized into a fresh register
+/// immediately before every use. The victim's live range collapses to
+/// def→spill and each reload's range is reload→use, trading register
+/// pressure for memory-unit traffic; keeping the rewrite this local
+/// leaves the list scheduler full freedom over reload placement.
+///
+/// Exit-copy sources are spillable too: the copy is rewritten to a fresh
+/// register reloaded immediately before the exit's branch lop, and the
+/// DDG's `Retire` edge (definition of each copy source → branch) orders
+/// the reload ahead of the exit automatically. Reload results and
+/// already-spilled values gain nothing from another round, so those are
+/// excluded. Returns the rewritten region and the number of victims
+/// spilled, or `None` when no eligible victim remains (the caller falls
+/// back to the degradation ladder).
+pub fn insert_spills(lr: &LoweredRegion, max_victims: usize) -> Option<(LoweredRegion, usize)> {
+    use std::collections::HashSet;
+    if max_victims == 0 {
+        return None;
+    }
+
+    // Static live spans over lop (preorder) position.
+    let mut def_pos: HashMap<Reg, usize> = HashMap::new();
+    let mut last_use: HashMap<Reg, usize> = HashMap::new();
+    let mut excluded: HashSet<Reg> = HashSet::new();
+    for (i, l) in lr.lops.iter().enumerate() {
+        for &d in &l.op.defs {
+            def_pos.insert(d, i);
+            if l.op.opcode == Opcode::Reload {
+                excluded.insert(d);
+            }
+        }
+        for &u in &l.op.uses {
+            if u.is_gpr() {
+                let e = last_use.entry(u).or_insert(i);
+                *e = (*e).max(i);
+            }
+            if l.op.opcode == Opcode::Spill {
+                excluded.insert(u);
+            }
+        }
+    }
+    // Exit copies read their source at the exit's branch cycle, so they
+    // extend the source's span to the branch lop.
+    for exit in &lr.exits {
+        for &(_, src) in &exit.copies {
+            if src.is_gpr() {
+                let e = last_use.entry(src).or_insert(exit.branch_lop);
+                *e = (*e).max(exit.branch_lop);
+            }
+        }
+    }
+
+    // Candidates: (span, reg index, reg), longest span first. Live-ins
+    // (used but never defined) span from the region front.
+    let mut cand: Vec<(usize, u32, Reg)> = Vec::new();
+    for (&r, &lu) in &last_use {
+        if !r.is_gpr() || excluded.contains(&r) {
+            continue;
+        }
+        let dp = def_pos.get(&r).copied().unwrap_or(0);
+        if lu <= dp {
+            continue; // nothing between def and last use to shorten
+        }
+        cand.push((lu - dp, r.index(), r));
+    }
+    cand.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    let victims: Vec<Reg> = cand.iter().take(max_victims).map(|c| c.2).collect();
+    if victims.is_empty() {
+        return None;
+    }
+    let victim_set: HashSet<Reg> = victims.iter().copied().collect();
+
+    // Fresh GPR names for reload results and fresh slots per victim.
+    let mut next_gpr = 0u32;
+    let bump = |r: Reg, next: &mut u32| {
+        if r.is_gpr() {
+            *next = (*next).max(r.index() + 1);
+        }
+    };
+    for l in &lr.lops {
+        for &d in &l.op.defs {
+            bump(d, &mut next_gpr);
+        }
+        for &u in &l.op.uses {
+            bump(u, &mut next_gpr);
+        }
+    }
+    for e in &lr.exits {
+        for &(arch, renamed) in &e.copies {
+            bump(arch, &mut next_gpr);
+            bump(renamed, &mut next_gpr);
+        }
+    }
+    let next_slot: i64 = lr
+        .lops
+        .iter()
+        .filter(|l| matches!(l.op.opcode, Opcode::Spill | Opcode::Reload))
+        .map(|l| l.op.imm + 1)
+        .max()
+        .unwrap_or(0);
+    let mut slot_of: HashMap<Reg, i64> = HashMap::new();
+    for (slot, &v) in (next_slot..).zip(victims.iter()) {
+        slot_of.insert(v, slot);
+    }
+
+    // Rebuild the lop list. Synthetic origins count down from
+    // `usize::MAX - 1` so inserted ops never share a twin bucket.
+    let mut lops: Vec<LOp> = Vec::with_capacity(lr.lops.len() + 3 * victims.len());
+    let mut remap: Vec<usize> = Vec::with_capacity(lr.lops.len());
+    let mut synth = 0usize;
+    let synth_origin = |home: usize, synth: &mut usize| {
+        let o = OpOrigin {
+            block: lr.nodes[home].block,
+            slot: usize::MAX - 1 - *synth,
+        };
+        *synth += 1;
+        o
+    };
+    // Live-in victims spill at the region front.
+    for &v in &victims {
+        if !def_pos.contains_key(&v) {
+            let origin = synth_origin(0, &mut synth);
+            lops.push(LOp {
+                op: Op::spill(v, slot_of[&v]),
+                home: 0,
+                kind: LOpKind::Helper,
+                guard: None,
+                origin,
+            });
+        }
+    }
+    let mut copy_rewrite: HashMap<(usize, Reg), Reg> = HashMap::new();
+    for l in &lr.lops {
+        let mut op = l.op.clone();
+        // One reload (and one fresh register) per distinct victim this op
+        // uses — or, for an exit branch, that its exit's copies restore —
+        // in first-occurrence order.
+        let mut seen: Vec<Reg> = Vec::new();
+        for &u in &l.op.uses {
+            if victim_set.contains(&u) && !seen.contains(&u) {
+                seen.push(u);
+            }
+        }
+        let exit_idx = match l.kind {
+            LOpKind::ExitBranch(e) => {
+                for &(_, src) in &lr.exits[e].copies {
+                    if victim_set.contains(&src) && !seen.contains(&src) {
+                        seen.push(src);
+                    }
+                }
+                Some(e)
+            }
+            _ => None,
+        };
+        for v in seen {
+            let r = Reg::gpr(next_gpr);
+            next_gpr += 1;
+            let origin = synth_origin(l.home, &mut synth);
+            lops.push(LOp {
+                op: Op::reload(r, slot_of[&v]),
+                home: l.home,
+                kind: LOpKind::Helper,
+                guard: None,
+                origin,
+            });
+            for u in op.uses.iter_mut() {
+                if *u == v {
+                    *u = r;
+                }
+            }
+            if let Some(e) = exit_idx {
+                if lr.exits[e].copies.iter().any(|&(_, src)| src == v) {
+                    copy_rewrite.insert((e, v), r);
+                }
+            }
+        }
+        remap.push(lops.len());
+        lops.push(LOp {
+            op,
+            home: l.home,
+            kind: l.kind,
+            guard: l.guard,
+            origin: l.origin,
+        });
+        for &d in &l.op.defs {
+            if victim_set.contains(&d) {
+                let origin = synth_origin(l.home, &mut synth);
+                lops.push(LOp {
+                    op: Op::spill(d, slot_of[&d]),
+                    home: l.home,
+                    kind: LOpKind::Helper,
+                    guard: None,
+                    origin,
+                });
+            }
+        }
+    }
+    let exits: Vec<RegionExit> = lr
+        .exits
+        .iter()
+        .enumerate()
+        .map(|(ei, e)| RegionExit {
+            branch_lop: remap[e.branch_lop],
+            copies: e
+                .copies
+                .iter()
+                .map(|&(arch, src)| {
+                    let src = copy_rewrite.get(&(ei, src)).copied().unwrap_or(src);
+                    (arch, src)
+                })
+                .collect(),
+            ..e.clone()
+        })
+        .collect();
+    Some((
+        LoweredRegion {
+            nodes: lr.nodes.clone(),
+            lops,
+            exits,
+        },
+        victims.len(),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -845,5 +1075,141 @@ mod tests {
             .find(|l| l.op.opcode == Opcode::MovI)
             .unwrap();
         assert_eq!(ret.op.uses[0], movi.op.defs[0]);
+    }
+
+    /// movi x; movi y; z = y+y; w = z+x — x has the longest static span.
+    fn spannable() -> Function {
+        let mut b = FunctionBuilder::new("sp");
+        let bb0 = b.block();
+        let (x, y, z, w) = (b.gpr(), b.gpr(), b.gpr(), b.gpr());
+        b.push_all(
+            bb0,
+            [
+                IrOp::movi(x, 7),
+                IrOp::movi(y, 1),
+                IrOp::add(z, y, y),
+                IrOp::add(w, z, x),
+            ],
+        );
+        b.ret(bb0, None);
+        b.finish()
+    }
+
+    #[test]
+    fn insert_spills_collapses_the_longest_range() {
+        let f = spannable();
+        let lr = lower_first_region(&f);
+        let (spilled, n) = insert_spills(&lr, 1).expect("a victim must exist");
+        assert_eq!(n, 1);
+        assert_eq!(spilled.lops.len(), lr.lops.len() + 2); // spill + reload
+        let sp = spilled
+            .lops
+            .iter()
+            .position(|l| l.op.opcode == Opcode::Spill)
+            .unwrap();
+        let rl = spilled
+            .lops
+            .iter()
+            .position(|l| l.op.opcode == Opcode::Reload)
+            .unwrap();
+        // The victim is the first movi's (renamed) def — the longest span.
+        let victim = spilled.lops[0].op.defs[0];
+        assert_eq!(spilled.lops[0].op.opcode, Opcode::MovI);
+        assert_eq!(sp, 1, "spill sits right after the victim's def");
+        assert_eq!(spilled.lops[sp].op.uses, vec![victim]);
+        assert_eq!(spilled.lops[sp].op.imm, spilled.lops[rl].op.imm);
+        // The victim's old use now reads the reload's fresh register, and
+        // the reload sits immediately before it.
+        let fresh = spilled.lops[rl].op.defs[0];
+        let user = &spilled.lops[rl + 1];
+        assert_eq!(user.op.opcode, Opcode::Add);
+        assert!(user.op.uses.contains(&fresh));
+        assert!(!spilled
+            .lops
+            .iter()
+            .any(|l| l.op.opcode != Opcode::Spill && l.op.uses.contains(&victim)));
+        // Exit branch indices were remapped through the insertions.
+        for (e, exit) in spilled.exits.iter().enumerate() {
+            assert_eq!(spilled.lops[exit.branch_lop].kind, LOpKind::ExitBranch(e));
+        }
+    }
+
+    #[test]
+    fn insert_spills_excludes_spill_artifacts_and_keeps_slots_distinct() {
+        let f = spannable();
+        let lr = lower_first_region(&f);
+        let (once, _) = insert_spills(&lr, 1).unwrap();
+        // Re-spilling everything eligible never touches reload results or
+        // already-spilled values.
+        let reload_defs: Vec<Reg> = once
+            .lops
+            .iter()
+            .filter(|l| l.op.opcode == Opcode::Reload)
+            .map(|l| l.op.defs[0])
+            .collect();
+        let spilled: Vec<Reg> = once
+            .lops
+            .iter()
+            .filter(|l| l.op.opcode == Opcode::Spill)
+            .map(|l| l.op.uses[0])
+            .collect();
+        // `None` (nothing further eligible) is also a valid outcome.
+        if let Some((again, _)) = insert_spills(&once, usize::MAX) {
+            for l in &again.lops {
+                if l.op.opcode == Opcode::Spill && !spilled.contains(&l.op.uses[0]) {
+                    assert!(!reload_defs.contains(&l.op.uses[0]), "re-spilled a reload");
+                }
+            }
+            // Slots must stay distinct across rounds (original spills
+            // keep their slot; fresh victims get fresh slots).
+            let mut slots: Vec<i64> = again
+                .lops
+                .iter()
+                .filter(|l| l.op.opcode == Opcode::Spill)
+                .map(|l| l.op.imm)
+                .collect();
+            slots.sort_unstable();
+            let n = slots.len();
+            slots.dedup();
+            assert_eq!(slots.len(), n);
+        }
+        assert!(insert_spills(&lr, 0).is_none());
+    }
+
+    #[test]
+    fn insert_spills_rewrites_exit_copies_through_a_reload() {
+        // A value whose only consumer is an exit copy is still spillable:
+        // the copy is redirected to a fresh register reloaded right
+        // before the exit's branch lop.
+        let f = spannable();
+        let lr = lower_first_region(&f);
+        let copy_victim = lr
+            .exits
+            .iter()
+            .flat_map(|e| e.copies.iter().map(|&(_, s)| s))
+            .next();
+        let Some(_) = copy_victim else { return };
+        let (spilled, _) = insert_spills(&lr, usize::MAX).expect("victims exist");
+        for e in &spilled.exits {
+            for &(_, src) in &e.copies {
+                // No copy source may still read a spilled victim (those
+                // were rewritten to reload results)…
+                assert!(
+                    !spilled
+                        .lops
+                        .iter()
+                        .any(|l| { l.op.opcode == Opcode::Spill && l.op.uses[0] == src }),
+                    "exit copy still reads spilled victim {src}"
+                );
+                // …and any in-region (re)definition precedes the branch.
+                if let Some(def) = spilled.lops.iter().position(|l| l.op.defs.contains(&src)) {
+                    assert!(
+                        def < e.branch_lop,
+                        "def {def} after branch {}",
+                        e.branch_lop
+                    );
+                }
+            }
+        }
     }
 }

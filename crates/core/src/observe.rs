@@ -104,6 +104,17 @@ pub struct StageStats {
     /// Ready entries parked on a class deferral list during list
     /// scheduling (0 for other stages). See [`crate::SchedMetrics`].
     pub deferral_parks: u64,
+    /// Peak simultaneous live register ranges in any one class during
+    /// list scheduling (0 for other stages). Unlike the other counters
+    /// this accumulates by **max**, not sum — a peak over regions is a
+    /// maximum, and summing it would be meaningless.
+    pub pressure_peak: u32,
+    /// Ready entries parked by the register-file pressure ceiling during
+    /// list scheduling (0 for other stages). See [`crate::SchedMetrics`].
+    pub pressure_parks: u64,
+    /// Spill victims inserted by pressure-recovery rounds (reported on
+    /// the list-scheduling stage; 0 elsewhere).
+    pub spills: u64,
 }
 
 /// Hook interface threaded through every [`crate::Pipeline`] stage.
@@ -229,6 +240,9 @@ impl PassObserver for Profiler {
         a.stats.edges += stats.edges;
         a.stats.hazard_hits += stats.hazard_hits;
         a.stats.deferral_parks += stats.deferral_parks;
+        a.stats.pressure_peak = a.stats.pressure_peak.max(stats.pressure_peak);
+        a.stats.pressure_parks += stats.pressure_parks;
+        a.stats.spills += stats.spills;
     }
 }
 
@@ -306,6 +320,9 @@ mod tests {
                 edges: 0,
                 hazard_hits: 2,
                 deferral_parks: 1,
+                pressure_peak: 7,
+                pressure_parks: 4,
+                spills: 1,
             },
         );
         p.stage_exit(
@@ -318,6 +335,9 @@ mod tests {
                 edges: 0,
                 hazard_hits: 3,
                 deferral_parks: 2,
+                pressure_peak: 5,
+                pressure_parks: 6,
+                spills: 2,
             },
         );
         let report = p.report();
@@ -328,6 +348,10 @@ mod tests {
         assert_eq!(lowering.stats.ops, 12);
         assert_eq!(lowering.stats.hazard_hits, 5);
         assert_eq!(lowering.stats.deferral_parks, 3);
+        // Peak pressure combines by max; parks and spills by sum.
+        assert_eq!(lowering.stats.pressure_peak, 7);
+        assert_eq!(lowering.stats.pressure_parks, 10);
+        assert_eq!(lowering.stats.spills, 3);
         assert_eq!(p.total_nanos(), 42);
         assert_eq!(p.stage_nanos(Stage::Formation), 0);
     }

@@ -20,13 +20,14 @@
 //! produced, at any job count.
 
 use crate::ddg::Ddg;
+use crate::error::{Budgets, SchedFailure};
 use crate::error::{DegradationEvent, PipelineError};
 use crate::former::{FormOutcome, RegionFormer};
 use crate::lower::{lower_region, LoweredRegion};
 use crate::observe::{PassObserver, Stage, StageScope, StageStats};
 use crate::region::RegionSet;
-use crate::robust::{run_robust, RobustOptions, RobustResult};
-use crate::sched::{schedule_with_ddg, Schedule};
+use crate::robust::{run_robust, RobustOptions, RobustResult, MAX_SPILL_ROUNDS};
+use crate::sched::{schedule_with_ddg, try_schedule_with_ddg, Schedule};
 use std::time::Instant;
 use treegion_analysis::{Cfg, Liveness};
 use treegion_ir::{BlockId, Function, Module};
@@ -283,15 +284,118 @@ impl<'m> Pipeline<'m> {
                 edges: ddg.edges().len(),
                 hazard_hits: metrics.hazard_hits,
                 deferral_parks: metrics.deferral_parks,
+                pressure_peak: metrics.pressure_peak.iter().copied().max().unwrap_or(0),
+                pressure_parks: metrics.pressure_parks,
+                ..StageStats::default()
             },
         );
         schedule
     }
 
+    /// Spill-aware stages 3–4: like [`Pipeline::schedule_lowered`], but
+    /// when the machine has a finite GPR file and the region livelocks on
+    /// register pressure, inserts spill code and reschedules — the same
+    /// escalating loop as the robust driver. Returns the (possibly
+    /// spill-rewritten) region with its schedule. Under unbounded
+    /// register files the loop body runs exactly once and the output is
+    /// byte-identical to [`Pipeline::schedule_lowered`].
+    ///
+    /// # Panics
+    ///
+    /// Like the rest of the infallible path, panics when the region
+    /// cannot be scheduled — here additionally when spilling cannot
+    /// relieve the pressure (non-GPR class, no spillable range left, or
+    /// [`MAX_SPILL_ROUNDS`] exhausted). Callers needing a structured
+    /// failure use the robust chain instead.
+    pub fn schedule_lowered_spilled(
+        &self,
+        mut lr: LoweredRegion,
+        scope: StageScope<'_>,
+        obs: &dyn PassObserver,
+    ) -> (LoweredRegion, Schedule) {
+        let mut spills_inserted: u64 = 0;
+        let mut rounds = 0usize;
+        loop {
+            obs.stage_enter(Stage::DdgBuild, scope);
+            let t = Instant::now();
+            let ddg = Ddg::build(&lr, self.machine);
+            obs.stage_exit(
+                Stage::DdgBuild,
+                scope,
+                t.elapsed(),
+                StageStats {
+                    regions: 1,
+                    ops: lr.num_ops(),
+                    edges: ddg.edges().len(),
+                    ..StageStats::default()
+                },
+            );
+            obs.stage_enter(Stage::ListSched, scope);
+            let t = Instant::now();
+            let result = try_schedule_with_ddg(
+                &lr,
+                &ddg,
+                self.machine,
+                &self.options.sched,
+                &Budgets::UNLIMITED,
+            );
+            match result {
+                Ok(schedule) => {
+                    #[cfg(debug_assertions)]
+                    crate::verify_sched::verify_schedule(&lr, &ddg, self.machine, &schedule)
+                        .expect("scheduler produced an invalid schedule");
+                    let metrics = crate::sched::last_sched_metrics();
+                    obs.stage_exit(
+                        Stage::ListSched,
+                        scope,
+                        t.elapsed(),
+                        StageStats {
+                            regions: 1,
+                            ops: lr.num_ops(),
+                            edges: ddg.edges().len(),
+                            hazard_hits: metrics.hazard_hits,
+                            deferral_parks: metrics.deferral_parks,
+                            pressure_peak: metrics.pressure_peak.iter().copied().max().unwrap_or(0),
+                            pressure_parks: metrics.pressure_parks,
+                            spills: spills_inserted,
+                        },
+                    );
+                    return (lr, schedule);
+                }
+                Err(SchedFailure::RegisterPressure {
+                    class: rc,
+                    live: live_regs,
+                    cap,
+                }) if rc == treegion_ir::RegClass::Gpr && rounds < MAX_SPILL_ROUNDS => {
+                    // Same escalation as the robust chain: the parking
+                    // scheduler livelocks at `live <= cap`, so widen the
+                    // victim set with the round count.
+                    let excess = ((live_regs.saturating_sub(cap) as usize) + 1).max(rounds + 1);
+                    match crate::lower::insert_spills(&lr, excess) {
+                        Some((spilled, n)) => {
+                            lr = spilled;
+                            spills_inserted += n as u64;
+                            rounds += 1;
+                        }
+                        None => panic!(
+                            "register pressure unrecoverable by spilling: \
+                             {live_regs} live {rc} regs against a file of {cap}"
+                        ),
+                    }
+                }
+                Err(e) => panic!("scheduler failed to make progress: {e}"),
+            }
+        }
+    }
+
     /// Stages 2–4 over an explicit partition: lowers and schedules every
     /// region (no verification, no degradation — the infallible path the
-    /// analytic evaluator and the VLIW compiler use). Fans out across the
-    /// worker budget; results in region order.
+    /// analytic evaluator and the VLIW compiler use). Regions that
+    /// livelock on GPR pressure under a finite register file are
+    /// spill-rewritten and rescheduled via
+    /// [`Pipeline::schedule_lowered_spilled`]; with the default unbounded
+    /// files the output is byte-identical to the historical path. Fans
+    /// out across the worker budget; results in region order.
     pub fn schedule_set(
         &self,
         f: &Function,
@@ -308,7 +412,7 @@ impl<'m> Pipeline<'m> {
                 function: f.name(),
                 region: Some(idx),
             };
-            let schedule = self.schedule_lowered(&lowered, scope, obs);
+            let (lowered, schedule) = self.schedule_lowered_spilled(lowered, scope, obs);
             RegionSchedule { lowered, schedule }
         })
     }

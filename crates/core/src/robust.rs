@@ -364,11 +364,26 @@ fn attempt_contained(
     })
 }
 
+/// How many schedule→spill→reschedule rounds a finite-register attempt
+/// may run before the failure is handed to the degradation ladder. Each
+/// round spills at least one victim, so pressure falls monotonically;
+/// the cap only bounds pathological regions where spilling cannot help
+/// (e.g. the overflow comes from one op's own definitions).
+pub(crate) const MAX_SPILL_ROUNDS: usize = 8;
+
 /// Lowers, (optionally fault-injects,) schedules, and verifies one region.
 ///
 /// Each stage is bracketed with [`PassObserver`] enter/exit hooks;
 /// `stage_exit` fires only when the stage succeeds (a failed attempt
 /// aborts mid-stage, and its partial time is not attributed).
+///
+/// On machines with a finite register file a [`SchedFailure::
+/// RegisterPressure`] livelock in the GPR class is not (yet) fatal: the
+/// region is rewritten by [`insert_spills`] and rescheduled, up to
+/// [`MAX_SPILL_ROUNDS`] times. Each retry rebuilds the DDG (the spill
+/// and reload ops add real edges), re-entering the DdgBuild/ListSched
+/// stages, so profiles attribute the extra work honestly. Pred/Btr
+/// pressure is unspillable and falls straight through to the ladder.
 #[allow(clippy::too_many_arguments)]
 fn attempt(
     f: &Function,
@@ -400,45 +415,100 @@ fn attempt(
         },
     );
 
-    obs.stage_enter(Stage::DdgBuild, scope);
-    let t = Instant::now();
-    let true_ddg = Ddg::build(&lr, m);
-    obs.stage_exit(
-        Stage::DdgBuild,
-        scope,
-        t.elapsed(),
-        StageStats {
-            regions: 1,
-            ops: lr.num_ops(),
-            edges: true_ddg.edges().len(),
-            ..StageStats::default()
-        },
-    );
     let class: Option<FaultClass> = injector.as_deref_mut().and_then(FaultInjector::choose);
-
     let mut sched_opts = opts.sched;
-    obs.stage_enter(Stage::ListSched, scope);
-    let t = Instant::now();
-    let sched = match (injector.as_deref_mut(), class) {
-        (Some(inj), Some(c)) if c.is_pre_schedule() => {
-            let mut corrupted = true_ddg.clone();
-            inj.corrupt_pre(c, &mut corrupted, &mut sched_opts);
-            try_schedule_with_ddg(&lr, &corrupted, m, &sched_opts, &opts.budgets)?
+    let mut spills_inserted: u64 = 0;
+    let mut rounds = 0usize;
+    let (sched, true_ddg) = loop {
+        obs.stage_enter(Stage::DdgBuild, scope);
+        let t = Instant::now();
+        let true_ddg = Ddg::build(&lr, m);
+        obs.stage_exit(
+            Stage::DdgBuild,
+            scope,
+            t.elapsed(),
+            StageStats {
+                regions: 1,
+                ops: lr.num_ops(),
+                edges: true_ddg.edges().len(),
+                ..StageStats::default()
+            },
+        );
+
+        obs.stage_enter(Stage::ListSched, scope);
+        let t = Instant::now();
+        // Fault corruption applies to the first round only: the injector
+        // draws one fault per region, and a pressure retry must not
+        // replay it against the rewritten op list.
+        let result = match (injector.as_deref_mut(), class) {
+            (Some(inj), Some(c)) if c.is_pre_schedule() && rounds == 0 => {
+                let mut corrupted = true_ddg.clone();
+                inj.corrupt_pre(c, &mut corrupted, &mut sched_opts);
+                try_schedule_with_ddg(&lr, &corrupted, m, &sched_opts, &opts.budgets)
+            }
+            _ => try_schedule_with_ddg(&lr, &true_ddg, m, &sched_opts, &opts.budgets),
+        };
+        match result {
+            Ok(s) => {
+                obs.stage_exit(Stage::ListSched, scope, t.elapsed(), {
+                    // Fold in the scheduler's automaton counters
+                    // (published on this thread just before the schedule
+                    // call returned).
+                    let metrics = crate::sched::last_sched_metrics();
+                    StageStats {
+                        regions: 1,
+                        ops: lr.num_ops(),
+                        edges: true_ddg.edges().len(),
+                        hazard_hits: metrics.hazard_hits,
+                        deferral_parks: metrics.deferral_parks,
+                        pressure_peak: metrics.pressure_peak.iter().copied().max().unwrap_or(0),
+                        pressure_parks: metrics.pressure_parks,
+                        spills: spills_inserted,
+                    }
+                });
+                break (s, true_ddg);
+            }
+            Err(SchedFailure::RegisterPressure {
+                class: rc,
+                live: live_regs,
+                cap,
+            }) if rc == treegion_ir::RegClass::Gpr && rounds < MAX_SPILL_ROUNDS => {
+                // Spill enough victims to clear the reported overflow in
+                // one round if the longest ranges are the culprits. The
+                // parking scheduler livelocks at `live <= cap` (only
+                // live-ins can exceed the file), so the overflow estimate
+                // alone is almost always 1; escalate with the round count
+                // so repeated livelocks converge instead of shaving one
+                // range per rebuild.
+                let excess = ((live_regs.saturating_sub(cap) as usize) + 1).max(rounds + 1);
+                match crate::lower::insert_spills(&lr, excess) {
+                    Some((spilled, n)) => {
+                        // Spill code counts against the op budget like
+                        // any other lowered op.
+                        if let Some(max) = opts.budgets.max_region_ops {
+                            if spilled.num_ops() > max {
+                                return Err(SchedFailure::OpBudgetExceeded {
+                                    ops: spilled.num_ops(),
+                                    budget: max,
+                                });
+                            }
+                        }
+                        lr = spilled;
+                        spills_inserted += n as u64;
+                        rounds += 1;
+                    }
+                    None => {
+                        return Err(SchedFailure::RegisterPressure {
+                            class: rc,
+                            live: live_regs,
+                            cap,
+                        })
+                    }
+                }
+            }
+            Err(e) => return Err(e),
         }
-        _ => try_schedule_with_ddg(&lr, &true_ddg, m, &sched_opts, &opts.budgets)?,
     };
-    obs.stage_exit(Stage::ListSched, scope, t.elapsed(), {
-        // Fold in the scheduler's automaton counters (published on
-        // this thread just before the schedule call returned).
-        let metrics = crate::sched::last_sched_metrics();
-        StageStats {
-            regions: 1,
-            ops: lr.num_ops(),
-            edges: true_ddg.edges().len(),
-            hazard_hits: metrics.hazard_hits,
-            deferral_parks: metrics.deferral_parks,
-        }
-    });
     let mut sched = sched;
     if let (Some(inj), Some(c)) = (injector, class) {
         if !c.is_pre_schedule() {
@@ -865,6 +935,80 @@ mod tests {
         let r = run(&f, &set, &model(), &opts).unwrap();
         assert!(r.is_clean());
         assert_eq!(r.estimated_time(), clean);
+    }
+
+    #[test]
+    fn gpr_pressure_recovers_by_spilling() {
+        // A balanced 8-leaf reduction tree needs ~log2(n)+1 simultaneously
+        // live values (plus one register of issue headroom), so a
+        // 3-register file livelocks the parking scheduler; the spill
+        // rounds must rewrite the region until it fits — transparently,
+        // at the primary level, without touching the degradation ladder.
+        let mut b = FunctionBuilder::new("tree");
+        let bb0 = b.block();
+        let mut layer: Vec<_> = (0..8).map(|_| b.gpr()).collect();
+        for &x in &layer {
+            b.push(bb0, Op::movi(x, 1));
+        }
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                let t = b.gpr();
+                b.push(bb0, Op::add(t, pair[0], pair[1]));
+                next.push(t);
+            }
+            layer = next;
+        }
+        b.ret(bb0, Some(layer[0]));
+        let f = b.finish();
+        let set = form_treegions(&f);
+        let m = model().with_gpr_file(3);
+        let r = run(&f, &set, &m, &RobustOptions::default())
+            .expect("spill rounds must recover register pressure");
+        assert!(r.events.is_empty(), "spilling is not a degradation event");
+        assert!(r.outcomes.iter().all(|o| o.level == FallbackLevel::Primary));
+        let spills = r
+            .outcomes
+            .iter()
+            .flat_map(|o| o.lowered.lops.iter())
+            .filter(|l| l.op.opcode == treegion_ir::Opcode::Spill)
+            .count();
+        assert!(spills > 0, "the finite file must have forced spills");
+        // The accepted schedules re-verify against the finite machine,
+        // register-file legality included.
+        for o in &r.outcomes {
+            let ddg = Ddg::build(&o.lowered, &m);
+            verify_schedule(&o.lowered, &ddg, &m, &o.schedule).unwrap();
+        }
+        // The unbounded machine schedules the same function spill-free.
+        let r0 = run(&f, &set, &model(), &RobustOptions::default()).unwrap();
+        assert!(r0.is_clean());
+        assert!(r0
+            .outcomes
+            .iter()
+            .flat_map(|o| o.lowered.lops.iter())
+            .all(|l| l.op.opcode != treegion_ir::Opcode::Spill));
+    }
+
+    #[test]
+    fn unspillable_pressure_falls_through_to_the_pipeline_error() {
+        // Two operands plus a fresh def need three registers at issue; a
+        // 2-register file cannot fit `add` no matter how much is spilled,
+        // so every rung (primary, slr, bb) fails with reg-pressure.
+        let mut b = FunctionBuilder::new("tight");
+        let bb0 = b.block();
+        let (x, y, z) = (b.gpr(), b.gpr(), b.gpr());
+        b.push_all(bb0, [Op::movi(x, 1), Op::movi(y, 2), Op::add(z, x, y)]);
+        b.ret(bb0, None);
+        let f = b.finish();
+        let set = form_treegions(&f);
+        let m = model().with_gpr_file(2);
+        let err = run(&f, &set, &m, &RobustOptions::default())
+            .expect_err("a 2-register file cannot schedule a 2-operand add");
+        assert!(err
+            .attempts
+            .iter()
+            .all(|(_, c)| c.label() == "reg-pressure"));
     }
 
     #[test]

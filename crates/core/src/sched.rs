@@ -19,11 +19,11 @@ use crate::error::{Budgets, SchedFailure};
 use crate::heuristic::Heuristic;
 use crate::lower::{LOpKind, LoweredRegion};
 use std::collections::HashMap;
-use treegion_ir::Reg;
+use treegion_ir::{Reg, RegClass};
 use treegion_machine::{MachineModel, OpClass};
 
-/// Resource-automaton counters of one scheduler run (see
-/// [`last_sched_metrics`]).
+/// Resource-automaton and register-pressure counters of one scheduler
+/// run (see [`last_sched_metrics`]).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct SchedMetrics {
     /// Interned states of the machine's hazard automaton.
@@ -34,6 +34,14 @@ pub struct SchedMetrics {
     /// Ready entries parked on a class's deferral list until the cycle
     /// ended (re-admission events are counted once per park).
     pub deferral_parks: u64,
+    /// Peak simultaneous live ranges per register class, indexed by
+    /// [`RegClass::index`]. Tracked on every machine (unbounded files
+    /// included) — this is the number a finite file would have to hold.
+    pub pressure_peak: [u32; 3],
+    /// Ready entries deferred because issuing their defs would overflow
+    /// a finite register file (counted once per park, like
+    /// `deferral_parks`). Always zero on unbounded machines.
+    pub pressure_parks: u64,
 }
 
 thread_local! {
@@ -42,6 +50,8 @@ thread_local! {
             automaton_states: 0,
             hazard_hits: 0,
             deferral_parks: 0,
+            pressure_peak: [0; 3],
+            pressure_parks: 0,
         }) };
 }
 
@@ -200,8 +210,11 @@ impl Schedule {
 /// # Panics
 ///
 /// Panics if the scheduler cannot make progress (a dependence-graph cycle,
-/// which a correct DDG never contains). The fallible pipeline uses
-/// [`try_schedule_region`] instead.
+/// which a correct DDG never contains), or if a finite register file on
+/// `m` is provably too small for the region (a
+/// [`SchedFailure::RegisterPressure`] livelock). The fallible pipeline
+/// uses [`try_schedule_region`] instead, and the robust pipeline
+/// additionally inserts spill code and retries before degrading.
 pub fn schedule_region(lr: &LoweredRegion, m: &MachineModel, opts: &ScheduleOptions) -> Schedule {
     let ddg = Ddg::build(lr, m);
     schedule_with_ddg(lr, &ddg, m, opts)
@@ -301,6 +314,16 @@ struct Scratch {
     issued_this_cycle: Vec<usize>,
     issued_per_node: Vec<u32>,
     rr_snapshot: Vec<u32>,
+    // Live-range pressure tables, one dense vec per register class
+    // (indexed by `Reg::index`): remaining use occurrences, whether the
+    // register was defined in the region, whether its range is open
+    // right now, plus the current cycle's pending-kill list and the
+    // finite-file deferral list.
+    reg_uses: [Vec<u32>; 3],
+    reg_defined: [Vec<bool>; 3],
+    reg_alive: [Vec<bool>; 3],
+    kills: Vec<Reg>,
+    pressure_parked: Vec<ReadyEntry>,
 }
 
 thread_local! {
@@ -343,6 +366,9 @@ fn schedule_inner(
     // and — under RoundRobin — its home node. The issue loop then touches
     // only these dense side tables, never the fat `LOp` structs.
     let rr_mode = opts.tie_break == TieBreak::RoundRobin;
+    // Pressure-heuristic side table (empty for the paper's four — the
+    // keys then read nothing from it and the pass below stays pure).
+    let aux = opts.heuristic.pressure_aux(lr);
     scratch.base_key.clear();
     scratch.class_of.clear();
     scratch.exit_of.clear();
@@ -352,7 +378,7 @@ fn schedule_inner(
         scratch.class_of.push(class as u8);
         scratch.base_key.push(ReadyKey {
             branch: class == OpClass::Branch,
-            prio: crate::heuristic::pack3(opts.heuristic.key_components(lr, i, heights[i])),
+            prio: crate::heuristic::pack3(opts.heuristic.key_components(lr, &aux, i, heights[i])),
             rr: !0u32,
             idx: !(i as u32),
         });
@@ -374,6 +400,76 @@ fn schedule_inner(
     let auto = m.hazard_automaton();
     let mut hazard_hits: u64 = 0;
     let mut deferral_parks: u64 = 0;
+
+    // ---- Live-range pressure state -----------------------------------
+    // Registers are a machine resource: a value occupies one register of
+    // its class from the cycle its def issues through the END of the
+    // cycle its last use issues (uses = operands, guards, and exit-copy
+    // sources attributed to the exit's branch; live-ins are live from
+    // cycle 0; a def nobody reads dies at the end of its own cycle).
+    // The tables below make that incremental: one counted-down use table
+    // per class, an open-range flag per register, and a per-cycle kill
+    // list drained at the cycle boundary — O(defs + uses) per issue.
+    // Tracking runs on every machine (the peak is a reported metric);
+    // the *ceiling* check below only engages on finite files, so the
+    // unbounded default schedules byte-identically to before.
+    let caps: [Option<u32>; 3] = RegClass::ALL.map(|c| m.reg_cap(c));
+    let finite = caps.iter().any(Option::is_some);
+    let mut live = [0u32; 3];
+    let mut pressure_peak = [0u32; 3];
+    let mut pressure_parks: u64 = 0;
+    let mut last_block: Option<(RegClass, u32, u32)> = None;
+    for t in scratch.reg_uses.iter_mut() {
+        t.clear();
+    }
+    for t in scratch.reg_defined.iter_mut() {
+        t.clear();
+    }
+    for t in scratch.reg_alive.iter_mut() {
+        t.clear();
+    }
+    scratch.kills.clear();
+    scratch.pressure_parked.clear();
+    for l in &lr.lops {
+        for &u in &l.op.uses {
+            bump_use(&mut scratch.reg_uses, u);
+        }
+        if let Some(g) = l.guard {
+            bump_use(&mut scratch.reg_uses, g);
+        }
+        for &d in &l.op.defs {
+            let t = &mut scratch.reg_defined[d.class().index()];
+            let i = d.index() as usize;
+            if i >= t.len() {
+                t.resize(i + 1, false);
+            }
+            t[i] = true;
+        }
+    }
+    for exit in &lr.exits {
+        for &(_, src) in &exit.copies {
+            bump_use(&mut scratch.reg_uses, src);
+        }
+    }
+    // Live-ins (used in the region, defined outside it) hold registers
+    // from cycle 0 until their last use retires them.
+    for c in 0..3 {
+        let uses = &scratch.reg_uses[c];
+        let defined = &scratch.reg_defined[c];
+        let alive = &mut scratch.reg_alive[c];
+        alive.resize(uses.len(), false);
+        for i in 0..uses.len() {
+            if uses[i] > 0 && !defined.get(i).copied().unwrap_or(false) {
+                alive[i] = true;
+                live[c] += 1;
+            }
+        }
+        pressure_peak[c] = live[c];
+    }
+    let reg_uses = &mut scratch.reg_uses;
+    let reg_alive = &mut scratch.reg_alive;
+    let kills = &mut scratch.kills;
+    let pressure_parked = &mut scratch.pressure_parked;
 
     // Remaining unscheduled predecessor count and earliest start cycle,
     // interleaved in one table so `release_succs` touches a single cache
@@ -496,6 +592,7 @@ fn schedule_inner(
         // Fresh cycle: the automaton restarts from the empty-cycle state.
         let mut state = auto.start();
         issued_this_cycle.clear();
+        let mut progress_this_cycle = false;
 
         // Re-scan after every pass: issuing an op can make a 0-latency
         // dependent ready *in the same cycle* (PlayDoh: a store and a
@@ -556,10 +653,41 @@ fn schedule_inner(
                 if opts.dominator_parallelism {
                     if let Some(t) = find_twin(lr, &mut alias, &twin_buckets, origin_bucket[i], i) {
                         eliminate(lr, &mut sched, &mut alias, i, t);
+                        pressure_eliminate(
+                            lr,
+                            i,
+                            t,
+                            &mut alias,
+                            reg_uses,
+                            reg_alive,
+                            kills,
+                            &mut live,
+                            &mut pressure_peak,
+                        );
                         remaining -= 1;
                         progressed = true;
+                        progress_this_cycle = true;
                         let tc = sched.cycle_of[i].unwrap();
                         release_succs(ddg, i, tc, op_state, staged);
+                        continue;
+                    }
+                }
+                // Register-file ceiling: issuing this op's defs must not
+                // overflow any finite class file, and filling a file to
+                // its cap is reserved for ops that also free a register
+                // (see `file_overflow`). Ranges that die this cycle still
+                // occupy their registers until the boundary (the
+                // verifier's model), so `live` already counts them.
+                // Like a class park, a pressure park consumes no
+                // resources and re-enters the ready queue at the cycle
+                // boundary — after this cycle's kills have freed slots.
+                if finite && !lr.lops[i].op.defs.is_empty() {
+                    let frees = would_free(lr, i, exit_of[i], &mut alias, reg_uses, reg_alive);
+                    if let Some((class, cap)) = file_overflow(&lr.lops[i].op, &live, &caps, &frees)
+                    {
+                        pressure_parks += 1;
+                        last_block = Some((class, live[class.index()], cap));
+                        pressure_parked.push(top);
                         continue;
                     }
                 }
@@ -569,6 +697,18 @@ fn schedule_inner(
                 issued_this_cycle.push(i);
                 slots_used += 1;
                 progressed = true;
+                progress_this_cycle = true;
+                pressure_issue(
+                    lr,
+                    i,
+                    exit_of[i],
+                    &mut alias,
+                    reg_uses,
+                    reg_alive,
+                    kills,
+                    &mut live,
+                    &mut pressure_peak,
+                );
                 if rr_mode {
                     issued_per_node[home_of[i] as usize] += 1;
                 }
@@ -606,14 +746,45 @@ fn schedule_inner(
                 break;
             }
         }
-        // Cycle boundary: every class's units replenish, so all parked
-        // entries re-enter the ready queue. Keys are unique (the `idx`
-        // complement), so heap pop order is a pure function of the entry
-        // set — re-admission order does not matter — and stale round-
-        // robin epochs re-key lazily on pop exactly like any other entry.
+        // Cycle boundary: registers whose last use (or unread def)
+        // issued this cycle die now, freeing their slots for the next
+        // cycle — unless an elimination revived the range by
+        // transferring fresh uses onto it, in which case the kill is a
+        // no-op (the use count is nonzero again).
+        let mut freed = false;
+        for r in kills.drain(..) {
+            let c = r.class().index();
+            let i = r.index() as usize;
+            if reg_uses[c].get(i).copied().unwrap_or(0) == 0 && reg_alive[c][i] {
+                reg_alive[c][i] = false;
+                live[c] -= 1;
+                freed = true;
+            }
+        }
+        // Deterministic livelock check: if nothing issued or was
+        // eliminated this cycle, no register died at this boundary, and
+        // no op is waiting on a latency, then the next cycle replays
+        // this one exactly — the pressure-parked ops can never fit the
+        // file. Fail structurally (the robust pipeline spills and
+        // retries) instead of spinning until the watchdog trips.
+        if !progress_this_cycle && !freed && future.is_empty() && !pressure_parked.is_empty() {
+            let (class, live_now, cap) = last_block.unwrap_or((RegClass::Gpr, 0, 0));
+            return Err(SchedFailure::RegisterPressure {
+                class,
+                live: live_now,
+                cap,
+            });
+        }
+        // Every class's units replenish and freed registers are
+        // available again, so all parked entries re-enter the ready
+        // queue. Keys are unique (the `idx` complement), so heap pop
+        // order is a pure function of the entry set — re-admission order
+        // does not matter — and stale round-robin epochs re-key lazily
+        // on pop exactly like any other entry.
         for p in parked.iter_mut() {
             heap.extend(p.drain(..));
         }
+        heap.extend(pressure_parked.drain(..));
 
         // `clone` allocates exactly `len` (the scratch keeps its
         // capacity for the next cycle); an empty cycle clones without
@@ -642,9 +813,250 @@ fn schedule_inner(
             automaton_states: auto.state_count(),
             hazard_hits,
             deferral_parks,
+            pressure_peak,
+            pressure_parks,
         })
     });
     Ok(sched)
+}
+
+/// Adds `n` use occurrences of `r` to the per-class tables (growing the
+/// class's table on first sight).
+#[inline]
+fn add_uses(tabs: &mut [Vec<u32>; 3], r: Reg, n: u32) {
+    let t = &mut tabs[r.class().index()];
+    let i = r.index() as usize;
+    if i >= t.len() {
+        t.resize(i + 1, 0);
+    }
+    t[i] += n;
+}
+
+/// Counts one use occurrence of `r` (see [`add_uses`]).
+#[inline]
+fn bump_use(tabs: &mut [Vec<u32>; 3], r: Reg) {
+    add_uses(tabs, r, 1);
+}
+
+/// Consumes one use occurrence of `r` (alias-resolved by the caller);
+/// `true` means that was the last one and the range dies at this cycle's
+/// boundary.
+#[inline]
+fn drop_use(tabs: &mut [Vec<u32>; 3], r: Reg) -> bool {
+    let t = &mut tabs[r.class().index()];
+    let i = r.index() as usize;
+    debug_assert!(t.get(i).copied().unwrap_or(0) > 0, "use underflow on {r}");
+    t[i] -= 1;
+    t[i] == 0
+}
+
+/// Opens `r`'s live range if it is not already open; returns `true` if it
+/// did (the caller bumps the live count).
+#[inline]
+fn open_range(tabs: &mut [Vec<bool>; 3], r: Reg) -> bool {
+    let t = &mut tabs[r.class().index()];
+    let i = r.index() as usize;
+    if i >= t.len() {
+        t.resize(i + 1, false);
+    }
+    let fresh = !t[i];
+    t[i] = true;
+    fresh
+}
+
+/// Would issuing `op` (opening one live range per def) overflow a finite
+/// register file? Returns the first violating class and its cap.
+/// Registers dying this cycle still count — they hold their slots until
+/// the boundary, exactly as the verifier charges them.
+///
+/// The last register of each class is *reserved for consumers*: an op may
+/// fill its file to exactly `cap` only when `frees` says it releases a
+/// register of that class at this cycle's boundary. Without the reserve,
+/// greedy issue jams the file with same-priority producers (e.g. reloads
+/// feeding different adds) and every consumer — which transiently needs
+/// its operands *plus* its result live — deadlocks one register short.
+#[inline]
+fn file_overflow(
+    op: &treegion_ir::Op,
+    live: &[u32; 3],
+    caps: &[Option<u32>; 3],
+    frees: &[bool; 3],
+) -> Option<(RegClass, u32)> {
+    let mut need = [0u32; 3];
+    for &d in &op.defs {
+        let c = d.class().index();
+        need[c] += 1;
+        if let Some(cap) = caps[c] {
+            if live[c] + need[c] > cap || (live[c] + need[c] == cap && !frees[c]) {
+                return Some((RegClass::ALL[c], cap));
+            }
+        }
+    }
+    None
+}
+
+/// Dry-run of [`pressure_issue`]'s boundary kills: for each class, would
+/// issuing lop `i` release at least one register at this cycle's
+/// boundary? True when the op consumes some live register's entire
+/// remaining use count (operands, guard, or exit-copy sources), or when
+/// one of its own defs has no readers (such a range closes immediately).
+fn would_free(
+    lr: &LoweredRegion,
+    i: usize,
+    exit: u32,
+    alias: &mut AliasTable,
+    reg_uses: &[Vec<u32>; 3],
+    reg_alive: &[Vec<bool>; 3],
+) -> [bool; 3] {
+    let mut freed = [false; 3];
+    // Occurrence counts per resolved register — ops carry at most a
+    // handful of operands, so a tiny linear table beats a hash map.
+    let mut occ: Vec<(Reg, u32)> = Vec::with_capacity(4);
+    let add_occ = |r: Reg, occ: &mut Vec<(Reg, u32)>| {
+        if let Some(e) = occ.iter_mut().find(|e| e.0 == r) {
+            e.1 += 1;
+        } else {
+            occ.push((r, 1));
+        }
+    };
+    let l = &lr.lops[i];
+    for &u in &l.op.uses {
+        add_occ(alias.resolve(u), &mut occ);
+    }
+    if let Some(g) = l.guard {
+        add_occ(alias.resolve(g), &mut occ);
+    }
+    if exit != u32::MAX {
+        for &(_, src) in &lr.exits[exit as usize].copies {
+            add_occ(alias.resolve(src), &mut occ);
+        }
+    }
+    for &(r, n) in &occ {
+        let c = r.class().index();
+        let idx = r.index() as usize;
+        if reg_alive[c].get(idx).copied().unwrap_or(false)
+            && reg_uses[c].get(idx).copied().unwrap_or(0) == n
+        {
+            freed[c] = true;
+        }
+    }
+    for &d in &l.op.defs {
+        let c = d.class().index();
+        if reg_uses[c].get(d.index() as usize).copied().unwrap_or(0) == 0 {
+            freed[c] = true;
+        }
+    }
+    freed
+}
+
+/// Pressure bookkeeping for an op that just issued: its alias-resolved
+/// operand, guard, and — for an exit branch — exit-copy-source
+/// occurrences are consumed (a register whose last occurrence this was
+/// joins the cycle's kill list), and each def opens a live range on the
+/// spot, charged against this cycle. A def nobody reads dies at this
+/// cycle's boundary too.
+#[allow(clippy::too_many_arguments)]
+fn pressure_issue(
+    lr: &LoweredRegion,
+    i: usize,
+    exit: u32,
+    alias: &mut AliasTable,
+    reg_uses: &mut [Vec<u32>; 3],
+    reg_alive: &mut [Vec<bool>; 3],
+    kills: &mut Vec<Reg>,
+    live: &mut [u32; 3],
+    peak: &mut [u32; 3],
+) {
+    let l = &lr.lops[i];
+    for &u in &l.op.uses {
+        let r = alias.resolve(u);
+        if drop_use(reg_uses, r) {
+            kills.push(r);
+        }
+    }
+    if let Some(g) = l.guard {
+        let r = alias.resolve(g);
+        if drop_use(reg_uses, r) {
+            kills.push(r);
+        }
+    }
+    if exit != u32::MAX {
+        for &(_, src) in &lr.exits[exit as usize].copies {
+            let r = alias.resolve(src);
+            if drop_use(reg_uses, r) {
+                kills.push(r);
+            }
+        }
+    }
+    for &d in &l.op.defs {
+        if open_range(reg_alive, d) {
+            let c = d.class().index();
+            live[c] += 1;
+            peak[c] = peak[c].max(live[c]);
+        }
+        if reg_uses[d.class().index()]
+            .get(d.index() as usize)
+            .copied()
+            .unwrap_or(0)
+            == 0
+        {
+            kills.push(d);
+        }
+    }
+}
+
+/// Pressure bookkeeping for a dominator-parallelism elimination of `i`
+/// in favour of its scheduled twin `t`: consumers of `i`'s defs now read
+/// the twin's registers, so the eliminated defs' remaining use counts
+/// transfer across — which can *revive* a twin range whose own uses were
+/// already exhausted (it must stay occupied until the last transferred
+/// use: re-opened and re-charged if it closed in an earlier cycle; if it
+/// is merely pending-kill this cycle, the now-nonzero use count makes
+/// the boundary kill a no-op). The eliminated op itself never issues, so
+/// its own operand occurrences are consumed here. Everything is
+/// conservative in the verifier's terms: a range never frees earlier
+/// than the verifier's resolved-last-use model says it may.
+#[allow(clippy::too_many_arguments)]
+fn pressure_eliminate(
+    lr: &LoweredRegion,
+    i: usize,
+    t: usize,
+    alias: &mut AliasTable,
+    reg_uses: &mut [Vec<u32>; 3],
+    reg_alive: &mut [Vec<bool>; 3],
+    kills: &mut Vec<Reg>,
+    live: &mut [u32; 3],
+    peak: &mut [u32; 3],
+) {
+    for (a, b) in lr.lops[i].op.defs.iter().zip(lr.lops[t].op.defs.iter()) {
+        let ta = &mut reg_uses[a.class().index()];
+        let ai = a.index() as usize;
+        let n = ta.get(ai).copied().unwrap_or(0);
+        if n == 0 {
+            continue;
+        }
+        ta[ai] = 0;
+        let r = alias.resolve(*b);
+        if open_range(reg_alive, r) {
+            let c = r.class().index();
+            live[c] += 1;
+            peak[c] = peak[c].max(live[c]);
+        }
+        add_uses(reg_uses, r, n);
+    }
+    let l = &lr.lops[i];
+    for &u in &l.op.uses {
+        let r = alias.resolve(u);
+        if drop_use(reg_uses, r) {
+            kills.push(r);
+        }
+    }
+    if let Some(g) = l.guard {
+        let r = alias.resolve(g);
+        if drop_use(reg_uses, r) {
+            kills.push(r);
+        }
+    }
 }
 
 /// Sort key of a ready op in the indexed ready queue.
@@ -661,7 +1073,7 @@ struct ReadyKey {
     /// Branches ahead of everything else.
     branch: bool,
     /// Packed heuristic priority (see `heuristic::pack3`); higher first.
-    prio: [u64; 3],
+    prio: [u64; 4],
     /// `!issued_per_node[home]` under the pass's frozen snapshot
     /// (RoundRobin), `!0` under SourceOrder: fewer issues first.
     rr: u32,
@@ -1159,6 +1571,105 @@ mod tests {
         assert_eq!(s.resolve(b), c);
         assert_eq!(s.resolve(c), c);
         assert_eq!(s.resolve(Reg::gpr(9)), Reg::gpr(9));
+    }
+
+    #[test]
+    fn pressure_peak_is_tracked_on_unbounded_machines() {
+        // movi x; movi y; z = x + y; ret z — x and y overlap, so at
+        // least two GPR ranges are simultaneously live.
+        let mut b = FunctionBuilder::new("pp");
+        let bb0 = b.block();
+        let (x, y, z) = (b.gpr(), b.gpr(), b.gpr());
+        b.push_all(bb0, [Op::movi(x, 1), Op::movi(y, 2), Op::add(z, x, y)]);
+        b.ret(bb0, Some(z));
+        let f = b.finish();
+        let lr = lower_entry(&f, true);
+        let _ = sched(&lr, &MachineModel::model_4u());
+        let mm = last_sched_metrics();
+        assert!(
+            mm.pressure_peak[RegClass::Gpr.index()] >= 2,
+            "{:?}",
+            mm.pressure_peak
+        );
+        assert_eq!(mm.pressure_parks, 0);
+    }
+
+    #[test]
+    fn finite_file_defers_defs_to_later_cycles() {
+        // Eight dead movis on a 4-wide machine: unbounded packs four defs
+        // per cycle; a 1-register file admits one def per cycle (a dead
+        // def still occupies its register until the cycle boundary).
+        let mut b = FunctionBuilder::new("f1");
+        let bb0 = b.block();
+        for k in 0..8 {
+            let r = b.gpr();
+            b.push(bb0, Op::movi(r, k));
+        }
+        b.ret(bb0, None);
+        let f = b.finish();
+        let lr = lower_entry(&f, true);
+        let m = MachineModel::model_4u().with_gpr_file(1);
+        let s = sched(&lr, &m);
+        for c in &s.cycles {
+            let defs: usize = c.iter().map(|&i| lr.lops[i].op.defs.len()).sum();
+            assert!(defs <= 1, "cycle with {defs} defs under a 1-reg file");
+        }
+        assert_eq!(s.issued_ops(), lr.lops.len());
+        let mm = last_sched_metrics();
+        assert!(mm.pressure_parks > 0);
+        assert_eq!(mm.pressure_peak[RegClass::Gpr.index()], 1);
+        // And a file with slack changes nothing: byte-identical cycles.
+        let unbounded = sched(&lr, &MachineModel::model_4u());
+        let slack = sched(&lr, &MachineModel::model_4u().with_gpr_file(64));
+        assert_eq!(unbounded.cycles, slack.cycles);
+    }
+
+    #[test]
+    fn impossible_pressure_is_a_structured_failure() {
+        // z = x + y needs x and y live together; a 1-GPR file can never
+        // hold both, and nothing ever dies to break the tie — the
+        // scheduler must detect the livelock deterministically rather
+        // than spin to the watchdog. (With the consumer reserve the
+        // movis never issue at all: each would fill the file without
+        // freeing anything, so the livelock is caught at zero live.)
+        let mut b = FunctionBuilder::new("rp");
+        let bb0 = b.block();
+        let (x, y, z) = (b.gpr(), b.gpr(), b.gpr());
+        b.push_all(bb0, [Op::movi(x, 1), Op::movi(y, 2), Op::add(z, x, y)]);
+        b.ret(bb0, Some(z));
+        let f = b.finish();
+        let lr = lower_entry(&f, true);
+        let m = MachineModel::model_4u().with_gpr_file(1);
+        let err = try_schedule_region(&lr, &m, &ScheduleOptions::default(), &Budgets::UNLIMITED)
+            .unwrap_err();
+        match err {
+            SchedFailure::RegisterPressure { class, live, cap } => {
+                assert_eq!(class, RegClass::Gpr);
+                assert_eq!(cap, 1);
+                assert!(live <= cap, "parking never admits an overflow");
+            }
+            other => panic!("expected RegisterPressure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn live_in_registers_count_against_the_file() {
+        // A region that only reads a live-in (load from it) still holds
+        // one GPR from cycle 0.
+        let mut b = FunctionBuilder::new("li");
+        let bb0 = b.block();
+        let (a, x) = (b.gpr(), b.gpr());
+        b.push(bb0, Op::load(x, a, 0));
+        b.ret(bb0, Some(x));
+        let f = b.finish();
+        let lr = lower_entry(&f, true);
+        let _ = sched(&lr, &MachineModel::model_4u());
+        let mm = last_sched_metrics();
+        assert!(
+            mm.pressure_peak[RegClass::Gpr.index()] >= 2,
+            "live-in `a` plus loaded `x` must both be charged: {:?}",
+            mm.pressure_peak
+        );
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub enum ScheduleErrorKind {
     /// A dominator-parallelism elimination pairs non-twin ops, removes a
     /// non-speculable op, or names a twin that was never issued.
     BogusElimination,
+    /// Some cycle keeps more live ranges of a class than the machine's
+    /// finite register file can hold (checked only when the file is
+    /// finite; the unbounded default never trips it).
+    RegFileOverflow,
     /// Internally inconsistent bookkeeping (out-of-range index, `cycle_of`
     /// disagreeing with the issue rows, unscheduled edge endpoint).
     Malformed,
@@ -83,7 +87,9 @@ fn fail(kind: ScheduleErrorKind, message: String) -> Result<(), ScheduleError> {
 /// * every exit's recorded cycle matches its branch op's issue cycle;
 /// * every elimination pairs twin ops (same origin/opcode/immediate) and
 ///   the survivor is scheduled no later than the eliminated op's recorded
-///   cycle.
+///   cycle;
+/// * on machines with finite register files, no cycle keeps more live
+///   ranges of a class than the class's file holds.
 pub fn verify_schedule(
     lr: &LoweredRegion,
     ddg: &Ddg,
@@ -247,6 +253,83 @@ pub fn verify_schedule(
                 ScheduleErrorKind::BogusElimination,
                 format!("elimination ({e},{t}) removes a non-speculable op"),
             );
+        }
+    }
+
+    // Register-file legality: replay every live range from scratch and
+    // charge it against the machine's finite files, trusting none of the
+    // scheduler's incremental pressure accounting. A value holds one
+    // register of its class from its def's issue cycle through the END of
+    // its last use's cycle (uses = operands, guards, and exit-copy
+    // sources read at the exit branch, all resolved through the
+    // elimination alias map); a live-in holds its register from cycle 0;
+    // a def nobody reads holds its register for its def cycle alone.
+    if m.has_finite_regs() {
+        use treegion_ir::Reg;
+        let mut def_cycle: std::collections::HashMap<Reg, u32> = std::collections::HashMap::new();
+        let mut last_use: std::collections::HashMap<Reg, u32> = std::collections::HashMap::new();
+        let touch = |tab: &mut std::collections::HashMap<Reg, u32>, r: Reg, c: u32| {
+            let e = tab.entry(sched.resolve(r)).or_insert(c);
+            *e = (*e).max(c);
+        };
+        for (i, l) in lr.lops.iter().enumerate() {
+            if eliminated.contains(&i) {
+                continue;
+            }
+            let Some(c) = sched.cycle_of[i] else {
+                continue;
+            };
+            for &d in &l.op.defs {
+                def_cycle.insert(d, c);
+            }
+            for &u in &l.op.uses {
+                touch(&mut last_use, u, c);
+            }
+            if let Some(g) = l.guard {
+                touch(&mut last_use, g, c);
+            }
+        }
+        for (k, exit) in lr.exits.iter().enumerate() {
+            let c = sched.exit_cycles[k];
+            for &(_, src) in &exit.copies {
+                touch(&mut last_use, src, c);
+            }
+        }
+        let cycles = sched.cycles.len();
+        let mut live_at = vec![[0u32; 3]; cycles];
+        let mut charge = |r: Reg, start: u32, end: u32| {
+            let cls = r.class().index();
+            let last = (end as usize).min(cycles.saturating_sub(1));
+            for counts in live_at.iter_mut().take(last + 1).skip(start as usize) {
+                counts[cls] += 1;
+            }
+        };
+        for (&r, &d) in &def_cycle {
+            let end = last_use.get(&r).copied().unwrap_or(d).max(d);
+            charge(r, d, end);
+        }
+        for (&r, &u) in &last_use {
+            if !def_cycle.contains_key(&r) {
+                // Live-in: occupied from region entry.
+                charge(r, 0, u);
+            }
+        }
+        for (c, counts) in live_at.iter().enumerate() {
+            for class in treegion_ir::RegClass::ALL {
+                let Some(cap) = m.reg_cap(class) else {
+                    continue;
+                };
+                let used = counts[class.index()];
+                if used > cap {
+                    return fail(
+                        ScheduleErrorKind::RegFileOverflow,
+                        format!(
+                            "cycle {c} keeps {used} {class} ranges live \
+                             (file holds {cap})"
+                        ),
+                    );
+                }
+            }
         }
     }
     Ok(())
@@ -461,6 +544,37 @@ mod tests {
             verify_schedule(&lr, &ddg, &m, &s).unwrap_err().kind(),
             ScheduleErrorKind::ClassOverflow
         );
+    }
+
+    #[test]
+    fn finite_file_legality_is_checked_independently() {
+        // Eight dead movis: the unbounded schedule packs four defs into
+        // cycle 0, which a 1-register file cannot hold; the schedule the
+        // finite machine itself produces must verify cleanly.
+        let mut b = FunctionBuilder::new("rf");
+        let bb0 = b.block();
+        for k in 0..8 {
+            let r = b.gpr();
+            b.push(bb0, Op::movi(r, k));
+        }
+        b.ret(bb0, None);
+        let f = b.finish();
+        let set = form_treegions(&f);
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        let r = set.region(set.region_of(f.entry()).unwrap());
+        let lr = lower_region(&f, r, &live, None);
+        let m_fin = MachineModel::model_4u().with_gpr_file(1);
+        let ddg = Ddg::build(&lr, &m_fin);
+        let wide = schedule_region(&lr, &MachineModel::model_4u(), &ScheduleOptions::default());
+        assert_eq!(
+            verify_schedule(&lr, &ddg, &m_fin, &wide)
+                .unwrap_err()
+                .kind(),
+            ScheduleErrorKind::RegFileOverflow
+        );
+        let tight = schedule_region(&lr, &m_fin, &ScheduleOptions::default());
+        verify_schedule(&lr, &ddg, &m_fin, &tight).unwrap();
     }
 
     #[test]

@@ -4,12 +4,12 @@
 use crate::cache::{CacheStats, FormationCache};
 use crate::pipeline::{baseline_time_cached, program_time_cached};
 use crate::report::{f2, f3, Table};
-use crate::stats::{region_stats_cached, RegionStats};
+use crate::stats::{pressure_stats_cached, region_stats_cached, RegionStats};
 use crate::{EvalConfig, RegionConfig};
 use treegion::{Heuristic, TailDupLimits};
 use treegion_ir::Module;
 use treegion_machine::MachineModel;
-use treegion_workloads::generate_suite;
+use treegion_workloads::{generate, generate_suite, BenchmarkSpec};
 
 /// The generated benchmark suite plus cached 1U basic-block baselines.
 ///
@@ -245,6 +245,96 @@ pub fn fig13(suite: &Suite, machine: &MachineModel) -> Table {
     t
 }
 
+/// The register files of the pressure ablation: unbounded, then the two
+/// finite GPR files the EXPERIMENTS table sweeps.
+const ABLATION_FILES: [Option<u32>; 3] = [None, Some(64), Some(32)];
+
+/// The modules of the pressure experiments: the paper suite plus the
+/// dedicated `pressure` stressor (wide dataflow under deep speculation),
+/// which is the workload whose best region scheme flips when the file
+/// shrinks to 32 registers.
+fn pressure_modules(suite: &Suite) -> Vec<Module> {
+    let mut ms: Vec<Module> = suite.modules.clone();
+    ms.push(generate(&BenchmarkSpec::pressure()));
+    ms
+}
+
+fn at_file(machine: &MachineModel, file: Option<u32>) -> MachineModel {
+    match file {
+        Some(cap) => machine.with_gpr_file(cap),
+        None => machine.clone(),
+    }
+}
+
+/// Pressure ablation: speedup over the 1U/basic-block/unbounded baseline
+/// for basic-block vs treegion scheduling (global-weight) as the GPR
+/// file shrinks from unbounded through 64 to 32 registers, plus the
+/// winning region scheme at each end of the sweep.
+pub fn pressure_ablation(suite: &Suite, machine: &MachineModel) -> Table {
+    let mut t = Table::new(
+        format!("Pressure ablation ({machine}): speedup by GPR file"),
+        vec![
+            "program", "bb ∞", "tree ∞", "bb 64", "tree 64", "bb 32", "tree 32", "best ∞",
+            "best 32",
+        ],
+    );
+    let schemes = [RegionConfig::BasicBlock, RegionConfig::Treegion];
+    let modules = pressure_modules(suite);
+    let cache = suite.cache();
+    let baselines: Vec<f64> = treegion_par::par_map(&modules, |m| baseline_time_cached(m, cache));
+    let cells: Vec<(usize, usize, usize)> = (0..modules.len())
+        .flat_map(|i| {
+            (0..ABLATION_FILES.len()).flat_map(move |f| (0..schemes.len()).map(move |k| (i, f, k)))
+        })
+        .collect();
+    let values = treegion_par::par_map(&cells, |&(i, f, k)| {
+        let cfg = EvalConfig::new(schemes[k], Heuristic::GlobalWeight);
+        let m = at_file(machine, ABLATION_FILES[f]);
+        baselines[i] / program_time_cached(&modules[i], &cfg, &m, cache)
+    });
+    let stride = ABLATION_FILES.len() * schemes.len();
+    let best = |bb: f64, tree: f64| if tree >= bb { "tree" } else { "bb" };
+    for (i, m) in modules.iter().enumerate() {
+        let v = &values[i * stride..(i + 1) * stride];
+        let mut row = vec![m.name().to_string()];
+        row.extend(v.iter().map(|&s| f3(s)));
+        row.push(best(v[0], v[1]).into());
+        row.push(best(v[4], v[5]).into());
+        t.row(row);
+    }
+    t
+}
+
+/// Pressure statistics: peak live registers, ceiling parks, and inserted
+/// spills for treegion/global-weight scheduling, unbounded vs a
+/// 32-register GPR file — the max-pressure and spill-count columns.
+pub fn pressure_table(suite: &Suite, machine: &MachineModel) -> Table {
+    let mut t = Table::new(
+        format!("Pressure statistics ({machine}, treegions)"),
+        vec!["program", "peak ∞", "peak 32", "parks 32", "spills 32"],
+    );
+    let modules = pressure_modules(suite);
+    let cache = suite.cache();
+    let cfg = EvalConfig::new(RegionConfig::Treegion, Heuristic::GlobalWeight);
+    let finite = machine.with_gpr_file(32);
+    let stats: Vec<_> = treegion_par::par_map(&modules, |m| {
+        (
+            pressure_stats_cached(m, &cfg, machine, cache),
+            pressure_stats_cached(m, &cfg, &finite, cache),
+        )
+    });
+    for (m, (unb, fin)) in modules.iter().zip(stats) {
+        t.row(vec![
+            m.name().into(),
+            unb.peak.to_string(),
+            fin.peak.to_string(),
+            fin.parks.to_string(),
+            fin.spills.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Renders one evaluation cell by canonical name (see
 /// [`crate::CELL_NAMES`]) — the single dispatch shared by every
 /// table/figure binary and the contained runner, so no binary wires up
@@ -268,6 +358,11 @@ pub fn render_cell(suite: &Suite, name: &str) -> String {
         "fig8@8u" => fig8(suite, &m8()).render(),
         "fig13@4u" => fig13(suite, &m4()).render(),
         "fig13@8u" => fig13(suite, &m8()).render(),
+        "pressure@1u" => pressure_ablation(suite, &MachineModel::model_1u()).render(),
+        "pressure@4u" => pressure_ablation(suite, &m4()).render(),
+        "pressure@4u-asym" => pressure_ablation(suite, &MachineModel::model_4u_asym()).render(),
+        "pressure@8u" => pressure_ablation(suite, &m8()).render(),
+        "pressure-stats@4u" => pressure_table(suite, &m4()).render(),
         other => panic!("unknown evaluation cell `{other}`"),
     }
 }
@@ -385,6 +480,41 @@ mod tests {
         assert_eq!(t_on, t_off);
         // The disabled cache records only misses.
         assert_eq!(uncached.cache_stats().formation.hits, 0);
+    }
+
+    #[test]
+    fn pressure_ablation_flips_the_best_scheme_on_the_stressor() {
+        // The headline acceptance row: on the wide machine the treegion's
+        // deep speculation wins with unbounded renaming registers, but at
+        // a 32-register file its inflated liveness costs spills until
+        // basic blocks win. An empty base suite keeps the cell fast — the
+        // stressor module is appended by the generator itself.
+        let suite = Suite::load_small(0);
+        let t = pressure_ablation(&suite, &MachineModel::model_8u());
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "pressure")
+            .expect("stressor row present");
+        assert_eq!(row[7], "tree", "unbounded best scheme: {row:?}");
+        assert_eq!(row[8], "bb", "32-reg best scheme: {row:?}");
+    }
+
+    #[test]
+    fn pressure_table_reports_spills_under_a_finite_file() {
+        let suite = Suite::load_small(0);
+        let t = pressure_table(&suite, &MachineModel::model_8u());
+        let row = &t.rows[0];
+        assert_eq!(row[0], "pressure");
+        let peak_unbounded: u32 = row[1].parse().unwrap();
+        let peak_finite: u32 = row[2].parse().unwrap();
+        assert!(
+            peak_unbounded > 32,
+            "stressor must actually stress: {row:?}"
+        );
+        assert!(peak_finite <= peak_unbounded, "{row:?}");
+        let spills: u64 = row[4].parse().unwrap();
+        assert!(spills > 0, "{row:?}");
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub use config::{EvalConfig, RegionConfig};
 pub use diskcache::{result_key, DiskCache, DiskRecovery, DiskStats};
 pub use dynamic::{validate_dynamic, DynamicReport};
 pub use harness::{
-    fig13, fig6, fig8, render_cell, render_figure_pair, table1, table2, table3, table4, Suite,
+    fig13, fig6, fig8, pressure_ablation, pressure_table, render_cell, render_figure_pair, table1,
+    table2, table3, table4, Suite,
 };
 pub use pipeline::{
     baseline_time, baseline_time_cached, form_function, program_time, program_time_cached,
@@ -63,5 +64,7 @@ pub use runner::{
     HarnessReport, CELL_NAMES,
 };
 pub use shardcache::{shard_path, ShardedDiskCache};
-pub use stats::{region_stats, region_stats_cached, RegionStats};
+pub use stats::{
+    pressure_stats_cached, region_stats, region_stats_cached, PressureStats, RegionStats,
+};
 pub use variation::{perturb_profile, variation_speedups, variation_table};

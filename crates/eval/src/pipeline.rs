@@ -114,6 +114,24 @@ pub fn program_time_cached(
                 ..Default::default()
             },
         );
+        if machine.has_finite_regs() {
+            // Finite file: drive the robust chain, where pressure
+            // livelocks are recovered by spill insertion (whose cycles
+            // are part of the region's cost), irreducible overflows
+            // degrade down the SLR→BB ladder, and every accepted
+            // schedule is verifier-proven to fit the file.
+            return formation
+                .functions
+                .iter()
+                .map(|ff| {
+                    p.run_formed(&ff.formed, &treegion::NullObserver)
+                        .unwrap_or_else(|e| {
+                            panic!("robust chain failed under finite registers: {e}")
+                        })
+                        .estimated_time()
+                })
+                .sum();
+        }
         formation
             .functions
             .iter()

@@ -39,9 +39,22 @@ use treegion_par::TaskOutcome;
 
 /// The canonical harness cells, in paper order (the order `--bin all`
 /// prints them). Checkpoint manifests and merged reports use this order.
-pub const CELL_NAMES: [&str; 10] = [
-    "table1", "table2", "fig6@4u", "fig6@8u", "fig8@4u", "fig8@8u", "table3", "table4", "fig13@4u",
+pub const CELL_NAMES: [&str; 15] = [
+    "table1",
+    "table2",
+    "fig6@4u",
+    "fig6@8u",
+    "fig8@4u",
+    "fig8@8u",
+    "table3",
+    "table4",
+    "fig13@4u",
     "fig13@8u",
+    "pressure@1u",
+    "pressure@4u",
+    "pressure@4u-asym",
+    "pressure@8u",
+    "pressure-stats@4u",
 ];
 
 /// What an injected cell fault does to an attempt.

@@ -1,7 +1,10 @@
-//! Region statistics (Tables 1, 2, 4) and code expansion (Table 3).
+//! Region statistics (Tables 1, 2, 4), code expansion (Table 3), and
+//! live-range pressure statistics (the pressure ablation's columns).
 
-use crate::{FormationCache, RegionConfig};
+use crate::{EvalConfig, FormationCache, RegionConfig};
+use treegion::{Pipeline, Profiler, RobustOptions, Stage, StageScope};
 use treegion_ir::Module;
+use treegion_machine::MachineModel;
 
 /// Aggregate region statistics for one program under one region type —
 /// the rows of the paper's Tables 1, 2, and 4.
@@ -62,6 +65,71 @@ pub fn region_stats_cached(
     }
 }
 
+/// Live-range pressure and spill statistics of one program under one
+/// configuration and machine — the eval harness's max-pressure and
+/// spill-count columns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PressureStats {
+    /// Peak simultaneously-live registers in any class, over all regions
+    /// (a maximum, not a sum).
+    pub peak: u32,
+    /// Ready ops deferred by the register-pressure ceiling.
+    pub parks: u64,
+    /// Spill ops inserted to fit the register file (0 when unbounded).
+    pub spills: u64,
+}
+
+/// Computes [`PressureStats`] by scheduling every region of `module`
+/// under `config` on `machine` with a [`Profiler`] attached and reading
+/// back the list scheduler's pressure counters. Finite register files go
+/// through the spill-recovering kernel, so the spill count reflects what
+/// the analytic time model actually charged for.
+pub fn pressure_stats_cached(
+    module: &Module,
+    config: &EvalConfig,
+    machine: &MachineModel,
+    cache: &FormationCache,
+) -> PressureStats {
+    let formation = cache.formation(module, &config.region);
+    let prof = Profiler::new();
+    let p = Pipeline::with_options(
+        machine,
+        RobustOptions {
+            sched: config.sched_options(),
+            ..Default::default()
+        },
+    );
+    for ff in &formation.functions {
+        if machine.has_finite_regs() {
+            // The robust chain recovers pressure livelocks by spilling
+            // and degrades irreducible overflows — the counters cover
+            // every attempt the chain made.
+            let _ = p
+                .run_formed(&ff.formed, &prof)
+                .unwrap_or_else(|e| panic!("robust chain failed under finite registers: {e}"));
+            continue;
+        }
+        let name = ff.formed.function.name();
+        for (i, lr) in ff.lowered.iter().enumerate() {
+            let scope = StageScope {
+                function: name,
+                region: Some(i),
+            };
+            let _ = p.schedule_lowered(lr, scope, &prof);
+        }
+    }
+    let ls = prof
+        .report()
+        .into_iter()
+        .find(|s| s.stage == Stage::ListSched)
+        .expect("profiler reports every stage");
+    PressureStats {
+        peak: ls.stats.pressure_peak,
+        parks: ls.stats.pressure_parks,
+        spills: ls.stats.spills,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +155,31 @@ mod tests {
         assert!(slr.avg_blocks >= bb.avg_blocks);
         assert!(tree.avg_blocks >= slr.avg_blocks);
         assert!(tree.avg_ops > slr.avg_ops);
+    }
+
+    #[test]
+    fn pressure_stats_track_the_register_file() {
+        use treegion::Heuristic;
+        let m = generate(&BenchmarkSpec::tiny(31));
+        let cache = FormationCache::new();
+        let cfg = EvalConfig::new(RegionConfig::Treegion, Heuristic::GlobalWeight);
+        let unbounded = pressure_stats_cached(&m, &cfg, &MachineModel::model_4u(), &cache);
+        assert!(unbounded.peak > 0, "{unbounded:?}");
+        assert_eq!(unbounded.parks, 0);
+        assert_eq!(unbounded.spills, 0);
+        // A file just below the unbounded peak forces parking without
+        // pushing any region past the basic-block live-in floor (and the
+        // verifier-checked schedule stays under the cap, so the reported
+        // peak can only shrink).
+        let cap = unbounded.peak.saturating_sub(2).max(4);
+        let finite = pressure_stats_cached(
+            &m,
+            &cfg,
+            &MachineModel::model_4u().with_gpr_file(cap),
+            &cache,
+        );
+        assert!(finite.peak <= unbounded.peak, "{finite:?} vs {unbounded:?}");
+        assert!(finite.parks > 0, "{finite:?}");
     }
 
     #[test]

@@ -151,6 +151,16 @@ pub enum Opcode {
     /// `d = s` — copy inserted by compile-time register renaming at region
     /// exits. Excluded from speedup computation, per Section 3.
     Copy,
+    /// `SPILL(s) -> slot #imm` — store a register to a private spill slot,
+    /// inserted by the lowering layer when a finite register file
+    /// overflows. Occupies a memory unit but never aliases program memory
+    /// (slots are compiler-owned), so it stays outside the memory
+    /// serialization chain.
+    Spill,
+    /// `d = RELOAD slot #imm` — load a previously spilled value back from
+    /// its private slot (load-latency memory op, same aliasing exemption
+    /// as [`Opcode::Spill`]).
+    Reload,
 }
 
 impl Opcode {
@@ -172,10 +182,18 @@ impl Opcode {
     /// Stores, branches, and calls are never speculated. Loads are
     /// speculable under the paper's evaluation model (no caches, no
     /// faults). Everything else is freely speculable after renaming.
+    /// Spills stay put (store-like; also keeps them out of twin merging),
+    /// while reloads are speculable like any load.
     pub fn is_speculable(self) -> bool {
         !matches!(
             self,
-            Opcode::Store | Opcode::Call | Opcode::Brct | Opcode::Brcf | Opcode::Bru | Opcode::Ret
+            Opcode::Store
+                | Opcode::Call
+                | Opcode::Brct
+                | Opcode::Brcf
+                | Opcode::Bru
+                | Opcode::Ret
+                | Opcode::Spill
         )
     }
 
@@ -216,6 +234,8 @@ impl Opcode {
             Opcode::Bru => "bru".into(),
             Opcode::Ret => "ret".into(),
             Opcode::Copy => "copy".into(),
+            Opcode::Spill => "spill".into(),
+            Opcode::Reload => "reload".into(),
         }
     }
 }
@@ -388,6 +408,16 @@ impl Op {
         Op::new(Opcode::Copy, vec![d], vec![s], 0)
     }
 
+    /// `SPILL(s) -> slot #slot` — save `s` to a private spill slot.
+    pub fn spill(s: Reg, slot: i64) -> Self {
+        Op::new(Opcode::Spill, vec![], vec![s], slot)
+    }
+
+    /// `d = RELOAD slot #slot` — restore a spilled value.
+    pub fn reload(d: Reg, slot: i64) -> Self {
+        Op::new(Opcode::Reload, vec![d], vec![], slot)
+    }
+
     /// The single def, if this op defines exactly one register.
     pub fn def(&self) -> Option<Reg> {
         if self.defs.len() == 1 {
@@ -427,7 +457,12 @@ impl fmt::Display for Op {
             sep(f)?;
             write!(f, "@{}", t.index())?;
         }
-        if self.imm != 0 || matches!(self.opcode, Opcode::MovI | Opcode::Load | Opcode::Store) {
+        if self.imm != 0
+            || matches!(
+                self.opcode,
+                Opcode::MovI | Opcode::Load | Opcode::Store | Opcode::Spill | Opcode::Reload
+            )
+        {
             sep(f)?;
             write!(f, "#{}", self.imm)?;
         }

@@ -176,6 +176,8 @@ fn is_lowered_opcode(op: Opcode) -> bool {
             | Opcode::Bru
             | Opcode::Ret
             | Opcode::Copy
+            | Opcode::Spill
+            | Opcode::Reload
     )
 }
 
@@ -258,6 +260,14 @@ fn check_op_shape(op: &crate::Op) -> Option<String> {
         Ret => want(
             op.defs.is_empty() && op.uses.len() <= 1 && gprs(&op.uses),
             "ret: [value(gpr)]",
+        ),
+        Spill => want(
+            op.defs.is_empty() && op.uses.len() == 1 && gprs(&op.uses),
+            "spill: slot #imm = s(gpr)",
+        ),
+        Reload => want(
+            op.defs.len() == 1 && op.uses.is_empty() && gprs(&op.defs),
+            "reload: d(gpr) = slot #imm",
         ),
     }
 }

@@ -53,13 +53,15 @@ impl OpClass {
 
     /// Classifies an opcode. Branches are `Opcode::is_branch`; memory is
     /// `Opcode::is_memory` plus `Call` (calls occupy a memory port, as
-    /// the scheduler and verifier have always counted them); `FDiv` is
-    /// its own class; everything else is ALU.
+    /// the scheduler and verifier have always counted them) plus the
+    /// spill/reload pair (private-slot traffic still moves through a
+    /// memory unit even though it never aliases program memory); `FDiv`
+    /// is its own class; everything else is ALU.
     #[inline]
     pub fn of(op: Opcode) -> OpClass {
         if op.is_branch() {
             OpClass::Branch
-        } else if op.is_memory() || op == Opcode::Call {
+        } else if op.is_memory() || matches!(op, Opcode::Call | Opcode::Spill | Opcode::Reload) {
             OpClass::Mem
         } else if op == Opcode::FDiv {
             OpClass::FDiv

@@ -38,7 +38,59 @@ pub use hazard::{HazardAutomaton, OpClass};
 
 use std::fmt;
 use std::sync::Arc;
-use treegion_ir::Opcode;
+use treegion_ir::{Opcode, RegClass};
+
+/// Per-class architectural register file sizes.
+///
+/// `None` for a class means the paper's model: unbounded compile-time
+/// renaming registers, the default for every preset (schedules stay
+/// byte-identical to the register-oblivious pipeline). `Some(k)` caps the
+/// number of simultaneously live values of that class at `k`; the list
+/// scheduler then tracks live-range pressure, defers issue at the
+/// ceiling, and the lowering layer spills GPRs when deferral alone cannot
+/// fit the region.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RegisterFile {
+    caps: [Option<u32>; RegClass::ALL.len()],
+}
+
+impl RegisterFile {
+    /// The unbounded (paper-model) register file: no class is capped.
+    pub const UNBOUNDED: RegisterFile = RegisterFile {
+        caps: [None; RegClass::ALL.len()],
+    };
+
+    /// A file with the same cap on every class.
+    pub fn uniform(cap: u32) -> Self {
+        RegisterFile {
+            caps: [Some(cap); RegClass::ALL.len()],
+        }
+    }
+
+    /// Sets one class's cap, builder-style.
+    pub fn with(mut self, class: RegClass, cap: Option<u32>) -> Self {
+        self.caps[class.index()] = cap;
+        self
+    }
+
+    /// The cap of one class (`None` = unbounded).
+    #[inline]
+    pub fn cap(&self, class: RegClass) -> Option<u32> {
+        self.caps[class.index()]
+    }
+
+    /// `true` if no class is capped (pressure tracking never defers).
+    #[inline]
+    pub fn is_unbounded(&self) -> bool {
+        self.caps.iter().all(Option::is_none)
+    }
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        RegisterFile::UNBOUNDED
+    }
+}
 
 /// A statically-scheduled VLIW machine description.
 ///
@@ -61,6 +113,7 @@ pub struct MachineModel {
     fdiv_latency: u32,
     mem_dep_same_cycle: bool,
     class_units: [Option<usize>; OpClass::COUNT],
+    reg_file: RegisterFile,
     /// Derived from the fields above; excluded from `Eq`/`Debug`. Shared
     /// behind an `Arc` so model clones stay two-words-plus-strings cheap.
     automaton: Arc<HazardAutomaton>,
@@ -76,6 +129,7 @@ impl PartialEq for MachineModel {
             && self.fdiv_latency == other.fdiv_latency
             && self.mem_dep_same_cycle == other.mem_dep_same_cycle
             && self.class_units == other.class_units
+            && self.reg_file == other.reg_file
     }
 }
 
@@ -94,6 +148,7 @@ impl fmt::Debug for MachineModel {
             .field("fdiv_latency", &self.fdiv_latency)
             .field("mem_dep_same_cycle", &self.mem_dep_same_cycle)
             .field("class_units", &self.class_units)
+            .field("reg_file", &self.reg_file)
             .finish()
     }
 }
@@ -129,6 +184,30 @@ impl MachineModel {
             .build()
     }
 
+    /// The four-issue machine with a realistic 64-entry GPR file (the
+    /// size of PlayDoh's static general-purpose file). Predicate and
+    /// branch-target files stay unbounded — they are cheap one-bit /
+    /// few-entry structures, and the pipeline has no way to spill them.
+    pub fn model_4u_r64() -> Self {
+        MachineModel::model_4u().with_gpr_file(64)
+    }
+
+    /// The eight-issue machine with a 64-entry GPR file.
+    pub fn model_8u_r64() -> Self {
+        MachineModel::model_8u().with_gpr_file(64)
+    }
+
+    /// Derives a copy of this machine whose GPR file is capped at `cap`
+    /// simultaneously-live registers (name suffixed `+r<cap>`, so cache
+    /// fingerprints and reports distinguish the variant). Other classes
+    /// keep their existing caps.
+    pub fn with_gpr_file(&self, cap: u32) -> MachineModel {
+        let mut m = self.clone();
+        m.reg_file = m.reg_file.with(RegClass::Gpr, Some(cap));
+        m.name = format!("{}+r{cap}", m.name);
+        m
+    }
+
     /// Starts building a custom machine named `name` with the given issue
     /// width, using the paper's latency defaults.
     ///
@@ -145,6 +224,7 @@ impl MachineModel {
             fdiv_latency: 9,
             mem_dep_same_cycle: true,
             class_units: [None; OpClass::COUNT],
+            reg_file: RegisterFile::UNBOUNDED,
         }
     }
 
@@ -159,10 +239,11 @@ impl MachineModel {
     }
 
     /// The latency, in cycles, from issue of `op` to availability of its
-    /// results. Unit latency for everything except loads, `fmul`, `fdiv`.
+    /// results. Unit latency for everything except loads (reloads load),
+    /// `fmul`, `fdiv`.
     pub fn latency(&self, op: Opcode) -> u32 {
         match op {
-            Opcode::Load => self.load_latency,
+            Opcode::Load | Opcode::Reload => self.load_latency,
             Opcode::FMul => self.fmul_latency,
             Opcode::FDiv => self.fdiv_latency,
             _ => 1,
@@ -205,6 +286,24 @@ impl MachineModel {
         self.class_units[class.index()]
     }
 
+    /// The machine's register file sizes (unbounded by default).
+    pub fn reg_file(&self) -> &RegisterFile {
+        &self.reg_file
+    }
+
+    /// The cap of one register class (`None` = unbounded renaming).
+    #[inline]
+    pub fn reg_cap(&self, class: RegClass) -> Option<u32> {
+        self.reg_file.cap(class)
+    }
+
+    /// `true` when any register class is finite, i.e. the scheduler must
+    /// track live-range pressure and enforce the ceiling.
+    #[inline]
+    pub fn has_finite_regs(&self) -> bool {
+        !self.reg_file.is_unbounded()
+    }
+
     /// The precomputed resource-hazard automaton for this machine.
     #[inline]
     pub fn hazard_automaton(&self) -> &HazardAutomaton {
@@ -228,9 +327,17 @@ pub struct MachineModelBuilder {
     fdiv_latency: u32,
     mem_dep_same_cycle: bool,
     class_units: [Option<usize>; OpClass::COUNT],
+    reg_file: RegisterFile,
 }
 
 impl MachineModelBuilder {
+    /// Sets the register file sizes (default: unbounded, the paper's
+    /// model).
+    pub fn reg_file(mut self, rf: RegisterFile) -> Self {
+        self.reg_file = rf;
+        self
+    }
+
     /// Sets the load latency (paper default: 2).
     pub fn load_latency(mut self, cycles: u32) -> Self {
         self.load_latency = cycles;
@@ -287,6 +394,7 @@ impl MachineModelBuilder {
             fdiv_latency: self.fdiv_latency,
             mem_dep_same_cycle: self.mem_dep_same_cycle,
             class_units: self.class_units,
+            reg_file: self.reg_file,
             automaton,
         }
     }
@@ -357,7 +465,53 @@ mod tests {
         // (the serve cache fingerprints models via `{:?}`).
         let dbg = format!("{a:?}");
         assert!(dbg.contains("class_units"), "{dbg}");
+        assert!(dbg.contains("reg_file"), "{dbg}");
         assert!(!dbg.contains("table"), "{dbg}");
+        // A finite register file is part of the configuration identity:
+        // it must split both equality and the cache fingerprint.
+        let r32 = MachineModel::model_4u().with_gpr_file(32);
+        assert_ne!(r32, MachineModel::model_4u());
+        assert_ne!(
+            format!("{r32:?}"),
+            format!("{:?}", MachineModel::model_4u())
+        );
+    }
+
+    #[test]
+    fn register_files_default_unbounded_and_derive_cleanly() {
+        let m = MachineModel::model_4u();
+        assert!(m.reg_file().is_unbounded());
+        assert!(!m.has_finite_regs());
+        assert_eq!(m.reg_cap(RegClass::Gpr), None);
+
+        let r32 = m.with_gpr_file(32);
+        assert!(r32.has_finite_regs());
+        assert_eq!(r32.reg_cap(RegClass::Gpr), Some(32));
+        assert_eq!(r32.reg_cap(RegClass::Pred), None);
+        assert_eq!(r32.name(), "4U+r32");
+        // The automaton (per-cycle issue resources) is untouched by the
+        // register file, which constrains liveness across cycles instead.
+        assert_eq!(
+            r32.hazard_automaton().state_count(),
+            m.hazard_automaton().state_count()
+        );
+
+        let p = MachineModel::model_4u_r64();
+        assert_eq!(p.reg_cap(RegClass::Gpr), Some(64));
+        assert_eq!(p.name(), "4U+r64");
+        assert_eq!(
+            MachineModel::model_8u_r64().reg_cap(RegClass::Gpr),
+            Some(64)
+        );
+
+        let rf = RegisterFile::uniform(16).with(RegClass::Pred, None);
+        assert_eq!(rf.cap(RegClass::Gpr), Some(16));
+        assert_eq!(rf.cap(RegClass::Pred), None);
+        assert_eq!(rf.cap(RegClass::Btr), Some(16));
+        assert!(!rf.is_unbounded());
+        assert_eq!(RegisterFile::default(), RegisterFile::UNBOUNDED);
+        let custom = MachineModel::builder("fin", 2).reg_file(rf).build();
+        assert_eq!(custom.reg_cap(RegClass::Btr), Some(16));
     }
 
     #[test]

@@ -202,6 +202,9 @@ impl ServeStats {
         }
         let mut hazard_hits = 0u64;
         let mut deferral_parks = 0u64;
+        let mut pressure_peak = 0u32;
+        let mut pressure_parks = 0u64;
+        let mut spills = 0u64;
         for p in inputs.profiler.report() {
             kv(
                 &format!("stage-{}", p.stage.name()),
@@ -209,6 +212,9 @@ impl ServeStats {
             );
             hazard_hits += p.stats.hazard_hits;
             deferral_parks += p.stats.deferral_parks;
+            pressure_peak = pressure_peak.max(p.stats.pressure_peak);
+            pressure_parks += p.stats.pressure_parks;
+            spills += p.stats.spills;
         }
         // Hazard-automaton counters, summed from the same stage stats the
         // profiler accumulates (only list-sched ever reports nonzero),
@@ -216,6 +222,14 @@ impl ServeStats {
         // state space shows here before it shows in memory).
         kv("automaton-hazard-hits", hazard_hits.to_string());
         kv("automaton-parks", deferral_parks.to_string());
+        // Register-file counters from the same stage stats: peak combined
+        // pressure across every accepted schedule, ceiling parks, and
+        // spill ops inserted. All zero while the daemon compiles for the
+        // default unbounded machine, but the keys render unconditionally
+        // so the CI serve-smoke grep sees a stable key set.
+        kv("pressure-peak", pressure_peak.to_string());
+        kv("pressure-parks", pressure_parks.to_string());
+        kv("spills", spills.to_string());
         use treegion_machine::MachineModel;
         kv(
             "automaton-states",
@@ -279,6 +293,9 @@ mod tests {
         assert!(text.contains("stage-formation"), "{text}");
         assert!(text.contains("automaton-hazard-hits 0\n"), "{text}");
         assert!(text.contains("automaton-parks 0\n"), "{text}");
+        assert!(text.contains("pressure-peak 0\n"), "{text}");
+        assert!(text.contains("pressure-parks 0\n"), "{text}");
+        assert!(text.contains("spills 0\n"), "{text}");
         assert!(text.contains("automaton-states "), "{text}");
         assert!(text.contains("4U-asym=36"), "{text}");
         // An armed plan renders its live counters.

@@ -16,6 +16,10 @@ pub struct State {
     preds: HashMap<Reg, bool>,
     /// Sparse memory: absent addresses read as 0.
     pub mem: HashMap<i64, i64>,
+    /// Compiler-private spill slots, keyed by slot id. Disjoint from
+    /// `mem` so spill traffic can never alias program stores, mirroring
+    /// the DDG's per-slot (not program-memory) serialization of spills.
+    pub slots: HashMap<i64, i64>,
 }
 
 impl State {
@@ -137,6 +141,14 @@ pub fn exec_op(state: &mut State, op: &Op) -> Result<(), SimError> {
             let addr = state.read(op.uses[0]).wrapping_add(op.imm);
             let v = state.read(op.uses[1]);
             state.store(addr, v);
+        }
+        Opcode::Spill => {
+            let v = state.read(op.uses[0]);
+            state.slots.insert(op.imm, v);
+        }
+        Opcode::Reload => {
+            let v = *state.slots.get(&op.imm).unwrap_or(&0);
+            state.write(op.defs[0], v);
         }
         Opcode::Call => {
             let args: Vec<i64> = op.uses.iter().map(|u| state.read(*u)).collect();

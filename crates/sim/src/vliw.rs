@@ -438,6 +438,76 @@ mod tests {
     }
 
     #[test]
+    fn spilled_schedules_execute_correctly_under_a_tiny_register_file() {
+        // A balanced reduction over 8 constants keeps many values live at
+        // once; under a 3-register GPR file the scheduler must spill. The
+        // executed result has to match the sequential interpreter, the
+        // compiled region must actually contain spill code, and spill
+        // traffic must stay in the private slot space (program memory
+        // untouched).
+        let mut b = FunctionBuilder::new("pressure");
+        let bb0 = b.block();
+        let leaves: Vec<_> = (0..8).map(|_| b.gpr()).collect();
+        for (k, &r) in leaves.iter().enumerate() {
+            b.push(bb0, Op::movi(r, (k as i64 + 1) * 11));
+        }
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for pair in level.chunks(2) {
+                let d = b.gpr();
+                b.push(bb0, Op::add(d, pair[0], pair[1]));
+                next.push(d);
+            }
+            level = next;
+        }
+        b.ret(bb0, Some(level[0]));
+        let f = b.finish();
+        let expected = interpret(&f, State::new(), 10_000).expect("interp");
+
+        let set = form_treegions(&f);
+        let m = MachineModel::model_4u().with_gpr_file(3);
+        let prog = VliwProgram::compile(&f, &set, &m, &ScheduleOptions::default(), None);
+        let spills: usize = prog
+            .compiled()
+            .iter()
+            .flat_map(|c| c.lowered.lops.iter())
+            .filter(|l| l.op.opcode == Opcode::Spill)
+            .count();
+        assert!(spills > 0, "tiny file must force spill code");
+
+        // Real mem-unit occupancy: spill/reload traffic competes for the
+        // same memory units as loads/stores, so no cycle may hold more
+        // Mem-class ops than the machine has units.
+        let mem_units = m
+            .unit_limit(treegion_machine::OpClass::Mem)
+            .unwrap_or(m.issue_width());
+        for c in prog.compiled() {
+            for row in &c.schedule.cycles {
+                let mem_ops = row
+                    .iter()
+                    .filter(|&&i| {
+                        treegion_machine::OpClass::of(c.lowered.lops[i].op.opcode)
+                            == treegion_machine::OpClass::Mem
+                    })
+                    .count();
+                assert!(
+                    mem_ops <= mem_units,
+                    "{mem_ops} mem ops in one cycle on a {mem_units}-unit machine"
+                );
+            }
+        }
+
+        let got = prog.execute(State::new(), 100).expect("vliw");
+        assert_eq!(got.ret, expected.ret);
+        assert!(
+            got.state.mem.is_empty(),
+            "spills leaked into program memory"
+        );
+        assert!(!got.state.slots.is_empty(), "spills never wrote a slot");
+    }
+
+    #[test]
     fn measured_cycles_match_analytic_heights() {
         // For a single-region function the dynamic cycle count must equal
         // the schedule height of the taken exit.

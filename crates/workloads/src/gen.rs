@@ -219,6 +219,11 @@ impl<'a> Gen<'a> {
 
     /// Generates a single construct starting in the open block `cur`.
     fn gen_one(&mut self, cur: BlockId, inflow: f64, depth: usize) -> BlockId {
+        // Guarded so the paper suite (p_reduction = 0) draws no extra RNG
+        // values: previously generated modules stay byte-identical.
+        if self.spec.p_reduction > 0.0 && self.rng.gen_bool(self.spec.p_reduction) {
+            self.reduction(cur);
+        }
         let n_ops = self.sample_ops();
         self.emit_ops(cur, n_ops);
         let s = self.spec;
@@ -240,6 +245,65 @@ impl<'a> Gen<'a> {
         } else {
             self.if_then_else(cur, inflow, depth)
         }
+    }
+
+    /// A *wide reduction* (the register-pressure stressor): `w`
+    /// independent fresh-register definitions folded pairwise into one
+    /// pool variable. Every leaf stays live until its fold consumes it,
+    /// so renamed in-region pressure scales with `w` — while the
+    /// architectural pool (and thus cross-block live-ins) stays small.
+    fn reduction(&mut self, block: BlockId) {
+        let (lo, hi) = self.spec.reduction_width;
+        let mut w = (self.rng.gen_range(lo..=hi.max(lo)) / 2).max(2) * 2;
+        // A few reductions are double-width: wide enough that their left
+        // leaves alone overflow any realistic file, so even a lone basic
+        // block must spill its way through the rendezvous.
+        if self.rng.gen_bool(0.10) {
+            w *= 2;
+        }
+        // Rendezvous shape: all "left" leaves first, then all "right"
+        // leaves, then the fold of `left[k]` with `right[k]`. Every leaf
+        // is a pure definition at the same dependence height, so the
+        // scheduler issues them in index order — all lefts before any
+        // right. Once the lefts alone reach the pressure ceiling no
+        // right can issue and every fold is starved: a genuine livelock
+        // that only spilling (not parking) can break.
+        let half = w / 2;
+        let mut leaves: Vec<Reg> = Vec::with_capacity(w);
+        for k in 0..w {
+            let r = self.b.gpr();
+            if k % 4 == 0 {
+                let base = self.pick_base();
+                self.b.push(block, Op::load(r, base, (k as i64) * 8));
+            } else {
+                self.b.push(block, Op::movi(r, (k as i64 * 13) % 31 - 7));
+            }
+            leaves.push(r);
+        }
+        let mut vals: Vec<Reg> = Vec::with_capacity(half);
+        for k in 0..half {
+            let d = self.b.gpr();
+            self.b.push(block, Op::add(d, leaves[k], leaves[half + k]));
+            vals.push(d);
+        }
+        // Balanced pairwise fold of the pair sums down to one value.
+        while vals.len() > 1 {
+            let mut next = Vec::with_capacity(vals.len() / 2 + 1);
+            for pair in vals.chunks(2) {
+                if pair.len() == 2 {
+                    let d = self.b.gpr();
+                    self.b.push(block, Op::add(d, pair[0], pair[1]));
+                    next.push(d);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            vals = next;
+        }
+        let d = self.pick_var();
+        let s = self.pick_src();
+        self.b.push(block, Op::add(d, vals[0], s));
+        self.last_def = Some(d);
     }
 
     fn chain(&mut self, cur: BlockId, inflow: f64) -> BlockId {

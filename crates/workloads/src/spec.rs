@@ -66,6 +66,13 @@ pub struct BenchmarkSpec {
     pub fp_frac: f64,
     /// Fraction of generated ops that are opaque calls.
     pub call_frac: f64,
+    /// Probability that a block opens with a *wide reduction*: `w`
+    /// independent fresh-register definitions folded pairwise into one
+    /// result. Holds up to `w` values live at once — the register
+    /// pressure stressor's engine. 0 for the paper suite.
+    pub p_reduction: f64,
+    /// Width of wide reductions (min, max) independent values.
+    pub reduction_width: (usize, usize),
 }
 
 impl BenchmarkSpec {
@@ -100,6 +107,43 @@ impl BenchmarkSpec {
             mem_frac: r.gen_range(0.0..0.4),
             fp_frac: r.gen_range(0.0..0.15),
             call_frac: r.gen_range(0.0..0.1),
+            p_reduction: 0.0,
+            reduction_width: (8, 16),
+        }
+    }
+
+    /// A register-pressure stressor (not part of the paper suite): big
+    /// blocks of mostly-independent ALU ops (low `chain_bias` keeps the
+    /// dataflow wide) under heavily biased branches, so treegion
+    /// formation speculates deep and renaming keeps many ranges live at
+    /// once. This is the workload whose best region scheme flips when
+    /// the register file shrinks — the eval pressure-ablation table's
+    /// headline row.
+    pub fn pressure() -> Self {
+        BenchmarkSpec {
+            name: "pressure",
+            seed: 0x9E55_0001,
+            functions: 6,
+            blocks_per_function: (14, 30),
+            mean_ops_per_block: 12.0,
+            p_chain: 0.10,
+            p_if_then: 0.50,
+            p_switch: 0.0,
+            p_loop: 0.05,
+            switch_width: (2, 4),
+            p_wide_switch: 0.0,
+            wide_switch_width: (8, 12),
+            p_biased_branch: 0.90,
+            bias_hot: 0.98,
+            p_linearized_chain: 0.0,
+            linearized_len: (3, 5),
+            p_nest: 0.45,
+            chain_bias: 0.15,
+            mem_frac: 0.10,
+            fp_frac: 0.0,
+            call_frac: 0.0,
+            p_reduction: 0.75,
+            reduction_width: (24, 32),
         }
     }
 
@@ -127,6 +171,8 @@ impl BenchmarkSpec {
             mem_frac: 0.25,
             fp_frac: 0.05,
             call_frac: 0.02,
+            p_reduction: 0.0,
+            reduction_width: (8, 16),
         }
     }
 }
@@ -157,6 +203,8 @@ pub fn spec_suite() -> Vec<BenchmarkSpec> {
             mem_frac: 0.30,
             fp_frac: 0.0,
             call_frac: 0.02,
+            p_reduction: 0.0,
+            reduction_width: (8, 16),
         },
         // gcc: huge, switch-heavy (avg 2.85 bb, max 384), Figure 9 shapes.
         BenchmarkSpec {
@@ -181,6 +229,8 @@ pub fn spec_suite() -> Vec<BenchmarkSpec> {
             mem_frac: 0.28,
             fp_frac: 0.01,
             call_frac: 0.04,
+            p_reduction: 0.0,
+            reduction_width: (8, 16),
         },
         // go: branchy, moderate regions (avg 2.75 bb, max 89).
         BenchmarkSpec {
@@ -205,6 +255,8 @@ pub fn spec_suite() -> Vec<BenchmarkSpec> {
             mem_frac: 0.22,
             fp_frac: 0.0,
             call_frac: 0.03,
+            p_reduction: 0.0,
+            reduction_width: (8, 16),
         },
         // ijpeg: biased branches dominate (Figure 7; avg 2.39 bb, max 69).
         BenchmarkSpec {
@@ -229,6 +281,8 @@ pub fn spec_suite() -> Vec<BenchmarkSpec> {
             mem_frac: 0.30,
             fp_frac: 0.06,
             call_frac: 0.01,
+            p_reduction: 0.0,
+            reduction_width: (8, 16),
         },
         // li: small interpreter, small regions (avg 2.56 bb, max 44).
         BenchmarkSpec {
@@ -253,6 +307,8 @@ pub fn spec_suite() -> Vec<BenchmarkSpec> {
             mem_frac: 0.30,
             fp_frac: 0.0,
             call_frac: 0.06,
+            p_reduction: 0.0,
+            reduction_width: (8, 16),
         },
         // m88ksim: larger regions (avg 3.38 bb, max 146), deeper nesting.
         BenchmarkSpec {
@@ -277,6 +333,8 @@ pub fn spec_suite() -> Vec<BenchmarkSpec> {
             mem_frac: 0.26,
             fp_frac: 0.0,
             call_frac: 0.03,
+            p_reduction: 0.0,
+            reduction_width: (8, 16),
         },
         // perl: switch-heavy interpreter (avg 3.14 bb, max 774), Fig. 9.
         BenchmarkSpec {
@@ -301,6 +359,8 @@ pub fn spec_suite() -> Vec<BenchmarkSpec> {
             mem_frac: 0.28,
             fp_frac: 0.0,
             call_frac: 0.05,
+            p_reduction: 0.0,
+            reduction_width: (8, 16),
         },
         // vortex: big blocks, linearized chains (avg 3.30 bb, 33.5 ops;
         // Figure 10 shapes).
@@ -326,6 +386,8 @@ pub fn spec_suite() -> Vec<BenchmarkSpec> {
             mem_frac: 0.30,
             fp_frac: 0.0,
             call_frac: 0.04,
+            p_reduction: 0.0,
+            reduction_width: (8, 16),
         },
     ]
 }

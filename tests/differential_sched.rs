@@ -7,9 +7,10 @@
 //! `exit_cycles`, same `eliminated` pairs, same `reg_alias` map. This
 //! suite asserts that over the checked-in fuzz repro corpus
 //! (`testdata/repros/*.tir`) plus 200 fresh `generate_fuzz` modules, for
-//! all four heuristics × both tie-break modes × dominator parallelism on
-//! and off, on both an unconstrained 8-wide machine and a resource-limited
-//! one (the limit-deferral path is where a queue rewrite would diverge).
+//! all four paper heuristics plus the register-pressure extension × both
+//! tie-break modes × dominator parallelism on and off, on both an
+//! unconstrained 8-wide machine and a resource-limited one (the
+//! limit-deferral path is where a queue rewrite would diverge).
 #![cfg(debug_assertions)]
 
 use treegion_suite::analysis::{Cfg, Liveness};
@@ -41,9 +42,16 @@ fn check_function(tag: &str, f: &Function, regions: &RegionSet, origin: Option<&
     let live = Liveness::new(f, &cfg);
     for (ri, region) in regions.regions().iter().enumerate() {
         let lr = lower_region(f, region, &live, origin);
+        // The four paper heuristics plus the register-pressure extension:
+        // at unbounded files RegPressure only changes the priority key, so
+        // it must hold the same fast/reference identity as the others.
+        let heuristics: Vec<Heuristic> = Heuristic::ALL
+            .into_iter()
+            .chain([Heuristic::RegPressure])
+            .collect();
         for m in machines() {
             let ddg = Ddg::build(&lr, &m);
-            for heuristic in Heuristic::ALL {
+            for &heuristic in &heuristics {
                 for tie_break in [TieBreak::SourceOrder, TieBreak::RoundRobin] {
                     for dominator_parallelism in [false, true] {
                         let opts = ScheduleOptions {
